@@ -1,0 +1,160 @@
+//! Design-choice ablation sweeps (beyond the paper's Table 7).
+//!
+//! Three knobs DESIGN.md calls out, each swept against the drift-
+//! detection F1 of the digit workload:
+//!
+//! 1. **λ_R** — the DA-GAN reconstruction weight (§4.4 argues λ_R =
+//!    0.5·λ_Z closes latent holes without destabilizing training),
+//! 2. **Δ** — the band mass (§4.1; the paper uses 0.75), swept against
+//!    cluster-assignment quality,
+//! 3. **latent dimensionality** — the encoder bottleneck.
+//!
+//! Plus the encoder ablation: the learned DA-GAN projection vs the
+//! handcrafted appearance histogram on the BDD-sim clustering task.
+
+use odin_bench::report::{f3, Args, Table};
+use odin_core::encoder::{DaGanEncoder, HistogramEncoder, LatentEncoder};
+use odin_data::digits::{digit_dataset, gen_digit, outlier_mix};
+use odin_data::{Image, SceneGen, Subset, TimeOfDay};
+use odin_drift::baselines::LatentKnn;
+use odin_drift::eval::best_f1;
+use odin_drift::{ClusterManager, DeltaBand, ManagerConfig};
+use odin_gan::{DaGan, DaGanConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn digit_f1(args: &Args, cfg: DaGanConfig, train: &[Image], mixed: &[(Image, bool)]) -> f32 {
+    let mut rng = StdRng::seed_from_u64(args.seed + 3);
+    let mut dagan = DaGan::new(cfg, &mut rng);
+    dagan.train(&mut rng, train, args.scaled(1000, 100), 16);
+    let mut enc = DaGanEncoder::new(dagan);
+    let refs: Vec<&Image> = train.iter().collect();
+    let knn = LatentKnn::new(enc.project_batch(&refs), 3);
+    let scores: Vec<f32> = mixed.iter().map(|(im, _)| knn.score(&enc.project(im))).collect();
+    let labels: Vec<bool> = mixed.iter().map(|&(_, o)| o).collect();
+    best_f1(&scores, &labels)
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let train: Vec<Image> = digit_dataset(&mut rng, &[0, 1, 2], args.scaled(100, 30))
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    let mixed = outlier_mix(&mut rng, &[0, 1, 2], &[7, 8, 9], args.scaled(150, 50), 0.3, gen_digit);
+
+    // --- Sweep 1: λ_R ---
+    let mut t1 = Table::new(
+        "ablation_lambda_r",
+        "DA-GAN reconstruction weight λ_R vs outlier F1 (paper: 0.5)",
+        &["λ_R", "outlier F1"],
+    );
+    for lambda_r in [0.1f32, 0.5, 1.0, 2.0] {
+        let cfg = DaGanConfig { lambda_r, width: 12, ..DaGanConfig::digits() };
+        println!("training DA-GAN with λ_R = {lambda_r}...");
+        t1.row(vec![format!("{lambda_r}"), f3(digit_f1(&args, cfg, &train, &mixed))]);
+    }
+    t1.finish(&args);
+
+    // --- Sweep 2: latent dimensionality ---
+    let mut t2 = Table::new(
+        "ablation_latent_dim",
+        "DA-GAN latent dimensionality vs outlier F1",
+        &["latent dim", "outlier F1"],
+    );
+    for latent in [8usize, 16, 32, 64] {
+        let cfg = DaGanConfig { latent, width: 12, ..DaGanConfig::digits() };
+        println!("training DA-GAN with latent = {latent}...");
+        t2.row(vec![latent.to_string(), f3(digit_f1(&args, cfg, &train, &mixed))]);
+    }
+    t2.finish(&args);
+
+    // --- Sweep 3: Δ band mass vs assignment quality ---
+    // A single concept's latents; the fraction of *fresh same-concept*
+    // points whose band contains them, against the band's width.
+    let gen = SceneGen::default();
+    let mut enc = HistogramEncoder::new();
+    let night: Vec<Vec<f32>> = gen
+        .subset_frames(&mut rng, Subset::Night, args.scaled(300, 60))
+        .iter()
+        .map(|f| enc.project(&f.image))
+        .collect();
+    let fresh: Vec<Vec<f32>> = gen
+        .subset_frames(&mut rng, Subset::Night, args.scaled(150, 40))
+        .iter()
+        .map(|f| enc.project(&f.image))
+        .collect();
+    let day: Vec<Vec<f32>> = gen
+        .subset_frames(&mut rng, Subset::Day, args.scaled(150, 40))
+        .iter()
+        .map(|f| enc.project(&f.image))
+        .collect();
+    let dim = night[0].len();
+    let mut centroid = vec![0.0f32; dim];
+    for z in &night {
+        for (c, v) in centroid.iter_mut().zip(z) {
+            *c += v / night.len() as f32;
+        }
+    }
+    let dists: Vec<f32> = night.iter().map(|z| odin_drift::euclidean(z, &centroid)).collect();
+    let mut t3 = Table::new(
+        "ablation_delta",
+        "Band mass Δ vs same-concept acceptance and drift rejection (paper: 0.75)",
+        &["Δ", "band width", "same-concept inside", "drifted inside"],
+    );
+    for delta in [0.5f32, 0.65, 0.75, 0.9, 0.99] {
+        let band = DeltaBand::fit(&dists, delta);
+        let accept = fresh
+            .iter()
+            .filter(|z| band.contains(odin_drift::euclidean(z, &centroid)))
+            .count() as f32
+            / fresh.len() as f32;
+        let leak = day
+            .iter()
+            .filter(|z| band.contains(odin_drift::euclidean(z, &centroid)))
+            .count() as f32
+            / day.len() as f32;
+        t3.row(vec![format!("{delta}"), f3(band.width()), f3(accept), f3(leak)]);
+    }
+    t3.finish(&args);
+
+    // --- Encoder ablation: DA-GAN vs handcrafted histogram on BDD ---
+    let mut t4 = Table::new(
+        "ablation_encoder",
+        "Encoder ablation on BDD-sim clustering (night→day drift)",
+        &["encoder", "clusters found", "night purity of first cluster"],
+    );
+    let night_frames = gen.subset_frames(&mut rng, Subset::Night, args.scaled(200, 50));
+    let day_frames = gen.subset_frames(&mut rng, Subset::Day, args.scaled(200, 50));
+    let mgr_cfg = ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() };
+
+    let mut run_encoder = |name: &str, enc: &mut dyn LatentEncoder| {
+        let mut m = ClusterManager::new(mgr_cfg);
+        for f in night_frames.iter().chain(day_frames.iter()) {
+            let z = enc.project(&f.image);
+            let _ = m.observe(&z);
+        }
+        // Purity: among the first cluster's would-be members, how many
+        // are night frames?
+        let (mut night_in, mut total_in) = (0usize, 0usize);
+        if let Some(first) = m.clusters().first() {
+            for f in night_frames.iter().chain(day_frames.iter()) {
+                let z = enc.project(&f.image);
+                if first.band().contains(first.distance_to(&z)) {
+                    total_in += 1;
+                    night_in += (f.cond.time == TimeOfDay::Night) as usize;
+                }
+            }
+        }
+        let purity = if total_in == 0 { 0.0 } else { night_in as f32 / total_in as f32 };
+        t4.row(vec![name.to_string(), m.clusters().len().to_string(), f3(purity)]);
+    };
+
+    let mut hist = HistogramEncoder::new();
+    run_encoder("histogram (handcrafted)", &mut hist);
+    println!("training BDD DA-GAN for the encoder ablation...");
+    let mut dg = DaGanEncoder::new(odin_bench::workloads::bdd_dagan(&args));
+    run_encoder("DA-GAN (learned)", &mut dg);
+    t4.finish(&args);
+}

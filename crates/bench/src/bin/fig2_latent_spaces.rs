@@ -1,0 +1,89 @@
+//! Figure 2: latent-space quality of AE vs adversarial AE vs DA-GAN.
+//!
+//! The paper shows this visually; here each claim is a number:
+//!
+//! * **moment gap** — distance of encoded latents' moments from the
+//!   N(0,1) prior. Large for the plain AE (holes: prior samples land in
+//!   unreachable regions), small for AAE and DA-GAN.
+//! * **reconstruction error** — the AAE trades fidelity for smoothness
+//!   (blurrier); the DA-GAN's image discriminator wins some of it back.
+//! * **outlier separation** — ratio of unseen-class to known-class
+//!   reconstruction error; higher = better drift signal.
+
+use odin_bench::report::{f3, Args, Table};
+use odin_data::digits::{digit_dataset, gen_digit};
+use odin_data::Image;
+use odin_gan::diagnostics::{moment_gap, separation_ratio};
+use odin_gan::{AdversarialAe, AeConfig, Autoencoder, DaGan, DaGanConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let iters = args.scaled(1000, 100);
+
+    let train: Vec<Image> = digit_dataset(&mut rng, &[0, 1, 2], args.scaled(120, 20))
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    let inliers: Vec<Image> = (0..args.scaled(60, 15)).map(|i| gen_digit(&mut rng, (i % 3) as u8)).collect();
+    let outliers: Vec<Image> =
+        (0..args.scaled(60, 15)).map(|i| gen_digit(&mut rng, 3 + (i % 7) as u8)).collect();
+
+    let ae_cfg = AeConfig::digits();
+
+    println!("training standard AE ({iters} iters)...");
+    let mut ae = Autoencoder::new(ae_cfg, &mut rng);
+    ae.train(&mut rng, &train, iters, 16);
+
+    println!("training adversarial AE ({iters} iters)...");
+    let mut aae = AdversarialAe::new(ae_cfg, &mut rng);
+    aae.train(&mut rng, &train, iters, 16);
+
+    println!("training DA-GAN ({iters} iters)...");
+    let mut dagan = DaGan::new(DaGanConfig::digits(), &mut rng);
+    dagan.train(&mut rng, &train, iters, 16);
+
+    let in28 = Image::batch(&inliers);
+    let out28 = Image::batch(&outliers);
+    let in32 = Image::batch(&inliers.iter().map(|i| i.resize_nearest(32, 32)).collect::<Vec<_>>());
+    let out32 = Image::batch(&outliers.iter().map(|i| i.resize_nearest(32, 32)).collect::<Vec<_>>());
+
+    let mut t = Table::new(
+        "fig2",
+        "Latent-space quality (digits; AE trained on classes 0-2)",
+        &["model", "moment gap vs N(0,1)", "recon error (inliers)", "outlier separation"],
+    );
+
+    let ae_in = ae.reconstruction_errors(&in28);
+    let ae_out = ae.reconstruction_errors(&out28);
+    t.row(vec![
+        "standard AE".into(),
+        f3(moment_gap(&ae.encode(&in28))),
+        f3(ae_in.iter().sum::<f32>() / ae_in.len() as f32),
+        f3(separation_ratio(&ae_in, &ae_out)),
+    ]);
+
+    let aae_in = aae.reconstruction_errors(&in28);
+    let aae_out = aae.reconstruction_errors(&out28);
+    t.row(vec![
+        "adversarial AE".into(),
+        f3(moment_gap(&aae.encode(&in28))),
+        f3(aae_in.iter().sum::<f32>() / aae_in.len() as f32),
+        f3(separation_ratio(&aae_in, &aae_out)),
+    ]);
+
+    let dg_in = dagan.reconstruction_errors(&in32);
+    let dg_out = dagan.reconstruction_errors(&out32);
+    t.row(vec![
+        "DA-GAN".into(),
+        f3(moment_gap(&dagan.encode(&in32))),
+        f3(dg_in.iter().sum::<f32>() / dg_in.len() as f32),
+        f3(separation_ratio(&dg_in, &dg_out)),
+    ]);
+
+    t.finish(&args);
+    println!("\npaper shape check: the AE's moment gap should be the largest (holes);");
+    println!("AAE and DA-GAN should sit close to the prior (small gap).");
+}

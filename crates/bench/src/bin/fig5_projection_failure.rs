@@ -1,0 +1,60 @@
+//! Figure 5: the projection-failure experiment.
+//!
+//! An autoencoder trained on digits 0–2 reconstructs those digits well
+//! but fails on digits 3–9 — the latent projection only covers the
+//! training distribution, so reconstruction error is a drift signal.
+
+use odin_bench::report::{f3, Args, Table};
+use odin_data::digits::{digit_dataset, gen_digit};
+use odin_data::Image;
+use odin_gan::{AeConfig, Autoencoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    let train: Vec<Image> = digit_dataset(&mut rng, &[0, 1, 2], args.scaled(120, 20))
+        .into_iter()
+        .map(|s| s.image)
+        .collect();
+    println!("training AE on digits 0-2 ({} images)...", train.len());
+    let mut ae = Autoencoder::new(AeConfig::digits(), &mut rng);
+    ae.train(&mut rng, &train, args.scaled(1200, 100), 16);
+
+    let mut t = Table::new(
+        "fig5",
+        "Projection failure: per-digit reconstruction error (AE trained on 0-2)",
+        &["digit", "trained on", "recon error", ""],
+    );
+    let per_digit = args.scaled(40, 10);
+    let mut known_mean = 0.0f32;
+    let mut unknown_mean = 0.0f32;
+    for d in 0u8..10 {
+        let imgs: Vec<Image> = (0..per_digit).map(|_| gen_digit(&mut rng, d)).collect();
+        let batch = Image::batch(&imgs);
+        let errs = ae.reconstruction_errors(&batch);
+        let mean = errs.iter().sum::<f32>() / errs.len() as f32;
+        if d <= 2 {
+            known_mean += mean / 3.0;
+        } else {
+            unknown_mean += mean / 7.0;
+        }
+        let bar = "#".repeat((mean * 120.0) as usize);
+        t.row(vec![
+            d.to_string(),
+            if d <= 2 { "yes" } else { "no" }.to_string(),
+            f3(mean),
+            bar,
+        ]);
+    }
+    t.finish(&args);
+    println!(
+        "\nknown-digit mean error {:.3} vs unseen-digit mean error {:.3} ({:.2}x higher)",
+        known_mean,
+        unknown_mean,
+        unknown_mean / known_mean.max(1e-6)
+    );
+    println!("paper shape check: unseen digits must reconstruct notably worse (>1x).");
+}

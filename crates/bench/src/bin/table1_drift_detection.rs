@@ -1,0 +1,215 @@
+//! Table 1: impact of the distance metric on drift-detection accuracy.
+//!
+//! Known classes {0,1,2}; outlier classes {7,8,9}; outlier fraction
+//! swept from 0% to 50%. Methods on MNIST-sim: LOF and PCA on raw
+//! pixels, DRAE (AE reconstruction error), AE / AAE / DA-GAN latent-kNN
+//! distances. On CIFAR-sim the paper compares the representation-based
+//! metrics (AE, AAE, DG).
+//!
+//! Protocol (the paper does not spell it out; documented in
+//! EXPERIMENTS.md): the decision threshold is fixed at the 95th
+//! percentile of each detector's scores on a held-out *validation* set
+//! of inliers (calibrating on the training set itself overstates the
+//! threshold, because learned detectors fit their training data).
+//! Each row reports detection *accuracy* — the fraction of correct
+//! inlier/outlier decisions at that fixed threshold; the 0% row is
+//! therefore the detector's specificity. Accuracy at a fixed threshold
+//! declines with outlier share at a rate set by the detector's recall,
+//! which reproduces the paper's degradation dynamic.
+//!
+//! Paper shape: pixel-space detectors (LOF, PCA) and the plain-AE
+//! signals degrade as outliers multiply; the adversarial AE holds up
+//! better; the DA-GAN degrades the least. At this repo's training scale
+//! the gaps are smaller than the paper's (see EXPERIMENTS.md).
+
+use odin_bench::report::{f3, Args, Table};
+use odin_core::encoder::{DaGanEncoder, LatentEncoder};
+use odin_data::digits::{digit_dataset, gen_digit, outlier_mix};
+use odin_data::cifar::{cifar_dataset, gen_cifar};
+use odin_data::Image;
+use odin_drift::baselines::{LatentKnn, Lof, PcaDetector};
+use odin_gan::{AdversarialAe, AeConfig, Autoencoder, DaGan, DaGanConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KNOWN: [u8; 3] = [0, 1, 2];
+const UNKNOWN: [u8; 3] = [7, 8, 9];
+const FRACTIONS: [f32; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// A fitted scorer: training scores (for calibration) plus a score
+/// function over images.
+struct Method {
+    name: &'static str,
+    threshold: f32,
+    score: Box<dyn FnMut(&Image) -> f32>,
+}
+
+fn quantile(scores: &mut [f32], q: f32) -> f32 {
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    scores[((scores.len() - 1) as f32 * q) as usize]
+}
+
+fn calibrated(
+    name: &'static str,
+    validation: &[Image],
+    mut score: Box<dyn FnMut(&Image) -> f32>,
+) -> Method {
+    let mut val_scores: Vec<f32> = validation.iter().map(&mut score).collect();
+    let threshold = quantile(&mut val_scores, 0.95);
+    Method { name, threshold, score }
+}
+
+/// Detection accuracy at the fixed threshold: the fraction of points
+/// whose inlier/outlier decision is correct.
+fn evaluate(m: &mut Method, mixed: &[(Image, bool)]) -> f32 {
+    let correct = mixed
+        .iter()
+        .filter(|(im, is_outlier)| ((m.score)(im) >= m.threshold) == *is_outlier)
+        .count();
+    correct as f32 / mixed.len() as f32
+}
+
+fn latent_knn_method(
+    name: &'static str,
+    mut project: Box<dyn FnMut(&Image) -> Vec<f32>>,
+    train: &[Image],
+    validation: &[Image],
+    k: usize,
+) -> Method {
+    let reference: Vec<Vec<f32>> = train.iter().map(&mut project).collect();
+    let knn = LatentKnn::new(reference, k);
+    calibrated(name, validation, Box::new(move |im| knn.score(&project(im))))
+}
+
+fn run_dataset(
+    args: &Args,
+    dataset: &'static str,
+    gen_fn: fn(&mut StdRng, u8) -> Image,
+    train: Vec<Image>,
+    ae_cfg: AeConfig,
+    dg_cfg: DaGanConfig,
+    include_pixel_baselines: bool,
+) {
+    let mut rng = StdRng::seed_from_u64(args.seed + 1);
+    let iters = args.scaled(1500, 150);
+
+    // Held-out inlier validation set for threshold calibration.
+    let validation: Vec<Image> = (0..args.scaled(90, 30))
+        .map(|i| gen_fn(&mut rng, KNOWN[i % KNOWN.len()]))
+        .collect();
+
+    let mut methods: Vec<Method> = Vec::new();
+
+    if include_pixel_baselines {
+        println!("[{dataset}] fitting LOF and PCA on raw pixels...");
+        let px: Vec<Vec<f32>> = train.iter().map(|im| im.data().to_vec()).collect();
+        let lof = Lof::fit(px.clone(), 8);
+        methods.push(calibrated("LOF", &validation, Box::new(move |im| lof.score(im.data()))));
+        let pca = PcaDetector::fit(&px, 8, 30);
+        methods.push(calibrated("PCA", &validation, Box::new(move |im| pca.score(im.data()))));
+    }
+
+    println!("[{dataset}] training AE ({iters} iters)...");
+    let mut ae = Autoencoder::new(ae_cfg, &mut rng);
+    ae.train(&mut rng, &train, iters, 16);
+    // DRAE: the AE's reconstruction error (digits only in the paper).
+    if include_pixel_baselines {
+        let mut drae = Autoencoder::new(ae_cfg, &mut rng);
+        drae.import_params(&ae.export_params());
+        methods.push(calibrated(
+            "DRAE",
+            &validation,
+            Box::new(move |im| drae.reconstruction_errors(&im.to_batch_tensor())[0]),
+        ));
+    }
+    let s = ae_cfg.size;
+    methods.push(latent_knn_method(
+        "AE",
+        Box::new(move |im| {
+            let b = if im.height() == s { im.to_batch_tensor() } else { im.resize_nearest(s, s).to_batch_tensor() };
+            ae.encode(&b).row(0).into_vec()
+        }),
+        &train,
+        &validation,
+        3,
+    ));
+
+    println!("[{dataset}] training adversarial AE ({iters} iters)...");
+    let mut aae = AdversarialAe::new(ae_cfg, &mut rng);
+    aae.train(&mut rng, &train, iters, 16);
+    methods.push(latent_knn_method(
+        "AAE",
+        Box::new(move |im| {
+            let b = if im.height() == s { im.to_batch_tensor() } else { im.resize_nearest(s, s).to_batch_tensor() };
+            aae.encode(&b).row(0).into_vec()
+        }),
+        &train,
+        &validation,
+        3,
+    ));
+
+    println!("[{dataset}] training DA-GAN ({iters} iters)...");
+    let mut dagan = DaGan::new(dg_cfg, &mut rng);
+    dagan.train(&mut rng, &train, iters, 16);
+    let mut enc = DaGanEncoder::new(dagan);
+    methods.push(latent_knn_method("DG", Box::new(move |im| enc.project(im)), &train, &validation, 3));
+
+    // Sweep outlier fractions.
+    let n_test = args.scaled(200, 60);
+    let mut headers: Vec<String> = vec!["Outliers".into()];
+    headers.extend(methods.iter().map(|m| m.name.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|x| x.as_str()).collect();
+    let mut t = Table::new(
+        &format!("table1_{dataset}"),
+        &format!("Drift-detection accuracy on {dataset} (fixed-threshold accuracy)"),
+        &header_refs,
+    );
+    let mut eval_rng = StdRng::seed_from_u64(args.seed + 2);
+    for frac in FRACTIONS {
+        let mixed = outlier_mix(&mut eval_rng, &KNOWN, &UNKNOWN, n_test, frac, gen_fn);
+        let mut row = vec![format!("{:.0}%", frac * 100.0)];
+        for m in &mut methods {
+            row.push(f3(evaluate(m, &mixed)));
+        }
+        t.row(row);
+    }
+    t.finish(args);
+}
+
+fn main() {
+    let args = Args::parse();
+    let per_class = args.scaled(150, 30);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+
+    let digits_train: Vec<Image> = digit_dataset(&mut rng, &KNOWN, per_class)
+        .into_iter()
+        .map(|x| x.image)
+        .collect();
+    run_dataset(
+        &args,
+        "mnist_sim",
+        gen_digit,
+        digits_train,
+        AeConfig::digits(),
+        DaGanConfig { width: 12, ..DaGanConfig::digits() },
+        true,
+    );
+
+    let cifar_train: Vec<Image> = cifar_dataset(&mut rng, &KNOWN, per_class)
+        .into_iter()
+        .map(|x| x.image)
+        .collect();
+    run_dataset(
+        &args,
+        "cifar_sim",
+        gen_cifar,
+        cifar_train,
+        AeConfig::cifar(),
+        DaGanConfig::cifar(),
+        false,
+    );
+
+    println!("\npaper shape check: every method starts high at 0% outliers; pixel-space");
+    println!("detectors (LOF/PCA) and DRAE degrade fastest as outliers grow; the DA-GAN");
+    println!("column should degrade the least (see EXPERIMENTS.md for the measured gaps).");
+}

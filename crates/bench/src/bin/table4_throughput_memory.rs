@@ -1,0 +1,55 @@
+//! Table 4: performance and memory footprint of the detector family.
+//!
+//! Paper: YOLO 24 FPS / 237 MB; YOLO-SPECIALIZED 144 FPS / 34 MB;
+//! YOLO-LITE 140 FPS / 35 MB — the specialized models are ~6× faster and
+//! ~7× smaller. Absolute numbers here are CPU-scale; the ratios are the
+//! reproduced result.
+
+use odin_bench::report::{f2, Args, Table};
+use odin_detect::{profile, Detector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::parse();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let frames = args.scaled(256, 32);
+
+    let mut heavy = Detector::heavy(48, &mut rng);
+    let mut specialized = Detector::small(48, &mut rng);
+    let mut lite = Detector::small(48, &mut rng);
+
+    let ph = profile(&mut heavy, frames, 16);
+    let ps = profile(&mut specialized, frames, 16);
+    let pl = profile(&mut lite, frames, 16);
+
+    let mut t = Table::new(
+        "table4",
+        "Impact of Model Specialization on Performance and Memory Footprint",
+        &["Model", "Architecture", "Throughput (FPS)", "Params", "Size (KiB)", "vs YOLO"],
+    );
+    for (name, arch, p) in [
+        ("YOLO", "YoloSim (deep)", &ph),
+        ("YOLO-SPECIALIZED", "pruned YoloSim", &ps),
+        ("YOLO-LITE", "pruned YoloSim", &pl),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            arch.to_string(),
+            format!("{:.0}", p.fps),
+            p.params.to_string(),
+            format!("{:.1}", p.bytes as f32 / 1024.0),
+            format!("{}x faster, {}x smaller", f2(p.fps / ph.fps), f2(ph.bytes as f32 / p.bytes as f32)),
+        ]);
+    }
+    t.finish(&args);
+
+    println!(
+        "\npaper shape check: specialized/lite should be ~6x faster and ~7x smaller than YOLO"
+    );
+    println!(
+        "measured: {:.1}x faster, {:.1}x smaller",
+        ps.fps / ph.fps,
+        ph.bytes as f32 / ps.bytes as f32
+    );
+}

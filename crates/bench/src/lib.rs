@@ -1,0 +1,32 @@
+//! # odin-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ODIN paper's evaluation (§6). Each experiment is a binary:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_motivating` | Figure 1 (motivating example) |
+//! | `fig2_latent_spaces` | Figure 2 (latent-space quality) |
+//! | `fig4_delta_band` | Figure 4 (Δ-band construction) |
+//! | `fig5_projection_failure` | Figure 5 (AE projection failure) |
+//! | `table1_drift_detection` | Table 1 (drift-detection F1) |
+//! | `table2_cluster_distribution` | Table 2 (unsupervised clusters) |
+//! | `fig8_specialization` | Figure 8 (specialization accuracy) |
+//! | `table3_cross_subset` | Table 3 (cross-subset accuracy) |
+//! | `table4_throughput_memory` | Table 4 (throughput & size) |
+//! | `table5_selection` | Table 5 (selection policies) |
+//! | `fig9_end_to_end` | Figure 9 (end-to-end stream) |
+//! | `table6_aggregation` | Table 6 (aggregation queries) |
+//! | `table7_ablation` | Table 7 (ablation) |
+//!
+//! Every binary accepts `--seed <u64>` and `--scale <f32>` (dataset-size
+//! multiplier; 1.0 = the defaults used in EXPERIMENTS.md) and writes its
+//! rows as JSON under `results/` in addition to printing a paper-style
+//! table.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{Args, Table};

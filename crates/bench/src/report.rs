@@ -1,0 +1,202 @@
+//! Experiment argument parsing and table reporting.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Common experiment arguments, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Master seed for all randomness.
+    pub seed: u64,
+    /// Dataset-size multiplier (1.0 = defaults).
+    pub scale: f32,
+    /// Output directory for JSON rows.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { seed: 42, scale: 1.0, out_dir: PathBuf::from("results") }
+    }
+}
+
+impl Args {
+    /// Parses `--seed`, `--scale`, and `--out` from `std::env::args`.
+    ///
+    /// Unknown flags are rejected with a message listing the supported
+    /// ones.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--seed" => out.seed = value().parse().expect("--seed expects a u64"),
+                "--scale" => out.scale = value().parse().expect("--scale expects a float"),
+                "--out" => out.out_dir = PathBuf::from(value()),
+                other => panic!("unknown flag {other}; supported: --seed --scale --out"),
+            }
+        }
+        assert!(out.scale > 0.0, "--scale must be positive");
+        out
+    }
+
+    /// Scales a default count, keeping at least `min`.
+    pub fn scaled(&self, default: usize, min: usize) -> usize {
+        ((default as f32 * self.scale) as usize).max(min)
+    }
+}
+
+/// A printable, serializable experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. "table1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in table {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Writes the table as JSON under `dir/<id>.json`.
+    pub fn save(&self, dir: &PathBuf) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(path, serde_json::to_string_pretty(self).expect("table serializes"))
+    }
+
+    /// Prints and saves in one call (errors on save are reported, not
+    /// fatal — the printed table is the primary artifact).
+    pub fn finish(&self, args: &Args) {
+        self.print();
+        if let Err(e) = self.save(&args.out_dir) {
+            eprintln!("warning: could not save {}: {e}", self.id);
+        }
+    }
+}
+
+/// Formats a float with 3 decimals (the paper's precision).
+pub fn f3(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f32) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults() {
+        let a = Args::from_args(Vec::<String>::new());
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.scale, 1.0);
+    }
+
+    #[test]
+    fn args_parse_all_flags() {
+        let a = Args::from_args(
+            ["--seed", "7", "--scale", "0.5", "--out", "/tmp/x"].map(String::from),
+        );
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn args_reject_unknown() {
+        let _ = Args::from_args(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn scaled_respects_min() {
+        let a = Args { scale: 0.01, ..Args::default() };
+        assert_eq!(a.scaled(100, 10), 10);
+    }
+
+    #[test]
+    fn table_row_width_checked() {
+        let mut t = Table::new("t", "test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("t", "test", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(pct(0.5), "50%");
+    }
+}

@@ -1,0 +1,170 @@
+//! Shared experiment workloads: dataset construction and model training
+//! used by several table/figure harnesses.
+
+use odin_data::{Frame, SceneGen, Subset};
+use odin_detect::Detector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Args;
+
+/// The five BDD-sim evaluation subsets with train/test splits (§6.2's
+/// "BDD Clusters").
+pub struct BddSubsets {
+    /// `(subset, train frames, test frames)` in the paper's table order.
+    pub splits: Vec<(Subset, Vec<Frame>, Vec<Frame>)>,
+}
+
+impl BddSubsets {
+    /// Generates all five subsets. `train_per` / `test_per` are the
+    /// per-subset sizes before `--scale`.
+    pub fn generate(args: &Args, train_per: usize, test_per: usize) -> Self {
+        let gen = SceneGen::default();
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let train_n = args.scaled(train_per, 30);
+        let test_n = args.scaled(test_per, 15);
+        let splits = Subset::ALL
+            .iter()
+            .map(|&s| {
+                let train = gen.subset_frames(&mut rng, s, train_n);
+                let test = gen.subset_frames(&mut rng, s, test_n);
+                (s, train, test)
+            })
+            .collect();
+        BddSubsets { splits }
+    }
+
+    /// The train split for a subset.
+    pub fn train(&self, s: Subset) -> &[Frame] {
+        &self.splits.iter().find(|(x, _, _)| *x == s).expect("subset exists").1
+    }
+
+    /// The test split for a subset.
+    pub fn test(&self, s: Subset) -> &[Frame] {
+        &self.splits.iter().find(|(x, _, _)| *x == s).expect("subset exists").2
+    }
+}
+
+/// Trains the heavyweight YoloSim on a frame set (the static baseline).
+pub fn train_heavy(seed: u64, frames: &[Frame], iters: usize) -> Detector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Detector::heavy(48, &mut rng);
+    d.train_oracle(&mut rng, frames, iters, 8);
+    d
+}
+
+/// Trains a small (YoloSpecialized-architecture) detector on a frame
+/// set with oracle labels.
+pub fn train_small(seed: u64, frames: &[Frame], iters: usize) -> Detector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Detector::small(48, &mut rng);
+    d.train_oracle(&mut rng, frames, iters, 8);
+    d
+}
+
+/// Default oracle-training iterations at scale 1.0.
+pub const TRAIN_ITERS: usize = 900;
+
+/// DA-GAN training iterations for the BDD encoder at scale 1.0.
+pub const DAGAN_ITERS: usize = 1200;
+
+/// Trains (or loads from cache) the pre-trained heavyweight YOLO teacher
+/// on a held-out FULL-DATA sample — the paper's off-the-shelf YOLO. The
+/// query experiments hand this to ODIN as the initial model.
+pub fn pretrained_teacher(args: &Args) -> Detector {
+    pretrained_teacher_on(args, Subset::Full)
+}
+
+/// Like [`pretrained_teacher`], but trained on a specific subset. The
+/// streaming experiments (Figure 9, Table 7) use the *pre-drift* world —
+/// NIGHT-DATA, the stream's first concept — as the static system's
+/// training distribution, matching the paper's deployment story: the
+/// baseline was trained before the drift arrived.
+pub fn pretrained_teacher_on(args: &Args, subset: Subset) -> Detector {
+    let iters = args.scaled(TRAIN_ITERS, 60);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7EAC);
+    let mut model = Detector::heavy(48, &mut rng);
+    let cache = args
+        .out_dir
+        .join("cache")
+        .join(format!("teacher_{}_{}_{}.f32", args.seed, iters, subset.label()));
+    if let Ok(bytes) = std::fs::read(&cache) {
+        if bytes.len() == model.export_len() * 4 {
+            let flat: Vec<f32> = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            model.import_params(&flat);
+            eprintln!("loaded cached teacher from {}", cache.display());
+            return model;
+        }
+    }
+    let gen = SceneGen::default();
+    let frames = gen.subset_frames(&mut rng, subset, args.scaled(400, 80));
+    eprintln!("pre-training heavyweight teacher on {} ({iters} iters)...", subset.label());
+    model.train_oracle(&mut rng, &frames, iters, 8);
+    let mut bytes = Vec::with_capacity(model.export_len() * 4);
+    for v in model.export_params() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    if std::fs::create_dir_all(cache.parent().expect("cache has a parent")).is_ok() {
+        if let Err(e) = std::fs::write(&cache, bytes) {
+            eprintln!("warning: could not cache teacher: {e}");
+        }
+    }
+    model
+}
+
+/// Trains (or loads from the cache under `<out>/cache/`) the BDD-sim
+/// DA-GAN used by the latent-space experiments. The model is trained on
+/// a held-out mixed-condition sample — the "undefined" images of §6.2.
+pub fn bdd_dagan(args: &Args) -> odin_gan::DaGan {
+    use odin_gan::{DaGan, DaGanConfig};
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xDA6A);
+    let cfg = DaGanConfig::bdd();
+    let mut model = DaGan::new(cfg, &mut rng);
+    let cache = args.out_dir.join("cache").join(format!("dagan_bdd_{}_{}.f32", args.seed, args.scaled(DAGAN_ITERS, 100)));
+    if let Ok(bytes) = std::fs::read(&cache) {
+        if bytes.len() == model.export_len() * 4 {
+            let flat: Vec<f32> = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            model.import_params(&flat);
+            eprintln!("loaded cached DA-GAN from {}", cache.display());
+            return model;
+        }
+    }
+    let gen = SceneGen::default();
+    let held_out: Vec<odin_data::Image> = gen
+        .subset_frames(&mut rng, Subset::Full, args.scaled(600, 100))
+        .into_iter()
+        .map(|f| f.image)
+        .collect();
+    eprintln!("training BDD DA-GAN ({} iterations)...", args.scaled(DAGAN_ITERS, 100));
+    model.train(&mut rng, &held_out, args.scaled(DAGAN_ITERS, 100), 8);
+    let mut bytes = Vec::with_capacity(model.export_len() * 4);
+    for v in model.export_params() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    if std::fs::create_dir_all(cache.parent().expect("cache has a parent")).is_ok() {
+        if let Err(e) = std::fs::write(&cache, bytes) {
+            eprintln!("warning: could not cache DA-GAN: {e}");
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_generate_all_five() {
+        let args = Args { scale: 0.1, ..Args::default() };
+        let b = BddSubsets::generate(&args, 100, 50);
+        assert_eq!(b.splits.len(), 5);
+        assert!(!b.train(Subset::Night).is_empty());
+        assert!(!b.test(Subset::Rain).is_empty());
+    }
+}

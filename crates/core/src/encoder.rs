@@ -1,0 +1,182 @@
+//! The latent-projection interface of DETECTOR.
+//!
+//! ODIN's drift machinery works on low-dimensional latents; the
+//! projection from pixels is pluggable. The paper's projection is the
+//! DA-GAN encoder ([`DaGanEncoder`]); [`HistogramEncoder`] is a cheap
+//! handcrafted-feature alternative used for fast tests and as the
+//! "is a learned projection even necessary?" ablation.
+
+use odin_data::Image;
+use odin_gan::DaGan;
+use odin_tensor::Tensor;
+
+/// Anything that can project an image to a latent vector.
+pub trait LatentEncoder: Send {
+    /// Projects one image.
+    fn project(&mut self, image: &Image) -> Vec<f32>;
+
+    /// Projects a batch (default: one at a time).
+    fn project_batch(&mut self, images: &[&Image]) -> Vec<Vec<f32>> {
+        images.iter().map(|im| self.project(im)).collect()
+    }
+
+    /// Latent dimensionality.
+    fn latent_dim(&self) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's projection: a trained DA-GAN encoder.
+pub struct DaGanEncoder {
+    model: DaGan,
+}
+
+impl DaGanEncoder {
+    /// Wraps a (typically trained) DA-GAN.
+    pub fn new(model: DaGan) -> Self {
+        DaGanEncoder { model }
+    }
+
+    /// Access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut DaGan {
+        &mut self.model
+    }
+}
+
+impl LatentEncoder for DaGanEncoder {
+    fn project(&mut self, image: &Image) -> Vec<f32> {
+        let z = self.model.encode_images(&[image]);
+        z.row(0).into_vec()
+    }
+
+    fn project_batch(&mut self, images: &[&Image]) -> Vec<Vec<f32>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let z = self.model.encode_images(images);
+        (0..images.len()).map(|i| z.row(i).into_vec()).collect()
+    }
+
+    fn latent_dim(&self) -> usize {
+        self.model.config().latent
+    }
+
+    fn name(&self) -> &'static str {
+        "da-gan"
+    }
+}
+
+/// A handcrafted global-appearance descriptor: per-channel means and
+/// standard deviations plus an 8-bin brightness histogram (14 dims for
+/// RGB).
+///
+/// Captures exactly the signals that distinguish BDD conditions
+/// (illumination level, color cast, contrast) without any training; it
+/// cannot capture *content*, which is why the learned DA-GAN projection
+/// is the paper's answer for general drift.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HistogramEncoder;
+
+impl HistogramEncoder {
+    /// Creates the encoder (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Feature dimensionality for a 3-channel image.
+    pub const DIM: usize = 14;
+}
+
+impl LatentEncoder for HistogramEncoder {
+    fn project(&mut self, image: &Image) -> Vec<f32> {
+        let t: Tensor = image.to_tensor();
+        let c = image.channels();
+        let plane = image.height() * image.width();
+        let mut feats = Vec::with_capacity(Self::DIM);
+        // Per-channel mean and std (scaled up so distances are O(1)).
+        for ch in 0..3 {
+            let ch_eff = ch.min(c - 1);
+            let slice = &t.data()[ch_eff * plane..(ch_eff + 1) * plane];
+            let mean: f32 = slice.iter().sum::<f32>() / plane as f32;
+            let var: f32 = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
+            feats.push(mean * 4.0);
+            feats.push(var.sqrt() * 4.0);
+        }
+        // 8-bin global brightness histogram.
+        let mut hist = [0.0f32; 8];
+        for &v in t.data() {
+            let b = ((v * 8.0) as usize).min(7);
+            hist[b] += 1.0;
+        }
+        let n = t.numel() as f32;
+        for h in hist {
+            feats.push(h / n * 8.0);
+        }
+        feats
+    }
+
+    fn latent_dim(&self) -> usize {
+        Self::DIM
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_data::{Condition, SceneGen, TimeOfDay, Weather};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_encoder_dim_matches() {
+        let mut e = HistogramEncoder::new();
+        let img = Image::new(3, 16, 16);
+        let z = e.project(&img);
+        assert_eq!(z.len(), e.latent_dim());
+    }
+
+    #[test]
+    fn histogram_separates_day_and_night() {
+        let mut e = HistogramEncoder::new();
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(0);
+        let day = gen.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day));
+        let day2 = gen.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day));
+        let night = gen.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Night));
+        let zd = e.project(&day.image);
+        let zd2 = e.project(&day2.image);
+        let zn = e.project(&night.image);
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        assert!(
+            dist(&zd, &zn) > 2.0 * dist(&zd, &zd2),
+            "day/night latent distance should dominate day/day"
+        );
+    }
+
+    #[test]
+    fn dagan_encoder_projects_batches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = odin_gan::DaGanConfig { channels: 3, size: 48, latent: 16, width: 4, lr: 1e-3, lambda_r: 0.5, denoise_std: 0.25 };
+        let mut e = DaGanEncoder::new(DaGan::new(cfg, &mut rng));
+        let imgs = vec![Image::new(3, 48, 48); 3];
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let zs = e.project_batch(&refs);
+        assert_eq!(zs.len(), 3);
+        assert_eq!(zs[0].len(), 16);
+        assert_eq!(e.latent_dim(), 16);
+    }
+
+    #[test]
+    fn grayscale_images_are_handled() {
+        let mut e = HistogramEncoder::new();
+        let img = Image::new(1, 8, 8);
+        assert_eq!(e.project(&img).len(), HistogramEncoder::DIM);
+    }
+}

@@ -1,0 +1,63 @@
+//! # odin-core
+//!
+//! The ODIN system (Figure 3 of the paper): automated drift detection
+//! and recovery for video analytics.
+//!
+//! * [`encoder`] — the pluggable pixel→latent projection (DA-GAN per the
+//!   paper, or a handcrafted-feature ablation),
+//! * [`pipeline::Odin`] — the end-to-end system: DETECTOR assigns each
+//!   frame to a latent cluster; on drift, SPECIALIZER trains a model for
+//!   the new cluster; SELECTOR picks the model ensemble per frame,
+//! * [`specializer`] — YoloSpecialized (oracle-trained) and YoloLite
+//!   (teacher-distilled) model generation (§5.1–§5.2),
+//! * [`selector`] — the KNN-U / KNN-W / Δ-BM selection policies (§5.3),
+//! * [`query`] / [`filter`] — aggregation queries and the lightweight
+//!   per-cluster filters of §6.6 (ODIN-PP / ODIN-FILTER),
+//! * [`metrics`] — windowed stream evaluation (Figure 9).
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use odin_core::encoder::HistogramEncoder;
+//! use odin_core::pipeline::{Odin, OdinConfig};
+//! use odin_data::{DriftSchedule, SceneGen};
+//! use odin_detect::Detector;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let teacher = Detector::heavy(48, &mut rng);
+//! let mut odin = Odin::new(
+//!     Box::new(HistogramEncoder::new()),
+//!     teacher,
+//!     OdinConfig::default(),
+//!     0,
+//! );
+//! let gen = SceneGen::new(48);
+//! let stream = DriftSchedule::paper_end_to_end(1000).generate(&gen, &mut rng);
+//! for frame in &stream {
+//!     let result = odin.process(frame);
+//!     if let Some(event) = result.drift {
+//!         println!("drift detected at frame {}", event.at);
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod filter;
+pub mod metrics;
+pub mod pipeline;
+pub mod query;
+pub mod registry;
+pub mod selector;
+pub mod specializer;
+
+pub use encoder::{DaGanEncoder, HistogramEncoder, LatentEncoder};
+pub use filter::BinaryFilter;
+pub use metrics::{mean_map, StreamEvaluator, WindowPoint};
+pub use pipeline::{FrameResult, Odin, OdinConfig, OracleLabels};
+pub use query::{count_accuracy, CountQuery};
+pub use registry::{ClusterModel, ModelKind, ModelRegistry};
+pub use selector::{select, Selection, SelectionPolicy};
+pub use specializer::{Specializer, SpecializerConfig};

@@ -1,0 +1,153 @@
+//! Windowed stream evaluation — the measurement behind Figure 9 and the
+//! end-to-end rows of Tables 6–7.
+
+use odin_data::{Frame, GtBox};
+use odin_detect::{mean_average_precision, Detection, MAP_IOU};
+
+/// One point on the accuracy-over-time curve of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// Stream position at the end of the window.
+    pub at: usize,
+    /// mAP over the window.
+    pub map: f32,
+}
+
+/// Accumulates per-frame detections and ground truth, emitting mAP every
+/// `window` frames.
+pub struct StreamEvaluator {
+    window: usize,
+    dets: Vec<Vec<Detection>>,
+    gts: Vec<Vec<GtBox>>,
+    seen: usize,
+    points: Vec<WindowPoint>,
+}
+
+impl StreamEvaluator {
+    /// Creates an evaluator that reports every `window` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        StreamEvaluator { window, dets: Vec::new(), gts: Vec::new(), seen: 0, points: Vec::new() }
+    }
+
+    /// Records one frame's detections against its ground truth.
+    pub fn record(&mut self, frame: &Frame, detections: Vec<Detection>) {
+        self.dets.push(detections);
+        self.gts.push(frame.boxes.clone());
+        self.seen += 1;
+        if self.dets.len() >= self.window {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.dets.is_empty() {
+            return;
+        }
+        let refs: Vec<&[GtBox]> = self.gts.iter().map(|g| g.as_slice()).collect();
+        let map = mean_average_precision(&self.dets, &refs, MAP_IOU);
+        self.points.push(WindowPoint { at: self.seen, map });
+        self.dets.clear();
+        self.gts.clear();
+    }
+
+    /// Flushes any partial window and returns the curve.
+    pub fn finish(mut self) -> Vec<WindowPoint> {
+        self.flush();
+        self.points
+    }
+
+    /// The curve so far (completed windows only).
+    pub fn points(&self) -> &[WindowPoint] {
+        &self.points
+    }
+}
+
+/// Mean of the mAP curve — a scalar summary for ablation tables.
+pub fn mean_map(points: &[WindowPoint]) -> f32 {
+    if points.is_empty() {
+        0.0
+    } else {
+        points.iter().map(|p| p.map).sum::<f32>() / points.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_data::{Condition, ObjectClass, SceneGen, TimeOfDay, Weather};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame() -> Frame {
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(0);
+        gen.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day))
+    }
+
+    #[test]
+    fn perfect_detections_give_full_map_windows() {
+        let f = frame();
+        let mut ev = StreamEvaluator::new(2);
+        for _ in 0..4 {
+            let dets: Vec<Detection> = f
+                .boxes
+                .iter()
+                .map(|b| Detection { bbox: *b, score: 0.9 })
+                .collect();
+            ev.record(&f, dets);
+        }
+        let pts = ev.finish();
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| (p.map - 1.0).abs() < 1e-5));
+        assert_eq!(pts[0].at, 2);
+        assert_eq!(pts[1].at, 4);
+    }
+
+    #[test]
+    fn empty_detections_give_zero_map() {
+        let f = frame();
+        let mut ev = StreamEvaluator::new(1);
+        ev.record(&f, Vec::new());
+        let pts = ev.finish();
+        assert_eq!(pts[0].map, 0.0);
+    }
+
+    #[test]
+    fn partial_window_is_flushed_on_finish() {
+        let f = frame();
+        let mut ev = StreamEvaluator::new(10);
+        ev.record(&f, Vec::new());
+        let pts = ev.finish();
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn mean_map_averages() {
+        let pts = vec![WindowPoint { at: 1, map: 0.2 }, WindowPoint { at: 2, map: 0.4 }];
+        assert!((mean_map(&pts) - 0.3).abs() < 1e-6);
+        assert_eq!(mean_map(&[]), 0.0);
+    }
+
+    #[test]
+    fn wrong_class_detections_score_zero() {
+        let f = frame();
+        let mut ev = StreamEvaluator::new(1);
+        // Predict everything as the wrong class.
+        let dets: Vec<Detection> = f
+            .boxes
+            .iter()
+            .map(|b| {
+                let wrong = if b.class == ObjectClass::Car { ObjectClass::Sign } else { ObjectClass::Car };
+                Detection { bbox: GtBox { class: wrong, ..*b }, score: 0.9 }
+            })
+            .collect();
+        ev.record(&f, dets);
+        let pts = ev.finish();
+        assert_eq!(pts[0].map, 0.0);
+    }
+}

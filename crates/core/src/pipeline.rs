@@ -1,0 +1,494 @@
+//! The end-to-end ODIN pipeline (Figure 3).
+//!
+//! A frame flows through: ❶ DETECTOR projects it to the latent manifold
+//! and assigns it to a cluster (or the temporary cluster); ❷ on a drift
+//! event SPECIALIZER trains a model for the new cluster (a YoloLite
+//! immediately; a YoloSpecialized when oracle labels are available);
+//! ❸ SELECTOR picks the ensemble of specialized models that runs
+//! inference on the frame. Before any cluster exists, the heavyweight
+//! teacher model serves inference (the static-baseline behaviour).
+
+use odin_data::{Frame, GtBox};
+use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
+use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::encoder::LatentEncoder;
+use crate::registry::{ClusterModel, ModelKind, ModelRegistry};
+use crate::selector::{select, Selection, SelectionPolicy};
+use crate::specializer::{Specializer, SpecializerConfig};
+
+/// How oracle labels become available to SPECIALIZER (§7 discusses this
+/// constraint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleLabels {
+    /// Ground truth is available as soon as a cluster is promoted: a
+    /// YoloSpecialized model is trained immediately.
+    Immediate,
+    /// Labels never arrive: clusters are served by YoloLite models only.
+    Never,
+}
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct OdinConfig {
+    /// DETECTOR clustering configuration.
+    pub manager: ManagerConfig,
+    /// SELECTOR policy.
+    pub policy: SelectionPolicy,
+    /// SPECIALIZER training configuration.
+    pub specializer: SpecializerConfig,
+    /// Oracle-label availability.
+    pub oracle: OracleLabels,
+    /// When true, drift detection and recovery are disabled and every
+    /// frame is served by the heavyweight teacher — the static baseline
+    /// of Figure 1 / Table 7.
+    pub baseline_only: bool,
+    /// Cap on frames buffered for the next specialization run.
+    pub buffer_cap: usize,
+    /// Minimum frames a cluster must accumulate before SPECIALIZER
+    /// trains its model. Promotion usually happens on a few dozen
+    /// outliers; the paper's SPECIALIZER keeps "collect[ing] sufficient
+    /// novel data points" before the model is generated, with SELECTOR
+    /// covering the gap from nearby clusters.
+    pub min_train_frames: usize,
+}
+
+impl Default for OdinConfig {
+    fn default() -> Self {
+        OdinConfig {
+            manager: ManagerConfig::default(),
+            policy: SelectionPolicy::DeltaBand,
+            specializer: SpecializerConfig::default(),
+            oracle: OracleLabels::Immediate,
+            baseline_only: false,
+            buffer_cap: 512,
+            min_train_frames: 120,
+        }
+    }
+}
+
+/// What happened while processing one frame.
+pub struct FrameResult {
+    /// Final (post-NMS) detections for the frame.
+    pub detections: Vec<Detection>,
+    /// DETECTOR's cluster assignment.
+    pub assignment: Assignment,
+    /// A drift event, if this frame triggered a promotion.
+    pub drift: Option<DriftEvent>,
+    /// True if the heavyweight teacher served this frame (no specialized
+    /// model was applicable yet).
+    pub used_teacher: bool,
+    /// The selection SELECTOR produced (empty when the teacher served).
+    pub selection: Selection,
+}
+
+/// The ODIN system.
+pub struct Odin {
+    encoder: Box<dyn LatentEncoder>,
+    manager: ClusterManager,
+    registry: ModelRegistry,
+    specializer: Specializer,
+    teacher: Detector,
+    temp_frames: Vec<Frame>,
+    /// Frames accumulated per promoted-but-not-yet-modeled cluster.
+    pending: std::collections::BTreeMap<usize, Vec<Frame>>,
+    cfg: OdinConfig,
+    seed: u64,
+    model_seq: u64,
+}
+
+impl Odin {
+    /// Builds an ODIN instance from a latent encoder (usually a trained
+    /// DA-GAN) and a heavyweight teacher detector.
+    pub fn new(encoder: Box<dyn LatentEncoder>, teacher: Detector, cfg: OdinConfig, seed: u64) -> Self {
+        Odin {
+            encoder,
+            manager: ClusterManager::new(cfg.manager),
+            registry: ModelRegistry::new(),
+            specializer: Specializer::new(cfg.specializer),
+            teacher,
+            temp_frames: Vec::new(),
+            pending: std::collections::BTreeMap::new(),
+            cfg,
+            seed,
+            model_seq: 0,
+        }
+    }
+
+    /// The drift detector's cluster manager (read access for reporting).
+    pub fn manager(&self) -> &ClusterManager {
+        &self.manager
+    }
+
+    /// The model registry (read/write access for reporting and warm
+    /// starts).
+    pub fn registry_mut(&mut self) -> &mut ModelRegistry {
+        &mut self.registry
+    }
+
+    /// Total model memory currently deployed, in bytes. The baseline
+    /// configuration counts the teacher; ODIN counts its specialized
+    /// models (the teacher is retired from serving once models exist).
+    pub fn memory_bytes(&self) -> usize {
+        if self.cfg.baseline_only || self.registry.is_empty() {
+            self.teacher.param_bytes()
+        } else {
+            self.registry.total_bytes()
+        }
+    }
+
+    /// Processes one frame end-to-end.
+    pub fn process(&mut self, frame: &Frame) -> FrameResult {
+        if self.cfg.baseline_only {
+            return FrameResult {
+                detections: self.teacher.detect(&frame.image),
+                assignment: Assignment::Temporary,
+                drift: None,
+                used_teacher: true,
+                selection: Selection::empty(),
+            };
+        }
+
+        // ❶ DETECTOR: project and cluster.
+        let z = self.encoder.project(&frame.image);
+        let obs = self.manager.observe(&z);
+        match obs.assignment {
+            Assignment::Temporary => {
+                if self.temp_frames.len() < self.cfg.buffer_cap {
+                    self.temp_frames.push(frame.clone());
+                }
+            }
+            Assignment::Cluster(id) => {
+                // A cluster still waiting for its model keeps collecting
+                // training data.
+                if let Some(buf) = self.pending.get_mut(&id) {
+                    if buf.len() < self.cfg.buffer_cap {
+                        buf.push(frame.clone());
+                    }
+                    self.try_train(id);
+                }
+            }
+        }
+
+        // ❷ SPECIALIZER: drift recovery.
+        let mut drift = None;
+        if let Some(new_id) = obs.promoted {
+            drift = Some(*self.manager.events().last().expect("promotion recorded"));
+            let seed_frames = std::mem::take(&mut self.temp_frames);
+            self.pending.insert(new_id, seed_frames);
+            self.try_train(new_id);
+            if let Some(evicted) = obs.evicted {
+                self.registry.remove(evicted);
+                self.pending.remove(&evicted);
+            }
+        }
+
+        // ❸ SELECTOR: pick models and run inference.
+        let (detections, used_teacher, selection) = self.infer(&z, frame);
+        FrameResult { detections, assignment: obs.assignment, drift, used_teacher, selection }
+    }
+
+    /// Trains and registers a cluster's model once it has accumulated
+    /// enough frames (Algorithm 2's `GenerateNewModel`, gated on data
+    /// sufficiency).
+    fn try_train(&mut self, cluster_id: usize) {
+        let ready = self
+            .pending
+            .get(&cluster_id)
+            .is_some_and(|buf| !buf.is_empty() && buf.len() >= self.cfg.min_train_frames);
+        if !ready {
+            return;
+        }
+        let frames = self.pending.remove(&cluster_id).expect("checked above");
+        self.model_seq += 1;
+        let seed = self.seed.wrapping_add(self.model_seq * 7919);
+        let model = match self.cfg.oracle {
+            OracleLabels::Immediate => ClusterModel {
+                detector: self.specializer.build_specialized(seed, &frames),
+                kind: ModelKind::Specialized,
+            },
+            OracleLabels::Never => ClusterModel {
+                detector: self.specializer.build_lite(seed, &mut self.teacher, &frames),
+                kind: ModelKind::Lite,
+            },
+        };
+        self.registry.insert(cluster_id, model);
+    }
+
+    /// Ensemble inference over the selected models; falls back to the
+    /// teacher when no model is applicable.
+    fn infer(&mut self, z: &[f32], frame: &Frame) -> (Vec<Detection>, bool, Selection) {
+        let selection = select_existing(self.cfg.policy, &self.manager, &self.registry, z);
+        if selection.is_empty() {
+            return (self.teacher.detect(&frame.image), true, selection);
+        }
+        let k = selection.models.len() as f32;
+        let mut pool: Vec<Detection> = Vec::new();
+        for &(id, w) in &selection.models {
+            let model = self.registry.get_mut(id).expect("selection filtered to existing models");
+            for mut d in model.detector.detect(&frame.image) {
+                // Rescale so a single selected model keeps its raw scores
+                // and ensemble members compete by weight.
+                d.score = (d.score * w * k).min(1.0);
+                pool.push(d);
+            }
+        }
+        (nms(pool, DEFAULT_NMS_IOU), false, selection)
+    }
+
+    /// Switches the SELECTOR policy (used by the Table-5 experiment to
+    /// compare policies over the same clusters and models).
+    pub fn set_policy(&mut self, policy: SelectionPolicy) {
+        self.cfg.policy = policy;
+    }
+
+    /// Inference without observation: runs SELECTOR + models on a frame
+    /// but does not update DETECTOR's cluster state. Used to evaluate a
+    /// frozen system on held-out data.
+    pub fn infer_only(&mut self, frame: &Frame) -> Vec<Detection> {
+        if self.cfg.baseline_only {
+            return self.teacher.detect(&frame.image);
+        }
+        let z = self.encoder.project(&frame.image);
+        self.infer(&z, frame).0
+    }
+
+    /// Processes a whole stream, returning per-frame results.
+    pub fn process_stream(&mut self, frames: &[Frame]) -> Vec<FrameResult> {
+        frames.iter().map(|f| self.process(f)).collect()
+    }
+
+    /// Convenience: builds a deterministic RNG namespaced to this
+    /// instance (used by warm-start helpers in experiments).
+    pub fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt)
+    }
+
+    /// Pre-registers a model for a cluster id (warm start — used by
+    /// experiments that train specialized models offline, as §6.2's
+    /// cluster bootstrap does).
+    pub fn register_model(&mut self, cluster_id: usize, detector: Detector, kind: ModelKind) {
+        self.registry.insert(cluster_id, ClusterModel { detector, kind });
+    }
+
+    /// Bootstraps DETECTOR's clusters from a training stream without
+    /// running inference (the held-out-subset training of §6.2).
+    pub fn bootstrap_clusters(&mut self, frames: &[Frame]) -> Vec<usize> {
+        let mut promoted = Vec::new();
+        for f in frames {
+            let z = self.encoder.project(&f.image);
+            let obs = self.manager.observe(&z);
+            match obs.assignment {
+                Assignment::Temporary => {
+                    if self.temp_frames.len() < self.cfg.buffer_cap {
+                        self.temp_frames.push(f.clone());
+                    }
+                }
+                Assignment::Cluster(id) => {
+                    if let Some(buf) = self.pending.get_mut(&id) {
+                        if buf.len() < self.cfg.buffer_cap {
+                            buf.push(f.clone());
+                        }
+                        self.try_train(id);
+                    }
+                }
+            }
+            if let Some(id) = obs.promoted {
+                let seed_frames = std::mem::take(&mut self.temp_frames);
+                self.pending.insert(id, seed_frames);
+                self.try_train(id);
+                if let Some(evicted) = obs.evicted {
+                    self.registry.remove(evicted);
+                    self.pending.remove(&evicted);
+                }
+                promoted.push(id);
+            }
+        }
+        promoted
+    }
+
+    /// Projects an image with the pipeline's encoder (for external
+    /// analyses such as Table 2's cluster crosstab).
+    pub fn project(&mut self, frame: &Frame) -> Vec<f32> {
+        self.encoder.project(&frame.image)
+    }
+}
+
+/// Applies the policy, then filters to clusters that actually have a
+/// registered model (a cluster can briefly exist without one when its
+/// buffer was empty).
+fn select_existing(
+    policy: SelectionPolicy,
+    manager: &ClusterManager,
+    registry: &ModelRegistry,
+    z: &[f32],
+) -> Selection {
+    let mut s = select(policy, manager, z);
+    s.models.retain(|(id, _)| registry.kind(*id).is_some());
+    if s.models.is_empty() {
+        return Selection { models: Vec::new(), used_fallback: s.used_fallback };
+    }
+    let total: f32 = s.models.iter().map(|m| m.1).sum();
+    if total > 0.0 {
+        for m in &mut s.models {
+            m.1 /= total;
+        }
+    }
+    s
+}
+
+/// Ground-truth boxes of a frame slice, shaped for mAP evaluation.
+pub fn gt_refs(frames: &[Frame]) -> Vec<&[GtBox]> {
+    frames.iter().map(|f| f.boxes.as_slice()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::HistogramEncoder;
+    use odin_data::{SceneGen, Subset};
+    use odin_detect::DetectorArch;
+
+    fn quick_cfg() -> OdinConfig {
+        OdinConfig {
+            manager: ManagerConfig {
+                min_points: 12,
+                stable_window: 4,
+                kl_eps: 5e-3,
+                hist_hi: 8.0,
+                ..ManagerConfig::default()
+            },
+            specializer: SpecializerConfig {
+                arch: DetectorArch::Small,
+                frame_size: 48,
+                train_iters: 30,
+                distill_iters: 20,
+                batch_size: 4,
+            },
+            min_train_frames: 20,
+            ..OdinConfig::default()
+        }
+    }
+
+    fn new_odin(cfg: OdinConfig) -> Odin {
+        let mut rng = StdRng::seed_from_u64(0);
+        let teacher = Detector::heavy(48, &mut rng);
+        Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 42)
+    }
+
+    #[test]
+    fn baseline_mode_always_uses_teacher() {
+        let cfg = OdinConfig { baseline_only: true, ..quick_cfg() };
+        let mut odin = new_odin(cfg);
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(1);
+        let frames = gen.subset_frames(&mut rng, Subset::Day, 3);
+        for f in &frames {
+            let r = odin.process(f);
+            assert!(r.used_teacher);
+            assert!(r.drift.is_none());
+        }
+        assert_eq!(odin.manager().clusters().len(), 0);
+    }
+
+    #[test]
+    fn drift_is_detected_and_model_trained() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(2);
+        let night = gen.subset_frames(&mut rng, Subset::Night, 60);
+        let results = odin.process_stream(&night);
+        let drifts: Vec<_> = results.iter().filter_map(|r| r.drift).collect();
+        assert!(!drifts.is_empty(), "no drift detected on the first concept");
+        assert!(!odin.registry_mut().is_empty(), "no model trained after promotion");
+        // Later frames should be served by the specialized model.
+        let last = results.last().expect("non-empty stream");
+        assert!(!last.used_teacher, "teacher still serving after recovery");
+    }
+
+    #[test]
+    fn second_concept_adds_second_model() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(3);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        let n1 = odin.registry_mut().len();
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Day, 60));
+        let n2 = odin.registry_mut().len();
+        assert!(n2 > n1, "day concept did not produce a new model ({n1} -> {n2})");
+    }
+
+    #[test]
+    fn lite_models_when_labels_never_arrive() {
+        let cfg = OdinConfig { oracle: OracleLabels::Never, ..quick_cfg() };
+        let mut odin = new_odin(cfg);
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(4);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        let ids = odin.registry_mut().ids();
+        assert!(!ids.is_empty());
+        for id in ids {
+            assert_eq!(odin.registry_mut().kind(id), Some(ModelKind::Lite));
+        }
+    }
+
+    #[test]
+    fn memory_shrinks_after_recovery() {
+        let mut odin = new_odin(quick_cfg());
+        let baseline_mem = odin.memory_bytes();
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(5);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        assert!(
+            odin.memory_bytes() < baseline_mem,
+            "specialized models should be smaller than the teacher"
+        );
+    }
+
+    #[test]
+    fn infer_only_does_not_mutate_clusters() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(7);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        let clusters = odin.manager().clusters().len();
+        let seen = odin.manager().seen();
+        let frames = gen.subset_frames(&mut rng, Subset::Day, 10);
+        for f in &frames {
+            let _ = odin.infer_only(f);
+        }
+        assert_eq!(odin.manager().clusters().len(), clusters);
+        assert_eq!(odin.manager().seen(), seen, "infer_only must not observe");
+    }
+
+    #[test]
+    fn set_policy_changes_selection_behaviour() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(8);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Day, 60));
+        if odin.registry_mut().len() < 2 {
+            return; // fixture didn't split; covered by other tests
+        }
+        let frame = &gen.subset_frames(&mut rng, Subset::Night, 1)[0];
+        odin.set_policy(crate::selector::SelectionPolicy::MostRecent);
+        let r1 = odin.process(frame);
+        assert!(r1.selection.models.len() <= 1);
+        odin.set_policy(crate::selector::SelectionPolicy::KnnUnweighted(4));
+        let r2 = odin.process(frame);
+        assert!(r2.selection.models.len() >= r1.selection.models.len());
+    }
+
+    #[test]
+    fn bootstrap_reports_promotions() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(6);
+        let promoted = odin.bootstrap_clusters(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        assert!(!promoted.is_empty());
+        assert_eq!(promoted.len(), odin.manager().events().len());
+    }
+}

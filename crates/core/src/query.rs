@@ -1,0 +1,112 @@
+//! Aggregation queries over video (§6.6).
+//!
+//! The canonical query is `SELECT COUNT(detections) FROM bdd USING MODEL
+//! yolo_specialized WHERE class='car'`: per frame, count the detected
+//! objects of a class. Query accuracy compares predicted counts against
+//! ground truth.
+
+use odin_data::{Frame, ObjectClass};
+use odin_detect::Detection;
+
+/// A COUNT(*) aggregation over one object class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountQuery {
+    /// The class being counted (the `WHERE class=` predicate).
+    pub class: ObjectClass,
+}
+
+impl CountQuery {
+    /// Creates a count query for a class.
+    pub fn new(class: ObjectClass) -> Self {
+        CountQuery { class }
+    }
+
+    /// Evaluates the query on one frame's detections.
+    pub fn count(&self, detections: &[Detection]) -> usize {
+        detections.iter().filter(|d| d.bbox.class == self.class).count()
+    }
+
+    /// The ground-truth answer for a frame.
+    pub fn ground_truth(&self, frame: &Frame) -> usize {
+        frame.boxes.iter().filter(|b| b.class == self.class).count()
+    }
+}
+
+/// Per-frame relative count accuracy, averaged over the stream:
+/// `mean(1 − |pred − true| / max(pred, true, 1))`.
+///
+/// This symmetric relative-error form is 1.0 for exact counts, degrades
+/// gracefully with both over- and under-counting, and never goes below 0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn count_accuracy(predicted: &[usize], actual: &[usize]) -> f32 {
+    assert_eq!(predicted.len(), actual.len(), "count vector length mismatch");
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let total: f32 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(&p, &t)| {
+            let denom = p.max(t).max(1) as f32;
+            1.0 - (p as f32 - t as f32).abs() / denom
+        })
+        .sum();
+    total / predicted.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_data::GtBox;
+
+    fn det(class: ObjectClass) -> Detection {
+        Detection {
+            bbox: GtBox { class, x: 0.0, y: 0.0, w: 5.0, h: 5.0 },
+            score: 0.9,
+        }
+    }
+
+    #[test]
+    fn count_filters_by_class() {
+        let q = CountQuery::new(ObjectClass::Car);
+        let dets = vec![det(ObjectClass::Car), det(ObjectClass::Truck), det(ObjectClass::Car)];
+        assert_eq!(q.count(&dets), 2);
+    }
+
+    #[test]
+    fn exact_counts_are_perfect() {
+        assert_eq!(count_accuracy(&[2, 3, 0], &[2, 3, 0]), 1.0);
+    }
+
+    #[test]
+    fn overcounting_and_undercounting_penalized_symmetrically() {
+        let over = count_accuracy(&[4], &[2]);
+        let under = count_accuracy(&[2], &[4]);
+        assert!((over - under).abs() < 1e-6);
+        assert!(over < 1.0);
+    }
+
+    #[test]
+    fn zero_vs_zero_is_exact() {
+        assert_eq!(count_accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn completely_wrong_is_zero() {
+        assert_eq!(count_accuracy(&[5], &[0]), 0.0);
+    }
+
+    #[test]
+    fn empty_streams_are_vacuously_perfect() {
+        assert_eq!(count_accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = count_accuracy(&[1], &[1, 2]);
+    }
+}

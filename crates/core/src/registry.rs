@@ -1,0 +1,134 @@
+//! The model registry inside MODELMANAGER: one detector per cluster.
+
+use std::collections::BTreeMap;
+
+use odin_detect::Detector;
+
+/// What kind of model currently serves a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Distilled from the teacher's outputs (no oracle labels).
+    Lite,
+    /// Trained from scratch on oracle labels.
+    Specialized,
+}
+
+/// A cluster's model plus its provenance.
+pub struct ClusterModel {
+    /// The detector serving this cluster.
+    pub detector: Detector,
+    /// Lite or Specialized.
+    pub kind: ModelKind,
+}
+
+/// Maps cluster ids to their models. Deterministic iteration order
+/// (BTreeMap) keeps experiment output stable.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<usize, ClusterModel>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Registers (or replaces) the model for a cluster. Replacement is
+    /// how a YoloLite model is upgraded to YoloSpecialized once oracle
+    /// labels arrive (§5.2).
+    pub fn insert(&mut self, cluster_id: usize, model: ClusterModel) {
+        self.models.insert(cluster_id, model);
+    }
+
+    /// Removes a cluster's model (e.g. after eviction).
+    pub fn remove(&mut self, cluster_id: usize) -> Option<ClusterModel> {
+        self.models.remove(&cluster_id)
+    }
+
+    /// The model for a cluster.
+    pub fn get_mut(&mut self, cluster_id: usize) -> Option<&mut ClusterModel> {
+        self.models.get_mut(&cluster_id)
+    }
+
+    /// The kind of model serving a cluster.
+    pub fn kind(&self, cluster_id: usize) -> Option<ModelKind> {
+        self.models.get(&cluster_id).map(|m| m.kind)
+    }
+
+    /// Registered cluster ids, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        self.models.keys().copied().collect()
+    }
+
+    /// Combined memory footprint of all registered models in bytes —
+    /// ODIN's "memory footprint" in Figure 1 / Table 7.
+    pub fn total_bytes(&self) -> usize {
+        self.models.values().map(|m| m.detector.param_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small(rng: &mut StdRng) -> Detector {
+        Detector::small(48, rng)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut r = ModelRegistry::new();
+        assert!(r.is_empty());
+        r.insert(3, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.kind(3), Some(ModelKind::Lite));
+        assert!(r.get_mut(3).is_some());
+        assert!(r.remove(3).is_some());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn replacement_upgrades_lite_to_specialized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = ModelRegistry::new();
+        r.insert(0, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        r.insert(0, ClusterModel { detector: small(&mut rng), kind: ModelKind::Specialized });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.kind(0), Some(ModelKind::Specialized));
+    }
+
+    #[test]
+    fn total_bytes_sums_models() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = ModelRegistry::new();
+        let d = small(&mut rng);
+        let per = d.param_bytes();
+        r.insert(0, ClusterModel { detector: d, kind: ModelKind::Lite });
+        r.insert(1, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        assert_eq!(r.total_bytes(), 2 * per);
+    }
+
+    #[test]
+    fn ids_are_sorted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = ModelRegistry::new();
+        for id in [5, 1, 3] {
+            r.insert(id, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        }
+        assert_eq!(r.ids(), vec![1, 3, 5]);
+    }
+}

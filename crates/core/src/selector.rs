@@ -1,0 +1,201 @@
+//! SELECTOR — model-ensemble selection policies (§5.3).
+//!
+//! Given a projected input and the current cluster state, SELECTOR picks
+//! which specialized models process it and with what weights:
+//!
+//! * **KNN-U** — the k nearest clusters by centroid distance, equal
+//!   weights,
+//! * **KNN-W** — same clusters, weights inversely proportional to
+//!   distance (Equation 8),
+//! * **Δ-BM** — every cluster whose Δ-band contains the point (equal
+//!   weights); falls back to KNN-W when no band matches,
+//! * **MostRecent** — the ablation policy of Table 7 (−SELECTOR): always
+//!   the newest model.
+
+use odin_drift::ClusterManager;
+use serde::{Deserialize, Serialize};
+
+/// A model-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// k nearest clusters, unweighted.
+    KnnUnweighted(usize),
+    /// k nearest clusters, distance-weighted (Equation 8).
+    KnnWeighted(usize),
+    /// Clusters whose Δ-band contains the point; KNN-W fallback.
+    DeltaBand,
+    /// Always the most recently created cluster's model (the −SELECTOR
+    /// ablation).
+    MostRecent,
+}
+
+/// A weighted choice of cluster models. Weights sum to 1 when non-empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// `(cluster_id, weight)` pairs, highest weight first.
+    pub models: Vec<(usize, f32)>,
+    /// True when Δ-BM fell back to KNN-W (the point was outside every
+    /// band — 8% of images in the paper's BDD run).
+    pub used_fallback: bool,
+}
+
+impl Selection {
+    /// An empty selection (no clusters exist yet).
+    pub fn empty() -> Self {
+        Selection { models: Vec::new(), used_fallback: false }
+    }
+
+    /// True if no model was selected.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// Applies a policy to a projected point.
+pub fn select(policy: SelectionPolicy, manager: &ClusterManager, z: &[f32]) -> Selection {
+    let mut distances = manager.distances(z);
+    if distances.is_empty() {
+        return Selection::empty();
+    }
+    distances.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    match policy {
+        SelectionPolicy::KnnUnweighted(k) => {
+            let k = k.max(1).min(distances.len());
+            let w = 1.0 / k as f32;
+            Selection {
+                models: distances[..k].iter().map(|&(id, _)| (id, w)).collect(),
+                used_fallback: false,
+            }
+        }
+        SelectionPolicy::KnnWeighted(k) => knn_weighted(&distances, k),
+        SelectionPolicy::DeltaBand => {
+            let mut hits: Vec<(usize, f32)> = Vec::new();
+            for c in manager.clusters() {
+                let d = c.distance_to(z);
+                if c.band().contains(d) {
+                    hits.push((c.id(), 0.0));
+                }
+            }
+            if hits.is_empty() {
+                let mut s = knn_weighted(&distances, 3);
+                s.used_fallback = true;
+                return s;
+            }
+            // Paper: overlapping bands share the input with equal weights.
+            let w = 1.0 / hits.len() as f32;
+            for h in &mut hits {
+                h.1 = w;
+            }
+            Selection { models: hits, used_fallback: false }
+        }
+        SelectionPolicy::MostRecent => {
+            let id = manager
+                .clusters()
+                .iter()
+                .map(|c| c.id())
+                .max()
+                .expect("non-empty cluster list");
+            Selection { models: vec![(id, 1.0)], used_fallback: false }
+        }
+    }
+}
+
+/// Equation 8: weights inversely proportional to distance, normalized by
+/// the farthest selected cluster.
+fn knn_weighted(sorted_distances: &[(usize, f32)], k: usize) -> Selection {
+    let k = k.max(1).min(sorted_distances.len());
+    let nearest = &sorted_distances[..k];
+    let dmax = nearest.last().expect("k >= 1").1.max(1e-6);
+    let inv: Vec<f32> = nearest.iter().map(|&(_, d)| dmax / d.max(1e-6)).collect();
+    let total: f32 = inv.iter().sum();
+    let mut models: Vec<(usize, f32)> = nearest
+        .iter()
+        .zip(inv.iter())
+        .map(|(&(id, _), &w)| (id, w / total))
+        .collect();
+    models.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+    Selection { models, used_fallback: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_drift::ManagerConfig;
+
+    fn manager_with_two_clusters() -> ClusterManager {
+        let cfg = ManagerConfig { min_points: 15, stable_window: 4, kl_eps: 5e-3, ..ManagerConfig::default() };
+        let mut m = ClusterManager::new(cfg);
+        let mk = |center: f32, salt: usize, n: usize| -> Vec<Vec<f32>> {
+            (0..n)
+                .map(|i| (0..6).map(|j| center + ((i * 7 + j * 13 + salt) as f32).sin()).collect())
+                .collect()
+        };
+        m.bootstrap(&mk(0.0, 0, 80));
+        m.bootstrap(&mk(8.0, 1, 80));
+        assert_eq!(m.clusters().len(), 2, "fixture should build two clusters");
+        m
+    }
+
+    #[test]
+    fn knn_u_weights_are_uniform() {
+        let m = manager_with_two_clusters();
+        let s = select(SelectionPolicy::KnnUnweighted(2), &m, &[0.0; 6]);
+        assert_eq!(s.models.len(), 2);
+        assert!((s.models[0].1 - 0.5).abs() < 1e-6);
+        assert!((s.models[1].1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knn_w_prefers_nearer_cluster() {
+        let m = manager_with_two_clusters();
+        let s = select(SelectionPolicy::KnnWeighted(2), &m, &[0.5; 6]);
+        assert_eq!(s.models.len(), 2);
+        assert_eq!(s.models[0].0, 0, "cluster 0 is nearer to the probe");
+        assert!(s.models[0].1 > s.models[1].1);
+        let total: f32 = s.models.iter().map(|m| m.1).sum();
+        assert!((total - 1.0).abs() < 1e-5, "weights must normalize");
+    }
+
+    #[test]
+    fn delta_band_falls_back_outside_all_bands() {
+        let m = manager_with_two_clusters();
+        // A point far from both clusters: outside every band.
+        let s = select(SelectionPolicy::DeltaBand, &m, &[100.0; 6]);
+        assert!(s.used_fallback);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn delta_band_uses_band_membership_when_available() {
+        let m = manager_with_two_clusters();
+        // A typical member of cluster 1 (on its shell).
+        let probe: Vec<f32> = (0..6).map(|j| 8.0 + ((3 * 7 + j * 13 + 1) as f32).sin()).collect();
+        let s = select(SelectionPolicy::DeltaBand, &m, &probe);
+        if !s.used_fallback {
+            assert!(s.models.iter().any(|&(id, _)| id == 1));
+            let total: f32 = s.models.iter().map(|m| m.1).sum();
+            assert!((total - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn most_recent_picks_newest_cluster() {
+        let m = manager_with_two_clusters();
+        let s = select(SelectionPolicy::MostRecent, &m, &[0.0; 6]);
+        assert_eq!(s.models, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn empty_manager_gives_empty_selection() {
+        let m = ClusterManager::new(ManagerConfig::default());
+        let s = select(SelectionPolicy::KnnWeighted(3), &m, &[0.0; 6]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_cluster_count_is_clamped() {
+        let m = manager_with_two_clusters();
+        let s = select(SelectionPolicy::KnnUnweighted(10), &m, &[0.0; 6]);
+        assert_eq!(s.models.len(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! SPECIALIZER — per-cluster model generation (§5.1–§5.2, Algorithm 2).
+//!
+//! When DETECTOR promotes a new cluster, SPECIALIZER builds models for
+//! it:
+//!
+//! 1. immediately, a **YoloLite** model distilled from the heavyweight
+//!    teacher's outputs on the cluster's frames (no oracle labels
+//!    needed), and
+//! 2. once oracle labels are available, a **YoloSpecialized** model
+//!    trained from scratch on those labels, which replaces the lite
+//!    model.
+
+use odin_data::Frame;
+use odin_detect::{Detector, DetectorArch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of SPECIALIZER's training runs.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecializerConfig {
+    /// Architecture of the generated models (Small for the paper's
+    /// YoloSpecialized/YoloLite; Heavy reproduces the ODIN-HEAVY variant
+    /// of Table 6).
+    pub arch: DetectorArch,
+    /// Frame side length.
+    pub frame_size: usize,
+    /// Oracle-training iterations for specialized models.
+    pub train_iters: usize,
+    /// Distillation iterations for lite models.
+    pub distill_iters: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for SpecializerConfig {
+    fn default() -> Self {
+        SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 700,
+            distill_iters: 500,
+            batch_size: 8,
+        }
+    }
+}
+
+/// Per-cluster model builder.
+#[derive(Debug, Clone, Copy)]
+pub struct Specializer {
+    cfg: SpecializerConfig,
+}
+
+impl Specializer {
+    /// Creates a specializer.
+    pub fn new(cfg: SpecializerConfig) -> Self {
+        Specializer { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SpecializerConfig {
+        &self.cfg
+    }
+
+    fn fresh(&self, rng: &mut StdRng) -> Detector {
+        match self.cfg.arch {
+            DetectorArch::Heavy => Detector::heavy(self.cfg.frame_size, rng),
+            DetectorArch::Small => Detector::small(self.cfg.frame_size, rng),
+        }
+    }
+
+    /// Trains a YoloSpecialized model from scratch on the cluster's
+    /// frames with oracle labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn build_specialized(&self, seed: u64, frames: &[Frame]) -> Detector {
+        assert!(!frames.is_empty(), "cannot specialize on zero frames");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = self.fresh(&mut rng);
+        model.train_oracle(&mut rng, frames, self.cfg.train_iters, self.cfg.batch_size);
+        model
+    }
+
+    /// Trains a YoloLite model by distilling the teacher's outputs on the
+    /// cluster's frames — deployable before any oracle label exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn build_lite(&self, seed: u64, teacher: &mut Detector, frames: &[Frame]) -> Detector {
+        assert!(!frames.is_empty(), "cannot distill on zero frames");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = self.fresh(&mut rng);
+        model.train_distill(&mut rng, teacher, frames, self.cfg.distill_iters, self.cfg.batch_size);
+        model
+    }
+
+    /// Balanced subsampling: caps each cluster's training set at the size
+    /// of the smallest, as §6.3 does to control for class imbalance when
+    /// comparing cross-subset accuracy (Table 3).
+    pub fn balanced_subsets<'a>(frame_sets: &[&'a [Frame]], seed: u64) -> Vec<Vec<&'a Frame>> {
+        let min = frame_sets.iter().map(|s| s.len()).min().unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        frame_sets
+            .iter()
+            .map(|set| {
+                let mut idx: Vec<usize> = (0..set.len()).collect();
+                for i in (1..idx.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    idx.swap(i, j);
+                }
+                idx.truncate(min);
+                idx.into_iter().map(|i| &set[i]).collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_data::{SceneGen, Subset};
+
+    fn quick_cfg() -> SpecializerConfig {
+        SpecializerConfig { train_iters: 40, distill_iters: 30, ..SpecializerConfig::default() }
+    }
+
+    #[test]
+    fn specialized_model_is_deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gen = SceneGen::new(48);
+        let frames = gen.subset_frames(&mut rng, Subset::Day, 10);
+        let sp = Specializer::new(quick_cfg());
+        let a = sp.build_specialized(7, &frames);
+        let b = sp.build_specialized(7, &frames);
+        assert_eq!(a.export_params(), b.export_params());
+    }
+
+    #[test]
+    fn lite_model_uses_small_arch_by_default() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = SceneGen::new(48);
+        let frames = gen.subset_frames(&mut rng, Subset::Day, 10);
+        let sp = Specializer::new(quick_cfg());
+        let mut teacher = Detector::small(48, &mut rng);
+        let lite = sp.build_lite(3, &mut teacher, &frames);
+        assert_eq!(lite.arch(), DetectorArch::Small);
+    }
+
+    #[test]
+    fn heavy_arch_builds_heavy_models() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gen = SceneGen::new(48);
+        let frames = gen.subset_frames(&mut rng, Subset::Day, 8);
+        let cfg = SpecializerConfig { arch: DetectorArch::Heavy, train_iters: 5, ..quick_cfg() };
+        let sp = Specializer::new(cfg);
+        let m = sp.build_specialized(0, &frames);
+        assert_eq!(m.arch(), DetectorArch::Heavy);
+    }
+
+    #[test]
+    fn balanced_subsets_equalize_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = SceneGen::new(48);
+        let a = gen.subset_frames(&mut rng, Subset::Day, 12);
+        let b = gen.subset_frames(&mut rng, Subset::Night, 5);
+        let balanced = Specializer::balanced_subsets(&[&a, &b], 0);
+        assert_eq!(balanced[0].len(), 5);
+        assert_eq!(balanced[1].len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot specialize on zero frames")]
+    fn empty_frames_panic() {
+        let sp = Specializer::new(quick_cfg());
+        let _ = sp.build_specialized(0, &[]);
+    }
+}

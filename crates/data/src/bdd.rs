@@ -1,0 +1,655 @@
+//! The BDD-sim scene generator.
+//!
+//! Renders dashcam-like frames with controllable weather, time of day, and
+//! location, plus ground-truth bounding boxes for five object classes.
+//! This is the substitution for the Berkeley DeepDrive dataset: the
+//! conditions induce exactly the kind of global appearance shift (P(X)
+//! drift) that ODIN's DETECTOR must discover, and the boxes give the
+//! oracle labels that SPECIALIZER consumes.
+//!
+//! Rendering order matters for realism: sky → ground/road → objects →
+//! night dimming → light sources (drawn *after* dimming so they stay
+//! bright) → weather post-effects (rain streaks, snow speckle, fog wash)
+//! → sensor noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::condition::{Condition, Location, Subset, TimeOfDay, Weather};
+use crate::image::Image;
+
+/// The object classes BDD-sim annotates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// Passenger car.
+    Car,
+    /// Truck (larger box).
+    Truck,
+    /// Pedestrian.
+    Person,
+    /// Traffic light on a pole.
+    TrafficLight,
+    /// Road sign on a pole.
+    Sign,
+}
+
+impl ObjectClass {
+    /// All classes, in label-index order.
+    pub const ALL: [ObjectClass; 5] = [
+        ObjectClass::Car,
+        ObjectClass::Truck,
+        ObjectClass::Person,
+        ObjectClass::TrafficLight,
+        ObjectClass::Sign,
+    ];
+
+    /// Stable integer id (0-based).
+    pub fn index(&self) -> usize {
+        match self {
+            ObjectClass::Car => 0,
+            ObjectClass::Truck => 1,
+            ObjectClass::Person => 2,
+            ObjectClass::TrafficLight => 3,
+            ObjectClass::Sign => 4,
+        }
+    }
+
+    /// Class from its integer id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 5`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Printable name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Truck => "truck",
+            ObjectClass::Person => "person",
+            ObjectClass::TrafficLight => "traffic-light",
+            ObjectClass::Sign => "sign",
+        }
+    }
+}
+
+/// Number of object classes.
+pub const NUM_CLASSES: usize = 5;
+
+/// An axis-aligned ground-truth box in pixel coordinates (top-left
+/// origin).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GtBox {
+    /// Object class.
+    pub class: ObjectClass,
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+}
+
+impl GtBox {
+    /// Box center `(cx, cy)`.
+    pub fn center(&self) -> (f32, f32) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.w * self.h
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &GtBox) -> f32 {
+        let x1 = self.x.max(other.x);
+        let y1 = self.y.max(other.y);
+        let x2 = (self.x + self.w).min(other.x + other.w);
+        let y2 = (self.y + self.h).min(other.y + other.h);
+        let inter = (x2 - x1).max(0.0) * (y2 - y1).max(0.0);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// A rendered frame: pixels, ground truth, and its (hidden) condition tag.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// RGB pixels.
+    pub image: Image,
+    /// Ground-truth boxes (the "oracle labels").
+    pub boxes: Vec<GtBox>,
+    /// The environmental condition the frame was rendered under. ODIN
+    /// never reads this during detection; it exists for evaluation.
+    pub cond: Condition,
+}
+
+/// The scene generator. Frames are square, `size`×`size` RGB.
+#[derive(Debug, Clone, Copy)]
+pub struct SceneGen {
+    size: usize,
+}
+
+/// Default frame side length used throughout the experiments.
+pub const DEFAULT_FRAME_SIZE: usize = 48;
+
+impl Default for SceneGen {
+    fn default() -> Self {
+        SceneGen { size: DEFAULT_FRAME_SIZE }
+    }
+}
+
+impl SceneGen {
+    /// Creates a generator for `size`×`size` frames (minimum 32).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 32, "frame size must be at least 32, got {size}");
+        SceneGen { size }
+    }
+
+    /// Frame side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Renders one frame under the given condition (objects and
+    /// background sampled fresh).
+    pub fn frame(&self, rng: &mut StdRng, cond: Condition) -> Frame {
+        let n_objects = match cond.location {
+            Location::City => rng.gen_range(2..=5),
+            Location::Residential => rng.gen_range(1..=4),
+            Location::Highway => rng.gen_range(1..=4),
+            Location::Other => rng.gen_range(1..=3),
+        };
+        let specs: Vec<ObjectSpec> =
+            (0..n_objects).map(|_| self.sample_spec(rng, cond.location)).collect();
+        let bg_seed = rng.gen();
+        self.frame_with_specs(bg_seed, rng, cond, &specs)
+    }
+
+    /// Samples a persistent object description (used directly by
+    /// [`SceneGen::frame`], and across frames by `video::ClipGen`).
+    pub fn sample_spec(&self, rng: &mut StdRng, location: Location) -> ObjectSpec {
+        ObjectSpec {
+            class: sample_class(rng, location),
+            depth: rng.gen_range(0.3..0.95),
+            x_frac: rng.gen_range(0.0..1.0),
+            color: rng.gen_range(0..16),
+            flag: rng.gen_bool(0.5),
+        }
+    }
+
+    /// Renders a frame with an explicit object list. `bg_seed` fixes the
+    /// background (buildings) so consecutive video frames share scenery;
+    /// `rng` drives the per-frame effects (rain streaks, snow, noise).
+    pub fn frame_with_specs(
+        &self,
+        bg_seed: u64,
+        rng: &mut StdRng,
+        cond: Condition,
+        specs: &[ObjectSpec],
+    ) -> Frame {
+        let s = self.size;
+        let sf = s as f32;
+        let mut img = Image::new(3, s, s);
+        let horizon = s / 2;
+        let mut bg_rng = StdRng::seed_from_u64(bg_seed);
+
+        // --- Sky ---
+        let (sky_top, sky_bot) = sky_colors(&cond);
+        img.vertical_gradient(horizon, sky_top, sky_bot);
+
+        // --- Ground & road ---
+        let ground = ground_color(&cond);
+        img.fill_rect(horizon as isize, 0, s - horizon, s, ground);
+        let road = road_color(&cond);
+        // Road trapezoid: widens toward the bottom.
+        for y in horizon..s {
+            let f = (y - horizon) as f32 / (s - horizon) as f32;
+            let half_w = sf * (0.08 + 0.38 * f);
+            let cx = sf / 2.0;
+            let x0 = (cx - half_w).max(0.0) as usize;
+            let x1 = ((cx + half_w) as usize).min(s - 1);
+            for x in x0..=x1 {
+                img.set_rgb(y, x, road);
+            }
+        }
+        // Dashed center line.
+        let line_color = if cond.time == TimeOfDay::Night { [0.45, 0.45, 0.35] } else { [0.85, 0.85, 0.6] };
+        for y in (horizon + 2..s).step_by(4) {
+            img.fill_rect(y as isize, (s / 2) as isize, 2, 1, line_color);
+        }
+
+        // --- Location flavour (mild, intentionally weak signal) ---
+        match cond.location {
+            Location::City => {
+                // Building silhouettes on the skyline.
+                let b = building_color(&cond);
+                let mut x = 0isize;
+                while x < s as isize {
+                    let w = bg_rng.gen_range(4..9);
+                    let h = bg_rng.gen_range(4..horizon as i32 / 2 + 4) as usize;
+                    img.fill_rect(horizon as isize - h as isize, x, h, w, b);
+                    x += w as isize + bg_rng.gen_range(0..3);
+                }
+            }
+            Location::Residential => {
+                let b = building_color(&cond);
+                for _ in 0..3 {
+                    let w = bg_rng.gen_range(5..9);
+                    let h = bg_rng.gen_range(3..6);
+                    let x = bg_rng.gen_range(0..s - w);
+                    img.fill_rect(horizon as isize - h as isize, x as isize, h, w, b);
+                }
+            }
+            Location::Highway | Location::Other => {}
+        }
+
+        // --- Objects ---
+        let mut boxes = Vec::new();
+        let mut lights: Vec<LightSpot> = Vec::new();
+        for spec in specs {
+            if let Some(gt) = self.draw_object(&mut img, spec, &cond, &mut lights) {
+                boxes.push(gt);
+            }
+        }
+
+        // --- Time-of-day dimming ---
+        match cond.time {
+            TimeOfDay::Day => {}
+            TimeOfDay::Dawn => img.scale_brightness(0.62),
+            TimeOfDay::Night => img.scale_brightness(0.22),
+        }
+
+        // --- Light sources stay bright after dimming ---
+        for spot in &lights {
+            img.fill_rect(spot.y, spot.x, spot.h, spot.w, spot.rgb);
+        }
+
+        // --- Weather post-effects ---
+        match cond.weather {
+            Weather::Clear => {}
+            Weather::Overcast => img.wash([0.5, 0.5, 0.52], 0.12),
+            Weather::Rainy => {
+                img.wash([0.3, 0.33, 0.4], 0.22);
+                for _ in 0..s {
+                    let x = rng.gen_range(0..s);
+                    let y = rng.gen_range(0..s.saturating_sub(4));
+                    let len = rng.gen_range(2..5);
+                    for dy in 0..len {
+                        img.blend_rgb(y + dy, x, [0.75, 0.78, 0.85], 0.35);
+                    }
+                }
+            }
+            Weather::Snowy => {
+                for _ in 0..s * 2 {
+                    let x = rng.gen_range(0..s);
+                    let y = rng.gen_range(0..s);
+                    img.blend_rgb(y, x, [0.95, 0.95, 0.97], 0.85);
+                }
+            }
+            Weather::Foggy => img.wash([0.68, 0.68, 0.7], 0.5),
+        }
+
+        // --- Sensor noise ---
+        for y in 0..s {
+            for x in 0..s {
+                for c in 0..3 {
+                    let n: f32 = rng.gen_range(-0.03..0.03);
+                    let v = img.get(c, y, x) + n;
+                    img.set(c, y, x, v);
+                }
+            }
+        }
+
+        Frame { image: img, boxes, cond }
+    }
+
+    /// Renders `n` frames sampled from a subset's condition mixture.
+    pub fn subset_frames(&self, rng: &mut StdRng, subset: Subset, n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|_| {
+                let cond = subset.sample_condition(rng);
+                self.frame(rng, cond)
+            })
+            .collect()
+    }
+
+    fn draw_object(
+        &self,
+        img: &mut Image,
+        spec: &ObjectSpec,
+        cond: &Condition,
+        lights: &mut Vec<LightSpot>,
+    ) -> Option<GtBox> {
+        let s = self.size;
+        let sf = s as f32;
+        let horizon = s / 2;
+        let night = cond.time == TimeOfDay::Night;
+        let class = spec.class;
+        let depth = spec.depth;
+        let base_y = horizon as f32 + depth * (sf - horizon as f32) * 0.9;
+        match class {
+            ObjectClass::Car | ObjectClass::Truck => {
+                let scale = 0.5 + 0.7 * depth;
+                let (bw, bh) = if class == ObjectClass::Car {
+                    ((sf * 0.3 * scale) as usize, (sf * 0.17 * scale) as usize)
+                } else {
+                    ((sf * 0.34 * scale) as usize, (sf * 0.26 * scale) as usize)
+                };
+                let (bw, bh) = (bw.max(5), bh.max(4));
+                let x = (spec.x_frac * (s.saturating_sub(bw).max(1)) as f32) as isize;
+                let y = (base_y as usize).min(s - bh) as isize - bh as isize / 2;
+                let body = if night {
+                    [0.07, 0.07, 0.09]
+                } else {
+                    let palette = [
+                        [0.75, 0.1, 0.1],
+                        [0.85, 0.85, 0.88],
+                        [0.12, 0.12, 0.16],
+                        [0.15, 0.3, 0.65],
+                        [0.6, 0.6, 0.62],
+                    ];
+                    palette[spec.color % palette.len()]
+                };
+                img.fill_rect(y, x, bh, bw, body);
+                // Windows: darker band on the upper third.
+                img.fill_rect(y, x + 1, (bh / 3).max(1), bw.saturating_sub(2), [0.05, 0.08, 0.1]);
+                // Wheels.
+                let wheel_y = y + bh as isize - 1;
+                img.fill_rect(wheel_y, x, 1, 2, [0.02, 0.02, 0.02]);
+                img.fill_rect(wheel_y, x + bw as isize - 2, 1, 2, [0.02, 0.02, 0.02]);
+                if night {
+                    // Headlights / taillights persist through dimming.
+                    let ly = y + bh as isize / 2;
+                    let color = if spec.flag { [1.0, 0.95, 0.7] } else { [0.9, 0.1, 0.1] };
+                    lights.push(LightSpot { y: ly, x, h: 1, w: 1, rgb: color });
+                    lights.push(LightSpot { y: ly, x: x + bw as isize - 1, h: 1, w: 1, rgb: color });
+                }
+                Some(GtBox { class, x: x as f32, y: y as f32, w: bw as f32, h: bh as f32 })
+            }
+            ObjectClass::Person => {
+                let scale = 0.5 + 0.7 * depth;
+                let bh = ((sf * 0.24 * scale) as usize).max(7);
+                let bw = (bh / 2).max(3);
+                let x = (spec.x_frac * (s.saturating_sub(bw).max(1)) as f32) as isize;
+                let y = (base_y as usize).min(s - bh) as isize - bh as isize;
+                let coat = if night { [0.06, 0.06, 0.07] } else { [0.5, 0.25, 0.2] };
+                img.fill_rect(y + (bh / 4) as isize, x, bh - bh / 4, bw, coat);
+                // Head.
+                img.fill_rect(y, x, (bh / 4).max(1), bw, if night { [0.08, 0.07, 0.06] } else { [0.85, 0.7, 0.55] });
+                Some(GtBox { class, x: x as f32, y: y as f32, w: bw as f32, h: bh as f32 })
+            }
+            ObjectClass::TrafficLight => {
+                // Pole near the roadside, housing above the horizon.
+                let x = if spec.flag {
+                    2 + (spec.x_frac * (s / 4 - 2) as f32) as isize
+                } else {
+                    (3 * s / 4) as isize + (spec.x_frac * (s / 4 - 3) as f32) as isize
+                };
+                let top = (horizon as isize - (s as isize / 5)).max(0);
+                let pole_h = s / 2 - top as usize;
+                img.fill_rect(top, x + 1, pole_h, 1, [0.15, 0.15, 0.15]);
+                let lamp = if spec.color.is_multiple_of(2) { [0.95, 0.15, 0.1] } else { [0.1, 0.9, 0.2] };
+                // Housing with an emissive lamp (drawn after dimming).
+                let house_w = (s / 10).max(4);
+                let house_h = (s / 8).max(5);
+                img.fill_rect(top, x - 1, house_h, house_w, [0.1, 0.1, 0.1]);
+                lights.push(LightSpot {
+                    y: top + 1,
+                    x,
+                    h: house_h.saturating_sub(2),
+                    w: house_w.saturating_sub(2),
+                    rgb: lamp,
+                });
+                // BDD annotates the light housing, not the pole.
+                Some(GtBox {
+                    class,
+                    x: (x - 1) as f32,
+                    y: top as f32,
+                    w: house_w as f32,
+                    h: house_h as f32,
+                })
+            }
+            ObjectClass::Sign => {
+                let x = if spec.flag {
+                    1 + (spec.x_frac * (s / 4 - 1) as f32) as isize
+                } else {
+                    (3 * s / 4) as isize + (spec.x_frac * (s / 4 - 5).max(1) as f32) as isize
+                };
+                let top = (horizon as isize - (s as isize / 6)).max(0);
+                let sign_s = (s / 8).max(5);
+                let face = if cond.time == TimeOfDay::Night { [0.25, 0.25, 0.1] } else { [0.9, 0.75, 0.1] };
+                img.fill_rect(top, x, sign_s, sign_s, face);
+                img.fill_rect(top + sign_s as isize, x + sign_s as isize / 2, s / 6, 1, [0.2, 0.2, 0.2]);
+                // The annotation covers the sign face.
+                Some(GtBox {
+                    class,
+                    x: x as f32,
+                    y: top as f32,
+                    w: sign_s as f32,
+                    h: sign_s as f32,
+                })
+            }
+        }
+    }
+}
+
+/// A persistent scene object: everything needed to render it in any
+/// frame of a clip. Produced by [`SceneGen::sample_spec`]; the
+/// `video::ClipGen` advances `x_frac` over time to animate it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectSpec {
+    /// Object class.
+    pub class: ObjectClass,
+    /// Depth in the scene: 0 = horizon (far/small), 1 = near/large.
+    pub depth: f32,
+    /// Horizontal position as a fraction of the drivable range.
+    pub x_frac: f32,
+    /// Appearance variant (body color / lamp color index).
+    pub color: usize,
+    /// Side/light toggle (roadside choice, headlight vs taillight).
+    pub flag: bool,
+}
+
+/// An emissive region drawn after night dimming.
+struct LightSpot {
+    y: isize,
+    x: isize,
+    h: usize,
+    w: usize,
+    rgb: [f32; 3],
+}
+
+fn sample_class(rng: &mut StdRng, location: Location) -> ObjectClass {
+    let roll = rng.gen_range(0..100);
+    match location {
+        Location::Highway => match roll {
+            0..=59 => ObjectClass::Car,
+            60..=79 => ObjectClass::Truck,
+            80..=89 => ObjectClass::Sign,
+            _ => ObjectClass::TrafficLight,
+        },
+        Location::City => match roll {
+            0..=44 => ObjectClass::Car,
+            45..=54 => ObjectClass::Truck,
+            55..=74 => ObjectClass::Person,
+            75..=89 => ObjectClass::TrafficLight,
+            _ => ObjectClass::Sign,
+        },
+        _ => match roll {
+            0..=49 => ObjectClass::Car,
+            50..=59 => ObjectClass::Truck,
+            60..=79 => ObjectClass::Person,
+            80..=89 => ObjectClass::TrafficLight,
+            _ => ObjectClass::Sign,
+        },
+    }
+}
+
+fn sky_colors(cond: &Condition) -> ([f32; 3], [f32; 3]) {
+    match (cond.time, cond.weather) {
+        (TimeOfDay::Night, _) => ([0.02, 0.02, 0.07], [0.05, 0.05, 0.13]),
+        (TimeOfDay::Dawn, Weather::Clear) => ([0.45, 0.3, 0.45], [0.95, 0.6, 0.4]),
+        (TimeOfDay::Day, Weather::Clear) => ([0.3, 0.5, 0.92], [0.65, 0.8, 0.97]),
+        (_, Weather::Overcast) => ([0.5, 0.5, 0.53], [0.62, 0.62, 0.64]),
+        (_, Weather::Rainy) => ([0.35, 0.38, 0.45], [0.5, 0.53, 0.58]),
+        (_, Weather::Snowy) => ([0.72, 0.73, 0.76], [0.85, 0.85, 0.88]),
+        (_, Weather::Foggy) => ([0.65, 0.65, 0.67], [0.72, 0.72, 0.74]),
+    }
+}
+
+fn ground_color(cond: &Condition) -> [f32; 3] {
+    match cond.weather {
+        Weather::Snowy => [0.82, 0.83, 0.86],
+        Weather::Rainy => [0.2, 0.21, 0.24],
+        _ => [0.3, 0.29, 0.27],
+    }
+}
+
+fn road_color(cond: &Condition) -> [f32; 3] {
+    match cond.weather {
+        Weather::Snowy => [0.55, 0.56, 0.6],
+        Weather::Rainy => [0.14, 0.15, 0.19],
+        _ => [0.2, 0.2, 0.22],
+    }
+}
+
+fn building_color(cond: &Condition) -> [f32; 3] {
+    if cond.time == TimeOfDay::Night {
+        [0.05, 0.05, 0.08]
+    } else {
+        [0.35, 0.33, 0.32]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen() -> SceneGen {
+        SceneGen::default()
+    }
+
+    #[test]
+    fn frame_shape_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = gen().frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day));
+        assert_eq!(f.image.channels(), 3);
+        assert_eq!(f.image.height(), DEFAULT_FRAME_SIZE);
+        for b in &f.boxes {
+            assert!(b.x >= -1.0 && b.y >= -1.0, "box origin negative: {b:?}");
+            assert!(b.w > 0.0 && b.h > 0.0, "degenerate box: {b:?}");
+            assert!(b.x + b.w <= DEFAULT_FRAME_SIZE as f32 + 1.0, "box overflows: {b:?}");
+        }
+    }
+
+    #[test]
+    fn night_is_darker_than_day() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen();
+        let day: f32 = (0..10)
+            .map(|_| g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day)).image.mean_brightness())
+            .sum::<f32>()
+            / 10.0;
+        let night: f32 = (0..10)
+            .map(|_| g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Night)).image.mean_brightness())
+            .sum::<f32>()
+            / 10.0;
+        assert!(night < day * 0.5, "night {night} should be much darker than day {day}");
+    }
+
+    #[test]
+    fn snow_is_brighter_than_rain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen();
+        let snow = g.frame(&mut rng, Condition::new(Weather::Snowy, TimeOfDay::Day)).image.mean_brightness();
+        let rain = g.frame(&mut rng, Condition::new(Weather::Rainy, TimeOfDay::Day)).image.mean_brightness();
+        assert!(snow > rain, "snow {snow} should be brighter than rain {rain}");
+    }
+
+    #[test]
+    fn fog_reduces_contrast() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen();
+        let contrast = |img: &Image| {
+            let m = img.mean_brightness();
+            img.data().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / img.numel() as f32
+        };
+        let clear: f32 = (0..8)
+            .map(|_| contrast(&g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day)).image))
+            .sum::<f32>()
+            / 8.0;
+        let fog: f32 = (0..8)
+            .map(|_| contrast(&g.frame(&mut rng, Condition::new(Weather::Foggy, TimeOfDay::Day)).image))
+            .sum::<f32>()
+            / 8.0;
+        assert!(fog < clear, "fog variance {fog} should be below clear {clear}");
+    }
+
+    #[test]
+    fn frames_have_objects() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen();
+        let total: usize = (0..20)
+            .map(|_| {
+                let cond = Subset::Full.sample_condition(&mut rng);
+                g.frame(&mut rng, cond).boxes.len()
+            })
+            .sum();
+        assert!(total >= 20, "expected at least one object per frame on average, got {total}/20");
+    }
+
+    #[test]
+    fn subset_frames_respect_subset() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let frames = gen().subset_frames(&mut rng, Subset::Night, 10);
+        assert!(frames.iter().all(|f| f.cond.time == TimeOfDay::Night));
+    }
+
+    #[test]
+    fn iou_basics() {
+        let a = GtBox { class: ObjectClass::Car, x: 0.0, y: 0.0, w: 10.0, h: 10.0 };
+        let b = GtBox { class: ObjectClass::Car, x: 5.0, y: 5.0, w: 10.0, h: 10.0 };
+        let c = GtBox { class: ObjectClass::Car, x: 20.0, y: 20.0, w: 5.0, h: 5.0 };
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-5);
+        assert_eq!(a.iou(&c), 0.0);
+    }
+
+    #[test]
+    fn class_index_roundtrip() {
+        for (i, c) in ObjectClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(ObjectClass::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen();
+        let cond = Condition::new(Weather::Clear, TimeOfDay::Day);
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        let f1 = g.frame(&mut r1, cond);
+        let f2 = g.frame(&mut r2, cond);
+        assert_eq!(f1.image.data(), f2.image.data());
+        assert_eq!(f1.boxes.len(), f2.boxes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame size must be at least 32")]
+    fn tiny_frames_rejected() {
+        let _ = SceneGen::new(16);
+    }
+}

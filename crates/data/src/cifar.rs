@@ -1,0 +1,163 @@
+//! A procedural stand-in for CIFAR-10.
+//!
+//! Ten classes of 32×32 colored images. A class is a *texture pattern*
+//! (stripes, checkers, rings, dots, ...), while the color palette and
+//! the pattern phase are sampled per image, independent of the class.
+//! That makes raw-pixel statistics nearly class-agnostic: two samples of
+//! the same class can be far apart in pixel space (different color,
+//! shifted phase) while samples of different classes can be close. Like
+//! real CIFAR-10, separating classes — and detecting outlier classes —
+//! requires representation learning, which is the difficulty step the
+//! paper's Table 1 takes from MNIST to CIFAR-10.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::digits::LabeledImage;
+use crate::image::Image;
+
+/// Image side length (matches CIFAR-10).
+pub const CIFAR_SIZE: usize = 32;
+
+/// Per-sample color palette (chosen independently of the class).
+const PALETTE: [[f32; 3]; 8] = [
+    [0.85, 0.20, 0.20],
+    [0.20, 0.80, 0.25],
+    [0.20, 0.30, 0.85],
+    [0.85, 0.80, 0.20],
+    [0.80, 0.25, 0.80],
+    [0.20, 0.80, 0.80],
+    [0.90, 0.55, 0.15],
+    [0.60, 0.60, 0.60],
+];
+
+/// Renders one CIFAR-sim image of the given class (a texture pattern
+/// with per-sample random color and phase).
+pub fn gen_cifar(rng: &mut StdRng, class: u8) -> Image {
+    assert!(class < 10, "cifar class must be 0-9, got {class}");
+    let mut img = Image::new(3, CIFAR_SIZE, CIFAR_SIZE);
+    let base = PALETTE[rng.gen_range(0..PALETTE.len())];
+    let jit: f32 = rng.gen_range(-0.08..0.08);
+    let color = [
+        (base[0] + jit).clamp(0.0, 1.0),
+        (base[1] + jit).clamp(0.0, 1.0),
+        (base[2] + jit).clamp(0.0, 1.0),
+    ];
+    let dark = [color[0] * 0.3, color[1] * 0.3, color[2] * 0.3];
+    let phase = rng.gen_range(0..16) as usize;
+    let phase2 = rng.gen_range(0..16) as usize;
+    for y in 0..CIFAR_SIZE {
+        for x in 0..CIFAR_SIZE {
+            let on = match class {
+                0 => ((y + phase) / 4).is_multiple_of(2),                         // horizontal stripes
+                1 => ((x + phase) / 4).is_multiple_of(2),                         // vertical stripes
+                2 => ((x + phase) / 4 + (y + phase2) / 4).is_multiple_of(2),    // checker
+                3 => ((x + y + phase) / 5).is_multiple_of(2),                     // diagonal stripes
+                4 => {
+                    // concentric rings with a shifted center
+                    let cy = y as i32 - 10 - (phase % 12) as i32;
+                    let cx = x as i32 - 10 - (phase2 % 12) as i32;
+                    let r = ((cy * cy + cx * cx) as f32).sqrt() as usize;
+                    (r / 4).is_multiple_of(2)
+                }
+                5 => (x + phase) % 8 < 2 || (y + phase2) % 8 < 2,      // grid lines
+                6 => (x + y + phase) / 5 % 2 == 1 && (x + 2 * y) % 3 == 0, // sparse diagonal dashes
+                7 => (x + phase) % 6 < 2 && (y + phase2) % 6 < 2,      // dot grid
+                8 => ((x + phase) % 16 < 8) ^ ((y + phase2) % 16 < 8), // coarse blocks
+                _ => (x * x + y * 3 + phase) % 7 < 3,                  // irregular texture
+            };
+            let rgb = if on { color } else { dark };
+            img.set_rgb(y, x, rgb);
+        }
+    }
+    for y in 0..CIFAR_SIZE {
+        for x in 0..CIFAR_SIZE {
+            for c in 0..3 {
+                let n: f32 = rng.gen_range(-0.06..0.06);
+                let v = img.get(c, y, x) + n;
+                img.set(c, y, x, v);
+            }
+        }
+    }
+    img
+}
+
+/// Generates `per_class` samples for each class in `classes`.
+pub fn cifar_dataset(rng: &mut StdRng, classes: &[u8], per_class: usize) -> Vec<LabeledImage> {
+    let mut out = Vec::with_capacity(classes.len() * per_class);
+    for &c in classes {
+        for _ in 0..per_class {
+            out.push(LabeledImage { image: gen_cifar(rng, c), label: c });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn images_are_rgb_32() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = gen_cifar(&mut rng, 0);
+        assert_eq!(img.channels(), 3);
+        assert_eq!(img.height(), CIFAR_SIZE);
+    }
+
+    #[test]
+    fn classes_are_patterns_not_colors() {
+        // Class 0 = horizontal stripes (rows are uniform, columns vary);
+        // class 1 = vertical stripes (the transpose). Color must NOT be
+        // class-determined: the directional variance structure is.
+        let mut rng = StdRng::seed_from_u64(1);
+        let row_col_var = |img: &Image| -> (f32, f32) {
+            let lum = |y: usize, x: usize| {
+                (img.get(0, y, x) + img.get(1, y, x) + img.get(2, y, x)) / 3.0
+            };
+            let mut row_var = 0.0f32;
+            let mut col_var = 0.0f32;
+            for i in 0..CIFAR_SIZE {
+                let row_mean: f32 = (0..CIFAR_SIZE).map(|x| lum(i, x)).sum::<f32>() / CIFAR_SIZE as f32;
+                row_var += (0..CIFAR_SIZE)
+                    .map(|x| (lum(i, x) - row_mean).powi(2))
+                    .sum::<f32>();
+                let col_mean: f32 = (0..CIFAR_SIZE).map(|y| lum(y, i)).sum::<f32>() / CIFAR_SIZE as f32;
+                col_var += (0..CIFAR_SIZE)
+                    .map(|y| (lum(y, i) - col_mean).powi(2))
+                    .sum::<f32>();
+            }
+            (row_var, col_var)
+        };
+        let h = gen_cifar(&mut rng, 0);
+        let v = gen_cifar(&mut rng, 1);
+        let (h_row, h_col) = row_col_var(&h);
+        let (v_row, v_col) = row_col_var(&v);
+        assert!(h_col > 2.0 * h_row, "horizontal stripes: inter-row variance should dominate");
+        assert!(v_row > 2.0 * v_col, "vertical stripes: inter-column variance should dominate");
+    }
+
+    #[test]
+    fn noise_makes_samples_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = gen_cifar(&mut rng, 4);
+        let b = gen_cifar(&mut rng, 4);
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn dataset_builder_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = cifar_dataset(&mut rng, &[1, 5], 4);
+        assert_eq!(ds.len(), 8);
+        assert!(ds.iter().all(|s| s.label == 1 || s.label == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cifar class must be 0-9")]
+    fn invalid_class_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = gen_cifar(&mut rng, 12);
+    }
+}

@@ -1,0 +1,273 @@
+//! Environmental conditions of the BDD-sim dataset.
+//!
+//! The paper's BDD dataset tags each frame with a weather condition, a time
+//! of day, and a location. ODIN never *reads* these labels while detecting
+//! drift — they exist so experiments can check which true conditions an
+//! unsupervised cluster absorbed (Table 2) and so workloads can be scripted
+//! (§6.5).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Weather conditions in BDD-sim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weather {
+    /// Clear skies.
+    Clear,
+    /// Rain: dark blue-gray cast with streaks.
+    Rainy,
+    /// Snow: bright ground with white speckle.
+    Snowy,
+    /// Fog: heavy gray wash, low contrast.
+    Foggy,
+    /// Overcast: flat gray sky.
+    Overcast,
+}
+
+impl Weather {
+    /// All weather values, in a stable order.
+    pub const ALL: [Weather; 5] =
+        [Weather::Clear, Weather::Rainy, Weather::Snowy, Weather::Foggy, Weather::Overcast];
+
+    /// Short label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Weather::Clear => "clear",
+            Weather::Rainy => "rainy",
+            Weather::Snowy => "snowy",
+            Weather::Foggy => "foggy",
+            Weather::Overcast => "overcast",
+        }
+    }
+}
+
+/// Time of day in BDD-sim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeOfDay {
+    /// Dawn/dusk: dim warm light.
+    Dawn,
+    /// Daytime: bright.
+    Day,
+    /// Night: dark, headlights and traffic lights dominate.
+    Night,
+}
+
+impl TimeOfDay {
+    /// All time-of-day values, in a stable order.
+    pub const ALL: [TimeOfDay; 3] = [TimeOfDay::Dawn, TimeOfDay::Day, TimeOfDay::Night];
+
+    /// Short label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeOfDay::Dawn => "dawn",
+            TimeOfDay::Day => "day",
+            TimeOfDay::Night => "night",
+        }
+    }
+}
+
+/// Location category in BDD-sim. The paper notes DETECTOR found location
+/// unimportant for drift; the generator accordingly gives it only mild
+/// visual influence (lane layout), so a faithful detector should also
+/// ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// Residential streets: narrow road, houses.
+    Residential,
+    /// Highway: wide road, sparse surroundings.
+    Highway,
+    /// City streets: buildings, more objects.
+    City,
+    /// Anything else.
+    Other,
+}
+
+impl Location {
+    /// All location values, in a stable order.
+    pub const ALL: [Location; 4] =
+        [Location::Residential, Location::Highway, Location::City, Location::Other];
+}
+
+/// The full environmental tag of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// Weather condition.
+    pub weather: Weather,
+    /// Time of day.
+    pub time: TimeOfDay,
+    /// Location category.
+    pub location: Location,
+}
+
+impl Condition {
+    /// A convenience constructor with `Location::City`.
+    pub fn new(weather: Weather, time: TimeOfDay) -> Self {
+        Condition { weather, time, location: Location::City }
+    }
+
+    /// Samples a uniformly random location for this (weather, time) pair.
+    pub fn with_random_location(weather: Weather, time: TimeOfDay, rng: &mut StdRng) -> Self {
+        let location = Location::ALL[rng.gen_range(0..Location::ALL.len())];
+        Condition { weather, time, location }
+    }
+}
+
+/// The five evaluation subsets of §6.2 ("BDD Clusters").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Subset {
+    /// All images.
+    Full,
+    /// Day-time, clear weather.
+    Day,
+    /// Night-time, any weather.
+    Night,
+    /// Rainy or overcast (non-night).
+    Rain,
+    /// Snowy (non-night).
+    Snow,
+}
+
+impl Subset {
+    /// All subsets in the order the paper's tables list them.
+    pub const ALL: [Subset; 5] = [Subset::Full, Subset::Day, Subset::Night, Subset::Rain, Subset::Snow];
+
+    /// The paper's name for this subset.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Subset::Full => "FULL-DATA",
+            Subset::Day => "DAY-DATA",
+            Subset::Night => "NIGHT-DATA",
+            Subset::Rain => "RAIN-DATA",
+            Subset::Snow => "SNOW-DATA",
+        }
+    }
+
+    /// True if a condition belongs to this subset.
+    pub fn contains(&self, cond: &Condition) -> bool {
+        match self {
+            Subset::Full => true,
+            Subset::Day => {
+                cond.time != TimeOfDay::Night && cond.weather == Weather::Clear
+            }
+            Subset::Night => cond.time == TimeOfDay::Night,
+            Subset::Rain => {
+                cond.time != TimeOfDay::Night
+                    && (cond.weather == Weather::Rainy || cond.weather == Weather::Overcast)
+            }
+            Subset::Snow => cond.time != TimeOfDay::Night && cond.weather == Weather::Snowy,
+        }
+    }
+
+    /// Samples a condition from this subset with BDD-like mixture weights
+    /// (clear day dominates FULL, etc.).
+    pub fn sample_condition(&self, rng: &mut StdRng) -> Condition {
+        loop {
+            let cond = match self {
+                Subset::Full => {
+                    // BDD's labeled-image marginals (Table 2 header):
+                    // clear 71.9%, overcast 12.5%, rainy 7.3%, snowy 7.9%,
+                    // foggy 0.2%.
+                    let weather = match rng.gen_range(0..1000) {
+                        0..=718 => Weather::Clear,
+                        719..=843 => Weather::Overcast,
+                        844..=916 => Weather::Rainy,
+                        917..=996 => Weather::Snowy,
+                        _ => Weather::Foggy,
+                    };
+                    let time = match rng.gen_range(0..100) {
+                        0..=7 => TimeOfDay::Dawn,
+                        8..=55 => TimeOfDay::Day,
+                        _ => TimeOfDay::Night,
+                    };
+                    Condition::with_random_location(weather, time, rng)
+                }
+                Subset::Day => {
+                    let time = if rng.gen_bool(0.12) { TimeOfDay::Dawn } else { TimeOfDay::Day };
+                    Condition::with_random_location(Weather::Clear, time, rng)
+                }
+                Subset::Night => {
+                    let weather = Weather::ALL[rng.gen_range(0..Weather::ALL.len())];
+                    Condition::with_random_location(weather, TimeOfDay::Night, rng)
+                }
+                Subset::Rain => {
+                    let weather = if rng.gen_bool(0.5) { Weather::Rainy } else { Weather::Overcast };
+                    let time = if rng.gen_bool(0.2) { TimeOfDay::Dawn } else { TimeOfDay::Day };
+                    Condition::with_random_location(weather, time, rng)
+                }
+                Subset::Snow => {
+                    let time = if rng.gen_bool(0.2) { TimeOfDay::Dawn } else { TimeOfDay::Day };
+                    Condition::with_random_location(Weather::Snowy, time, rng)
+                }
+            };
+            if self.contains(&cond) {
+                return cond;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subsets_contain_their_samples() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for subset in Subset::ALL {
+            for _ in 0..200 {
+                let cond = subset.sample_condition(&mut rng);
+                assert!(subset.contains(&cond), "{subset:?} produced {cond:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn day_and_night_are_disjoint() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = Subset::Day.sample_condition(&mut rng);
+            assert!(!Subset::Night.contains(&c));
+            let n = Subset::Night.sample_condition(&mut rng);
+            assert!(!Subset::Day.contains(&n));
+        }
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        for &w in &Weather::ALL {
+            for &t in &TimeOfDay::ALL {
+                assert!(Subset::Full.contains(&Condition::new(w, t)));
+            }
+        }
+    }
+
+    #[test]
+    fn full_marginals_are_bdd_like() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 5000;
+        let mut clear = 0;
+        let mut night = 0;
+        for _ in 0..n {
+            let c = Subset::Full.sample_condition(&mut rng);
+            if c.weather == Weather::Clear {
+                clear += 1;
+            }
+            if c.time == TimeOfDay::Night {
+                night += 1;
+            }
+        }
+        let clear_frac = clear as f32 / n as f32;
+        let night_frac = night as f32 / n as f32;
+        assert!(clear_frac > 0.6 && clear_frac < 0.8, "clear fraction {clear_frac}");
+        assert!(night_frac > 0.3 && night_frac < 0.6, "night fraction {night_frac}");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Subset::Night.label(), "NIGHT-DATA");
+        assert_eq!(Weather::Snowy.label(), "snowy");
+        assert_eq!(TimeOfDay::Dawn.label(), "dawn");
+    }
+}

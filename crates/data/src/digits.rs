@@ -1,0 +1,207 @@
+//! A procedural stand-in for MNIST.
+//!
+//! Each digit class is a set of stroke polylines on the unit square,
+//! rendered at 28×28 with random translation, scaling, per-point jitter,
+//! and pixel noise. Like MNIST, classes are visually distinct but noisy,
+//! which is all the drift-detection experiments (§6.2, Table 1) need:
+//! a "known classes vs outlier classes" corpus at low dimensionality.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::image::Image;
+
+/// Image side length (matches MNIST).
+pub const DIGIT_SIZE: usize = 28;
+
+/// A grayscale image with its class label.
+#[derive(Clone, Debug)]
+pub struct LabeledImage {
+    /// The rendered image.
+    pub image: Image,
+    /// Class label (digit 0–9 or CIFAR-sim class 0–9).
+    pub label: u8,
+}
+
+/// Stroke templates per digit: polylines in unit coordinates `(x, y)`,
+/// y pointing down.
+fn strokes(digit: u8) -> &'static [&'static [(f32, f32)]] {
+    match digit {
+        0 => &[&[(0.3, 0.2), (0.7, 0.2), (0.7, 0.8), (0.3, 0.8), (0.3, 0.2)]],
+        1 => &[&[(0.4, 0.3), (0.55, 0.2), (0.55, 0.8)], &[(0.4, 0.8), (0.7, 0.8)]],
+        2 => &[&[(0.3, 0.3), (0.5, 0.2), (0.7, 0.3), (0.7, 0.45), (0.3, 0.8), (0.7, 0.8)]],
+        3 => &[&[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.45, 0.5)], &[(0.7, 0.5), (0.7, 0.8), (0.3, 0.8)]],
+        4 => &[&[(0.35, 0.2), (0.3, 0.55), (0.7, 0.55)], &[(0.62, 0.2), (0.62, 0.8)]],
+        5 => &[&[(0.7, 0.2), (0.3, 0.2), (0.3, 0.5), (0.7, 0.5), (0.7, 0.8), (0.3, 0.8)]],
+        6 => &[&[(0.6, 0.2), (0.35, 0.45), (0.3, 0.65), (0.5, 0.8), (0.7, 0.65), (0.55, 0.5), (0.35, 0.55)]],
+        7 => &[&[(0.3, 0.2), (0.7, 0.2), (0.42, 0.8)]],
+        8 => &[
+            &[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.3, 0.5), (0.3, 0.2)],
+            &[(0.3, 0.5), (0.7, 0.5), (0.7, 0.8), (0.3, 0.8), (0.3, 0.5)],
+        ],
+        9 => &[&[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.3, 0.5), (0.3, 0.2)], &[(0.7, 0.5), (0.62, 0.8)]],
+        _ => panic!("digit class must be 0-9, got {digit}"),
+    }
+}
+
+/// Renders one digit with MNIST-like style variation: random rotation,
+/// shear, anisotropic scale, translation, stroke thickness, per-point
+/// jitter, and pixel noise. The style variation makes the class manifold
+/// *nonlinear* — like handwriting — which is what defeats linear
+/// detectors (PCA) in the paper's Table 1.
+pub fn gen_digit(rng: &mut StdRng, digit: u8) -> Image {
+    let mut img = Image::new(1, DIGIT_SIZE, DIGIT_SIZE);
+    let sx = rng.gen_range(0.82..1.12) * DIGIT_SIZE as f32;
+    let sy = rng.gen_range(0.82..1.12) * DIGIT_SIZE as f32;
+    let theta: f32 = rng.gen_range(-0.16..0.16); // ±9° rotation
+    let shear: f32 = rng.gen_range(-0.15..0.15);
+    let (cos_t, sin_t) = (theta.cos(), theta.sin());
+    let off_x = rng.gen_range(-2.0..2.0) + DIGIT_SIZE as f32 / 2.0;
+    let off_y = rng.gen_range(-2.0..2.0) + DIGIT_SIZE as f32 / 2.0;
+    let thickness = rng.gen_range(2..=3);
+    let jitter = 0.025;
+    for stroke in strokes(digit) {
+        let pts: Vec<(f32, f32)> = stroke
+            .iter()
+            .map(|&(x, y)| {
+                // Center, jitter, scale anisotropically, shear, rotate,
+                // translate back.
+                let cx = (x - 0.5 + rng.gen_range(-jitter..jitter)) * sx;
+                let cy = (y - 0.5 + rng.gen_range(-jitter..jitter)) * sy;
+                let cx = cx + shear * cy;
+                (
+                    cos_t * cx - sin_t * cy + off_x,
+                    sin_t * cx + cos_t * cy + off_y,
+                )
+            })
+            .collect();
+        for pair in pts.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            img.draw_line(y0, x0, y1, x1, thickness, [1.0, 1.0, 1.0]);
+        }
+    }
+    // Pixel noise, like scanner grain.
+    for y in 0..DIGIT_SIZE {
+        for x in 0..DIGIT_SIZE {
+            let n: f32 = rng.gen_range(-0.05..0.05);
+            let v = img.get(0, y, x) + n;
+            img.set(0, y, x, v);
+        }
+    }
+    img
+}
+
+/// Generates `per_class` samples for each class in `classes`.
+pub fn digit_dataset(rng: &mut StdRng, classes: &[u8], per_class: usize) -> Vec<LabeledImage> {
+    let mut out = Vec::with_capacity(classes.len() * per_class);
+    for &c in classes {
+        for _ in 0..per_class {
+            out.push(LabeledImage { image: gen_digit(rng, c), label: c });
+        }
+    }
+    out
+}
+
+/// A test corpus mixing inliers (from `known`) and outliers (from
+/// `unknown`) at the given outlier fraction — the workload of Table 1.
+///
+/// Returns `(image, is_outlier)` pairs in random order.
+pub fn outlier_mix(
+    rng: &mut StdRng,
+    known: &[u8],
+    unknown: &[u8],
+    total: usize,
+    outlier_frac: f32,
+    gen: impl Fn(&mut StdRng, u8) -> Image,
+) -> Vec<(Image, bool)> {
+    assert!(!known.is_empty(), "need at least one known class");
+    assert!((0.0..=1.0).contains(&outlier_frac), "outlier fraction must be in [0,1]");
+    assert!(outlier_frac == 0.0 || !unknown.is_empty(), "outliers requested but no unknown classes");
+    let n_out = (total as f32 * outlier_frac).round() as usize;
+    let mut items = Vec::with_capacity(total);
+    for _ in 0..total - n_out {
+        let c = known[rng.gen_range(0..known.len())];
+        items.push((gen(rng, c), false));
+    }
+    for _ in 0..n_out {
+        let c = unknown[rng.gen_range(0..unknown.len())];
+        items.push((gen(rng, c), true));
+    }
+    // Fisher–Yates shuffle for a mixed stream.
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn digits_have_ink() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for d in 0..10u8 {
+            let img = gen_digit(&mut rng, d);
+            assert!(img.mean_brightness() > 0.02, "digit {d} looks empty");
+            assert!(img.mean_brightness() < 0.5, "digit {d} looks full");
+        }
+    }
+
+    #[test]
+    fn same_class_more_similar_than_cross_class() {
+        // Average L2 distance between two 0s should be well below the
+        // distance between a 0 and an 8 batch-averaged.
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20;
+        let zeros: Vec<Image> = (0..n).map(|_| gen_digit(&mut rng, 0)).collect();
+        let ones: Vec<Image> = (0..n).map(|_| gen_digit(&mut rng, 1)).collect();
+        let avg = |imgs: &[Image]| {
+            let mut acc = vec![0.0f32; imgs[0].numel()];
+            for im in imgs {
+                for (a, &v) in acc.iter_mut().zip(im.data()) {
+                    *a += v / imgs.len() as f32;
+                }
+            }
+            acc
+        };
+        let a0 = avg(&zeros);
+        let a1 = avg(&ones);
+        let inter: f32 = a0.iter().zip(&a1).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!(inter > 1.0, "class templates should differ, got {inter}");
+    }
+
+    #[test]
+    fn dataset_counts_and_labels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = digit_dataset(&mut rng, &[0, 1, 2], 5);
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.iter().filter(|s| s.label == 2).count(), 5);
+    }
+
+    #[test]
+    fn outlier_mix_fraction_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mix = outlier_mix(&mut rng, &[0, 1], &[8, 9], 100, 0.3, gen_digit);
+        let outliers = mix.iter().filter(|(_, o)| *o).count();
+        assert_eq!(outliers, 30);
+        assert_eq!(mix.len(), 100);
+    }
+
+    #[test]
+    fn outlier_mix_zero_fraction_has_no_outliers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mix = outlier_mix(&mut rng, &[0], &[9], 50, 0.0, gen_digit);
+        assert!(mix.iter().all(|(_, o)| !o));
+    }
+
+    #[test]
+    #[should_panic(expected = "digit class must be 0-9")]
+    fn invalid_digit_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = gen_digit(&mut rng, 10);
+    }
+}

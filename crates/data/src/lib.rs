@@ -1,0 +1,32 @@
+//! # odin-data
+//!
+//! Procedural datasets with concept-drift structure for the ODIN
+//! reproduction. The paper evaluates on MNIST, CIFAR-10, and Berkeley
+//! DeepDrive (BDD); this crate provides faithful synthetic stand-ins
+//! (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`digits`] — 28×28 grayscale stroke-rendered digits (MNIST role),
+//! * [`cifar`] — 32×32 colored texture classes (CIFAR-10 role),
+//! * [`bdd`] — dashcam scene generator with weather / time-of-day /
+//!   location conditions and ground-truth object boxes (BDD role),
+//! * [`stream`] — scripted drift workloads (the §6.5 sequence),
+//! * [`video`] — temporally coherent clips (persistent, moving objects).
+//!
+//! All generation is seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod bdd;
+pub mod cifar;
+pub mod condition;
+pub mod digits;
+pub mod image;
+pub mod stream;
+pub mod video;
+
+pub use bdd::{Frame, GtBox, ObjectClass, ObjectSpec, SceneGen, DEFAULT_FRAME_SIZE, NUM_CLASSES};
+pub use condition::{Condition, Location, Subset, TimeOfDay, Weather};
+pub use digits::LabeledImage;
+pub use image::Image;
+pub use stream::{DriftSchedule, Phase};
+pub use video::ClipGen;

@@ -1,0 +1,197 @@
+//! Scripted drift workloads.
+//!
+//! §6.5 of the paper evaluates ODIN on a 100 K-image sequence whose
+//! condition pool grows over time: night-only, then +day, then +snow,
+//! then +rain, with an *unadjusted* mixture ("we want to replicate a
+//! realistic distribution"). [`DriftSchedule`] expresses exactly that:
+//! a list of phases, each adding a subset to the active pool at a given
+//! stream position.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::bdd::{Frame, SceneGen};
+use crate::condition::Subset;
+
+/// One phase-change point: at `at_frame`, `adds` joins the sampling pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Stream index at which the subset becomes active.
+    pub at_frame: usize,
+    /// The subset to add.
+    pub adds: Subset,
+}
+
+/// A drift workload: a total length plus phase-change points.
+#[derive(Debug, Clone)]
+pub struct DriftSchedule {
+    total: usize,
+    phases: Vec<Phase>,
+}
+
+impl DriftSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, the first phase does not start at
+    /// frame 0, or phases are not sorted by `at_frame`.
+    pub fn new(total: usize, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        assert_eq!(phases[0].at_frame, 0, "first phase must start at frame 0");
+        assert!(
+            phases.windows(2).all(|w| w[0].at_frame <= w[1].at_frame),
+            "phases must be sorted by at_frame"
+        );
+        DriftSchedule { total, phases }
+    }
+
+    /// The paper's end-to-end schedule (§6.5), scaled to `total` frames:
+    /// NIGHT from the start, +DAY at 20%, +SNOW at 40%, +RAIN at 60%.
+    pub fn paper_end_to_end(total: usize) -> Self {
+        Self::new(
+            total,
+            vec![
+                Phase { at_frame: 0, adds: Subset::Night },
+                Phase { at_frame: total / 5, adds: Subset::Day },
+                Phase { at_frame: 2 * total / 5, adds: Subset::Snow },
+                Phase { at_frame: 3 * total / 5, adds: Subset::Rain },
+            ],
+        )
+    }
+
+    /// Total stream length.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Stream positions at which a new subset arrives (excluding frame 0).
+    pub fn drift_points(&self) -> Vec<usize> {
+        self.phases.iter().skip(1).map(|p| p.at_frame).collect()
+    }
+
+    /// The pool of active subsets at stream index `i`.
+    pub fn active_at(&self, i: usize) -> Vec<Subset> {
+        self.phases
+            .iter()
+            .filter(|p| p.at_frame <= i)
+            .map(|p| p.adds)
+            .collect()
+    }
+
+    /// Materializes the whole stream of frames.
+    pub fn generate(&self, gen: &SceneGen, rng: &mut StdRng) -> Vec<Frame> {
+        self.iter(gen, rng).collect()
+    }
+
+    /// An iterator over the stream (frames are rendered lazily).
+    pub fn iter<'a>(&'a self, gen: &'a SceneGen, rng: &'a mut StdRng) -> StreamIter<'a> {
+        StreamIter { schedule: self, gen, rng, pos: 0 }
+    }
+}
+
+/// Lazy frame iterator over a [`DriftSchedule`].
+pub struct StreamIter<'a> {
+    schedule: &'a DriftSchedule,
+    gen: &'a SceneGen,
+    rng: &'a mut StdRng,
+    pos: usize,
+}
+
+impl Iterator for StreamIter<'_> {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        if self.pos >= self.schedule.total {
+            return None;
+        }
+        let active = self.schedule.active_at(self.pos);
+        debug_assert!(!active.is_empty());
+        let subset = active[self.rng.gen_range(0..active.len())];
+        let cond = subset.sample_condition(self.rng);
+        self.pos += 1;
+        Some(self.gen.frame(self.rng, cond))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.schedule.total - self.pos;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::TimeOfDay;
+    use rand::SeedableRng;
+
+    #[test]
+    fn active_pool_grows() {
+        let s = DriftSchedule::paper_end_to_end(100);
+        assert_eq!(s.active_at(0), vec![Subset::Night]);
+        assert_eq!(s.active_at(19), vec![Subset::Night]);
+        assert_eq!(s.active_at(20), vec![Subset::Night, Subset::Day]);
+        assert_eq!(s.active_at(99).len(), 4);
+    }
+
+    #[test]
+    fn drift_points_match_schedule() {
+        let s = DriftSchedule::paper_end_to_end(100);
+        assert_eq!(s.drift_points(), vec![20, 40, 60]);
+    }
+
+    #[test]
+    fn early_stream_is_all_night() {
+        let s = DriftSchedule::paper_end_to_end(50);
+        let gen = SceneGen::new(32);
+        let mut rng = StdRng::seed_from_u64(0);
+        let frames = s.generate(&gen, &mut rng);
+        assert_eq!(frames.len(), 50);
+        for f in &frames[..10] {
+            assert_eq!(f.cond.time, TimeOfDay::Night);
+        }
+    }
+
+    #[test]
+    fn late_stream_mixes_subsets() {
+        let s = DriftSchedule::paper_end_to_end(200);
+        let gen = SceneGen::new(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let frames = s.generate(&gen, &mut rng);
+        let tail = &frames[160..];
+        let day = tail.iter().filter(|f| f.cond.time == TimeOfDay::Day).count();
+        let night = tail.iter().filter(|f| f.cond.time == TimeOfDay::Night).count();
+        assert!(day > 0, "expect some day frames late in the stream");
+        assert!(night > 0, "night frames should persist (old clusters co-exist)");
+    }
+
+    #[test]
+    fn iterator_size_hint() {
+        let s = DriftSchedule::paper_end_to_end(10);
+        let gen = SceneGen::new(32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut it = s.iter(&gen, &mut rng);
+        assert_eq!(it.size_hint(), (10, Some(10)));
+        let _ = it.next();
+        assert_eq!(it.size_hint(), (9, Some(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase must start at frame 0")]
+    fn schedule_must_start_at_zero() {
+        let _ = DriftSchedule::new(10, vec![Phase { at_frame: 5, adds: Subset::Day }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_phases_rejected() {
+        let _ = DriftSchedule::new(
+            10,
+            vec![
+                Phase { at_frame: 0, adds: Subset::Day },
+                Phase { at_frame: 8, adds: Subset::Snow },
+                Phase { at_frame: 4, adds: Subset::Rain },
+            ],
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Temporally coherent video clips.
+//!
+//! ODIN processes *video*; consecutive frames share scenery and objects
+//! that move smoothly. [`ClipGen`] renders clips by sampling persistent
+//! [`ObjectSpec`]s with per-object velocities and advancing them frame by
+//! frame over a fixed background, while weather effects and sensor noise
+//! stay per-frame. This matters to drift detection: consecutive latents
+//! are correlated, exactly the regime the temporary cluster's KL
+//! stability test (§4.1) must cope with.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::bdd::{Frame, ObjectSpec, SceneGen};
+use crate::condition::Condition;
+use crate::ObjectClass;
+
+/// A generator of temporally coherent clips.
+#[derive(Debug, Clone, Copy)]
+pub struct ClipGen {
+    scene: SceneGen,
+}
+
+/// One animated object: its spec plus horizontal/depth velocities.
+#[derive(Debug, Clone, Copy)]
+struct Track {
+    spec: ObjectSpec,
+    /// Horizontal velocity in x-fraction per frame.
+    vx: f32,
+    /// Depth velocity per frame (objects approach or recede).
+    vd: f32,
+}
+
+impl ClipGen {
+    /// Wraps a scene generator.
+    pub fn new(scene: SceneGen) -> Self {
+        ClipGen { scene }
+    }
+
+    /// The underlying scene generator.
+    pub fn scene(&self) -> &SceneGen {
+        &self.scene
+    }
+
+    /// Renders a clip of `len` frames under one condition. Objects are
+    /// persistent across frames: vehicles drive, pedestrians walk,
+    /// lights and signs stay put while the ego camera's noise/weather
+    /// vary per frame.
+    pub fn clip(&self, rng: &mut StdRng, cond: Condition, len: usize) -> Vec<Frame> {
+        assert!(len > 0, "clip length must be positive");
+        let n_objects = rng.gen_range(2..=5);
+        let mut tracks: Vec<Track> = (0..n_objects)
+            .map(|_| {
+                let spec = self.scene.sample_spec(rng, cond.location);
+                let (vx, vd) = match spec.class {
+                    ObjectClass::Car | ObjectClass::Truck => {
+                        (rng.gen_range(-0.03..0.03f32), rng.gen_range(-0.01..0.01f32))
+                    }
+                    ObjectClass::Person => (rng.gen_range(-0.008..0.008f32), 0.0),
+                    ObjectClass::TrafficLight | ObjectClass::Sign => (0.0, 0.0),
+                };
+                Track { spec, vx, vd }
+            })
+            .collect();
+        let bg_seed: u64 = rng.gen();
+
+        let mut frames = Vec::with_capacity(len);
+        for _ in 0..len {
+            let specs: Vec<ObjectSpec> = tracks.iter().map(|t| t.spec).collect();
+            frames.push(self.scene.frame_with_specs(bg_seed, rng, cond, &specs));
+            for t in &mut tracks {
+                t.spec.x_frac = (t.spec.x_frac + t.vx).clamp(0.0, 1.0);
+                t.spec.depth = (t.spec.depth + t.vd).clamp(0.3, 0.95);
+                // Bounce at the road edges so objects stay in frame.
+                if t.spec.x_frac <= 0.0 || t.spec.x_frac >= 1.0 {
+                    t.vx = -t.vx;
+                }
+            }
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{TimeOfDay, Weather};
+    use rand::SeedableRng;
+
+    fn clipgen() -> ClipGen {
+        ClipGen::new(SceneGen::new(48))
+    }
+
+    fn pixel_l1(a: &Frame, b: &Frame) -> f32 {
+        a.image
+            .data()
+            .iter()
+            .zip(b.image.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / a.image.numel() as f32
+    }
+
+    #[test]
+    fn clip_has_requested_length_and_constant_condition() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cond = Condition::new(Weather::Clear, TimeOfDay::Day);
+        let clip = clipgen().clip(&mut rng, cond, 8);
+        assert_eq!(clip.len(), 8);
+        assert!(clip.iter().all(|f| f.cond == cond));
+    }
+
+    #[test]
+    fn consecutive_frames_are_more_similar_than_independent_ones() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cond = Condition::new(Weather::Clear, TimeOfDay::Day);
+        let gen = clipgen();
+        let clip = gen.clip(&mut rng, cond, 6);
+        let within: f32 = (0..5).map(|i| pixel_l1(&clip[i], &clip[i + 1])).sum::<f32>() / 5.0;
+        let other = gen.clip(&mut rng, cond, 1);
+        let across = pixel_l1(&clip[0], &other[0]);
+        assert!(
+            within < across * 0.8,
+            "temporal coherence missing: within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn objects_persist_across_frames() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cond = Condition::new(Weather::Clear, TimeOfDay::Day);
+        let clip = clipgen().clip(&mut rng, cond, 5);
+        let n0 = clip[0].boxes.len();
+        assert!(n0 > 0);
+        for f in &clip {
+            assert_eq!(f.boxes.len(), n0, "object count changed mid-clip");
+        }
+        // Class sequence is stable too.
+        for i in 0..n0 {
+            let class = clip[0].boxes[i].class;
+            assert!(clip.iter().all(|f| f.boxes[i].class == class));
+        }
+    }
+
+    #[test]
+    fn vehicles_actually_move() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cond = Condition::new(Weather::Clear, TimeOfDay::Day);
+        let clip = clipgen().clip(&mut rng, cond, 12);
+        let moved = clip[0]
+            .boxes
+            .iter()
+            .zip(clip[11].boxes.iter())
+            .any(|(a, b)| (a.x - b.x).abs() > 1.0);
+        assert!(moved, "nothing moved over 12 frames");
+    }
+
+    #[test]
+    fn boxes_stay_in_frame() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cond = Condition::new(Weather::Rainy, TimeOfDay::Day);
+        for f in clipgen().clip(&mut rng, cond, 20) {
+            for b in &f.boxes {
+                assert!(b.x >= -1.0 && b.x + b.w <= 49.0, "box left frame: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clip length must be positive")]
+    fn zero_length_clip_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = clipgen().clip(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day), 0);
+    }
+}

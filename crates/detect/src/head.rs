@@ -1,0 +1,307 @@
+//! The single-shot grid detection head: target encoding, loss, and
+//! decoding.
+//!
+//! Like YOLO (§5.2 of the paper), the detector divides the image into a
+//! `G × G` grid; each cell predicts an objectness score, a box
+//! (center offset within the cell plus width/height relative to the
+//! image), and per-class scores. Channel layout of the `[B, 5+C, G, G]`
+//! prediction tensor:
+//!
+//! | channel | meaning |
+//! |---|---|
+//! | 0 | objectness logit |
+//! | 1–4 | box logits (cx, cy, w, h) — sigmoid-squashed at decode |
+//! | 5… | class logits |
+
+use odin_data::{GtBox, ObjectClass, NUM_CLASSES};
+use odin_tensor::ops::sigmoid;
+use odin_tensor::Tensor;
+
+/// Channels per grid cell: objectness + 4 box + classes.
+pub const HEAD_CHANNELS: usize = 5 + NUM_CLASSES;
+
+/// A decoded detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Predicted box in pixel coordinates.
+    pub bbox: GtBox,
+    /// Objectness × class confidence.
+    pub score: f32,
+}
+
+/// Builds the `[B, HEAD_CHANNELS, G, G]` training target from ground
+/// truth. The cell containing a box center is responsible for it.
+pub fn build_targets(boxes_per_frame: &[&[GtBox]], grid: usize, size: usize) -> Tensor {
+    let b = boxes_per_frame.len();
+    let mut t = Tensor::zeros(&[b, HEAD_CHANNELS, grid, grid]);
+    let cell = size as f32 / grid as f32;
+    for (bi, boxes) in boxes_per_frame.iter().enumerate() {
+        for gt in boxes.iter() {
+            let (cx, cy) = gt.center();
+            let gx = ((cx / cell) as usize).min(grid - 1);
+            let gy = ((cy / cell) as usize).min(grid - 1);
+            t.set(&[bi, 0, gy, gx], 1.0);
+            t.set(&[bi, 1, gy, gx], (cx / cell - gx as f32).clamp(0.0, 1.0));
+            t.set(&[bi, 2, gy, gx], (cy / cell - gy as f32).clamp(0.0, 1.0));
+            t.set(&[bi, 3, gy, gx], (gt.w / size as f32).clamp(0.0, 1.0));
+            t.set(&[bi, 4, gy, gx], (gt.h / size as f32).clamp(0.0, 1.0));
+            t.set(&[bi, 5 + gt.class.index(), gy, gx], 1.0);
+        }
+    }
+    t
+}
+
+/// Loss weights, YOLO-style.
+#[derive(Debug, Clone, Copy)]
+pub struct LossWeights {
+    /// Weight of objectness BCE in cells *without* objects (down-weighted
+    /// to balance the many empty cells).
+    pub no_obj: f32,
+    /// Weight of the box-coordinate MSE.
+    pub boxes: f32,
+    /// Weight of the class BCE.
+    pub class: f32,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        LossWeights { no_obj: 0.5, boxes: 5.0, class: 1.0 }
+    }
+}
+
+/// Detector loss and its gradient w.r.t. the raw prediction tensor.
+///
+/// * objectness: BCE-with-logits over every cell (empty cells weighted by
+///   `no_obj`),
+/// * box: MSE between sigmoid(pred) and target, only in object cells,
+/// * class: BCE-with-logits, only in object cells.
+pub fn detector_loss(pred: &Tensor, target: &Tensor, w: &LossWeights) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "pred/target shape mismatch");
+    assert_eq!(pred.ndim(), 4, "expected [B, C, G, G]");
+    let (b, c, gh, gw) = (
+        pred.shape()[0],
+        pred.shape()[1],
+        pred.shape()[2],
+        pred.shape()[3],
+    );
+    assert_eq!(c, HEAD_CHANNELS, "channel count mismatch");
+    let plane = gh * gw;
+    let pd = pred.data();
+    let td = target.data();
+    let mut grad = vec![0.0f32; pd.len()];
+    let mut loss = 0.0f32;
+    let n = (b * plane) as f32;
+    for bi in 0..b {
+        let base = bi * c * plane;
+        for p in 0..plane {
+            let obj = td[base + p]; // channel 0
+            // Objectness BCE.
+            {
+                let x = pd[base + p];
+                let t = obj;
+                let wgt = if obj > 0.5 { 1.0 } else { w.no_obj };
+                loss += wgt * (x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln());
+                grad[base + p] = wgt * (sigmoid(x) - t) / n;
+            }
+            if obj > 0.5 {
+                // Box MSE on sigmoid outputs.
+                for ch in 1..5 {
+                    let idx = base + ch * plane + p;
+                    let s = sigmoid(pd[idx]);
+                    let d = s - td[idx];
+                    loss += w.boxes * d * d;
+                    grad[idx] = w.boxes * 2.0 * d * s * (1.0 - s) / n;
+                }
+                // Class BCE.
+                for ch in 5..c {
+                    let idx = base + ch * plane + p;
+                    let x = pd[idx];
+                    let t = td[idx];
+                    loss += w.class * (x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln());
+                    grad[idx] = w.class * (sigmoid(x) - t) / n;
+                }
+            }
+        }
+    }
+    (loss / n, Tensor::from_vec(grad, pred.shape()))
+}
+
+/// Decodes a `[B, HEAD_CHANNELS, G, G]` prediction into per-frame
+/// detections with objectness ≥ `conf_threshold` (before NMS).
+pub fn decode(pred: &Tensor, size: usize, conf_threshold: f32) -> Vec<Vec<Detection>> {
+    assert_eq!(pred.ndim(), 4, "expected [B, C, G, G]");
+    let (b, c, gh, gw) = (
+        pred.shape()[0],
+        pred.shape()[1],
+        pred.shape()[2],
+        pred.shape()[3],
+    );
+    assert_eq!(c, HEAD_CHANNELS, "channel count mismatch");
+    let plane = gh * gw;
+    let cell = size as f32 / gw as f32;
+    let pd = pred.data();
+    let mut out = Vec::with_capacity(b);
+    for bi in 0..b {
+        let base = bi * c * plane;
+        let mut dets = Vec::new();
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let p = gy * gw + gx;
+                let obj = sigmoid(pd[base + p]);
+                if obj < conf_threshold {
+                    continue;
+                }
+                let cx = (gx as f32 + sigmoid(pd[base + plane + p])) * cell;
+                let cy = (gy as f32 + sigmoid(pd[base + 2 * plane + p])) * cell;
+                let bw = sigmoid(pd[base + 3 * plane + p]) * size as f32;
+                let bh = sigmoid(pd[base + 4 * plane + p]) * size as f32;
+                // Class with the highest logit.
+                let (mut best_c, mut best_v) = (0usize, f32::NEG_INFINITY);
+                for ch in 0..NUM_CLASSES {
+                    let v = pd[base + (5 + ch) * plane + p];
+                    if v > best_v {
+                        best_v = v;
+                        best_c = ch;
+                    }
+                }
+                let class_conf = sigmoid(best_v);
+                dets.push(Detection {
+                    bbox: GtBox {
+                        class: ObjectClass::from_index(best_c),
+                        x: cx - bw / 2.0,
+                        y: cy - bh / 2.0,
+                        w: bw.max(1e-3),
+                        h: bh.max(1e-3),
+                    },
+                    score: obj * class_conf,
+                });
+            }
+        }
+        out.push(dets);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_box() -> GtBox {
+        GtBox { class: ObjectClass::Car, x: 10.0, y: 18.0, w: 8.0, h: 6.0 }
+    }
+
+    #[test]
+    fn targets_mark_center_cell() {
+        let b = one_box(); // center (14, 21); grid 6, size 48 → cell 8 → (gx=1, gy=2)
+        let t = build_targets(&[&[b]], 6, 48);
+        assert_eq!(t.shape(), &[1, HEAD_CHANNELS, 6, 6]);
+        assert_eq!(t.get(&[0, 0, 2, 1]), 1.0);
+        assert_eq!(t.get(&[0, 0, 0, 0]), 0.0);
+        // cx offset = 14/8 - 1 = 0.75
+        assert!((t.get(&[0, 1, 2, 1]) - 0.75).abs() < 1e-5);
+        // class one-hot
+        assert_eq!(t.get(&[0, 5, 2, 1]), 1.0);
+        assert_eq!(t.get(&[0, 6, 2, 1]), 0.0);
+    }
+
+    #[test]
+    fn empty_frame_targets_are_zero() {
+        let t = build_targets(&[&[]], 6, 48);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn loss_is_zero_for_perfect_logits() {
+        let b = one_box();
+        let target = build_targets(&[&[b]], 6, 48);
+        // Build "perfect" logits: large where target=1, very negative
+        // elsewhere; box channels need logit(sigmoid^-1(target)).
+        let mut pred = Tensor::zeros(target.shape());
+        let plane = 36;
+        for p in 0..plane {
+            for ch in 0..HEAD_CHANNELS {
+                let idx = ch * plane + p;
+                let t = target.data()[idx];
+                let v = if (1..=4).contains(&ch) {
+                    // inverse sigmoid, clamped
+                    let tc = t.clamp(1e-4, 1.0 - 1e-4);
+                    (tc / (1.0 - tc)).ln()
+                } else if t > 0.5 {
+                    30.0
+                } else {
+                    -30.0
+                };
+                pred.data_mut()[idx] = v;
+            }
+        }
+        let (loss, grad) = detector_loss(&pred, &target, &LossWeights::default());
+        // Box channels of non-object cells don't contribute; everything
+        // else is saturated-correct.
+        assert!(loss < 0.01, "perfect prediction loss {loss}");
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_difference() {
+        let b = one_box();
+        let target = build_targets(&[&[b]], 6, 48);
+        let mut pred = Tensor::zeros(target.shape());
+        for (i, v) in pred.data_mut().iter_mut().enumerate() {
+            *v = ((i * 13 % 17) as f32 - 8.0) * 0.1;
+        }
+        let w = LossWeights::default();
+        let (_, grad) = detector_loss(&pred, &target, &w);
+        let eps = 1e-2;
+        for &idx in &[0usize, 36, 72, 180, 200] {
+            let orig = pred.data()[idx];
+            pred.data_mut()[idx] = orig + eps;
+            let (lp, _) = detector_loss(&pred, &target, &w);
+            pred.data_mut()[idx] = orig - eps;
+            let (lm, _) = detector_loss(&pred, &target, &w);
+            pred.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-3,
+                "grad[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips_targets() {
+        // Encoding a box and decoding perfect logits should recover it.
+        let b = one_box();
+        let target = build_targets(&[&[b]], 6, 48);
+        let mut pred = Tensor::zeros(target.shape());
+        let plane = 36;
+        for p in 0..plane {
+            for ch in 0..HEAD_CHANNELS {
+                let idx = ch * plane + p;
+                let t = target.data()[idx];
+                let v = if (1..=4).contains(&ch) {
+                    let tc = t.clamp(1e-4, 1.0 - 1e-4);
+                    (tc / (1.0 - tc)).ln()
+                } else if t > 0.5 {
+                    20.0
+                } else {
+                    -20.0
+                };
+                pred.data_mut()[idx] = v;
+            }
+        }
+        let dets = decode(&pred, 48, 0.5);
+        assert_eq!(dets[0].len(), 1);
+        let d = &dets[0][0];
+        assert_eq!(d.bbox.class, ObjectClass::Car);
+        assert!(d.bbox.iou(&b) > 0.8, "decoded box {:?} vs gt {:?}", d.bbox, b);
+        assert!(d.score > 0.9);
+    }
+
+    #[test]
+    fn decode_respects_threshold() {
+        let pred = Tensor::full(&[1, HEAD_CHANNELS, 6, 6], -10.0);
+        let dets = decode(&pred, 48, 0.3);
+        assert!(dets[0].is_empty());
+    }
+}

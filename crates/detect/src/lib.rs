@@ -1,0 +1,24 @@
+//! # odin-detect
+//!
+//! The object-detection substrate of ODIN (§5.2 of the paper): a
+//! YOLO-style single-shot grid detector with a heavyweight backbone
+//! (**YoloSim**, the static baseline) and a pruned backbone used both for
+//! per-cluster **YoloSpecialized** models (trained from scratch on oracle
+//! labels) and **YoloLite** models (distilled from a teacher's outputs).
+//!
+//! Also provides NMS, VOC-style mAP evaluation, and throughput/memory
+//! profiling — the measurements behind Figure 8 and Tables 3–5 and 7.
+
+#![warn(missing_docs)]
+
+pub mod head;
+pub mod map;
+pub mod model;
+pub mod nms;
+pub mod profile;
+
+pub use head::{build_targets, decode, detector_loss, Detection, LossWeights, HEAD_CHANNELS};
+pub use map::{mean_average_precision, MAP_IOU};
+pub use model::{Detector, DetectorArch, DEFAULT_CONF, DEFAULT_NMS_IOU};
+pub use nms::nms;
+pub use profile::{profile, Profile};

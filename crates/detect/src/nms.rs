@@ -1,0 +1,71 @@
+//! Per-class non-maximum suppression.
+
+use crate::head::Detection;
+
+/// Greedy per-class NMS: detections are processed in descending score
+/// order; any detection overlapping an already-kept same-class detection
+/// with IoU ≥ `iou_threshold` is suppressed.
+pub fn nms(mut dets: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    assert!((0.0..=1.0).contains(&iou_threshold), "IoU threshold must be in [0,1]");
+    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    let mut kept: Vec<Detection> = Vec::with_capacity(dets.len());
+    for d in dets {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.bbox.class == d.bbox.class && k.bbox.iou(&d.bbox) >= iou_threshold);
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_data::{GtBox, ObjectClass};
+
+    fn det(class: ObjectClass, x: f32, score: f32) -> Detection {
+        Detection {
+            bbox: GtBox { class, x, y: 0.0, w: 10.0, h: 10.0 },
+            score,
+        }
+    }
+
+    #[test]
+    fn overlapping_same_class_suppressed() {
+        let dets = vec![det(ObjectClass::Car, 0.0, 0.9), det(ObjectClass::Car, 1.0, 0.5)];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.9);
+    }
+
+    #[test]
+    fn different_classes_not_suppressed() {
+        let dets = vec![det(ObjectClass::Car, 0.0, 0.9), det(ObjectClass::Truck, 1.0, 0.5)];
+        assert_eq!(nms(dets, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn disjoint_boxes_kept() {
+        let dets = vec![det(ObjectClass::Car, 0.0, 0.9), det(ObjectClass::Car, 50.0, 0.5)];
+        assert_eq!(nms(dets, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn nms_is_idempotent() {
+        let dets = vec![
+            det(ObjectClass::Car, 0.0, 0.9),
+            det(ObjectClass::Car, 2.0, 0.8),
+            det(ObjectClass::Car, 40.0, 0.7),
+        ];
+        let once = nms(dets, 0.5);
+        let twice = nms(once.clone(), 0.5);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(nms(Vec::new(), 0.5).is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Throughput and memory measurement (Table 4).
+
+use std::time::Instant;
+
+use odin_data::Image;
+
+use crate::model::Detector;
+
+/// Measured performance profile of a detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Inference throughput in frames per second.
+    pub fps: f32,
+    /// Model size in bytes (f32 parameters).
+    pub bytes: usize,
+    /// Trainable parameter count.
+    pub params: usize,
+}
+
+/// Measures a detector's inference throughput over `n_frames` frames
+/// (processed in batches of `batch`), plus its memory footprint.
+///
+/// # Panics
+///
+/// Panics if `n_frames` or `batch` is zero.
+pub fn profile(detector: &mut Detector, n_frames: usize, batch: usize) -> Profile {
+    assert!(n_frames > 0 && batch > 0, "need at least one frame and batch");
+    let s = detector.input_size();
+    let frames: Vec<Image> = (0..batch).map(|_| Image::new(3, s, s)).collect();
+    let refs: Vec<&Image> = frames.iter().collect();
+    // Warm-up pass (first-touch allocations).
+    let _ = detector.detect_batch(&refs);
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < n_frames {
+        let _ = detector.detect_batch(&refs);
+        done += batch;
+    }
+    let secs = start.elapsed().as_secs_f32().max(1e-9);
+    Profile {
+        fps: done as f32 / secs,
+        bytes: detector.param_bytes(),
+        params: detector.num_params(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profile_reports_positive_numbers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Detector::small(48, &mut rng);
+        let p = profile(&mut d, 8, 4);
+        assert!(p.fps > 0.0);
+        assert_eq!(p.bytes, d.param_bytes());
+        assert_eq!(p.params, d.num_params());
+    }
+
+    #[test]
+    fn small_is_faster_than_heavy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut small = Detector::small(48, &mut rng);
+        let mut heavy = Detector::heavy(48, &mut rng);
+        let ps = profile(&mut small, 16, 8);
+        let ph = profile(&mut heavy, 16, 8);
+        assert!(
+            ps.fps > ph.fps,
+            "small ({} fps) should beat heavy ({} fps)",
+            ps.fps,
+            ph.fps
+        );
+        assert!(ps.bytes < ph.bytes);
+    }
+}

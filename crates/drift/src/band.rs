@@ -1,0 +1,153 @@
+//! Δ-bands (§4.1 of the paper).
+//!
+//! A Δ-band is the high-density annulus of a cluster: the narrowest
+//! interval of centroid-distances that contains a fraction Δ of the
+//! cluster's points, centered on the distance-distribution's peak
+//! (Figure 4). Representing a cluster by `[Δ_l, Δ_h]` collapses an
+//! arbitrary-dimensional cluster to two scalars, which is how ODIN
+//! reduces drift detection "from ~921K dimensions to four".
+
+use serde::{Deserialize, Serialize};
+
+/// The default band mass used by DETECTOR (§6.2 configures Δ = 0.75).
+pub const DEFAULT_DELTA: f32 = 0.75;
+
+/// A fitted density band: the narrowest distance interval holding a Δ
+/// fraction of a cluster's points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaBand {
+    /// Lower bound Δ_l.
+    pub lower: f32,
+    /// Upper bound Δ_h.
+    pub upper: f32,
+    /// The mass fraction Δ the band was fitted with.
+    pub delta: f32,
+}
+
+impl DeltaBand {
+    /// Fits a band to a set of centroid distances.
+    ///
+    /// Finds the minimal-width window over the sorted distances that
+    /// covers `ceil(delta · n)` points. Because the window is minimal, it
+    /// necessarily sits on the density peak — the same construction §4.1
+    /// describes (center at the peak, expand until the mass constraint of
+    /// Equation 1 holds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is empty or `delta` is outside `(0, 1]`.
+    pub fn fit(distances: &[f32], delta: f32) -> DeltaBand {
+        assert!(!distances.is_empty(), "cannot fit a band to zero distances");
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0,1], got {delta}");
+        let mut sorted: Vec<f32> = distances.iter().copied().filter(|d| d.is_finite()).collect();
+        assert!(!sorted.is_empty(), "all distances were non-finite");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let n = sorted.len();
+        let need = ((delta * n as f32).ceil() as usize).clamp(1, n);
+        let mut best = (0usize, need - 1);
+        let mut best_width = f32::INFINITY;
+        for start in 0..=(n - need) {
+            let end = start + need - 1;
+            let width = sorted[end] - sorted[start];
+            if width < best_width {
+                best_width = width;
+                best = (start, end);
+            }
+        }
+        DeltaBand { lower: sorted[best.0], upper: sorted[best.1], delta }
+    }
+
+    /// True if a distance lies inside the band (inclusive).
+    #[inline]
+    pub fn contains(&self, d: f32) -> bool {
+        d >= self.lower && d <= self.upper
+    }
+
+    /// Band width `Δ_h − Δ_l`.
+    pub fn width(&self) -> f32 {
+        self.upper - self.lower
+    }
+
+    /// Band midpoint.
+    pub fn mid(&self) -> f32 {
+        (self.upper + self.lower) / 2.0
+    }
+
+    /// Fraction of the given distances that fall inside the band —
+    /// the empirical check of Equation 1 (∫ f_Δ = Δ).
+    pub fn mass(&self, distances: &[f32]) -> f32 {
+        if distances.is_empty() {
+            return 0.0;
+        }
+        distances.iter().filter(|&&d| self.contains(d)).count() as f32 / distances.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_covers_requested_mass() {
+        let ds: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let band = DeltaBand::fit(&ds, 0.5);
+        assert!(band.mass(&ds) >= 0.5, "band mass {} below delta", band.mass(&ds));
+    }
+
+    #[test]
+    fn band_centers_on_density_peak() {
+        // Distances clustered around 0.5 with sparse tails: the band must
+        // sit on the dense region, leaving the empty center (Figure 4's
+        // hypersphere hole) outside.
+        let mut ds = vec![0.05, 0.95];
+        for i in 0..50 {
+            ds.push(0.45 + 0.1 * i as f32 / 50.0);
+        }
+        let band = DeltaBand::fit(&ds, 0.75);
+        assert!(band.lower >= 0.3, "lower bound {} should skip the empty center", band.lower);
+        assert!(band.upper <= 0.7, "upper bound {} should skip the tail", band.upper);
+    }
+
+    #[test]
+    fn full_delta_spans_everything() {
+        let ds = vec![0.1, 0.2, 0.9];
+        let band = DeltaBand::fit(&ds, 1.0);
+        assert_eq!(band.lower, 0.1);
+        assert_eq!(band.upper, 0.9);
+        assert_eq!(band.mass(&ds), 1.0);
+    }
+
+    #[test]
+    fn single_point_band_is_degenerate_but_valid() {
+        let band = DeltaBand::fit(&[0.4], 0.75);
+        assert_eq!(band.lower, 0.4);
+        assert_eq!(band.upper, 0.4);
+        assert!(band.contains(0.4));
+        assert!(!band.contains(0.41));
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let ds = vec![3.0, 1.0, 2.0, 5.0, 4.0];
+        let band = DeltaBand::fit(&ds, 0.6);
+        assert!(band.lower <= band.upper);
+    }
+
+    #[test]
+    fn non_finite_distances_are_filtered() {
+        let band = DeltaBand::fit(&[0.1, f32::NAN, 0.2, f32::INFINITY, 0.3], 0.99);
+        assert!(band.upper <= 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit a band to zero distances")]
+    fn empty_distances_panic() {
+        let _ = DeltaBand::fit(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0,1]")]
+    fn invalid_delta_panics() {
+        let _ = DeltaBand::fit(&[0.1], 1.5);
+    }
+}

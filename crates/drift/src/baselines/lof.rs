@@ -1,0 +1,138 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000) — the paper's
+//! structured-data baseline in Table 1.
+//!
+//! Classic LOF with k-distance, reachability distance, and local
+//! reachability density, computed against a fixed reference (training)
+//! set. O(n²) distance computation — fine at the corpus sizes these
+//! experiments use.
+
+/// A fitted LOF detector.
+pub struct Lof {
+    data: Vec<Vec<f32>>,
+    k: usize,
+    /// Per-training-point local reachability density.
+    lrd: Vec<f32>,
+    /// Per-training-point k-distance.
+    kdist: Vec<f32>,
+    /// Per-training-point k nearest neighbour indices.
+    neighbors: Vec<Vec<usize>>,
+}
+
+fn dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Indices and distances of the k nearest rows of `data` to `q`,
+/// excluding `exclude` (use `usize::MAX` for none).
+fn knn(data: &[Vec<f32>], q: &[f32], k: usize, exclude: usize) -> Vec<(usize, f32)> {
+    let mut ds: Vec<(usize, f32)> = data
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != exclude)
+        .map(|(i, p)| (i, dist(p, q)))
+        .collect();
+    ds.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    ds.truncate(k);
+    ds
+}
+
+impl Lof {
+    /// Fits LOF on a training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k + 1` training points are given or `k == 0`.
+    pub fn fit(data: Vec<Vec<f32>>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(data.len() > k, "need more than k={k} training points, got {}", data.len());
+        let n = data.len();
+        let mut kdist = vec![0.0f32; n];
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let nn = knn(&data, &data[i], k, i);
+            kdist[i] = nn.last().expect("k >= 1").1;
+            neighbors.push(nn.iter().map(|&(j, _)| j).collect());
+        }
+        // Local reachability density of each training point.
+        let mut lrd = vec![0.0f32; n];
+        for i in 0..n {
+            let mut reach_sum = 0.0f32;
+            for &j in &neighbors[i] {
+                let d = dist(&data[i], &data[j]);
+                reach_sum += d.max(kdist[j]);
+            }
+            // Epsilon guards against duplicate training points (zero
+            // reachability), which would otherwise blow up the density.
+            lrd[i] = k as f32 / reach_sum.max(1e-6);
+        }
+        Lof { data, k, lrd, kdist, neighbors: Vec::new() }
+            .with_neighbors(neighbors)
+    }
+
+    fn with_neighbors(mut self, neighbors: Vec<Vec<usize>>) -> Self {
+        self.neighbors = neighbors;
+        self
+    }
+
+    /// LOF score of a query point: ≈1 for inliers, larger for outliers.
+    pub fn score(&self, q: &[f32]) -> f32 {
+        let nn = knn(&self.data, q, self.k, usize::MAX);
+        let mut reach_sum = 0.0f32;
+        for &(j, d) in &nn {
+            reach_sum += d.max(self.kdist[j]);
+        }
+        let lrd_q = if reach_sum > 0.0 { self.k as f32 / reach_sum } else { f32::INFINITY };
+        if !lrd_q.is_finite() {
+            return 1.0; // q coincides with dense training data
+        }
+        let neighbor_lrd: f32 = nn.iter().map(|&(j, _)| self.lrd[j].min(1e9)).sum::<f32>() / self.k as f32;
+        neighbor_lrd / lrd_q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f32, cy: f32, n: usize, r: f32) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f32 * 2.39996; // golden angle
+                let rr = r * (0.2 + 0.8 * i as f32 / n as f32);
+                vec![cx + rr * a.cos(), cy + rr * a.sin()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let train = blob(0.0, 0.0, 60, 1.0);
+        let lof = Lof::fit(train, 5);
+        let s = lof.score(&[0.1, 0.1]);
+        assert!(s < 1.6, "inlier LOF {s} too high");
+    }
+
+    #[test]
+    fn distant_point_scores_high() {
+        let train = blob(0.0, 0.0, 60, 1.0);
+        let lof = Lof::fit(train, 5);
+        let s_in = lof.score(&[0.2, 0.0]);
+        let s_out = lof.score(&[15.0, 15.0]);
+        assert!(s_out > 3.0 * s_in, "outlier {s_out} vs inlier {s_in}");
+    }
+
+    #[test]
+    fn score_is_monotone_in_distance() {
+        let train = blob(0.0, 0.0, 80, 1.0);
+        let lof = Lof::fit(train, 6);
+        let near = lof.score(&[2.0, 0.0]);
+        let far = lof.score(&[8.0, 0.0]);
+        assert!(far > near);
+    }
+
+    #[test]
+    #[should_panic(expected = "need more than")]
+    fn too_few_points_panics() {
+        let _ = Lof::fit(blob(0.0, 0.0, 4, 1.0), 5);
+    }
+}

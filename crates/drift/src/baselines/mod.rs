@@ -1,0 +1,13 @@
+//! Baseline outlier detectors the paper compares DETECTOR against in
+//! Table 1: LOF, PCA-residual, and fixed-representation kNN distance
+//! (the scorer used with the AE / AAE / DA-GAN latent spaces). The DRAE
+//! baseline is the autoencoder reconstruction error, produced by
+//! `odin_gan::Autoencoder::reconstruction_errors`.
+
+mod knn;
+mod lof;
+mod pca;
+
+pub use knn::LatentKnn;
+pub use lof::Lof;
+pub use pca::PcaDetector;

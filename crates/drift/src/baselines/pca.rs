@@ -1,0 +1,157 @@
+//! PCA residual outlier detection — the canonical dimensionality-
+//! reduction baseline of Table 1.
+//!
+//! Fits the top-k principal components by power iteration with deflation
+//! on the (implicit) covariance matrix, then scores a point by its
+//! reconstruction residual outside the principal subspace. As the paper
+//! observes, PCA ignores spatial pixel locality, so it collapses first as
+//! outlier fraction grows.
+
+/// A fitted PCA outlier detector.
+pub struct PcaDetector {
+    mean: Vec<f32>,
+    /// Row-major `[k, dim]` orthonormal component matrix.
+    components: Vec<Vec<f32>>,
+}
+
+impl PcaDetector {
+    /// Fits `k` principal components to the training rows.
+    ///
+    /// `iters` controls power-iteration steps per component (20–50 is
+    /// plenty for well-separated spectra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows are inconsistent, or `k == 0`.
+    pub fn fit(data: &[Vec<f32>], k: usize, iters: usize) -> Self {
+        assert!(!data.is_empty(), "PCA needs training data");
+        assert!(k > 0, "k must be positive");
+        let dim = data[0].len();
+        let n = data.len();
+        assert!(data.iter().all(|r| r.len() == dim), "inconsistent row lengths");
+
+        let mut mean = vec![0.0f32; dim];
+        for row in data {
+            for (m, &v) in mean.iter_mut().zip(row.iter()) {
+                *m += v / n as f32;
+            }
+        }
+        // Centered data, borrowed implicitly via closure below.
+        let centered: Vec<Vec<f32>> = data
+            .iter()
+            .map(|row| row.iter().zip(mean.iter()).map(|(&v, &m)| v - m).collect())
+            .collect();
+
+        // Power iteration with deflation: we never materialize the
+        // covariance matrix; cov·v = Xᵀ(Xv)/n.
+        let mut components: Vec<Vec<f32>> = Vec::with_capacity(k.min(dim));
+        for ci in 0..k.min(dim) {
+            // Deterministic pseudo-random start vector.
+            let mut v: Vec<f32> = (0..dim).map(|j| ((j * 31 + ci * 17 + 1) as f32).sin()).collect();
+            normalize(&mut v);
+            for _ in 0..iters {
+                // w = Xᵀ X v  (through the samples)
+                let mut w = vec![0.0f32; dim];
+                for row in &centered {
+                    let proj: f32 = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+                    for (wi, &r) in w.iter_mut().zip(row.iter()) {
+                        *wi += proj * r;
+                    }
+                }
+                // Deflate against previous components.
+                for c in &components {
+                    let d: f32 = w.iter().zip(c.iter()).map(|(a, b)| a * b).sum();
+                    for (wi, &cv) in w.iter_mut().zip(c.iter()) {
+                        *wi -= d * cv;
+                    }
+                }
+                if normalize(&mut w) < 1e-12 {
+                    break;
+                }
+                v = w;
+            }
+            components.push(v);
+        }
+        PcaDetector { mean, components }
+    }
+
+    /// Number of fitted components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Residual norm of a point outside the principal subspace: larger ⇒
+    /// more outlier-like.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.mean.len(), "dimensionality mismatch");
+        let centered: Vec<f32> = x.iter().zip(self.mean.iter()).map(|(&v, &m)| v - m).collect();
+        let mut residual = centered.clone();
+        for c in &self.components {
+            let proj: f32 = centered.iter().zip(c.iter()).map(|(a, b)| a * b).sum();
+            for (r, &cv) in residual.iter_mut().zip(c.iter()) {
+                *r -= proj * cv;
+            }
+        }
+        residual.iter().map(|&r| r * r).sum::<f32>().sqrt()
+    }
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along a line in 3-D with small perpendicular noise.
+    fn line_data(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32 * 10.0 - 5.0;
+                let eps = ((i * 7) as f32).sin() * 0.05;
+                vec![t, 2.0 * t + eps, -t + eps]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn on_manifold_points_have_small_residual() {
+        let pca = PcaDetector::fit(&line_data(100), 1, 30);
+        let s = pca.score(&[1.0, 2.0, -1.0]);
+        assert!(s < 0.2, "on-line residual {s} too large");
+    }
+
+    #[test]
+    fn off_manifold_points_have_large_residual() {
+        let pca = PcaDetector::fit(&line_data(100), 1, 30);
+        let on = pca.score(&[1.0, 2.0, -1.0]);
+        let off = pca.score(&[1.0, -2.0, 3.0]);
+        assert!(off > 10.0 * on.max(0.01), "off-line {off} vs on-line {on}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let pca = PcaDetector::fit(&line_data(100), 2, 40);
+        assert_eq!(pca.k(), 2);
+        let c0 = &pca.components[0];
+        let c1 = &pca.components[1];
+        let n0: f32 = c0.iter().map(|x| x * x).sum();
+        let dot: f32 = c0.iter().zip(c1.iter()).map(|(a, b)| a * b).sum();
+        assert!((n0 - 1.0).abs() < 1e-4);
+        assert!(dot.abs() < 1e-3, "components not orthogonal: {dot}");
+    }
+
+    #[test]
+    fn k_clamped_to_dimension() {
+        let data = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let pca = PcaDetector::fit(&data, 10, 20);
+        assert_eq!(pca.k(), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Cluster state: centroid, point reservoir, Δ-band, and distance
+//! distribution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::band::DeltaBand;
+use crate::kl::{histogram_kl, DistanceHistogram};
+
+/// Refit the band/centroid after this many inserts into a permanent
+/// cluster (amortizes the O(n log n) band fit).
+const REFIT_EVERY: usize = 16;
+
+/// Euclidean distance between two latent vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "latent dimensionality mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// A permanent cluster in latent space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    id: usize,
+    centroid: Vec<f32>,
+    /// Capped reservoir of member latents (overwritten round-robin once
+    /// full) used for band refits.
+    points: Vec<Vec<f32>>,
+    band: DeltaBand,
+    n_total: usize,
+    since_refit: usize,
+    cap: usize,
+    delta: f32,
+}
+
+impl Cluster {
+    /// Builds a cluster from an initial point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn from_points(id: usize, points: Vec<Vec<f32>>, delta: f32, cap: usize) -> Self {
+        assert!(!points.is_empty(), "cluster needs at least one point");
+        let centroid = centroid_of(&points);
+        let distances: Vec<f32> = points.iter().map(|p| euclidean(p, &centroid)).collect();
+        let band = DeltaBand::fit(&distances, delta);
+        let n_total = points.len();
+        let mut c = Cluster { id, centroid, points, band, n_total, since_refit: 0, cap, delta };
+        c.truncate_reservoir();
+        c
+    }
+
+    fn truncate_reservoir(&mut self) {
+        if self.points.len() > self.cap {
+            self.points.truncate(self.cap);
+        }
+    }
+
+    /// Cluster identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total points ever assigned (not just the reservoir).
+    pub fn size(&self) -> usize {
+        self.n_total
+    }
+
+    /// The cluster centroid.
+    pub fn centroid(&self) -> &[f32] {
+        &self.centroid
+    }
+
+    /// The fitted Δ-band.
+    pub fn band(&self) -> &DeltaBand {
+        &self.band
+    }
+
+    /// Distance from a latent to the centroid.
+    pub fn distance_to(&self, z: &[f32]) -> f32 {
+        euclidean(z, &self.centroid)
+    }
+
+    /// Inserts a point: updates the running centroid and periodically
+    /// refits the band from the reservoir.
+    pub fn insert(&mut self, z: Vec<f32>) {
+        // Incremental centroid over all points ever seen.
+        self.n_total += 1;
+        let w = 1.0 / self.n_total as f32;
+        for (c, &v) in self.centroid.iter_mut().zip(z.iter()) {
+            *c += (v - *c) * w;
+        }
+        if self.points.len() < self.cap {
+            self.points.push(z);
+        } else {
+            let slot = self.n_total % self.cap;
+            self.points[slot] = z;
+        }
+        self.since_refit += 1;
+        if self.since_refit >= REFIT_EVERY {
+            self.refit();
+        }
+    }
+
+    /// Refits the band from the reservoir against the current centroid.
+    pub fn refit(&mut self) {
+        let distances: Vec<f32> = self.points.iter().map(|p| euclidean(p, &self.centroid)).collect();
+        self.band = DeltaBand::fit(&distances, self.delta);
+        self.since_refit = 0;
+    }
+}
+
+fn centroid_of(points: &[Vec<f32>]) -> Vec<f32> {
+    let dim = points[0].len();
+    let mut c = vec![0.0f32; dim];
+    for p in points {
+        assert_eq!(p.len(), dim, "latent dimensionality mismatch");
+        for (ci, &v) in c.iter_mut().zip(p.iter()) {
+            *ci += v;
+        }
+    }
+    for ci in &mut c {
+        *ci /= points.len() as f32;
+    }
+    c
+}
+
+/// The temporary cluster that accumulates outliers until its distance
+/// distribution stabilizes (§4.1, §4.5).
+#[derive(Debug, Clone)]
+pub struct TempCluster {
+    points: Vec<Vec<f32>>,
+    centroid: Option<Vec<f32>>,
+    hist: DistanceHistogram,
+    last_kl: f64,
+    stable_run: usize,
+    hist_hi: f32,
+    bins: usize,
+}
+
+impl TempCluster {
+    /// Creates an empty temporary cluster. `hist_hi` is the distance
+    /// range tracked by the KL histogram; `bins` its resolution.
+    pub fn new(hist_hi: f32, bins: usize) -> Self {
+        TempCluster {
+            points: Vec::new(),
+            centroid: None,
+            hist: DistanceHistogram::new(0.0, hist_hi, bins),
+            last_kl: f64::INFINITY,
+            stable_run: 0,
+            hist_hi,
+            bins,
+        }
+    }
+
+    /// Number of accumulated outliers.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no outliers have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The KL divergence produced by the most recent insert.
+    pub fn last_kl(&self) -> f64 {
+        self.last_kl
+    }
+
+    /// Consecutive inserts whose KL stayed below the stability threshold.
+    pub fn stable_run(&self) -> usize {
+        self.stable_run
+    }
+
+    /// Adds an outlier; updates the centroid, distance histogram, and the
+    /// prior-vs-posterior KL (Equation 2).
+    pub fn insert(&mut self, z: Vec<f32>, kl_eps: f64) {
+        match &mut self.centroid {
+            None => self.centroid = Some(z.clone()),
+            Some(c) => {
+                let w = 1.0 / (self.points.len() + 1) as f32;
+                for (ci, &v) in c.iter_mut().zip(z.iter()) {
+                    *ci += (v - *ci) * w;
+                }
+            }
+        }
+        let d = euclidean(&z, self.centroid.as_ref().expect("centroid set above"));
+        let prior = self.hist.clone();
+        self.hist.add(d);
+        self.last_kl = histogram_kl(&prior, &self.hist);
+        if self.last_kl < kl_eps {
+            self.stable_run += 1;
+        } else {
+            self.stable_run = 0;
+        }
+        self.points.push(z);
+    }
+
+    /// Consumes the accumulated points, resetting the temporary cluster.
+    pub fn take_points(&mut self) -> Vec<Vec<f32>> {
+        let pts = std::mem::take(&mut self.points);
+        self.centroid = None;
+        self.hist = DistanceHistogram::new(0.0, self.hist_hi, self.bins);
+        self.last_kl = f64::INFINITY;
+        self.stable_run = 0;
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ball(center: &[f32], r: f32, n: usize) -> Vec<Vec<f32>> {
+        // Deterministic points on a shell of radius ~r around the center.
+        (0..n)
+            .map(|i| {
+                center
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| c + r * ((i * 7 + j * 13) as f32).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let c = Cluster::from_points(0, pts, 0.75, 64);
+        assert_eq!(c.centroid(), &[1.0, 2.0]);
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn insert_updates_centroid_incrementally() {
+        let mut c = Cluster::from_points(0, vec![vec![0.0], vec![2.0]], 0.75, 64);
+        c.insert(vec![4.0]);
+        assert!((c.centroid()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(c.size(), 3);
+    }
+
+    #[test]
+    fn reservoir_is_capped() {
+        let mut c = Cluster::from_points(0, vec![vec![0.0]], 0.75, 4);
+        for i in 0..100 {
+            c.insert(vec![i as f32 * 0.01]);
+        }
+        assert_eq!(c.size(), 101);
+        // Internal reservoir stays bounded (indirectly: refits stay fast
+        // and centroid remains finite).
+        assert!(c.centroid()[0].is_finite());
+    }
+
+    #[test]
+    fn band_contains_typical_member_distance() {
+        let pts = ball(&[0.0; 8], 1.0, 60);
+        let c = Cluster::from_points(0, pts.clone(), 0.75, 128);
+        let inside = pts.iter().filter(|p| c.band().contains(c.distance_to(p))).count();
+        assert!(inside as f32 / pts.len() as f32 >= 0.7, "band holds too few members: {inside}/60");
+    }
+
+    #[test]
+    fn temp_cluster_stabilizes_on_stationary_data() {
+        let mut t = TempCluster::new(8.0, 32);
+        let pts = ball(&[3.0; 8], 0.5, 120);
+        for p in pts {
+            t.insert(p, 1e-3);
+        }
+        assert!(t.stable_run() > 10, "stable run {} too short", t.stable_run());
+        assert!(t.last_kl() < 1e-3);
+    }
+
+    #[test]
+    fn temp_cluster_take_points_resets() {
+        let mut t = TempCluster::new(8.0, 16);
+        t.insert(vec![1.0, 2.0], 1e-3);
+        t.insert(vec![1.1, 2.1], 1e-3);
+        let pts = t.take_points();
+        assert_eq!(pts.len(), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.stable_run(), 0);
+    }
+
+    #[test]
+    fn euclidean_matches_manual() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn euclidean_dim_mismatch_panics() {
+        let _ = euclidean(&[0.0], &[1.0, 2.0]);
+    }
+}

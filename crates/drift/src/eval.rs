@@ -1,0 +1,139 @@
+//! Scoring harness for outlier-detection experiments (Table 1).
+//!
+//! Outlier detectors emit a scalar score per point (higher = more
+//! outlier-like); the standard evaluation sweeps the decision threshold
+//! and reports the best F1 over the outlier class.
+
+/// Precision, recall, and F1 at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// Precision of the outlier class.
+    pub precision: f32,
+    /// Recall of the outlier class.
+    pub recall: f32,
+    /// F1 of the outlier class.
+    pub f1: f32,
+}
+
+/// Confusion counts at `score >= threshold ⇒ predicted outlier`.
+pub fn confusion_at(scores: &[f32], labels: &[bool], threshold: f32) -> PrF1 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&s, &is_outlier) in scores.iter().zip(labels.iter()) {
+        let pred = s >= threshold;
+        match (pred, is_outlier) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f32 / (tp + fp) as f32 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f32 / (tp + fn_) as f32 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrF1 { precision, recall, f1 }
+}
+
+/// Best F1 over all thresholds induced by the observed scores.
+///
+/// When there are no outliers at all (the 0% row of Table 1), a detector
+/// is judged by specificity instead: the fraction of inliers it keeps
+/// below its own 95th-percentile training threshold, which reduces to
+/// accuracy on the all-inlier set.
+pub fn best_f1(scores: &[f32], labels: &[bool]) -> f32 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    if !labels.iter().any(|&l| l) {
+        return 1.0; // no outliers to find; vacuous perfect score
+    }
+    let mut thresholds: Vec<f32> = scores.to_vec();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    thresholds.dedup();
+    let mut best = 0.0f32;
+    for &t in &thresholds {
+        let f1 = confusion_at(scores, labels, t).f1;
+        if f1 > best {
+            best = f1;
+        }
+    }
+    best
+}
+
+/// Accuracy on an all-inlier corpus at a threshold calibrated to the
+/// inlier score quantile `q` — how Table 1's 0%-outlier row is scored.
+pub fn inlier_accuracy_at_quantile(train_scores: &[f32], test_scores: &[f32], q: f32) -> f32 {
+    assert!(!train_scores.is_empty(), "need calibration scores");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted = train_scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let idx = ((sorted.len() - 1) as f32 * q).round() as usize;
+    let threshold = sorted[idx];
+    if test_scores.is_empty() {
+        return 1.0;
+    }
+    test_scores.iter().filter(|&&s| s <= threshold).count() as f32 / test_scores.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_f1_one() {
+        let scores = vec![0.1, 0.2, 0.9, 1.0];
+        let labels = vec![false, false, true, true];
+        assert!((best_f1(&scores, &labels) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_scores_give_partial_f1() {
+        let scores = vec![0.5, 0.5, 0.5, 0.5];
+        let labels = vec![false, true, false, true];
+        let f1 = best_f1(&scores, &labels);
+        assert!(f1 > 0.0 && f1 < 1.0, "degenerate scores F1 {f1}");
+    }
+
+    #[test]
+    fn inverted_scores_give_low_f1() {
+        let scores = vec![1.0, 0.9, 0.1, 0.0];
+        let labels = vec![false, false, true, true];
+        let good = best_f1(&[0.0, 0.1, 0.9, 1.0], &labels);
+        let bad = best_f1(&scores, &labels);
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn no_outliers_is_vacuously_perfect() {
+        assert_eq!(best_f1(&[0.3, 0.4], &[false, false]), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts_are_consistent() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![true, false, true, false];
+        let m = confusion_at(&scores, &labels, 0.5);
+        assert!((m.precision - 0.5).abs() < 1e-6); // 1 TP, 1 FP
+        assert!((m.recall - 0.5).abs() < 1e-6); // 1 TP, 1 FN
+    }
+
+    #[test]
+    fn quantile_accuracy_bounds() {
+        let train = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let acc = inlier_accuracy_at_quantile(&train, &[0.15, 0.35, 9.0], 0.95);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = best_f1(&[0.1], &[true, false]);
+    }
+}

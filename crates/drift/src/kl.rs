@@ -1,0 +1,169 @@
+//! Histograms over centroid distances and KL divergence (Equation 2).
+//!
+//! DETECTOR tracks the distance distribution of the temporary cluster as
+//! a smoothed histogram. When adding a new point stops changing the
+//! distribution — `D_KL(prior ‖ posterior) → 0` — the temporary cluster
+//! is declared stable and promoted to a permanent cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range histogram with Laplace smoothing, convertible to a
+/// probability distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    counts: Vec<u32>,
+    lo: f32,
+    hi: f32,
+    total: u64,
+}
+
+impl DistanceHistogram {
+    /// Creates an empty histogram over `[lo, hi]` with `bins` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty: [{lo}, {hi}]");
+        DistanceHistogram { counts: vec![0; bins], lo, hi, total: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn bin_of(&self, d: f32) -> usize {
+        let f = ((d - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((f * self.counts.len() as f32) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Records one distance (values outside the range clamp to the edge
+    /// bins).
+    pub fn add(&mut self, d: f32) {
+        if !d.is_finite() {
+            return;
+        }
+        let b = self.bin_of(d);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// The smoothed probability distribution (Laplace +1).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let denom = self.total as f64 + self.counts.len() as f64;
+        self.counts.iter().map(|&c| (c as f64 + 1.0) / denom).collect()
+    }
+}
+
+/// KL divergence `D_KL(P_A ‖ P_B) = Σ P_A · ln(P_A / P_B)` between two
+/// discrete distributions (Equation 2 of the paper, sign-corrected).
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn kl_divergence(pa: &[f64], pb: &[f64]) -> f64 {
+    assert_eq!(pa.len(), pb.len(), "distribution length mismatch");
+    pa.iter()
+        .zip(pb.iter())
+        .map(|(&a, &b)| {
+            if a <= 0.0 {
+                0.0
+            } else {
+                a * (a / b.max(1e-12)).ln()
+            }
+        })
+        .sum()
+}
+
+/// KL divergence between two histograms (via their smoothed
+/// probabilities).
+pub fn histogram_kl(prior: &DistanceHistogram, posterior: &DistanceHistogram) -> f64 {
+    kl_divergence(&prior.probabilities(), &posterior.probabilities())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let p = vec![0.25; 4];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_nonnegative() {
+        let p = vec![0.7, 0.2, 0.1];
+        let q = vec![0.1, 0.2, 0.7];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert!(kl_divergence(&q, &p) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_in_general() {
+        let p = vec![0.9, 0.05, 0.05];
+        let q = vec![0.4, 0.3, 0.3];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn histogram_records_and_normalizes() {
+        let mut h = DistanceHistogram::new(0.0, 1.0, 4);
+        h.add(0.1);
+        h.add(0.9);
+        h.add(0.9);
+        assert_eq!(h.total(), 3);
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[3] > p[0]);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = DistanceHistogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.total(), 2);
+        let p = h.probabilities();
+        assert!((p[0] - p[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_values_ignored() {
+        let mut h = DistanceHistogram::new(0.0, 1.0, 2);
+        h.add(f32::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn kl_shrinks_as_posterior_converges() {
+        // Adding points from the same distribution should drive the
+        // prior/posterior KL toward zero — the stability signal of §4.1.
+        let mut prev = DistanceHistogram::new(0.0, 1.0, 8);
+        let mut kls = Vec::new();
+        for i in 0..200 {
+            let d = 0.4 + 0.2 * ((i * 37 % 100) as f32 / 100.0);
+            let mut next = prev.clone();
+            next.add(d);
+            kls.push(histogram_kl(&prev, &next));
+            prev = next;
+        }
+        let early: f64 = kls[5..15].iter().sum::<f64>() / 10.0;
+        let late: f64 = kls[kls.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(late < early, "KL did not shrink: {early} -> {late}");
+        assert!(late < 1e-3, "late KL {late} should be near zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = kl_divergence(&[0.5, 0.5], &[1.0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # odin-drift
+//!
+//! The unsupervised drift-detection machinery of ODIN's DETECTOR (§4):
+//!
+//! * [`band::DeltaBand`] — the Δ-band (high-density annulus) cluster
+//!   summary of §4.1 / Figure 4,
+//! * [`kl`] — distance histograms and the KL-divergence stability test of
+//!   Equation 2,
+//! * [`cluster`] / [`manager`] — the online clustering of §4.5: points
+//!   are assigned to permanent clusters by Δ-band membership or pooled in
+//!   a temporary cluster; a stabilized temporary cluster is promoted to a
+//!   permanent one (a **drift event**),
+//! * [`baselines`] — LOF, PCA-residual, and latent-kNN scorers for the
+//!   Table-1 comparison,
+//! * [`eval`] — F1 scoring of outlier detectors.
+//!
+//! This crate works purely on latent vectors; the projection from pixels
+//! to the latent manifold lives in `odin-gan`, and `odin-core` wires the
+//! two together.
+
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod baselines;
+pub mod cluster;
+pub mod eval;
+pub mod kl;
+pub mod lsh;
+pub mod manager;
+
+pub use band::{DeltaBand, DEFAULT_DELTA};
+pub use cluster::{euclidean, Cluster, TempCluster};
+pub use lsh::LshIndex;
+pub use manager::{Assignment, ClusterManager, DriftEvent, ManagerConfig, Observation};

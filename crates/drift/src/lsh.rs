@@ -1,0 +1,238 @@
+//! Locality-sensitive hashing for cluster lookup — the paper's §7
+//! ("DA-GAN Performance") proposes LSH to keep DETECTOR fast as the
+//! number of clusters grows, since a naive lookup compares every input
+//! against every cluster's Δ-band.
+//!
+//! This is a random-hyperplane (signed random projection) index over
+//! cluster centroids: a query hashes to a bucket per table, candidate
+//! centroids are the union of its buckets, and only those candidates are
+//! distance-checked. With `tables × bits` chosen sensibly, lookup cost
+//! becomes sublinear in the cluster count at a small recall cost.
+
+use crate::cluster::euclidean;
+
+/// A random-hyperplane LSH index over latent vectors.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    dim: usize,
+    bits: usize,
+    /// `tables × bits` hyperplanes, each of length `dim`.
+    planes: Vec<Vec<f32>>,
+    /// Per table: bucket-key → item indices.
+    tables: Vec<std::collections::HashMap<u64, Vec<usize>>>,
+    items: Vec<Vec<f32>>,
+}
+
+impl LshIndex {
+    /// Creates an empty index.
+    ///
+    /// * `dim` — latent dimensionality,
+    /// * `tables` — number of independent hash tables (higher = better
+    ///   recall, more memory),
+    /// * `bits` — hyperplanes per table (higher = smaller buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `bits > 63`.
+    pub fn new(dim: usize, tables: usize, bits: usize, seed: u64) -> Self {
+        assert!(dim > 0 && tables > 0 && bits > 0, "LSH parameters must be positive");
+        assert!(bits <= 63, "at most 63 bits per table");
+        // Deterministic pseudo-random hyperplanes from a splitmix-style
+        // generator (keeps the index reproducible without threading an
+        // RNG through).
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let planes = (0..tables * bits)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        // Uniform in [-1, 1) is fine for sign hashing.
+                        (next() >> 40) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+                    })
+                    .collect()
+            })
+            .collect();
+        LshIndex {
+            dim,
+            bits,
+            planes,
+            tables: vec![std::collections::HashMap::new(); tables],
+            items: Vec::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn key(&self, table: usize, v: &[f32]) -> u64 {
+        let mut key = 0u64;
+        for b in 0..self.bits {
+            let plane = &self.planes[table * self.bits + b];
+            let dot: f32 = plane.iter().zip(v.iter()).map(|(p, x)| p * x).sum();
+            key = (key << 1) | (dot >= 0.0) as u64;
+        }
+        key
+    }
+
+    /// Indexes a vector, returning its item id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn insert(&mut self, v: Vec<f32>) -> usize {
+        assert_eq!(v.len(), self.dim, "LSH dimensionality mismatch");
+        let id = self.items.len();
+        for t in 0..self.tables.len() {
+            let key = self.key(t, &v);
+            self.tables[t].entry(key).or_default().push(id);
+        }
+        self.items.push(v);
+        id
+    }
+
+    /// Candidate item ids for a query (union over tables, deduplicated,
+    /// ascending).
+    pub fn candidates(&self, q: &[f32]) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "LSH dimensionality mismatch");
+        let mut seen = vec![false; self.items.len()];
+        let mut out = Vec::new();
+        for t in 0..self.tables.len() {
+            if let Some(bucket) = self.tables[t].get(&self.key(t, q)) {
+                for &id in bucket {
+                    if !seen[id] {
+                        seen[id] = true;
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Approximate nearest neighbour: the closest candidate, falling back
+    /// to an exact scan when every bucket is empty (guaranteeing an
+    /// answer whenever the index is non-empty).
+    pub fn nearest(&self, q: &[f32]) -> Option<(usize, f32)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let candidates = self.candidates(q);
+        let pool: Box<dyn Iterator<Item = usize>> = if candidates.is_empty() {
+            Box::new(0..self.items.len())
+        } else {
+            Box::new(candidates.into_iter())
+        };
+        pool.map(|id| (id, euclidean(&self.items[id], q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..dim).map(|j| ((i * 13 + j * 7) % 97) as f32 / 10.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn nearest_returns_exact_match_for_indexed_point() {
+        let mut idx = LshIndex::new(8, 4, 8, 0);
+        let pts = grid_points(50, 8);
+        for p in &pts {
+            idx.insert(p.clone());
+        }
+        let (id, d) = idx.nearest(&pts[17]).expect("non-empty");
+        assert_eq!(id, 17);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn nearest_approximates_linear_scan() {
+        let mut idx = LshIndex::new(16, 6, 8, 1);
+        let pts = grid_points(200, 16);
+        for p in &pts {
+            idx.insert(p.clone());
+        }
+        let mut hits = 0;
+        let queries = grid_points(40, 16);
+        for q in &queries {
+            let approx = idx.nearest(q).expect("non-empty").1;
+            let exact = pts
+                .iter()
+                .map(|p| euclidean(p, q))
+                .fold(f32::INFINITY, f32::min);
+            // Allow a bounded approximation slack.
+            if approx <= exact * 1.5 + 1e-3 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 36, "LSH recall too low: {hits}/40");
+    }
+
+    #[test]
+    fn candidates_shrink_the_search() {
+        let mut idx = LshIndex::new(16, 2, 10, 2);
+        // Two blobs pointing in opposite directions (sign-hash LSH is
+        // direction-sensitive, not magnitude-sensitive).
+        for i in 0..100 {
+            let v: Vec<f32> = (0..16).map(|j| 1.0 + ((i + j) % 5) as f32 * 0.1).collect();
+            idx.insert(v);
+        }
+        for i in 0..100 {
+            let v: Vec<f32> =
+                (0..16).map(|j| if j % 2 == 0 { -1.0 } else { 1.0 } * (5.0 + ((i + j) % 5) as f32 * 0.1)).collect();
+            idx.insert(v);
+        }
+        let q: Vec<f32> = vec![1.1; 16];
+        let cands = idx.candidates(&q);
+        assert!(!cands.is_empty());
+        assert!(
+            cands.len() < 150,
+            "candidate set should be smaller than the full index, got {}",
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let idx = LshIndex::new(4, 2, 4, 0);
+        assert!(idx.nearest(&[0.0; 4]).is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = LshIndex::new(8, 2, 6, 42);
+        let mut b = LshIndex::new(8, 2, 6, 42);
+        for p in grid_points(20, 8) {
+            a.insert(p.clone());
+            b.insert(p);
+        }
+        let q = vec![1.0; 8];
+        assert_eq!(a.candidates(&q), b.candidates(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn dim_mismatch_panics() {
+        let mut idx = LshIndex::new(4, 2, 4, 0);
+        idx.insert(vec![0.0; 5]);
+    }
+}

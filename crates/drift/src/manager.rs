@@ -1,0 +1,326 @@
+//! The online cluster manager — the clustering half of DETECTOR (§4.5)
+//! and the drift bookkeeping of Algorithm 2.
+//!
+//! Points arrive one at a time (already projected to the latent
+//! manifold). Each is assigned to a permanent cluster whose Δ-band
+//! contains its centroid distance, or to the temporary cluster otherwise.
+//! When the temporary cluster's distance distribution stabilizes (KL
+//! between prior and posterior stays below a threshold), it is promoted
+//! to a new permanent cluster — a **drift event**.
+
+use serde::{Deserialize, Serialize};
+
+use crate::band::DEFAULT_DELTA;
+use crate::cluster::{Cluster, TempCluster};
+
+/// Configuration of the online cluster manager.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ManagerConfig {
+    /// Band mass Δ (paper uses 0.75).
+    pub delta: f32,
+    /// Band containment margin for assignment: bounds are widened by
+    /// `margin × width` on each side. 0 reproduces Algorithm 2 line 4
+    /// exactly; with Δ = 0.75 a margin is needed so the 25% of
+    /// same-concept points that fall just outside the high-density band
+    /// are still assigned to their cluster instead of repeatedly seeding
+    /// spurious temporary clusters.
+    pub assign_margin: f32,
+    /// KL threshold below which an insert counts as "no change".
+    pub kl_eps: f64,
+    /// Minimum temporary-cluster size before promotion is considered.
+    pub min_points: usize,
+    /// Consecutive stable inserts required for promotion.
+    pub stable_window: usize,
+    /// Histogram range for the KL tracker (latent distances).
+    pub hist_hi: f32,
+    /// Histogram bins for the KL tracker.
+    pub bins: usize,
+    /// Per-cluster point reservoir size.
+    pub reservoir: usize,
+    /// Optional cap on the number of permanent clusters; when exceeded,
+    /// the smallest cluster is dropped (§6.5 configuration ❸).
+    pub max_clusters: Option<usize>,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            delta: DEFAULT_DELTA,
+            assign_margin: 0.6,
+            kl_eps: 5e-4,
+            min_points: 24,
+            stable_window: 8,
+            hist_hi: 16.0,
+            bins: 32,
+            reservoir: 512,
+            max_clusters: None,
+        }
+    }
+}
+
+/// Where an observed point landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Assigned to the permanent cluster with this id.
+    Cluster(usize),
+    /// Routed to the temporary cluster (an outlier so far).
+    Temporary,
+}
+
+/// The outcome of observing one point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Where the point went.
+    pub assignment: Assignment,
+    /// If the temporary cluster was promoted by this observation, the new
+    /// permanent cluster's id (a drift event).
+    pub promoted: Option<usize>,
+    /// If the cluster cap forced an eviction, the dropped cluster's id.
+    pub evicted: Option<usize>,
+}
+
+/// A recorded drift event: a new permanent cluster appeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// The promoted cluster's id.
+    pub cluster_id: usize,
+    /// Stream position (number of points observed so far) at promotion.
+    pub at: usize,
+}
+
+/// The online cluster manager.
+#[derive(Debug)]
+pub struct ClusterManager {
+    cfg: ManagerConfig,
+    clusters: Vec<Cluster>,
+    temp: TempCluster,
+    next_id: usize,
+    seen: usize,
+    events: Vec<DriftEvent>,
+}
+
+impl ClusterManager {
+    /// Creates a manager with no permanent clusters.
+    pub fn new(cfg: ManagerConfig) -> Self {
+        let temp = TempCluster::new(cfg.hist_hi, cfg.bins);
+        ClusterManager { cfg, clusters: Vec::new(), temp, next_id: 0, seen: 0, events: Vec::new() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.cfg
+    }
+
+    /// The permanent clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// A permanent cluster by id.
+    pub fn cluster(&self, id: usize) -> Option<&Cluster> {
+        self.clusters.iter().find(|c| c.id() == id)
+    }
+
+    /// Total points observed.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// All drift events so far, in order.
+    pub fn events(&self) -> &[DriftEvent] {
+        &self.events
+    }
+
+    /// Current temporary-cluster size.
+    pub fn temp_len(&self) -> usize {
+        self.temp.len()
+    }
+
+    /// Finds the best matching permanent cluster for a latent: the
+    /// nearest cluster whose (margin-widened) Δ-band contains the
+    /// centroid distance.
+    pub fn matching_cluster(&self, z: &[f32]) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for c in &self.clusters {
+            let d = c.distance_to(z);
+            let band = c.band();
+            let m = self.cfg.assign_margin * band.width().max(1e-3);
+            if d >= band.lower - m && d <= band.upper + m {
+                match best {
+                    Some((_, bd)) if bd <= d => {}
+                    _ => best = Some((c.id(), d)),
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// Distances from a latent to every permanent centroid, as
+    /// `(cluster_id, distance)` pairs.
+    pub fn distances(&self, z: &[f32]) -> Vec<(usize, f32)> {
+        self.clusters.iter().map(|c| (c.id(), c.distance_to(z))).collect()
+    }
+
+    /// Observes one latent point, updating cluster state; may promote the
+    /// temporary cluster (drift) and/or evict the smallest cluster.
+    pub fn observe(&mut self, z: &[f32]) -> Observation {
+        self.seen += 1;
+        if let Some(id) = self.matching_cluster(z) {
+            let cluster = self
+                .clusters
+                .iter_mut()
+                .find(|c| c.id() == id)
+                .expect("matching cluster exists");
+            cluster.insert(z.to_vec());
+            return Observation { assignment: Assignment::Cluster(id), promoted: None, evicted: None };
+        }
+        self.temp.insert(z.to_vec(), self.cfg.kl_eps);
+        let stable = self.temp.len() >= self.cfg.min_points
+            && self.temp.stable_run() >= self.cfg.stable_window;
+        if !stable {
+            return Observation { assignment: Assignment::Temporary, promoted: None, evicted: None };
+        }
+        // Promotion: the temporary cluster becomes permanent (§4.5).
+        let pts = self.temp.take_points();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clusters.push(Cluster::from_points(id, pts, self.cfg.delta, self.cfg.reservoir));
+        self.events.push(DriftEvent { cluster_id: id, at: self.seen });
+        let evicted = self.enforce_cap(id);
+        Observation { assignment: Assignment::Temporary, promoted: Some(id), evicted }
+    }
+
+    /// Drops the smallest *pre-existing* cluster when the cap is
+    /// exceeded. The just-promoted cluster (`keep`) is exempt — the paper
+    /// drops an old cluster in favour of the newly discovered concept
+    /// (§6.5 ❸).
+    fn enforce_cap(&mut self, keep: usize) -> Option<usize> {
+        let cap = self.cfg.max_clusters?;
+        if self.clusters.len() <= cap {
+            return None;
+        }
+        let (idx, _) = self
+            .clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.id() != keep)
+            .min_by_key(|(_, c)| c.size())
+            .expect("at least one evictable cluster when over cap");
+        let dropped = self.clusters.remove(idx);
+        Some(dropped.id())
+    }
+
+    /// Feeds a batch of latents through [`ClusterManager::observe`],
+    /// returning the ids of clusters promoted along the way. This is how
+    /// DETECTOR bootstraps its initial clusters from training data.
+    pub fn bootstrap(&mut self, latents: &[Vec<f32>]) -> Vec<usize> {
+        let mut promoted = Vec::new();
+        for z in latents {
+            if let Some(id) = self.observe(z).promoted {
+                promoted.push(id);
+            }
+        }
+        promoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell(center: &[f32], r: f32, n: usize, salt: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                center
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| c + r * ((i * 7 + j * 13 + salt) as f32).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn test_cfg() -> ManagerConfig {
+        ManagerConfig { min_points: 20, stable_window: 5, kl_eps: 2e-3, ..ManagerConfig::default() }
+    }
+
+    #[test]
+    fn first_concept_promotes_one_cluster() {
+        let mut m = ClusterManager::new(test_cfg());
+        let pts = shell(&[0.0; 8], 1.0, 120, 0);
+        let promoted = m.bootstrap(&pts);
+        assert_eq!(promoted.len(), 1, "expected exactly one cluster, got {promoted:?}");
+        assert_eq!(m.clusters().len(), 1);
+        assert_eq!(m.events().len(), 1);
+    }
+
+    #[test]
+    fn second_concept_triggers_drift_event() {
+        let mut m = ClusterManager::new(test_cfg());
+        m.bootstrap(&shell(&[0.0; 8], 1.0, 120, 0));
+        assert_eq!(m.clusters().len(), 1);
+        // A far-away concept arrives: drift should be detected.
+        m.bootstrap(&shell(&[10.0; 8], 1.0, 120, 1));
+        assert!(m.clusters().len() >= 2, "drift not detected");
+        let events = m.events();
+        assert!(events[1].at > events[0].at);
+    }
+
+    #[test]
+    fn known_points_are_assigned_not_accumulated() {
+        let mut m = ClusterManager::new(test_cfg());
+        m.bootstrap(&shell(&[0.0; 8], 1.0, 150, 0));
+        let before = m.clusters()[0].size();
+        let more = shell(&[0.0; 8], 1.0, 50, 2);
+        let mut assigned = 0;
+        for p in &more {
+            if let Assignment::Cluster(_) = m.observe(p).assignment {
+                assigned += 1;
+            }
+        }
+        assert!(assigned > 25, "most same-concept points should be assigned, got {assigned}/50");
+        assert!(m.clusters()[0].size() > before);
+    }
+
+    #[test]
+    fn cluster_cap_evicts_smallest() {
+        let mut cfg = test_cfg();
+        cfg.max_clusters = Some(2);
+        let mut m = ClusterManager::new(cfg);
+        m.bootstrap(&shell(&[0.0; 8], 1.0, 200, 0)); // big cluster
+        m.bootstrap(&shell(&[10.0; 8], 1.0, 40, 1)); // small cluster
+        assert_eq!(m.clusters().len(), 2);
+        m.bootstrap(&shell(&[-10.0; 8], 1.0, 120, 2)); // third concept
+        assert_eq!(m.clusters().len(), 2, "cap should hold at 2");
+        // The 40-point cluster (id 1) was smallest and must be gone.
+        assert!(m.cluster(1).is_none(), "smallest cluster should be evicted");
+        assert!(m.cluster(0).is_some());
+    }
+
+    #[test]
+    fn matching_cluster_prefers_nearest() {
+        let mut m = ClusterManager::new(test_cfg());
+        m.bootstrap(&shell(&[0.0; 4], 1.0, 100, 0));
+        m.bootstrap(&shell(&[6.0; 4], 1.0, 100, 1));
+        assert_eq!(m.clusters().len(), 2);
+        // A typical member of concept 0 (points sit on a shell of radius
+        // ~1 around the centroid, so probe from the shell, not the center).
+        let probe = shell(&[0.0; 4], 1.0, 1, 3).pop().expect("one probe point");
+        if let Some(id) = m.matching_cluster(&probe) {
+            assert_eq!(id, 0);
+        }
+        let distances = m.distances(&probe);
+        assert_eq!(distances.len(), 2);
+        assert!(distances[0].1 < distances[1].1);
+    }
+
+    #[test]
+    fn observation_counters_track_stream() {
+        let mut m = ClusterManager::new(test_cfg());
+        for p in shell(&[0.0; 4], 1.0, 10, 0) {
+            let _ = m.observe(&p);
+        }
+        assert_eq!(m.seen(), 10);
+        assert_eq!(m.temp_len(), 10, "no promotion yet");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the drift-detection invariants.
+
+use odin_drift::kl::{kl_divergence, DistanceHistogram};
+use odin_drift::{ClusterManager, DeltaBand, ManagerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 1: the fitted band holds at least a Δ fraction of mass.
+    #[test]
+    fn band_mass_meets_delta(
+        ds in prop::collection::vec(0.0f32..10.0, 1..200),
+        delta in 0.05f32..1.0,
+    ) {
+        let band = DeltaBand::fit(&ds, delta);
+        prop_assert!(band.lower <= band.upper);
+        prop_assert!(band.mass(&ds) >= delta - 1e-6,
+            "mass {} below delta {}", band.mass(&ds), delta);
+    }
+
+    /// The fitted band is never wider than the full data range.
+    #[test]
+    fn band_within_data_range(ds in prop::collection::vec(0.0f32..10.0, 2..100)) {
+        let band = DeltaBand::fit(&ds, 0.75);
+        let lo = ds.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = ds.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(band.lower >= lo);
+        prop_assert!(band.upper <= hi);
+    }
+
+    /// Raising Δ never shrinks the minimal window.
+    #[test]
+    fn band_width_monotone_in_delta(ds in prop::collection::vec(0.0f32..10.0, 5..100)) {
+        let narrow = DeltaBand::fit(&ds, 0.4);
+        let wide = DeltaBand::fit(&ds, 0.9);
+        prop_assert!(wide.width() >= narrow.width() - 1e-6);
+    }
+
+    /// Gibbs' inequality: KL divergence of valid distributions is ≥ 0.
+    #[test]
+    fn kl_nonnegative(raw in prop::collection::vec(0.01f64..1.0, 2..32)) {
+        let sum_a: f64 = raw.iter().sum();
+        let pa: Vec<f64> = raw.iter().map(|x| x / sum_a).collect();
+        let rev: Vec<f64> = raw.iter().rev().cloned().collect();
+        let sum_b: f64 = rev.iter().sum();
+        let pb: Vec<f64> = rev.iter().map(|x| x / sum_b).collect();
+        prop_assert!(kl_divergence(&pa, &pb) >= -1e-9);
+        prop_assert!((kl_divergence(&pa, &pa)).abs() < 1e-12);
+    }
+
+    /// Histogram probabilities always form a distribution.
+    #[test]
+    fn histogram_is_distribution(ds in prop::collection::vec(-5.0f32..20.0, 0..100)) {
+        let mut h = DistanceHistogram::new(0.0, 10.0, 16);
+        for d in &ds {
+            h.add(*d);
+        }
+        let p = h.probabilities();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    /// The manager accounts for every observed point: seen = assigned +
+    /// temp + points inside promoted clusters.
+    #[test]
+    fn manager_conserves_points(
+        centers in prop::collection::vec(-20.0f32..20.0, 1..4),
+        per in 30usize..60,
+    ) {
+        let cfg = ManagerConfig { min_points: 15, stable_window: 4, kl_eps: 5e-3, ..ManagerConfig::default() };
+        let mut m = ClusterManager::new(cfg);
+        let mut total = 0usize;
+        for (s, &c) in centers.iter().enumerate() {
+            for i in 0..per {
+                let z: Vec<f32> = (0..6)
+                    .map(|j| c + ((i * 7 + j * 13 + s) as f32).sin())
+                    .collect();
+                let _ = m.observe(&z);
+                total += 1;
+            }
+        }
+        prop_assert_eq!(m.seen(), total);
+        let clustered: usize = m.clusters().iter().map(|c| c.size()).sum();
+        prop_assert!(clustered + m.temp_len() <= total);
+        // Events are ordered by stream position.
+        let ats: Vec<usize> = m.events().iter().map(|e| e.at).collect();
+        prop_assert!(ats.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

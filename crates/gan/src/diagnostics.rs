@@ -1,0 +1,90 @@
+//! Latent-space diagnostics — the quantitative counterpart of Figure 2.
+//!
+//! The paper argues visually that the standard AE's latent space has
+//! holes, the adversarial AE's is smooth but lossy, and the DA-GAN's is
+//! smooth *and* information-preserving. These functions turn that
+//! argument into numbers:
+//!
+//! * [`moment_gap`] — distance of a latent batch's first two moments from
+//!   the N(0,1) prior (large ⇒ the space does not match the prior ⇒
+//!   random prior samples land in holes),
+//! * [`hole_score`] — how badly the decoder reconstructs from *prior*
+//!   samples relative to from encoded samples (large ⇒ holes),
+//! * [`separation_ratio`] — outlier-to-inlier mean error ratio (the drift
+//!   signal quality).
+
+use odin_tensor::Tensor;
+
+/// `|mean| + |std − 1|` of a latent batch: 0 when the batch matches the
+/// N(0,1) prior.
+pub fn moment_gap(z: &Tensor) -> f32 {
+    assert!(z.numel() > 0, "empty latent batch");
+    let mean = z.mean();
+    let var = z.map(|v| (v - mean) * (v - mean)).mean();
+    mean.abs() + (var.sqrt() - 1.0).abs()
+}
+
+/// Ratio of the decoder's "prior-sample strangeness" to its encoded-sample
+/// reconstruction quality.
+///
+/// `errors_from_prior` are per-sample errors of decoding z ~ N(0,1) and
+/// re-encoding/decoding; `errors_from_data` are ordinary reconstruction
+/// errors. A smooth, hole-free latent space keeps this ratio near 1.
+pub fn hole_score(errors_from_prior: &[f32], errors_from_data: &[f32]) -> f32 {
+    let mp = mean(errors_from_prior);
+    let md = mean(errors_from_data).max(1e-6);
+    mp / md
+}
+
+/// Outlier-to-inlier mean error ratio; larger means the representation
+/// separates drifted data better.
+pub fn separation_ratio(inlier_errors: &[f32], outlier_errors: &[f32]) -> f32 {
+    let i = mean(inlier_errors).max(1e-6);
+    mean(outlier_errors) / i
+}
+
+fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moment_gap_zero_for_standard_normal_like() {
+        // A synthetic batch with mean 0, std 1.
+        let n = 1000;
+        let data: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let z = Tensor::from_vec(data, &[n / 2, 2]);
+        assert!(moment_gap(&z) < 0.05);
+    }
+
+    #[test]
+    fn moment_gap_large_for_shifted_batch() {
+        let z = Tensor::full(&[10, 4], 5.0);
+        assert!(moment_gap(&z) > 4.0);
+    }
+
+    #[test]
+    fn hole_score_near_one_when_prior_decodes_well() {
+        assert!((hole_score(&[0.1, 0.1], &[0.1, 0.1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn separation_ratio_ordering() {
+        assert!(separation_ratio(&[0.1], &[0.4]) > separation_ratio(&[0.1], &[0.2]));
+    }
+
+    #[test]
+    fn empty_slices_do_not_panic() {
+        assert_eq!(separation_ratio(&[], &[]), 0.0);
+        assert_eq!(hole_score(&[], &[]), 0.0);
+    }
+}

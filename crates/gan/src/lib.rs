@@ -1,0 +1,27 @@
+//! # odin-gan
+//!
+//! The generative models of ODIN's drift DETECTOR:
+//!
+//! * [`ae::Autoencoder`] — the standard dense autoencoder (baseline;
+//!   exhibits latent-space holes, Figure 2a),
+//! * [`aae::AdversarialAe`] — the adversarial autoencoder (smooth latent
+//!   space via a latent discriminator, Figure 2b),
+//! * [`dagan::DaGan`] — the paper's **Dual-Adversarial GAN** (Figure 2c,
+//!   §4.3): an adversarial AE plus an image discriminator, trained with
+//!   Algorithm 1. Its encoder is the distance-preserving projection ODIN
+//!   uses for clustering and Δ-band drift detection.
+//!
+//! [`diagnostics`] quantifies the latent-space-quality claims of
+//! Figure 2.
+
+#![warn(missing_docs)]
+
+pub mod aae;
+pub mod ae;
+pub mod common;
+pub mod dagan;
+pub mod diagnostics;
+
+pub use aae::{AaeStepLosses, AdversarialAe};
+pub use ae::{AeConfig, Autoencoder};
+pub use dagan::{DaGan, DaGanConfig, DaGanLosses};

@@ -1,0 +1,15 @@
+//! Concrete network layers.
+
+mod act;
+mod conv;
+mod dense;
+mod norm;
+mod pool;
+mod shape;
+
+pub use act::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, GlobalMaxPool, MaxPool2};
+pub use shape::{Flatten, Reshape, Upsample2};

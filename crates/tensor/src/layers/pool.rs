@@ -1,0 +1,266 @@
+//! Pooling layers.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// 2×2 max pooling with stride 2.
+///
+/// Odd trailing rows/columns are dropped (floor division), matching the
+/// common convention.
+#[derive(Default)]
+pub struct MaxPool2 {
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2 max-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "MaxPool2 expects [B, C, H, W]");
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut argmax = vec![0usize; b * c * oh * ow];
+        let data = input.data();
+        for bi in 0..b {
+            for ci in 0..c {
+                let plane = (bi * c + ci) * h * w;
+                let oplane = (bi * c + ci) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = plane + (oy * 2 + dy) * w + ox * 2 + dx;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[oplane + oy * ow + ox] = best;
+                        argmax[oplane + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("MaxPool2::backward without forward");
+        let shape = self.in_shape.as_ref().expect("MaxPool2::backward without forward");
+        let mut grad = Tensor::zeros(shape);
+        let gd = grad.data_mut();
+        for (&idx, &g) in argmax.iter().zip(grad_out.data().iter()) {
+            gd[idx] += g;
+        }
+        grad
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2"
+    }
+}
+
+/// Global average pooling: `[B, C, H, W] → [B, C]`.
+///
+/// This is the "pool the final features by channel" step of the DA-GAN
+/// encoder (Figure 7 of the paper).
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "GlobalAvgPool expects [B, C, H, W]");
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let plane = h * w;
+        let mut out = vec![0.0f32; b * c];
+        let data = input.data();
+        for i in 0..b * c {
+            let s: f32 = data[i * plane..(i + 1) * plane].iter().sum();
+            out[i] = s / plane as f32;
+        }
+        if train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .in_shape
+            .as_ref()
+            .expect("GlobalAvgPool::backward without forward");
+        let (h, w) = (shape[2], shape[3]);
+        let plane = h * w;
+        let scale = 1.0 / plane as f32;
+        let mut grad = Tensor::zeros(shape);
+        let gd = grad.data_mut();
+        for (i, &g) in grad_out.data().iter().enumerate() {
+            let v = g * scale;
+            for x in &mut gd[i * plane..(i + 1) * plane] {
+                *x = v;
+            }
+        }
+        grad
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+/// Global max pooling: `[B, C, H, W] → [B, C]`.
+///
+/// The right reduction for presence-style predictions (e.g. ODIN's
+/// lightweight "does this frame contain a car?" filters), where a strong
+/// local activation anywhere should dominate.
+#[derive(Default)]
+pub struct GlobalMaxPool {
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalMaxPool {
+    /// Creates a global max-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalMaxPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "GlobalMaxPool expects [B, C, H, W]");
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let plane = h * w;
+        let mut out = vec![0.0f32; b * c];
+        let mut argmax = vec![0usize; b * c];
+        let data = input.data();
+        for i in 0..b * c {
+            let slice = &data[i * plane..(i + 1) * plane];
+            let (mut bi, mut bv) = (0usize, f32::NEG_INFINITY);
+            for (j, &v) in slice.iter().enumerate() {
+                if v > bv {
+                    bv = v;
+                    bi = j;
+                }
+            }
+            out[i] = bv;
+            argmax[i] = i * plane + bi;
+        }
+        if train {
+            self.argmax = Some(argmax);
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("GlobalMaxPool::backward without forward");
+        let shape = self.in_shape.as_ref().expect("GlobalMaxPool::backward without forward");
+        let mut grad = Tensor::zeros(shape);
+        let gd = grad.data_mut();
+        for (&idx, &g) in argmax.iter().zip(grad_out.data().iter()) {
+            gd[idx] += g;
+        }
+        grad
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalMaxPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_max_pool_picks_plane_maxima() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, -1.0, -2.0, -3.0, -0.5], &[1, 2, 2, 2]);
+        let mut p = GlobalMaxPool::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[5.0, -0.5]);
+        let g = p.backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, 7.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let mut p = MaxPool2::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let mut p = MaxPool2::new();
+        let _ = p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]);
+        let mut p = GlobalAvgPool::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_backward_distributes_evenly() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let mut p = GlobalAvgPool::new();
+        let _ = p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![8.0], &[1, 1]));
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

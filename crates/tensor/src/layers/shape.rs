@@ -1,0 +1,193 @@
+//! Shape-manipulating layers: flatten, reshape, and nearest upsampling.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Flattens `[B, ...] → [B, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert!(input.ndim() >= 2, "Flatten expects at least [B, ...]");
+        let b = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        input.reshape(&[b, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("Flatten::backward without forward");
+        grad_out.reshape(shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+/// Reshapes `[B, in] → [B, c, h, w]` (the dense-to-spatial step of a decoder).
+pub struct Reshape {
+    c: usize,
+    h: usize,
+    w: usize,
+    in_dim: usize,
+}
+
+impl Reshape {
+    /// Creates a reshape layer. `c * h * w` must equal the input feature
+    /// count.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Reshape { c, h, w, in_dim: c * h * w }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Reshape expects [B, features]");
+        assert_eq!(
+            input.shape()[1],
+            self.in_dim,
+            "Reshape feature count {} != {}",
+            input.shape()[1],
+            self.in_dim
+        );
+        let b = input.shape()[0];
+        input.reshape(&[b, self.c, self.h, self.w])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let b = grad_out.shape()[0];
+        grad_out.reshape(&[b, self.in_dim])
+    }
+
+    fn name(&self) -> &'static str {
+        "Reshape"
+    }
+}
+
+/// Nearest-neighbour 2× spatial upsampling.
+///
+/// Together with a stride-1 convolution this plays the role of a
+/// transposed convolution in the DA-GAN decoder ("deconvolutional Resnet
+/// blocks" in the paper) while keeping the backward pass trivial.
+#[derive(Default)]
+pub struct Upsample2;
+
+impl Upsample2 {
+    /// Creates a 2× nearest-neighbour upsampler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Layer for Upsample2 {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "Upsample2 expects [B, C, H, W]");
+        let (b, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = (h * 2, w * 2);
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let data = input.data();
+        for plane in 0..b * c {
+            let src = &data[plane * h * w..(plane + 1) * h * w];
+            let dst = &mut out[plane * oh * ow..(plane + 1) * oh * ow];
+            for y in 0..oh {
+                for x in 0..ow {
+                    dst[y * ow + x] = src[(y / 2) * w + x / 2];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.ndim(), 4, "Upsample2 grad expects [B, C, H, W]");
+        let (b, c, oh, ow) = (
+            grad_out.shape()[0],
+            grad_out.shape()[1],
+            grad_out.shape()[2],
+            grad_out.shape()[3],
+        );
+        assert!(oh % 2 == 0 && ow % 2 == 0, "Upsample2 grad dims must be even");
+        let (h, w) = (oh / 2, ow / 2);
+        let mut out = vec![0.0f32; b * c * h * w];
+        let data = grad_out.data();
+        for plane in 0..b * c {
+            let src = &data[plane * oh * ow..(plane + 1) * oh * ow];
+            let dst = &mut out[plane * h * w..(plane + 1) * h * w];
+            for y in 0..oh {
+                for x in 0..ow {
+                    dst[(y / 2) * w + x / 2] += src[y * ow + x];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, c, h, w])
+    }
+
+    fn name(&self) -> &'static str {
+        "Upsample2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 3, 2, 1]);
+        let mut f = Flatten::new();
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 6]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 2, 1]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn reshape_to_spatial() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 8]);
+        let mut r = Reshape::new(2, 2, 2);
+        let y = r.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        let g = r.backward(&y);
+        assert_eq!(g.shape(), &[1, 8]);
+    }
+
+    #[test]
+    fn upsample_replicates_pixels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let mut u = Upsample2::new();
+        let y = u.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.get(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(y.get(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(y.get(&[0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn upsample_backward_sums_blocks() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let mut u = Upsample2::new();
+        let _ = u.forward(&x, true);
+        let g = u.backward(&Tensor::ones(&[1, 1, 4, 4]));
+        assert_eq!(g.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+}

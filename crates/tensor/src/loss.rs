@@ -1,0 +1,136 @@
+//! Loss functions.
+//!
+//! Every loss returns `(scalar loss, gradient w.r.t. the prediction)`, with
+//! the gradient already averaged over all elements so callers can feed it
+//! straight into `Layer::backward`.
+
+use crate::ops::sigmoid;
+use crate::tensor::Tensor;
+
+/// Binary cross-entropy on logits (numerically stable).
+///
+/// `loss = mean( max(x, 0) − x·t + ln(1 + e^{−|x|}) )`,
+/// `∂loss/∂x = (σ(x) − t) / N`.
+///
+/// This is the loss used for both DA-GAN discriminators (Equations 3 and 4
+/// of the paper) and for the pixel-wise reconstruction loss (Equation 5)
+/// when pixel targets lie in `[0, 1]`.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    let n = logits.numel().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Vec::with_capacity(logits.numel());
+    for (&x, &t) in logits.data().iter().zip(targets.data().iter()) {
+        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        grad.push((sigmoid(x) - t) / n);
+    }
+    (loss / n, Tensor::from_vec(grad, logits.shape()))
+}
+
+/// Mean squared error.
+///
+/// `loss = mean((p − t)²)`, `∂loss/∂p = 2(p − t)/N`.
+pub fn mse(pred: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), targets.shape(), "mse shape mismatch");
+    let n = pred.numel().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Vec::with_capacity(pred.numel());
+    for (&p, &t) in pred.data().iter().zip(targets.data().iter()) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, Tensor::from_vec(grad, pred.shape()))
+}
+
+/// Mean squared error with a per-element weight mask.
+///
+/// Used by the detector head, where box-coordinate errors only matter in
+/// cells that contain an object.
+pub fn weighted_mse(pred: &Tensor, targets: &Tensor, weights: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), targets.shape(), "weighted_mse shape mismatch");
+    assert_eq!(pred.shape(), weights.shape(), "weighted_mse weight shape mismatch");
+    let n = pred.numel().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Vec::with_capacity(pred.numel());
+    for ((&p, &t), &w) in pred
+        .data()
+        .iter()
+        .zip(targets.data().iter())
+        .zip(weights.data().iter())
+    {
+        let d = p - t;
+        loss += w * d * d;
+        grad.push(2.0 * w * d / n);
+    }
+    (loss / n, Tensor::from_vec(grad, pred.shape()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_perfect_prediction_is_small() {
+        let logits = Tensor::from_slice(&[20.0, -20.0]);
+        let targets = Tensor::from_slice(&[1.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss < 1e-6);
+        assert!(grad.data().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn bce_wrong_prediction_is_large() {
+        let logits = Tensor::from_slice(&[20.0]);
+        let targets = Tensor::from_slice(&[0.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss > 10.0);
+        assert!(grad.data()[0] > 0.9);
+    }
+
+    #[test]
+    fn bce_matches_manual_at_zero() {
+        // At x=0, t=0.5: loss = ln 2, grad = 0.
+        let (loss, grad) = bce_with_logits(&Tensor::from_slice(&[0.0]), &Tensor::from_slice(&[0.5]));
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!(grad.data()[0].abs() < 1e-7);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let (loss, grad) = bce_with_logits(
+            &Tensor::from_slice(&[500.0, -500.0]),
+            &Tensor::from_slice(&[0.0, 1.0]),
+        );
+        assert!(loss.is_finite());
+        assert!(!grad.has_non_finite());
+    }
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let (loss, grad) = mse(&p, &p);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let p = Tensor::from_slice(&[3.0]);
+        let t = Tensor::from_slice(&[1.0]);
+        let (loss, grad) = mse(&p, &t);
+        assert_eq!(loss, 4.0);
+        assert_eq!(grad.data()[0], 4.0); // 2*(3-1)/1
+    }
+
+    #[test]
+    fn weighted_mse_ignores_zero_weight() {
+        let p = Tensor::from_slice(&[5.0, 5.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let w = Tensor::from_slice(&[0.0, 1.0]);
+        let (loss, grad) = weighted_mse(&p, &t, &w);
+        assert_eq!(loss, 12.5); // 25/2
+        assert_eq!(grad.data()[0], 0.0);
+        assert_eq!(grad.data()[1], 5.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Linear-algebra and convolution primitives.
+//!
+//! The convolution layers are built on `im2col`/`col2im`, which turn a
+//! convolution into one large matrix multiply — the standard trick for a
+//! CPU implementation with no SIMD intrinsics.
+
+use crate::tensor::Tensor;
+
+/// Matrix multiply: `a [m, k] × b [k, n] → [m, n]`.
+///
+/// Uses the cache-friendly i-k-j loop ordering.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix multiply with the right-hand side transposed:
+/// `a [m, k] × bᵀ where b is [n, k] → [m, n]`.
+///
+/// Avoids materializing the transpose.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_nt lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_nt rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix multiply with the left-hand side transposed:
+/// `aᵀ where a is [k, m] × b [k, n] → [m, n]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul_tn lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul_tn rhs must be 2-D");
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for kk in 0..k {
+        let a_row = &ad[kk * m..(kk + 1) * m];
+        let b_row = &bd[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Stride (same in both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height for this geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_h(&self) -> usize {
+        let padded = self.in_h + 2 * self.pad;
+        assert!(padded >= self.kernel, "kernel larger than padded input height");
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Output width for this geometry.
+    pub fn out_w(&self) -> usize {
+        let padded = self.in_w + 2 * self.pad;
+        assert!(padded >= self.kernel, "kernel larger than padded input width");
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Unfolds an image batch `[B, C, H, W]` into a column matrix
+/// `[B * out_h * out_w, C * k * k]` so convolution becomes a matmul.
+pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+    assert_eq!(input.ndim(), 4, "im2col expects [B, C, H, W]");
+    let b = input.shape()[0];
+    assert_eq!(input.shape()[1], g.in_c, "channel mismatch");
+    assert_eq!(input.shape()[2], g.in_h, "height mismatch");
+    assert_eq!(input.shape()[3], g.in_w, "width mismatch");
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let patch = g.in_c * g.kernel * g.kernel;
+    let mut out = vec![0.0f32; b * oh * ow * patch];
+    let data = input.data();
+    let img_stride = g.in_c * g.in_h * g.in_w;
+    let chan_stride = g.in_h * g.in_w;
+    let mut row = 0usize;
+    for bi in 0..b {
+        let img = &data[bi * img_stride..(bi + 1) * img_stride];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let dst = &mut out[row * patch..(row + 1) * patch];
+                let mut di = 0usize;
+                for c in 0..g.in_c {
+                    let chan = &img[c * chan_stride..(c + 1) * chan_stride];
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            di += g.kernel;
+                            continue;
+                        }
+                        let row_base = iy as usize * g.in_w;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if ix >= 0 && ix < g.in_w as isize {
+                                dst[di] = chan[row_base + ix as usize];
+                            }
+                            di += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b * oh * ow, patch])
+}
+
+/// Folds a column-matrix gradient back into an image gradient — the adjoint
+/// of [`im2col`]. Overlapping patches accumulate.
+pub fn col2im(cols: &Tensor, g: &ConvGeom, batch: usize) -> Tensor {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let patch = g.in_c * g.kernel * g.kernel;
+    assert_eq!(cols.shape(), &[batch * oh * ow, patch], "col2im shape mismatch");
+    let mut out = vec![0.0f32; batch * g.in_c * g.in_h * g.in_w];
+    let data = cols.data();
+    let img_stride = g.in_c * g.in_h * g.in_w;
+    let chan_stride = g.in_h * g.in_w;
+    let mut row = 0usize;
+    for bi in 0..batch {
+        let img = &mut out[bi * img_stride..(bi + 1) * img_stride];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let src = &data[row * patch..(row + 1) * patch];
+                let mut si = 0usize;
+                for c in 0..g.in_c {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            si += g.kernel;
+                            continue;
+                        }
+                        let row_base = c * chan_stride + iy as usize * g.in_w;
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if ix >= 0 && ix < g.in_w as isize {
+                                img[row_base + ix as usize] += src[si];
+                            }
+                            si += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, g.in_c, g.in_h, g.in_w])
+}
+
+/// Numerically stable softmax over the last axis of a 2-D tensor.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.ndim(), 2, "softmax_rows expects a 2-D tensor");
+    let (r, c) = (x.shape()[0], x.shape()[1]);
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        let row = &x.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            out[i * c + j] = e;
+            sum += e;
+        }
+        for v in &mut out[i * c..(i + 1) * c] {
+            *v /= sum;
+        }
+    }
+    Tensor::from_vec(out, &[r, c])
+}
+
+/// Stable elementwise sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
+        assert_eq!(matmul(&a, &eye).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), &[4, 3]);
+        let expect = matmul(&a, &b.transpose());
+        let got = matmul_nt(&a, &b);
+        assert_eq!(got.shape(), expect.shape());
+        for (x, y) in got.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), &[3, 4]);
+        let expect = matmul(&a.transpose(), &b);
+        let got = matmul_tn(&a, &b);
+        assert_eq!(got.shape(), expect.shape());
+        for (x, y) in got.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn conv_geom_output_sizes() {
+        let g = ConvGeom { in_c: 3, in_h: 8, in_w: 8, kernel: 3, stride: 2, pad: 1 };
+        assert_eq!(g.out_h(), 4);
+        assert_eq!(g.out_w(), 4);
+        let g2 = ConvGeom { in_c: 1, in_h: 5, in_w: 5, kernel: 3, stride: 1, pad: 0 };
+        assert_eq!(g2.out_h(), 3);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape.
+        let g = ConvGeom { in_c: 2, in_h: 2, in_w: 2, kernel: 1, stride: 1, pad: 0 };
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.shape(), &[4, 2]);
+        // Row r = spatial position, columns = channels.
+        assert_eq!(cols.get(&[0, 0]), 0.0);
+        assert_eq!(cols.get(&[0, 1]), 4.0);
+        assert_eq!(cols.get(&[3, 0]), 3.0);
+        assert_eq!(cols.get(&[3, 1]), 7.0);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let g = ConvGeom { in_c: 1, in_h: 2, in_w: 2, kernel: 3, stride: 1, pad: 1 };
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.shape(), &[4, 9]);
+        // Top-left output position: its 3x3 patch has 4 real pixels, 5 padded.
+        let first: f32 = cols.row(0).sum();
+        assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let g = ConvGeom { in_c: 2, in_h: 5, in_w: 4, kernel: 3, stride: 2, pad: 1 };
+        let n_in = 2 * 5 * 4;
+        let x = Tensor::from_vec(
+            (0..n_in).map(|i| ((i * 37 % 11) as f32 - 5.0) * 0.3).collect(),
+            &[1, 2, 5, 4],
+        );
+        let cols = im2col(&x, &g);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| ((i * 17 % 7) as f32 - 3.0) * 0.2).collect(),
+            cols.shape(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, &g, 1);
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = softmax_rows(&x);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(!s.has_non_finite());
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(-1e30).is_finite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Optimizers: SGD with momentum, and Adam.
+//!
+//! Optimizers operate on the `(param, grad)` pairs a network exposes via
+//! [`crate::Layer::params_grads`]. State (momentum buffers, Adam moments)
+//! is keyed by position, which is stable because layer order is fixed.
+
+use crate::tensor::Tensor;
+
+/// An optimizer that can update a set of parameters given their gradients.
+pub trait Optimizer {
+    /// Applies one update step to every `(param, grad)` pair, then the
+    /// caller is expected to zero the gradients.
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|(p, _)| vec![0.0; p.numel()]).collect();
+        }
+        for (i, (p, g)) in params.iter_mut().enumerate() {
+            let v = &mut self.velocity[i];
+            assert_eq!(v.len(), p.numel(), "optimizer state shape drift");
+            let pd = p.data_mut();
+            let gd = g.data();
+            for j in 0..pd.len() {
+                v[j] = self.momentum * v[j] - self.lr * gd[j];
+                pd[j] += v[j];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimizer with explicit betas. GAN training commonly
+    /// uses `beta1 = 0.5`.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|(p, _)| vec![0.0; p.numel()]).collect();
+            self.v = params.iter().map(|(p, _)| vec![0.0; p.numel()]).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (p, g)) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            assert_eq!(m.len(), p.numel(), "optimizer state shape drift");
+            let pd = p.data_mut();
+            let gd = g.data();
+            for j in 0..pd.len() {
+                let grad = gd[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * grad;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * grad * grad;
+                let mhat = m[j] / b1t;
+                let vhat = v[j] / b2t;
+                pd[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        // Minimize f(x) = x^2 starting at x = 5.
+        let mut x = Tensor::from_slice(&[5.0]);
+        let mut g = Tensor::zeros(&[1]);
+        for _ in 0..steps {
+            g.data_mut()[0] = 2.0 * x.data()[0];
+            opt.step(&mut [(&mut x, &mut g)]);
+        }
+        x.data()[0]
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let x = quadratic_step(&mut opt, 50);
+        assert!(x.abs() < 1e-3, "sgd did not converge: {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_still_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = quadratic_step(&mut opt, 200);
+        assert!(x.abs() < 1e-2, "momentum sgd did not converge: {x}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let x = quadratic_step(&mut opt, 300);
+        assert!(x.abs() < 1e-2, "adam did not converge: {x}");
+    }
+
+    #[test]
+    fn learning_rate_can_be_decayed() {
+        let mut opt = Adam::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut opt = Adam::new(0.2);
+        let mut a = Tensor::from_slice(&[3.0]);
+        let mut b = Tensor::from_slice(&[-4.0, 2.0]);
+        let mut ga = Tensor::zeros(&[1]);
+        let mut gb = Tensor::zeros(&[2]);
+        for _ in 0..200 {
+            ga.data_mut()[0] = 2.0 * a.data()[0];
+            gb.data_mut()[0] = 2.0 * b.data()[0];
+            gb.data_mut()[1] = 2.0 * b.data()[1];
+            opt.step(&mut [(&mut a, &mut ga), (&mut b, &mut gb)]);
+        }
+        assert!(a.data()[0].abs() < 0.05);
+        assert!(b.norm() < 0.05);
+    }
+}

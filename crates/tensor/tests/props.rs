@@ -1,0 +1,133 @@
+//! Property-based tests for the tensor algebra core.
+
+use odin_tensor::ops::{col2im, im2col, matmul, matmul_nt, matmul_tn, softmax_rows, ConvGeom};
+use odin_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..=max_elems)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative(a in tensor_strategy(64)) {
+        let n = a.len();
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let ta = Tensor::from_vec(a, &[n]);
+        let tb = Tensor::from_vec(b, &[n]);
+        let ab = ta.add(&tb);
+        let ba = tb.add(&ta);
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in tensor_strategy(64)) {
+        let n = a.len();
+        let b: Vec<f32> = a.iter().map(|x| x - 3.0).collect();
+        let ta = Tensor::from_vec(a, &[n]);
+        let tb = Tensor::from_vec(b, &[n]);
+        let back = ta.sub(&tb).add(&tb);
+        for (x, y) in back.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_strategy(32), s in -4.0f32..4.0) {
+        let n = a.len();
+        let b: Vec<f32> = a.iter().rev().cloned().collect();
+        let ta = Tensor::from_vec(a, &[n]);
+        let tb = Tensor::from_vec(b, &[n]);
+        let lhs = ta.add(&tb).scale(s);
+        let rhs = ta.scale(s).add(&tb.scale(s));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| i as f32 * 0.7).collect();
+        let t = Tensor::from_vec(data, &[rows, cols]);
+        let tt = t.transpose().transpose();
+        prop_assert_eq!(tt.data(), t.data());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(rows in 1usize..5, cols in 1usize..5) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i as f32).sin()).collect();
+        let a = Tensor::from_vec(data, &[rows, cols]);
+        let mut eye = Tensor::zeros(&[cols, cols]);
+        for i in 0..cols {
+            eye.set(&[i, i], 1.0);
+        }
+        let prod = matmul(&a, &eye);
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_variants_agree(m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.3).cos()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.7).sin()).collect(), &[k, n]);
+        let base = matmul(&a, &b);
+        let via_nt = matmul_nt(&a, &b.transpose());
+        let via_tn = matmul_tn(&a.transpose(), &b);
+        for ((x, y), z) in base.data().iter().zip(via_nt.data()).zip(via_tn.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+            prop_assert!((x - z).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dist_satisfies_triangle_inequality(a in tensor_strategy(16)) {
+        let n = a.len();
+        let b: Vec<f32> = a.iter().map(|x| x + 1.0).collect();
+        let c: Vec<f32> = a.iter().map(|x| x * -0.5).collect();
+        let ta = Tensor::from_vec(a, &[n]);
+        let tb = Tensor::from_vec(b, &[n]);
+        let tc = Tensor::from_vec(c, &[n]);
+        prop_assert!(ta.dist(&tc) <= ta.dist(&tb) + tb.dist(&tc) + 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..4, cols in 1usize..6) {
+        let x = Tensor::from_vec(
+            (0..rows * cols).map(|i| (i as f32 * 1.3).sin() * 5.0).collect(),
+            &[rows, cols],
+        );
+        let s = softmax_rows(&x);
+        for i in 0..rows {
+            let row = s.row(i);
+            prop_assert!(row.min() >= 0.0);
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(h in 3usize..8, w in 3usize..8, stride in 1usize..3) {
+        let g = ConvGeom { in_c: 2, in_h: h, in_w: w, kernel: 3, stride, pad: 1 };
+        let n_in = 2 * h * w;
+        let x = Tensor::from_vec((0..n_in).map(|i| (i as f32 * 0.13).sin()).collect(), &[1, 2, h, w]);
+        let cols = im2col(&x, &g);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| (i as f32 * 0.29).cos()).collect(),
+            cols.shape(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, &g, 1);
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch {} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(a in tensor_strategy(24)) {
+        let n = a.len();
+        let t = Tensor::from_vec(a, &[n]);
+        let r = t.reshape(&[1, n]);
+        prop_assert_eq!(t.sum(), r.sum());
+    }
+}

@@ -1,0 +1,114 @@
+//! Aggregation queries with and without drift recovery (§6.6).
+//!
+//! ```text
+//! cargo run --release --example aggregation_query
+//! ```
+//!
+//! Runs `SELECT COUNT(detections) ... WHERE class='car'` over a drifting
+//! stream under three systems and compares query accuracy and
+//! throughput:
+//!
+//! * **static** — a heavyweight model trained on the first concept only,
+//! * **ODIN** — specialized models per discovered cluster,
+//! * **ODIN-FILTER** — ODIN plus a lightweight filter that skips frames
+//!   without cars.
+
+use std::time::Instant;
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::filter::BinaryFilter;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::query::{count_accuracy, CountQuery};
+use odin_core::specializer::SpecializerConfig;
+use odin_data::{DriftSchedule, ObjectClass, Phase, SceneGen, Subset};
+use odin_detect::Detector;
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let gen = SceneGen::new(48);
+    let query = CountQuery::new(ObjectClass::Car);
+
+    // Drifting workload: rain first, then clear day joins.
+    let schedule = DriftSchedule::new(
+        500,
+        vec![
+            Phase { at_frame: 0, adds: Subset::Rain },
+            Phase { at_frame: 200, adds: Subset::Day },
+        ],
+    );
+    let stream = schedule.generate(&gen, &mut rng);
+    let truth: Vec<usize> = stream.iter().map(|f| query.ground_truth(f)).collect();
+
+    // --- Static system: heavyweight model trained on RAIN only. ---
+    let mut static_model = Detector::heavy(48, &mut rng);
+    let rain_train = gen.subset_frames(&mut rng, Subset::Rain, 150);
+    println!("training static heavyweight model on RAIN-DATA...");
+    static_model.train_oracle(&mut rng, &rain_train, 500, 8);
+    let t0 = Instant::now();
+    let static_counts: Vec<usize> =
+        stream.iter().map(|f| query.count(&static_model.detect(&f.image))).collect();
+    let static_fps = stream.len() as f32 / t0.elapsed().as_secs_f32();
+
+    // --- ODIN: automated drift detection and recovery. ---
+    let teacher = {
+        let mut t = Detector::heavy(48, &mut rng);
+        t.import_params(&static_model.export_params());
+        t
+    };
+    let cfg = OdinConfig {
+        manager: ManagerConfig { min_points: 20, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        specializer: SpecializerConfig { train_iters: 400, ..SpecializerConfig::default() },
+        ..OdinConfig::default()
+    };
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 5);
+    let t0 = Instant::now();
+    let odin_counts: Vec<usize> =
+        stream.iter().map(|f| query.count(&odin.process(f).detections)).collect();
+    let odin_fps = stream.len() as f32 / t0.elapsed().as_secs_f32();
+
+    // --- ODIN-FILTER: add a specialized car filter in front. ---
+    let mut filter = BinaryFilter::new(ObjectClass::Car, 48, &mut rng);
+    filter.train(&mut rng, &rain_train, 300, 8);
+    let t0 = Instant::now();
+    let mut skipped = 0usize;
+    let filtered_counts: Vec<usize> = stream
+        .iter()
+        .map(|f| {
+            if filter.pass(&f.image) {
+                query.count(&odin.process(f).detections)
+            } else {
+                skipped += 1;
+                0
+            }
+        })
+        .collect();
+    let filter_fps = stream.len() as f32 / t0.elapsed().as_secs_f32();
+
+    println!();
+    println!("SELECT COUNT(detections) FROM stream USING MODEL ... WHERE class='car'");
+    println!("{:<14} {:>10} {:>10} {:>12}", "system", "query acc", "FPS", "reduction");
+    println!(
+        "{:<14} {:>10.3} {:>10.0} {:>12}",
+        "static",
+        count_accuracy(&static_counts, &truth),
+        static_fps,
+        "-"
+    );
+    println!(
+        "{:<14} {:>10.3} {:>10.0} {:>12}",
+        "ODIN",
+        count_accuracy(&odin_counts, &truth),
+        odin_fps,
+        "-"
+    );
+    println!(
+        "{:<14} {:>10.3} {:>10.0} {:>11.0}%",
+        "ODIN-FILTER",
+        count_accuracy(&filtered_counts, &truth),
+        filter_fps,
+        skipped as f32 / stream.len() as f32 * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: run ODIN on a drifting video stream and watch it detect
+//! and recover from drift.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The stream starts with night-time frames, then day-time frames are
+//! mixed in — a change in P(X) that degrades any static model. ODIN
+//! discovers the night cluster, trains a specialized model for it, then
+//! detects the day drift and recovers with a second model.
+//!
+//! This example uses the fast handcrafted-feature encoder so it finishes
+//! in well under a minute; the paper's DA-GAN encoder is exercised in
+//! the `drift_stream` example and the bench harness.
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_data::{DriftSchedule, Phase, SceneGen, Subset};
+use odin_detect::Detector;
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let gen = SceneGen::new(48);
+
+    // Night first, then day joins at frame 150.
+    let schedule = DriftSchedule::new(
+        400,
+        vec![
+            Phase { at_frame: 0, adds: Subset::Night },
+            Phase { at_frame: 150, adds: Subset::Day },
+        ],
+    );
+    let stream = schedule.generate(&gen, &mut rng);
+
+    // A heavyweight "YOLO" teacher serves until specialized models exist.
+    let teacher = Detector::heavy(48, &mut rng);
+    let cfg = OdinConfig {
+        manager: ManagerConfig { min_points: 20, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        specializer: SpecializerConfig { train_iters: 250, ..SpecializerConfig::default() },
+        ..OdinConfig::default()
+    };
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 0);
+
+    println!("processing {} frames...", stream.len());
+    let mut detections_total = 0usize;
+    for (i, frame) in stream.iter().enumerate() {
+        let result = odin.process(frame);
+        detections_total += result.detections.len();
+        if let Some(event) = result.drift {
+            println!(
+                "frame {i:>4}: DRIFT detected -> new cluster {} promoted, specialized model trained",
+                event.cluster_id
+            );
+        }
+    }
+
+    println!();
+    println!("clusters discovered : {}", odin.manager().clusters().len());
+    println!("models deployed     : {}", odin.registry_mut().len());
+    println!("total detections    : {detections_total}");
+    println!(
+        "deployed model memory: {:.1} KiB (teacher was {:.1} KiB)",
+        odin.memory_bytes() as f32 / 1024.0,
+        Detector::heavy(48, &mut StdRng::seed_from_u64(0)).param_bytes() as f32 / 1024.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Model specialization (§5.2 / Figure 8 in miniature).
+//!
+//! ```text
+//! cargo run --release --example specialization
+//! ```
+//!
+//! Trains the three detector variants the paper compares —
+//! the heavyweight YoloSim, a per-cluster YoloSpecialized, and a
+//! distilled YoloLite — and reports detection accuracy on the cluster
+//! they serve and on a foreign cluster, plus throughput and memory.
+
+use odin_core::specializer::{Specializer, SpecializerConfig};
+use odin_data::{SceneGen, Subset};
+use odin_detect::{profile, Detector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let gen = SceneGen::new(48);
+
+    println!("generating DAY-DATA and NIGHT-DATA clusters...");
+    let day_train = gen.subset_frames(&mut rng, Subset::Day, 200);
+    let day_test = gen.subset_frames(&mut rng, Subset::Day, 60);
+    let night_test = gen.subset_frames(&mut rng, Subset::Night, 60);
+
+    println!("training heavyweight YoloSim on DAY-DATA...");
+    let mut yolo = Detector::heavy(48, &mut rng);
+    yolo.train_oracle(&mut rng, &day_train, 700, 8);
+
+    let spec = Specializer::new(SpecializerConfig { train_iters: 700, distill_iters: 500, ..SpecializerConfig::default() });
+    println!("training YoloSpecialized from oracle labels...");
+    let mut specialized = spec.build_specialized(1, &day_train);
+    println!("distilling YoloLite from the teacher (no oracle labels)...");
+    let mut lite = spec.build_lite(2, &mut yolo, &day_train);
+
+    println!();
+    println!(
+        "{:<18} {:>9} {:>11} {:>9} {:>10} {:>10}",
+        "model", "mAP(day)", "mAP(night)", "params", "FPS", "size KiB"
+    );
+    for (name, model) in [
+        ("YoloSim", &mut yolo),
+        ("YoloSpecialized", &mut specialized),
+        ("YoloLite", &mut lite),
+    ] {
+        let map_day = model.evaluate_map(&day_test);
+        let map_night = model.evaluate_map(&night_test);
+        let prof = profile(model, 64, 16);
+        println!(
+            "{:<18} {:>9.3} {:>11.3} {:>9} {:>10.0} {:>10.1}",
+            name,
+            map_day,
+            map_night,
+            prof.params,
+            prof.fps,
+            prof.bytes as f32 / 1024.0
+        );
+    }
+    println!();
+    println!("note: every model collapses on NIGHT-DATA — drift the models were");
+    println!("never trained for. That is the gap ODIN's detector+specializer close.");
+}

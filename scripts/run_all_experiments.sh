@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper.
+#
+#   scripts/run_all_experiments.sh [SCALE] [SEED]
+#
+# SCALE multiplies dataset sizes / training iterations (default 1.0;
+# EXPERIMENTS.md records the scale its reference numbers used). Tables are
+# printed and saved as JSON under results/.
+set -euo pipefail
+SCALE="${1:-1.0}"
+SEED="${2:-42}"
+cd "$(dirname "$0")/.."
+
+cargo build --release -p odin-bench
+
+run() {
+    echo
+    echo "############ $1 (scale $SCALE, seed $SEED) ############"
+    cargo run -q --release -p odin-bench --bin "$1" -- --scale "$SCALE" --seed "$SEED"
+}
+
+# Cheap diagnostics first, heavyweight streaming experiments last.
+run fig4_delta_band
+run fig5_projection_failure
+run table4_throughput_memory
+run fig2_latent_spaces
+run fig1_motivating
+run fig8_specialization
+run table3_cross_subset
+run table1_drift_detection
+run table2_cluster_distribution
+run table5_selection
+run table6_aggregation
+run table7_ablation
+run fig9_end_to_end
+run ablation_sweeps

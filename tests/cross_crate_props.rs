@@ -1,0 +1,97 @@
+//! Property-based tests across crate boundaries: generated data must
+//! satisfy the contracts the detection and drift layers rely on.
+
+use odin_core::selector::{select, SelectionPolicy};
+use odin_data::{Condition, SceneGen, Subset, TimeOfDay, Weather};
+use odin_detect::{build_targets, decode, nms, HEAD_CHANNELS};
+use odin_drift::{ClusterManager, DeltaBand, ManagerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    (0usize..5, 0usize..3).prop_map(|(w, t)| {
+        Condition::new(Weather::ALL[w], TimeOfDay::ALL[t])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated frame yields boxes that the detection head can
+    /// encode, and the encoded targets stay in range.
+    #[test]
+    fn generated_frames_encode_to_valid_targets(seed in 0u64..500, cond in arb_condition()) {
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = gen.frame(&mut rng, cond);
+        let boxes: Vec<&[odin_data::GtBox]> = vec![frame.boxes.as_slice()];
+        let t = build_targets(&boxes, 6, 48);
+        prop_assert_eq!(t.shape(), &[1, HEAD_CHANNELS, 6, 6]);
+        prop_assert!(t.min() >= 0.0);
+        prop_assert!(t.max() <= 1.0);
+        // Pixel values always normalized.
+        prop_assert!(frame.image.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Decoding any finite prediction tensor yields in-range boxes, and
+    /// NMS never increases the detection count.
+    #[test]
+    fn decode_then_nms_is_contractive(seed in 0u64..200) {
+        let mut vals = Vec::with_capacity(HEAD_CHANNELS * 36);
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for _ in 0..HEAD_CHANNELS * 36 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            vals.push(((state >> 33) as f32 / u32::MAX as f32 - 0.5) * 8.0);
+        }
+        let pred = odin_tensor::Tensor::from_vec(vals, &[1, HEAD_CHANNELS, 6, 6]);
+        let dets = decode(&pred, 48, 0.3).pop().expect("one frame");
+        for d in &dets {
+            prop_assert!(d.bbox.w > 0.0 && d.bbox.h > 0.0);
+            prop_assert!(d.score >= 0.0 && d.score <= 1.0);
+        }
+        let kept = nms(dets.clone(), 0.45);
+        prop_assert!(kept.len() <= dets.len());
+    }
+
+    /// Selection weights are a distribution for every policy, for any
+    /// probe point, as soon as clusters exist.
+    #[test]
+    fn selector_weights_normalize(probe in prop::collection::vec(-20.0f32..20.0, 6)) {
+        let cfg = ManagerConfig { min_points: 15, stable_window: 4, kl_eps: 5e-3, ..ManagerConfig::default() };
+        let mut m = ClusterManager::new(cfg);
+        for (salt, center) in [(0usize, 0.0f32), (1, 9.0)] {
+            let pts: Vec<Vec<f32>> = (0..80)
+                .map(|i| (0..6).map(|j| center + ((i * 7 + j * 13 + salt) as f32).sin()).collect())
+                .collect();
+            m.bootstrap(&pts);
+        }
+        prop_assume!(m.clusters().len() >= 2);
+        for policy in [
+            SelectionPolicy::KnnUnweighted(2),
+            SelectionPolicy::KnnWeighted(2),
+            SelectionPolicy::DeltaBand,
+            SelectionPolicy::MostRecent,
+        ] {
+            let s = select(policy, &m, &probe);
+            prop_assert!(!s.is_empty());
+            let total: f32 = s.models.iter().map(|x| x.1).sum();
+            prop_assert!((total - 1.0).abs() < 1e-4, "{:?} weights sum to {}", policy, total);
+            prop_assert!(s.models.iter().all(|x| x.1 >= 0.0));
+        }
+    }
+
+    /// Δ-bands fitted on latents from any subset satisfy Equation 1.
+    #[test]
+    fn bands_on_frame_brightness_hold_mass(seed in 0u64..100, subset_idx in 0usize..5) {
+        let gen = SceneGen::new(32);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = gen.subset_frames(&mut rng, Subset::ALL[subset_idx], 30);
+        // 1-D latent: mean brightness.
+        let centroid: f32 = frames.iter().map(|f| f.image.mean_brightness()).sum::<f32>() / 30.0;
+        let distances: Vec<f32> =
+            frames.iter().map(|f| (f.image.mean_brightness() - centroid).abs()).collect();
+        let band = DeltaBand::fit(&distances, 0.75);
+        prop_assert!(band.mass(&distances) >= 0.75);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end system tests: ODIN versus the static baseline on drifting
+//! streams — the Figure 1 / Figure 9 / Table 7 claims at test scale.
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::metrics::{mean_map, StreamEvaluator};
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::selector::SelectionPolicy;
+use odin_core::specializer::SpecializerConfig;
+use odin_data::{DriftSchedule, Frame, Phase, SceneGen, Subset};
+use odin_detect::Detector;
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_cfg() -> OdinConfig {
+    OdinConfig {
+        manager: ManagerConfig {
+            min_points: 20,
+            stable_window: 6,
+            kl_eps: 2e-3,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig { train_iters: 350, distill_iters: 250, batch_size: 8, ..SpecializerConfig::default() },
+        min_train_frames: 40,
+        ..OdinConfig::default()
+    }
+}
+
+fn night_day_stream(total: usize, seed: u64) -> Vec<Frame> {
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(seed);
+    DriftSchedule::new(
+        total,
+        vec![
+            Phase { at_frame: 0, adds: Subset::Night },
+            Phase { at_frame: total / 2, adds: Subset::Day },
+        ],
+    )
+    .generate(&gen, &mut rng)
+}
+
+fn run(cfg: OdinConfig, stream: &[Frame], window: usize, seed: u64) -> (f32, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let teacher = Detector::heavy(48, &mut rng);
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, seed);
+    let mut eval = StreamEvaluator::new(window);
+    for f in stream {
+        let r = odin.process(f);
+        eval.record(f, r.detections);
+    }
+    let clusters = odin.manager().clusters().len();
+    let models = odin.registry_mut().len();
+    (mean_map(&eval.finish()), clusters, models)
+}
+
+/// ODIN with recovery must beat the static (untrained-on-stream) baseline
+/// on a drifting stream, and must actually discover multiple concepts.
+#[test]
+fn odin_beats_static_baseline_on_drifting_stream() {
+    let stream = night_day_stream(360, 200);
+    let (map_odin, clusters, models) = run(test_cfg(), &stream, 90, 1);
+    let baseline_cfg = OdinConfig { baseline_only: true, ..test_cfg() };
+    let (map_base, _, _) = run(baseline_cfg, &stream, 90, 1);
+    assert!(clusters >= 2, "expected at least 2 clusters, got {clusters}");
+    assert!(models >= 2, "expected at least 2 models, got {models}");
+    assert!(
+        map_odin > map_base,
+        "ODIN mAP {map_odin} should beat the static baseline {map_base}"
+    );
+}
+
+/// Accuracy must improve after recovery: the post-recovery windows of
+/// the stream should beat the pre-recovery windows (Figure 9's step-up).
+#[test]
+fn accuracy_steps_up_after_recovery() {
+    let stream = night_day_stream(360, 201);
+    let mut rng = StdRng::seed_from_u64(2);
+    let teacher = Detector::heavy(48, &mut rng);
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, test_cfg(), 2);
+    let mut eval = StreamEvaluator::new(60);
+    let mut first_drift = None;
+    for (i, f) in stream.iter().enumerate() {
+        let r = odin.process(f);
+        if r.drift.is_some() && first_drift.is_none() {
+            first_drift = Some(i);
+        }
+        eval.record(f, r.detections);
+    }
+    let drift_at = first_drift.expect("no drift detected at all");
+    let points = eval.finish();
+    let pre: Vec<f32> =
+        points.iter().filter(|p| p.at <= drift_at).map(|p| p.map).collect();
+    let post: Vec<f32> =
+        points.iter().filter(|p| p.at > drift_at + 60).map(|p| p.map).collect();
+    assert!(!post.is_empty(), "no windows after recovery");
+    let pre_mean = if pre.is_empty() { 0.0 } else { pre.iter().sum::<f32>() / pre.len() as f32 };
+    let post_mean = post.iter().sum::<f32>() / post.len() as f32;
+    assert!(
+        post_mean > pre_mean,
+        "no step-up after recovery: pre {pre_mean} vs post {post_mean}"
+    );
+}
+
+/// Table 7's ordering: the full system (Δ-BM selector) must not lose to
+/// the −SELECTOR ablation (most-recent model), which must not lose badly
+/// to the static baseline.
+#[test]
+fn ablation_ordering_holds() {
+    let stream = night_day_stream(360, 202);
+    let (map_full, _, _) = run(test_cfg(), &stream, 120, 3);
+    let no_selector_cfg = OdinConfig { policy: SelectionPolicy::MostRecent, ..test_cfg() };
+    let (map_nosel, _, _) = run(no_selector_cfg, &stream, 120, 3);
+    assert!(
+        map_full >= map_nosel - 0.02,
+        "full system ({map_full}) should not lose to -SELECTOR ({map_nosel})"
+    );
+}
+
+/// ODIN's deployed memory after recovery must be below the heavyweight
+/// baseline's (Figure 1's memory bar).
+#[test]
+fn memory_footprint_shrinks() {
+    let stream = night_day_stream(240, 203);
+    let mut rng = StdRng::seed_from_u64(4);
+    let teacher = Detector::heavy(48, &mut rng);
+    let teacher_bytes = teacher.param_bytes();
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, test_cfg(), 4);
+    for f in &stream {
+        let _ = odin.process(f);
+    }
+    assert!(!odin.registry_mut().is_empty());
+    assert!(
+        odin.memory_bytes() < teacher_bytes,
+        "deployed memory {} should be below the teacher's {}",
+        odin.memory_bytes(),
+        teacher_bytes
+    );
+}
