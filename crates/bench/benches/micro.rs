@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use odin_core::encoder::{DaGanEncoder, HistogramEncoder, LatentEncoder};
+use odin_core::registry::{ClusterModel, ModelKind, ModelRegistry};
 use odin_core::selector::{select, SelectionPolicy};
 use odin_data::{GtBox, Image, ObjectClass, SceneGen, Subset};
 use odin_detect::{nms, Detection, Detector};
@@ -63,7 +64,12 @@ fn bench_bands_and_kl(c: &mut Criterion) {
 }
 
 fn bench_cluster_observe(c: &mut Criterion) {
-    let cfg = ManagerConfig { min_points: 20, stable_window: 5, kl_eps: 5e-3, ..ManagerConfig::default() };
+    let cfg = ManagerConfig {
+        min_points: 20,
+        stable_window: 5,
+        kl_eps: 5e-3,
+        ..ManagerConfig::default()
+    };
     let mut manager = ClusterManager::new(cfg);
     for (salt, center) in [(0usize, 0.0f32), (1, 8.0), (2, -8.0), (3, 16.0)] {
         let pts: Vec<Vec<f32>> = (0..120)
@@ -99,11 +105,13 @@ fn bench_outlier_scoring(c: &mut Criterion) {
 
 fn bench_detection(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
-    let mut heavy = Detector::heavy(48, &mut rng);
-    let mut small = Detector::small(48, &mut rng);
+    let heavy = Detector::heavy(48, &mut rng);
+    let small = Detector::small(48, &mut rng);
     let img = Image::new(3, 48, 48);
     c.bench_function("detect/yolosim_heavy_1_frame", |b| b.iter(|| black_box(heavy.detect(&img))));
-    c.bench_function("detect/yolo_specialized_1_frame", |b| b.iter(|| black_box(small.detect(&img))));
+    c.bench_function("detect/yolo_specialized_1_frame", |b| {
+        b.iter(|| black_box(small.detect(&img)))
+    });
 
     let dets: Vec<Detection> = (0..64)
         .map(|i| Detection {
@@ -119,6 +127,27 @@ fn bench_detection(c: &mut Criterion) {
         .collect();
     c.bench_function("detect/nms_64_boxes", |b| {
         b.iter_batched(|| dets.clone(), |d| black_box(nms(d, 0.45)), BatchSize::SmallInput)
+    });
+}
+
+/// The serving path reads models through a shared (read-write-locked)
+/// registry so background SPECIALIZER workers can install models
+/// concurrently; this prices the per-frame lock acquisition.
+fn bench_shared_registry(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut reg = ModelRegistry::new();
+    for id in 0..8 {
+        reg.insert(
+            id,
+            ClusterModel { detector: Detector::small(48, &mut rng), kind: ModelKind::Specialized },
+        );
+    }
+    let shared = reg.into_shared();
+    c.bench_function("registry/shared_read_lookup", |b| {
+        b.iter(|| {
+            let guard = shared.read();
+            black_box(guard.get(3).map(|m| m.kind))
+        })
     });
 }
 
@@ -153,6 +182,7 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
     targets = bench_encoding, bench_bands_and_kl, bench_cluster_observe,
-              bench_outlier_scoring, bench_detection, bench_lsh_lookup
+              bench_outlier_scoring, bench_detection, bench_shared_registry,
+              bench_lsh_lookup
 }
 criterion_main!(micro);

@@ -105,15 +105,12 @@ fn main() {
     );
     for delta in [0.5f32, 0.65, 0.75, 0.9, 0.99] {
         let band = DeltaBand::fit(&dists, delta);
-        let accept = fresh
-            .iter()
-            .filter(|z| band.contains(odin_drift::euclidean(z, &centroid)))
-            .count() as f32
-            / fresh.len() as f32;
-        let leak = day
-            .iter()
-            .filter(|z| band.contains(odin_drift::euclidean(z, &centroid)))
-            .count() as f32
+        let accept =
+            fresh.iter().filter(|z| band.contains(odin_drift::euclidean(z, &centroid))).count()
+                as f32
+                / fresh.len() as f32;
+        let leak = day.iter().filter(|z| band.contains(odin_drift::euclidean(z, &centroid))).count()
+            as f32
             / day.len() as f32;
         t3.row(vec![format!("{delta}"), f3(band.width()), f3(accept), f3(leak)]);
     }
@@ -127,7 +124,12 @@ fn main() {
     );
     let night_frames = gen.subset_frames(&mut rng, Subset::Night, args.scaled(200, 50));
     let day_frames = gen.subset_frames(&mut rng, Subset::Day, args.scaled(200, 50));
-    let mgr_cfg = ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() };
+    let mgr_cfg = ManagerConfig {
+        min_points: 24,
+        stable_window: 6,
+        kl_eps: 2e-3,
+        ..ManagerConfig::default()
+    };
 
     let mut run_encoder = |name: &str, enc: &mut dyn LatentEncoder| {
         let mut m = ClusterManager::new(mgr_cfg);

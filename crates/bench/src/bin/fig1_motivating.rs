@@ -31,7 +31,8 @@ fn main() {
 
     // ODIN: two specialized models (rain + day); the day model serves
     // DAY-DATA after drift recovery.
-    let spec = Specializer::new(SpecializerConfig { train_iters: iters, ..SpecializerConfig::default() });
+    let spec =
+        Specializer::new(SpecializerConfig { train_iters: iters, ..SpecializerConfig::default() });
     println!("training ODIN's specialized models (rain + day)...");
     let mut day_model = spec.build_specialized(args.seed + 1, subsets.train(Subset::Day));
     let rain_model = spec.build_specialized(args.seed + 2, subsets.train(Subset::Rain));
@@ -58,9 +59,24 @@ fn main() {
         "Motivating Example: static (trained on RAIN) vs ODIN on DAY-DATA",
         &["Metric", "Static", "ODIN", "ODIN / Static"],
     );
-    t.row(vec!["Detection accuracy (mAP)".into(), f3(map_s), f3(map_o), format!("{}x", f2(map_o / map_s.max(1e-6)))]);
-    t.row(vec!["Query accuracy (cars)".into(), f3(q_s), f3(q_o), format!("{}x", f2(q_o / q_s.max(1e-6)))]);
-    t.row(vec!["Throughput (FPS)".into(), format!("{fps_s:.0}"), format!("{fps_o:.0}"), format!("{}x", f2(fps_o / fps_s))]);
+    t.row(vec![
+        "Detection accuracy (mAP)".into(),
+        f3(map_s),
+        f3(map_o),
+        format!("{}x", f2(map_o / map_s.max(1e-6))),
+    ]);
+    t.row(vec![
+        "Query accuracy (cars)".into(),
+        f3(q_s),
+        f3(q_o),
+        format!("{}x", f2(q_o / q_s.max(1e-6))),
+    ]);
+    t.row(vec![
+        "Throughput (FPS)".into(),
+        format!("{fps_s:.0}"),
+        format!("{fps_o:.0}"),
+        format!("{}x", f2(fps_o / fps_s)),
+    ]);
     t.row(vec![
         "Memory (KiB, deployed models)".into(),
         format!("{:.0}", mem_s as f32 / 1024.0),

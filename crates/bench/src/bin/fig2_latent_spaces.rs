@@ -27,7 +27,8 @@ fn main() {
         .into_iter()
         .map(|s| s.image)
         .collect();
-    let inliers: Vec<Image> = (0..args.scaled(60, 15)).map(|i| gen_digit(&mut rng, (i % 3) as u8)).collect();
+    let inliers: Vec<Image> =
+        (0..args.scaled(60, 15)).map(|i| gen_digit(&mut rng, (i % 3) as u8)).collect();
     let outliers: Vec<Image> =
         (0..args.scaled(60, 15)).map(|i| gen_digit(&mut rng, 3 + (i % 7) as u8)).collect();
 
@@ -48,7 +49,8 @@ fn main() {
     let in28 = Image::batch(&inliers);
     let out28 = Image::batch(&outliers);
     let in32 = Image::batch(&inliers.iter().map(|i| i.resize_nearest(32, 32)).collect::<Vec<_>>());
-    let out32 = Image::batch(&outliers.iter().map(|i| i.resize_nearest(32, 32)).collect::<Vec<_>>());
+    let out32 =
+        Image::batch(&outliers.iter().map(|i| i.resize_nearest(32, 32)).collect::<Vec<_>>());
 
     let mut t = Table::new(
         "fig2",

@@ -46,7 +46,12 @@ fn main() {
 
     println!("\n=== fig4 — Δ-band over one cluster's centroid-distance histogram ===");
     println!("cluster: NIGHT-DATA, {} points, Δ = 0.75", distances.len());
-    println!("band: [Δ_l = {:.3}, Δ_h = {:.3}], empirical mass {:.2}", band.lower, band.upper, band.mass(&distances));
+    println!(
+        "band: [Δ_l = {:.3}, Δ_h = {:.3}], empirical mass {:.2}",
+        band.lower,
+        band.upper,
+        band.mass(&distances)
+    );
     println!();
     for (i, &c) in counts.iter().enumerate() {
         let lo = i as f32 / bins as f32 * max_d;

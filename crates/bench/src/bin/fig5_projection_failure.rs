@@ -42,12 +42,7 @@ fn main() {
             unknown_mean += mean / 7.0;
         }
         let bar = "#".repeat((mean * 120.0) as usize);
-        t.row(vec![
-            d.to_string(),
-            if d <= 2 { "yes" } else { "no" }.to_string(),
-            f3(mean),
-            bar,
-        ]);
+        t.row(vec![d.to_string(), if d <= 2 { "yes" } else { "no" }.to_string(), f3(mean), bar]);
     }
     t.finish(&args);
     println!(

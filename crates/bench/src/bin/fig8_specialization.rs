@@ -22,7 +22,7 @@ fn main() {
     let subsets = BddSubsets::generate(&args, 300, 80);
 
     println!("training static YOLO on FULL-DATA ({iters} iters)...");
-    let mut yolo = train_heavy(args.seed, subsets.train(Subset::Full), iters);
+    let yolo = train_heavy(args.seed, subsets.train(Subset::Full), iters);
 
     let spec = Specializer::new(SpecializerConfig {
         train_iters: iters,
@@ -32,7 +32,7 @@ fn main() {
 
     // Specialized models train independently per subset: parallelize.
     println!("training YOLO-SPECIALIZED per subset (parallel)...");
-    let mut specialized: Vec<_> = thread::scope(|s| {
+    let specialized: Vec<_> = thread::scope(|s| {
         let handles: Vec<_> = Subset::ALL
             .iter()
             .enumerate()
@@ -47,11 +47,11 @@ fn main() {
     });
 
     println!("distilling YOLO-LITE per subset...");
-    let mut lites: Vec<_> = Subset::ALL
+    let lites: Vec<_> = Subset::ALL
         .iter()
         .enumerate()
         .map(|(i, &subset)| {
-            spec.build_lite(args.seed + 200 + i as u64, &mut yolo, subsets.train(subset))
+            spec.build_lite(args.seed + 200 + i as u64, &yolo, subsets.train(subset))
         })
         .collect();
 

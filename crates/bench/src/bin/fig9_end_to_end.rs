@@ -62,14 +62,27 @@ fn main() {
         schedule.drift_points()
     );
 
-    let manager = ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() };
-    let spec = SpecializerConfig { train_iters: args.scaled(700, 60), ..SpecializerConfig::default() };
+    let manager = ManagerConfig {
+        min_points: 24,
+        stable_window: 6,
+        kl_eps: 2e-3,
+        ..ManagerConfig::default()
+    };
+    let spec =
+        SpecializerConfig { train_iters: args.scaled(700, 60), ..SpecializerConfig::default() };
     // Training-data threshold scales with the stream so short smoke runs
     // still exercise recovery.
     let min_train_frames = args.scaled(120, 40);
 
-    let base_cfg = OdinConfig { baseline_only: true, manager, specializer: spec, min_train_frames, ..OdinConfig::default() };
-    let dbm_cfg = OdinConfig { manager, specializer: spec, min_train_frames, ..OdinConfig::default() };
+    let base_cfg = OdinConfig {
+        baseline_only: true,
+        manager,
+        specializer: spec,
+        min_train_frames,
+        ..OdinConfig::default()
+    };
+    let dbm_cfg =
+        OdinConfig { manager, specializer: spec, min_train_frames, ..OdinConfig::default() };
     let capped_cfg = OdinConfig {
         manager: ManagerConfig { max_clusters: Some(3), ..manager },
         specializer: spec,

@@ -24,8 +24,8 @@
 
 use odin_bench::report::{f3, Args, Table};
 use odin_core::encoder::{DaGanEncoder, LatentEncoder};
-use odin_data::digits::{digit_dataset, gen_digit, outlier_mix};
 use odin_data::cifar::{cifar_dataset, gen_cifar};
+use odin_data::digits::{digit_dataset, gen_digit, outlier_mix};
 use odin_data::Image;
 use odin_drift::baselines::{LatentKnn, Lof, PcaDetector};
 use odin_gan::{AdversarialAe, AeConfig, Autoencoder, DaGan, DaGanConfig};
@@ -69,9 +69,11 @@ fn evaluate(m: &mut Method, mixed: &[(Image, bool)]) -> f32 {
     correct as f32 / mixed.len() as f32
 }
 
+type ProjectFn = Box<dyn FnMut(&Image) -> Vec<f32>>;
+
 fn latent_knn_method(
     name: &'static str,
-    mut project: Box<dyn FnMut(&Image) -> Vec<f32>>,
+    mut project: ProjectFn,
     train: &[Image],
     validation: &[Image],
     k: usize,
@@ -94,9 +96,8 @@ fn run_dataset(
     let iters = args.scaled(1500, 150);
 
     // Held-out inlier validation set for threshold calibration.
-    let validation: Vec<Image> = (0..args.scaled(90, 30))
-        .map(|i| gen_fn(&mut rng, KNOWN[i % KNOWN.len()]))
-        .collect();
+    let validation: Vec<Image> =
+        (0..args.scaled(90, 30)).map(|i| gen_fn(&mut rng, KNOWN[i % KNOWN.len()])).collect();
 
     let mut methods: Vec<Method> = Vec::new();
 
@@ -126,7 +127,11 @@ fn run_dataset(
     methods.push(latent_knn_method(
         "AE",
         Box::new(move |im| {
-            let b = if im.height() == s { im.to_batch_tensor() } else { im.resize_nearest(s, s).to_batch_tensor() };
+            let b = if im.height() == s {
+                im.to_batch_tensor()
+            } else {
+                im.resize_nearest(s, s).to_batch_tensor()
+            };
             ae.encode(&b).row(0).into_vec()
         }),
         &train,
@@ -140,7 +145,11 @@ fn run_dataset(
     methods.push(latent_knn_method(
         "AAE",
         Box::new(move |im| {
-            let b = if im.height() == s { im.to_batch_tensor() } else { im.resize_nearest(s, s).to_batch_tensor() };
+            let b = if im.height() == s {
+                im.to_batch_tensor()
+            } else {
+                im.resize_nearest(s, s).to_batch_tensor()
+            };
             aae.encode(&b).row(0).into_vec()
         }),
         &train,
@@ -152,7 +161,13 @@ fn run_dataset(
     let mut dagan = DaGan::new(dg_cfg, &mut rng);
     dagan.train(&mut rng, &train, iters, 16);
     let mut enc = DaGanEncoder::new(dagan);
-    methods.push(latent_knn_method("DG", Box::new(move |im| enc.project(im)), &train, &validation, 3));
+    methods.push(latent_knn_method(
+        "DG",
+        Box::new(move |im| enc.project(im)),
+        &train,
+        &validation,
+        3,
+    ));
 
     // Sweep outlier fractions.
     let n_test = args.scaled(200, 60);
@@ -181,10 +196,8 @@ fn main() {
     let per_class = args.scaled(150, 30);
     let mut rng = StdRng::seed_from_u64(args.seed);
 
-    let digits_train: Vec<Image> = digit_dataset(&mut rng, &KNOWN, per_class)
-        .into_iter()
-        .map(|x| x.image)
-        .collect();
+    let digits_train: Vec<Image> =
+        digit_dataset(&mut rng, &KNOWN, per_class).into_iter().map(|x| x.image).collect();
     run_dataset(
         &args,
         "mnist_sim",
@@ -195,10 +208,8 @@ fn main() {
         true,
     );
 
-    let cifar_train: Vec<Image> = cifar_dataset(&mut rng, &KNOWN, per_class)
-        .into_iter()
-        .map(|x| x.image)
-        .collect();
+    let cifar_train: Vec<Image> =
+        cifar_dataset(&mut rng, &KNOWN, per_class).into_iter().map(|x| x.image).collect();
     run_dataset(
         &args,
         "cifar_sim",

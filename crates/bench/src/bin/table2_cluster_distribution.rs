@@ -91,15 +91,14 @@ fn main() {
     t.finish(&args);
 
     // Purity summary: how concentrated is night?
-    let night_cols: Vec<usize> = (0..headers.len() - 1)
-        .filter(|i| headers[i + 1].ends_with("/night"))
-        .collect();
-    let mut best_night_share = 0.0f32;
-    for row_idx in 0..cluster_ids.len() {
-        let share: f32 =
-            night_cols.iter().map(|&c| columns[c][row_idx]).sum::<f32>() / night_cols.len() as f32;
-        best_night_share = best_night_share.max(share);
-    }
+    let night_cols: Vec<usize> =
+        (0..headers.len() - 1).filter(|i| headers[i + 1].ends_with("/night")).collect();
+    let best_night_share = (0..cluster_ids.len())
+        .map(|row_idx| {
+            night_cols.iter().map(|&col| columns[col][row_idx]).sum::<f32>()
+                / night_cols.len() as f32
+        })
+        .fold(0.0f32, f32::max);
     println!(
         "\nnight concentration: the best cluster absorbs {:.0}% of night frames on average",
         best_night_share * 100.0

@@ -31,7 +31,7 @@ fn main() {
     let subsets = BddSubsets::generate(&args, 300, 80);
 
     println!("training baseline YOLO on FULL-DATA...");
-    let mut baseline = train_heavy(args.seed, subsets.train(Subset::Full), iters);
+    let baseline = train_heavy(args.seed, subsets.train(Subset::Full), iters);
 
     // Balance training sets to the smallest cluster (§6.3).
     let train_sets: Vec<&[Frame]> = CLUSTERS.iter().map(|&(_, s)| subsets.train(s)).collect();
@@ -39,7 +39,8 @@ fn main() {
     let balanced_owned: Vec<Vec<Frame>> =
         balanced.iter().map(|set| set.iter().map(|&f| f.clone()).collect()).collect();
 
-    let spec = Specializer::new(SpecializerConfig { train_iters: iters, ..SpecializerConfig::default() });
+    let spec =
+        Specializer::new(SpecializerConfig { train_iters: iters, ..SpecializerConfig::default() });
     println!("training 4 specialized models on balanced clusters (parallel)...");
     let mut models: Vec<_> = thread::scope(|s| {
         let handles: Vec<_> = balanced_owned

@@ -39,7 +39,11 @@ fn main() {
             format!("{:.0}", p.fps),
             p.params.to_string(),
             format!("{:.1}", p.bytes as f32 / 1024.0),
-            format!("{}x faster, {}x smaller", f2(p.fps / ph.fps), f2(ph.bytes as f32 / p.bytes as f32)),
+            format!(
+                "{}x faster, {}x smaller",
+                f2(p.fps / ph.fps),
+                f2(ph.bytes as f32 / p.bytes as f32)
+            ),
         ]);
     }
     t.finish(&args);

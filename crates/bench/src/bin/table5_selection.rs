@@ -19,20 +19,23 @@ use odin_data::Subset;
 use odin_detect::{mean_average_precision, MAP_IOU};
 use odin_drift::ManagerConfig;
 
-
-
 fn main() {
     let args = Args::parse();
     let iters = args.scaled(TRAIN_ITERS, 60);
     let subsets = BddSubsets::generate(&args, 300, 80);
 
     println!("training baseline YOLO on FULL-DATA...");
-    let mut baseline = train_heavy(args.seed, subsets.train(Subset::Full), iters);
+    let baseline = train_heavy(args.seed, subsets.train(Subset::Full), iters);
 
     let dagan = bdd_dagan(&args);
     let teacher = pretrained_teacher(&args);
     let cfg = OdinConfig {
-        manager: ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        manager: ManagerConfig {
+            min_points: 24,
+            stable_window: 6,
+            kl_eps: 2e-3,
+            ..ManagerConfig::default()
+        },
         specializer: SpecializerConfig { train_iters: iters, ..SpecializerConfig::default() },
         ..OdinConfig::default()
     };
@@ -45,11 +48,7 @@ fn main() {
         let promoted = odin.bootstrap_clusters(subsets.train(subset));
         println!("  {}: promoted clusters {:?}", subset.label(), promoted);
     }
-    println!(
-        "clusters: {}, models: {}",
-        odin.manager().clusters().len(),
-        odin.registry_mut().len()
-    );
+    println!("clusters: {}, models: {}", odin.manager().clusters().len(), odin.model_count());
 
     let policies = [
         ("Baseline", None),

@@ -38,7 +38,12 @@ fn build_odin(args: &Args, arch: DetectorArch, iters: usize, subsets: &BddSubset
     let dagan = bdd_dagan(args);
     let teacher = pretrained_teacher(args);
     let cfg = OdinConfig {
-        manager: ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        manager: ManagerConfig {
+            min_points: 24,
+            stable_window: 6,
+            kl_eps: 2e-3,
+            ..ManagerConfig::default()
+        },
         specializer: SpecializerConfig { arch, train_iters: iters, ..SpecializerConfig::default() },
         ..OdinConfig::default()
     };
@@ -114,7 +119,7 @@ fn main() {
     }
 
     println!("training static heavyweight model on FULL-DATA...");
-    let mut static_model = train_heavy(args.seed, subsets.train(Subset::Full), iters);
+    let static_model = train_heavy(args.seed, subsets.train(Subset::Full), iters);
 
     println!("building ODIN (specialized small models)...");
     let mut odin = build_odin(&args, DetectorArch::Small, iters, &subsets);
@@ -157,40 +162,18 @@ fn main() {
     let r_pp = run_queries(&stream, |f| {
         let car_pass = pp_car.pass(&f.image);
         let truck_pass = pp_truck.pass(&f.image);
-        let (c, t) = if car_pass || truck_pass {
-            count_dets(&odin.infer_only(f))
-        } else {
-            (0, 0)
-        };
-        (
-            if car_pass { c } else { 0 },
-            if truck_pass { t } else { 0 },
-            !car_pass,
-            !truck_pass,
-        )
+        let (c, t) = if car_pass || truck_pass { count_dets(&odin.infer_only(f)) } else { (0, 0) };
+        (if car_pass { c } else { 0 }, if truck_pass { t } else { 0 }, !car_pass, !truck_pass)
     });
     // ODIN-FILTER picks the filter specialized for the frame's concept
     // (selected by condition subset, mirroring the per-cluster filter
     // selector of Figure 10b).
     let r_filter = run_queries(&stream, |f| {
-        let subset = CONCEPTS
-            .iter()
-            .copied()
-            .find(|s| s.contains(&f.cond))
-            .unwrap_or(Subset::Day);
+        let subset = CONCEPTS.iter().copied().find(|s| s.contains(&f.cond)).unwrap_or(Subset::Day);
         let car_pass = spec_car.get_mut(&subset).expect("filter exists").pass(&f.image);
         let truck_pass = spec_truck.get_mut(&subset).expect("filter exists").pass(&f.image);
-        let (c, t) = if car_pass || truck_pass {
-            count_dets(&odin.infer_only(f))
-        } else {
-            (0, 0)
-        };
-        (
-            if car_pass { c } else { 0 },
-            if truck_pass { t } else { 0 },
-            !car_pass,
-            !truck_pass,
-        )
+        let (c, t) = if car_pass || truck_pass { count_dets(&odin.infer_only(f)) } else { (0, 0) };
+        (if car_pass { c } else { 0 }, if truck_pass { t } else { 0 }, !car_pass, !truck_pass)
     });
 
     let mut t = Table::new(

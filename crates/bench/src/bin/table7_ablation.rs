@@ -70,8 +70,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(args.seed);
     let stream = DriftSchedule::paper_end_to_end(total).generate(&gen, &mut rng);
 
-    let manager = ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() };
-    let spec = SpecializerConfig { train_iters: args.scaled(700, 60), ..SpecializerConfig::default() };
+    let manager = ManagerConfig {
+        min_points: 24,
+        stable_window: 6,
+        kl_eps: 2e-3,
+        ..ManagerConfig::default()
+    };
+    let spec =
+        SpecializerConfig { train_iters: args.scaled(700, 60), ..SpecializerConfig::default() };
     // Training-data threshold scales with the stream so short smoke runs
     // still exercise recovery.
     let min_train_frames = args.scaled(120, 40);
@@ -85,14 +91,26 @@ fn main() {
     );
     println!("running -SELECTOR (most recent model)...");
     let nosel = run(
-        OdinConfig { manager, specializer: spec, policy: SelectionPolicy::MostRecent, min_train_frames, ..OdinConfig::default() },
+        OdinConfig {
+            manager,
+            specializer: spec,
+            policy: SelectionPolicy::MostRecent,
+            min_train_frames,
+            ..OdinConfig::default()
+        },
         &stream,
         window,
         &args,
     );
     println!("running Baseline (static YOLO)...");
     let base = run(
-        OdinConfig { baseline_only: true, manager, specializer: spec, min_train_frames, ..OdinConfig::default() },
+        OdinConfig {
+            baseline_only: true,
+            manager,
+            specializer: spec,
+            min_train_frames,
+            ..OdinConfig::default()
+        },
         &stream,
         window,
         &args,

@@ -1,0 +1,159 @@
+//! Table 8 (systems extension): serving latency through the recovery
+//! window, inline vs background SPECIALIZER.
+//!
+//! The paper's SPECIALIZER trains a new model whenever DETECTOR promotes
+//! a cluster. Training inline stalls the serving thread for the whole
+//! run, so the frames right after a promotion pay the full training cost
+//! as latency. Background mode hands the job to worker threads and keeps
+//! serving with the teacher / nearby models; the stream's tail latency
+//! through the promotion window collapses while the final system — same
+//! seeds per job — is identical after the drain barrier.
+//!
+//! Reported per mode: p50/p99 frame latency inside the promotion windows
+//! (the frames from each drift event onward), the worst single-frame
+//! stall, end-to-end wall time, and the final model count.
+
+use std::time::Instant;
+
+use odin_bench::report::{Args, Table};
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::training::TrainingMode;
+use odin_data::{DriftSchedule, Frame, Phase, SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Frames after each promotion considered "the recovery window".
+const WINDOW: usize = 40;
+
+struct RunStats {
+    p50_ms: f64,
+    p99_ms: f64,
+    max_stall_ms: f64,
+    total_ms: f64,
+    drifts: usize,
+    models: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run(mode: TrainingMode, cfg: OdinConfig, stream: &[Frame], seed: u64) -> RunStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let teacher = Detector::heavy(48, &mut rng);
+    let cfg = OdinConfig { training: mode, ..cfg };
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, seed);
+
+    let mut latencies_ms = Vec::with_capacity(stream.len());
+    let mut drift_at = Vec::new();
+    let t_all = Instant::now();
+    for (i, f) in stream.iter().enumerate() {
+        let t0 = Instant::now();
+        let r = odin.process(f);
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if r.drift.is_some() {
+            drift_at.push(i);
+        }
+    }
+    odin.finish_training();
+    let total_ms = t_all.elapsed().as_secs_f64() * 1e3;
+
+    // Latencies inside the promotion windows only: the frames that pay
+    // for recovery under inline training.
+    let mut window_lat: Vec<f64> = drift_at
+        .iter()
+        .flat_map(|&d| latencies_ms[d..(d + WINDOW).min(latencies_ms.len())].iter().copied())
+        .collect();
+    window_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let max_stall_ms = latencies_ms.iter().copied().fold(0.0f64, f64::max);
+
+    RunStats {
+        p50_ms: percentile(&window_lat, 0.50),
+        p99_ms: percentile(&window_lat, 0.99),
+        max_stall_ms,
+        total_ms,
+        drifts: drift_at.len(),
+        models: odin.model_count(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let total = args.scaled(240, 120);
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let stream = DriftSchedule::new(
+        total,
+        vec![
+            Phase { at_frame: 0, adds: Subset::Night },
+            Phase { at_frame: total / 2, adds: Subset::Day },
+        ],
+    )
+    .generate(&gen, &mut rng);
+
+    let cfg = OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: args.scaled(400, 150),
+            distill_iters: args.scaled(300, 100),
+            batch_size: 8,
+        },
+        min_train_frames: 20,
+        ..OdinConfig::default()
+    };
+
+    println!("replaying {} frames under each training mode...", stream.len());
+    let modes = [
+        ("Inline", TrainingMode::Inline),
+        ("Background(1)", TrainingMode::Background { workers: 1 }),
+        ("Background(2)", TrainingMode::Background { workers: 2 }),
+    ];
+    let mut t = Table::new(
+        "table8",
+        "Recovery-Window Serving Latency: Inline vs Background SPECIALIZER",
+        &["Mode", "p50 ms", "p99 ms", "max stall ms", "total ms", "drifts", "models"],
+    );
+    let mut results = Vec::new();
+    for (label, mode) in modes {
+        let s = run(mode, cfg, &stream, args.seed);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.3}", s.p50_ms),
+            format!("{:.3}", s.p99_ms),
+            format!("{:.1}", s.max_stall_ms),
+            format!("{:.0}", s.total_ms),
+            s.drifts.to_string(),
+            s.models.to_string(),
+        ]);
+        results.push((label, s));
+    }
+    t.finish(&args);
+
+    let inline = &results[0].1;
+    let bg = &results[1].1;
+    println!(
+        "\npaper shape check: background p99 should be >=5x below inline \
+         ({:.3} ms vs {:.3} ms, {:.1}x), with identical model counts ({} vs {}).",
+        bg.p99_ms,
+        inline.p99_ms,
+        if bg.p99_ms > 0.0 { inline.p99_ms / bg.p99_ms } else { f64::INFINITY },
+        inline.models,
+        bg.models,
+    );
+}

@@ -36,9 +36,7 @@ impl Args {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = || {
-                it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"))
-            };
+            let mut value = || it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"));
             match flag.as_str() {
                 "--seed" => out.seed = value().parse().expect("--seed expects a u64"),
                 "--scale" => out.scale = value().parse().expect("--scale expects a float"),
@@ -114,11 +112,29 @@ impl Table {
         }
     }
 
+    /// Renders the table as pretty-printed JSON.
+    ///
+    /// The table's value space is strings only, so the writer is a
+    /// small hand-rolled escaper rather than a serde pipeline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"headers\": {},\n", json_str_array(&self.headers)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{sep}\n", json_str_array(row)));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
     /// Writes the table as JSON under `dir/<id>.json`.
     pub fn save(&self, dir: &PathBuf) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(path, serde_json::to_string_pretty(self).expect("table serializes"))
+        fs::write(path, self.to_json())
     }
 
     /// Prints and saves in one call (errors on save are reported, not
@@ -129,6 +145,31 @@ impl Table {
             eprintln!("warning: could not save {}: {e}", self.id);
         }
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a slice of strings as a JSON array literal.
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Formats a float with 3 decimals (the paper's precision).
@@ -159,9 +200,8 @@ mod tests {
 
     #[test]
     fn args_parse_all_flags() {
-        let a = Args::from_args(
-            ["--seed", "7", "--scale", "0.5", "--out", "/tmp/x"].map(String::from),
-        );
+        let a =
+            Args::from_args(["--seed", "7", "--scale", "0.5", "--out", "/tmp/x"].map(String::from));
         assert_eq!(a.seed, 7);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
@@ -191,6 +231,17 @@ mod tests {
     fn table_rejects_bad_rows() {
         let mut t = Table::new("t", "test", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn to_json_escapes_and_structures() {
+        let mut t = Table::new("t1", "quote \" and \\ back", &["h1", "h2"]);
+        t.row(vec!["a\nb".into(), "c".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"id\": \"t1\""));
+        assert!(j.contains("quote \\\" and \\\\ back"));
+        assert!(j.contains("[\"a\\nb\", \"c\"]"));
+        assert!(j.ends_with('}'));
     }
 
     #[test]

@@ -84,10 +84,12 @@ pub fn pretrained_teacher_on(args: &Args, subset: Subset) -> Detector {
     let iters = args.scaled(TRAIN_ITERS, 60);
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7EAC);
     let mut model = Detector::heavy(48, &mut rng);
-    let cache = args
-        .out_dir
-        .join("cache")
-        .join(format!("teacher_{}_{}_{}.f32", args.seed, iters, subset.label()));
+    let cache = args.out_dir.join("cache").join(format!(
+        "teacher_{}_{}_{}.f32",
+        args.seed,
+        iters,
+        subset.label()
+    ));
     if let Ok(bytes) = std::fs::read(&cache) {
         if bytes.len() == model.export_len() * 4 {
             let flat: Vec<f32> = bytes
@@ -123,7 +125,11 @@ pub fn bdd_dagan(args: &Args) -> odin_gan::DaGan {
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0xDA6A);
     let cfg = DaGanConfig::bdd();
     let mut model = DaGan::new(cfg, &mut rng);
-    let cache = args.out_dir.join("cache").join(format!("dagan_bdd_{}_{}.f32", args.seed, args.scaled(DAGAN_ITERS, 100)));
+    let cache = args.out_dir.join("cache").join(format!(
+        "dagan_bdd_{}_{}.f32",
+        args.seed,
+        args.scaled(DAGAN_ITERS, 100)
+    ));
     if let Ok(bytes) = std::fs::read(&cache) {
         if bytes.len() == model.export_len() * 4 {
             let flat: Vec<f32> = bytes

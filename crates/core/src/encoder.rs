@@ -99,7 +99,8 @@ impl LatentEncoder for HistogramEncoder {
             let ch_eff = ch.min(c - 1);
             let slice = &t.data()[ch_eff * plane..(ch_eff + 1) * plane];
             let mean: f32 = slice.iter().sum::<f32>() / plane as f32;
-            let var: f32 = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
+            let var: f32 =
+                slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
             feats.push(mean * 4.0);
             feats.push(var.sqrt() * 4.0);
         }
@@ -163,7 +164,15 @@ mod tests {
     #[test]
     fn dagan_encoder_projects_batches() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = odin_gan::DaGanConfig { channels: 3, size: 48, latent: 16, width: 4, lr: 1e-3, lambda_r: 0.5, denoise_std: 0.25 };
+        let cfg = odin_gan::DaGanConfig {
+            channels: 3,
+            size: 48,
+            latent: 16,
+            width: 4,
+            lr: 1e-3,
+            lambda_r: 0.5,
+            denoise_std: 0.25,
+        };
         let mut e = DaGanEncoder::new(DaGan::new(cfg, &mut rng));
         let imgs = vec![Image::new(3, 48, 48); 3];
         let refs: Vec<&Image> = imgs.iter().collect();

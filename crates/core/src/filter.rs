@@ -70,7 +70,13 @@ impl BinaryFilter {
 
     /// Trains the filter on frames labeled by ground-truth presence of
     /// the class.
-    pub fn train(&mut self, rng: &mut StdRng, frames: &[Frame], iters: usize, batch_size: usize) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        rng: &mut StdRng,
+        frames: &[Frame],
+        iters: usize,
+        batch_size: usize,
+    ) -> Vec<f32> {
         assert!(!frames.is_empty(), "cannot train a filter on zero frames");
         (0..iters)
             .map(|_| {
@@ -78,19 +84,20 @@ impl BinaryFilter {
                     (0..batch_size).map(|_| &frames[rng.gen_range(0..frames.len())]).collect();
                 let images: Vec<Image> = picks.iter().map(|f| f.image.clone()).collect();
                 let batch = Image::batch(&images);
-                let targets = Tensor::from_vec(
-                    picks
-                        .iter()
-                        .map(|f| {
-                            if f.boxes.iter().any(|b| b.class == self.class) {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect(),
-                    &[batch_size, 1],
-                );
+                let targets =
+                    Tensor::from_vec(
+                        picks
+                            .iter()
+                            .map(|f| {
+                                if f.boxes.iter().any(|b| b.class == self.class) {
+                                    1.0
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect(),
+                        &[batch_size, 1],
+                    );
                 let logits = self.net.forward(&batch, true);
                 let (l, grad) = loss::bce_with_logits(&logits, &targets);
                 self.net.backward(&grad);
@@ -141,10 +148,7 @@ mod tests {
         let before = filter.accuracy(&test);
         filter.train(&mut rng, &frames, 250, 8);
         let after = filter.accuracy(&test);
-        assert!(
-            after >= before,
-            "filter accuracy regressed: {before} -> {after}"
-        );
+        assert!(after >= before, "filter accuracy regressed: {before} -> {after}");
         assert!(after > 0.5, "trained filter accuracy {after} is no better than chance");
     }
 

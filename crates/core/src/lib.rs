@@ -11,9 +11,13 @@
 //! * [`specializer`] — YoloSpecialized (oracle-trained) and YoloLite
 //!   (teacher-distilled) model generation (§5.1–§5.2),
 //! * [`selector`] — the KNN-U / KNN-W / Δ-BM selection policies (§5.3),
+//! * [`training`] — SPECIALIZER scheduling: inline (deterministic
+//!   default) or on background worker threads so the serving path never
+//!   blocks on a training run,
 //! * [`query`] / [`filter`] — aggregation queries and the lightweight
 //!   per-cluster filters of §6.6 (ODIN-PP / ODIN-FILTER),
-//! * [`metrics`] — windowed stream evaluation (Figure 9).
+//! * [`metrics`] — windowed stream evaluation (Figure 9) and
+//!   pipeline-stage counters.
 //!
 //! ## Quick example
 //!
@@ -52,12 +56,14 @@ pub mod query;
 pub mod registry;
 pub mod selector;
 pub mod specializer;
+pub mod training;
 
 pub use encoder::{DaGanEncoder, HistogramEncoder, LatentEncoder};
 pub use filter::BinaryFilter;
-pub use metrics::{mean_map, StreamEvaluator, WindowPoint};
-pub use pipeline::{FrameResult, Odin, OdinConfig, OracleLabels};
+pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};
+pub use pipeline::{FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy};
 pub use query::{count_accuracy, CountQuery};
-pub use registry::{ClusterModel, ModelKind, ModelRegistry};
+pub use registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 pub use selector::{select, Selection, SelectionPolicy};
 pub use specializer::{Specializer, SpecializerConfig};
+pub use training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};

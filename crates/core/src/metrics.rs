@@ -1,8 +1,37 @@
 //! Windowed stream evaluation — the measurement behind Figure 9 and the
-//! end-to-end rows of Tables 6–7.
+//! end-to-end rows of Tables 6–7 — plus pipeline-stage counters for the
+//! decoupled SPECIALIZER.
 
 use odin_data::{Frame, GtBox};
 use odin_detect::{mean_average_precision, Detection, MAP_IOU};
+
+/// Snapshot of the pipeline's interaction with SPECIALIZER: how much
+/// training work is queued, running, and done, and how often the stream
+/// was served by a stand-in while a cluster's own model was still being
+/// built. `Odin::stats` returns one of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Training jobs handed to SPECIALIZER (inline runs count too).
+    pub jobs_submitted: u64,
+    /// Models trained and installed into the registry.
+    pub models_installed: u64,
+    /// Background jobs enqueued but not yet picked up by a worker
+    /// (always 0 under `TrainingMode::Inline`).
+    pub queue_depth: usize,
+    /// Background jobs currently training on a worker (always 0 under
+    /// `TrainingMode::Inline`).
+    pub in_flight: usize,
+    /// Total wall-clock spent training models, in milliseconds (worker
+    /// time under `TrainingMode::Background`).
+    pub train_wall_ms: f64,
+    /// Frames served by the heavyweight teacher while their cluster's
+    /// model was still collecting data, queued, or training.
+    pub teacher_frames_while_pending: u64,
+    /// Frames served by other clusters' models (SELECTOR covering the
+    /// gap) while their own cluster's model was still collecting data,
+    /// queued, or training.
+    pub fallback_frames_while_pending: u64,
+}
 
 /// One point on the accuracy-over-time curve of Figure 9.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,11 +123,8 @@ mod tests {
         let f = frame();
         let mut ev = StreamEvaluator::new(2);
         for _ in 0..4 {
-            let dets: Vec<Detection> = f
-                .boxes
-                .iter()
-                .map(|b| Detection { bbox: *b, score: 0.9 })
-                .collect();
+            let dets: Vec<Detection> =
+                f.boxes.iter().map(|b| Detection { bbox: *b, score: 0.9 }).collect();
             ev.record(&f, dets);
         }
         let pts = ev.finish();
@@ -142,7 +168,8 @@ mod tests {
             .boxes
             .iter()
             .map(|b| {
-                let wrong = if b.class == ObjectClass::Car { ObjectClass::Sign } else { ObjectClass::Car };
+                let wrong =
+                    if b.class == ObjectClass::Car { ObjectClass::Sign } else { ObjectClass::Car };
                 Detection { bbox: GtBox { class: wrong, ..*b }, score: 0.9 }
             })
             .collect();

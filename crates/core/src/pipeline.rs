@@ -7,17 +7,24 @@
 //! ❸ SELECTOR picks the ensemble of specialized models that runs
 //! inference on the frame. Before any cluster exists, the heavyweight
 //! teacher model serves inference (the static-baseline behaviour).
+//!
+//! Stages ❶+❷ share one ingest path ([`Odin::process`] and
+//! [`Odin::bootstrap_clusters`] both run it), and SPECIALIZER can train
+//! either inline or on background workers — see [`crate::training`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use odin_data::{Frame, GtBox};
 use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
 use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::encoder::LatentEncoder;
-use crate::registry::{ClusterModel, ModelKind, ModelRegistry};
+use crate::metrics::PipelineStats;
+use crate::registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 use crate::selector::{select, Selection, SelectionPolicy};
 use crate::specializer::{Specializer, SpecializerConfig};
+use crate::training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
 
 /// How oracle labels become available to SPECIALIZER (§7 discusses this
 /// constraint).
@@ -41,6 +48,9 @@ pub struct OdinConfig {
     pub specializer: SpecializerConfig,
     /// Oracle-label availability.
     pub oracle: OracleLabels,
+    /// SPECIALIZER scheduling: inline (deterministic default) or on
+    /// background worker threads.
+    pub training: TrainingMode,
     /// When true, drift detection and recovery are disabled and every
     /// frame is served by the heavyweight teacher — the static baseline
     /// of Figure 1 / Table 7.
@@ -62,11 +72,24 @@ impl Default for OdinConfig {
             policy: SelectionPolicy::DeltaBand,
             specializer: SpecializerConfig::default(),
             oracle: OracleLabels::Immediate,
+            training: TrainingMode::Inline,
             baseline_only: false,
             buffer_cap: 512,
             min_train_frames: 120,
         }
     }
+}
+
+/// Which execution path produced a frame's detections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The heavyweight teacher (no specialized model was applicable).
+    Teacher,
+    /// An ensemble chosen by the policy's primary criterion.
+    Ensemble,
+    /// An ensemble chosen by the policy's fallback path (e.g. Δ-BM
+    /// finding no band match and deferring to KNN).
+    FallbackEnsemble,
 }
 
 /// What happened while processing one frame.
@@ -78,22 +101,43 @@ pub struct FrameResult {
     /// A drift event, if this frame triggered a promotion.
     pub drift: Option<DriftEvent>,
     /// True if the heavyweight teacher served this frame (no specialized
-    /// model was applicable yet).
+    /// model was applicable yet). Equivalent to
+    /// `served_by == ServedBy::Teacher`; kept for callers that only
+    /// care about the teacher/specialized split.
     pub used_teacher: bool,
+    /// Exactly which path served the frame.
+    pub served_by: ServedBy,
     /// The selection SELECTOR produced (empty when the teacher served).
     pub selection: Selection,
+}
+
+/// Typed outcome of the observe→buffer→promote→evict ingest stage.
+pub struct IngestOutcome {
+    /// The frame's latent projection (reused by SELECTOR).
+    pub latent: Vec<f32>,
+    /// DETECTOR's cluster assignment.
+    pub assignment: Assignment,
+    /// The drift event, if this frame promoted the temporary cluster.
+    pub drift: Option<DriftEvent>,
+    /// The cluster evicted by the cap, if promotion forced one out.
+    pub evicted: Option<usize>,
 }
 
 /// The ODIN system.
 pub struct Odin {
     encoder: Box<dyn LatentEncoder>,
     manager: ClusterManager,
-    registry: ModelRegistry,
+    registry: SharedRegistry,
     specializer: Specializer,
-    teacher: Detector,
+    teacher: Arc<Detector>,
     temp_frames: Vec<Frame>,
     /// Frames accumulated per promoted-but-not-yet-modeled cluster.
-    pending: std::collections::BTreeMap<usize, Vec<Frame>>,
+    pending: BTreeMap<usize, Vec<Frame>>,
+    /// Clusters whose training job is queued or running in the
+    /// background pool.
+    training_pending: BTreeSet<usize>,
+    pool: Option<TrainingPool>,
+    stats: PipelineStats,
     cfg: OdinConfig,
     seed: u64,
     model_seq: u64,
@@ -102,15 +146,31 @@ pub struct Odin {
 impl Odin {
     /// Builds an ODIN instance from a latent encoder (usually a trained
     /// DA-GAN) and a heavyweight teacher detector.
-    pub fn new(encoder: Box<dyn LatentEncoder>, teacher: Detector, cfg: OdinConfig, seed: u64) -> Self {
+    pub fn new(
+        encoder: Box<dyn LatentEncoder>,
+        teacher: Detector,
+        cfg: OdinConfig,
+        seed: u64,
+    ) -> Self {
+        let teacher = Arc::new(teacher);
+        let specializer = Specializer::new(cfg.specializer);
+        let pool = match cfg.training {
+            TrainingMode::Inline => None,
+            TrainingMode::Background { workers } => {
+                Some(TrainingPool::new(workers, specializer, Arc::clone(&teacher)))
+            }
+        };
         Odin {
             encoder,
             manager: ClusterManager::new(cfg.manager),
-            registry: ModelRegistry::new(),
-            specializer: Specializer::new(cfg.specializer),
+            registry: ModelRegistry::new().into_shared(),
+            specializer,
             teacher,
             temp_frames: Vec::new(),
-            pending: std::collections::BTreeMap::new(),
+            pending: BTreeMap::new(),
+            training_pending: BTreeSet::new(),
+            pool,
+            stats: PipelineStats::default(),
             cfg,
             seed,
             model_seq: 0,
@@ -122,38 +182,67 @@ impl Odin {
         &self.manager
     }
 
-    /// The model registry (read/write access for reporting and warm
-    /// starts).
-    pub fn registry_mut(&mut self) -> &mut ModelRegistry {
-        &mut self.registry
+    /// Shared handle to the model registry. Take `.read()` for
+    /// reporting; the pipeline itself takes `.write()` only to install
+    /// or evict models at frame boundaries.
+    pub fn registry(&self) -> SharedRegistry {
+        Arc::clone(&self.registry)
     }
 
-    /// Total model memory currently deployed, in bytes. The baseline
-    /// configuration counts the teacher; ODIN counts its specialized
-    /// models (the teacher is retired from serving once models exist).
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.registry.read().len()
+    }
+
+    /// Registered cluster ids, ascending.
+    pub fn model_ids(&self) -> Vec<usize> {
+        self.registry.read().ids()
+    }
+
+    /// The kind of model serving a cluster, if one is registered.
+    pub fn model_kind(&self, cluster_id: usize) -> Option<ModelKind> {
+        self.registry.read().kind(cluster_id)
+    }
+
+    /// Model-deployment footprint in bytes — the quantity Figure 1 /
+    /// Table 7 compare. While the teacher serves every frame (baseline
+    /// mode, or no specialized model yet) this is the teacher's
+    /// parameter bytes; once specialized models exist it is the
+    /// registry's total. The teacher stays *resident* either way (it
+    /// backs fallback serving and distillation); its bytes are
+    /// intentionally excluded from the ODIN side of the comparison,
+    /// which measures what must be deployed per camera.
     pub fn memory_bytes(&self) -> usize {
-        if self.cfg.baseline_only || self.registry.is_empty() {
+        let registry = self.registry.read();
+        if self.cfg.baseline_only || registry.is_empty() {
             self.teacher.param_bytes()
         } else {
-            self.registry.total_bytes()
+            registry.total_bytes()
         }
     }
 
-    /// Processes one frame end-to-end.
-    pub fn process(&mut self, frame: &Frame) -> FrameResult {
-        if self.cfg.baseline_only {
-            return FrameResult {
-                detections: self.teacher.detect(&frame.image),
-                assignment: Assignment::Temporary,
-                drift: None,
-                used_teacher: true,
-                selection: Selection::empty(),
-            };
+    /// Pipeline-stage counters: training queue depth, in-flight jobs,
+    /// training wall-time, and how often frames were served by the
+    /// teacher or a fallback ensemble while their cluster's model was
+    /// still pending.
+    pub fn stats(&self) -> PipelineStats {
+        let mut s = self.stats;
+        if let Some(pool) = &self.pool {
+            s.queue_depth = pool.queue_depth();
+            s.in_flight = pool.in_flight();
         }
+        s
+    }
 
-        // ❶ DETECTOR: project and cluster.
-        let z = self.encoder.project(&frame.image);
-        let obs = self.manager.observe(&z);
+    /// Stage ❶+❷ ingest: observe the frame, buffer it for SPECIALIZER,
+    /// and react to promotions and evictions. Shared by [`Odin::process`]
+    /// and [`Odin::bootstrap_clusters`] so the two can never diverge.
+    fn ingest(&mut self, frame: &Frame) -> IngestOutcome {
+        // Land any background-trained models before observing, so this
+        // frame already sees them.
+        self.install_completed();
+        let latent = self.encoder.project(&frame.image);
+        let obs = self.manager.observe(&latent);
         match obs.assignment {
             Assignment::Temporary => {
                 if self.temp_frames.len() < self.cfg.buffer_cap {
@@ -171,28 +260,67 @@ impl Odin {
                 }
             }
         }
-
-        // ❷ SPECIALIZER: drift recovery.
-        let mut drift = None;
-        if let Some(new_id) = obs.promoted {
-            drift = Some(*self.manager.events().last().expect("promotion recorded"));
+        if let Some(event) = obs.promoted {
             let seed_frames = std::mem::take(&mut self.temp_frames);
-            self.pending.insert(new_id, seed_frames);
-            self.try_train(new_id);
+            self.pending.insert(event.cluster_id, seed_frames);
+            self.try_train(event.cluster_id);
             if let Some(evicted) = obs.evicted {
-                self.registry.remove(evicted);
+                self.registry.write().remove(evicted);
                 self.pending.remove(&evicted);
+                self.training_pending.remove(&evicted);
+            }
+        }
+        IngestOutcome {
+            latent,
+            assignment: obs.assignment,
+            drift: obs.promoted,
+            evicted: obs.evicted,
+        }
+    }
+
+    /// Processes one frame end-to-end.
+    pub fn process(&mut self, frame: &Frame) -> FrameResult {
+        if self.cfg.baseline_only {
+            return FrameResult {
+                detections: self.teacher.detect(&frame.image),
+                assignment: Assignment::Temporary,
+                drift: None,
+                used_teacher: true,
+                served_by: ServedBy::Teacher,
+                selection: Selection::empty(),
+            };
+        }
+
+        // ❶+❷ DETECTOR ingest and SPECIALIZER scheduling.
+        let outcome = self.ingest(frame);
+        // ❸ SELECTOR: pick models and run inference.
+        let (detections, served_by, selection) = self.infer(&outcome.latent, frame);
+
+        // While a cluster's model is still being collected for, queued,
+        // or trained, its frames are covered by the teacher or by
+        // nearby clusters' models — count both gap-serving modes.
+        if let Assignment::Cluster(id) = outcome.assignment {
+            if self.training_pending.contains(&id) || self.pending.contains_key(&id) {
+                match served_by {
+                    ServedBy::Teacher => self.stats.teacher_frames_while_pending += 1,
+                    _ => self.stats.fallback_frames_while_pending += 1,
+                }
             }
         }
 
-        // ❸ SELECTOR: pick models and run inference.
-        let (detections, used_teacher, selection) = self.infer(&z, frame);
-        FrameResult { detections, assignment: obs.assignment, drift, used_teacher, selection }
+        FrameResult {
+            detections,
+            assignment: outcome.assignment,
+            drift: outcome.drift,
+            used_teacher: served_by == ServedBy::Teacher,
+            served_by,
+            selection,
+        }
     }
 
-    /// Trains and registers a cluster's model once it has accumulated
-    /// enough frames (Algorithm 2's `GenerateNewModel`, gated on data
-    /// sufficiency).
+    /// Schedules (or inline-runs) a cluster's training once it has
+    /// accumulated enough frames (Algorithm 2's `GenerateNewModel`,
+    /// gated on data sufficiency).
     fn try_train(&mut self, cluster_id: usize) {
         let ready = self
             .pending
@@ -204,30 +332,76 @@ impl Odin {
         let frames = self.pending.remove(&cluster_id).expect("checked above");
         self.model_seq += 1;
         let seed = self.seed.wrapping_add(self.model_seq * 7919);
-        let model = match self.cfg.oracle {
-            OracleLabels::Immediate => ClusterModel {
-                detector: self.specializer.build_specialized(seed, &frames),
-                kind: ModelKind::Specialized,
-            },
-            OracleLabels::Never => ClusterModel {
-                detector: self.specializer.build_lite(seed, &mut self.teacher, &frames),
-                kind: ModelKind::Lite,
-            },
+        let kind = match self.cfg.oracle {
+            OracleLabels::Immediate => ModelKind::Specialized,
+            OracleLabels::Never => ModelKind::Lite,
         };
-        self.registry.insert(cluster_id, model);
+        self.stats.jobs_submitted += 1;
+        match &self.pool {
+            None => {
+                let t0 = std::time::Instant::now();
+                let detector = match kind {
+                    ModelKind::Specialized => self.specializer.build_specialized(seed, &frames),
+                    ModelKind::Lite => self.specializer.build_lite(seed, &self.teacher, &frames),
+                };
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                self.install(TrainedModel { cluster_id, detector, kind, wall_ms });
+            }
+            Some(pool) => {
+                pool.submit(TrainJob { cluster_id, seed, kind, frames });
+                self.training_pending.insert(cluster_id);
+            }
+        }
+    }
+
+    /// Installs one trained model, unless its cluster was evicted while
+    /// the model was training.
+    fn install(&mut self, model: TrainedModel) {
+        self.training_pending.remove(&model.cluster_id);
+        self.stats.train_wall_ms += model.wall_ms;
+        if self.manager.cluster(model.cluster_id).is_none() {
+            return; // evicted mid-training; drop the orphan model
+        }
+        self.registry
+            .write()
+            .insert(model.cluster_id, ClusterModel { detector: model.detector, kind: model.kind });
+        self.stats.models_installed += 1;
+    }
+
+    /// Lands every background-trained model that has finished, without
+    /// blocking. Called at frame boundaries.
+    fn install_completed(&mut self) {
+        let Some(pool) = self.pool.as_mut() else { return };
+        let done = pool.drain();
+        for m in done {
+            self.install(m);
+        }
+    }
+
+    /// Blocks until every queued and in-flight background training job
+    /// has finished, then installs the results. No-op under
+    /// [`TrainingMode::Inline`]. After this returns, the registry state
+    /// matches what inline training would have produced.
+    pub fn finish_training(&mut self) {
+        let Some(pool) = self.pool.as_mut() else { return };
+        let done = pool.drain_barrier();
+        for m in done {
+            self.install(m);
+        }
     }
 
     /// Ensemble inference over the selected models; falls back to the
     /// teacher when no model is applicable.
-    fn infer(&mut self, z: &[f32], frame: &Frame) -> (Vec<Detection>, bool, Selection) {
-        let selection = select_existing(self.cfg.policy, &self.manager, &self.registry, z);
+    fn infer(&self, z: &[f32], frame: &Frame) -> (Vec<Detection>, ServedBy, Selection) {
+        let registry = self.registry.read();
+        let selection = select_existing(self.cfg.policy, &self.manager, &registry, z);
         if selection.is_empty() {
-            return (self.teacher.detect(&frame.image), true, selection);
+            return (self.teacher.detect(&frame.image), ServedBy::Teacher, selection);
         }
         let k = selection.models.len() as f32;
         let mut pool: Vec<Detection> = Vec::new();
         for &(id, w) in &selection.models {
-            let model = self.registry.get_mut(id).expect("selection filtered to existing models");
+            let model = registry.get(id).expect("selection filtered to existing models");
             for mut d in model.detector.detect(&frame.image) {
                 // Rescale so a single selected model keeps its raw scores
                 // and ensemble members compete by weight.
@@ -235,7 +409,9 @@ impl Odin {
                 pool.push(d);
             }
         }
-        (nms(pool, DEFAULT_NMS_IOU), false, selection)
+        let served =
+            if selection.used_fallback { ServedBy::FallbackEnsemble } else { ServedBy::Ensemble };
+        (nms(pool, DEFAULT_NMS_IOU), served, selection)
     }
 
     /// Switches the SELECTOR policy (used by the Table-5 experiment to
@@ -260,52 +436,26 @@ impl Odin {
         frames.iter().map(|f| self.process(f)).collect()
     }
 
-    /// Convenience: builds a deterministic RNG namespaced to this
-    /// instance (used by warm-start helpers in experiments).
-    pub fn rng(&self, salt: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed ^ salt)
-    }
-
     /// Pre-registers a model for a cluster id (warm start — used by
     /// experiments that train specialized models offline, as §6.2's
     /// cluster bootstrap does).
     pub fn register_model(&mut self, cluster_id: usize, detector: Detector, kind: ModelKind) {
-        self.registry.insert(cluster_id, ClusterModel { detector, kind });
+        self.registry.write().insert(cluster_id, ClusterModel { detector, kind });
     }
 
     /// Bootstraps DETECTOR's clusters from a training stream without
-    /// running inference (the held-out-subset training of §6.2).
+    /// running inference (the held-out-subset training of §6.2). Waits
+    /// for background training to finish so the returned clusters'
+    /// models are servable immediately.
     pub fn bootstrap_clusters(&mut self, frames: &[Frame]) -> Vec<usize> {
         let mut promoted = Vec::new();
         for f in frames {
-            let z = self.encoder.project(&f.image);
-            let obs = self.manager.observe(&z);
-            match obs.assignment {
-                Assignment::Temporary => {
-                    if self.temp_frames.len() < self.cfg.buffer_cap {
-                        self.temp_frames.push(f.clone());
-                    }
-                }
-                Assignment::Cluster(id) => {
-                    if let Some(buf) = self.pending.get_mut(&id) {
-                        if buf.len() < self.cfg.buffer_cap {
-                            buf.push(f.clone());
-                        }
-                        self.try_train(id);
-                    }
-                }
-            }
-            if let Some(id) = obs.promoted {
-                let seed_frames = std::mem::take(&mut self.temp_frames);
-                self.pending.insert(id, seed_frames);
-                self.try_train(id);
-                if let Some(evicted) = obs.evicted {
-                    self.registry.remove(evicted);
-                    self.pending.remove(&evicted);
-                }
-                promoted.push(id);
+            let outcome = self.ingest(f);
+            if let Some(event) = outcome.drift {
+                promoted.push(event.cluster_id);
             }
         }
+        self.finish_training();
         promoted
     }
 
@@ -317,8 +467,8 @@ impl Odin {
 }
 
 /// Applies the policy, then filters to clusters that actually have a
-/// registered model (a cluster can briefly exist without one when its
-/// buffer was empty).
+/// registered model (a cluster can briefly exist without one while its
+/// model is pending).
 fn select_existing(
     policy: SelectionPolicy,
     manager: &ClusterManager,
@@ -328,7 +478,11 @@ fn select_existing(
     let mut s = select(policy, manager, z);
     s.models.retain(|(id, _)| registry.kind(*id).is_some());
     if s.models.is_empty() {
-        return Selection { models: Vec::new(), used_fallback: s.used_fallback };
+        // Nothing the policy picked is servable: the teacher takes the
+        // frame, so no fallback ensemble actually ran — don't report
+        // the policy's internal fallback flag for a selection that
+        // served nothing.
+        return Selection::empty();
     }
     let total: f32 = s.models.iter().map(|m| m.1).sum();
     if total > 0.0 {
@@ -350,6 +504,9 @@ mod tests {
     use crate::encoder::HistogramEncoder;
     use odin_data::{SceneGen, Subset};
     use odin_detect::DetectorArch;
+    use odin_drift::ManagerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn quick_cfg() -> OdinConfig {
         OdinConfig {
@@ -388,6 +545,7 @@ mod tests {
         for f in &frames {
             let r = odin.process(f);
             assert!(r.used_teacher);
+            assert_eq!(r.served_by, ServedBy::Teacher);
             assert!(r.drift.is_none());
         }
         assert_eq!(odin.manager().clusters().len(), 0);
@@ -402,10 +560,11 @@ mod tests {
         let results = odin.process_stream(&night);
         let drifts: Vec<_> = results.iter().filter_map(|r| r.drift).collect();
         assert!(!drifts.is_empty(), "no drift detected on the first concept");
-        assert!(!odin.registry_mut().is_empty(), "no model trained after promotion");
+        assert!(odin.model_count() > 0, "no model trained after promotion");
         // Later frames should be served by the specialized model.
         let last = results.last().expect("non-empty stream");
         assert!(!last.used_teacher, "teacher still serving after recovery");
+        assert_ne!(last.served_by, ServedBy::Teacher);
     }
 
     #[test]
@@ -414,9 +573,9 @@ mod tests {
         let gen = SceneGen::new(48);
         let mut rng = StdRng::seed_from_u64(3);
         odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
-        let n1 = odin.registry_mut().len();
+        let n1 = odin.model_count();
         odin.process_stream(&gen.subset_frames(&mut rng, Subset::Day, 60));
-        let n2 = odin.registry_mut().len();
+        let n2 = odin.model_count();
         assert!(n2 > n1, "day concept did not produce a new model ({n1} -> {n2})");
     }
 
@@ -427,10 +586,10 @@ mod tests {
         let gen = SceneGen::new(48);
         let mut rng = StdRng::seed_from_u64(4);
         odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
-        let ids = odin.registry_mut().ids();
+        let ids = odin.model_ids();
         assert!(!ids.is_empty());
         for id in ids {
-            assert_eq!(odin.registry_mut().kind(id), Some(ModelKind::Lite));
+            assert_eq!(odin.model_kind(id), Some(ModelKind::Lite));
         }
     }
 
@@ -445,6 +604,21 @@ mod tests {
             odin.memory_bytes() < baseline_mem,
             "specialized models should be smaller than the teacher"
         );
+    }
+
+    #[test]
+    fn memory_bytes_counts_deployment_not_residency() {
+        let mut odin = new_odin(quick_cfg());
+        let teacher_bytes = odin.memory_bytes();
+        // Warm-start one small model: memory_bytes switches to the
+        // registry total even though the teacher remains resident for
+        // fallback serving and distillation.
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = Detector::small(48, &mut rng);
+        let small_bytes = small.param_bytes();
+        odin.register_model(0, small, ModelKind::Specialized);
+        assert_eq!(odin.memory_bytes(), small_bytes);
+        assert!(teacher_bytes > small_bytes);
     }
 
     #[test]
@@ -470,7 +644,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
         odin.process_stream(&gen.subset_frames(&mut rng, Subset::Day, 60));
-        if odin.registry_mut().len() < 2 {
+        if odin.model_count() < 2 {
             return; // fixture didn't split; covered by other tests
         }
         let frame = &gen.subset_frames(&mut rng, Subset::Night, 1)[0];
@@ -490,5 +664,54 @@ mod tests {
         let promoted = odin.bootstrap_clusters(&gen.subset_frames(&mut rng, Subset::Night, 60));
         assert!(!promoted.is_empty());
         assert_eq!(promoted.len(), odin.manager().events().len());
+    }
+
+    #[test]
+    fn served_by_agrees_with_used_teacher() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(10);
+        let frames = gen.subset_frames(&mut rng, Subset::Night, 60);
+        for r in odin.process_stream(&frames) {
+            assert_eq!(r.used_teacher, r.served_by == ServedBy::Teacher);
+            // A teacher-served frame must not report a fallback
+            // selection that never ran (the stale-flag regression).
+            if r.selection.is_empty() {
+                assert!(!r.selection.used_fallback);
+                assert_eq!(r.served_by, ServedBy::Teacher);
+            }
+        }
+    }
+
+    #[test]
+    fn background_mode_installs_after_finish() {
+        let cfg = OdinConfig { training: TrainingMode::Background { workers: 1 }, ..quick_cfg() };
+        let mut odin = new_odin(cfg);
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(2);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        odin.finish_training();
+        assert!(odin.model_count() > 0, "background training produced no model");
+        let stats = odin.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.jobs_submitted, stats.models_installed);
+        assert!(stats.train_wall_ms > 0.0);
+    }
+
+    #[test]
+    fn stats_count_gap_serving_while_model_pending() {
+        let mut odin = new_odin(quick_cfg());
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(11);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        let stats = odin.stats();
+        assert!(stats.jobs_submitted >= 1);
+        // Between promotion and min_train_frames, assigned frames are
+        // covered by the teacher (first concept: nothing else exists).
+        assert!(
+            stats.teacher_frames_while_pending > 0,
+            "expected teacher to cover the promotion window"
+        );
     }
 }

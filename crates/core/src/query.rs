@@ -63,10 +63,7 @@ mod tests {
     use odin_data::GtBox;
 
     fn det(class: ObjectClass) -> Detection {
-        Detection {
-            bbox: GtBox { class, x: 0.0, y: 0.0, w: 5.0, h: 5.0 },
-            score: 0.9,
-        }
+        Detection { bbox: GtBox { class, x: 0.0, y: 0.0, w: 5.0, h: 5.0 }, score: 0.9 }
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! The model registry inside MODELMANAGER: one detector per cluster.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use odin_detect::Detector;
+use parking_lot::RwLock;
+
+/// A registry shared between the serving path (readers) and the
+/// frame-boundary install step that lands background-trained models
+/// (writer). Inference holds a read lock for the duration of one
+/// frame's ensemble pass; writes are rare (one per trained model).
+pub type SharedRegistry = Arc<RwLock<ModelRegistry>>;
 
 /// What kind of model currently serves a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +42,12 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Wraps the registry in a [`SharedRegistry`] handle for sharing
+    /// between the serving path and model installation.
+    pub fn into_shared(self) -> SharedRegistry {
+        Arc::new(RwLock::new(self))
+    }
+
     /// Number of registered models.
     pub fn len(&self) -> usize {
         self.models.len()
@@ -57,6 +71,11 @@ impl ModelRegistry {
     }
 
     /// The model for a cluster.
+    pub fn get(&self, cluster_id: usize) -> Option<&ClusterModel> {
+        self.models.get(&cluster_id)
+    }
+
+    /// Mutable access to a cluster's model.
     pub fn get_mut(&mut self, cluster_id: usize) -> Option<&mut ClusterModel> {
         self.models.get_mut(&cluster_id)
     }

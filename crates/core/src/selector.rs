@@ -89,12 +89,8 @@ pub fn select(policy: SelectionPolicy, manager: &ClusterManager, z: &[f32]) -> S
             Selection { models: hits, used_fallback: false }
         }
         SelectionPolicy::MostRecent => {
-            let id = manager
-                .clusters()
-                .iter()
-                .map(|c| c.id())
-                .max()
-                .expect("non-empty cluster list");
+            let id =
+                manager.clusters().iter().map(|c| c.id()).max().expect("non-empty cluster list");
             Selection { models: vec![(id, 1.0)], used_fallback: false }
         }
     }
@@ -108,11 +104,8 @@ fn knn_weighted(sorted_distances: &[(usize, f32)], k: usize) -> Selection {
     let dmax = nearest.last().expect("k >= 1").1.max(1e-6);
     let inv: Vec<f32> = nearest.iter().map(|&(_, d)| dmax / d.max(1e-6)).collect();
     let total: f32 = inv.iter().sum();
-    let mut models: Vec<(usize, f32)> = nearest
-        .iter()
-        .zip(inv.iter())
-        .map(|(&(id, _), &w)| (id, w / total))
-        .collect();
+    let mut models: Vec<(usize, f32)> =
+        nearest.iter().zip(inv.iter()).map(|(&(id, _), &w)| (id, w / total)).collect();
     models.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
     Selection { models, used_fallback: false }
 }
@@ -123,7 +116,12 @@ mod tests {
     use odin_drift::ManagerConfig;
 
     fn manager_with_two_clusters() -> ClusterManager {
-        let cfg = ManagerConfig { min_points: 15, stable_window: 4, kl_eps: 5e-3, ..ManagerConfig::default() };
+        let cfg = ManagerConfig {
+            min_points: 15,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            ..ManagerConfig::default()
+        };
         let mut m = ClusterManager::new(cfg);
         let mk = |center: f32, salt: usize, n: usize| -> Vec<Vec<f32>> {
             (0..n)

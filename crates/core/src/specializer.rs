@@ -88,7 +88,7 @@ impl Specializer {
     /// # Panics
     ///
     /// Panics if `frames` is empty.
-    pub fn build_lite(&self, seed: u64, teacher: &mut Detector, frames: &[Frame]) -> Detector {
+    pub fn build_lite(&self, seed: u64, teacher: &Detector, frames: &[Frame]) -> Detector {
         assert!(!frames.is_empty(), "cannot distill on zero frames");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut model = self.fresh(&mut rng);
@@ -143,8 +143,8 @@ mod tests {
         let gen = SceneGen::new(48);
         let frames = gen.subset_frames(&mut rng, Subset::Day, 10);
         let sp = Specializer::new(quick_cfg());
-        let mut teacher = Detector::small(48, &mut rng);
-        let lite = sp.build_lite(3, &mut teacher, &frames);
+        let teacher = Detector::small(48, &mut rng);
+        let lite = sp.build_lite(3, &teacher, &frames);
         assert_eq!(lite.arch(), DetectorArch::Small);
     }
 

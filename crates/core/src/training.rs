@@ -1,0 +1,289 @@
+//! SPECIALIZER scheduling — inline or on background workers.
+//!
+//! The paper's SPECIALIZER "generates a new model" whenever DETECTOR
+//! promotes a cluster (Algorithm 2). Training a detector takes orders of
+//! magnitude longer than serving a frame, so doing it on the serving
+//! thread stalls the stream for the whole training run. This module
+//! decouples the stages:
+//!
+//! * [`TrainingMode::Inline`] trains synchronously inside
+//!   `Odin::process`. Fully deterministic — every paper-table harness
+//!   uses it, and it is the default.
+//! * [`TrainingMode::Background`] hands [`TrainJob`]s to a
+//!   [`TrainingPool`] of worker threads over channels. The serving
+//!   thread never trains; completed models are drained and installed at
+//!   frame boundaries, and frames for a still-training cluster are
+//!   served by the teacher or by nearby clusters' models meanwhile.
+//!
+//! Because each job carries its own seed (derived from the submission
+//! sequence number), the models a background pool produces are
+//! bit-identical to the ones inline training would have built — only
+//! *when* they become servable differs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use odin_data::Frame;
+use odin_detect::Detector;
+
+use crate::registry::ModelKind;
+use crate::specializer::Specializer;
+
+/// How SPECIALIZER schedules training work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainingMode {
+    /// Train on the calling thread inside `process`. Deterministic
+    /// frame-by-frame; the default, and what the paper-table harnesses
+    /// use.
+    #[default]
+    Inline,
+    /// Train on `workers` background threads (at least one). `process`
+    /// never trains on the calling thread; call
+    /// `Odin::finish_training` to wait for stragglers.
+    Background {
+        /// Worker-thread count; clamped to at least 1.
+        workers: usize,
+    },
+}
+
+/// One unit of SPECIALIZER work: build a model of `kind` for
+/// `cluster_id` from `frames`, seeding all randomness from `seed`.
+#[derive(Debug)]
+pub struct TrainJob {
+    /// The promoted cluster the model will serve.
+    pub cluster_id: usize,
+    /// RNG seed — carried in the job so Inline and Background modes
+    /// build identical models.
+    pub seed: u64,
+    /// Specialized (oracle labels) or Lite (teacher distillation).
+    pub kind: ModelKind,
+    /// The cluster's accumulated training frames.
+    pub frames: Vec<Frame>,
+}
+
+/// A model built by a worker, ready for registry installation.
+pub struct TrainedModel {
+    /// The cluster the model was built for.
+    pub cluster_id: usize,
+    /// The trained detector.
+    pub detector: Detector,
+    /// Specialized or Lite.
+    pub kind: ModelKind,
+    /// Wall-clock the training run took, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A pool of SPECIALIZER worker threads fed over channels.
+///
+/// Jobs flow worker-ward through an unbounded MPMC channel; finished
+/// models flow back through a second one. Counters are monotone
+/// (`submitted >= started >= finished`), so queue depth and in-flight
+/// counts are snapshots computed from their differences.
+pub struct TrainingPool {
+    /// `None` only transiently during drop (taking it closes the
+    /// channel so workers exit their recv loop).
+    jobs: Option<Sender<TrainJob>>,
+    results: Receiver<TrainedModel>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: Arc<AtomicUsize>,
+    started: Arc<AtomicUsize>,
+    finished: Arc<AtomicUsize>,
+    /// Results the owner has pulled out of `results` (main-thread only).
+    collected: usize,
+}
+
+impl TrainingPool {
+    /// Spawns `workers` (at least 1) threads that build models with
+    /// `specializer`, distilling from `teacher` for Lite jobs.
+    pub fn new(workers: usize, specializer: Specializer, teacher: Arc<Detector>) -> Self {
+        let (job_tx, job_rx) = unbounded::<TrainJob>();
+        let (res_tx, res_rx) = unbounded::<TrainedModel>();
+        let submitted = Arc::new(AtomicUsize::new(0));
+        let started = Arc::new(AtomicUsize::new(0));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = job_rx.clone();
+                let tx = res_tx.clone();
+                let teacher = Arc::clone(&teacher);
+                let started = Arc::clone(&started);
+                let finished = Arc::clone(&finished);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        started.fetch_add(1, Ordering::SeqCst);
+                        let t0 = Instant::now();
+                        let detector = match job.kind {
+                            ModelKind::Specialized => {
+                                specializer.build_specialized(job.seed, &job.frames)
+                            }
+                            ModelKind::Lite => {
+                                specializer.build_lite(job.seed, &teacher, &job.frames)
+                            }
+                        };
+                        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        let done = TrainedModel {
+                            cluster_id: job.cluster_id,
+                            detector,
+                            kind: job.kind,
+                            wall_ms,
+                        };
+                        finished.fetch_add(1, Ordering::SeqCst);
+                        if tx.send(done).is_err() {
+                            break; // pool dropped; nobody wants results
+                        }
+                    }
+                })
+            })
+            .collect();
+        TrainingPool {
+            jobs: Some(job_tx),
+            results: res_rx,
+            workers: handles,
+            submitted,
+            started,
+            finished,
+            collected: 0,
+        }
+    }
+
+    /// Enqueues a job; returns immediately.
+    pub fn submit(&self, job: TrainJob) {
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+        self.jobs
+            .as_ref()
+            .expect("job channel open until drop")
+            .send(job)
+            .expect("training workers alive");
+    }
+
+    /// Jobs enqueued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.submitted.load(Ordering::SeqCst).saturating_sub(self.started.load(Ordering::SeqCst))
+    }
+
+    /// Jobs currently training on a worker.
+    pub fn in_flight(&self) -> usize {
+        self.started.load(Ordering::SeqCst).saturating_sub(self.finished.load(Ordering::SeqCst))
+    }
+
+    /// Jobs submitted whose results have not yet been collected.
+    pub fn pending(&self) -> usize {
+        self.submitted.load(Ordering::SeqCst).saturating_sub(self.collected)
+    }
+
+    /// Collects every finished model without blocking.
+    pub fn drain(&mut self) -> Vec<TrainedModel> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.results.try_recv() {
+            self.collected += 1;
+            out.push(m);
+        }
+        out
+    }
+
+    /// Blocks until every submitted job has finished, returning all
+    /// uncollected results. With more than one worker the order results
+    /// arrive in is nondeterministic; callers install into a map keyed
+    /// by cluster id, so final state does not depend on it.
+    pub fn drain_barrier(&mut self) -> Vec<TrainedModel> {
+        let mut out = Vec::new();
+        while self.collected < self.submitted.load(Ordering::SeqCst) {
+            match self.results.recv() {
+                Ok(m) => {
+                    self.collected += 1;
+                    out.push(m);
+                }
+                Err(_) => break, // a worker died; don't hang forever
+            }
+        }
+        out
+    }
+}
+
+impl Drop for TrainingPool {
+    /// Closes the job channel and joins the workers. A worker mid-run
+    /// finishes its current job first, so dropping a busy pool can
+    /// block for up to one training run.
+    fn drop(&mut self) {
+        self.jobs.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specializer::SpecializerConfig;
+    use odin_data::{SceneGen, Subset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_specializer() -> Specializer {
+        Specializer::new(SpecializerConfig {
+            train_iters: 10,
+            distill_iters: 8,
+            batch_size: 4,
+            ..SpecializerConfig::default()
+        })
+    }
+
+    fn fixture() -> (Arc<Detector>, Vec<Frame>) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let teacher = Arc::new(Detector::small(48, &mut rng));
+        let gen = SceneGen::new(48);
+        let frames = gen.subset_frames(&mut rng, Subset::Day, 8);
+        (teacher, frames)
+    }
+
+    #[test]
+    fn pool_trains_and_returns_models() {
+        let (teacher, frames) = fixture();
+        let mut pool = TrainingPool::new(2, quick_specializer(), teacher);
+        for (i, kind) in [ModelKind::Specialized, ModelKind::Lite].into_iter().enumerate() {
+            pool.submit(TrainJob { cluster_id: i, seed: i as u64, kind, frames: frames.clone() });
+        }
+        let done = pool.drain_barrier();
+        assert_eq!(done.len(), 2);
+        assert_eq!(pool.pending(), 0);
+        let mut kinds: Vec<_> = done.iter().map(|m| (m.cluster_id, m.kind)).collect();
+        kinds.sort_by_key(|&(id, _)| id);
+        assert_eq!(kinds, vec![(0, ModelKind::Specialized), (1, ModelKind::Lite)]);
+        assert!(done.iter().all(|m| m.wall_ms >= 0.0));
+    }
+
+    #[test]
+    fn background_model_matches_inline_training() {
+        let (teacher, frames) = fixture();
+        let sp = quick_specializer();
+        let inline = sp.build_specialized(7, &frames);
+        let mut pool = TrainingPool::new(1, sp, teacher);
+        pool.submit(TrainJob { cluster_id: 0, seed: 7, kind: ModelKind::Specialized, frames });
+        let done = pool.drain_barrier();
+        assert_eq!(done[0].detector.export_params(), inline.export_params());
+    }
+
+    #[test]
+    fn counters_settle_after_barrier() {
+        let (teacher, frames) = fixture();
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher);
+        pool.submit(TrainJob { cluster_id: 3, seed: 1, kind: ModelKind::Lite, frames });
+        assert_eq!(pool.pending(), 1);
+        let _ = pool.drain_barrier();
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_without_jobs_is_empty() {
+        let (teacher, _) = fixture();
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher);
+        assert!(pool.drain().is_empty());
+        assert!(pool.drain_barrier().is_empty());
+    }
+}

@@ -224,7 +224,8 @@ impl SceneGen {
             }
         }
         // Dashed center line.
-        let line_color = if cond.time == TimeOfDay::Night { [0.45, 0.45, 0.35] } else { [0.85, 0.85, 0.6] };
+        let line_color =
+            if cond.time == TimeOfDay::Night { [0.45, 0.45, 0.35] } else { [0.85, 0.85, 0.6] };
         for y in (horizon + 2..s).step_by(4) {
             img.fill_rect(y as isize, (s / 2) as isize, 2, 1, line_color);
         }
@@ -373,7 +374,13 @@ impl SceneGen {
                     let ly = y + bh as isize / 2;
                     let color = if spec.flag { [1.0, 0.95, 0.7] } else { [0.9, 0.1, 0.1] };
                     lights.push(LightSpot { y: ly, x, h: 1, w: 1, rgb: color });
-                    lights.push(LightSpot { y: ly, x: x + bw as isize - 1, h: 1, w: 1, rgb: color });
+                    lights.push(LightSpot {
+                        y: ly,
+                        x: x + bw as isize - 1,
+                        h: 1,
+                        w: 1,
+                        rgb: color,
+                    });
                 }
                 Some(GtBox { class, x: x as f32, y: y as f32, w: bw as f32, h: bh as f32 })
             }
@@ -386,7 +393,13 @@ impl SceneGen {
                 let coat = if night { [0.06, 0.06, 0.07] } else { [0.5, 0.25, 0.2] };
                 img.fill_rect(y + (bh / 4) as isize, x, bh - bh / 4, bw, coat);
                 // Head.
-                img.fill_rect(y, x, (bh / 4).max(1), bw, if night { [0.08, 0.07, 0.06] } else { [0.85, 0.7, 0.55] });
+                img.fill_rect(
+                    y,
+                    x,
+                    (bh / 4).max(1),
+                    bw,
+                    if night { [0.08, 0.07, 0.06] } else { [0.85, 0.7, 0.55] },
+                );
                 Some(GtBox { class, x: x as f32, y: y as f32, w: bw as f32, h: bh as f32 })
             }
             ObjectClass::TrafficLight => {
@@ -399,7 +412,8 @@ impl SceneGen {
                 let top = (horizon as isize - (s as isize / 5)).max(0);
                 let pole_h = s / 2 - top as usize;
                 img.fill_rect(top, x + 1, pole_h, 1, [0.15, 0.15, 0.15]);
-                let lamp = if spec.color.is_multiple_of(2) { [0.95, 0.15, 0.1] } else { [0.1, 0.9, 0.2] };
+                let lamp =
+                    if spec.color.is_multiple_of(2) { [0.95, 0.15, 0.1] } else { [0.1, 0.9, 0.2] };
                 // Housing with an emissive lamp (drawn after dimming).
                 let house_w = (s / 10).max(4);
                 let house_h = (s / 8).max(5);
@@ -428,9 +442,19 @@ impl SceneGen {
                 };
                 let top = (horizon as isize - (s as isize / 6)).max(0);
                 let sign_s = (s / 8).max(5);
-                let face = if cond.time == TimeOfDay::Night { [0.25, 0.25, 0.1] } else { [0.9, 0.75, 0.1] };
+                let face = if cond.time == TimeOfDay::Night {
+                    [0.25, 0.25, 0.1]
+                } else {
+                    [0.9, 0.75, 0.1]
+                };
                 img.fill_rect(top, x, sign_s, sign_s, face);
-                img.fill_rect(top + sign_s as isize, x + sign_s as isize / 2, s / 6, 1, [0.2, 0.2, 0.2]);
+                img.fill_rect(
+                    top + sign_s as isize,
+                    x + sign_s as isize / 2,
+                    s / 6,
+                    1,
+                    [0.2, 0.2, 0.2],
+                );
                 // The annotation covers the sign face.
                 Some(GtBox {
                     class,
@@ -559,11 +583,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = gen();
         let day: f32 = (0..10)
-            .map(|_| g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day)).image.mean_brightness())
+            .map(|_| {
+                g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day))
+                    .image
+                    .mean_brightness()
+            })
             .sum::<f32>()
             / 10.0;
         let night: f32 = (0..10)
-            .map(|_| g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Night)).image.mean_brightness())
+            .map(|_| {
+                g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Night))
+                    .image
+                    .mean_brightness()
+            })
             .sum::<f32>()
             / 10.0;
         assert!(night < day * 0.5, "night {night} should be much darker than day {day}");
@@ -573,8 +605,14 @@ mod tests {
     fn snow_is_brighter_than_rain() {
         let mut rng = StdRng::seed_from_u64(2);
         let g = gen();
-        let snow = g.frame(&mut rng, Condition::new(Weather::Snowy, TimeOfDay::Day)).image.mean_brightness();
-        let rain = g.frame(&mut rng, Condition::new(Weather::Rainy, TimeOfDay::Day)).image.mean_brightness();
+        let snow = g
+            .frame(&mut rng, Condition::new(Weather::Snowy, TimeOfDay::Day))
+            .image
+            .mean_brightness();
+        let rain = g
+            .frame(&mut rng, Condition::new(Weather::Rainy, TimeOfDay::Day))
+            .image
+            .mean_brightness();
         assert!(snow > rain, "snow {snow} should be brighter than rain {rain}");
     }
 
@@ -587,11 +625,15 @@ mod tests {
             img.data().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / img.numel() as f32
         };
         let clear: f32 = (0..8)
-            .map(|_| contrast(&g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day)).image))
+            .map(|_| {
+                contrast(&g.frame(&mut rng, Condition::new(Weather::Clear, TimeOfDay::Day)).image)
+            })
             .sum::<f32>()
             / 8.0;
         let fog: f32 = (0..8)
-            .map(|_| contrast(&g.frame(&mut rng, Condition::new(Weather::Foggy, TimeOfDay::Day)).image))
+            .map(|_| {
+                contrast(&g.frame(&mut rng, Condition::new(Weather::Foggy, TimeOfDay::Day)).image)
+            })
             .sum::<f32>()
             / 8.0;
         assert!(fog < clear, "fog variance {fog} should be below clear {clear}");

@@ -49,10 +49,10 @@ pub fn gen_cifar(rng: &mut StdRng, class: u8) -> Image {
     for y in 0..CIFAR_SIZE {
         for x in 0..CIFAR_SIZE {
             let on = match class {
-                0 => ((y + phase) / 4).is_multiple_of(2),                         // horizontal stripes
-                1 => ((x + phase) / 4).is_multiple_of(2),                         // vertical stripes
-                2 => ((x + phase) / 4 + (y + phase2) / 4).is_multiple_of(2),    // checker
-                3 => ((x + y + phase) / 5).is_multiple_of(2),                     // diagonal stripes
+                0 => ((y + phase) / 4).is_multiple_of(2), // horizontal stripes
+                1 => ((x + phase) / 4).is_multiple_of(2), // vertical stripes
+                2 => ((x + phase) / 4 + (y + phase2) / 4).is_multiple_of(2), // checker
+                3 => ((x + y + phase) / 5).is_multiple_of(2), // diagonal stripes
                 4 => {
                     // concentric rings with a shifted center
                     let cy = y as i32 - 10 - (phase % 12) as i32;
@@ -60,11 +60,11 @@ pub fn gen_cifar(rng: &mut StdRng, class: u8) -> Image {
                     let r = ((cy * cy + cx * cx) as f32).sqrt() as usize;
                     (r / 4).is_multiple_of(2)
                 }
-                5 => (x + phase) % 8 < 2 || (y + phase2) % 8 < 2,      // grid lines
+                5 => (x + phase) % 8 < 2 || (y + phase2) % 8 < 2, // grid lines
                 6 => (x + y + phase) / 5 % 2 == 1 && (x + 2 * y) % 3 == 0, // sparse diagonal dashes
-                7 => (x + phase) % 6 < 2 && (y + phase2) % 6 < 2,      // dot grid
+                7 => (x + phase) % 6 < 2 && (y + phase2) % 6 < 2, // dot grid
                 8 => ((x + phase) % 16 < 8) ^ ((y + phase2) % 16 < 8), // coarse blocks
-                _ => (x * x + y * 3 + phase) % 7 < 3,                  // irregular texture
+                _ => (x * x + y * 3 + phase) % 7 < 3,             // irregular texture
             };
             let rgb = if on { color } else { dark };
             img.set_rgb(y, x, rgb);
@@ -113,20 +113,17 @@ mod tests {
         // class-determined: the directional variance structure is.
         let mut rng = StdRng::seed_from_u64(1);
         let row_col_var = |img: &Image| -> (f32, f32) {
-            let lum = |y: usize, x: usize| {
-                (img.get(0, y, x) + img.get(1, y, x) + img.get(2, y, x)) / 3.0
-            };
+            let lum =
+                |y: usize, x: usize| (img.get(0, y, x) + img.get(1, y, x) + img.get(2, y, x)) / 3.0;
             let mut row_var = 0.0f32;
             let mut col_var = 0.0f32;
             for i in 0..CIFAR_SIZE {
-                let row_mean: f32 = (0..CIFAR_SIZE).map(|x| lum(i, x)).sum::<f32>() / CIFAR_SIZE as f32;
-                row_var += (0..CIFAR_SIZE)
-                    .map(|x| (lum(i, x) - row_mean).powi(2))
-                    .sum::<f32>();
-                let col_mean: f32 = (0..CIFAR_SIZE).map(|y| lum(y, i)).sum::<f32>() / CIFAR_SIZE as f32;
-                col_var += (0..CIFAR_SIZE)
-                    .map(|y| (lum(y, i) - col_mean).powi(2))
-                    .sum::<f32>();
+                let row_mean: f32 =
+                    (0..CIFAR_SIZE).map(|x| lum(i, x)).sum::<f32>() / CIFAR_SIZE as f32;
+                row_var += (0..CIFAR_SIZE).map(|x| (lum(i, x) - row_mean).powi(2)).sum::<f32>();
+                let col_mean: f32 =
+                    (0..CIFAR_SIZE).map(|y| lum(y, i)).sum::<f32>() / CIFAR_SIZE as f32;
+                col_var += (0..CIFAR_SIZE).map(|y| (lum(y, i) - col_mean).powi(2)).sum::<f32>();
             }
             (row_var, col_var)
         };

@@ -130,7 +130,8 @@ pub enum Subset {
 
 impl Subset {
     /// All subsets in the order the paper's tables list them.
-    pub const ALL: [Subset; 5] = [Subset::Full, Subset::Day, Subset::Night, Subset::Rain, Subset::Snow];
+    pub const ALL: [Subset; 5] =
+        [Subset::Full, Subset::Day, Subset::Night, Subset::Rain, Subset::Snow];
 
     /// The paper's name for this subset.
     pub fn label(&self) -> &'static str {
@@ -147,9 +148,7 @@ impl Subset {
     pub fn contains(&self, cond: &Condition) -> bool {
         match self {
             Subset::Full => true,
-            Subset::Day => {
-                cond.time != TimeOfDay::Night && cond.weather == Weather::Clear
-            }
+            Subset::Day => cond.time != TimeOfDay::Night && cond.weather == Weather::Clear,
             Subset::Night => cond.time == TimeOfDay::Night,
             Subset::Rain => {
                 cond.time != TimeOfDay::Night
@@ -191,7 +190,8 @@ impl Subset {
                     Condition::with_random_location(weather, TimeOfDay::Night, rng)
                 }
                 Subset::Rain => {
-                    let weather = if rng.gen_bool(0.5) { Weather::Rainy } else { Weather::Overcast };
+                    let weather =
+                        if rng.gen_bool(0.5) { Weather::Rainy } else { Weather::Overcast };
                     let time = if rng.gen_bool(0.2) { TimeOfDay::Dawn } else { TimeOfDay::Day };
                     Condition::with_random_location(weather, time, rng)
                 }

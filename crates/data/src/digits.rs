@@ -30,16 +30,30 @@ fn strokes(digit: u8) -> &'static [&'static [(f32, f32)]] {
         0 => &[&[(0.3, 0.2), (0.7, 0.2), (0.7, 0.8), (0.3, 0.8), (0.3, 0.2)]],
         1 => &[&[(0.4, 0.3), (0.55, 0.2), (0.55, 0.8)], &[(0.4, 0.8), (0.7, 0.8)]],
         2 => &[&[(0.3, 0.3), (0.5, 0.2), (0.7, 0.3), (0.7, 0.45), (0.3, 0.8), (0.7, 0.8)]],
-        3 => &[&[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.45, 0.5)], &[(0.7, 0.5), (0.7, 0.8), (0.3, 0.8)]],
+        3 => &[
+            &[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.45, 0.5)],
+            &[(0.7, 0.5), (0.7, 0.8), (0.3, 0.8)],
+        ],
         4 => &[&[(0.35, 0.2), (0.3, 0.55), (0.7, 0.55)], &[(0.62, 0.2), (0.62, 0.8)]],
         5 => &[&[(0.7, 0.2), (0.3, 0.2), (0.3, 0.5), (0.7, 0.5), (0.7, 0.8), (0.3, 0.8)]],
-        6 => &[&[(0.6, 0.2), (0.35, 0.45), (0.3, 0.65), (0.5, 0.8), (0.7, 0.65), (0.55, 0.5), (0.35, 0.55)]],
+        6 => &[&[
+            (0.6, 0.2),
+            (0.35, 0.45),
+            (0.3, 0.65),
+            (0.5, 0.8),
+            (0.7, 0.65),
+            (0.55, 0.5),
+            (0.35, 0.55),
+        ]],
         7 => &[&[(0.3, 0.2), (0.7, 0.2), (0.42, 0.8)]],
         8 => &[
             &[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.3, 0.5), (0.3, 0.2)],
             &[(0.3, 0.5), (0.7, 0.5), (0.7, 0.8), (0.3, 0.8), (0.3, 0.5)],
         ],
-        9 => &[&[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.3, 0.5), (0.3, 0.2)], &[(0.7, 0.5), (0.62, 0.8)]],
+        9 => &[
+            &[(0.3, 0.2), (0.7, 0.2), (0.7, 0.5), (0.3, 0.5), (0.3, 0.2)],
+            &[(0.7, 0.5), (0.62, 0.8)],
+        ],
         _ => panic!("digit class must be 0-9, got {digit}"),
     }
 }
@@ -69,10 +83,7 @@ pub fn gen_digit(rng: &mut StdRng, digit: u8) -> Image {
                 let cx = (x - 0.5 + rng.gen_range(-jitter..jitter)) * sx;
                 let cy = (y - 0.5 + rng.gen_range(-jitter..jitter)) * sy;
                 let cx = cx + shear * cy;
-                (
-                    cos_t * cx - sin_t * cy + off_x,
-                    sin_t * cx + cos_t * cy + off_y,
-                )
+                (cos_t * cx - sin_t * cy + off_x, sin_t * cx + cos_t * cy + off_y)
             })
             .collect();
         for pair in pts.windows(2) {
@@ -117,7 +128,10 @@ pub fn outlier_mix(
 ) -> Vec<(Image, bool)> {
     assert!(!known.is_empty(), "need at least one known class");
     assert!((0.0..=1.0).contains(&outlier_frac), "outlier fraction must be in [0,1]");
-    assert!(outlier_frac == 0.0 || !unknown.is_empty(), "outliers requested but no unknown classes");
+    assert!(
+        outlier_frac == 0.0 || !unknown.is_empty(),
+        "outliers requested but no unknown classes"
+    );
     let n_out = (total as f32 * outlier_frac).round() as usize;
     let mut items = Vec::with_capacity(total);
     for _ in 0..total - n_out {

@@ -106,7 +106,15 @@ impl Image {
     }
 
     /// Blends a rectangle with alpha (clipped).
-    pub fn blend_rect(&mut self, y0: isize, x0: isize, h: usize, w: usize, rgb: [f32; 3], alpha: f32) {
+    pub fn blend_rect(
+        &mut self,
+        y0: isize,
+        x0: isize,
+        h: usize,
+        w: usize,
+        rgb: [f32; 3],
+        alpha: f32,
+    ) {
         for dy in 0..h as isize {
             let y = y0 + dy;
             if y < 0 || y >= self.height as isize {
@@ -123,7 +131,15 @@ impl Image {
     }
 
     /// Draws a thick line segment by stamping squares along it.
-    pub fn draw_line(&mut self, y0: f32, x0: f32, y1: f32, x1: f32, thickness: usize, rgb: [f32; 3]) {
+    pub fn draw_line(
+        &mut self,
+        y0: f32,
+        x0: f32,
+        y1: f32,
+        x1: f32,
+        thickness: usize,
+        rgb: [f32; 3],
+    ) {
         let steps = ((y1 - y0).abs().max((x1 - x0).abs()).ceil() as usize).max(1) * 2;
         let t = thickness as isize;
         for s in 0..=steps {
@@ -170,7 +186,8 @@ impl Image {
         let a = alpha.clamp(0.0, 1.0);
         for c in 0..self.channels {
             let target = if self.channels == 3 { rgb[c] } else { (rgb[0] + rgb[1] + rgb[2]) / 3.0 };
-            let plane = &mut self.data[c * self.height * self.width..(c + 1) * self.height * self.width];
+            let plane =
+                &mut self.data[c * self.height * self.width..(c + 1) * self.height * self.width];
             for v in plane {
                 *v = *v * (1.0 - a) + target * a;
             }

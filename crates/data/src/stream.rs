@@ -72,11 +72,7 @@ impl DriftSchedule {
 
     /// The pool of active subsets at stream index `i`.
     pub fn active_at(&self, i: usize) -> Vec<Subset> {
-        self.phases
-            .iter()
-            .filter(|p| p.at_frame <= i)
-            .map(|p| p.adds)
-            .collect()
+        self.phases.iter().filter(|p| p.at_frame <= i).map(|p| p.adds).collect()
     }
 
     /// Materializes the whole stream of frames.

@@ -92,12 +92,7 @@ mod tests {
     }
 
     fn pixel_l1(a: &Frame, b: &Frame) -> f32 {
-        a.image
-            .data()
-            .iter()
-            .zip(b.image.data())
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f32>()
+        a.image.data().iter().zip(b.image.data()).map(|(x, y)| (x - y).abs()).sum::<f32>()
             / a.image.numel() as f32
     }
 
@@ -147,11 +142,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let cond = Condition::new(Weather::Clear, TimeOfDay::Day);
         let clip = clipgen().clip(&mut rng, cond, 12);
-        let moved = clip[0]
-            .boxes
-            .iter()
-            .zip(clip[11].boxes.iter())
-            .any(|(a, b)| (a.x - b.x).abs() > 1.0);
+        let moved =
+            clip[0].boxes.iter().zip(clip[11].boxes.iter()).any(|(a, b)| (a.x - b.x).abs() > 1.0);
         assert!(moved, "nothing moved over 12 frames");
     }
 

@@ -78,12 +78,7 @@ impl Default for LossWeights {
 pub fn detector_loss(pred: &Tensor, target: &Tensor, w: &LossWeights) -> (f32, Tensor) {
     assert_eq!(pred.shape(), target.shape(), "pred/target shape mismatch");
     assert_eq!(pred.ndim(), 4, "expected [B, C, G, G]");
-    let (b, c, gh, gw) = (
-        pred.shape()[0],
-        pred.shape()[1],
-        pred.shape()[2],
-        pred.shape()[3],
-    );
+    let (b, c, gh, gw) = (pred.shape()[0], pred.shape()[1], pred.shape()[2], pred.shape()[3]);
     assert_eq!(c, HEAD_CHANNELS, "channel count mismatch");
     let plane = gh * gw;
     let pd = pred.data();
@@ -95,7 +90,7 @@ pub fn detector_loss(pred: &Tensor, target: &Tensor, w: &LossWeights) -> (f32, T
         let base = bi * c * plane;
         for p in 0..plane {
             let obj = td[base + p]; // channel 0
-            // Objectness BCE.
+                                    // Objectness BCE.
             {
                 let x = pd[base + p];
                 let t = obj;
@@ -130,12 +125,7 @@ pub fn detector_loss(pred: &Tensor, target: &Tensor, w: &LossWeights) -> (f32, T
 /// detections with objectness ≥ `conf_threshold` (before NMS).
 pub fn decode(pred: &Tensor, size: usize, conf_threshold: f32) -> Vec<Vec<Detection>> {
     assert_eq!(pred.ndim(), 4, "expected [B, C, G, G]");
-    let (b, c, gh, gw) = (
-        pred.shape()[0],
-        pred.shape()[1],
-        pred.shape()[2],
-        pred.shape()[3],
-    );
+    let (b, c, gh, gw) = (pred.shape()[0], pred.shape()[1], pred.shape()[2], pred.shape()[3]);
     assert_eq!(c, HEAD_CHANNELS, "channel count mismatch");
     let plane = gh * gw;
     let cell = size as f32 / gw as f32;

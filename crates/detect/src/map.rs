@@ -31,10 +31,8 @@ pub fn mean_average_precision(
     assert_eq!(detections.len(), ground_truth.len(), "frame count mismatch");
     let mut aps = Vec::new();
     for class in ObjectClass::ALL {
-        let total_gt: usize = ground_truth
-            .iter()
-            .map(|g| g.iter().filter(|b| b.class == class).count())
-            .sum();
+        let total_gt: usize =
+            ground_truth.iter().map(|g| g.iter().filter(|b| b.class == class).count()).sum();
         if total_gt == 0 {
             continue;
         }

@@ -146,12 +146,16 @@ impl Detector {
     }
 
     /// Raw head output for a `[B, 3, s, s]` batch.
-    pub fn forward(&mut self, batch: &Tensor) -> Tensor {
-        self.net.forward(batch, false)
+    ///
+    /// Inference is const-correct (`&self`): a frozen detector can be
+    /// shared behind an `Arc` and serve several threads concurrently —
+    /// e.g. the teacher feeding background distillation workers.
+    pub fn forward(&self, batch: &Tensor) -> Tensor {
+        self.net.infer(batch)
     }
 
     /// Runs detection (decode + NMS) on a batch of frames.
-    pub fn detect_batch(&mut self, images: &[&Image]) -> Vec<Vec<Detection>> {
+    pub fn detect_batch(&self, images: &[&Image]) -> Vec<Vec<Detection>> {
         let resized: Vec<Image> = images
             .iter()
             .map(|im| {
@@ -163,7 +167,7 @@ impl Detector {
             })
             .collect();
         let batch = Image::batch(&resized);
-        let pred = self.net.forward(&batch, false);
+        let pred = self.net.infer(&batch);
         decode(&pred, self.size, self.conf_threshold)
             .into_iter()
             .map(|d| nms(d, DEFAULT_NMS_IOU))
@@ -171,7 +175,7 @@ impl Detector {
     }
 
     /// Runs detection on one frame.
-    pub fn detect(&mut self, image: &Image) -> Vec<Detection> {
+    pub fn detect(&self, image: &Image) -> Vec<Detection> {
         self.detect_batch(&[image]).pop().expect("one frame in, one out")
     }
 
@@ -213,7 +217,7 @@ impl Detector {
     pub fn train_distill(
         &mut self,
         rng: &mut StdRng,
-        teacher: &mut Detector,
+        teacher: &Detector,
         frames: &[Frame],
         iters: usize,
         batch_size: usize,
@@ -240,7 +244,7 @@ impl Detector {
     }
 
     /// Evaluates mAP against ground truth over a set of frames.
-    pub fn evaluate_map(&mut self, frames: &[Frame]) -> f32 {
+    pub fn evaluate_map(&self, frames: &[Frame]) -> f32 {
         if frames.is_empty() {
             return 0.0;
         }
@@ -293,7 +297,7 @@ mod tests {
     #[test]
     fn forward_has_head_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut d = Detector::small(48, &mut rng);
+        let d = Detector::small(48, &mut rng);
         let out = d.forward(&Tensor::zeros(&[2, 3, 48, 48]));
         assert_eq!(out.shape(), &[2, HEAD_CHANNELS, 6, 6]);
     }
@@ -319,7 +323,7 @@ mod tests {
         let frames = gen.subset_frames(&mut rng, Subset::Day, 120);
         let test = gen.subset_frames(&mut rng, Subset::Day, 30);
         let mut trained = Detector::small(48, &mut rng);
-        let mut untrained = Detector::small(48, &mut rng);
+        let untrained = Detector::small(48, &mut rng);
         trained.train_oracle(&mut rng, &frames, 700, 8);
         let m_trained = trained.evaluate_map(&test);
         let m_untrained = untrained.evaluate_map(&test);
@@ -339,9 +343,9 @@ mod tests {
         let mut teacher = Detector::small(48, &mut rng); // small teacher keeps the test fast
         teacher.train_oracle(&mut rng, &frames, 700, 8);
         let mut student = Detector::small(48, &mut rng);
-        student.train_distill(&mut rng, &mut teacher, &frames, 400, 8);
+        student.train_distill(&mut rng, &teacher, &frames, 400, 8);
         let m_student = student.evaluate_map(&test);
-        let mut fresh = Detector::small(48, &mut rng);
+        let fresh = Detector::small(48, &mut rng);
         let m_fresh = fresh.evaluate_map(&test);
         assert!(
             m_student > m_fresh,
@@ -352,7 +356,7 @@ mod tests {
     #[test]
     fn export_import_roundtrip_preserves_outputs() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut a = Detector::small(48, &mut rng);
+        let a = Detector::small(48, &mut rng);
         let mut b = Detector::small(48, &mut rng);
         let x = Tensor::ones(&[1, 3, 48, 48]);
         let blob = a.export_params();
@@ -363,7 +367,7 @@ mod tests {
     #[test]
     fn detect_resizes_foreign_sizes() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut d = Detector::small(48, &mut rng);
+        let d = Detector::small(48, &mut rng);
         let img = Image::new(3, 64, 64);
         let _ = d.detect(&img); // must not panic
     }

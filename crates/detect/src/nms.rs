@@ -26,10 +26,7 @@ mod tests {
     use odin_data::{GtBox, ObjectClass};
 
     fn det(class: ObjectClass, x: f32, score: f32) -> Detection {
-        Detection {
-            bbox: GtBox { class, x, y: 0.0, w: 10.0, h: 10.0 },
-            score,
-        }
+        Detection { bbox: GtBox { class, x, y: 0.0, w: 10.0, h: 10.0 }, score }
     }
 
     #[test]

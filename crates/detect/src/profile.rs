@@ -67,12 +67,7 @@ mod tests {
         let mut heavy = Detector::heavy(48, &mut rng);
         let ps = profile(&mut small, 16, 8);
         let ph = profile(&mut heavy, 16, 8);
-        assert!(
-            ps.fps > ph.fps,
-            "small ({} fps) should beat heavy ({} fps)",
-            ps.fps,
-            ph.fps
-        );
+        assert!(ps.fps > ph.fps, "small ({} fps) should beat heavy ({} fps)", ps.fps, ph.fps);
         assert!(ps.bytes < ph.bytes);
     }
 }

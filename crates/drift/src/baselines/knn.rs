@@ -33,13 +33,7 @@ impl LatentKnn {
         let mut ds: Vec<f32> = self
             .reference
             .iter()
-            .map(|r| {
-                r.iter()
-                    .zip(z.iter())
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    .sqrt()
-            })
+            .map(|r| r.iter().zip(z.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt())
             .collect();
         ds.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         ds[..self.k].iter().sum::<f32>() / self.k as f32

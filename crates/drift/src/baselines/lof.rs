@@ -65,8 +65,7 @@ impl Lof {
             // reachability), which would otherwise blow up the density.
             lrd[i] = k as f32 / reach_sum.max(1e-6);
         }
-        Lof { data, k, lrd, kdist, neighbors: Vec::new() }
-            .with_neighbors(neighbors)
+        Lof { data, k, lrd, kdist, neighbors: Vec::new() }.with_neighbors(neighbors)
     }
 
     fn with_neighbors(mut self, neighbors: Vec<Vec<usize>>) -> Self {
@@ -85,7 +84,8 @@ impl Lof {
         if !lrd_q.is_finite() {
             return 1.0; // q coincides with dense training data
         }
-        let neighbor_lrd: f32 = nn.iter().map(|&(j, _)| self.lrd[j].min(1e9)).sum::<f32>() / self.k as f32;
+        let neighbor_lrd: f32 =
+            nn.iter().map(|&(j, _)| self.lrd[j].min(1e9)).sum::<f32>() / self.k as f32;
         neighbor_lrd / lrd_q
     }
 }

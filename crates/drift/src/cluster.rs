@@ -106,7 +106,8 @@ impl Cluster {
 
     /// Refits the band from the reservoir against the current centroid.
     pub fn refit(&mut self) {
-        let distances: Vec<f32> = self.points.iter().map(|p| euclidean(p, &self.centroid)).collect();
+        let distances: Vec<f32> =
+            self.points.iter().map(|p| euclidean(p, &self.centroid)).collect();
         self.band = DeltaBand::fit(&distances, self.delta);
         self.since_refit = 0;
     }

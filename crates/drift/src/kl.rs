@@ -72,13 +72,7 @@ pub fn kl_divergence(pa: &[f64], pb: &[f64]) -> f64 {
     assert_eq!(pa.len(), pb.len(), "distribution length mismatch");
     pa.iter()
         .zip(pb.iter())
-        .map(|(&a, &b)| {
-            if a <= 0.0 {
-                0.0
-            } else {
-                a * (a / b.max(1e-12)).ln()
-            }
-        })
+        .map(|(&a, &b)| if a <= 0.0 { 0.0 } else { a * (a / b.max(1e-12)).ln() })
         .sum()
 }
 

@@ -146,9 +146,7 @@ mod tests {
     use super::*;
 
     fn grid_points(n: usize, dim: usize) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|i| (0..dim).map(|j| ((i * 13 + j * 7) % 97) as f32 / 10.0).collect())
-            .collect()
+        (0..n).map(|i| (0..dim).map(|j| ((i * 13 + j * 7) % 97) as f32 / 10.0).collect()).collect()
     }
 
     #[test]
@@ -174,10 +172,7 @@ mod tests {
         let queries = grid_points(40, 16);
         for q in &queries {
             let approx = idx.nearest(q).expect("non-empty").1;
-            let exact = pts
-                .iter()
-                .map(|p| euclidean(p, q))
-                .fold(f32::INFINITY, f32::min);
+            let exact = pts.iter().map(|p| euclidean(p, q)).fold(f32::INFINITY, f32::min);
             // Allow a bounded approximation slack.
             if approx <= exact * 1.5 + 1e-3 {
                 hits += 1;
@@ -196,8 +191,9 @@ mod tests {
             idx.insert(v);
         }
         for i in 0..100 {
-            let v: Vec<f32> =
-                (0..16).map(|j| if j % 2 == 0 { -1.0 } else { 1.0 } * (5.0 + ((i + j) % 5) as f32 * 0.1)).collect();
+            let v: Vec<f32> = (0..16)
+                .map(|j| if j % 2 == 0 { -1.0 } else { 1.0 } * (5.0 + ((i + j) % 5) as f32 * 0.1))
+                .collect();
             idx.insert(v);
         }
         let q: Vec<f32> = vec![1.1; 16];

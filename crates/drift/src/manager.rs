@@ -72,9 +72,10 @@ pub enum Assignment {
 pub struct Observation {
     /// Where the point went.
     pub assignment: Assignment,
-    /// If the temporary cluster was promoted by this observation, the new
-    /// permanent cluster's id (a drift event).
-    pub promoted: Option<usize>,
+    /// If the temporary cluster was promoted by this observation, the
+    /// resulting drift event. Returning the event directly means callers
+    /// never have to re-fish it out of [`ClusterManager::events`].
+    pub promoted: Option<DriftEvent>,
     /// If the cluster cap forced an eviction, the dropped cluster's id.
     pub evicted: Option<usize>,
 }
@@ -166,28 +167,34 @@ impl ClusterManager {
     pub fn observe(&mut self, z: &[f32]) -> Observation {
         self.seen += 1;
         if let Some(id) = self.matching_cluster(z) {
-            let cluster = self
-                .clusters
-                .iter_mut()
-                .find(|c| c.id() == id)
-                .expect("matching cluster exists");
+            let cluster =
+                self.clusters.iter_mut().find(|c| c.id() == id).expect("matching cluster exists");
             cluster.insert(z.to_vec());
-            return Observation { assignment: Assignment::Cluster(id), promoted: None, evicted: None };
+            return Observation {
+                assignment: Assignment::Cluster(id),
+                promoted: None,
+                evicted: None,
+            };
         }
         self.temp.insert(z.to_vec(), self.cfg.kl_eps);
         let stable = self.temp.len() >= self.cfg.min_points
             && self.temp.stable_run() >= self.cfg.stable_window;
         if !stable {
-            return Observation { assignment: Assignment::Temporary, promoted: None, evicted: None };
+            return Observation {
+                assignment: Assignment::Temporary,
+                promoted: None,
+                evicted: None,
+            };
         }
         // Promotion: the temporary cluster becomes permanent (§4.5).
         let pts = self.temp.take_points();
         let id = self.next_id;
         self.next_id += 1;
         self.clusters.push(Cluster::from_points(id, pts, self.cfg.delta, self.cfg.reservoir));
-        self.events.push(DriftEvent { cluster_id: id, at: self.seen });
+        let event = DriftEvent { cluster_id: id, at: self.seen };
+        self.events.push(event);
         let evicted = self.enforce_cap(id);
-        Observation { assignment: Assignment::Temporary, promoted: Some(id), evicted }
+        Observation { assignment: Assignment::Temporary, promoted: Some(event), evicted }
     }
 
     /// Drops the smallest *pre-existing* cluster when the cap is
@@ -216,8 +223,8 @@ impl ClusterManager {
     pub fn bootstrap(&mut self, latents: &[Vec<f32>]) -> Vec<usize> {
         let mut promoted = Vec::new();
         for z in latents {
-            if let Some(id) = self.observe(z).promoted {
-                promoted.push(id);
+            if let Some(event) = self.observe(z).promoted {
+                promoted.push(event.cluster_id);
             }
         }
         promoted

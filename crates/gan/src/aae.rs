@@ -176,7 +176,8 @@ mod tests {
     #[test]
     fn training_reduces_recon_loss() {
         let mut rng = StdRng::seed_from_u64(0);
-        let data: Vec<Image> = digit_dataset(&mut rng, &[0, 1], 30).into_iter().map(|s| s.image).collect();
+        let data: Vec<Image> =
+            digit_dataset(&mut rng, &[0, 1], 30).into_iter().map(|s| s.image).collect();
         let mut aae = AdversarialAe::new(small_cfg(), &mut rng);
         let trace = aae.train(&mut rng, &data, 100, 16);
         let head: f32 = trace[..10].iter().map(|l| l.recon).sum::<f32>() / 10.0;
@@ -189,7 +190,8 @@ mod tests {
         // The smoothness constraint (§2.3): after adversarial training the
         // encoded latents should be closer to N(0,1) than a plain AE's.
         let mut rng = StdRng::seed_from_u64(1);
-        let data: Vec<Image> = digit_dataset(&mut rng, &[0, 1, 2], 40).into_iter().map(|s| s.image).collect();
+        let data: Vec<Image> =
+            digit_dataset(&mut rng, &[0, 1, 2], 40).into_iter().map(|s| s.image).collect();
 
         let mut aae = AdversarialAe::new(small_cfg(), &mut rng);
         aae.train(&mut rng, &data, 300, 16);
@@ -200,16 +202,14 @@ mod tests {
         let test = Image::batch(&data[..30]);
         let gap_aae = moment_gap(&aae.encode(&test));
         let gap_ae = moment_gap(&ae.encode(&test));
-        assert!(
-            gap_aae < gap_ae,
-            "AAE latent gap {gap_aae} should be below AE gap {gap_ae}"
-        );
+        assert!(gap_aae < gap_ae, "AAE latent gap {gap_aae} should be below AE gap {gap_ae}");
     }
 
     #[test]
     fn losses_stay_finite() {
         let mut rng = StdRng::seed_from_u64(2);
-        let data: Vec<Image> = digit_dataset(&mut rng, &[5], 10).into_iter().map(|s| s.image).collect();
+        let data: Vec<Image> =
+            digit_dataset(&mut rng, &[5], 10).into_iter().map(|s| s.image).collect();
         let mut aae = AdversarialAe::new(small_cfg(), &mut rng);
         for l in aae.train(&mut rng, &data, 50, 8) {
             assert!(l.recon.is_finite() && l.disc.is_finite() && l.adv.is_finite());

@@ -178,10 +178,8 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let mut rng = StdRng::seed_from_u64(0);
-        let data: Vec<Image> = digit_dataset(&mut rng, &[0, 1, 2], 30)
-            .into_iter()
-            .map(|s| s.image)
-            .collect();
+        let data: Vec<Image> =
+            digit_dataset(&mut rng, &[0, 1, 2], 30).into_iter().map(|s| s.image).collect();
         let mut ae = Autoencoder::new(small_cfg(), &mut rng);
         let trace = ae.train(&mut rng, &data, 80, 16);
         let head: f32 = trace[..10].iter().sum::<f32>() / 10.0;
@@ -194,14 +192,13 @@ mod tests {
         // The Figure-5 experiment in miniature: train on digits 0-2, test
         // on unseen digits; unseen digits should reconstruct worse.
         let mut rng = StdRng::seed_from_u64(1);
-        let train: Vec<Image> = digit_dataset(&mut rng, &[0, 1, 2], 40)
-            .into_iter()
-            .map(|s| s.image)
-            .collect();
+        let train: Vec<Image> =
+            digit_dataset(&mut rng, &[0, 1, 2], 40).into_iter().map(|s| s.image).collect();
         let mut ae = Autoencoder::new(small_cfg(), &mut rng);
         ae.train(&mut rng, &train, 250, 16);
         let inliers: Vec<Image> = (0..20).map(|i| gen_digit(&mut rng, (i % 3) as u8)).collect();
-        let outliers: Vec<Image> = (0..20).map(|i| gen_digit(&mut rng, 3 + (i % 7) as u8)).collect();
+        let outliers: Vec<Image> =
+            (0..20).map(|i| gen_digit(&mut rng, 3 + (i % 7) as u8)).collect();
         let ib = Image::batch(&inliers);
         let ob = Image::batch(&outliers);
         let ie: f32 = ae.reconstruction_errors(&ib).iter().sum::<f32>() / 20.0;

@@ -51,17 +51,41 @@ pub struct DaGanConfig {
 impl DaGanConfig {
     /// Configuration for 32×32 grayscale digit images.
     pub fn digits() -> Self {
-        DaGanConfig { channels: 1, size: 32, latent: 32, width: 8, lr: 1e-3, lambda_r: 0.5, denoise_std: 0.25 }
+        DaGanConfig {
+            channels: 1,
+            size: 32,
+            latent: 32,
+            width: 8,
+            lr: 1e-3,
+            lambda_r: 0.5,
+            denoise_std: 0.25,
+        }
     }
 
     /// Configuration for 32×32 color images.
     pub fn cifar() -> Self {
-        DaGanConfig { channels: 3, size: 32, latent: 48, width: 12, lr: 1e-3, lambda_r: 0.5, denoise_std: 0.25 }
+        DaGanConfig {
+            channels: 3,
+            size: 32,
+            latent: 48,
+            width: 12,
+            lr: 1e-3,
+            lambda_r: 0.5,
+            denoise_std: 0.25,
+        }
     }
 
     /// Configuration for 48×48 BDD-sim frames.
     pub fn bdd() -> Self {
-        DaGanConfig { channels: 3, size: 48, latent: 64, width: 12, lr: 1e-3, lambda_r: 0.5, denoise_std: 0.25 }
+        DaGanConfig {
+            channels: 3,
+            size: 48,
+            latent: 64,
+            width: 12,
+            lr: 1e-3,
+            lambda_r: 0.5,
+            denoise_std: 0.25,
+        }
     }
 }
 
@@ -328,7 +352,9 @@ impl DaGan {
     pub fn import_params(&mut self, flat: &[f32]) {
         assert_eq!(flat.len(), self.export_len(), "DA-GAN parameter buffer length mismatch");
         let mut offset = 0;
-        for net in [&mut self.encoder, &mut self.decoder, &mut self.latent_disc, &mut self.image_disc] {
+        for net in
+            [&mut self.encoder, &mut self.decoder, &mut self.latent_disc, &mut self.image_disc]
+        {
             let n = net.export_len();
             net.import_params(&flat[offset..offset + n]);
             offset += n;
@@ -360,7 +386,15 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_cfg() -> DaGanConfig {
-        DaGanConfig { channels: 1, size: 32, latent: 16, width: 6, lr: 1.5e-3, lambda_r: 0.5, denoise_std: 0.25 }
+        DaGanConfig {
+            channels: 1,
+            size: 32,
+            latent: 16,
+            width: 6,
+            lr: 1.5e-3,
+            lambda_r: 0.5,
+            denoise_std: 0.25,
+        }
     }
 
     #[test]
@@ -425,8 +459,8 @@ mod tests {
             let (b, d) = (z.shape()[0], z.shape()[1]);
             let mut c = vec![0.0f32; d];
             for i in 0..b {
-                for j in 0..d {
-                    c[j] += z.get(&[i, j]) / b as f32;
+                for (j, cj) in c.iter_mut().enumerate() {
+                    *cj += z.get(&[i, j]) / b as f32;
                 }
             }
             Tensor::from_vec(c, &[d])

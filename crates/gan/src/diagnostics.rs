@@ -59,9 +59,7 @@ mod tests {
     fn moment_gap_zero_for_standard_normal_like() {
         // A synthetic batch with mean 0, std 1.
         let n = 1000;
-        let data: Vec<f32> = (0..n)
-            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
-            .collect();
+        let data: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
         let z = Tensor::from_vec(data, &[n / 2, 2]);
         assert!(moment_gap(&z) < 0.05);
     }

@@ -10,10 +10,19 @@
 use crate::tensor::Tensor;
 
 /// A differentiable network layer.
-pub trait Layer: Send {
+///
+/// Layers are `Send + Sync`: a frozen network can be shared across
+/// threads (e.g. a teacher model serving distillation workers) as long
+/// as only [`Layer::infer`] is called.
+pub trait Layer: Send + Sync {
     /// Runs the layer forward. When `train` is true the layer caches
     /// activations required by [`Layer::backward`].
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Inference-mode forward pass through `&self`: no activation
+    /// caching, no running-statistic updates, no interior mutability.
+    /// Must produce exactly the same output as `forward(input, false)`.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Backpropagates `grad_out` (gradient of the loss w.r.t. this layer's
     /// output), accumulating parameter gradients internally and returning
@@ -98,10 +107,7 @@ impl Sequential {
 
     /// Total number of trainable scalar parameters.
     pub fn num_params(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.params().iter().map(|p| p.numel()).sum::<usize>())
-            .sum()
+        self.layers.iter().map(|l| l.params().iter().map(|p| p.numel()).sum::<usize>()).sum()
     }
 
     /// Model size in bytes (f32 parameters).
@@ -162,6 +168,14 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for l in &mut self.layers {
             x = l.forward(&x, train);
+        }
+        x
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.infer(&x);
         }
         x
     }
@@ -258,21 +272,25 @@ mod tests {
     }
 
     #[test]
+    fn infer_matches_eval_forward() {
+        let mut net = tiny_net(3);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, -0.3, 1.2, 0.0, 4.0], &[2, 4]);
+        let eval = net.forward(&x, false);
+        let inferred = net.infer(&x);
+        assert_eq!(eval.data(), inferred.data());
+    }
+
+    #[test]
     fn zero_grad_clears_accumulated_gradients() {
         let mut net = tiny_net(0);
         let x = Tensor::ones(&[2, 4]);
         let y = net.forward(&x, true);
         net.backward(&Tensor::ones(y.shape()));
-        let any_nonzero = net
-            .params_grads()
-            .iter()
-            .any(|(_, g)| g.data().iter().any(|&v| v != 0.0));
+        let any_nonzero =
+            net.params_grads().iter().any(|(_, g)| g.data().iter().any(|&v| v != 0.0));
         assert!(any_nonzero);
         net.zero_grad();
-        let all_zero = net
-            .params_grads()
-            .iter()
-            .all(|(_, g)| g.data().iter().all(|&v| v == 0.0));
+        let all_zero = net.params_grads().iter().all(|(_, g)| g.data().iter().all(|&v| v == 0.0));
         assert!(all_zero);
     }
 }

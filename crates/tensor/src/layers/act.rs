@@ -22,6 +22,10 @@ impl Layer for Relu {
         if train {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         input.map(|x| x.max(0.0))
     }
 
@@ -67,6 +71,10 @@ impl Layer for LeakyRelu {
         if train {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let a = self.alpha;
         input.map(|x| if x > 0.0 { x } else { a * x })
     }
@@ -104,11 +112,15 @@ impl Sigmoid {
 
 impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let y = input.map(sigmoid);
+        let y = self.infer(input);
         if train {
             self.output = Some(y.clone());
         }
         y
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(sigmoid)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -136,11 +148,15 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let y = input.map(f32::tanh);
+        let y = self.infer(input);
         if train {
             self.output = Some(y.clone());
         }
         y
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(f32::tanh)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -122,13 +122,12 @@ fn nchw_to_positions(t: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[batch * plane, c])
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let geom = self.geom_for(input);
-        let batch = input.shape()[0];
+impl Conv2d {
+    /// The im2col matmul + bias shared by the training and inference
+    /// forward paths.
+    fn apply(&self, cols: &Tensor, geom: &ConvGeom, batch: usize) -> Tensor {
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        let cols = im2col(input, &geom);
-        let mut pos = matmul_nt(&cols, &self.w); // [B*OH*OW, out_c]
+        let mut pos = matmul_nt(cols, &self.w); // [B*OH*OW, out_c]
         let bias = self.b.data();
         {
             let pd = pos.data_mut();
@@ -137,20 +136,34 @@ impl Layer for Conv2d {
                 *v += bias[i % oc];
             }
         }
-        let out = positions_to_nchw(&pos, batch, self.out_c, oh, ow);
+        positions_to_nchw(&pos, batch, self.out_c, oh, ow)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let geom = self.geom_for(input);
+        let batch = input.shape()[0];
+        let cols = im2col(input, &geom);
+        let out = self.apply(&cols, &geom, batch);
         if train {
             self.cache = Some(ConvCache { cols, geom, batch });
         }
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let geom = self.geom_for(input);
+        let batch = input.shape()[0];
+        let cols = im2col(input, &geom);
+        self.apply(&cols, &geom, batch)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("Conv2d::backward called without a training forward pass");
+        let cache =
+            self.cache.as_ref().expect("Conv2d::backward called without a training forward pass");
         let g_pos = nchw_to_positions(grad_out); // [B*OH*OW, out_c]
-        // dW += Gᵀ · cols
+                                                 // dW += Gᵀ · cols
         let dw = matmul_tn(&g_pos, &cache.cols);
         self.dw.add_scaled(&dw, 1.0);
         // db += column sums of G

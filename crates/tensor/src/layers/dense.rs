@@ -44,6 +44,13 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 2, "Dense expects [B, in]");
         assert_eq!(
             input.shape()[1],
@@ -60,9 +67,6 @@ impl Layer for Dense {
             for j in 0..out {
                 yd[i * out + j] += bias[j];
             }
-        }
-        if train {
-            self.cached_input = Some(input.clone());
         }
         y
     }

@@ -46,52 +46,14 @@ impl BatchNorm2d {
     fn channels(&self) -> usize {
         self.gamma.numel()
     }
-}
 
-impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.ndim(), 4, "BatchNorm2d expects [B, C, H, W]");
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
-        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+    /// Normalizes `input` with the given per-channel statistics, applying
+    /// γ and β. Returns `(output, x_hat)`; `x_hat` is only needed by the
+    /// training path.
+    fn normalize(&self, input: &Tensor, means: &[f32], inv_std: &[f32]) -> (Tensor, Vec<f32>) {
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let plane = h * w;
-        let per_channel = (b * plane) as f32;
         let data = input.data();
-
-        let (means, vars): (Vec<f32>, Vec<f32>) = if train {
-            let mut means = vec![0.0f32; c];
-            let mut vars = vec![0.0f32; c];
-            for ci in 0..c {
-                let mut sum = 0.0f32;
-                for bi in 0..b {
-                    let base = (bi * c + ci) * plane;
-                    sum += data[base..base + plane].iter().sum::<f32>();
-                }
-                means[ci] = sum / per_channel;
-                let mut sq = 0.0f32;
-                for bi in 0..b {
-                    let base = (bi * c + ci) * plane;
-                    for &v in &data[base..base + plane] {
-                        let d = v - means[ci];
-                        sq += d * d;
-                    }
-                }
-                vars[ci] = sq / per_channel;
-                self.running_mean[ci] =
-                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * means[ci];
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * vars[ci];
-            }
-            (means, vars)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
-
-        let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let mut x_hat = vec![0.0f32; data.len()];
         let mut out = vec![0.0f32; data.len()];
         let g = self.gamma.data();
@@ -106,23 +68,64 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        if train {
-            self.cache = Some(BnCache {
-                x_hat: Tensor::from_vec(x_hat, input.shape()),
-                inv_std,
-            });
+        (Tensor::from_vec(out, input.shape()), x_hat)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train {
+            return self.infer(input);
         }
-        Tensor::from_vec(out, input.shape())
+        assert_eq!(input.ndim(), 4, "BatchNorm2d expects [B, C, H, W]");
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(c, self.channels(), "BatchNorm2d channel mismatch");
+        let plane = h * w;
+        let per_channel = (b * plane) as f32;
+        let data = input.data();
+
+        let mut means = vec![0.0f32; c];
+        let mut vars = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut sum = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                sum += data[base..base + plane].iter().sum::<f32>();
+            }
+            means[ci] = sum / per_channel;
+            let mut sq = 0.0f32;
+            for bi in 0..b {
+                let base = (bi * c + ci) * plane;
+                for &v in &data[base..base + plane] {
+                    let d = v - means[ci];
+                    sq += d * d;
+                }
+            }
+            vars[ci] = sq / per_channel;
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * means[ci];
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * vars[ci];
+        }
+
+        let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let (out, x_hat) = self.normalize(input, &means, &inv_std);
+        self.cache = Some(BnCache { x_hat: Tensor::from_vec(x_hat, input.shape()), inv_std });
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 4, "BatchNorm2d expects [B, C, H, W]");
+        assert_eq!(input.shape()[1], self.channels(), "BatchNorm2d channel mismatch");
+        let inv_std: Vec<f32> =
+            self.running_var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        self.normalize(input, &self.running_mean, &inv_std).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("BatchNorm2d::backward without forward");
-        let (b, c, h, w) = (
-            grad_out.shape()[0],
-            grad_out.shape()[1],
-            grad_out.shape()[2],
-            grad_out.shape()[3],
-        );
+        let (b, c, h, w) =
+            (grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2], grad_out.shape()[3]);
         let plane = h * w;
         let n = (b * plane) as f32;
         let gd = grad_out.data();
@@ -156,8 +159,8 @@ impl Layer for BatchNorm2d {
                 let base = (bi * c + ci) * plane;
                 let k = g[ci] * cache.inv_std[ci] / n;
                 for p in 0..plane {
-                    dx[base + p] = k
-                        * (n * gd[base + p] - sum_dy[ci] - xh[base + p] * sum_dy_xhat[ci]);
+                    dx[base + p] =
+                        k * (n * gd[base + p] - sum_dy[ci] - xh[base + p] * sum_dy_xhat[ci]);
                 }
             }
         }
@@ -203,10 +206,7 @@ mod tests {
     #[test]
     fn training_forward_standardizes_channels() {
         let mut bn = BatchNorm2d::new(2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
-            &[1, 2, 2, 2],
-        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
         let y = bn.forward(&x, true);
         // Each channel should have mean ~0 and unit variance.
         for ci in 0..2 {

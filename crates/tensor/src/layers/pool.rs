@@ -20,47 +20,51 @@ impl MaxPool2 {
     }
 }
 
-impl Layer for MaxPool2 {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.ndim(), 4, "MaxPool2 expects [B, C, H, W]");
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
-        let (oh, ow) = (h / 2, w / 2);
-        let mut out = vec![0.0f32; b * c * oh * ow];
-        let mut argmax = vec![0usize; b * c * oh * ow];
-        let data = input.data();
-        for bi in 0..b {
-            for ci in 0..c {
-                let plane = (bi * c + ci) * h * w;
-                let oplane = (bi * c + ci) * oh * ow;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = 0;
-                        for dy in 0..2 {
-                            for dx in 0..2 {
-                                let idx = plane + (oy * 2 + dy) * w + ox * 2 + dx;
-                                if data[idx] > best {
-                                    best = data[idx];
-                                    best_idx = idx;
-                                }
+fn maxpool2_compute(input: &Tensor) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.ndim(), 4, "MaxPool2 expects [B, C, H, W]");
+    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0.0f32; b * c * oh * ow];
+    let mut argmax = vec![0usize; b * c * oh * ow];
+    let data = input.data();
+    for bi in 0..b {
+        for ci in 0..c {
+            let plane = (bi * c + ci) * h * w;
+            let oplane = (bi * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = plane + (oy * 2 + dy) * w + ox * 2 + dx;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
                             }
                         }
-                        out[oplane + oy * ow + ox] = best;
-                        argmax[oplane + oy * ow + ox] = best_idx;
                     }
+                    out[oplane + oy * ow + ox] = best;
+                    argmax[oplane + oy * ow + ox] = best_idx;
                 }
             }
         }
+    }
+    (Tensor::from_vec(out, &[b, c, oh, ow]), argmax)
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (out, argmax) = maxpool2_compute(input);
         if train {
             self.argmax = Some(argmax);
             self.in_shape = Some(input.shape().to_vec());
         }
-        Tensor::from_vec(out, &[b, c, oh, ow])
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        maxpool2_compute(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -97,13 +101,15 @@ impl GlobalAvgPool {
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 4, "GlobalAvgPool expects [B, C, H, W]");
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let plane = h * w;
         let mut out = vec![0.0f32; b * c];
         let data = input.data();
@@ -111,17 +117,11 @@ impl Layer for GlobalAvgPool {
             let s: f32 = data[i * plane..(i + 1) * plane].iter().sum();
             out[i] = s / plane as f32;
         }
-        if train {
-            self.in_shape = Some(input.shape().to_vec());
-        }
         Tensor::from_vec(out, &[b, c])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self
-            .in_shape
-            .as_ref()
-            .expect("GlobalAvgPool::backward without forward");
+        let shape = self.in_shape.as_ref().expect("GlobalAvgPool::backward without forward");
         let (h, w) = (shape[2], shape[3]);
         let plane = h * w;
         let scale = 1.0 / plane as f32;
@@ -159,36 +159,40 @@ impl GlobalMaxPool {
     }
 }
 
+fn global_maxpool_compute(input: &Tensor) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.ndim(), 4, "GlobalMaxPool expects [B, C, H, W]");
+    let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let plane = h * w;
+    let mut out = vec![0.0f32; b * c];
+    let mut argmax = vec![0usize; b * c];
+    let data = input.data();
+    for i in 0..b * c {
+        let slice = &data[i * plane..(i + 1) * plane];
+        let (mut bi, mut bv) = (0usize, f32::NEG_INFINITY);
+        for (j, &v) in slice.iter().enumerate() {
+            if v > bv {
+                bv = v;
+                bi = j;
+            }
+        }
+        out[i] = bv;
+        argmax[i] = i * plane + bi;
+    }
+    (Tensor::from_vec(out, &[b, c]), argmax)
+}
+
 impl Layer for GlobalMaxPool {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.ndim(), 4, "GlobalMaxPool expects [B, C, H, W]");
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
-        let plane = h * w;
-        let mut out = vec![0.0f32; b * c];
-        let mut argmax = vec![0usize; b * c];
-        let data = input.data();
-        for i in 0..b * c {
-            let slice = &data[i * plane..(i + 1) * plane];
-            let (mut bi, mut bv) = (0usize, f32::NEG_INFINITY);
-            for (j, &v) in slice.iter().enumerate() {
-                if v > bv {
-                    bv = v;
-                    bi = j;
-                }
-            }
-            out[i] = bv;
-            argmax[i] = i * plane + bi;
-        }
+        let (out, argmax) = global_maxpool_compute(input);
         if train {
             self.argmax = Some(argmax);
             self.in_shape = Some(input.shape().to_vec());
         }
-        Tensor::from_vec(out, &[b, c])
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        global_maxpool_compute(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -18,12 +18,16 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert!(input.ndim() >= 2, "Flatten expects at least [B, ...]");
-        let b = input.shape()[0];
-        let rest: usize = input.shape()[1..].iter().product();
         if train {
             self.in_shape = Some(input.shape().to_vec());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert!(input.ndim() >= 2, "Flatten expects at least [B, ...]");
+        let b = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
         input.reshape(&[b, rest])
     }
 
@@ -55,6 +59,10 @@ impl Reshape {
 
 impl Layer for Reshape {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 2, "Reshape expects [B, features]");
         assert_eq!(
             input.shape()[1],
@@ -94,13 +102,12 @@ impl Upsample2 {
 
 impl Layer for Upsample2 {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         assert_eq!(input.ndim(), 4, "Upsample2 expects [B, C, H, W]");
-        let (b, c, h, w) = (
-            input.shape()[0],
-            input.shape()[1],
-            input.shape()[2],
-            input.shape()[3],
-        );
+        let (b, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (oh, ow) = (h * 2, w * 2);
         let mut out = vec![0.0f32; b * c * oh * ow];
         let data = input.data();
@@ -118,12 +125,8 @@ impl Layer for Upsample2 {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.ndim(), 4, "Upsample2 grad expects [B, C, H, W]");
-        let (b, c, oh, ow) = (
-            grad_out.shape()[0],
-            grad_out.shape()[1],
-            grad_out.shape()[2],
-            grad_out.shape()[3],
-        );
+        let (b, c, oh, ow) =
+            (grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2], grad_out.shape()[3]);
         assert!(oh % 2 == 0 && ow % 2 == 0, "Upsample2 grad dims must be even");
         let (h, w) = (oh / 2, ow / 2);
         let mut out = vec![0.0f32; b * c * h * w];

@@ -53,12 +53,7 @@ pub fn weighted_mse(pred: &Tensor, targets: &Tensor, weights: &Tensor) -> (f32, 
     let n = pred.numel().max(1) as f32;
     let mut loss = 0.0f32;
     let mut grad = Vec::with_capacity(pred.numel());
-    for ((&p, &t), &w) in pred
-        .data()
-        .iter()
-        .zip(targets.data().iter())
-        .zip(weights.data().iter())
-    {
+    for ((&p, &t), &w) in pred.data().iter().zip(targets.data().iter()).zip(weights.data().iter()) {
         let d = p - t;
         loss += w * d * d;
         grad.push(2.0 * w * d / n);
@@ -91,7 +86,8 @@ mod tests {
     #[test]
     fn bce_matches_manual_at_zero() {
         // At x=0, t=0.5: loss = ln 2, grad = 0.
-        let (loss, grad) = bce_with_logits(&Tensor::from_slice(&[0.0]), &Tensor::from_slice(&[0.5]));
+        let (loss, grad) =
+            bce_with_logits(&Tensor::from_slice(&[0.0]), &Tensor::from_slice(&[0.5]));
         assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
         assert!(grad.data()[0].abs() < 1e-7);
     }

@@ -29,9 +29,7 @@ fn scalar_loss(net: &mut Sequential, x: &Tensor, target: &Tensor) -> (f32, Tenso
 fn gradcheck(net: &mut Sequential, x: &Tensor, out_shape: &[usize], seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let target = Tensor::from_vec(
-        (0..out_shape.iter().product::<usize>())
-            .map(|_| rng.gen_range(-1.0..1.0))
-            .collect(),
+        (0..out_shape.iter().product::<usize>()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
         out_shape,
     );
 
@@ -84,9 +82,7 @@ fn gradcheck(net: &mut Sequential, x: &Tensor, out_shape: &[usize], seed: u64) {
 
 fn rand_input(rng: &mut StdRng, shape: &[usize]) -> Tensor {
     Tensor::from_vec(
-        (0..shape.iter().product::<usize>())
-            .map(|_| rng.gen_range(-1.0f32..1.0))
-            .collect(),
+        (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
         shape,
     )
 }
@@ -136,9 +132,7 @@ fn gradcheck_sigmoid_tanh() {
 #[test]
 fn gradcheck_conv_stride1() {
     let mut rng = StdRng::seed_from_u64(14);
-    let mut net = Sequential::new()
-        .push(Conv2d::new(2, 3, 3, 1, 1, &mut rng))
-        .push(Flatten::new());
+    let mut net = Sequential::new().push(Conv2d::new(2, 3, 3, 1, 1, &mut rng)).push(Flatten::new());
     let x = rand_input(&mut rng, &[1, 2, 4, 4]);
     gradcheck(&mut net, &x, &[1, 48], 5);
 }
@@ -181,9 +175,8 @@ fn gradcheck_maxpool() {
 #[test]
 fn gradcheck_global_avg_pool() {
     let mut rng = StdRng::seed_from_u64(18);
-    let mut net = Sequential::new()
-        .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
-        .push(GlobalAvgPool::new());
+    let mut net =
+        Sequential::new().push(Conv2d::new(1, 3, 3, 1, 1, &mut rng)).push(GlobalAvgPool::new());
     let x = rand_input(&mut rng, &[2, 1, 4, 4]);
     gradcheck(&mut net, &x, &[2, 3], 9);
 }

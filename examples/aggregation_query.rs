@@ -34,10 +34,7 @@ fn main() {
     // Drifting workload: rain first, then clear day joins.
     let schedule = DriftSchedule::new(
         500,
-        vec![
-            Phase { at_frame: 0, adds: Subset::Rain },
-            Phase { at_frame: 200, adds: Subset::Day },
-        ],
+        vec![Phase { at_frame: 0, adds: Subset::Rain }, Phase { at_frame: 200, adds: Subset::Day }],
     );
     let stream = schedule.generate(&gen, &mut rng);
     let truth: Vec<usize> = stream.iter().map(|f| query.ground_truth(f)).collect();
@@ -59,7 +56,12 @@ fn main() {
         t
     };
     let cfg = OdinConfig {
-        manager: ManagerConfig { min_points: 20, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        manager: ManagerConfig {
+            min_points: 20,
+            stable_window: 6,
+            kl_eps: 2e-3,
+            ..ManagerConfig::default()
+        },
         specializer: SpecializerConfig { train_iters: 400, ..SpecializerConfig::default() },
         ..OdinConfig::default()
     };

@@ -8,11 +8,16 @@
 //! +snow, then +rain — through ODIN with a DA-GAN latent encoder, and
 //! prints the windowed detection accuracy (mAP) with drift events
 //! marked, i.e. the shape of Figure 9.
+//!
+//! SPECIALIZER runs in background mode here: model training happens on
+//! worker threads while the stream keeps flowing, and the pipeline-stage
+//! stats at the end show how the gap was covered.
 
 use odin_core::encoder::DaGanEncoder;
 use odin_core::metrics::StreamEvaluator;
 use odin_core::pipeline::{Odin, OdinConfig};
 use odin_core::specializer::SpecializerConfig;
+use odin_core::training::TrainingMode;
 use odin_data::{DriftSchedule, SceneGen};
 use odin_detect::Detector;
 use odin_drift::ManagerConfig;
@@ -38,13 +43,23 @@ fn main() {
     let schedule = DriftSchedule::paper_end_to_end(1000);
     let teacher = Detector::heavy(48, &mut rng);
     let cfg = OdinConfig {
-        manager: ManagerConfig { min_points: 24, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        manager: ManagerConfig {
+            min_points: 24,
+            stable_window: 6,
+            kl_eps: 2e-3,
+            ..ManagerConfig::default()
+        },
         specializer: SpecializerConfig { train_iters: 400, ..SpecializerConfig::default() },
+        training: TrainingMode::Background { workers: 2 },
         ..OdinConfig::default()
     };
     let mut odin = Odin::new(Box::new(DaGanEncoder::new(dagan)), teacher, cfg, 3);
 
-    println!("replaying {} frames (drift points at {:?})...", schedule.total(), schedule.drift_points());
+    println!(
+        "replaying {} frames (drift points at {:?})...",
+        schedule.total(),
+        schedule.drift_points()
+    );
     let mut evaluator = StreamEvaluator::new(100);
     let mut drift_marks = Vec::new();
     let mut stream_rng = StdRng::seed_from_u64(12);
@@ -54,6 +69,13 @@ fn main() {
             drift_marks.push((i, event.cluster_id));
         }
         evaluator.record(frame, result.detections);
+        // An offline replay outruns any real camera; while a model is
+        // still training in the background, pace frames at ~camera rate
+        // so recovery lands mid-stream the way it would in deployment.
+        let s = odin.stats();
+        if s.queue_depth + s.in_flight > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
     }
 
     println!();
@@ -62,9 +84,21 @@ fn main() {
         let bars = (point.map * 60.0) as usize;
         println!("  frame {:>5}  mAP {:.3}  {}", point.at, point.map, "#".repeat(bars));
     }
+    // Land any model still training in the background.
+    odin.finish_training();
+
     println!();
     for (at, cluster) in &drift_marks {
-        println!("  drift at frame {at}: cluster {cluster} promoted + model trained");
+        println!("  drift at frame {at}: cluster {cluster} promoted + model scheduled");
     }
-    println!("clusters: {}, models: {}", odin.manager().clusters().len(), odin.registry_mut().len());
+    println!("clusters: {}, models: {}", odin.manager().clusters().len(), odin.model_count());
+    let stats = odin.stats();
+    println!(
+        "training: {} jobs, {} installed, {:.0} ms wall; gap served by teacher {} / fallback {} frames",
+        stats.jobs_submitted,
+        stats.models_installed,
+        stats.train_wall_ms,
+        stats.teacher_frames_while_pending,
+        stats.fallback_frames_while_pending
+    );
 }

@@ -40,7 +40,12 @@ fn main() {
     // A heavyweight "YOLO" teacher serves until specialized models exist.
     let teacher = Detector::heavy(48, &mut rng);
     let cfg = OdinConfig {
-        manager: ManagerConfig { min_points: 20, stable_window: 6, kl_eps: 2e-3, ..ManagerConfig::default() },
+        manager: ManagerConfig {
+            min_points: 20,
+            stable_window: 6,
+            kl_eps: 2e-3,
+            ..ManagerConfig::default()
+        },
         specializer: SpecializerConfig { train_iters: 250, ..SpecializerConfig::default() },
         ..OdinConfig::default()
     };
@@ -61,7 +66,7 @@ fn main() {
 
     println!();
     println!("clusters discovered : {}", odin.manager().clusters().len());
-    println!("models deployed     : {}", odin.registry_mut().len());
+    println!("models deployed     : {}", odin.model_count());
     println!("total detections    : {detections_total}");
     println!(
         "deployed model memory: {:.1} KiB (teacher was {:.1} KiB)",

@@ -28,22 +28,24 @@ fn main() {
     let mut yolo = Detector::heavy(48, &mut rng);
     yolo.train_oracle(&mut rng, &day_train, 700, 8);
 
-    let spec = Specializer::new(SpecializerConfig { train_iters: 700, distill_iters: 500, ..SpecializerConfig::default() });
+    let spec = Specializer::new(SpecializerConfig {
+        train_iters: 700,
+        distill_iters: 500,
+        ..SpecializerConfig::default()
+    });
     println!("training YoloSpecialized from oracle labels...");
     let mut specialized = spec.build_specialized(1, &day_train);
     println!("distilling YoloLite from the teacher (no oracle labels)...");
-    let mut lite = spec.build_lite(2, &mut yolo, &day_train);
+    let mut lite = spec.build_lite(2, &yolo, &day_train);
 
     println!();
     println!(
         "{:<18} {:>9} {:>11} {:>9} {:>10} {:>10}",
         "model", "mAP(day)", "mAP(night)", "params", "FPS", "size KiB"
     );
-    for (name, model) in [
-        ("YoloSim", &mut yolo),
-        ("YoloSpecialized", &mut specialized),
-        ("YoloLite", &mut lite),
-    ] {
+    for (name, model) in
+        [("YoloSim", &mut yolo), ("YoloSpecialized", &mut specialized), ("YoloLite", &mut lite)]
+    {
         let map_day = model.evaluate_map(&day_test);
         let map_night = model.evaluate_map(&night_test);
         let prof = profile(model, 64, 16);

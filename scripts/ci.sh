@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, release build (with examples), tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace --examples"
+cargo build --release --workspace --examples
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -10,9 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
-    (0usize..5, 0usize..3).prop_map(|(w, t)| {
-        Condition::new(Weather::ALL[w], TimeOfDay::ALL[t])
-    })
+    (0usize..5, 0usize..3).prop_map(|(w, t)| Condition::new(Weather::ALL[w], TimeOfDay::ALL[t]))
 }
 
 proptest! {

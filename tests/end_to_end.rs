@@ -20,7 +20,12 @@ fn test_cfg() -> OdinConfig {
             kl_eps: 2e-3,
             ..ManagerConfig::default()
         },
-        specializer: SpecializerConfig { train_iters: 350, distill_iters: 250, batch_size: 8, ..SpecializerConfig::default() },
+        specializer: SpecializerConfig {
+            train_iters: 350,
+            distill_iters: 250,
+            batch_size: 8,
+            ..SpecializerConfig::default()
+        },
         min_train_frames: 40,
         ..OdinConfig::default()
     }
@@ -49,7 +54,7 @@ fn run(cfg: OdinConfig, stream: &[Frame], window: usize, seed: u64) -> (f32, usi
         eval.record(f, r.detections);
     }
     let clusters = odin.manager().clusters().len();
-    let models = odin.registry_mut().len();
+    let models = odin.model_count();
     (mean_map(&eval.finish()), clusters, models)
 }
 
@@ -63,10 +68,7 @@ fn odin_beats_static_baseline_on_drifting_stream() {
     let (map_base, _, _) = run(baseline_cfg, &stream, 90, 1);
     assert!(clusters >= 2, "expected at least 2 clusters, got {clusters}");
     assert!(models >= 2, "expected at least 2 models, got {models}");
-    assert!(
-        map_odin > map_base,
-        "ODIN mAP {map_odin} should beat the static baseline {map_base}"
-    );
+    assert!(map_odin > map_base, "ODIN mAP {map_odin} should beat the static baseline {map_base}");
 }
 
 /// Accuracy must improve after recovery: the post-recovery windows of
@@ -88,17 +90,12 @@ fn accuracy_steps_up_after_recovery() {
     }
     let drift_at = first_drift.expect("no drift detected at all");
     let points = eval.finish();
-    let pre: Vec<f32> =
-        points.iter().filter(|p| p.at <= drift_at).map(|p| p.map).collect();
-    let post: Vec<f32> =
-        points.iter().filter(|p| p.at > drift_at + 60).map(|p| p.map).collect();
+    let pre: Vec<f32> = points.iter().filter(|p| p.at <= drift_at).map(|p| p.map).collect();
+    let post: Vec<f32> = points.iter().filter(|p| p.at > drift_at + 60).map(|p| p.map).collect();
     assert!(!post.is_empty(), "no windows after recovery");
     let pre_mean = if pre.is_empty() { 0.0 } else { pre.iter().sum::<f32>() / pre.len() as f32 };
     let post_mean = post.iter().sum::<f32>() / post.len() as f32;
-    assert!(
-        post_mean > pre_mean,
-        "no step-up after recovery: pre {pre_mean} vs post {post_mean}"
-    );
+    assert!(post_mean > pre_mean, "no step-up after recovery: pre {pre_mean} vs post {post_mean}");
 }
 
 /// Table 7's ordering: the full system (Δ-BM selector) must not lose to
@@ -128,7 +125,7 @@ fn memory_footprint_shrinks() {
     for f in &stream {
         let _ = odin.process(f);
     }
-    assert!(!odin.registry_mut().is_empty());
+    assert!(odin.model_count() > 0);
     assert!(
         odin.memory_bytes() < teacher_bytes,
         "deployed memory {} should be below the teacher's {}",

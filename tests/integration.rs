@@ -19,7 +19,15 @@ fn tiny_dagan_cfg() -> DaGanConfig {
     // invariance, which at this test's tiny 250-iteration scale maps
     // unseen digits *inside* the known bands. The denoising default is
     // exercised by the Table-1 harness and the odin-gan unit tests.
-    DaGanConfig { channels: 1, size: 32, latent: 16, width: 6, lr: 1.5e-3, lambda_r: 0.5, denoise_std: 0.0 }
+    DaGanConfig {
+        channels: 1,
+        size: 32,
+        latent: 16,
+        width: 6,
+        lr: 1.5e-3,
+        lambda_r: 0.5,
+        denoise_std: 0.0,
+    }
 }
 
 /// Train a DA-GAN on two digit classes; its latent space plus the online
@@ -79,7 +87,8 @@ fn dagan_latent_is_competitive_on_digit_outliers() {
     let mut encoder = DaGanEncoder::new(dagan);
 
     // Mixed test stream: 30% outliers from unseen classes.
-    let mixed = odin_data::digits::outlier_mix(&mut rng, &[0, 1, 2], &[7, 8, 9], 120, 0.3, gen_digit);
+    let mixed =
+        odin_data::digits::outlier_mix(&mut rng, &[0, 1, 2], &[7, 8, 9], 120, 0.3, gen_digit);
 
     // DA-GAN latent kNN.
     let train_latents: Vec<Vec<f32>> = train.iter().map(|im| encoder.project(im)).collect();
@@ -96,10 +105,7 @@ fn dagan_latent_is_competitive_on_digit_outliers() {
     let f1_pca = best_f1(&pca_scores, &labels);
     // Baseline F1 of flagging everything at 30% outliers is 2p/(1+p) ≈ 0.46.
     assert!(f1_dg > 0.46, "DA-GAN outlier F1 {f1_dg} carries no signal");
-    assert!(
-        f1_dg >= f1_pca - 0.3,
-        "DA-GAN F1 {f1_dg} implausibly far behind PCA F1 {f1_pca}"
-    );
+    assert!(f1_dg >= f1_pca - 0.3, "DA-GAN F1 {f1_dg} implausibly far behind PCA F1 {f1_pca}");
 }
 
 /// A trained detector must answer counting queries usefully better than
@@ -117,7 +123,7 @@ fn detector_feeds_count_queries() {
     trained.train_oracle(&mut rng, &train, 600, 8);
     let counts: Vec<usize> = test.iter().map(|f| query.count(&trained.detect(&f.image))).collect();
 
-    let mut fresh = Detector::small(48, &mut rng);
+    let fresh = Detector::small(48, &mut rng);
     let fresh_counts: Vec<usize> =
         test.iter().map(|f| query.count(&fresh.detect(&f.image))).collect();
 
@@ -135,7 +141,15 @@ fn detector_feeds_count_queries() {
 #[test]
 fn dagan_encoder_handles_bdd_frames() {
     let mut rng = StdRng::seed_from_u64(103);
-    let cfg = DaGanConfig { channels: 3, size: 48, latent: 24, width: 6, lr: 1e-3, lambda_r: 0.5, denoise_std: 0.25 };
+    let cfg = DaGanConfig {
+        channels: 3,
+        size: 48,
+        latent: 24,
+        width: 6,
+        lr: 1e-3,
+        lambda_r: 0.5,
+        denoise_std: 0.25,
+    };
     let mut encoder = DaGanEncoder::new(DaGan::new(cfg, &mut rng));
     let gen = SceneGen::new(48);
     let frames = gen.subset_frames(&mut rng, Subset::Full, 4);

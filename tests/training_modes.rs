@@ -1,0 +1,89 @@
+//! Inline and background SPECIALIZER scheduling must converge to the
+//! same system: training jobs carry their own seeds, so moving them off
+//! the serving thread may only change *when* a model lands, never what
+//! it is.
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::training::TrainingMode;
+use odin_core::ModelKind;
+use odin_data::{SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_cfg(training: TrainingMode) -> OdinConfig {
+    OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 20,
+        training,
+        ..OdinConfig::default()
+    }
+}
+
+/// Runs the same two-concept stream and returns the promoted cluster
+/// ids, the registered model ids and kinds, and every model's exported
+/// parameters.
+#[allow(clippy::type_complexity)]
+fn run(training: TrainingMode) -> (Vec<usize>, Vec<(usize, ModelKind)>, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, quick_cfg(training), 42);
+    let gen = SceneGen::new(48);
+    let mut stream_rng = StdRng::seed_from_u64(2);
+    odin.process_stream(&gen.subset_frames(&mut stream_rng, Subset::Night, 60));
+    odin.process_stream(&gen.subset_frames(&mut stream_rng, Subset::Day, 60));
+    odin.finish_training();
+    let events: Vec<usize> = odin.manager().events().iter().map(|e| e.cluster_id).collect();
+    let models: Vec<(usize, ModelKind)> = odin
+        .model_ids()
+        .into_iter()
+        .map(|id| (id, odin.model_kind(id).expect("registered model has a kind")))
+        .collect();
+    let registry = odin.registry();
+    let registry = registry.read();
+    let params: Vec<Vec<f32>> = odin
+        .model_ids()
+        .into_iter()
+        .map(|id| registry.get(id).expect("registered").detector.export_params())
+        .collect();
+    (events, models, params)
+}
+
+/// The headline determinism claim: the same stream under `Inline` and
+/// under `Background {{ workers: 1 }}` + drain barrier produces the same
+/// cluster ids, the same model kinds, and bit-identical model weights.
+#[test]
+fn inline_and_background_converge_to_identical_systems() {
+    let (ev_inline, models_inline, params_inline) = run(TrainingMode::Inline);
+    let (ev_bg, models_bg, params_bg) = run(TrainingMode::Background { workers: 1 });
+    assert!(!models_inline.is_empty(), "fixture trained no models");
+    assert_eq!(ev_inline, ev_bg, "cluster promotion sequence diverged");
+    assert_eq!(models_inline, models_bg, "model ids/kinds diverged");
+    assert_eq!(params_inline, params_bg, "model weights diverged");
+}
+
+/// Multiple workers may reorder completions, but the installed system
+/// keyed by cluster id must still match inline training.
+#[test]
+fn multi_worker_pool_matches_inline() {
+    let (_, models_inline, params_inline) = run(TrainingMode::Inline);
+    let (_, models_bg, params_bg) = run(TrainingMode::Background { workers: 3 });
+    assert_eq!(models_inline, models_bg);
+    assert_eq!(params_inline, params_bg);
+}

@@ -1,0 +1,213 @@
+//! Vendored subset of `criterion`.
+//!
+//! Keeps `benches/*.rs` compiling and running offline. Instead of
+//! criterion's statistical machinery this harness warms up briefly,
+//! times `sample_size` samples of each benchmark closure, and prints
+//! median / mean / min per-iteration wall-clock times.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] sizes its batches. This stub runs one
+/// input per measurement regardless of the hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver: configuration plus result reporting.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30, warmup: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { samples: Vec::new(), warmup: self.warmup, sample_size: self.sample_size };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; collects per-iteration timings.
+pub struct Bencher {
+    samples: Vec<f64>,
+    warmup: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` (called once per iteration).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate a per-iteration cost so each sample can
+        // batch enough iterations to dwarf timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~2ms per sample, clamped to [1, 10_000] iterations.
+        let iters = ((0.002 / per_iter.max(1e-9)) as u64).clamp(1, 10_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        assert!(!self.samples.is_empty(), "benchmark {id:?} recorded no samples");
+        self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{id:<44} median {:>12}  mean {:>12}  min {:>12}  ({} samples)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function (criterion-compatible forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop/add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        c.bench_function("noop/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(5).warm_up_time(Duration::from_millis(5));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn harness_runs() {
+        group();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+        assert_eq!(fmt_time(3.0e-5), "30.00 µs");
+        assert_eq!(fmt_time(4.0e-3), "4.00 ms");
+        assert_eq!(fmt_time(1.5), "1.500 s");
+    }
+}

@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace's serde derives are decorative — nothing serializes
+//! through the serde data model (the one JSON writer in `odin-bench`
+//! emits JSON by hand). This stub keeps the `#[derive(Serialize,
+//! Deserialize)]` annotations compiling offline: the traits are empty
+//! markers and the derive macros expand to nothing.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// No-op derive for [`Serialize`] (expands to nothing).
+pub use serde_derive::Serialize;
+
+/// No-op derive for [`Deserialize`] (expands to nothing).
+pub use serde_derive::Deserialize;

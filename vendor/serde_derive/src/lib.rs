@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! An empty token stream is a valid derive expansion; the annotated
+//! types simply gain no impls, which is exactly what this offline
+//! workspace needs (see the vendored `serde` crate).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
