@@ -1,0 +1,143 @@
+//! Tensor-backend micro-benchmark: GFLOP/s of the matmul kernels and the
+//! im2col convolution forward/backward, plus end-to-end DA-GAN encoding
+//! throughput. Used to record before/after numbers for the deterministic
+//! parallel backend (see README "Performance").
+
+use std::time::Instant;
+
+use odin_bench::report::{Args, Table};
+use odin_data::Image;
+use odin_gan::{DaGan, DaGanConfig};
+use odin_tensor::layers::Conv2d;
+use odin_tensor::ops::{matmul, matmul_nt, matmul_tn};
+use odin_tensor::{Layer, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_tensor(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), shape)
+}
+
+/// Times `f` over enough repetitions to fill ~0.3 s, returning seconds
+/// per call.
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let mut reps = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt > 0.3 {
+            return dt / reps as f64;
+        }
+        reps = (reps as f64 * (0.4 / dt.max(1e-6))).ceil() as usize + 1;
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut t = Table::new(
+        "tensor_gflops",
+        "Tensor backend kernel throughput",
+        &["Kernel", "Shape", "GFLOP/s", "ms/call"],
+    );
+
+    // Matmul family at an im2col-typical size: [rows, patch] x weights.
+    let (m, k, n) = (1024usize, 192, 64);
+    let flops = (2 * m * k * n) as f64;
+    let a = rand_tensor(&mut rng, &[m, k]);
+    let b = rand_tensor(&mut rng, &[k, n]);
+    let bt = rand_tensor(&mut rng, &[n, k]);
+    let at = rand_tensor(&mut rng, &[k, m]);
+    for (name, secs) in [
+        (
+            "matmul",
+            time_per_call(|| {
+                black_box(matmul(black_box(&a), black_box(&b)));
+            }),
+        ),
+        (
+            "matmul_nt",
+            time_per_call(|| {
+                black_box(matmul_nt(black_box(&a), black_box(&bt)));
+            }),
+        ),
+        (
+            "matmul_tn",
+            time_per_call(|| {
+                black_box(matmul_tn(black_box(&at), black_box(&b)));
+            }),
+        ),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{m}x{k}x{n}"),
+            format!("{:.2}", flops / secs / 1e9),
+            format!("{:.3}", secs * 1e3),
+        ]);
+    }
+
+    // Square matmul (distillation/dense-heavy shape).
+    let s = 256usize;
+    let sq_a = rand_tensor(&mut rng, &[s, s]);
+    let sq_b = rand_tensor(&mut rng, &[s, s]);
+    let sq_flops = (2 * s * s * s) as f64;
+    let secs = time_per_call(|| {
+        black_box(matmul(black_box(&sq_a), black_box(&sq_b)));
+    });
+    t.row(vec![
+        "matmul".into(),
+        format!("{s}x{s}x{s}"),
+        format!("{:.2}", sq_flops / secs / 1e9),
+        format!("{:.3}", secs * 1e3),
+    ]);
+
+    // Conv2d forward (inference) and forward+backward (training) at the
+    // DA-GAN encoder's first-layer geometry.
+    let (bsz, cin, cout, hw) = (8usize, 3usize, 16usize, 48usize);
+    let x = rand_tensor(&mut rng, &[bsz, cin, hw, hw]);
+    let mut conv = Conv2d::k3(cin, cout, 1, &mut rng);
+    let conv_flops = (2 * bsz * cout * cin * 9 * hw * hw) as f64;
+    let secs = time_per_call(|| {
+        black_box(conv.infer(black_box(&x)));
+    });
+    t.row(vec![
+        "conv2d_fwd".into(),
+        format!("{bsz}x{cin}x{hw}x{hw} k3->{cout}"),
+        format!("{:.2}", conv_flops / secs / 1e9),
+        format!("{:.3}", secs * 1e3),
+    ]);
+    let secs = time_per_call(|| {
+        let y = conv.forward(black_box(&x), true);
+        black_box(conv.backward(&y));
+    });
+    t.row(vec![
+        "conv2d_fwd_bwd".into(),
+        format!("{bsz}x{cin}x{hw}x{hw} k3->{cout}"),
+        format!("{:.2}", 3.0 * conv_flops / secs / 1e9),
+        format!("{:.3}", secs * 1e3),
+    ]);
+
+    // End-to-end DA-GAN encode of a 16-frame batch (the pipeline's
+    // buffered-frame path).
+    let mut dagan = DaGan::new(DaGanConfig::bdd(), &mut rng);
+    let frames = vec![Image::new(3, 48, 48); 16];
+    let refs: Vec<&Image> = frames.iter().collect();
+    let secs = time_per_call(|| {
+        black_box(dagan.encode_images(black_box(&refs)));
+    });
+    t.row(vec![
+        "dagan_encode".into(),
+        "16x3x48x48".into(),
+        "-".into(),
+        format!("{:.3}", secs * 1e3),
+    ]);
+
+    t.finish(&args);
+}

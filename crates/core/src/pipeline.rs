@@ -26,6 +26,11 @@ use crate::selector::{select, Selection, SelectionPolicy};
 use crate::specializer::{Specializer, SpecializerConfig};
 use crate::training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
 
+/// Frames encoded per [`LatentEncoder::project_batch`] call by the
+/// stream/bootstrap paths. Bounds im2col scratch while amortizing
+/// per-call overhead over many frames.
+const ENCODE_CHUNK: usize = 64;
+
 /// How oracle labels become available to SPECIALIZER (§7 discusses this
 /// constraint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,14 +239,16 @@ impl Odin {
         s
     }
 
-    /// Stage ❶+❷ ingest: observe the frame, buffer it for SPECIALIZER,
-    /// and react to promotions and evictions. Shared by [`Odin::process`]
-    /// and [`Odin::bootstrap_clusters`] so the two can never diverge.
-    fn ingest(&mut self, frame: &Frame) -> IngestOutcome {
+    /// Stage ❶+❷ ingest: observe the frame (whose latent projection was
+    /// already computed — singly or by the batched encode path), buffer
+    /// it for SPECIALIZER, and react to promotions and evictions. Shared
+    /// by [`Odin::process`] and [`Odin::bootstrap_clusters`] so the two
+    /// can never diverge; the encoder is stateless with respect to the
+    /// stream, so projecting ahead of ingest is exact.
+    fn ingest_with_latent(&mut self, frame: &Frame, latent: Vec<f32>) -> IngestOutcome {
         // Land any background-trained models before observing, so this
         // frame already sees them.
         self.install_completed();
-        let latent = self.encoder.project(&frame.image);
         let obs = self.manager.observe(&latent);
         match obs.assignment {
             Assignment::Temporary => {
@@ -290,9 +297,14 @@ impl Odin {
                 selection: Selection::empty(),
             };
         }
+        let latent = self.encoder.project(&frame.image);
+        self.process_with_latent(frame, latent)
+    }
 
+    /// [`Odin::process`] for a pre-computed latent (the batched path).
+    fn process_with_latent(&mut self, frame: &Frame, latent: Vec<f32>) -> FrameResult {
         // ❶+❷ DETECTOR ingest and SPECIALIZER scheduling.
-        let outcome = self.ingest(frame);
+        let outcome = self.ingest_with_latent(frame, latent);
         // ❸ SELECTOR: pick models and run inference.
         let (detections, served_by, selection) = self.infer(&outcome.latent, frame);
 
@@ -431,9 +443,42 @@ impl Odin {
         self.infer(&z, frame).0
     }
 
-    /// Processes a whole stream, returning per-frame results.
+    /// Processes a batch of frames, encoding them in one
+    /// [`LatentEncoder::project_batch`] call (one im2col per batch
+    /// instead of per frame) and then running the per-frame
+    /// observe→select→infer stages in stream order. Per-frame conv and
+    /// dense rows are computed independently, so results are identical
+    /// to calling [`Odin::process`] frame by frame.
+    pub fn process_batch(&mut self, frames: &[Frame]) -> Vec<FrameResult> {
+        if self.cfg.baseline_only {
+            let images: Vec<_> = frames.iter().map(|f| &f.image).collect();
+            return self
+                .teacher
+                .detect_batch(&images)
+                .into_iter()
+                .map(|detections| FrameResult {
+                    detections,
+                    assignment: Assignment::Temporary,
+                    drift: None,
+                    used_teacher: true,
+                    served_by: ServedBy::Teacher,
+                    selection: Selection::empty(),
+                })
+                .collect();
+        }
+        let images: Vec<_> = frames.iter().map(|f| &f.image).collect();
+        let latents = self.encoder.project_batch(&images);
+        frames.iter().zip(latents).map(|(f, z)| self.process_with_latent(f, z)).collect()
+    }
+
+    /// Processes a whole stream, returning per-frame results. Encoding
+    /// runs in fixed-size batches through [`Odin::process_batch`].
     pub fn process_stream(&mut self, frames: &[Frame]) -> Vec<FrameResult> {
-        frames.iter().map(|f| self.process(f)).collect()
+        let mut out = Vec::with_capacity(frames.len());
+        for chunk in frames.chunks(ENCODE_CHUNK.max(1)) {
+            out.extend(self.process_batch(chunk));
+        }
+        out
     }
 
     /// Pre-registers a model for a cluster id (warm start — used by
@@ -449,10 +494,14 @@ impl Odin {
     /// models are servable immediately.
     pub fn bootstrap_clusters(&mut self, frames: &[Frame]) -> Vec<usize> {
         let mut promoted = Vec::new();
-        for f in frames {
-            let outcome = self.ingest(f);
-            if let Some(event) = outcome.drift {
-                promoted.push(event.cluster_id);
+        for chunk in frames.chunks(ENCODE_CHUNK.max(1)) {
+            let images: Vec<_> = chunk.iter().map(|f| &f.image).collect();
+            let latents = self.encoder.project_batch(&images);
+            for (f, z) in chunk.iter().zip(latents) {
+                let outcome = self.ingest_with_latent(f, z);
+                if let Some(event) = outcome.drift {
+                    promoted.push(event.cluster_id);
+                }
             }
         }
         self.finish_training();

@@ -220,9 +220,24 @@ impl DaGan {
     }
 
     /// Projects a slice of images (resized to the model's input size).
+    ///
+    /// Internally processes fixed-size chunks so im2col scratch stays
+    /// bounded for arbitrarily large inputs. Conv and dense kernels
+    /// compute each output row independently, so the chunked result is
+    /// bit-identical to a single monolithic batch.
     pub fn encode_images(&mut self, images: &[&Image]) -> Tensor {
-        let batch = crate::common::batch_resized(images, self.cfg.size);
-        self.encode(&batch)
+        const CHUNK: usize = 32;
+        if images.len() <= CHUNK {
+            let batch = crate::common::batch_resized(images, self.cfg.size);
+            return self.encode(&batch);
+        }
+        let latent = self.cfg.latent;
+        let mut out = Vec::with_capacity(images.len() * latent);
+        for chunk in images.chunks(CHUNK) {
+            let batch = crate::common::batch_resized(chunk, self.cfg.size);
+            out.extend_from_slice(self.encode(&batch).data());
+        }
+        Tensor::from_vec(out, &[images.len(), latent])
     }
 
     /// Decodes latent vectors to image logits.

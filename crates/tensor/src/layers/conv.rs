@@ -4,7 +4,8 @@ use rand::rngs::StdRng;
 
 use crate::init;
 use crate::layer::Layer;
-use crate::ops::{col2im, im2col, matmul, matmul_nt, matmul_tn, ConvGeom};
+use crate::ops::{col2im, im2col, im2col_into, matmul, matmul_nt, matmul_tn, ConvGeom};
+use crate::scratch;
 use crate::tensor::Tensor;
 
 /// A 2-D convolution with square kernels, uniform stride, and zero padding.
@@ -91,7 +92,7 @@ impl Conv2d {
 fn positions_to_nchw(m: &Tensor, batch: usize, c: usize, oh: usize, ow: usize) -> Tensor {
     debug_assert_eq!(m.shape(), &[batch * oh * ow, c]);
     let md = m.data();
-    let mut out = vec![0.0f32; batch * c * oh * ow];
+    let mut out = scratch::take_zeroed(batch * c * oh * ow);
     let plane = oh * ow;
     for bi in 0..batch {
         for p in 0..plane {
@@ -110,7 +111,7 @@ fn nchw_to_positions(t: &Tensor) -> Tensor {
     let (batch, c, oh, ow) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
     let plane = oh * ow;
     let td = t.data();
-    let mut out = vec![0.0f32; batch * plane * c];
+    let mut out = scratch::take_zeroed(batch * plane * c);
     for bi in 0..batch {
         for ch in 0..c {
             let src = &td[bi * c * plane + ch * plane..bi * c * plane + (ch + 1) * plane];
@@ -144,7 +145,16 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let geom = self.geom_for(input);
         let batch = input.shape()[0];
-        let cols = im2col(input, &geom);
+        // Reuse the cached column buffer from the previous forward pass;
+        // with a stable batch shape this makes forward allocation-free
+        // (im2col_into resizes only when the geometry changed).
+        let patch = geom.in_c * geom.kernel * geom.kernel;
+        let mut cols_buf = match self.cache.take() {
+            Some(prev) => prev.cols.into_vec(),
+            None => scratch::take_raw(batch * geom.out_h() * geom.out_w() * patch),
+        };
+        im2col_into(input, &geom, &mut cols_buf);
+        let cols = Tensor::from_vec(cols_buf, &[batch * geom.out_h() * geom.out_w(), patch]);
         let out = self.apply(&cols, &geom, batch);
         if train {
             self.cache = Some(ConvCache { cols, geom, batch });
@@ -186,6 +196,13 @@ impl Layer for Conv2d {
 
     fn params_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
         vec![(&mut self.w, &mut self.dw), (&mut self.b, &mut self.db)]
+    }
+
+    fn zero_grad(&mut self) {
+        // Direct fills keep the training loop allocation-free (the
+        // default goes through the params_grads Vec).
+        self.dw.fill_zero();
+        self.db.fill_zero();
     }
 
     fn name(&self) -> &'static str {

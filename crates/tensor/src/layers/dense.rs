@@ -60,12 +60,11 @@ impl Layer for Dense {
             self.in_dim()
         );
         let mut y = matmul_nt(input, &self.w);
-        let (b, out) = (y.shape()[0], y.shape()[1]);
+        let out = y.shape()[1];
         let bias = self.b.data();
-        let yd = y.data_mut();
-        for i in 0..b {
-            for j in 0..out {
-                yd[i * out + j] += bias[j];
+        for row in y.data_mut().chunks_exact_mut(out) {
+            for (v, &bv) in row.iter_mut().zip(bias.iter()) {
+                *v += bv;
             }
         }
         y
@@ -79,12 +78,11 @@ impl Layer for Dense {
         // dW += Gᵀ X ; db += column sums of G ; dX = G W
         let dw = matmul_tn(grad_out, x);
         self.dw.add_scaled(&dw, 1.0);
-        let (b, out) = (grad_out.shape()[0], grad_out.shape()[1]);
-        let gd = grad_out.data();
+        let out = grad_out.shape()[1];
         let dbd = self.db.data_mut();
-        for i in 0..b {
-            for j in 0..out {
-                dbd[j] += gd[i * out + j];
+        for row in grad_out.data().chunks_exact(out) {
+            for (d, &g) in dbd.iter_mut().zip(row.iter()) {
+                *d += g;
             }
         }
         matmul(grad_out, &self.w)
@@ -96,6 +94,13 @@ impl Layer for Dense {
 
     fn params_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
         vec![(&mut self.w, &mut self.dw), (&mut self.b, &mut self.db)]
+    }
+
+    fn zero_grad(&mut self) {
+        // Direct fills keep the training loop allocation-free (the
+        // default goes through the params_grads Vec).
+        self.dw.fill_zero();
+        self.db.fill_zero();
     }
 
     fn name(&self) -> &'static str {

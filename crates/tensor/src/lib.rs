@@ -16,6 +16,13 @@
 //!   multiply, the standard CPU strategy.
 //! * **Determinism.** All initialization and sampling is seeded
 //!   (`StdRng`), so every experiment in the bench harness is reproducible.
+//! * **Deterministic parallelism.** Matmul and im2col/col2im kernels run
+//!   on a persistent worker pool ([`par`]), partitioned over disjoint
+//!   output row blocks whose boundaries depend only on the problem size.
+//!   Results are bit-identical for any `ODIN_THREADS` value, including 1.
+//! * **Zero-alloc hot path.** Tensors recycle their buffers through a
+//!   thread-local scratch pool on drop, so steady-state forward/backward
+//!   passes reuse memory instead of allocating.
 //!
 //! ## Quick example
 //!
@@ -53,7 +60,9 @@ pub mod layers;
 pub mod loss;
 pub mod ops;
 pub mod optim;
+pub mod par;
+pub mod scratch;
 mod tensor;
 
 pub use layer::{Layer, Sequential};
-pub use tensor::Tensor;
+pub use tensor::{Tensor, MAX_NDIM};

@@ -3,12 +3,95 @@
 //! The convolution layers are built on `im2col`/`col2im`, which turn a
 //! convolution into one large matrix multiply — the standard trick for a
 //! CPU implementation with no SIMD intrinsics.
+//!
+//! All three matmul variants share the same structure: the public
+//! function is a thin dispatcher that splits the output into row blocks
+//! (a pure function of the row count — see [`crate::par`]) and runs a
+//! register-blocked 4×4 micro-kernel over each block, on the worker pool
+//! when the problem is big enough and serially otherwise. Every output
+//! element is produced by a single accumulator walking `k` in ascending
+//! order, so the serial and parallel paths are bit-identical at any
+//! thread count.
 
+use crate::par;
+use crate::scratch;
 use crate::tensor::Tensor;
 
+/// Micro-kernel tile edge: output is computed in 4×4 register tiles.
+const TILE: usize = 4;
+
+/// Partitions `out` (`rows * width` elements) into row blocks and runs
+/// `body(block, first_row, chunk)` over each — on the worker pool when
+/// `flops` crosses the parallel threshold, serially otherwise. Both
+/// paths use the identical partition and body, so they are bit-identical.
+fn run_row_blocks(
+    out: &mut [f32],
+    width: usize,
+    rows: usize,
+    flops: usize,
+    body: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    let grain = par::row_grain(rows);
+    let blocks = rows.div_ceil(grain.max(1));
+    if par::should_parallelize(flops, blocks) {
+        par::parallel_row_blocks(out, width, rows, grain, body);
+    } else {
+        for bi in 0..blocks {
+            let r0 = bi * grain;
+            let r1 = (r0 + grain).min(rows);
+            body(bi, r0, &mut out[r0 * width..r1 * width]);
+        }
+    }
+}
+
+/// 4×4-blocked kernel for `out[r0..][..] = a[r0..] × b` where
+/// `a` is `[m, k]` row-major and `b` is `[k, n]` row-major.
+fn matmul_chunk(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
+    let rows = chunk.len() / n;
+    let mut i = 0;
+    while i < rows {
+        let ih = (rows - i).min(TILE);
+        let a_base = (r0 + i) * k;
+        let mut j = 0;
+        while j < n {
+            let jw = (n - j).min(TILE);
+            if ih == TILE && jw == TILE {
+                let a0 = &ad[a_base..a_base + k];
+                let a1 = &ad[a_base + k..a_base + 2 * k];
+                let a2 = &ad[a_base + 2 * k..a_base + 3 * k];
+                let a3 = &ad[a_base + 3 * k..a_base + 4 * k];
+                let mut acc = [[0.0f32; TILE]; TILE];
+                for kk in 0..k {
+                    let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                    let bv = &bd[kk * n + j..kk * n + j + TILE];
+                    for (accr, &ar) in acc.iter_mut().zip(av.iter()) {
+                        for (accv, &bc) in accr.iter_mut().zip(bv.iter()) {
+                            *accv += ar * bc;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    chunk[(i + r) * n + j..(i + r) * n + j + TILE].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..ih {
+                    let a_row = &ad[(r0 + i + r) * k..(r0 + i + r + 1) * k];
+                    for c in 0..jw {
+                        let mut acc = 0.0f32;
+                        for (kk, &av) in a_row.iter().enumerate() {
+                            acc += av * bd[kk * n + j + c];
+                        }
+                        chunk[(i + r) * n + j + c] = acc;
+                    }
+                }
+            }
+            j += jw;
+        }
+        i += ih;
+    }
+}
+
 /// Matrix multiply: `a [m, k] × b [k, n] → [m, n]`.
-///
-/// Uses the cache-friendly i-k-j loop ordering.
 ///
 /// # Panics
 ///
@@ -19,23 +102,64 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &bd[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    let mut out = scratch::take_zeroed(m * n);
+    let (ad, bd) = (a.data(), b.data());
+    run_row_blocks(&mut out, n, m, 2 * m * k * n, &|_, r0, chunk| {
+        matmul_chunk(ad, bd, chunk, r0, k, n);
+    });
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Dot-product kernel for `out[r0..][..] = a[r0..] × bᵀ` where
+/// `a` is `[m, k]` and `b` is `[n, k]`, both row-major.
+fn matmul_nt_chunk(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
+    let rows = chunk.len() / n;
+    let mut i = 0;
+    while i < rows {
+        let ih = (rows - i).min(TILE);
+        let a_base = (r0 + i) * k;
+        let mut j = 0;
+        while j < n {
+            let jw = (n - j).min(TILE);
+            if ih == TILE && jw == TILE {
+                let a0 = &ad[a_base..a_base + k];
+                let a1 = &ad[a_base + k..a_base + 2 * k];
+                let a2 = &ad[a_base + 2 * k..a_base + 3 * k];
+                let a3 = &ad[a_base + 3 * k..a_base + 4 * k];
+                let b0 = &bd[j * k..(j + 1) * k];
+                let b1 = &bd[(j + 1) * k..(j + 2) * k];
+                let b2 = &bd[(j + 2) * k..(j + 3) * k];
+                let b3 = &bd[(j + 3) * k..(j + 4) * k];
+                let mut acc = [[0.0f32; TILE]; TILE];
+                for kk in 0..k {
+                    let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                    let bv = [b0[kk], b1[kk], b2[kk], b3[kk]];
+                    for (accr, &ar) in acc.iter_mut().zip(av.iter()) {
+                        for (accv, &bc) in accr.iter_mut().zip(bv.iter()) {
+                            *accv += ar * bc;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    chunk[(i + r) * n + j..(i + r) * n + j + TILE].copy_from_slice(accr);
+                }
+            } else {
+                for r in 0..ih {
+                    let a_row = &ad[(r0 + i + r) * k..(r0 + i + r + 1) * k];
+                    for c in 0..jw {
+                        let b_row = &bd[(j + c) * k..(j + c + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (av, bv) in a_row.iter().zip(b_row.iter()) {
+                            acc += av * bv;
+                        }
+                        chunk[(i + r) * n + j + c] = acc;
+                    }
+                }
+            }
+            j += jw;
+        }
+        i += ih;
+    }
 }
 
 /// Matrix multiply with the right-hand side transposed:
@@ -48,21 +172,42 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
+    let mut out = scratch::take_zeroed(m * n);
+    let (ad, bd) = (a.data(), b.data());
+    run_row_blocks(&mut out, n, m, 2 * m * k * n, &|_, r0, chunk| {
+        matmul_nt_chunk(ad, bd, chunk, r0, k, n);
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Column-strided kernel for `out[r0..][..] = aᵀ[r0..] × b` where
+/// `a` is `[k, m]` and `b` is `[k, n]`, both row-major.
+fn matmul_tn_chunk(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    r0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    // k-outer rank-1 updates: a and b are walked row-by-row (their
+    // contiguous axis), the small output block stays cache-resident, and
+    // each output cell still accumulates its k terms in ascending order
+    // with a single accumulator — bit-identical to a per-element walk.
+    // This matters because the conv backward pass calls this with a tall
+    // reduction axis (k = B·OH·OW) and a tiny output (out_c × patch).
+    let rows = chunk.len() / n;
+    chunk.fill(0.0);
+    for kk in 0..k {
+        let av = &ad[kk * m + r0..kk * m + r0 + rows];
+        let bv = &bd[kk * n..kk * n + n];
+        for (row, &ar) in chunk.chunks_exact_mut(n).zip(av.iter()) {
+            for (o, &bc) in row.iter_mut().zip(bv.iter()) {
+                *o += ar * bc;
             }
-            out[i * n + j] = acc;
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Matrix multiply with the left-hand side transposed:
@@ -73,22 +218,11 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for kk in 0..k {
-        let a_row = &ad[kk * m..(kk + 1) * m];
-        let b_row = &bd[kk * n..(kk + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    let mut out = scratch::take_zeroed(m * n);
+    let (ad, bd) = (a.data(), b.data());
+    run_row_blocks(&mut out, n, m, 2 * m * k * n, &|_, r0, chunk| {
+        matmul_tn_chunk(ad, bd, chunk, r0, k, m, n);
+    });
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -129,9 +263,49 @@ impl ConvGeom {
     }
 }
 
-/// Unfolds an image batch `[B, C, H, W]` into a column matrix
-/// `[B * out_h * out_w, C * k * k]` so convolution becomes a matmul.
-pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+/// Fills one block of patch rows (`[r0, r0 + chunk_rows)` in the
+/// `[B * out_h * out_w, patch]` column matrix). Writes every element,
+/// including padding zeros, so the destination needs no pre-clearing.
+fn im2col_rows(data: &[f32], g: &ConvGeom, r0: usize, chunk: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let patch = g.in_c * g.kernel * g.kernel;
+    let img_stride = g.in_c * g.in_h * g.in_w;
+    let chan_stride = g.in_h * g.in_w;
+    for (local, dst) in chunk.chunks_exact_mut(patch).enumerate() {
+        let row = r0 + local;
+        let bi = row / (oh * ow);
+        let rem = row % (oh * ow);
+        let (oy, ox) = (rem / ow, rem % ow);
+        let img = &data[bi * img_stride..(bi + 1) * img_stride];
+        let mut di = 0usize;
+        for c in 0..g.in_c {
+            let chan = &img[c * chan_stride..(c + 1) * chan_stride];
+            for ky in 0..g.kernel {
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                if iy < 0 || iy >= g.in_h as isize {
+                    dst[di..di + g.kernel].fill(0.0);
+                    di += g.kernel;
+                    continue;
+                }
+                let row_base = iy as usize * g.in_w;
+                for kx in 0..g.kernel {
+                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                    dst[di] = if ix >= 0 && ix < g.in_w as isize {
+                        chan[row_base + ix as usize]
+                    } else {
+                        0.0
+                    };
+                    di += 1;
+                }
+            }
+        }
+    }
+}
+
+/// [`im2col`] into a caller-owned buffer, resized to fit. This is the
+/// allocation-free path `Conv2d` uses to reuse its column scratch
+/// between forward passes.
+pub fn im2col_into(input: &Tensor, g: &ConvGeom, out: &mut Vec<f32>) {
     assert_eq!(input.ndim(), 4, "im2col expects [B, C, H, W]");
     let b = input.shape()[0];
     assert_eq!(input.shape()[1], g.in_c, "channel mismatch");
@@ -139,101 +313,100 @@ pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
     assert_eq!(input.shape()[3], g.in_w, "width mismatch");
     let (oh, ow) = (g.out_h(), g.out_w());
     let patch = g.in_c * g.kernel * g.kernel;
-    let mut out = vec![0.0f32; b * oh * ow * patch];
+    let rows = b * oh * ow;
+    out.resize(rows * patch, 0.0);
     let data = input.data();
-    let img_stride = g.in_c * g.in_h * g.in_w;
-    let chan_stride = g.in_h * g.in_w;
-    let mut row = 0usize;
-    for bi in 0..b {
-        let img = &data[bi * img_stride..(bi + 1) * img_stride];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let dst = &mut out[row * patch..(row + 1) * patch];
-                let mut di = 0usize;
-                for c in 0..g.in_c {
-                    let chan = &img[c * chan_stride..(c + 1) * chan_stride];
-                    for ky in 0..g.kernel {
-                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                        if iy < 0 || iy >= g.in_h as isize {
-                            di += g.kernel;
-                            continue;
-                        }
-                        let row_base = iy as usize * g.in_w;
-                        for kx in 0..g.kernel {
-                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                            if ix >= 0 && ix < g.in_w as isize {
-                                dst[di] = chan[row_base + ix as usize];
-                            }
-                            di += 1;
-                        }
-                    }
-                }
-                row += 1;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[b * oh * ow, patch])
+    run_row_blocks(out, patch, rows, rows * patch, &|_, r0, chunk| {
+        im2col_rows(data, g, r0, chunk);
+    });
+}
+
+/// Unfolds an image batch `[B, C, H, W]` into a column matrix
+/// `[B * out_h * out_w, C * k * k]` so convolution becomes a matmul.
+pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+    let b = input.shape()[0];
+    let patch = g.in_c * g.kernel * g.kernel;
+    let rows = b * g.out_h() * g.out_w();
+    let mut out = scratch::take_raw(rows * patch);
+    im2col_into(input, g, &mut out);
+    Tensor::from_vec(out, &[rows, patch])
 }
 
 /// Folds a column-matrix gradient back into an image gradient — the adjoint
 /// of [`im2col`]. Overlapping patches accumulate.
+///
+/// Parallelized over batch images: each image's overlapping-patch
+/// accumulation is done by exactly one block, in patch-row order, so the
+/// result is independent of the thread count.
 pub fn col2im(cols: &Tensor, g: &ConvGeom, batch: usize) -> Tensor {
     let (oh, ow) = (g.out_h(), g.out_w());
     let patch = g.in_c * g.kernel * g.kernel;
     assert_eq!(cols.shape(), &[batch * oh * ow, patch], "col2im shape mismatch");
-    let mut out = vec![0.0f32; batch * g.in_c * g.in_h * g.in_w];
-    let data = cols.data();
     let img_stride = g.in_c * g.in_h * g.in_w;
+    let mut out = scratch::take_raw(batch * img_stride);
+    out.resize(batch * img_stride, 0.0);
+    let data = cols.data();
     let chan_stride = g.in_h * g.in_w;
-    let mut row = 0usize;
-    for bi in 0..batch {
-        let img = &mut out[bi * img_stride..(bi + 1) * img_stride];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let src = &data[row * patch..(row + 1) * patch];
-                let mut si = 0usize;
-                for c in 0..g.in_c {
-                    for ky in 0..g.kernel {
-                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                        if iy < 0 || iy >= g.in_h as isize {
-                            si += g.kernel;
-                            continue;
-                        }
-                        let row_base = c * chan_stride + iy as usize * g.in_w;
-                        for kx in 0..g.kernel {
-                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                            if ix >= 0 && ix < g.in_w as isize {
-                                img[row_base + ix as usize] += src[si];
+    run_row_blocks(&mut out, img_stride, batch, cols.numel(), &|_, b0, chunk| {
+        for (local, img) in chunk.chunks_exact_mut(img_stride).enumerate() {
+            img.fill(0.0);
+            let bi = b0 + local;
+            let mut row = bi * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let src = &data[row * patch..(row + 1) * patch];
+                    let mut si = 0usize;
+                    for c in 0..g.in_c {
+                        for ky in 0..g.kernel {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            if iy < 0 || iy >= g.in_h as isize {
+                                si += g.kernel;
+                                continue;
                             }
-                            si += 1;
+                            let row_base = c * chan_stride + iy as usize * g.in_w;
+                            for kx in 0..g.kernel {
+                                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                if ix >= 0 && ix < g.in_w as isize {
+                                    img[row_base + ix as usize] += src[si];
+                                }
+                                si += 1;
+                            }
                         }
                     }
+                    row += 1;
                 }
-                row += 1;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[batch, g.in_c, g.in_h, g.in_w])
 }
 
 /// Numerically stable softmax over the last axis of a 2-D tensor.
+///
+/// Fused per row: one max scan, then a single pass that exponentiates
+/// into the output row while accumulating the normalizer, then an
+/// in-place scale. Rows are independent, so the op parallelizes over
+/// row blocks without affecting the result.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.ndim(), 2, "softmax_rows expects a 2-D tensor");
     let (r, c) = (x.shape()[0], x.shape()[1]);
-    let mut out = vec![0.0f32; r * c];
-    for i in 0..r {
-        let row = &x.data()[i * c..(i + 1) * c];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for (j, &v) in row.iter().enumerate() {
-            let e = (v - m).exp();
-            out[i * c + j] = e;
-            sum += e;
+    let mut out = scratch::take_zeroed(r * c);
+    let data = x.data();
+    run_row_blocks(&mut out, c, r, r * c * 8, &|_, r0, chunk| {
+        for (local, dst) in chunk.chunks_exact_mut(c).enumerate() {
+            let row = &data[(r0 + local) * c..(r0 + local + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (o, &v) in dst.iter_mut().zip(row.iter()) {
+                let e = (v - m).exp();
+                *o = e;
+                sum += e;
+            }
+            for o in dst.iter_mut() {
+                *o /= sum;
+            }
         }
-        for v in &mut out[i * c..(i + 1) * c] {
-            *v /= sum;
-        }
-    }
+    });
     Tensor::from_vec(out, &[r, c])
 }
 
@@ -292,6 +465,24 @@ mod tests {
     }
 
     #[test]
+    fn matmul_edge_tiles_match_reference() {
+        // 7x5x6 exercises both the full 4x4 tile path and all edge paths.
+        let (m, k, n) = (7, 5, 6);
+        let a = Tensor::from_vec((0..m * k).map(|x| (x as f32).sin()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|x| (x as f32).cos()).collect(), &[k, n]);
+        let got = matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]) * b.get(&[kk, j]);
+                }
+                assert!((got.get(&[i, j]) - acc).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
     fn conv_geom_output_sizes() {
         let g = ConvGeom { in_c: 3, in_h: 8, in_w: 8, kernel: 3, stride: 2, pad: 1 };
         assert_eq!(g.out_h(), 4);
@@ -323,6 +514,16 @@ mod tests {
         // Top-left output position: its 3x3 patch has 4 real pixels, 5 padded.
         let first: f32 = cols.row(0).sum();
         assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn im2col_into_overwrites_dirty_buffer() {
+        let g = ConvGeom { in_c: 1, in_h: 3, in_w: 3, kernel: 3, stride: 1, pad: 1 };
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let fresh = im2col(&x, &g);
+        let mut dirty = vec![9.9f32; fresh.numel()];
+        im2col_into(&x, &g, &mut dirty);
+        assert_eq!(&dirty[..], fresh.data());
     }
 
     #[test]

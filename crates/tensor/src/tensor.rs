@@ -4,8 +4,46 @@
 //! deliberately simple: a flat `Vec<f32>` plus a shape. All layout is
 //! row-major (C order), so a `[B, C, H, W]` image batch stores the last
 //! axis contiguously.
+//!
+//! Two allocation properties matter for the hot path:
+//!
+//! - The shape is stored inline (up to [`MAX_NDIM`] axes), so building a
+//!   tensor never allocates for its shape.
+//! - Dropping a tensor returns its flat buffer to the thread-local
+//!   [`crate::scratch`] pool, and every constructor draws from that pool
+//!   first. Steady-state forward/backward passes over fixed shapes
+//!   therefore recycle the same buffers instead of hitting the global
+//!   allocator (see `tests/scratch_reuse.rs`).
 
 use std::fmt;
+
+use crate::scratch;
+
+/// Maximum number of axes a tensor can have.
+pub const MAX_NDIM: usize = 6;
+
+/// Inline shape storage: a length-tagged fixed array, so tensors carry
+/// their shape without a heap allocation.
+#[derive(Clone, Copy)]
+struct Shape {
+    len: u8,
+    dims: [usize; MAX_NDIM],
+}
+
+impl Shape {
+    #[inline]
+    fn from_slice(shape: &[usize]) -> Self {
+        assert!(shape.len() <= MAX_NDIM, "tensors support at most {MAX_NDIM} axes");
+        let mut dims = [0usize; MAX_NDIM];
+        dims[..shape.len()].copy_from_slice(shape);
+        Shape { len: shape.len() as u8, dims }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.len as usize]
+    }
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -17,10 +55,27 @@ use std::fmt;
 /// assert_eq!(t.shape(), &[2, 2]);
 /// assert_eq!(t.get(&[1, 0]), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
-    shape: Vec<usize>,
+    shape: Shape,
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        scratch::recycle(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { data: scratch::copy_of(&self.data), shape: self.shape }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape() == other.shape() && self.data == other.data
+    }
 }
 
 impl Tensor {
@@ -39,13 +94,13 @@ impl Tensor {
             shape,
             numel
         );
-        Tensor { data, shape: shape.to_vec() }
+        Tensor { data, shape: Shape::from_slice(shape) }
     }
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { data: vec![0.0; numel], shape: shape.to_vec() }
+        Tensor { data: scratch::take_zeroed(numel), shape: Shape::from_slice(shape) }
     }
 
     /// Creates a tensor filled with ones.
@@ -56,18 +111,18 @@ impl Tensor {
     /// Creates a tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { data: vec![value; numel], shape: shape.to_vec() }
+        Tensor { data: scratch::take_filled(numel, value), shape: Shape::from_slice(shape) }
     }
 
     /// Creates a 1-D tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { data: data.to_vec(), shape: vec![data.len()] }
+        Tensor { data: scratch::copy_of(data), shape: Shape::from_slice(&[data.len()]) }
     }
 
     /// The shape of the tensor.
     #[inline]
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Total number of elements.
@@ -79,7 +134,7 @@ impl Tensor {
     /// Number of axes.
     #[inline]
     pub fn ndim(&self) -> usize {
-        self.shape.len()
+        self.shape.len as usize
     }
 
     /// Immutable view of the flat buffer.
@@ -95,8 +150,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Flat index of a multi-dimensional index.
@@ -106,9 +161,9 @@ impl Tensor {
     /// Panics if `idx` has the wrong rank or is out of bounds.
     #[inline]
     pub fn flat_index(&self, idx: &[usize]) -> usize {
-        debug_assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        debug_assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
         let mut flat = 0;
-        for (i, (&ix, &dim)) in idx.iter().zip(self.shape.iter()).enumerate() {
+        for (i, (&ix, &dim)) in idx.iter().zip(self.shape().iter()).enumerate() {
             debug_assert!(ix < dim, "index {ix} out of bounds for axis {i} with size {dim}");
             flat = flat * dim + ix;
         }
@@ -139,25 +194,28 @@ impl Tensor {
             numel,
             self.data.len(),
             "cannot reshape {:?} ({} elems) to {:?} ({} elems)",
-            self.shape,
+            self.shape(),
             self.data.len(),
             shape,
             numel
         );
-        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+        Tensor { data: scratch::copy_of(&self.data), shape: Shape::from_slice(shape) }
     }
 
     /// In-place reshape (no copy).
     pub fn reshape_in_place(mut self, shape: &[usize]) -> Tensor {
         let numel: usize = shape.iter().product();
         assert_eq!(numel, self.data.len(), "reshape element count mismatch");
-        self.shape = shape.to_vec();
+        self.shape = Shape::from_slice(shape);
         self
     }
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: scratch::collect_exact(self.data.len(), self.data.iter().map(|&x| f(x))),
+            shape: self.shape,
+        }
     }
 
     /// Elementwise map in place.
@@ -173,10 +231,13 @@ impl Tensor {
     ///
     /// Panics if shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip");
         Tensor {
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-            shape: self.shape.clone(),
+            data: scratch::collect_exact(
+                self.data.len(),
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)),
+            ),
+            shape: self.shape,
         }
     }
 
@@ -197,7 +258,7 @@ impl Tensor {
 
     /// Adds `other * scale` into `self` in place.
     pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
-        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_scaled");
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b * scale;
         }
@@ -244,7 +305,7 @@ impl Tensor {
 
     /// Euclidean distance to another tensor of the same shape.
     pub fn dist(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "shape mismatch in dist");
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in dist");
         self.data
             .iter()
             .zip(other.data.iter())
@@ -270,9 +331,12 @@ impl Tensor {
     /// Panics if the tensor is not 2-D or `i` is out of bounds.
     pub fn row(&self, i: usize) -> Tensor {
         assert_eq!(self.ndim(), 2, "row() requires a 2-D tensor");
-        let cols = self.shape[1];
-        assert!(i < self.shape[0], "row index out of bounds");
-        Tensor::from_vec(self.data[i * cols..(i + 1) * cols].to_vec(), &[cols])
+        let cols = self.shape.dims[1];
+        assert!(i < self.shape.dims[0], "row index out of bounds");
+        Tensor {
+            data: scratch::copy_of(&self.data[i * cols..(i + 1) * cols]),
+            shape: Shape::from_slice(&[cols]),
+        }
     }
 
     /// Stacks 1-D tensors of equal length into a 2-D `[n, len]` tensor.
@@ -283,12 +347,12 @@ impl Tensor {
     pub fn stack_rows(rows: &[Tensor]) -> Tensor {
         assert!(!rows.is_empty(), "cannot stack zero rows");
         let len = rows[0].numel();
-        let mut data = Vec::with_capacity(rows.len() * len);
+        let mut data = scratch::take_raw(rows.len() * len);
         for r in rows {
             assert_eq!(r.numel(), len, "row length mismatch in stack_rows");
             data.extend_from_slice(r.data());
         }
-        Tensor::from_vec(data, &[rows.len(), len])
+        Tensor { data, shape: Shape::from_slice(&[rows.len(), len]) }
     }
 
     /// Transposes a 2-D tensor.
@@ -298,14 +362,14 @@ impl Tensor {
     /// Panics if the tensor is not 2-D.
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "transpose() requires a 2-D tensor");
-        let (r, c) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; r * c];
+        let (r, c) = (self.shape.dims[0], self.shape.dims[1]);
+        let mut out = scratch::take_zeroed(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor::from_vec(out, &[c, r])
+        Tensor { data: out, shape: Shape::from_slice(&[c, r]) }
     }
 
     /// Clamps all elements into `[lo, hi]`, returning a new tensor.
@@ -316,7 +380,7 @@ impl Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor(shape={:?}", self.shape)?;
+        write!(f, "Tensor(shape={:?}", self.shape())?;
         if self.numel() <= 16 {
             write!(f, ", data={:?}", self.data)?;
         } else {
@@ -453,5 +517,29 @@ mod tests {
     fn mean_of_empty_is_zero() {
         let t = Tensor::zeros(&[0]);
         assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn into_vec_preserves_contents() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_axes_panics() {
+        let _ = Tensor::zeros(&[1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn dropped_buffers_are_recycled() {
+        // Force the pool to hand the same allocation back on a
+        // same-shape rebuild.
+        let t = Tensor::zeros(&[4096 + 13]);
+        let ptr = t.data().as_ptr();
+        drop(t);
+        let t2 = Tensor::zeros(&[4096 + 13]);
+        assert_eq!(t2.data().as_ptr(), ptr);
+        assert!(t2.data().iter().all(|&x| x == 0.0));
     }
 }

@@ -130,4 +130,30 @@ proptest! {
         let r = t.reshape(&[1, n]);
         prop_assert_eq!(t.sum(), r.sum());
     }
+
+    #[test]
+    fn fused_softmax_matches_two_pass_reference(rows in 1usize..8, cols in 1usize..12) {
+        let x = Tensor::from_vec(
+            (0..rows * cols).map(|i| (i as f32 * 0.7).sin() * 20.0).collect(),
+            &[rows, cols],
+        );
+        let got = softmax_rows(&x);
+        // The pre-fusion implementation: max pass, exp pass writing the
+        // output, then a separate divide pass — bit-for-bit.
+        let mut expect = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            let row = &x.data()[i * cols..(i + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                expect[i * cols + j] = e;
+                sum += e;
+            }
+            for v in &mut expect[i * cols..(i + 1) * cols] {
+                *v /= sum;
+            }
+        }
+        prop_assert_eq!(got.data(), &expect[..]);
+    }
 }

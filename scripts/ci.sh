@@ -16,4 +16,10 @@ cargo build --release --workspace --examples
 echo "==> cargo test -q"
 cargo test -q
 
+# The tensor backend must be bit-identical at any thread count; run the
+# suite once more with a 2-thread worker pool to catch regressions that
+# only show up when kernels actually fan out.
+echo "==> ODIN_THREADS=2 cargo test -q"
+ODIN_THREADS=2 cargo test -q
+
 echo "CI OK"
