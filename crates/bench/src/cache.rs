@@ -1,0 +1,119 @@
+//! Checksummed on-disk cache for trained model parameters.
+//!
+//! Earlier versions cached raw `f32` blobs validated only by byte
+//! length, so a torn write or bit rot silently loaded garbage weights.
+//! Cached parameters now live in the `odin-store` checkpoint container:
+//! magic + format version + per-section CRC, written atomically. A
+//! corrupt or stale cache is *reported and retrained*, never trusted.
+
+use std::path::Path;
+
+use odin_store::checkpoint::write_atomic;
+use odin_store::{Checkpoint, CheckpointBuilder, Decoder, Encoder};
+
+/// Section name for the flat parameter buffer.
+const PARAMS_SECTION: &str = "params";
+
+/// Loads a cached parameter buffer, validating container CRCs and the
+/// expected length. Returns `None` (with the reason on stderr) when the
+/// cache is absent, corrupt, or from a different model size — the
+/// caller retrains.
+pub fn load_params(path: &Path, expected_len: usize) -> Option<Vec<f32>> {
+    if !path.exists() {
+        return None;
+    }
+    let cp = match Checkpoint::read(path) {
+        Ok(cp) => cp,
+        Err(e) => {
+            eprintln!("warning: ignoring corrupt cache {}: {e}", path.display());
+            return None;
+        }
+    };
+    let section = match cp.require(PARAMS_SECTION) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("warning: ignoring malformed cache {}: {e}", path.display());
+            return None;
+        }
+    };
+    let mut dec = Decoder::new(section);
+    let params = match dec.take_f32s("cache params").and_then(|p| {
+        dec.finish("cache params")?;
+        Ok(p)
+    }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("warning: ignoring malformed cache {}: {e}", path.display());
+            return None;
+        }
+    };
+    if params.len() != expected_len {
+        eprintln!(
+            "warning: cache {} holds {} params, model expects {expected_len}; retraining",
+            path.display(),
+            params.len()
+        );
+        return None;
+    }
+    Some(params)
+}
+
+/// Stores a parameter buffer in the checksummed container, atomically
+/// (tmp + fsync + rename). Failures are warnings — the cache is an
+/// optimization, not a requirement.
+pub fn store_params(path: &Path, params: &[f32]) {
+    let mut enc = Encoder::new();
+    enc.put_f32s(params);
+    let mut builder = CheckpointBuilder::new();
+    builder.section(PARAMS_SECTION, enc.into_bytes());
+    if let Err(e) = write_atomic(path, &builder.to_bytes()) {
+        eprintln!("warning: could not cache params to {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("odin-bench-cache-{}-{name}.odst", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let path = scratch("roundtrip");
+        let params: Vec<f32> = (0..513).map(|i| (i as f32 * 0.917).sin()).collect();
+        store_params(&path, &params);
+        let back = load_params(&path, params.len()).expect("cache readable");
+        let a: Vec<u32> = params.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let path = scratch("wrong-len");
+        store_params(&path, &[1.0, 2.0, 3.0]);
+        assert!(load_params(&path, 4).is_none(), "length mismatch must invalidate");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let path = scratch("corrupt");
+        store_params(&path, &[5.0; 64]);
+        let mut bytes = std::fs::read(&path).expect("read cache");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("corrupt cache");
+        assert!(load_params(&path, 64).is_none(), "bit flip must invalidate");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert!(load_params(Path::new("/nonexistent/cache.odst"), 8).is_none());
+    }
+}

@@ -18,6 +18,7 @@
 //! | `fig9_end_to_end` | Figure 9 (end-to-end stream) |
 //! | `table6_aggregation` | Table 6 (aggregation queries) |
 //! | `table7_ablation` | Table 7 (ablation) |
+//! | `startup_latency` | cold-bootstrap vs warm-restore startup |
 //!
 //! Every binary accepts `--seed <u64>` and `--scale <f32>` (dataset-size
 //! multiplier; 1.0 = the defaults used in EXPERIMENTS.md) and writes its
@@ -26,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod report;
 pub mod workloads;
 

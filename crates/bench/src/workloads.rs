@@ -85,35 +85,21 @@ pub fn pretrained_teacher_on(args: &Args, subset: Subset) -> Detector {
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x7EAC);
     let mut model = Detector::heavy(48, &mut rng);
     let cache = args.out_dir.join("cache").join(format!(
-        "teacher_{}_{}_{}.f32",
+        "teacher_{}_{}_{}.odst",
         args.seed,
         iters,
         subset.label()
     ));
-    if let Ok(bytes) = std::fs::read(&cache) {
-        if bytes.len() == model.export_len() * 4 {
-            let flat: Vec<f32> = bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect();
-            model.import_params(&flat);
-            eprintln!("loaded cached teacher from {}", cache.display());
-            return model;
-        }
+    if let Some(flat) = crate::cache::load_params(&cache, model.export_len()) {
+        model.import_params(&flat);
+        eprintln!("loaded cached teacher from {}", cache.display());
+        return model;
     }
     let gen = SceneGen::default();
     let frames = gen.subset_frames(&mut rng, subset, args.scaled(400, 80));
     eprintln!("pre-training heavyweight teacher on {} ({iters} iters)...", subset.label());
     model.train_oracle(&mut rng, &frames, iters, 8);
-    let mut bytes = Vec::with_capacity(model.export_len() * 4);
-    for v in model.export_params() {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    if std::fs::create_dir_all(cache.parent().expect("cache has a parent")).is_ok() {
-        if let Err(e) = std::fs::write(&cache, bytes) {
-            eprintln!("warning: could not cache teacher: {e}");
-        }
-    }
+    crate::cache::store_params(&cache, &model.export_params());
     model
 }
 
@@ -126,20 +112,14 @@ pub fn bdd_dagan(args: &Args) -> odin_gan::DaGan {
     let cfg = DaGanConfig::bdd();
     let mut model = DaGan::new(cfg, &mut rng);
     let cache = args.out_dir.join("cache").join(format!(
-        "dagan_bdd_{}_{}.f32",
+        "dagan_bdd_{}_{}.odst",
         args.seed,
         args.scaled(DAGAN_ITERS, 100)
     ));
-    if let Ok(bytes) = std::fs::read(&cache) {
-        if bytes.len() == model.export_len() * 4 {
-            let flat: Vec<f32> = bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect();
-            model.import_params(&flat);
-            eprintln!("loaded cached DA-GAN from {}", cache.display());
-            return model;
-        }
+    if let Some(flat) = crate::cache::load_params(&cache, model.export_len()) {
+        model.import_params(&flat);
+        eprintln!("loaded cached DA-GAN from {}", cache.display());
+        return model;
     }
     let gen = SceneGen::default();
     let held_out: Vec<odin_data::Image> = gen
@@ -149,15 +129,7 @@ pub fn bdd_dagan(args: &Args) -> odin_gan::DaGan {
         .collect();
     eprintln!("training BDD DA-GAN ({} iterations)...", args.scaled(DAGAN_ITERS, 100));
     model.train(&mut rng, &held_out, args.scaled(DAGAN_ITERS, 100), 8);
-    let mut bytes = Vec::with_capacity(model.export_len() * 4);
-    for v in model.export_params() {
-        bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    if std::fs::create_dir_all(cache.parent().expect("cache has a parent")).is_ok() {
-        if let Err(e) = std::fs::write(&cache, bytes) {
-            eprintln!("warning: could not cache DA-GAN: {e}");
-        }
-    }
+    crate::cache::store_params(&cache, &model.export_params());
     model
 }
 

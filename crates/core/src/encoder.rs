@@ -7,8 +7,30 @@
 //! "is a learned projection even necessary?" ablation.
 
 use odin_data::Image;
-use odin_gan::DaGan;
+use odin_gan::{DaGan, DaGanConfig};
 use odin_tensor::Tensor;
+
+/// A serializable description of an encoder's full state, produced by
+/// [`LatentEncoder::snapshot`] for pipeline checkpoints. Custom encoders
+/// that keep no state beyond what a constructor rebuilds should return
+/// [`EncoderSnapshot::Unsupported`] (the default), which makes
+/// `Odin::checkpoint` fail with a clear reason instead of silently
+/// writing an unrestorable file.
+pub enum EncoderSnapshot {
+    /// The stateless [`HistogramEncoder`].
+    Histogram,
+    /// A [`DaGanEncoder`]: the DA-GAN's configuration plus its flat
+    /// parameter buffer ([`DaGan::export_params`]).
+    DaGan {
+        /// Architecture configuration the model was built with.
+        cfg: DaGanConfig,
+        /// Flat parameter buffer (all four component networks).
+        params: Vec<f32>,
+    },
+    /// The encoder cannot be snapshotted; carries its name for the
+    /// error message.
+    Unsupported(&'static str),
+}
 
 /// Anything that can project an image to a latent vector.
 pub trait LatentEncoder: Send {
@@ -25,6 +47,12 @@ pub trait LatentEncoder: Send {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serializable state for pipeline checkpoints. Defaults to
+    /// [`EncoderSnapshot::Unsupported`].
+    fn snapshot(&self) -> EncoderSnapshot {
+        EncoderSnapshot::Unsupported(self.name())
+    }
 }
 
 /// The paper's projection: a trained DA-GAN encoder.
@@ -64,6 +92,10 @@ impl LatentEncoder for DaGanEncoder {
 
     fn name(&self) -> &'static str {
         "da-gan"
+    }
+
+    fn snapshot(&self) -> EncoderSnapshot {
+        EncoderSnapshot::DaGan { cfg: *self.model.config(), params: self.model.export_params() }
     }
 }
 
@@ -123,6 +155,10 @@ impl LatentEncoder for HistogramEncoder {
 
     fn name(&self) -> &'static str {
         "histogram"
+    }
+
+    fn snapshot(&self) -> EncoderSnapshot {
+        EncoderSnapshot::Histogram
     }
 }
 

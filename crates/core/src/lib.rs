@@ -17,7 +17,10 @@
 //! * [`query`] / [`filter`] — aggregation queries and the lightweight
 //!   per-cluster filters of §6.6 (ODIN-PP / ODIN-FILTER),
 //! * [`metrics`] — windowed stream evaluation (Figure 9) and
-//!   pipeline-stage counters.
+//!   pipeline-stage counters,
+//! * [`store`] — crash-safe persistence glue: full-pipeline checkpoints
+//!   ([`pipeline::Odin::checkpoint`] / [`pipeline::Odin::restore`]) and
+//!   the drift-event WAL ([`pipeline::Odin::enable_store`]).
 //!
 //! ## Quick example
 //!
@@ -56,9 +59,10 @@ pub mod query;
 pub mod registry;
 pub mod selector;
 pub mod specializer;
+pub mod store;
 pub mod training;
 
-pub use encoder::{DaGanEncoder, HistogramEncoder, LatentEncoder};
+pub use encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 pub use filter::BinaryFilter;
 pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};
 pub use pipeline::{FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy};
@@ -66,4 +70,5 @@ pub use query::{count_accuracy, CountQuery};
 pub use registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 pub use selector::{select, Selection, SelectionPolicy};
 pub use specializer::{Specializer, SpecializerConfig};
+pub use store::{CheckpointPolicy, SNAPSHOT_FILE, WAL_FILE};
 pub use training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};

@@ -31,6 +31,11 @@ pub struct PipelineStats {
     /// gap) while their own cluster's model was still collecting data,
     /// queued, or training.
     pub fallback_frames_while_pending: u64,
+    /// Snapshots handed to the background writer (manual checkpoints and
+    /// policy-triggered ones both count).
+    pub snapshots_written: u64,
+    /// Records appended to the drift-event WAL.
+    pub wal_events_logged: u64,
 }
 
 /// One point on the accuracy-over-time curve of Figure 9.

@@ -13,17 +13,27 @@
 //! either inline or on background workers — see [`crate::training`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::Arc;
 
 use odin_data::{Frame, GtBox};
 use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
 use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
+use odin_store::checkpoint::write_atomic;
+use odin_store::{read_wal, Checkpoint, CheckpointBuilder, Decoder, Encoder, Persist, StoreError};
 
 use crate::encoder::LatentEncoder;
 use crate::metrics::PipelineStats;
 use crate::registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 use crate::selector::{select, Selection, SelectionPolicy};
 use crate::specializer::{Specializer, SpecializerConfig};
+use crate::store::{
+    decode_wal_event, encode_drift, encode_evict, encode_install, persist_detector,
+    persist_encoder, persist_frames, persist_registry_models, persist_retained_jobs,
+    restore_detector, restore_encoder, restore_frames, restore_registry_models,
+    restore_retained_jobs, section, CheckpointPolicy, PipelineStore, RetainedJob, WalEvent,
+    SNAPSHOT_FILE, WAL_FILE,
+};
 use crate::training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
 
 /// Frames encoded per [`LatentEncoder::project_batch`] call by the
@@ -141,7 +151,14 @@ pub struct Odin {
     /// Clusters whose training job is queued or running in the
     /// background pool.
     training_pending: BTreeSet<usize>,
+    /// Inputs of queued/running background jobs, retained until install
+    /// so a checkpoint can carry them across a restart (the job seed
+    /// makes the re-trained model bit-identical).
+    inflight: BTreeMap<usize, RetainedJob>,
     pool: Option<TrainingPool>,
+    /// Live persistence runtime ([`Odin::enable_store`]): WAL appender,
+    /// background snapshot writer, and the snapshot policy.
+    store: Option<PipelineStore>,
     stats: PipelineStats,
     cfg: OdinConfig,
     seed: u64,
@@ -174,7 +191,9 @@ impl Odin {
             temp_frames: Vec::new(),
             pending: BTreeMap::new(),
             training_pending: BTreeSet::new(),
+            inflight: BTreeMap::new(),
             pool,
+            store: None,
             stats: PipelineStats::default(),
             cfg,
             seed,
@@ -268,13 +287,27 @@ impl Odin {
             }
         }
         if let Some(event) = obs.promoted {
+            // Log the promotion (with the full new-cluster state) before
+            // any consequence of it, mirroring the live apply order.
+            if self.store.is_some() {
+                let payload =
+                    self.manager.cluster(event.cluster_id).map(|c| encode_drift(event, c));
+                if let Some(p) = payload {
+                    self.wal_append(&p);
+                }
+            }
             let seed_frames = std::mem::take(&mut self.temp_frames);
             self.pending.insert(event.cluster_id, seed_frames);
             self.try_train(event.cluster_id);
             if let Some(evicted) = obs.evicted {
+                if self.store.is_some() {
+                    let p = encode_evict(evicted);
+                    self.wal_append(&p);
+                }
                 self.registry.write().remove(evicted);
                 self.pending.remove(&evicted);
                 self.training_pending.remove(&evicted);
+                self.inflight.remove(&evicted);
             }
         }
         IngestOutcome {
@@ -320,6 +353,8 @@ impl Odin {
             }
         }
 
+        self.maybe_snapshot(outcome.drift.is_some());
+
         FrameResult {
             detections,
             assignment: outcome.assignment,
@@ -360,8 +395,9 @@ impl Odin {
                 self.install(TrainedModel { cluster_id, detector, kind, wall_ms });
             }
             Some(pool) => {
-                pool.submit(TrainJob { cluster_id, seed, kind, frames });
+                pool.submit(TrainJob { cluster_id, seed, kind, frames: frames.clone() });
                 self.training_pending.insert(cluster_id);
+                self.inflight.insert(cluster_id, RetainedJob { seed, kind, frames });
             }
         }
     }
@@ -370,9 +406,14 @@ impl Odin {
     /// the model was training.
     fn install(&mut self, model: TrainedModel) {
         self.training_pending.remove(&model.cluster_id);
+        self.inflight.remove(&model.cluster_id);
         self.stats.train_wall_ms += model.wall_ms;
         if self.manager.cluster(model.cluster_id).is_none() {
             return; // evicted mid-training; drop the orphan model
+        }
+        if self.store.is_some() {
+            let p = encode_install(model.cluster_id, model.kind, &model.detector);
+            self.wal_append(&p);
         }
         self.registry
             .write()
@@ -499,9 +540,11 @@ impl Odin {
             let latents = self.encoder.project_batch(&images);
             for (f, z) in chunk.iter().zip(latents) {
                 let outcome = self.ingest_with_latent(f, z);
+                let drifted = outcome.drift.is_some();
                 if let Some(event) = outcome.drift {
                     promoted.push(event.cluster_id);
                 }
+                self.maybe_snapshot(drifted);
             }
         }
         self.finish_training();
@@ -512,6 +555,302 @@ impl Odin {
     /// analyses such as Table 2's cluster crosstab).
     pub fn project(&mut self, frame: &Frame) -> Vec<f32> {
         self.encoder.project(&frame.image)
+    }
+
+    // -- Persistence ---------------------------------------------------
+
+    /// Serializes the full pipeline state into the sectioned,
+    /// checksummed `odin-store` checkpoint container. `last_wal_seq`
+    /// records which WAL records the snapshot already covers.
+    fn snapshot_bytes(&self, last_wal_seq: u64) -> Result<Vec<u8>, StoreError> {
+        let mut builder = CheckpointBuilder::new();
+
+        let mut enc = Encoder::new();
+        enc.put_u64(self.seed);
+        enc.put_u64(self.model_seq);
+        enc.put_u64(last_wal_seq);
+        builder.section(section::META, enc.into_bytes());
+
+        builder.section(section::CONFIG, self.cfg.to_store_bytes());
+
+        let mut enc = Encoder::new();
+        persist_encoder(&self.encoder.snapshot(), &mut enc)?;
+        builder.section(section::ENCODER, enc.into_bytes());
+
+        let mut enc = Encoder::new();
+        persist_detector(&self.teacher, &mut enc);
+        builder.section(section::TEACHER, enc.into_bytes());
+
+        builder.section(section::MANAGER, self.manager.to_store_bytes());
+
+        let mut enc = Encoder::new();
+        {
+            let registry = self.registry.read();
+            let mut models = Vec::with_capacity(registry.len());
+            for id in registry.ids() {
+                let m = registry.get(id).expect("id came from ids()");
+                models.push((id, m.kind, &m.detector));
+            }
+            persist_registry_models(&models, &mut enc);
+        }
+        builder.section(section::REGISTRY, enc.into_bytes());
+
+        let mut enc = Encoder::new();
+        persist_frames(&self.temp_frames, &mut enc);
+        enc.put_usize(self.pending.len());
+        for (id, frames) in &self.pending {
+            enc.put_usize(*id);
+            persist_frames(frames, &mut enc);
+        }
+        persist_retained_jobs(&self.inflight, &mut enc);
+        builder.section(section::FRAMES, enc.into_bytes());
+
+        builder.section(section::STATS, self.stats.to_store_bytes());
+
+        Ok(builder.to_bytes())
+    }
+
+    /// Writes a full checkpoint to `path`, atomically (tmp + fsync +
+    /// rename): a crash mid-write never destroys a previous checkpoint
+    /// at the same path.
+    ///
+    /// Fails when the configured encoder does not support snapshots
+    /// (see [`crate::encoder::EncoderSnapshot`]).
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), StoreError> {
+        let last = self.store.as_ref().map(|s| s.wal.last_seq()).unwrap_or(0);
+        let bytes = self.snapshot_bytes(last)?;
+        write_atomic(path, &bytes)?;
+        self.stats.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Rebuilds a pipeline from a checkpoint file. The restored instance
+    /// is bit-identical to the one that wrote it: same cluster state,
+    /// same model weights (same `ServedBy` decisions on the same
+    /// stream), same `memory_bytes`. Background training jobs that were
+    /// queued or running at checkpoint time are re-submitted from their
+    /// retained inputs with their original seeds (or trained inline when
+    /// restored into [`TrainingMode::Inline`]).
+    ///
+    /// Corruption, truncation, version mismatch, and malformed payloads
+    /// all surface as [`StoreError`] — never a panic — so callers can
+    /// fall back to a cold bootstrap ([`Odin::restore_or_else`]).
+    pub fn restore(path: &Path) -> Result<Self, StoreError> {
+        let cp = Checkpoint::read(path)?;
+        let (odin, _) = Self::from_checkpoint(&cp)?;
+        Ok(odin)
+    }
+
+    /// [`Odin::restore`], falling back to `cold_bootstrap()` with the
+    /// failure reason logged to stderr when the checkpoint is missing,
+    /// corrupt, or from an unsupported format version.
+    pub fn restore_or_else(path: &Path, cold_bootstrap: impl FnOnce() -> Self) -> Self {
+        match Self::restore(path) {
+            Ok(odin) => odin,
+            Err(e) => {
+                eprintln!("odin-store: cold bootstrap: cannot restore {}: {e}", path.display());
+                cold_bootstrap()
+            }
+        }
+    }
+
+    /// Restores from a store *directory* (as populated by
+    /// [`Odin::enable_store`]): loads `snapshot.odst`, then replays
+    /// every WAL record newer than the snapshot — promotions (with full
+    /// cluster state), evictions, and model installs (with full
+    /// weights). The WAL recovers *learned* state; transient frame
+    /// buffers refill from the stream.
+    ///
+    /// The returned instance has no store attached; call
+    /// [`Odin::enable_store`] on it to resume logging.
+    pub fn restore_from_dir(dir: &Path) -> Result<Self, StoreError> {
+        let cp = Checkpoint::read(&dir.join(SNAPSHOT_FILE))?;
+        let (mut odin, last_seq) = Self::from_checkpoint(&cp)?;
+        let wal = read_wal(&dir.join(WAL_FILE))?;
+        for rec in wal.records.iter().filter(|r| r.seq > last_seq) {
+            let event = decode_wal_event(&rec.payload)?;
+            odin.apply_wal_event(event);
+        }
+        Ok(odin)
+    }
+
+    fn from_checkpoint(cp: &Checkpoint) -> Result<(Self, u64), StoreError> {
+        let mut dec = Decoder::new(cp.require(section::META)?);
+        let seed = dec.take_u64("meta.seed")?;
+        let model_seq = dec.take_u64("meta.model_seq")?;
+        let last_wal_seq = dec.take_u64("meta.last_wal_seq")?;
+        dec.finish("meta")?;
+
+        let cfg = OdinConfig::from_store_bytes(cp.require(section::CONFIG)?, "config")?;
+
+        let mut dec = Decoder::new(cp.require(section::ENCODER)?);
+        let encoder = restore_encoder(&mut dec)?;
+        dec.finish("encoder")?;
+
+        let mut dec = Decoder::new(cp.require(section::TEACHER)?);
+        let teacher = restore_detector(&mut dec)?;
+        dec.finish("teacher")?;
+
+        let manager = ClusterManager::from_store_bytes(cp.require(section::MANAGER)?, "manager")?;
+
+        let mut dec = Decoder::new(cp.require(section::REGISTRY)?);
+        let models = restore_registry_models(&mut dec)?;
+        dec.finish("registry")?;
+
+        let mut dec = Decoder::new(cp.require(section::FRAMES)?);
+        let temp_frames = restore_frames(&mut dec)?;
+        let n_pending = dec.take_usize("pending len")?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..n_pending {
+            let id = dec.take_usize("pending id")?;
+            pending.insert(id, restore_frames(&mut dec)?);
+        }
+        let inflight = restore_retained_jobs(&mut dec)?;
+        dec.finish("frames")?;
+
+        let stats = PipelineStats::from_store_bytes(cp.require(section::STATS)?, "stats")?;
+
+        let mut odin = Odin::new(encoder, teacher, cfg, seed);
+        odin.manager = manager;
+        odin.model_seq = model_seq;
+        odin.stats = stats;
+        odin.temp_frames = temp_frames;
+        odin.pending = pending;
+        {
+            let mut registry = odin.registry.write();
+            for (id, kind, detector) in models {
+                registry.insert(id, ClusterModel { detector, kind });
+            }
+        }
+        odin.resubmit_inflight(inflight);
+        Ok((odin, last_wal_seq))
+    }
+
+    /// Re-schedules training jobs that were in flight at checkpoint
+    /// time. Their original seeds are reused, so the resulting weights
+    /// are bit-identical to what the checkpointed process would have
+    /// produced; `jobs_submitted` is *not* re-incremented (the original
+    /// submission already counted).
+    fn resubmit_inflight(&mut self, inflight: BTreeMap<usize, RetainedJob>) {
+        for (cluster_id, job) in inflight {
+            match &self.pool {
+                Some(pool) => {
+                    pool.submit(TrainJob {
+                        cluster_id,
+                        seed: job.seed,
+                        kind: job.kind,
+                        frames: job.frames.clone(),
+                    });
+                    self.training_pending.insert(cluster_id);
+                    self.inflight.insert(cluster_id, job);
+                }
+                None => {
+                    let t0 = std::time::Instant::now();
+                    let detector = match job.kind {
+                        ModelKind::Specialized => {
+                            self.specializer.build_specialized(job.seed, &job.frames)
+                        }
+                        ModelKind::Lite => {
+                            self.specializer.build_lite(job.seed, &self.teacher, &job.frames)
+                        }
+                    };
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    self.install(TrainedModel { cluster_id, detector, kind: job.kind, wall_ms });
+                }
+            }
+        }
+    }
+
+    /// Applies one replayed WAL record. Replay converges the *learned*
+    /// state (clusters and models) to what the crashed process had;
+    /// seq-ordering in the WAL reproduces the live apply order.
+    fn apply_wal_event(&mut self, event: WalEvent) {
+        match event {
+            WalEvent::Drift { event, cluster } => {
+                self.manager.apply_promotion(cluster, event.at);
+            }
+            WalEvent::Evict { cluster_id } => {
+                self.manager.apply_eviction(cluster_id);
+                self.registry.write().remove(cluster_id);
+                self.pending.remove(&cluster_id);
+                self.training_pending.remove(&cluster_id);
+                self.inflight.remove(&cluster_id);
+            }
+            WalEvent::Install { cluster_id, kind, detector } => {
+                if self.manager.cluster(cluster_id).is_some() {
+                    self.registry.write().insert(cluster_id, ClusterModel { detector, kind });
+                    self.pending.remove(&cluster_id);
+                    self.training_pending.remove(&cluster_id);
+                    self.inflight.remove(&cluster_id);
+                }
+            }
+        }
+    }
+
+    /// Attaches a persistence runtime: every drift event, eviction, and
+    /// model install is appended (and fsynced) to `dir/events.wal`, and
+    /// `policy` controls automatic snapshots to `dir/snapshot.odst`
+    /// (built synchronously at the frame boundary, written atomically by
+    /// a background thread — the serving path never blocks on disk).
+    /// Recover later with [`Odin::restore_from_dir`].
+    pub fn enable_store(&mut self, dir: &Path, policy: CheckpointPolicy) -> Result<(), StoreError> {
+        self.store = Some(PipelineStore::open(dir, policy)?);
+        Ok(())
+    }
+
+    /// Blocks until every queued background snapshot write has landed
+    /// and the WAL is durable. Call before process exit (or before
+    /// inspecting the store directory in tests).
+    pub fn flush_store(&mut self) {
+        if let Some(store) = self.store.as_mut() {
+            if let Err(e) = store.wal.sync() {
+                eprintln!("odin-store: WAL sync failed: {e}");
+            }
+            store.writer.flush();
+        }
+    }
+
+    /// Number of background snapshot writes that failed (0 when healthy
+    /// or when no store is attached).
+    pub fn store_write_failures(&self) -> u64 {
+        self.store.as_ref().map(|s| s.writer.failures()).unwrap_or(0)
+    }
+
+    fn wal_append(&mut self, payload: &[u8]) {
+        let Some(store) = self.store.as_mut() else { return };
+        match store.wal.append(payload).and_then(|_| store.wal.sync()) {
+            Ok(()) => self.stats.wal_events_logged += 1,
+            Err(e) => eprintln!("odin-store: WAL append failed: {e}"),
+        }
+    }
+
+    /// Runs the snapshot policy at a frame boundary; when due, builds
+    /// the snapshot synchronously (consistency) and hands the bytes to
+    /// the background writer (latency).
+    fn maybe_snapshot(&mut self, drifted: bool) {
+        let Some(store) = self.store.as_mut() else { return };
+        store.frames_since_snapshot += 1;
+        let due = match store.policy {
+            CheckpointPolicy::Manual => false,
+            CheckpointPolicy::EveryNFrames(n) => store.frames_since_snapshot >= n.max(1),
+            CheckpointPolicy::OnDrift => drifted,
+        };
+        if !due {
+            return;
+        }
+        let last = store.wal.last_seq();
+        let path = store.snapshot_path();
+        let bytes = match self.snapshot_bytes(last) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("odin-store: snapshot skipped: {e}");
+                return;
+            }
+        };
+        let store = self.store.as_mut().expect("store checked above");
+        store.frames_since_snapshot = 0;
+        store.writer.submit(path, bytes);
+        self.stats.snapshots_written += 1;
     }
 }
 

@@ -1,0 +1,773 @@
+//! Whole-pipeline persistence: the glue between [`crate::pipeline::Odin`]
+//! and the `odin-store` container formats.
+//!
+//! A checkpoint is a sectioned [`odin_store::Checkpoint`] holding the
+//! complete pipeline state — configuration, encoder weights, teacher,
+//! cluster manager (centroids, Δ-bands, KL histograms), the model
+//! registry (lite/specialized detector weights), frame buffers, and
+//! in-flight training jobs — enough to rebuild a bit-identical `Odin`
+//! with [`crate::pipeline::Odin::restore`].
+//!
+//! The drift-event WAL complements snapshots: every promotion, eviction,
+//! and model install is appended (with the full promoted-cluster /
+//! installed-model state), so a restart can replay events newer than the
+//! last snapshot instead of re-learning them. Frame buffers are *not* in
+//! the WAL — replay recovers learned state; transient buffers refill
+//! from the stream.
+//!
+//! Everything here is little-endian and hand-coded via
+//! [`odin_store::codec`]; the vendored serde has no serializer backend.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use odin_data::{Condition, Frame, GtBox, Image, Location, ObjectClass, TimeOfDay, Weather};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::{Cluster, DriftEvent, ManagerConfig};
+use odin_gan::{DaGan, DaGanConfig};
+use odin_store::checkpoint::write_atomic;
+use odin_store::{Decoder, Encoder, Persist, StoreError, WalWriter};
+use odin_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
+use crate::metrics::PipelineStats;
+use crate::pipeline::{OdinConfig, OracleLabels};
+use crate::registry::ModelKind;
+use crate::selector::SelectionPolicy;
+use crate::specializer::SpecializerConfig;
+use crate::training::TrainingMode;
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.odst";
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "events.wal";
+
+/// Checkpoint section names.
+pub(crate) mod section {
+    pub const META: &str = "meta";
+    pub const CONFIG: &str = "config";
+    pub const ENCODER: &str = "encoder";
+    pub const TEACHER: &str = "teacher";
+    pub const MANAGER: &str = "manager";
+    pub const REGISTRY: &str = "registry";
+    pub const FRAMES: &str = "frames";
+    pub const STATS: &str = "stats";
+}
+
+/// When the pipeline writes snapshots on its own (once
+/// [`crate::pipeline::Odin::enable_store`] is active). Manual
+/// checkpoints via [`crate::pipeline::Odin::checkpoint`] always work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never snapshot automatically; the WAL still records every event.
+    Manual,
+    /// Snapshot after every `N` processed frames.
+    EveryNFrames(usize),
+    /// Snapshot at the frame boundary after each drift event.
+    OnDrift,
+}
+
+/// A copy of a training job's inputs, retained from submission until its
+/// model installs so a checkpoint can carry queued/running work across a
+/// restart (the job seed makes the rebuilt model bit-identical).
+pub(crate) struct RetainedJob {
+    pub seed: u64,
+    pub kind: ModelKind,
+    pub frames: Vec<Frame>,
+}
+
+// ---------------------------------------------------------------------
+// Codecs for foreign types (orphan rule keeps these as free functions).
+// ---------------------------------------------------------------------
+
+fn enum_pos<T: PartialEq + Copy>(all: &[T], v: T, context: &'static str) -> u8 {
+    all.iter().position(|x| *x == v).unwrap_or_else(|| panic!("{context}: variant not in ALL"))
+        as u8
+}
+
+fn enum_at<T: Copy>(all: &[T], i: u8, context: &'static str) -> Result<T, StoreError> {
+    all.get(i as usize).copied().ok_or(StoreError::Malformed { context })
+}
+
+pub(crate) fn persist_image(img: &Image, enc: &mut Encoder) {
+    enc.put_usize(img.channels());
+    enc.put_usize(img.height());
+    enc.put_usize(img.width());
+    enc.put_f32s(img.data());
+}
+
+pub(crate) fn restore_image(dec: &mut Decoder<'_>) -> Result<Image, StoreError> {
+    let c = dec.take_usize("Image.channels")?;
+    let h = dec.take_usize("Image.height")?;
+    let w = dec.take_usize("Image.width")?;
+    let data = dec.take_f32s("Image.data")?;
+    if !(c == 1 || c == 3) || data.len() != c * h * w {
+        return Err(StoreError::Malformed { context: "Image shape" });
+    }
+    // Pixels are clamped to [0,1] at every write, so the clamp inside
+    // from_tensor is the identity and the roundtrip is bit-exact.
+    Ok(Image::from_tensor(&Tensor::from_vec(data, &[c, h, w])))
+}
+
+pub(crate) fn persist_frame(frame: &Frame, enc: &mut Encoder) {
+    persist_image(&frame.image, enc);
+    enc.put_usize(frame.boxes.len());
+    for b in &frame.boxes {
+        enc.put_u8(b.class.index() as u8);
+        enc.put_f32(b.x);
+        enc.put_f32(b.y);
+        enc.put_f32(b.w);
+        enc.put_f32(b.h);
+    }
+    enc.put_u8(enum_pos(&Weather::ALL, frame.cond.weather, "Weather"));
+    enc.put_u8(enum_pos(&TimeOfDay::ALL, frame.cond.time, "TimeOfDay"));
+    enc.put_u8(enum_pos(&Location::ALL, frame.cond.location, "Location"));
+}
+
+pub(crate) fn restore_frame(dec: &mut Decoder<'_>) -> Result<Frame, StoreError> {
+    let image = restore_image(dec)?;
+    let n = dec.take_usize("Frame.boxes len")?;
+    let mut boxes = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let ci = dec.take_u8("GtBox.class")?;
+        let class = enum_at(&ObjectClass::ALL, ci, "GtBox.class")?;
+        boxes.push(GtBox {
+            class,
+            x: dec.take_f32("GtBox.x")?,
+            y: dec.take_f32("GtBox.y")?,
+            w: dec.take_f32("GtBox.w")?,
+            h: dec.take_f32("GtBox.h")?,
+        });
+    }
+    let weather = enum_at(&Weather::ALL, dec.take_u8("Condition.weather")?, "Condition.weather")?;
+    let time = enum_at(&TimeOfDay::ALL, dec.take_u8("Condition.time")?, "Condition.time")?;
+    let location =
+        enum_at(&Location::ALL, dec.take_u8("Condition.location")?, "Condition.location")?;
+    let mut cond = Condition::new(weather, time);
+    cond.location = location;
+    Ok(Frame { image, boxes, cond })
+}
+
+pub(crate) fn persist_frames(frames: &[Frame], enc: &mut Encoder) {
+    enc.put_usize(frames.len());
+    for f in frames {
+        persist_frame(f, enc);
+    }
+}
+
+pub(crate) fn restore_frames(dec: &mut Decoder<'_>) -> Result<Vec<Frame>, StoreError> {
+    let n = dec.take_usize("frames len")?;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        out.push(restore_frame(dec)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn persist_detector(d: &Detector, enc: &mut Encoder) {
+    enc.put_u8(match d.arch() {
+        DetectorArch::Heavy => 0,
+        DetectorArch::Small => 1,
+    });
+    enc.put_usize(d.input_size());
+    enc.put_f32(d.conf_threshold);
+    enc.put_f32s(&d.export_params());
+}
+
+pub(crate) fn restore_detector(dec: &mut Decoder<'_>) -> Result<Detector, StoreError> {
+    let arch = match dec.take_u8("Detector.arch")? {
+        0 => DetectorArch::Heavy,
+        1 => DetectorArch::Small,
+        _ => return Err(StoreError::Malformed { context: "Detector.arch tag" }),
+    };
+    let size = dec.take_usize("Detector.input_size")?;
+    if size == 0 || !size.is_multiple_of(8) {
+        return Err(StoreError::Malformed { context: "Detector.input_size" });
+    }
+    let conf = dec.take_f32("Detector.conf_threshold")?;
+    let params = dec.take_f32s("Detector.params")?;
+    // The constructor's random init is immediately overwritten by the
+    // imported parameters; the seed is arbitrary.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut d = match arch {
+        DetectorArch::Heavy => Detector::heavy(size, &mut rng),
+        DetectorArch::Small => Detector::small(size, &mut rng),
+    };
+    if params.len() != d.export_len() {
+        return Err(StoreError::Malformed { context: "Detector.params length" });
+    }
+    d.import_params(&params);
+    d.conf_threshold = conf;
+    Ok(d)
+}
+
+fn persist_model_kind(kind: ModelKind, enc: &mut Encoder) {
+    enc.put_u8(match kind {
+        ModelKind::Lite => 0,
+        ModelKind::Specialized => 1,
+    });
+}
+
+fn restore_model_kind(dec: &mut Decoder<'_>) -> Result<ModelKind, StoreError> {
+    match dec.take_u8("ModelKind")? {
+        0 => Ok(ModelKind::Lite),
+        1 => Ok(ModelKind::Specialized),
+        _ => Err(StoreError::Malformed { context: "ModelKind tag" }),
+    }
+}
+
+fn persist_dagan_config(cfg: &DaGanConfig, enc: &mut Encoder) {
+    enc.put_usize(cfg.channels);
+    enc.put_usize(cfg.size);
+    enc.put_usize(cfg.latent);
+    enc.put_usize(cfg.width);
+    enc.put_f32(cfg.lr);
+    enc.put_f32(cfg.lambda_r);
+    enc.put_f32(cfg.denoise_std);
+}
+
+fn restore_dagan_config(dec: &mut Decoder<'_>) -> Result<DaGanConfig, StoreError> {
+    let cfg = DaGanConfig {
+        channels: dec.take_usize("DaGanConfig.channels")?,
+        size: dec.take_usize("DaGanConfig.size")?,
+        latent: dec.take_usize("DaGanConfig.latent")?,
+        width: dec.take_usize("DaGanConfig.width")?,
+        lr: dec.take_f32("DaGanConfig.lr")?,
+        lambda_r: dec.take_f32("DaGanConfig.lambda_r")?,
+        denoise_std: dec.take_f32("DaGanConfig.denoise_std")?,
+    };
+    if cfg.size == 0
+        || !cfg.size.is_multiple_of(8)
+        || cfg.latent == 0
+        || cfg.width == 0
+        || cfg.channels == 0
+    {
+        return Err(StoreError::Malformed { context: "DaGanConfig invariants" });
+    }
+    Ok(cfg)
+}
+
+/// Encodes an encoder snapshot. Fails (with the encoder's name in the
+/// context) when the encoder does not support snapshotting.
+pub(crate) fn persist_encoder(
+    snapshot: &EncoderSnapshot,
+    enc: &mut Encoder,
+) -> Result<(), StoreError> {
+    match snapshot {
+        EncoderSnapshot::Histogram => enc.put_u8(0),
+        EncoderSnapshot::DaGan { cfg, params } => {
+            enc.put_u8(1);
+            persist_dagan_config(cfg, enc);
+            enc.put_f32s(params);
+        }
+        EncoderSnapshot::Unsupported(_) => {
+            return Err(StoreError::Malformed { context: "encoder does not support snapshots" })
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds a boxed encoder from its snapshot encoding.
+pub(crate) fn restore_encoder(dec: &mut Decoder<'_>) -> Result<Box<dyn LatentEncoder>, StoreError> {
+    match dec.take_u8("EncoderSnapshot tag")? {
+        0 => Ok(Box::new(HistogramEncoder::new())),
+        1 => {
+            let cfg = restore_dagan_config(dec)?;
+            let params = dec.take_f32s("EncoderSnapshot.params")?;
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut model = DaGan::new(cfg, &mut rng);
+            if params.len() != model.export_len() {
+                return Err(StoreError::Malformed { context: "EncoderSnapshot.params length" });
+            }
+            model.import_params(&params);
+            Ok(Box::new(DaGanEncoder::new(model)))
+        }
+        _ => Err(StoreError::Malformed { context: "EncoderSnapshot tag" }),
+    }
+}
+
+impl Persist for SelectionPolicy {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            SelectionPolicy::KnnUnweighted(k) => {
+                enc.put_u8(0);
+                enc.put_usize(*k);
+            }
+            SelectionPolicy::KnnWeighted(k) => {
+                enc.put_u8(1);
+                enc.put_usize(*k);
+            }
+            SelectionPolicy::DeltaBand => enc.put_u8(2),
+            SelectionPolicy::MostRecent => enc.put_u8(3),
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        match dec.take_u8("SelectionPolicy tag")? {
+            0 => Ok(SelectionPolicy::KnnUnweighted(dec.take_usize("SelectionPolicy.k")?)),
+            1 => Ok(SelectionPolicy::KnnWeighted(dec.take_usize("SelectionPolicy.k")?)),
+            2 => Ok(SelectionPolicy::DeltaBand),
+            3 => Ok(SelectionPolicy::MostRecent),
+            _ => Err(StoreError::Malformed { context: "SelectionPolicy tag" }),
+        }
+    }
+}
+
+impl Persist for OdinConfig {
+    fn persist(&self, enc: &mut Encoder) {
+        self.manager.persist(enc);
+        self.policy.persist(enc);
+        enc.put_u8(match self.specializer.arch {
+            DetectorArch::Heavy => 0,
+            DetectorArch::Small => 1,
+        });
+        enc.put_usize(self.specializer.frame_size);
+        enc.put_usize(self.specializer.train_iters);
+        enc.put_usize(self.specializer.distill_iters);
+        enc.put_usize(self.specializer.batch_size);
+        enc.put_u8(match self.oracle {
+            OracleLabels::Immediate => 0,
+            OracleLabels::Never => 1,
+        });
+        match self.training {
+            TrainingMode::Inline => enc.put_u8(0),
+            TrainingMode::Background { workers } => {
+                enc.put_u8(1);
+                enc.put_usize(workers);
+            }
+        }
+        enc.put_bool(self.baseline_only);
+        enc.put_usize(self.buffer_cap);
+        enc.put_usize(self.min_train_frames);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let manager = ManagerConfig::restore(dec)?;
+        let policy = SelectionPolicy::restore(dec)?;
+        let arch = match dec.take_u8("SpecializerConfig.arch")? {
+            0 => DetectorArch::Heavy,
+            1 => DetectorArch::Small,
+            _ => return Err(StoreError::Malformed { context: "SpecializerConfig.arch tag" }),
+        };
+        let specializer = SpecializerConfig {
+            arch,
+            frame_size: dec.take_usize("SpecializerConfig.frame_size")?,
+            train_iters: dec.take_usize("SpecializerConfig.train_iters")?,
+            distill_iters: dec.take_usize("SpecializerConfig.distill_iters")?,
+            batch_size: dec.take_usize("SpecializerConfig.batch_size")?,
+        };
+        let oracle = match dec.take_u8("OracleLabels tag")? {
+            0 => OracleLabels::Immediate,
+            1 => OracleLabels::Never,
+            _ => return Err(StoreError::Malformed { context: "OracleLabels tag" }),
+        };
+        let training = match dec.take_u8("TrainingMode tag")? {
+            0 => TrainingMode::Inline,
+            1 => TrainingMode::Background { workers: dec.take_usize("TrainingMode.workers")? },
+            _ => return Err(StoreError::Malformed { context: "TrainingMode tag" }),
+        };
+        Ok(OdinConfig {
+            manager,
+            policy,
+            specializer,
+            oracle,
+            training,
+            baseline_only: dec.take_bool("OdinConfig.baseline_only")?,
+            buffer_cap: dec.take_usize("OdinConfig.buffer_cap")?,
+            min_train_frames: dec.take_usize("OdinConfig.min_train_frames")?,
+        })
+    }
+}
+
+impl Persist for PipelineStats {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u64(self.jobs_submitted);
+        enc.put_u64(self.models_installed);
+        enc.put_f64(self.train_wall_ms);
+        enc.put_u64(self.teacher_frames_while_pending);
+        enc.put_u64(self.fallback_frames_while_pending);
+        enc.put_u64(self.snapshots_written);
+        enc.put_u64(self.wal_events_logged);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(PipelineStats {
+            jobs_submitted: dec.take_u64("PipelineStats.jobs_submitted")?,
+            models_installed: dec.take_u64("PipelineStats.models_installed")?,
+            // queue_depth / in_flight are live pool gauges, not state.
+            queue_depth: 0,
+            in_flight: 0,
+            train_wall_ms: dec.take_f64("PipelineStats.train_wall_ms")?,
+            teacher_frames_while_pending: dec.take_u64("PipelineStats.teacher_pending")?,
+            fallback_frames_while_pending: dec.take_u64("PipelineStats.fallback_pending")?,
+            snapshots_written: dec.take_u64("PipelineStats.snapshots_written")?,
+            wal_events_logged: dec.take_u64("PipelineStats.wal_events_logged")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAL events
+// ---------------------------------------------------------------------
+
+/// One replayable record in the drift-event WAL. `Drift` carries the
+/// full promoted-cluster state and `Install` the full model weights, so
+/// replay needs no context beyond the snapshot it starts from.
+pub(crate) enum WalEvent {
+    Drift { event: DriftEvent, cluster: Cluster },
+    Evict { cluster_id: usize },
+    Install { cluster_id: usize, kind: ModelKind, detector: Detector },
+}
+
+pub(crate) fn encode_drift(event: DriftEvent, cluster: &Cluster) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(1);
+    event.persist(&mut enc);
+    cluster.persist(&mut enc);
+    enc.into_bytes()
+}
+
+pub(crate) fn encode_evict(cluster_id: usize) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(2);
+    enc.put_usize(cluster_id);
+    enc.into_bytes()
+}
+
+pub(crate) fn encode_install(cluster_id: usize, kind: ModelKind, detector: &Detector) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(3);
+    enc.put_usize(cluster_id);
+    persist_model_kind(kind, &mut enc);
+    persist_detector(detector, &mut enc);
+    enc.into_bytes()
+}
+
+pub(crate) fn decode_wal_event(payload: &[u8]) -> Result<WalEvent, StoreError> {
+    let mut dec = Decoder::new(payload);
+    let event = match dec.take_u8("WalEvent tag")? {
+        1 => WalEvent::Drift {
+            event: DriftEvent::restore(&mut dec)?,
+            cluster: Cluster::restore(&mut dec)?,
+        },
+        2 => WalEvent::Evict { cluster_id: dec.take_usize("WalEvent.cluster_id")? },
+        3 => WalEvent::Install {
+            cluster_id: dec.take_usize("WalEvent.cluster_id")?,
+            kind: restore_model_kind(&mut dec)?,
+            detector: restore_detector(&mut dec)?,
+        },
+        _ => return Err(StoreError::Malformed { context: "WalEvent tag" }),
+    };
+    dec.finish("WalEvent trailing bytes")?;
+    Ok(event)
+}
+
+// ---------------------------------------------------------------------
+// Registry / frame-buffer section codecs (operate on parts, the
+// pipeline assembles them under its own locks)
+// ---------------------------------------------------------------------
+
+pub(crate) fn persist_registry_models(models: &[(usize, ModelKind, &Detector)], enc: &mut Encoder) {
+    enc.put_usize(models.len());
+    for (id, kind, det) in models {
+        enc.put_usize(*id);
+        persist_model_kind(*kind, enc);
+        persist_detector(det, enc);
+    }
+}
+
+pub(crate) fn restore_registry_models(
+    dec: &mut Decoder<'_>,
+) -> Result<Vec<(usize, ModelKind, Detector)>, StoreError> {
+    let n = dec.take_usize("registry len")?;
+    let mut out = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let id = dec.take_usize("registry id")?;
+        let kind = restore_model_kind(dec)?;
+        let det = restore_detector(dec)?;
+        out.push((id, kind, det));
+    }
+    Ok(out)
+}
+
+pub(crate) fn persist_retained_jobs(jobs: &BTreeMap<usize, RetainedJob>, enc: &mut Encoder) {
+    enc.put_usize(jobs.len());
+    for (id, job) in jobs {
+        enc.put_usize(*id);
+        enc.put_u64(job.seed);
+        persist_model_kind(job.kind, enc);
+        persist_frames(&job.frames, enc);
+    }
+}
+
+pub(crate) fn restore_retained_jobs(
+    dec: &mut Decoder<'_>,
+) -> Result<BTreeMap<usize, RetainedJob>, StoreError> {
+    let n = dec.take_usize("inflight len")?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let id = dec.take_usize("inflight id")?;
+        let seed = dec.take_u64("inflight seed")?;
+        let kind = restore_model_kind(dec)?;
+        let frames = restore_frames(dec)?;
+        out.insert(id, RetainedJob { seed, kind, frames });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Background snapshot writer
+// ---------------------------------------------------------------------
+
+enum WriteReq {
+    Write { path: PathBuf, bytes: Vec<u8> },
+    Barrier(Sender<()>),
+}
+
+/// Owns a thread that writes snapshot bytes atomically off the serving
+/// path. Snapshot *bytes* are built synchronously at the frame boundary
+/// (that part must be consistent); only the file I/O is deferred.
+pub(crate) struct SnapshotWriter {
+    tx: Option<Sender<WriteReq>>,
+    handle: Option<JoinHandle<()>>,
+    failures: Arc<AtomicU64>,
+}
+
+impl SnapshotWriter {
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded::<WriteReq>();
+        let failures = Arc::new(AtomicU64::new(0));
+        let fail = Arc::clone(&failures);
+        let handle = std::thread::Builder::new()
+            .name("odin-snapshot-writer".to_string())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        WriteReq::Write { path, bytes } => {
+                            if let Err(e) = write_atomic(&path, &bytes) {
+                                fail.fetch_add(1, Ordering::Relaxed);
+                                eprintln!(
+                                    "odin-store: snapshot write to {} failed: {e}",
+                                    path.display()
+                                );
+                            }
+                        }
+                        WriteReq::Barrier(done) => {
+                            let _ = done.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn snapshot writer thread");
+        SnapshotWriter { tx: Some(tx), handle: Some(handle), failures }
+    }
+
+    /// Queues one atomic snapshot write.
+    pub fn submit(&self, path: PathBuf, bytes: Vec<u8>) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(WriteReq::Write { path, bytes });
+        }
+    }
+
+    /// Blocks until every previously queued write has hit the disk.
+    pub fn flush(&self) {
+        if let Some(tx) = &self.tx {
+            let (done_tx, done_rx) = unbounded();
+            if tx.send(WriteReq::Barrier(done_tx)).is_ok() {
+                let _ = done_rx.recv();
+            }
+        }
+    }
+
+    /// Number of writes that failed since startup.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The live persistence runtime attached to an `Odin` by
+/// [`crate::pipeline::Odin::enable_store`]: the WAL appender, the
+/// background snapshot writer, and the snapshot policy.
+pub(crate) struct PipelineStore {
+    pub dir: PathBuf,
+    pub policy: CheckpointPolicy,
+    pub wal: WalWriter,
+    pub writer: SnapshotWriter,
+    pub frames_since_snapshot: usize,
+}
+
+impl PipelineStore {
+    pub fn open(dir: &Path, policy: CheckpointPolicy) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let wal = WalWriter::open(&dir.join(WAL_FILE))?;
+        Ok(PipelineStore {
+            dir: dir.to_path_buf(),
+            policy,
+            wal,
+            writer: SnapshotWriter::new(),
+            frames_since_snapshot: 0,
+        })
+    }
+
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_data::{SceneGen, Subset};
+
+    fn sample_frame() -> Frame {
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(3);
+        gen.subset_frames(&mut rng, Subset::Night, 1).pop().expect("one frame")
+    }
+
+    #[test]
+    fn frame_roundtrip_is_bit_exact() {
+        let frame = sample_frame();
+        let mut enc = Encoder::new();
+        persist_frame(&frame, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = restore_frame(&mut dec).unwrap();
+        dec.finish("frame").unwrap();
+        assert_eq!(back.image.data(), frame.image.data());
+        assert_eq!(back.boxes, frame.boxes);
+        assert_eq!(back.cond, frame.cond);
+        let mut enc2 = Encoder::new();
+        persist_frame(&back, &mut enc2);
+        assert_eq!(enc2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn detector_roundtrip_preserves_weights_and_outputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = Detector::small(48, &mut rng);
+        d.conf_threshold = 0.123;
+        let mut enc = Encoder::new();
+        persist_detector(&d, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = restore_detector(&mut dec).unwrap();
+        dec.finish("detector").unwrap();
+        assert_eq!(back.arch(), d.arch());
+        assert_eq!(back.input_size(), d.input_size());
+        assert_eq!(back.conf_threshold, d.conf_threshold);
+        assert_eq!(back.export_params(), d.export_params());
+        let frame = sample_frame();
+        let a = d.detect(&frame.image);
+        let b = back.detect(&frame.image);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.bbox.class, y.bbox.class);
+        }
+    }
+
+    #[test]
+    fn detector_restore_rejects_wrong_param_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Detector::small(48, &mut rng);
+        let mut enc = Encoder::new();
+        persist_detector(&d, &mut enc);
+        let mut bytes = enc.into_bytes();
+        // Drop the last parameter: length prefix no longer matches.
+        bytes.truncate(bytes.len() - 4);
+        let mut dec = Decoder::new(&bytes);
+        assert!(restore_detector(&mut dec).is_err());
+    }
+
+    #[test]
+    fn odin_config_roundtrip() {
+        let cfg = OdinConfig {
+            policy: SelectionPolicy::KnnWeighted(3),
+            oracle: OracleLabels::Never,
+            training: TrainingMode::Background { workers: 2 },
+            buffer_cap: 99,
+            min_train_frames: 17,
+            ..OdinConfig::default()
+        };
+        let bytes = cfg.to_store_bytes();
+        let back = OdinConfig::from_store_bytes(&bytes, "config").unwrap();
+        assert_eq!(back.to_store_bytes(), bytes);
+        assert_eq!(back.policy, cfg.policy);
+        assert_eq!(back.training, cfg.training);
+        assert_eq!(back.buffer_cap, 99);
+    }
+
+    #[test]
+    fn wal_event_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cluster = Cluster::from_points(4, vec![vec![0.5, 1.5], vec![0.6, 1.4]], 0.75, 8);
+        let event = DriftEvent { cluster_id: 4, at: 123 };
+        match decode_wal_event(&encode_drift(event, &cluster)).unwrap() {
+            WalEvent::Drift { event: e, cluster: c } => {
+                assert_eq!(e, event);
+                assert_eq!(c.id(), 4);
+                assert_eq!(c.centroid(), cluster.centroid());
+            }
+            _ => panic!("expected drift event"),
+        }
+        match decode_wal_event(&encode_evict(9)).unwrap() {
+            WalEvent::Evict { cluster_id } => assert_eq!(cluster_id, 9),
+            _ => panic!("expected evict event"),
+        }
+        let det = Detector::small(48, &mut rng);
+        let params = det.export_params();
+        match decode_wal_event(&encode_install(2, ModelKind::Specialized, &det)).unwrap() {
+            WalEvent::Install { cluster_id, kind, detector } => {
+                assert_eq!(cluster_id, 2);
+                assert_eq!(kind, ModelKind::Specialized);
+                assert_eq!(detector.export_params(), params);
+            }
+            _ => panic!("expected install event"),
+        }
+        assert!(decode_wal_event(&[42]).is_err(), "unknown tag must be malformed");
+    }
+
+    #[test]
+    fn encoder_snapshot_roundtrip_histogram_and_unsupported() {
+        let mut enc = Encoder::new();
+        persist_encoder(&EncoderSnapshot::Histogram, &mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let e = restore_encoder(&mut dec).unwrap();
+        assert_eq!(e.name(), "histogram");
+
+        let mut enc2 = Encoder::new();
+        let err = persist_encoder(&EncoderSnapshot::Unsupported("custom"), &mut enc2);
+        assert!(err.is_err(), "unsupported encoders must fail checkpointing");
+    }
+
+    #[test]
+    fn snapshot_writer_flush_waits_for_writes() {
+        let dir = std::env::temp_dir().join(format!("odin-writer-{}", std::process::id()));
+        let path = dir.join("snap.odst");
+        let writer = SnapshotWriter::new();
+        let mut b = odin_store::CheckpointBuilder::new();
+        b.section("x", vec![1, 2, 3]);
+        writer.submit(path.clone(), b.to_bytes());
+        writer.flush();
+        assert!(path.exists(), "flush must guarantee the write landed");
+        assert_eq!(writer.failures(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,6 +7,7 @@
 //! arbitrary-dimensional cluster to two scalars, which is how ODIN
 //! reduces drift detection "from ~921K dimensions to four".
 
+use odin_store::{Decoder, Encoder, Persist, StoreError};
 use serde::{Deserialize, Serialize};
 
 /// The default band mass used by DETECTOR (§6.2 configures Δ = 0.75).
@@ -83,9 +84,34 @@ impl DeltaBand {
     }
 }
 
+impl Persist for DeltaBand {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_f32(self.lower);
+        enc.put_f32(self.upper);
+        enc.put_f32(self.delta);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(DeltaBand {
+            lower: dec.take_f32("DeltaBand.lower")?,
+            upper: dec.take_f32("DeltaBand.upper")?,
+            delta: dec.take_f32("DeltaBand.delta")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_roundtrip_is_exact() {
+        let band = DeltaBand::fit(&[0.1, 0.5, 0.55, 0.6, 0.9], 0.6);
+        let bytes = band.to_store_bytes();
+        let back = DeltaBand::from_store_bytes(&bytes, "band").unwrap();
+        assert_eq!(back, band);
+        assert_eq!(back.to_store_bytes(), bytes);
+    }
 
     #[test]
     fn band_covers_requested_mass() {

@@ -1,6 +1,7 @@
 //! Cluster state: centroid, point reservoir, Δ-band, and distance
 //! distribution.
 
+use odin_store::{Decoder, Encoder, Persist, StoreError};
 use serde::{Deserialize, Serialize};
 
 use crate::band::DeltaBand;
@@ -110,6 +111,89 @@ impl Cluster {
             self.points.iter().map(|p| euclidean(p, &self.centroid)).collect();
         self.band = DeltaBand::fit(&distances, self.delta);
         self.since_refit = 0;
+    }
+}
+
+fn persist_points(points: &[Vec<f32>], enc: &mut Encoder) {
+    enc.put_usize(points.len());
+    for p in points {
+        enc.put_f32s(p);
+    }
+}
+
+fn restore_points(
+    dec: &mut Decoder<'_>,
+    context: &'static str,
+) -> Result<Vec<Vec<f32>>, StoreError> {
+    let n = dec.take_usize(context)?;
+    let mut points = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        points.push(dec.take_f32s(context)?);
+    }
+    Ok(points)
+}
+
+impl Persist for Cluster {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.id);
+        enc.put_f32s(&self.centroid);
+        persist_points(&self.points, enc);
+        self.band.persist(enc);
+        enc.put_usize(self.n_total);
+        enc.put_usize(self.since_refit);
+        enc.put_usize(self.cap);
+        enc.put_f32(self.delta);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let id = dec.take_usize("Cluster.id")?;
+        let centroid = dec.take_f32s("Cluster.centroid")?;
+        let points = restore_points(dec, "Cluster.points")?;
+        let band = DeltaBand::restore(dec)?;
+        let n_total = dec.take_usize("Cluster.n_total")?;
+        let since_refit = dec.take_usize("Cluster.since_refit")?;
+        let cap = dec.take_usize("Cluster.cap")?;
+        let delta = dec.take_f32("Cluster.delta")?;
+        if centroid.is_empty() || cap == 0 || points.iter().any(|p| p.len() != centroid.len()) {
+            return Err(StoreError::Malformed { context: "Cluster invariants" });
+        }
+        Ok(Cluster { id, centroid, points, band, n_total, since_refit, cap, delta })
+    }
+}
+
+impl Persist for TempCluster {
+    fn persist(&self, enc: &mut Encoder) {
+        persist_points(&self.points, enc);
+        match &self.centroid {
+            Some(c) => {
+                enc.put_bool(true);
+                enc.put_f32s(c);
+            }
+            None => enc.put_bool(false),
+        }
+        self.hist.persist(enc);
+        enc.put_f64(self.last_kl);
+        enc.put_usize(self.stable_run);
+        enc.put_f32(self.hist_hi);
+        enc.put_usize(self.bins);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let points = restore_points(dec, "TempCluster.points")?;
+        let centroid = if dec.take_bool("TempCluster.centroid tag")? {
+            Some(dec.take_f32s("TempCluster.centroid")?)
+        } else {
+            None
+        };
+        let hist = DistanceHistogram::restore(dec)?;
+        let last_kl = dec.take_f64("TempCluster.last_kl")?;
+        let stable_run = dec.take_usize("TempCluster.stable_run")?;
+        let hist_hi = dec.take_f32("TempCluster.hist_hi")?;
+        let bins = dec.take_usize("TempCluster.bins")?;
+        if bins == 0 || (!points.is_empty() && centroid.is_none()) {
+            return Err(StoreError::Malformed { context: "TempCluster invariants" });
+        }
+        Ok(TempCluster { points, centroid, hist, last_kl, stable_run, hist_hi, bins })
     }
 }
 
@@ -226,6 +310,65 @@ mod tests {
                     .collect()
             })
             .collect()
+    }
+
+    #[test]
+    fn cluster_persist_roundtrip_is_bit_exact() {
+        let mut c = Cluster::from_points(3, ball(&[1.0; 6], 0.8, 40), 0.75, 16);
+        for p in ball(&[1.1; 6], 0.8, 21) {
+            c.insert(p);
+        }
+        let bytes = c.to_store_bytes();
+        let back = Cluster::from_store_bytes(&bytes, "cluster").unwrap();
+        assert_eq!(back.id(), c.id());
+        assert_eq!(back.size(), c.size());
+        assert_eq!(back.centroid(), c.centroid());
+        assert_eq!(back.band(), c.band());
+        assert_eq!(back.to_store_bytes(), bytes);
+        // Restored cluster evolves identically: same insert → same state.
+        let probe: Vec<f32> = vec![1.05; 6];
+        let mut live = c.clone();
+        let mut restored = back;
+        for _ in 0..20 {
+            live.insert(probe.clone());
+            restored.insert(probe.clone());
+        }
+        assert_eq!(live.to_store_bytes(), restored.to_store_bytes());
+    }
+
+    #[test]
+    fn temp_cluster_persist_roundtrip_is_bit_exact() {
+        let mut t = TempCluster::new(8.0, 32);
+        for p in ball(&[3.0; 8], 0.5, 30) {
+            t.insert(p, 1e-3);
+        }
+        let bytes = t.to_store_bytes();
+        let back = TempCluster::from_store_bytes(&bytes, "temp").unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.stable_run(), t.stable_run());
+        assert_eq!(back.last_kl().to_bits(), t.last_kl().to_bits());
+        assert_eq!(back.to_store_bytes(), bytes);
+        // Empty temp cluster roundtrips too (centroid = None).
+        let empty = TempCluster::new(8.0, 32);
+        let eb = empty.to_store_bytes();
+        assert_eq!(TempCluster::from_store_bytes(&eb, "temp").unwrap().to_store_bytes(), eb);
+    }
+
+    #[test]
+    fn cluster_restore_rejects_mismatched_dims() {
+        let c = Cluster::from_points(0, vec![vec![1.0, 2.0]], 0.75, 8);
+        let mut enc = Encoder::new();
+        // Hand-encode a cluster whose reservoir point has the wrong dim.
+        enc.put_usize(0);
+        enc.put_f32s(&[1.0, 2.0]);
+        enc.put_usize(1);
+        enc.put_f32s(&[1.0, 2.0, 3.0]);
+        c.band().persist(&mut enc);
+        enc.put_usize(1);
+        enc.put_usize(0);
+        enc.put_usize(8);
+        enc.put_f32(0.75);
+        assert!(Cluster::from_store_bytes(&enc.into_bytes(), "cluster").is_err());
     }
 
     #[test]

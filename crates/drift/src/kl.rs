@@ -5,6 +5,7 @@
 //! distribution — `D_KL(prior ‖ posterior) → 0` — the temporary cluster
 //! is declared stable and promoted to a permanent cluster.
 
+use odin_store::{Decoder, Encoder, Persist, StoreError};
 use serde::{Deserialize, Serialize};
 
 /// A fixed-range histogram with Laplace smoothing, convertible to a
@@ -62,6 +63,29 @@ impl DistanceHistogram {
     }
 }
 
+impl Persist for DistanceHistogram {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u32s(&self.counts);
+        enc.put_f32(self.lo);
+        enc.put_f32(self.hi);
+        enc.put_u64(self.total);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let counts = dec.take_u32s("DistanceHistogram.counts")?;
+        if counts.is_empty() {
+            return Err(StoreError::Malformed { context: "DistanceHistogram.counts empty" });
+        }
+        let lo = dec.take_f32("DistanceHistogram.lo")?;
+        let hi = dec.take_f32("DistanceHistogram.hi")?;
+        if hi.is_nan() || lo.is_nan() || hi <= lo {
+            return Err(StoreError::Malformed { context: "DistanceHistogram range" });
+        }
+        let total = dec.take_u64("DistanceHistogram.total")?;
+        Ok(DistanceHistogram { counts, lo, hi, total })
+    }
+}
+
 /// KL divergence `D_KL(P_A ‖ P_B) = Σ P_A · ln(P_A / P_B)` between two
 /// discrete distributions (Equation 2 of the paper, sign-corrected).
 ///
@@ -85,6 +109,30 @@ pub fn histogram_kl(prior: &DistanceHistogram, posterior: &DistanceHistogram) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_roundtrip_is_exact() {
+        let mut h = DistanceHistogram::new(0.0, 4.0, 8);
+        for d in [0.5, 1.5, 1.6, 3.9, -1.0, 7.0] {
+            h.add(d);
+        }
+        let bytes = h.to_store_bytes();
+        let back = DistanceHistogram::from_store_bytes(&bytes, "hist").unwrap();
+        assert_eq!(back.total(), h.total());
+        assert_eq!(back.bins(), h.bins());
+        assert_eq!(back.probabilities(), h.probabilities());
+        assert_eq!(back.to_store_bytes(), bytes);
+    }
+
+    #[test]
+    fn persist_rejects_empty_or_inverted_histograms() {
+        let h = DistanceHistogram::new(0.0, 1.0, 4);
+        let mut bytes = h.to_store_bytes();
+        // Zero out the bin count: structurally invalid.
+        bytes[..8].copy_from_slice(&0u64.to_le_bytes());
+        bytes.truncate(8 + 4 + 4 + 8);
+        assert!(DistanceHistogram::from_store_bytes(&bytes, "hist").is_err());
+    }
 
     #[test]
     fn kl_of_identical_distributions_is_zero() {

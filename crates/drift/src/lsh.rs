@@ -9,6 +9,8 @@
 //! distance-checked. With `tables × bits` chosen sensibly, lookup cost
 //! becomes sublinear in the cluster count at a small recall cost.
 
+use odin_store::{Decoder, Encoder, Persist, StoreError};
+
 use crate::cluster::euclidean;
 
 /// A random-hyperplane LSH index over latent vectors.
@@ -141,9 +143,99 @@ impl LshIndex {
     }
 }
 
+impl Persist for LshIndex {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_usize(self.dim);
+        enc.put_usize(self.bits);
+        enc.put_usize(self.planes.len());
+        for p in &self.planes {
+            enc.put_f32s(p);
+        }
+        enc.put_usize(self.tables.len());
+        for table in &self.tables {
+            // HashMap iteration order is unspecified; sort keys so the
+            // encoding (and therefore checkpoint CRCs) is deterministic.
+            let mut keys: Vec<u64> = table.keys().copied().collect();
+            keys.sort_unstable();
+            enc.put_usize(keys.len());
+            for k in keys {
+                enc.put_u64(k);
+                enc.put_usizes(&table[&k]);
+            }
+        }
+        enc.put_usize(self.items.len());
+        for item in &self.items {
+            enc.put_f32s(item);
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let dim = dec.take_usize("LshIndex.dim")?;
+        let bits = dec.take_usize("LshIndex.bits")?;
+        let n_planes = dec.take_usize("LshIndex.planes len")?;
+        let mut planes = Vec::with_capacity(n_planes.min(1 << 16));
+        for _ in 0..n_planes {
+            planes.push(dec.take_f32s("LshIndex.plane")?);
+        }
+        let n_tables = dec.take_usize("LshIndex.tables len")?;
+        let mut tables = Vec::with_capacity(n_tables.min(1 << 10));
+        for _ in 0..n_tables {
+            let n_buckets = dec.take_usize("LshIndex.buckets len")?;
+            let mut table = std::collections::HashMap::new();
+            for _ in 0..n_buckets {
+                let key = dec.take_u64("LshIndex.bucket key")?;
+                let ids = dec.take_usizes("LshIndex.bucket ids")?;
+                table.insert(key, ids);
+            }
+            tables.push(table);
+        }
+        let n_items = dec.take_usize("LshIndex.items len")?;
+        let mut items = Vec::with_capacity(n_items.min(1 << 20));
+        for _ in 0..n_items {
+            items.push(dec.take_f32s("LshIndex.item")?);
+        }
+        if dim == 0
+            || bits == 0
+            || bits > 63
+            || tables.is_empty()
+            || planes.len() != tables.len() * bits
+            || planes.iter().any(|p| p.len() != dim)
+            || items.iter().any(|v| v.len() != dim)
+        {
+            return Err(StoreError::Malformed { context: "LshIndex invariants" });
+        }
+        Ok(LshIndex { dim, bits, planes, tables, items })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persist_roundtrip_preserves_lookups() {
+        let mut idx = LshIndex::new(8, 4, 8, 7);
+        for p in grid_points(60, 8) {
+            idx.insert(p);
+        }
+        let bytes = idx.to_store_bytes();
+        let back = LshIndex::from_store_bytes(&bytes, "lsh").unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.to_store_bytes(), bytes, "encoding is canonical");
+        for q in grid_points(10, 8) {
+            assert_eq!(back.candidates(&q), idx.candidates(&q));
+            assert_eq!(back.nearest(&q), idx.nearest(&q));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_geometry() {
+        let idx = LshIndex::new(4, 2, 4, 0);
+        let mut bytes = idx.to_store_bytes();
+        // Corrupt the stored dimensionality: planes no longer match.
+        bytes[..8].copy_from_slice(&5u64.to_le_bytes());
+        assert!(LshIndex::from_store_bytes(&bytes, "lsh").is_err());
+    }
 
     fn grid_points(n: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..n).map(|i| (0..dim).map(|j| ((i * 13 + j * 7) % 97) as f32 / 10.0).collect()).collect()

@@ -1,0 +1,308 @@
+//! Sectioned, checksummed checkpoint container.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! magic            4 bytes   "ODST"
+//! format version   u32
+//! section count    u32
+//! per section:
+//!   name           len-prefixed UTF-8 (u64 len + bytes)
+//!   payload len    u64
+//!   payload CRC-32 u32
+//! header CRC-32    u32       over everything above
+//! payloads         concatenated, in section-table order
+//! ```
+//!
+//! The header carries its own CRC so a bit flip in the section table is
+//! distinguished from a bit flip in a payload; payload CRCs are checked
+//! eagerly on open so a corrupt checkpoint is rejected as a whole.
+//!
+//! Writes go through [`CheckpointBuilder::write_atomic`]: the bytes are
+//! written to a sibling `*.tmp` file, fsynced, renamed over the target,
+//! and the parent directory is fsynced. A crash at any point leaves
+//! either the old complete file or the new complete file — never a torn
+//! mix.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::codec::{Decoder, Encoder};
+use crate::crc::crc32;
+use crate::error::StoreError;
+
+/// File magic: every checkpoint starts with these four bytes.
+pub const MAGIC: [u8; 4] = *b"ODST";
+
+/// Current checkpoint format version. Readers reject files with a
+/// version greater than this.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Accumulates named sections and serializes them into the container
+/// format.
+#[derive(Default)]
+pub struct CheckpointBuilder {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl CheckpointBuilder {
+    /// New builder with no sections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named section. Order is preserved; names should be unique
+    /// (readers see the first occurrence).
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+        self.sections.push((name.to_string(), payload));
+        self
+    }
+
+    /// Serialize the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut header = Encoder::new();
+        header.put_raw(&MAGIC);
+        header.put_u32(FORMAT_VERSION);
+        header.put_u32(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            header.put_str(name);
+            header.put_usize(payload.len());
+            header.put_u32(crc32(payload));
+        }
+        let header_crc = crc32(header.bytes());
+        header.put_u32(header_crc);
+
+        let mut out = header.into_bytes();
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Write the container to `path` atomically: tmp file in the same
+    /// directory + `fsync` + `rename` + directory `fsync`.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), StoreError> {
+        write_atomic(path, &self.to_bytes())
+    }
+}
+
+/// Write `bytes` to `path` atomically (tmp + fsync + rename + dir
+/// fsync). Shared by checkpoints and the bench cache.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp_path = Path::new(&tmp);
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(tmp_path)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(tmp_path, path)?;
+    // Persist the rename itself. Some platforms refuse to open a
+    // directory for writing; a failed dir-open is not a torn file, so
+    // it is not treated as fatal.
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A parsed, fully CRC-verified checkpoint.
+pub struct Checkpoint {
+    version: u32,
+    sections: BTreeMap<String, Vec<u8>>,
+}
+
+impl Checkpoint {
+    /// Read and verify a checkpoint file.
+    pub fn read(path: &Path) -> Result<Self, StoreError> {
+        let bytes = fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Parse and verify a checkpoint from memory. Magic, version,
+    /// header CRC, and every payload CRC are all checked here; a
+    /// returned `Checkpoint` is known-good.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut dec = Decoder::new(bytes);
+        let magic = dec.take_raw(4, "checkpoint magic")?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: [magic[0], magic[1], magic[2], magic[3]] });
+        }
+        let version = dec.take_u32("checkpoint version")?;
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = dec.take_u32("section count")? as usize;
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = dec.take_str("section name")?;
+            let len = dec.take_usize("section length")?;
+            let crc = dec.take_u32("section crc")?;
+            table.push((name, len, crc));
+        }
+        let header_len = bytes.len() - dec.remaining();
+        let stored_header_crc = dec.take_u32("header crc")?;
+        let actual_header_crc = crc32(&bytes[..header_len]);
+        if stored_header_crc != actual_header_crc {
+            return Err(StoreError::CorruptSection {
+                section: "header".to_string(),
+                expected: stored_header_crc,
+                actual: actual_header_crc,
+            });
+        }
+
+        let mut sections = BTreeMap::new();
+        for (name, len, expected_crc) in table {
+            let payload = dec.take_raw(len, "section payload")?.to_vec();
+            let actual_crc = crc32(&payload);
+            if actual_crc != expected_crc {
+                return Err(StoreError::CorruptSection {
+                    section: name,
+                    expected: expected_crc,
+                    actual: actual_crc,
+                });
+            }
+            sections.entry(name).or_insert(payload);
+        }
+        dec.finish("checkpoint trailing bytes")?;
+        Ok(Self { version, sections })
+    }
+
+    /// Format version recorded in the file.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Section names present, in lexicographic order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.keys().map(String::as_str)
+    }
+
+    /// Payload of `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections.get(name).map(Vec::as_slice)
+    }
+
+    /// Payload of `name`, or [`StoreError::MissingSection`].
+    pub fn require(&self, name: &'static str) -> Result<&[u8], StoreError> {
+        self.section(name).ok_or(StoreError::MissingSection { section: name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointBuilder {
+        let mut b = CheckpointBuilder::new();
+        b.section("alpha", vec![1, 2, 3, 4]);
+        b.section("beta", b"payload-two".to_vec());
+        b.section("empty", Vec::new());
+        b
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let bytes = sample().to_bytes();
+        let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt.version(), FORMAT_VERSION);
+        assert_eq!(ckpt.section("alpha").unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(ckpt.section("beta").unwrap(), b"payload-two");
+        assert_eq!(ckpt.section("empty").unwrap(), b"");
+        assert!(ckpt.section("missing").is_none());
+        assert!(matches!(
+            ckpt.require("gamma"),
+            Err(StoreError::MissingSection { section: "gamma" })
+        ));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(StoreError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(StoreError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn every_payload_bit_flip_is_caught() {
+        let clean = sample().to_bytes();
+        // Flip one bit at a time across the whole file; every mutation
+        // must be rejected (magic, version, header crc, or payload crc).
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x10;
+            assert!(
+                Checkpoint::from_bytes(&bytes).is_err(),
+                "bit flip at byte {i} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_caught_at_every_length() {
+        let clean = sample().to_bytes();
+        for n in 0..clean.len() {
+            assert!(
+                Checkpoint::from_bytes(&clean[..n]).is_err(),
+                "truncation to {n} bytes was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0u8);
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!(
+            "odin-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("ckpt.odst");
+        sample().write_atomic(&path).unwrap();
+        let ckpt = Checkpoint::read(&path).unwrap();
+        assert_eq!(ckpt.section("alpha").unwrap(), &[1, 2, 3, 4]);
+        // Overwrite in place: readers must never see a torn file.
+        let mut b2 = CheckpointBuilder::new();
+        b2.section("alpha", vec![9, 9]);
+        b2.write_atomic(&path).unwrap();
+        let ckpt2 = Checkpoint::read(&path).unwrap();
+        assert_eq!(ckpt2.section("alpha").unwrap(), &[9, 9]);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! The table is built at compile time so the hot path is a plain
+//! table-driven loop with no lazy initialisation or locking.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `data` (same parameters as zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the zlib implementation.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flip() {
+        let mut data = b"odin checkpoint payload".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

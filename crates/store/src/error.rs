@@ -1,0 +1,95 @@
+//! Error type shared by every reader in the store.
+//!
+//! Corruption must surface as a value the pipeline can react to (cold
+//! bootstrap with a logged reason), never as a panic, so every failure
+//! mode gets its own variant with enough context to log.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong reading or writing persisted state.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure (open/read/write/rename/fsync).
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes — it is
+    /// not a store file at all (or the header was overwritten).
+    BadMagic {
+        /// The four bytes actually found at the start of the file.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
+    /// The file ended before the structure it promised was complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A CRC check failed: the bytes were altered after being written.
+    CorruptSection {
+        /// Section name (or `"header"` / `"wal record"`).
+        section: String,
+        /// CRC recorded in the file.
+        expected: u32,
+        /// CRC computed over the bytes actually present.
+        actual: u32,
+    },
+    /// A section the decoder requires is absent from the checkpoint.
+    MissingSection {
+        /// Name of the absent section.
+        section: &'static str,
+    },
+    /// Structurally invalid payload inside an otherwise intact
+    /// (CRC-verified) section — e.g. an enum tag out of range.
+    Malformed {
+        /// What the decoder was expecting.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?}: not an odin-store file")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads <= {supported})")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "truncated file while reading {context}")
+            }
+            StoreError::CorruptSection { section, expected, actual } => write!(
+                f,
+                "crc mismatch in {section}: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            StoreError::MissingSection { section } => {
+                write!(f, "required section '{section}' missing from checkpoint")
+            }
+            StoreError::Malformed { context } => {
+                write!(f, "malformed payload while decoding {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

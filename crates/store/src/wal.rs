@@ -1,0 +1,305 @@
+//! Append-only write-ahead log with per-record CRCs.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! marker   u8   0xA5
+//! seq      u64  monotonically increasing, starts at 1
+//! len      u32  payload length
+//! crc      u32  CRC-32 of (seq ‖ payload)
+//! payload  len bytes
+//! ```
+//!
+//! The reader walks records until the first one that is incomplete or
+//! fails its CRC — a torn tail from a crash mid-append — and reports
+//! everything before it. [`WalWriter::open`] truncates that torn tail
+//! so new appends extend a clean log. The CRC covers the sequence
+//! number too, so a record spliced in from another log position is
+//! rejected.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+
+const RECORD_MARKER: u8 = 0xA5;
+const RECORD_HEADER_LEN: usize = 1 + 8 + 4 + 4;
+
+/// One verified record read back from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotonic sequence number (1-based).
+    pub seq: u64,
+    /// Application payload (odin-core encodes `WalEvent`s here).
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning a log: the verified records plus whether a torn
+/// or corrupt tail was skipped.
+#[derive(Debug, Default)]
+pub struct WalReader {
+    /// Records that passed their CRC, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// True if bytes after the last good record were unreadable (torn
+    /// append or bit rot) and were ignored.
+    pub torn_tail: bool,
+}
+
+fn record_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(payload);
+    crc32(&buf)
+}
+
+/// Scan `bytes`, returning verified records, the byte offset just past
+/// the last good record, and whether a torn tail follows it.
+fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize, bool) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut expect_seq = 1u64;
+    while bytes.len() - pos >= RECORD_HEADER_LEN {
+        let at = pos;
+        if bytes[at] != RECORD_MARKER {
+            return (records, pos, true);
+        }
+        let seq = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[at + 9..at + 13].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 13..at + 17].try_into().unwrap());
+        let body_start = at + RECORD_HEADER_LEN;
+        let Some(body_end) = body_start.checked_add(len) else {
+            return (records, pos, true);
+        };
+        if body_end > bytes.len() {
+            return (records, pos, true);
+        }
+        let payload = &bytes[body_start..body_end];
+        if seq != expect_seq || record_crc(seq, payload) != crc {
+            return (records, pos, true);
+        }
+        records.push(WalRecord { seq, payload: payload.to_vec() });
+        expect_seq += 1;
+        pos = body_end;
+    }
+    let torn = pos != bytes.len();
+    (records, pos, torn)
+}
+
+/// Read every verified record from the log at `path`. A missing file is
+/// an empty log, not an error; a torn tail is reported, not fatal.
+pub fn read_wal(path: &Path) -> Result<WalReader, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReader::default()),
+        Err(e) => return Err(e.into()),
+    };
+    let (records, _, torn_tail) = scan(&bytes);
+    Ok(WalReader { records, torn_tail })
+}
+
+/// Appender over a WAL file. Opening recovers the existing log (and
+/// truncates any torn tail); appends are durable after [`WalWriter::sync`].
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl WalWriter {
+    /// Open (or create) the log at `path`, scanning existing records to
+    /// resume the sequence. A torn tail left by a crash is truncated
+    /// away so the next append starts on a clean boundary.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, good_len, torn) = scan(&bytes);
+        if torn {
+            file.set_len(good_len as u64)?;
+        }
+        file.seek(SeekFrom::Start(good_len as u64))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            next_seq: records.last().map_or(1, |r| r.seq + 1),
+        })
+    }
+
+    /// Path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the last appended record (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Append one record, returning its sequence number. The bytes are
+    /// written and flushed to the OS; call [`WalWriter::sync`] to force
+    /// them to disk.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let mut buf = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        buf.push(RECORD_MARKER);
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&record_crc(seq, payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.file.flush()?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// fsync the log file.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "odin-wal-{}-{:?}-{name}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let path = temp_path("basic");
+        std::fs::remove_file(&path).ok();
+        let mut w = WalWriter::open(&path).unwrap();
+        assert_eq!(w.append(b"one").unwrap(), 1);
+        assert_eq!(w.append(b"two").unwrap(), 2);
+        assert_eq!(w.append(b"").unwrap(), 3);
+        w.sync().unwrap();
+        drop(w);
+
+        let r = read_wal(&path).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(r.records[0].payload, b"one");
+        assert_eq!(r.records[1].payload, b"two");
+        assert_eq!(r.records[2].payload, b"");
+        assert_eq!(r.records[2].seq, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let r = read_wal(&temp_path("never-created")).unwrap();
+        assert!(r.records.is_empty());
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn reopen_resumes_sequence() {
+        let path = temp_path("resume");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(b"a").unwrap();
+            w.append(b"b").unwrap();
+        }
+        let mut w = WalWriter::open(&path).unwrap();
+        assert_eq!(w.next_seq(), 3);
+        w.append(b"c").unwrap();
+        let r = read_wal(&path).unwrap();
+        assert_eq!(r.records.iter().map(|x| x.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_truncated_on_reopen() {
+        let path = temp_path("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(b"keep-1").unwrap();
+            w.append(b"keep-2").unwrap();
+        }
+        // Simulate a crash mid-append: half a record at the tail.
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[RECORD_MARKER, 3, 0, 0]).unwrap();
+        }
+        let r = read_wal(&path).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records.len(), 2);
+
+        // Reopen truncates the torn bytes and resumes cleanly.
+        let mut w = WalWriter::open(&path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        assert_eq!(w.append(b"keep-3").unwrap(), 3);
+        let r = read_wal(&path).unwrap();
+        assert!(!r.torn_tail);
+        assert_eq!(r.records.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay_there() {
+        let path = temp_path("corrupt");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(b"good").unwrap();
+            w.append(b"flipped").unwrap();
+            w.append(b"unreachable").unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit in the second record.
+        let second_start = RECORD_HEADER_LEN + 4;
+        bytes[second_start + RECORD_HEADER_LEN] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let r = read_wal(&path).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].payload, b"good");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spliced_record_with_wrong_seq_rejected() {
+        let path = temp_path("splice");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(b"aaaa").unwrap();
+            w.append(b"bbbb").unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let rec_len = RECORD_HEADER_LEN + 4;
+        // Duplicate record 1 where record 2 should be: CRC is valid for
+        // seq 1, but the position expects seq 2.
+        let mut spliced = bytes[..rec_len].to_vec();
+        spliced.extend_from_slice(&bytes[..rec_len]);
+        std::fs::write(&path, &spliced).unwrap();
+        let r = read_wal(&path).unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the [`Layer::extra_state`] / `load_extra_state`
+//! contract across every layer type: the reported length always matches
+//! the buffer, a save→load roundtrip is the identity, and loaded state
+//! fully determines eval-mode behaviour (the invariants the odin-store
+//! checkpoint format relies on to rebuild bit-identical networks).
+
+use odin_tensor::layers::{
+    BatchNorm2d, Conv2d, Dense, Flatten, GlobalAvgPool, GlobalMaxPool, LeakyRelu, MaxPool2, Relu,
+    Reshape, Sigmoid, Tanh, Upsample2,
+};
+use odin_tensor::{Layer, Sequential, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every layer type the crate exports, boxed for uniform checking.
+fn all_layers(channels: usize, seed: u64) -> Vec<Box<dyn Layer>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        Box::new(Relu::new()),
+        Box::new(LeakyRelu::new(0.1)),
+        Box::new(Sigmoid::new()),
+        Box::new(Tanh::new()),
+        Box::new(Conv2d::new(channels, channels, 3, 1, 1, &mut rng)),
+        Box::new(Dense::new(8, 4, &mut rng)),
+        Box::new(BatchNorm2d::new(channels)),
+        Box::new(GlobalAvgPool::new()),
+        Box::new(GlobalMaxPool::new()),
+        Box::new(MaxPool2::new()),
+        Box::new(Flatten::new()),
+        Box::new(Reshape::new(channels, 2, 2)),
+        Box::new(Upsample2::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `extra_state()` and `extra_state_len()` agree for every layer,
+    /// and reloading a layer's own state is the identity.
+    #[test]
+    fn reported_length_matches_and_self_roundtrip_holds(
+        channels in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        for mut layer in all_layers(channels, seed) {
+            let state = layer.extra_state();
+            prop_assert_eq!(
+                state.len(),
+                layer.extra_state_len(),
+                "{} misreports its extra-state length",
+                layer.name()
+            );
+            layer.load_extra_state(&state);
+            let reread: Vec<u32> = layer.extra_state().iter().map(|v| v.to_bits()).collect();
+            let orig: Vec<u32> = state.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(reread, orig, "{} self-roundtrip drifted", layer.name());
+        }
+    }
+
+    /// Only BatchNorm2d carries extra state; every stateless layer must
+    /// report zero so container formats can skip it.
+    #[test]
+    fn stateless_layers_report_empty(channels in 1usize..5, seed in 0u64..1000) {
+        for layer in all_layers(channels, seed) {
+            if layer.name() == "BatchNorm2d" {
+                prop_assert_eq!(layer.extra_state_len(), 2 * channels);
+            } else {
+                prop_assert_eq!(
+                    layer.extra_state_len(),
+                    0,
+                    "{} unexpectedly claims extra state",
+                    layer.name()
+                );
+                prop_assert!(layer.extra_state().is_empty());
+            }
+        }
+    }
+
+    /// Arbitrary (valid) running statistics roundtrip bit-exactly
+    /// through load→save, and two twins loaded with the same state are
+    /// bit-identical in eval mode.
+    #[test]
+    fn batchnorm_state_roundtrips_and_determines_inference(
+        channels in 1usize..5,
+        state_seed in 0u64..u64::MAX,
+    ) {
+        let state = {
+            let mut s = state_seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) * 5.0 + 0.01
+            };
+            (0..2 * channels).map(|_| next()).collect::<Vec<f32>>()
+        };
+        let mut a = BatchNorm2d::new(channels);
+        let mut b = BatchNorm2d::new(channels);
+        a.load_extra_state(&state);
+        b.load_extra_state(&state);
+        let reread: Vec<u32> = a.extra_state().iter().map(|v| v.to_bits()).collect();
+        let orig: Vec<u32> = state.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(reread, orig, "loaded state must read back bit-exactly");
+
+        let input = Tensor::from_vec(
+            (0..2 * channels * 9).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[2, channels, 3, 3],
+        );
+        let ya = a.infer(&input);
+        let yb = b.infer(&input);
+        let bits_a: Vec<u32> = ya.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = yb.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits_a, bits_b, "same state must mean same eval output");
+    }
+
+    /// A Sequential export→import roundtrip (parameters + extra state
+    /// together) rebuilds a bit-identical network even after training
+    /// has moved the running statistics off their defaults.
+    #[test]
+    fn sequential_export_import_carries_extra_state(
+        seed in 0u64..1000,
+        steps in 1usize..4,
+    ) {
+        let channels = 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(channels, channels, 3, 1, 1, &mut rng))
+            .push(BatchNorm2d::new(channels))
+            .push(Relu::new());
+        // Drive training-mode forwards so the running stats move.
+        for step in 0..steps {
+            let x = Tensor::from_vec(
+                (0..channels * 16).map(|i| ((i + step) as f32 * 0.21).cos()).collect(),
+                &[1, channels, 4, 4],
+            );
+            let _ = net.forward(&x, true);
+        }
+        let flat = net.export_params();
+        prop_assert_eq!(flat.len(), net.export_len());
+
+        let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut twin = Sequential::new()
+            .push(Conv2d::new(channels, channels, 3, 1, 1, &mut rng2))
+            .push(BatchNorm2d::new(channels))
+            .push(Relu::new());
+        twin.import_params(&flat);
+
+        let x = Tensor::from_vec(
+            (0..channels * 16).map(|i| (i as f32 * 0.13).sin()).collect(),
+            &[1, channels, 4, 4],
+        );
+        let ya = net.infer(&x);
+        let yb = twin.infer(&x);
+        let bits_a: Vec<u32> = ya.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = yb.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits_a, bits_b, "export/import must carry running stats");
+    }
+}
+
+/// Length mismatches must panic loudly (the documented contract), not
+/// silently truncate — a checkpoint bug would otherwise corrupt stats.
+#[test]
+#[should_panic(expected = "state length mismatch")]
+fn batchnorm_rejects_wrong_state_length() {
+    let mut bn = BatchNorm2d::new(3);
+    bn.load_extra_state(&[0.0; 5]);
+}

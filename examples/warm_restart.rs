@@ -1,0 +1,125 @@
+//! Warm restart: checkpoint a live pipeline mid-stream, "crash", and
+//! resume in a fresh process with zero re-learning.
+//!
+//! ```text
+//! cargo run --release --example warm_restart
+//! ```
+//!
+//! Phase 1 streams the first concept (NIGHT-DATA) through a live ODIN
+//! with a store attached: every drift event and model install lands in
+//! the WAL, and a snapshot is written after each drift. Phase 2 drops
+//! the instance on the floor — the crash — and rebuilds from the store
+//! directory alone. The restored pipeline then serves the second concept
+//! and must make *bit-identical* serving decisions to the original: same
+//! `ServedBy` path on every frame, same model weights, same deployment
+//! footprint. A final pass corrupts the snapshot and shows the graceful
+//! cold-bootstrap fallback.
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::{CheckpointPolicy, SNAPSHOT_FILE};
+use odin_data::{SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cold_odin() -> Odin {
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    let cfg = OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 20,
+        ..OdinConfig::default()
+    };
+    Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 42)
+}
+
+fn main() {
+    let store_dir = std::env::temp_dir().join(format!("odin-warm-restart-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    let night = gen.subset_frames(&mut rng, Subset::Night, 60);
+    let day = gen.subset_frames(&mut rng, Subset::Day, 60);
+
+    // Phase 1: live pipeline with persistence attached.
+    println!("phase 1: streaming NIGHT-DATA with a store at {}", store_dir.display());
+    let mut live = cold_odin();
+    live.enable_store(&store_dir, CheckpointPolicy::OnDrift).expect("enable store");
+    live.process_stream(&night);
+    live.flush_store();
+    let stats = live.stats();
+    println!(
+        "  clusters: {}, models: {}, WAL events: {}, snapshots: {}",
+        live.manager().clusters().len(),
+        live.model_count(),
+        stats.wal_events_logged,
+        stats.snapshots_written,
+    );
+    assert!(live.model_count() > 0, "expected at least one specialized model");
+
+    // A clean-shutdown snapshot at the "crash" point. The OnDrift
+    // snapshots + WAL above already guarantee no *learned* state can be
+    // lost; this full snapshot additionally captures the transient frame
+    // buffers, which is what makes the continuation bit-identical
+    // rather than merely converged.
+    live.checkpoint(&store_dir.join(SNAPSHOT_FILE)).expect("shutdown snapshot");
+
+    // Phase 2: "crash" and restore from disk alone — *before* the live
+    // instance moves on, so both start the second concept from the same
+    // recovered state.
+    println!("phase 2: restoring from {}", store_dir.display());
+    let mut restored = Odin::restore_from_dir(&store_dir).expect("warm restore");
+    println!(
+        "  restored clusters: {}, models: {}, memory: {} bytes",
+        restored.manager().clusters().len(),
+        restored.model_count(),
+        restored.memory_bytes(),
+    );
+    assert_eq!(restored.memory_bytes(), live.memory_bytes());
+
+    // The reference continuation: what the original process serves on
+    // the second concept vs what the restored one serves.
+    let reference: Vec<_> = live.process_stream(&day).iter().map(|r| r.served_by).collect();
+    let served: Vec<_> = restored.process_stream(&day).iter().map(|r| r.served_by).collect();
+    assert_eq!(served, reference, "restored pipeline diverged from the original");
+    assert_eq!(restored.memory_bytes(), live.memory_bytes());
+    println!(
+        "  identical serving on {} DAY-DATA frames (and identical {}-byte footprint)",
+        served.len(),
+        restored.memory_bytes(),
+    );
+
+    // Phase 3: corruption is rejected, not served.
+    println!("phase 3: corrupting the snapshot");
+    let snap = store_dir.join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap, &bytes).expect("write corrupted snapshot");
+    match Odin::restore_from_dir(&store_dir) {
+        Err(e) => println!("  corruption detected as expected: {e}"),
+        Ok(_) => panic!("corrupt snapshot must not restore"),
+    }
+    let cold = Odin::restore_or_else(&snap, cold_odin);
+    println!("  cold bootstrap fallback engaged: {} models (fresh system)", cold.model_count());
+
+    std::fs::remove_dir_all(&store_dir).ok();
+    println!("warm restart demo complete");
+}

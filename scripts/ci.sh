@@ -22,4 +22,15 @@ cargo test -q
 echo "==> ODIN_THREADS=2 cargo test -q"
 ODIN_THREADS=2 cargo test -q
 
+# Crash-recovery smoke: write a checkpoint with a 2-thread tensor
+# backend, truncate / bit-flip it, and require that (a) the corruption
+# is reported through the CRC/version checks and (b) a cold bootstrap
+# still comes up clean. The warm_restart example then drives the full
+# checkpoint -> crash -> restore -> bit-identical-serving path in a
+# real process.
+echo "==> crash-recovery smoke (ODIN_THREADS=2)"
+ODIN_THREADS=2 cargo test -q -p odin-core --test checkpoint -- \
+    truncated_checkpoint_falls_back_to_cold_bootstrap bit_flip_is_detected
+ODIN_THREADS=2 cargo run --release -p odin-core --example warm_restart >/dev/null
+
 echo "CI OK"

@@ -1,0 +1,278 @@
+//! Crash-safe persistence of the whole pipeline: a checkpoint must
+//! restore to a bit-identical system (same `ServedBy` decisions, same
+//! detections, same `memory_bytes`), corruption must be rejected with a
+//! clean cold-bootstrap fallback instead of a panic, and the drift-event
+//! WAL must replay promotions/evictions/installs newer than the last
+//! snapshot.
+
+use std::path::PathBuf;
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::training::TrainingMode;
+use odin_core::{CheckpointPolicy, SNAPSHOT_FILE};
+use odin_data::{Frame, SceneGen, Subset};
+use odin_detect::{Detection, Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_cfg(training: TrainingMode) -> OdinConfig {
+    OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 20,
+        training,
+        ..OdinConfig::default()
+    }
+}
+
+fn new_odin(training: TrainingMode) -> Odin {
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    Odin::new(Box::new(HistogramEncoder::new()), teacher, quick_cfg(training), 42)
+}
+
+fn night_then_day(n_each: usize) -> (Vec<Frame>, Vec<Frame>) {
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    (
+        gen.subset_frames(&mut rng, Subset::Night, n_each),
+        gen.subset_frames(&mut rng, Subset::Day, n_each),
+    )
+}
+
+/// Unique scratch path per test (the suite may run in parallel).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("odin-ckpt-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Bitwise fingerprint of a detection list.
+fn fingerprint(dets: &[Detection]) -> Vec<(u32, usize, u32, u32, u32, u32)> {
+    dets.iter()
+        .map(|d| {
+            (
+                d.score.to_bits(),
+                d.bbox.class.index(),
+                d.bbox.x.to_bits(),
+                d.bbox.y.to_bits(),
+                d.bbox.w.to_bits(),
+                d.bbox.h.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn registry_params(odin: &Odin) -> Vec<(usize, Vec<f32>)> {
+    let registry = odin.registry();
+    let registry = registry.read();
+    odin.model_ids()
+        .into_iter()
+        .map(|id| (id, registry.get(id).expect("registered").detector.export_params()))
+        .collect()
+}
+
+/// The headline contract: checkpoint mid-stream, restore in a fresh
+/// process stand-in, and the restored pipeline serves the rest of the
+/// stream *bit-identically* — same `ServedBy` path, same detections,
+/// same deployment footprint.
+#[test]
+fn checkpoint_restore_is_bit_identical_inline() {
+    let path = scratch("roundtrip").join("snap.odst");
+    let (night, day) = night_then_day(60);
+
+    let mut original = new_odin(TrainingMode::Inline);
+    original.process_stream(&night);
+    assert!(original.model_count() > 0, "fixture trained no model before checkpoint");
+    original.checkpoint(&path).expect("checkpoint");
+
+    let mut restored = Odin::restore(&path).expect("restore");
+    assert_eq!(restored.memory_bytes(), original.memory_bytes());
+    assert_eq!(registry_params(&restored), registry_params(&original));
+    assert_eq!(restored.manager().clusters().len(), original.manager().clusters().len());
+
+    let before = original.stats();
+    let after = restored.stats();
+    assert_eq!(before.jobs_submitted, after.jobs_submitted);
+    assert_eq!(before.models_installed, after.models_installed);
+
+    // Serve the second concept on both instances.
+    let res_orig = original.process_stream(&day);
+    let res_rest = restored.process_stream(&day);
+    for (a, b) in res_orig.iter().zip(&res_rest) {
+        assert_eq!(a.served_by, b.served_by, "ServedBy diverged after restore");
+        assert_eq!(a.assignment, b.assignment, "assignment diverged after restore");
+        assert_eq!(
+            fingerprint(&a.detections),
+            fingerprint(&b.detections),
+            "detections diverged after restore"
+        );
+    }
+    assert_eq!(original.memory_bytes(), restored.memory_bytes());
+    assert_eq!(registry_params(&original), registry_params(&restored));
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+/// A checkpoint taken while background jobs are queued/running retains
+/// their inputs and seeds; the restored pipeline converges to the same
+/// models as the uninterrupted run.
+#[test]
+fn background_checkpoint_converges_to_identical_models() {
+    let path = scratch("background").join("snap.odst");
+    let (night, day) = night_then_day(60);
+
+    let mut original = new_odin(TrainingMode::Background { workers: 2 });
+    original.process_stream(&night);
+    original.checkpoint(&path).expect("checkpoint");
+
+    let mut restored = Odin::restore(&path).expect("restore");
+    original.process_stream(&day);
+    restored.process_stream(&day);
+    original.finish_training();
+    restored.finish_training();
+
+    assert!(original.model_count() > 0, "fixture trained no models");
+    assert_eq!(registry_params(&original), registry_params(&restored));
+    assert_eq!(original.memory_bytes(), restored.memory_bytes());
+    let a = original.stats();
+    let b = restored.stats();
+    assert_eq!(a.models_installed, b.models_installed);
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+/// Truncation anywhere in the file is caught by the section CRCs (or
+/// the header parse) and surfaces as an error — and `restore_or_else`
+/// falls back to a cold bootstrap instead of panicking.
+#[test]
+fn truncated_checkpoint_falls_back_to_cold_bootstrap() {
+    let path = scratch("truncate").join("snap.odst");
+    let (night, _) = night_then_day(40);
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.process_stream(&night);
+    odin.checkpoint(&path).expect("checkpoint");
+
+    let bytes = std::fs::read(&path).expect("read snapshot");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate snapshot");
+    assert!(Odin::restore(&path).is_err(), "truncated checkpoint must be rejected");
+
+    let cold = Odin::restore_or_else(&path, || new_odin(TrainingMode::Inline));
+    assert_eq!(cold.model_count(), 0, "fallback must be a cold bootstrap");
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+/// A single flipped bit in the payload is caught by a section CRC.
+#[test]
+fn bit_flip_is_detected() {
+    let path = scratch("bitflip").join("snap.odst");
+    let (night, _) = night_then_day(40);
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.process_stream(&night);
+    odin.checkpoint(&path).expect("checkpoint");
+
+    let mut bytes = std::fs::read(&path).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).expect("write corrupted snapshot");
+    assert!(Odin::restore(&path).is_err(), "bit flip must be rejected");
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+/// Drift events, evictions, and installs that happen *after* the last
+/// snapshot live in the WAL; `restore_from_dir` replays them so the
+/// recovered system serves like the live one.
+#[test]
+fn wal_replay_recovers_post_snapshot_events() {
+    let dir = scratch("wal-replay");
+    let (night, day) = night_then_day(60);
+
+    let mut live = new_odin(TrainingMode::Inline);
+    live.enable_store(&dir, CheckpointPolicy::Manual).expect("enable store");
+    // Snapshot the empty system, then learn everything afterwards: every
+    // promotion and install must come back from the WAL alone.
+    live.checkpoint(&dir.join(SNAPSHOT_FILE)).expect("snapshot");
+    live.process_stream(&night);
+    live.flush_store();
+    assert!(live.model_count() > 0, "fixture trained no model");
+    assert!(live.stats().wal_events_logged > 0, "no WAL events were logged");
+
+    let mut recovered = Odin::restore_from_dir(&dir).expect("restore from dir");
+    assert_eq!(
+        recovered.manager().clusters().len(),
+        live.manager().clusters().len(),
+        "WAL replay missed promotions"
+    );
+    assert_eq!(registry_params(&recovered), registry_params(&live));
+    assert_eq!(recovered.memory_bytes(), live.memory_bytes());
+    // The recovered system must serve identically on fresh frames.
+    for f in &day[..10] {
+        assert_eq!(fingerprint(&live.infer_only(f)), fingerprint(&recovered.infer_only(f)));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `OnDrift` writes a snapshot at the frame boundary after each
+/// promotion, through the background writer.
+#[test]
+fn on_drift_policy_snapshots_automatically() {
+    let dir = scratch("on-drift");
+    let (night, _) = night_then_day(60);
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.enable_store(&dir, CheckpointPolicy::OnDrift).expect("enable store");
+    odin.process_stream(&night);
+    odin.flush_store();
+    assert!(odin.stats().snapshots_written > 0, "drift did not trigger a snapshot");
+    assert_eq!(odin.store_write_failures(), 0);
+    let restored = Odin::restore_from_dir(&dir).expect("restore from dir");
+    assert!(!restored.manager().clusters().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `EveryNFrames` snapshots on a frame cadence even with no drift.
+#[test]
+fn every_n_frames_policy_snapshots_on_cadence() {
+    let dir = scratch("cadence");
+    let (night, _) = night_then_day(25);
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.enable_store(&dir, CheckpointPolicy::EveryNFrames(10)).expect("enable store");
+    odin.process_stream(&night);
+    odin.flush_store();
+    assert!(odin.stats().snapshots_written >= 2, "cadence snapshots missing");
+    assert!(dir.join(SNAPSHOT_FILE).exists());
+    assert!(Odin::restore_from_dir(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash halfway through a snapshot write must leave the *previous*
+/// snapshot intact: writes go to a tmp file and rename in.
+#[test]
+fn atomic_snapshot_never_destroys_the_previous_one() {
+    let path = scratch("atomic").join("snap.odst");
+    let (night, day) = night_then_day(40);
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.process_stream(&night);
+    odin.checkpoint(&path).expect("first checkpoint");
+    let first = std::fs::read(&path).expect("read first");
+
+    odin.process_stream(&day);
+    odin.checkpoint(&path).expect("second checkpoint");
+    let second = std::fs::read(&path).expect("read second");
+    assert_ne!(first, second, "state changed, snapshots must differ");
+    // Both generations parse — the overwrite was a whole-file swap.
+    assert!(Odin::restore(&path).is_ok());
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
