@@ -18,6 +18,9 @@
 //!   per-cluster filters of §6.6 (ODIN-PP / ODIN-FILTER),
 //! * [`metrics`] — windowed stream evaluation (Figure 9) and
 //!   pipeline-stage counters,
+//! * [`telemetry`] — the observability facade: deterministic counters,
+//!   gauges, per-stage latency histograms, the drift timeline, and the
+//!   structured event log ([`pipeline::Odin::telemetry`]),
 //! * [`store`] — crash-safe persistence glue: full-pipeline checkpoints
 //!   ([`pipeline::Odin::checkpoint`] / [`pipeline::Odin::restore`]) and
 //!   the drift-event WAL ([`pipeline::Odin::enable_store`]).
@@ -60,6 +63,7 @@ pub mod registry;
 pub mod selector;
 pub mod specializer;
 pub mod store;
+pub mod telemetry;
 pub mod training;
 
 pub use encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
@@ -71,4 +75,5 @@ pub use registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 pub use selector::{select, Selection, SelectionPolicy};
 pub use specializer::{Specializer, SpecializerConfig};
 pub use store::{CheckpointPolicy, SNAPSHOT_FILE, WAL_FILE};
+pub use telemetry::Telemetry;
 pub use training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};

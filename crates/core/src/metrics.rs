@@ -9,7 +9,7 @@ use odin_detect::{mean_average_precision, Detection, MAP_IOU};
 /// training work is queued, running, and done, and how often the stream
 /// was served by a stand-in while a cluster's own model was still being
 /// built. `Odin::stats` returns one of these.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineStats {
     /// Training jobs handed to SPECIALIZER (inline runs count too).
     pub jobs_submitted: u64,
@@ -36,6 +36,12 @@ pub struct PipelineStats {
     pub snapshots_written: u64,
     /// Records appended to the drift-event WAL.
     pub wal_events_logged: u64,
+    /// Snapshot or WAL writes that failed. Failures never abort the
+    /// stream (serving wins over persistence), but they must be
+    /// machine-visible — a silently failing store is a disabled store.
+    pub store_errors: u64,
+    /// Description of the most recent store failure, if any.
+    pub last_store_error: Option<String>,
 }
 
 /// One point on the accuracy-over-time curve of Figure 9.
@@ -45,6 +51,9 @@ pub struct WindowPoint {
     pub at: usize,
     /// mAP over the window.
     pub map: f32,
+    /// Number of frames the window actually covered. Full windows carry
+    /// the evaluator's window size; the final flush may carry fewer.
+    pub frames: usize,
 }
 
 /// Accumulates per-frame detections and ground truth, emitting mAP every
@@ -84,7 +93,7 @@ impl StreamEvaluator {
         }
         let refs: Vec<&[GtBox]> = self.gts.iter().map(|g| g.as_slice()).collect();
         let map = mean_average_precision(&self.dets, &refs, MAP_IOU);
-        self.points.push(WindowPoint { at: self.seen, map });
+        self.points.push(WindowPoint { at: self.seen, map, frames: self.dets.len() });
         self.dets.clear();
         self.gts.clear();
     }
@@ -101,13 +110,24 @@ impl StreamEvaluator {
     }
 }
 
-/// Mean of the mAP curve — a scalar summary for ablation tables.
+/// Frame-weighted mean of the mAP curve — a scalar summary for ablation
+/// tables.
+///
+/// Each window contributes in proportion to the frames it covered, so a
+/// short final window (the tail flush of [`StreamEvaluator::finish`])
+/// no longer carries the same weight as a full window — with a 500-frame
+/// stream and a 64-frame window, the old equal weighting let the final
+/// 52 frames swing the summary as hard as any 64. Points with
+/// `frames == 0` (hand-constructed) fall back to an unweighted mean.
 pub fn mean_map(points: &[WindowPoint]) -> f32 {
     if points.is_empty() {
-        0.0
-    } else {
-        points.iter().map(|p| p.map).sum::<f32>() / points.len() as f32
+        return 0.0;
     }
+    let total: usize = points.iter().map(|p| p.frames).sum();
+    if total == 0 {
+        return points.iter().map(|p| p.map).sum::<f32>() / points.len() as f32;
+    }
+    points.iter().map(|p| p.map * p.frames as f32).sum::<f32>() / total as f32
 }
 
 #[cfg(test)]
@@ -159,9 +179,46 @@ mod tests {
 
     #[test]
     fn mean_map_averages() {
-        let pts = vec![WindowPoint { at: 1, map: 0.2 }, WindowPoint { at: 2, map: 0.4 }];
+        let pts = vec![
+            WindowPoint { at: 1, map: 0.2, frames: 1 },
+            WindowPoint { at: 2, map: 0.4, frames: 1 },
+        ];
         assert!((mean_map(&pts) - 0.3).abs() < 1e-6);
         assert_eq!(mean_map(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_map_weights_windows_by_frame_count() {
+        // Regression: a 10-frame window and a 2-frame tail used to
+        // average 50/50; the tail must only carry its share.
+        let pts = vec![
+            WindowPoint { at: 10, map: 0.6, frames: 10 },
+            WindowPoint { at: 12, map: 0.0, frames: 2 },
+        ];
+        let expected = (0.6 * 10.0) / 12.0;
+        assert!((mean_map(&pts) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_map_falls_back_to_unweighted_without_frame_counts() {
+        let pts = vec![
+            WindowPoint { at: 1, map: 0.2, frames: 0 },
+            WindowPoint { at: 2, map: 0.6, frames: 0 },
+        ];
+        assert!((mean_map(&pts) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluator_reports_partial_window_frame_counts() {
+        let f = frame();
+        let mut ev = StreamEvaluator::new(2);
+        for _ in 0..3 {
+            ev.record(&f, Vec::new());
+        }
+        let pts = ev.finish();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].frames, 2);
+        assert_eq!(pts[1].frames, 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
 use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
 use odin_store::checkpoint::write_atomic;
 use odin_store::{read_wal, Checkpoint, CheckpointBuilder, Decoder, Encoder, Persist, StoreError};
+use odin_telemetry::{Level, TimelineStage};
 
 use crate::encoder::LatentEncoder;
 use crate::metrics::PipelineStats;
@@ -30,10 +31,11 @@ use crate::specializer::{Specializer, SpecializerConfig};
 use crate::store::{
     decode_wal_event, encode_drift, encode_evict, encode_install, persist_detector,
     persist_encoder, persist_frames, persist_registry_models, persist_retained_jobs,
-    restore_detector, restore_encoder, restore_frames, restore_registry_models,
-    restore_retained_jobs, section, CheckpointPolicy, PipelineStore, RetainedJob, WalEvent,
-    SNAPSHOT_FILE, WAL_FILE,
+    persist_telemetry, restore_detector, restore_encoder, restore_frames, restore_registry_models,
+    restore_retained_jobs, restore_telemetry, section, CheckpointPolicy, PipelineStore,
+    RetainedJob, WalEvent, SNAPSHOT_FILE, WAL_FILE,
 };
+use crate::telemetry::Telemetry;
 use crate::training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
 
 /// Frames encoded per [`LatentEncoder::project_batch`] call by the
@@ -160,6 +162,7 @@ pub struct Odin {
     /// background snapshot writer, and the snapshot policy.
     store: Option<PipelineStore>,
     stats: PipelineStats,
+    telemetry: Telemetry,
     cfg: OdinConfig,
     seed: u64,
     model_seq: u64,
@@ -176,11 +179,15 @@ impl Odin {
     ) -> Self {
         let teacher = Arc::new(teacher);
         let specializer = Specializer::new(cfg.specializer);
+        let telemetry = Telemetry::new();
         let pool = match cfg.training {
             TrainingMode::Inline => None,
-            TrainingMode::Background { workers } => {
-                Some(TrainingPool::new(workers, specializer, Arc::clone(&teacher)))
-            }
+            TrainingMode::Background { workers } => Some(TrainingPool::new(
+                workers,
+                specializer,
+                Arc::clone(&teacher),
+                telemetry.time_source(),
+            )),
         };
         Odin {
             encoder,
@@ -195,6 +202,7 @@ impl Odin {
             pool,
             store: None,
             stats: PipelineStats::default(),
+            telemetry,
             cfg,
             seed,
             model_seq: 0,
@@ -250,12 +258,23 @@ impl Odin {
     /// teacher or a fallback ensemble while their cluster's model was
     /// still pending.
     pub fn stats(&self) -> PipelineStats {
-        let mut s = self.stats;
+        let mut s = self.stats.clone();
         if let Some(pool) = &self.pool {
             s.queue_depth = pool.queue_depth();
             s.in_flight = pool.in_flight();
         }
+        s.store_errors = self.telemetry.store_errors.get();
+        s.last_store_error = self.telemetry.last_store_error();
         s
+    }
+
+    /// The pipeline's telemetry facade: per-stage latency histograms,
+    /// counters, the drift timeline, and the structured event log.
+    /// Render with [`Telemetry::render_prometheus`] /
+    /// [`Telemetry::render_json`], or take a typed
+    /// [`Telemetry::snapshot`].
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Stage ❶+❷ ingest: observe the frame (whose latent projection was
@@ -268,7 +287,9 @@ impl Odin {
         // Land any background-trained models before observing, so this
         // frame already sees them.
         self.install_completed();
+        let t0 = self.telemetry.now_ms();
         let obs = self.manager.observe(&latent);
+        self.telemetry.stage_ingest.observe_ms(self.telemetry.now_ms() - t0);
         match obs.assignment {
             Assignment::Temporary => {
                 if self.temp_frames.len() < self.cfg.buffer_cap {
@@ -287,6 +308,12 @@ impl Odin {
             }
         }
         if let Some(event) = obs.promoted {
+            self.telemetry.drift_events.inc();
+            self.telemetry.record_timeline(
+                TimelineStage::DriftDetected,
+                event.cluster_id,
+                event.at,
+            );
             // Log the promotion (with the full new-cluster state) before
             // any consequence of it, mirroring the live apply order.
             if self.store.is_some() {
@@ -300,6 +327,12 @@ impl Odin {
             self.pending.insert(event.cluster_id, seed_frames);
             self.try_train(event.cluster_id);
             if let Some(evicted) = obs.evicted {
+                self.telemetry.evictions.inc();
+                self.telemetry.record_timeline(
+                    TimelineStage::ClusterEvicted,
+                    evicted,
+                    self.manager.seen(),
+                );
                 if self.store.is_some() {
                     let p = encode_evict(evicted);
                     self.wal_append(&p);
@@ -321,8 +354,13 @@ impl Odin {
     /// Processes one frame end-to-end.
     pub fn process(&mut self, frame: &Frame) -> FrameResult {
         if self.cfg.baseline_only {
+            self.telemetry.frames.inc();
+            self.telemetry.served_teacher.inc();
+            let t0 = self.telemetry.now_ms();
+            let detections = self.teacher.detect(&frame.image);
+            self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t0);
             return FrameResult {
-                detections: self.teacher.detect(&frame.image),
+                detections,
                 assignment: Assignment::Temporary,
                 drift: None,
                 used_teacher: true,
@@ -330,16 +368,20 @@ impl Odin {
                 selection: Selection::empty(),
             };
         }
+        let t0 = self.telemetry.now_ms();
         let latent = self.encoder.project(&frame.image);
+        self.telemetry.stage_encode.observe_ms(self.telemetry.now_ms() - t0);
         self.process_with_latent(frame, latent)
     }
 
     /// [`Odin::process`] for a pre-computed latent (the batched path).
     fn process_with_latent(&mut self, frame: &Frame, latent: Vec<f32>) -> FrameResult {
+        self.telemetry.frames.inc();
         // ❶+❷ DETECTOR ingest and SPECIALIZER scheduling.
         let outcome = self.ingest_with_latent(frame, latent);
         // ❸ SELECTOR: pick models and run inference.
         let (detections, served_by, selection) = self.infer(&outcome.latent, frame);
+        self.update_gauges();
 
         // While a cluster's model is still being collected for, queued,
         // or trained, its frames are covered by the teacher or by
@@ -384,14 +426,20 @@ impl Odin {
             OracleLabels::Never => ModelKind::Lite,
         };
         self.stats.jobs_submitted += 1;
+        self.telemetry.jobs_submitted.inc();
+        self.telemetry.record_timeline(
+            TimelineStage::TrainJobQueued,
+            cluster_id,
+            self.manager.seen(),
+        );
         match &self.pool {
             None => {
-                let t0 = std::time::Instant::now();
+                let t0 = self.telemetry.now_ms();
                 let detector = match kind {
                     ModelKind::Specialized => self.specializer.build_specialized(seed, &frames),
                     ModelKind::Lite => self.specializer.build_lite(seed, &self.teacher, &frames),
                 };
-                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let wall_ms = self.telemetry.now_ms() - t0;
                 self.install(TrainedModel { cluster_id, detector, kind, wall_ms });
             }
             Some(pool) => {
@@ -408,6 +456,7 @@ impl Odin {
         self.training_pending.remove(&model.cluster_id);
         self.inflight.remove(&model.cluster_id);
         self.stats.train_wall_ms += model.wall_ms;
+        self.telemetry.stage_train.observe_ms(model.wall_ms);
         if self.manager.cluster(model.cluster_id).is_none() {
             return; // evicted mid-training; drop the orphan model
         }
@@ -415,6 +464,14 @@ impl Odin {
             let p = encode_install(model.cluster_id, model.kind, &model.detector);
             self.wal_append(&p);
         }
+        let (counter, stage) = match model.kind {
+            ModelKind::Lite => (&self.telemetry.models_lite, TimelineStage::LiteInstalled),
+            ModelKind::Specialized => {
+                (&self.telemetry.models_specialized, TimelineStage::SpecializedInstalled)
+            }
+        };
+        counter.inc();
+        self.telemetry.record_timeline(stage, model.cluster_id, self.manager.seen());
         self.registry
             .write()
             .insert(model.cluster_id, ClusterModel { detector: model.detector, kind: model.kind });
@@ -447,9 +504,15 @@ impl Odin {
     /// teacher when no model is applicable.
     fn infer(&self, z: &[f32], frame: &Frame) -> (Vec<Detection>, ServedBy, Selection) {
         let registry = self.registry.read();
+        let t0 = self.telemetry.now_ms();
         let selection = select_existing(self.cfg.policy, &self.manager, &registry, z);
+        let t1 = self.telemetry.now_ms();
+        self.telemetry.stage_select.observe_ms(t1 - t0);
         if selection.is_empty() {
-            return (self.teacher.detect(&frame.image), ServedBy::Teacher, selection);
+            let dets = self.teacher.detect(&frame.image);
+            self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t1);
+            self.telemetry.served_teacher.inc();
+            return (dets, ServedBy::Teacher, selection);
         }
         let k = selection.models.len() as f32;
         let mut pool: Vec<Detection> = Vec::new();
@@ -464,7 +527,24 @@ impl Odin {
         }
         let served =
             if selection.used_fallback { ServedBy::FallbackEnsemble } else { ServedBy::Ensemble };
-        (nms(pool, DEFAULT_NMS_IOU), served, selection)
+        match served {
+            ServedBy::FallbackEnsemble => self.telemetry.served_fallback.inc(),
+            _ => self.telemetry.served_ensemble.inc(),
+        }
+        let dets = nms(pool, DEFAULT_NMS_IOU);
+        self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t1);
+        (dets, served, selection)
+    }
+
+    /// Refreshes the instantaneous gauges (cluster count, model count,
+    /// training queue). Called once per processed frame.
+    fn update_gauges(&self) {
+        self.telemetry.clusters.set(self.manager.clusters().len() as i64);
+        self.telemetry.models.set(self.registry.read().len() as i64);
+        if let Some(pool) = &self.pool {
+            self.telemetry.queue_depth.set(pool.queue_depth() as i64);
+            self.telemetry.in_flight.set(pool.in_flight() as i64);
+        }
     }
 
     /// Switches the SELECTOR policy (used by the Table-5 experiment to
@@ -493,9 +573,12 @@ impl Odin {
     pub fn process_batch(&mut self, frames: &[Frame]) -> Vec<FrameResult> {
         if self.cfg.baseline_only {
             let images: Vec<_> = frames.iter().map(|f| &f.image).collect();
-            return self
-                .teacher
-                .detect_batch(&images)
+            self.telemetry.frames.add(frames.len() as u64);
+            self.telemetry.served_teacher.add(frames.len() as u64);
+            let t0 = self.telemetry.now_ms();
+            let batched = self.teacher.detect_batch(&images);
+            self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t0);
+            return batched
                 .into_iter()
                 .map(|detections| FrameResult {
                     detections,
@@ -508,7 +591,9 @@ impl Odin {
                 .collect();
         }
         let images: Vec<_> = frames.iter().map(|f| &f.image).collect();
+        let t0 = self.telemetry.now_ms();
         let latents = self.encoder.project_batch(&images);
+        self.telemetry.stage_encode.observe_ms(self.telemetry.now_ms() - t0);
         frames.iter().zip(latents).map(|(f, z)| self.process_with_latent(f, z)).collect()
     }
 
@@ -537,7 +622,9 @@ impl Odin {
         let mut promoted = Vec::new();
         for chunk in frames.chunks(ENCODE_CHUNK.max(1)) {
             let images: Vec<_> = chunk.iter().map(|f| &f.image).collect();
+            let t0 = self.telemetry.now_ms();
             let latents = self.encoder.project_batch(&images);
+            self.telemetry.stage_encode.observe_ms(self.telemetry.now_ms() - t0);
             for (f, z) in chunk.iter().zip(latents) {
                 let outcome = self.ingest_with_latent(f, z);
                 let drifted = outcome.drift.is_some();
@@ -563,6 +650,7 @@ impl Odin {
     /// checksummed `odin-store` checkpoint container. `last_wal_seq`
     /// records which WAL records the snapshot already covers.
     fn snapshot_bytes(&self, last_wal_seq: u64) -> Result<Vec<u8>, StoreError> {
+        let t0 = self.telemetry.now_ms();
         let mut builder = CheckpointBuilder::new();
 
         let mut enc = Encoder::new();
@@ -607,6 +695,14 @@ impl Odin {
 
         builder.section(section::STATS, self.stats.to_store_bytes());
 
+        // Observe the build before serializing the telemetry section, so
+        // the persisted histograms include this very build — that makes
+        // a restored pipeline's telemetry bit-identical to the writer's.
+        // (The timing excludes only the telemetry serialization itself,
+        // which is negligible next to model/frame serialization.)
+        self.telemetry.stage_snapshot_build.observe_ms(self.telemetry.now_ms() - t0);
+        builder.section(section::TELEMETRY, persist_telemetry(&self.telemetry.snapshot()));
+
         Ok(builder.to_bytes())
     }
 
@@ -618,9 +714,21 @@ impl Odin {
     /// (see [`crate::encoder::EncoderSnapshot`]).
     pub fn checkpoint(&mut self, path: &Path) -> Result<(), StoreError> {
         let last = self.store.as_ref().map(|s| s.wal.last_seq()).unwrap_or(0);
-        let bytes = self.snapshot_bytes(last)?;
-        write_atomic(path, &bytes)?;
+        // Count the snapshot before building it so the persisted
+        // counters cover it — a restored pipeline then agrees with the
+        // writer. (Manual checkpoint writes are synchronous and not
+        // timed into the write-stage histogram, which covers the
+        // background writer; their failure surfaces as the returned
+        // error *and* in store_errors_total.)
         self.stats.snapshots_written += 1;
+        self.telemetry.snapshots.inc();
+        let bytes = self.snapshot_bytes(last).inspect_err(|e| {
+            self.telemetry.record_store_error("snapshot build failed", e);
+        })?;
+        write_atomic(path, &bytes).inspect_err(|e| {
+            self.telemetry
+                .record_store_error(format!("snapshot write to {} failed", path.display()), e);
+        })?;
         Ok(())
     }
 
@@ -641,15 +749,22 @@ impl Odin {
         Ok(odin)
     }
 
-    /// [`Odin::restore`], falling back to `cold_bootstrap()` with the
-    /// failure reason logged to stderr when the checkpoint is missing,
-    /// corrupt, or from an unsupported format version.
+    /// [`Odin::restore`], falling back to `cold_bootstrap()` when the
+    /// checkpoint is missing, corrupt, or from an unsupported format
+    /// version. The failure reason is emitted as a warn-level event on
+    /// the fresh instance's telemetry (whose default stderr sink keeps
+    /// it visible on the console).
     pub fn restore_or_else(path: &Path, cold_bootstrap: impl FnOnce() -> Self) -> Self {
         match Self::restore(path) {
             Ok(odin) => odin,
             Err(e) => {
-                eprintln!("odin-store: cold bootstrap: cannot restore {}: {e}", path.display());
-                cold_bootstrap()
+                let odin = cold_bootstrap();
+                odin.telemetry.event(
+                    Level::Warn,
+                    "store",
+                    format!("cold bootstrap: cannot restore {}: {e}", path.display()),
+                );
+                odin
             }
         }
     }
@@ -722,6 +837,11 @@ impl Odin {
                 registry.insert(id, ClusterModel { detector, kind });
             }
         }
+        // Telemetry is optional for forward compatibility with
+        // pre-telemetry checkpoints: absent section → fresh metrics.
+        if let Some(bytes) = cp.section(section::TELEMETRY) {
+            odin.telemetry.load(&restore_telemetry(bytes)?);
+        }
         odin.resubmit_inflight(inflight);
         Ok((odin, last_wal_seq))
     }
@@ -745,7 +865,7 @@ impl Odin {
                     self.inflight.insert(cluster_id, job);
                 }
                 None => {
-                    let t0 = std::time::Instant::now();
+                    let t0 = self.telemetry.now_ms();
                     let detector = match job.kind {
                         ModelKind::Specialized => {
                             self.specializer.build_specialized(job.seed, &job.frames)
@@ -754,7 +874,7 @@ impl Odin {
                             self.specializer.build_lite(job.seed, &self.teacher, &job.frames)
                         }
                     };
-                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let wall_ms = self.telemetry.now_ms() - t0;
                     self.install(TrainedModel { cluster_id, detector, kind: job.kind, wall_ms });
                 }
             }
@@ -794,7 +914,7 @@ impl Odin {
     /// a background thread — the serving path never blocks on disk).
     /// Recover later with [`Odin::restore_from_dir`].
     pub fn enable_store(&mut self, dir: &Path, policy: CheckpointPolicy) -> Result<(), StoreError> {
-        self.store = Some(PipelineStore::open(dir, policy)?);
+        self.store = Some(PipelineStore::open(dir, policy, self.telemetry.clone())?);
         Ok(())
     }
 
@@ -804,7 +924,7 @@ impl Odin {
     pub fn flush_store(&mut self) {
         if let Some(store) = self.store.as_mut() {
             if let Err(e) = store.wal.sync() {
-                eprintln!("odin-store: WAL sync failed: {e}");
+                self.telemetry.record_store_error("WAL sync failed", e);
             }
             store.writer.flush();
         }
@@ -818,9 +938,15 @@ impl Odin {
 
     fn wal_append(&mut self, payload: &[u8]) {
         let Some(store) = self.store.as_mut() else { return };
-        match store.wal.append(payload).and_then(|_| store.wal.sync()) {
-            Ok(()) => self.stats.wal_events_logged += 1,
-            Err(e) => eprintln!("odin-store: WAL append failed: {e}"),
+        let t0 = self.telemetry.now_ms();
+        let res = store.wal.append(payload).and_then(|_| store.wal.sync());
+        self.telemetry.stage_wal_append.observe_ms(self.telemetry.now_ms() - t0);
+        match res {
+            Ok(()) => {
+                self.stats.wal_events_logged += 1;
+                self.telemetry.wal_appends.inc();
+            }
+            Err(e) => self.telemetry.record_store_error("WAL append failed", e),
         }
     }
 
@@ -840,17 +966,21 @@ impl Odin {
         }
         let last = store.wal.last_seq();
         let path = store.snapshot_path();
+        // Counted before the build so the persisted counters cover this
+        // snapshot (see `checkpoint`); a failed build is visible as
+        // store_errors_total alongside.
+        self.stats.snapshots_written += 1;
+        self.telemetry.snapshots.inc();
         let bytes = match self.snapshot_bytes(last) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("odin-store: snapshot skipped: {e}");
+                self.telemetry.record_store_error("snapshot build skipped", e);
                 return;
             }
         };
         let store = self.store.as_mut().expect("store checked above");
         store.frames_since_snapshot = 0;
         store.writer.submit(path, bytes);
-        self.stats.snapshots_written += 1;
     }
 }
 

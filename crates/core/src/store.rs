@@ -35,12 +35,15 @@ use odin_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use odin_telemetry::{HistogramSnapshot, TelemetrySnapshot, TimelineEvent, TimelineStage};
+
 use crate::encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 use crate::metrics::PipelineStats;
 use crate::pipeline::{OdinConfig, OracleLabels};
 use crate::registry::ModelKind;
 use crate::selector::SelectionPolicy;
 use crate::specializer::SpecializerConfig;
+use crate::telemetry::Telemetry;
 use crate::training::TrainingMode;
 
 /// Snapshot file name inside a store directory.
@@ -58,6 +61,7 @@ pub(crate) mod section {
     pub const REGISTRY: &str = "registry";
     pub const FRAMES: &str = "frames";
     pub const STATS: &str = "stats";
+    pub const TELEMETRY: &str = "telemetry";
 }
 
 /// When the pipeline writes snapshots on its own (once
@@ -408,8 +412,108 @@ impl Persist for PipelineStats {
             fallback_frames_while_pending: dec.take_u64("PipelineStats.fallback_pending")?,
             snapshots_written: dec.take_u64("PipelineStats.snapshots_written")?,
             wal_events_logged: dec.take_u64("PipelineStats.wal_events_logged")?,
+            // Derived live from telemetry by `Odin::stats`, not state.
+            store_errors: 0,
+            last_store_error: None,
         })
     }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry snapshot codec
+// ---------------------------------------------------------------------
+
+/// Encodes a full telemetry snapshot (counters, gauges, histograms with
+/// their bucket bounds, drift timeline). Bounds are persisted alongside
+/// the counts so a restored registry reproduces the exact bucketing —
+/// the precondition for bit-identical exposition after a restore.
+pub(crate) fn persist_telemetry(snap: &TelemetrySnapshot) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_usize(snap.counters.len());
+    for (name, v) in &snap.counters {
+        enc.put_str(name);
+        enc.put_u64(*v);
+    }
+    enc.put_usize(snap.gauges.len());
+    for (name, v) in &snap.gauges {
+        enc.put_str(name);
+        enc.put_u64(*v as u64);
+    }
+    enc.put_usize(snap.histograms.len());
+    for h in &snap.histograms {
+        enc.put_str(&h.name);
+        enc.put_usize(h.bounds.len());
+        for &b in &h.bounds {
+            enc.put_f64(b);
+        }
+        enc.put_usize(h.buckets.len());
+        for &b in &h.buckets {
+            enc.put_u64(b);
+        }
+        enc.put_u64(h.count);
+        enc.put_u64(h.sum_ns);
+    }
+    enc.put_usize(snap.timeline.len());
+    for t in &snap.timeline {
+        enc.put_u8(t.stage.tag());
+        enc.put_usize(t.cluster_id);
+        enc.put_usize(t.frame);
+        enc.put_f64(t.at_ms);
+    }
+    enc.into_bytes()
+}
+
+/// Decodes a telemetry snapshot written by [`persist_telemetry`].
+pub(crate) fn restore_telemetry(bytes: &[u8]) -> Result<TelemetrySnapshot, StoreError> {
+    let mut dec = Decoder::new(bytes);
+    let n = dec.take_usize("telemetry counters len")?;
+    let mut counters = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let name = dec.take_str("telemetry counter name")?;
+        counters.push((name, dec.take_u64("telemetry counter value")?));
+    }
+    let n = dec.take_usize("telemetry gauges len")?;
+    let mut gauges = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let name = dec.take_str("telemetry gauge name")?;
+        gauges.push((name, dec.take_u64("telemetry gauge value")? as i64));
+    }
+    let n = dec.take_usize("telemetry histograms len")?;
+    let mut histograms = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let name = dec.take_str("telemetry histogram name")?;
+        let nb = dec.take_usize("telemetry bounds len")?;
+        let mut bounds = Vec::with_capacity(nb.min(1 << 10));
+        for _ in 0..nb {
+            bounds.push(dec.take_f64("telemetry bound")?);
+        }
+        let nk = dec.take_usize("telemetry buckets len")?;
+        if nk != nb + 1 {
+            return Err(StoreError::Malformed { context: "telemetry bucket count" });
+        }
+        let mut buckets = Vec::with_capacity(nk);
+        for _ in 0..nk {
+            buckets.push(dec.take_u64("telemetry bucket")?);
+        }
+        let count = dec.take_u64("telemetry count")?;
+        let sum_ns = dec.take_u64("telemetry sum_ns")?;
+        histograms.push(HistogramSnapshot { name, bounds, buckets, count, sum_ns });
+    }
+    let n = dec.take_usize("telemetry timeline len")?;
+    let mut timeline = Vec::with_capacity(n.min(1 << 14));
+    for _ in 0..n {
+        let tag = dec.take_u8("timeline stage")?;
+        let stage = TimelineStage::from_tag(tag)
+            .ok_or(StoreError::Malformed { context: "timeline stage tag" })?;
+        timeline.push(TimelineEvent {
+            stage,
+            cluster_id: dec.take_usize("timeline cluster")?,
+            frame: dec.take_usize("timeline frame")?,
+            at_ms: dec.take_f64("timeline at_ms")?,
+        });
+    }
+    dec.finish("telemetry trailing bytes")?;
+    Ok(TelemetrySnapshot { counters, gauges, histograms, timeline })
 }
 
 // ---------------------------------------------------------------------
@@ -540,7 +644,7 @@ pub(crate) struct SnapshotWriter {
 }
 
 impl SnapshotWriter {
-    pub fn new() -> Self {
+    pub fn new(telemetry: Telemetry) -> Self {
         let (tx, rx) = unbounded::<WriteReq>();
         let failures = Arc::new(AtomicU64::new(0));
         let fail = Arc::clone(&failures);
@@ -550,11 +654,16 @@ impl SnapshotWriter {
                 while let Ok(req) = rx.recv() {
                     match req {
                         WriteReq::Write { path, bytes } => {
-                            if let Err(e) = write_atomic(&path, &bytes) {
+                            let t0 = telemetry.registry().now_ms();
+                            let res = write_atomic(&path, &bytes);
+                            telemetry
+                                .stage_snapshot_write
+                                .observe_ms(telemetry.registry().now_ms() - t0);
+                            if let Err(e) = res {
                                 fail.fetch_add(1, Ordering::Relaxed);
-                                eprintln!(
-                                    "odin-store: snapshot write to {} failed: {e}",
-                                    path.display()
+                                telemetry.record_store_error(
+                                    format!("snapshot write to {} failed", path.display()),
+                                    e,
                                 );
                             }
                         }
@@ -612,14 +721,14 @@ pub(crate) struct PipelineStore {
 }
 
 impl PipelineStore {
-    pub fn open(dir: &Path, policy: CheckpointPolicy) -> Result<Self, StoreError> {
+    pub fn open(dir: &Path, policy: CheckpointPolicy, tel: Telemetry) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir)?;
         let wal = WalWriter::open(&dir.join(WAL_FILE))?;
         Ok(PipelineStore {
             dir: dir.to_path_buf(),
             policy,
             wal,
-            writer: SnapshotWriter::new(),
+            writer: SnapshotWriter::new(tel),
             frames_since_snapshot: 0,
         })
     }
@@ -761,7 +870,7 @@ mod tests {
     fn snapshot_writer_flush_waits_for_writes() {
         let dir = std::env::temp_dir().join(format!("odin-writer-{}", std::process::id()));
         let path = dir.join("snap.odst");
-        let writer = SnapshotWriter::new();
+        let writer = SnapshotWriter::new(Telemetry::new());
         let mut b = odin_store::CheckpointBuilder::new();
         b.section("x", vec![1, 2, 3]);
         writer.submit(path.clone(), b.to_bytes());

@@ -1,0 +1,245 @@
+//! The pipeline's telemetry facade: pre-registered counters, gauges,
+//! per-stage latency histograms, the drift timeline, and the structured
+//! event log, all backed by [`odin_telemetry::Registry`].
+//!
+//! Every handle is registered once at construction so metric names and
+//! histogram bucket bounds are fixed for the life of the pipeline —
+//! the precondition for output that is bit-identical at any
+//! `ODIN_THREADS` and across checkpoint/restore. Get the facade with
+//! [`crate::pipeline::Odin::telemetry`]; expositions come from
+//! [`Telemetry::render_prometheus`] / [`Telemetry::render_json`] /
+//! [`Telemetry::snapshot`].
+//!
+//! Stage timers cover: `encode` (latent projection), `ingest`
+//! (cluster/Δ-band observation), `select` (SELECTOR decision), `detect`
+//! (model/teacher inference + NMS), `train` (SPECIALIZER wall time),
+//! `snapshot_build` (checkpoint serialization), `snapshot_write`
+//! (background atomic file write), and `wal_append` (drift-event WAL
+//! append + fsync).
+
+use std::sync::{Arc, Mutex};
+
+use odin_telemetry::render::{render_json, render_prometheus};
+use odin_telemetry::{
+    log_bounds, Clock, Counter, EventSink, Gauge, Histogram, Level, Registry, StderrSink,
+    TelemetrySnapshot, TimelineEvent, TimelineStage,
+};
+
+/// Bucket bounds (ms) shared by the fast per-frame stages. Log-spaced
+/// from 5 µs to 5 s: encode/select/detect on a tiny synthetic frame sit
+/// near the bottom; a cold teacher inference near the middle.
+fn stage_bounds() -> Vec<f64> {
+    log_bounds(0.005, 5_000.0, 14)
+}
+
+/// Bucket bounds (ms) for SPECIALIZER training runs, which live on a
+/// much slower scale (milliseconds to minutes).
+fn train_bounds() -> Vec<f64> {
+    log_bounds(1.0, 600_000.0, 14)
+}
+
+/// Shared telemetry facade for one pipeline instance. Cloning is cheap
+/// and shares all state (the clone observes into the same registry).
+#[derive(Clone)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    last_error: Arc<Mutex<Option<String>>>,
+
+    // Counters.
+    pub(crate) frames: Counter,
+    pub(crate) served_teacher: Counter,
+    pub(crate) served_ensemble: Counter,
+    pub(crate) served_fallback: Counter,
+    pub(crate) drift_events: Counter,
+    pub(crate) evictions: Counter,
+    pub(crate) jobs_submitted: Counter,
+    pub(crate) models_lite: Counter,
+    pub(crate) models_specialized: Counter,
+    pub(crate) snapshots: Counter,
+    pub(crate) wal_appends: Counter,
+    pub(crate) store_errors: Counter,
+
+    // Gauges.
+    pub(crate) clusters: Gauge,
+    pub(crate) models: Gauge,
+    pub(crate) queue_depth: Gauge,
+    pub(crate) in_flight: Gauge,
+
+    // Stage latency histograms.
+    pub(crate) stage_encode: Histogram,
+    pub(crate) stage_ingest: Histogram,
+    pub(crate) stage_select: Histogram,
+    pub(crate) stage_detect: Histogram,
+    pub(crate) stage_train: Histogram,
+    pub(crate) stage_snapshot_build: Histogram,
+    pub(crate) stage_snapshot_write: Histogram,
+    pub(crate) stage_wal_append: Histogram,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("registry", &self.registry).finish()
+    }
+}
+
+impl Telemetry {
+    /// Creates a facade with every pipeline metric pre-registered and a
+    /// warn-level stderr sink installed (so store failures stay visible
+    /// on the console by default).
+    pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        registry.add_sink(Arc::new(StderrSink::default()));
+        let stage = stage_bounds();
+        Telemetry {
+            frames: registry.counter("odin_frames_total"),
+            served_teacher: registry.counter("odin_served_teacher_total"),
+            served_ensemble: registry.counter("odin_served_ensemble_total"),
+            served_fallback: registry.counter("odin_served_fallback_total"),
+            drift_events: registry.counter("odin_drift_events_total"),
+            evictions: registry.counter("odin_evictions_total"),
+            jobs_submitted: registry.counter("odin_train_jobs_total"),
+            models_lite: registry.counter("odin_models_installed_lite_total"),
+            models_specialized: registry.counter("odin_models_installed_specialized_total"),
+            snapshots: registry.counter("odin_snapshots_total"),
+            wal_appends: registry.counter("odin_wal_appends_total"),
+            store_errors: registry.counter("odin_store_errors_total"),
+            clusters: registry.gauge("odin_clusters"),
+            models: registry.gauge("odin_models"),
+            queue_depth: registry.gauge("odin_train_queue_depth"),
+            in_flight: registry.gauge("odin_train_in_flight"),
+            stage_encode: registry.histogram("odin_stage_encode_ms", &stage),
+            stage_ingest: registry.histogram("odin_stage_ingest_ms", &stage),
+            stage_select: registry.histogram("odin_stage_select_ms", &stage),
+            stage_detect: registry.histogram("odin_stage_detect_ms", &stage),
+            stage_train: registry.histogram("odin_stage_train_ms", &train_bounds()),
+            stage_snapshot_build: registry.histogram("odin_stage_snapshot_build_ms", &stage),
+            stage_snapshot_write: registry.histogram("odin_stage_snapshot_write_ms", &stage),
+            stage_wal_append: registry.histogram("odin_stage_wal_append_ms", &stage),
+            registry,
+            last_error: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The underlying registry (for ad-hoc metrics or direct access).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Current time in ms from the registry clock.
+    pub(crate) fn now_ms(&self) -> f64 {
+        self.registry.now_ms()
+    }
+
+    /// A closure over the registry clock, for components that measure
+    /// durations off-thread (the training pool). Reads the clock at call
+    /// time, so a later [`Telemetry::set_clock`] takes effect here too.
+    pub(crate) fn time_source(&self) -> Arc<dyn Fn() -> f64 + Send + Sync> {
+        let registry = Arc::clone(&self.registry);
+        Arc::new(move || registry.now_ms())
+    }
+
+    /// Replaces the time source. Installing an
+    /// [`odin_telemetry::ManualClock`] makes every recorded duration a
+    /// pure function of the stream — the determinism tests rely on it.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        self.registry.set_clock(clock);
+    }
+
+    /// Adds an event sink (events fan out to all sinks).
+    pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
+        self.registry.add_sink(sink);
+    }
+
+    /// Removes every event sink, including the default stderr sink.
+    pub fn clear_sinks(&self) {
+        self.registry.clear_sinks();
+    }
+
+    /// Emits a structured event.
+    pub fn event(&self, level: Level, target: &'static str, message: impl Into<String>) {
+        self.registry.event(level, target, message);
+    }
+
+    /// Records a drift-timeline marker at the given stream frame.
+    pub(crate) fn record_timeline(&self, stage: TimelineStage, cluster_id: usize, frame: usize) {
+        self.registry.record_timeline(stage, cluster_id, frame);
+    }
+
+    /// The drift timeline recorded so far, oldest first.
+    pub fn timeline(&self) -> Vec<TimelineEvent> {
+        self.registry.timeline()
+    }
+
+    /// Counts one snapshot/WAL failure, remembers it as the last store
+    /// error, and emits an error-level event. Never panics: persistence
+    /// failures must not take down the serving path.
+    pub(crate) fn record_store_error(
+        &self,
+        what: impl std::fmt::Display,
+        detail: impl std::fmt::Display,
+    ) {
+        self.store_errors.inc();
+        let message = format!("{what}: {detail}");
+        *self.last_error.lock().unwrap() = Some(message.clone());
+        self.registry.event(Level::Error, "store", message);
+    }
+
+    /// The most recent store failure, if any.
+    pub fn last_store_error(&self) -> Option<String> {
+        self.last_error.lock().unwrap().clone()
+    }
+
+    /// A frozen, ordered copy of all metrics and the timeline.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Restores metric values from a snapshot (all handles stay valid).
+    pub(crate) fn load(&self, snap: &TelemetrySnapshot) {
+        self.registry.load(snap);
+    }
+
+    /// Prometheus text exposition of the current state.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+
+    /// JSON dump of the current state (stable key order).
+    pub fn render_json(&self) -> String {
+        render_json(&self.snapshot())
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_state() {
+        let tel = Telemetry::new();
+        tel.clear_sinks(); // keep test output quiet
+        let other = tel.clone();
+        other.frames.add(3);
+        assert_eq!(tel.frames.get(), 3);
+        other.record_store_error("wal append", "disk full");
+        assert_eq!(tel.store_errors.get(), 1);
+        assert_eq!(tel.last_store_error().as_deref(), Some("wal append: disk full"));
+    }
+
+    #[test]
+    fn renders_cover_preregistered_metrics() {
+        let tel = Telemetry::new();
+        tel.clear_sinks();
+        let prom = tel.render_prometheus();
+        assert!(prom.contains("odin_frames_total 0"));
+        assert!(prom.contains("# TYPE odin_stage_encode_ms histogram"));
+        let json = tel.render_json();
+        assert!(json.contains("\"odin_store_errors_total\":0"));
+    }
+}

@@ -23,7 +23,6 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use odin_data::Frame;
@@ -48,6 +47,11 @@ pub enum TrainingMode {
         workers: usize,
     },
 }
+
+/// Shared monotonic time source (milliseconds) used to measure training
+/// wall time. The pipeline passes its telemetry clock, so installing a
+/// manual clock makes `TrainedModel::wall_ms` deterministic too.
+pub type TimeSource = Arc<dyn Fn() -> f64 + Send + Sync>;
 
 /// One unit of SPECIALIZER work: build a model of `kind` for
 /// `cluster_id` from `frames`, seeding all randomness from `seed`.
@@ -97,8 +101,14 @@ pub struct TrainingPool {
 
 impl TrainingPool {
     /// Spawns `workers` (at least 1) threads that build models with
-    /// `specializer`, distilling from `teacher` for Lite jobs.
-    pub fn new(workers: usize, specializer: Specializer, teacher: Arc<Detector>) -> Self {
+    /// `specializer`, distilling from `teacher` for Lite jobs. Training
+    /// wall time is measured with `clock`.
+    pub fn new(
+        workers: usize,
+        specializer: Specializer,
+        teacher: Arc<Detector>,
+        clock: TimeSource,
+    ) -> Self {
         let (job_tx, job_rx) = unbounded::<TrainJob>();
         let (res_tx, res_rx) = unbounded::<TrainedModel>();
         let submitted = Arc::new(AtomicUsize::new(0));
@@ -111,10 +121,11 @@ impl TrainingPool {
                 let teacher = Arc::clone(&teacher);
                 let started = Arc::clone(&started);
                 let finished = Arc::clone(&finished);
+                let clock = Arc::clone(&clock);
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         started.fetch_add(1, Ordering::SeqCst);
-                        let t0 = Instant::now();
+                        let t0 = clock();
                         let detector = match job.kind {
                             ModelKind::Specialized => {
                                 specializer.build_specialized(job.seed, &job.frames)
@@ -123,7 +134,7 @@ impl TrainingPool {
                                 specializer.build_lite(job.seed, &teacher, &job.frames)
                             }
                         };
-                        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        let wall_ms = clock() - t0;
                         let done = TrainedModel {
                             cluster_id: job.cluster_id,
                             detector,
@@ -240,10 +251,15 @@ mod tests {
         (teacher, frames)
     }
 
+    fn wall() -> TimeSource {
+        let origin = std::time::Instant::now();
+        Arc::new(move || origin.elapsed().as_secs_f64() * 1e3)
+    }
+
     #[test]
     fn pool_trains_and_returns_models() {
         let (teacher, frames) = fixture();
-        let mut pool = TrainingPool::new(2, quick_specializer(), teacher);
+        let mut pool = TrainingPool::new(2, quick_specializer(), teacher, wall());
         for (i, kind) in [ModelKind::Specialized, ModelKind::Lite].into_iter().enumerate() {
             pool.submit(TrainJob { cluster_id: i, seed: i as u64, kind, frames: frames.clone() });
         }
@@ -261,7 +277,7 @@ mod tests {
         let (teacher, frames) = fixture();
         let sp = quick_specializer();
         let inline = sp.build_specialized(7, &frames);
-        let mut pool = TrainingPool::new(1, sp, teacher);
+        let mut pool = TrainingPool::new(1, sp, teacher, wall());
         pool.submit(TrainJob { cluster_id: 0, seed: 7, kind: ModelKind::Specialized, frames });
         let done = pool.drain_barrier();
         assert_eq!(done[0].detector.export_params(), inline.export_params());
@@ -270,7 +286,7 @@ mod tests {
     #[test]
     fn counters_settle_after_barrier() {
         let (teacher, frames) = fixture();
-        let mut pool = TrainingPool::new(1, quick_specializer(), teacher);
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, wall());
         pool.submit(TrainJob { cluster_id: 3, seed: 1, kind: ModelKind::Lite, frames });
         assert_eq!(pool.pending(), 1);
         let _ = pool.drain_barrier();
@@ -282,7 +298,7 @@ mod tests {
     #[test]
     fn drain_without_jobs_is_empty() {
         let (teacher, _) = fixture();
-        let mut pool = TrainingPool::new(1, quick_specializer(), teacher);
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, wall());
         assert!(pool.drain().is_empty());
         assert!(pool.drain_barrier().is_empty());
     }

@@ -76,11 +76,28 @@ impl DeltaBand {
 
     /// Fraction of the given distances that fall inside the band —
     /// the empirical check of Equation 1 (∫ f_Δ = Δ).
+    ///
+    /// Only finite distances participate: a NaN or infinite distance is
+    /// a measurement artifact, not evidence about the band, so it must
+    /// neither count as "outside" nor dilute the denominator. With no
+    /// finite distances at all (empty slice included) the mass is 0.0,
+    /// never NaN — this fraction feeds the drift score, and a NaN here
+    /// poisons every comparison downstream.
     pub fn mass(&self, distances: &[f32]) -> f32 {
-        if distances.is_empty() {
+        let mut finite = 0usize;
+        let mut inside = 0usize;
+        for &d in distances {
+            if d.is_finite() {
+                finite += 1;
+                if self.contains(d) {
+                    inside += 1;
+                }
+            }
+        }
+        if finite == 0 {
             return 0.0;
         }
-        distances.iter().filter(|&&d| self.contains(d)).count() as f32 / distances.len() as f32
+        inside as f32 / finite as f32
     }
 }
 
@@ -163,6 +180,27 @@ mod tests {
     fn non_finite_distances_are_filtered() {
         let band = DeltaBand::fit(&[0.1, f32::NAN, 0.2, f32::INFINITY, 0.3], 0.99);
         assert!(band.upper <= 0.3);
+    }
+
+    #[test]
+    fn mass_of_empty_slice_is_zero_not_nan() {
+        // Regression: 0/0 used to surface as NaN, which poisons every
+        // drift-score comparison it touches.
+        let band = DeltaBand { lower: 0.1, upper: 0.9, delta: 0.75 };
+        let m = band.mass(&[]);
+        assert!(!m.is_nan());
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn mass_ignores_non_finite_distances() {
+        let band = DeltaBand { lower: 0.0, upper: 1.0, delta: 0.75 };
+        // NaN/Inf are artifacts: they must not dilute the fraction.
+        assert_eq!(band.mass(&[0.5, f32::NAN, f32::INFINITY, 0.6]), 1.0);
+        // All-artifact input behaves like the empty slice.
+        let m = band.mass(&[f32::NAN, f32::NEG_INFINITY]);
+        assert!(!m.is_nan());
+        assert_eq!(m, 0.0);
     }
 
     #[test]

@@ -41,6 +41,15 @@ impl DistanceHistogram {
     }
 
     fn bin_of(&self, d: f32) -> usize {
+        // A non-finite distance must never reach the binning math:
+        // NaN fails every comparison, so `clamp` would pass it through
+        // and `as usize` would saturate it to bin 0, silently skewing
+        // the probability mass (and therefore every KL score) toward
+        // the lowest bucket. Callers filter; this is the backstop.
+        debug_assert!(d.is_finite(), "bin_of called with non-finite distance {d}");
+        if !d.is_finite() {
+            return 0;
+        }
         let f = ((d - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
         ((f * self.counts.len() as f32) as usize).min(self.counts.len() - 1)
     }
@@ -182,6 +191,25 @@ mod tests {
         let mut h = DistanceHistogram::new(0.0, 1.0, 2);
         h.add(f32::NAN);
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn non_finite_values_leave_kl_untouched() {
+        // Regression: NaN/−Inf used to saturate into bucket 0 via
+        // `as usize`, inflating the low bucket's probability mass and
+        // corrupting the stability signal. They must be full no-ops.
+        let mut clean = DistanceHistogram::new(0.0, 1.0, 4);
+        let mut dirty = DistanceHistogram::new(0.0, 1.0, 4);
+        for d in [0.1, 0.4, 0.4, 0.8] {
+            clean.add(d);
+            dirty.add(d);
+        }
+        dirty.add(f32::NAN);
+        dirty.add(f32::NEG_INFINITY);
+        dirty.add(f32::INFINITY);
+        assert_eq!(dirty.total(), clean.total());
+        assert_eq!(dirty.probabilities(), clean.probabilities());
+        assert_eq!(histogram_kl(&clean, &dirty), 0.0);
     }
 
     #[test]

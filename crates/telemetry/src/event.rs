@@ -1,0 +1,164 @@
+//! Structured, leveled event log.
+//!
+//! Replaces ad-hoc `eprintln!` calls in the pipeline: components emit
+//! [`Event`]s through the registry, which fans them out to every
+//! registered [`EventSink`]. The default production sink is
+//! [`StderrSink`] at [`Level::Warn`]; tests and the bench bins use
+//! [`RingSink`] to capture events in memory.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Severity of an [`Event`], ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained diagnostics (per-frame decisions).
+    Debug,
+    /// Normal lifecycle milestones (model installed, snapshot written).
+    Info,
+    /// Degraded but recoverable conditions (restore fell back to cold
+    /// start).
+    Warn,
+    /// Failures that lost work (snapshot or WAL write failed).
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in renders and log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Component that emitted the event, e.g. `"store"` or `"pipeline"`.
+    pub target: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A destination for [`Event`]s.
+///
+/// Sinks must be cheap and non-blocking; `emit` is called inline on the
+/// pipeline's hot path for Error-level store failures.
+pub trait EventSink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+}
+
+/// Writes events at or above a minimum level to stderr, formatted as
+/// `odin[level] target: message`.
+#[derive(Debug)]
+pub struct StderrSink {
+    min: Level,
+}
+
+impl StderrSink {
+    /// Creates a sink that passes events at `min` level or above.
+    pub fn new(min: Level) -> Self {
+        StderrSink { min }
+    }
+}
+
+impl Default for StderrSink {
+    /// The production default: warnings and errors only.
+    fn default() -> Self {
+        StderrSink::new(Level::Warn)
+    }
+}
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        if event.level >= self.min {
+            eprintln!("odin[{}] {}: {}", event.level.as_str(), event.target, event.message);
+        }
+    }
+}
+
+/// Keeps the last `cap` events in memory, dropping the oldest first.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl RingSink {
+    /// Creates a ring buffer holding at most `cap` events (`cap` is
+    /// clamped to at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingSink { cap, buf: Mutex::new(VecDeque::with_capacity(cap)) }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(level: Level, message: &str) -> Event {
+        Event { level, target: "test", message: message.to_string() }
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let sink = RingSink::new(2);
+        assert!(sink.is_empty());
+        sink.emit(&ev(Level::Info, "a"));
+        sink.emit(&ev(Level::Info, "b"));
+        sink.emit(&ev(Level::Error, "c"));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "b");
+        assert_eq!(events[1].message, "c");
+    }
+
+    #[test]
+    fn ring_sink_cap_is_at_least_one() {
+        let sink = RingSink::new(0);
+        sink.emit(&ev(Level::Info, "only"));
+        sink.emit(&ev(Level::Info, "kept"));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].message, "kept");
+    }
+}

@@ -1,0 +1,42 @@
+//! # odin-telemetry
+//!
+//! Observability primitives for the ODIN pipeline, with a determinism
+//! contract: every exposition (Prometheus text, JSON, typed snapshot)
+//! is a pure function of the recorded observations, and the recorded
+//! observations are a pure function of the stream when a deterministic
+//! [`clock::Clock`] is installed. That makes telemetry output
+//! bit-comparable across `ODIN_THREADS` settings and across
+//! checkpoint/restore cycles — the property the repo's telemetry tests
+//! pin.
+//!
+//! * [`registry::Registry`] — named monotonic [`registry::Counter`]s,
+//!   [`registry::Gauge`]s, and fixed-bucket latency
+//!   [`registry::Histogram`]s (log-spaced bounds chosen at
+//!   registration, so merged output never depends on thread count),
+//! * [`event`] — a structured, leveled event log: [`event::EventSink`]
+//!   fan-out with stderr ([`event::StderrSink`]) and in-memory
+//!   ring-buffer ([`event::RingSink`]) sinks,
+//! * [`timeline`] — the drift timeline: drift detected → training job
+//!   queued → model installed, with frame indices and wall times,
+//! * [`render`] — Prometheus text exposition and a hand-rolled JSON
+//!   dump of a [`registry::TelemetrySnapshot`],
+//! * [`clock`] — the time source: [`clock::WallClock`] in production,
+//!   [`clock::ManualClock`] for bit-identical tests.
+//!
+//! The crate has no dependencies (not even on the rest of the
+//! workspace) so any ODIN crate can embed it without cycles.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod registry;
+pub mod render;
+pub mod timeline;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use event::{Event, EventSink, Level, RingSink, StderrSink};
+pub use registry::{
+    log_bounds, Counter, Gauge, Histogram, HistogramSnapshot, Registry, TelemetrySnapshot,
+};
+pub use timeline::{TimelineEvent, TimelineStage};

@@ -1,0 +1,190 @@
+//! Expositions of a [`TelemetrySnapshot`]: Prometheus text format and
+//! a hand-rolled JSON dump.
+//!
+//! Both renderers are pure functions of the snapshot. Floats are
+//! formatted with Rust's `Display` (shortest round-trip
+//! representation), which is deterministic across platforms and thread
+//! counts; collection order comes from the snapshot, which is already
+//! name-sorted.
+
+use crate::registry::TelemetrySnapshot;
+
+/// Renders the snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` line per metric, cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count` for histograms, and
+/// the drift timeline as trailing comment lines.
+pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for h in &snap.histograms {
+        let name = &h.name;
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        for (i, &bound) in h.bounds.iter().enumerate() {
+            cum += h.buckets[i];
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum_ms()));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    if !snap.timeline.is_empty() {
+        out.push_str("# odin drift timeline: stage cluster frame at_ms\n");
+        for t in &snap.timeline {
+            out.push_str(&format!(
+                "# timeline {} {} {} {}\n",
+                t.stage.as_str(),
+                t.cluster_id,
+                t.frame,
+                t.at_ms
+            ));
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Inf; telemetry never produces them, but guard
+    // anyway so the dump always parses.
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` prints integral floats without a dot; keep them
+        // recognizable as numbers either way (JSON allows both).
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_list(vs: &[f64]) -> String {
+    let items: Vec<String> = vs.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_u64_list(vs: &[u64]) -> String {
+    let items: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders the snapshot as a JSON object with sorted, stable key order:
+///
+/// ```json
+/// {"counters":{...},"gauges":{...},"histograms":[...],"timeline":[...]}
+/// ```
+pub fn render_json(snap: &TelemetrySnapshot) -> String {
+    let counters: Vec<String> =
+        snap.counters.iter().map(|(k, v)| format!("\"{}\":{v}", json_escape(k))).collect();
+    let gauges: Vec<String> =
+        snap.gauges.iter().map(|(k, v)| format!("\"{}\":{v}", json_escape(k))).collect();
+    let histograms: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"name\":\"{}\",\"bounds\":{},\"buckets\":{},\"count\":{},\"sum_ms\":{}}}",
+                json_escape(&h.name),
+                json_f64_list(&h.bounds),
+                json_u64_list(&h.buckets),
+                h.count,
+                json_f64(h.sum_ms())
+            )
+        })
+        .collect();
+    let timeline: Vec<String> = snap
+        .timeline
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"stage\":\"{}\",\"cluster\":{},\"frame\":{},\"at_ms\":{}}}",
+                t.stage.as_str(),
+                t.cluster_id,
+                t.frame,
+                json_f64(t.at_ms)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":[{}],\"timeline\":[{}]}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+        timeline.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::registry::Registry;
+    use crate::timeline::TimelineStage;
+    use std::sync::Arc;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.set_clock(Arc::new(ManualClock::new()));
+        reg.counter("odin_frames_total").add(128);
+        reg.gauge("odin_clusters").set(3);
+        let h = reg.histogram("odin_stage_encode_ms", &[0.5, 5.0]);
+        h.observe_ms(0.25);
+        h.observe_ms(1.0);
+        h.observe_ms(50.0);
+        reg.record_timeline(TimelineStage::DriftDetected, 1, 64);
+        reg
+    }
+
+    #[test]
+    fn prometheus_render_has_cumulative_buckets() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE odin_frames_total counter"));
+        assert!(text.contains("odin_frames_total 128"));
+        assert!(text.contains("# TYPE odin_clusters gauge"));
+        assert!(text.contains("odin_stage_encode_ms_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("odin_stage_encode_ms_bucket{le=\"5\"} 2"));
+        assert!(text.contains("odin_stage_encode_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("odin_stage_encode_ms_count 3"));
+        assert!(text.contains("# timeline drift_detected 1 64 0"));
+    }
+
+    #[test]
+    fn json_render_is_stable_and_escaped() {
+        let a = render_json(&sample_registry().snapshot());
+        let b = render_json(&sample_registry().snapshot());
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"counters\":{"));
+        assert!(a.contains("\"odin_frames_total\":128"));
+        assert!(a.contains("\"stage\":\"drift_detected\""));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn renders_of_empty_snapshot_are_valid() {
+        let snap = TelemetrySnapshot::default();
+        assert_eq!(render_prometheus(&snap), "");
+        assert_eq!(
+            render_json(&snap),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":[],\"timeline\":[]}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The drift timeline: an ordered record of the adaptation lifecycle.
+//!
+//! Each drift episode in ODIN unfolds as a sequence — drift detected →
+//! training job queued → lite model installed → specialized model
+//! promoted — and the paper's recovery-latency analysis (Table 8,
+//! Figure 9) is precisely the gaps between those markers. The timeline
+//! records every marker with its cluster id, the stream frame index,
+//! and the clock time, so recovery latency can be reconstructed
+//! per-episode after the fact.
+
+/// A lifecycle marker in a drift episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimelineStage {
+    /// DETECTOR promoted a temporary cluster: new drift episode.
+    DriftDetected,
+    /// A SPECIALIZER training job was queued for the cluster.
+    TrainJobQueued,
+    /// A distilled lite model was installed for the cluster.
+    LiteInstalled,
+    /// An oracle-trained specialized model replaced the lite model.
+    SpecializedInstalled,
+    /// The cluster (and its models) were evicted from the working set.
+    ClusterEvicted,
+}
+
+impl TimelineStage {
+    /// Stable lower-snake name used in renders.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TimelineStage::DriftDetected => "drift_detected",
+            TimelineStage::TrainJobQueued => "train_job_queued",
+            TimelineStage::LiteInstalled => "lite_installed",
+            TimelineStage::SpecializedInstalled => "specialized_installed",
+            TimelineStage::ClusterEvicted => "cluster_evicted",
+        }
+    }
+
+    /// Compact integer tag for persistence.
+    pub fn tag(self) -> u8 {
+        match self {
+            TimelineStage::DriftDetected => 0,
+            TimelineStage::TrainJobQueued => 1,
+            TimelineStage::LiteInstalled => 2,
+            TimelineStage::SpecializedInstalled => 3,
+            TimelineStage::ClusterEvicted => 4,
+        }
+    }
+
+    /// Inverse of [`TimelineStage::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => TimelineStage::DriftDetected,
+            1 => TimelineStage::TrainJobQueued,
+            2 => TimelineStage::LiteInstalled,
+            3 => TimelineStage::SpecializedInstalled,
+            4 => TimelineStage::ClusterEvicted,
+            _ => return None,
+        })
+    }
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Which lifecycle marker this is.
+    pub stage: TimelineStage,
+    /// The cluster the episode belongs to.
+    pub cluster_id: usize,
+    /// Stream frame index at which the marker fired.
+    pub frame: usize,
+    /// Clock time in milliseconds (registry clock origin).
+    pub at_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for stage in [
+            TimelineStage::DriftDetected,
+            TimelineStage::TrainJobQueued,
+            TimelineStage::LiteInstalled,
+            TimelineStage::SpecializedInstalled,
+            TimelineStage::ClusterEvicted,
+        ] {
+            assert_eq!(TimelineStage::from_tag(stage.tag()), Some(stage));
+        }
+        assert_eq!(TimelineStage::from_tag(200), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            TimelineStage::DriftDetected.as_str(),
+            TimelineStage::TrainJobQueued.as_str(),
+            TimelineStage::LiteInstalled.as_str(),
+            TimelineStage::SpecializedInstalled.as_str(),
+            TimelineStage::ClusterEvicted.as_str(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -7,6 +7,15 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+# Diagnostics in the pipeline crates must flow through the telemetry
+# event log (leveled, sink-routable, test-capturable), not raw stderr.
+# odin-telemetry's StderrSink is the one place allowed to eprintln.
+echo "==> eprintln gate (crates/core, crates/store)"
+if grep -rn 'eprintln!' crates/core/src crates/store/src; then
+    echo "error: eprintln! in pipeline crates; use Telemetry::event / an EventSink" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -32,5 +41,11 @@ echo "==> crash-recovery smoke (ODIN_THREADS=2)"
 ODIN_THREADS=2 cargo test -q -p odin-core --test checkpoint -- \
     truncated_checkpoint_falls_back_to_cold_bootstrap bit_flip_is_detected
 ODIN_THREADS=2 cargo run --release -p odin-core --example warm_restart >/dev/null
+
+# Telemetry smoke: the stage-latency table must run end-to-end (store
+# enabled, drift recovered, metrics dumped) without a single store error.
+echo "==> telemetry smoke (table_telemetry --scale 0.05)"
+cargo run --release -p odin-bench --bin table_telemetry -- --scale 0.05 \
+    --out /tmp/odin-ci-telemetry | grep "store errors: 0"
 
 echo "CI OK"

@@ -1,0 +1,192 @@
+//! Telemetry contracts: expositions are bit-identical at any
+//! `ODIN_THREADS` and across checkpoint/restore (given a manual clock),
+//! store failures are counted and surfaced instead of silently dropped,
+//! and the drift timeline records the full detect → queue → install arc.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::training::TrainingMode;
+use odin_core::CheckpointPolicy;
+use odin_data::{Frame, SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use odin_telemetry::{Level, ManualClock, RingSink, TimelineStage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_cfg(training: TrainingMode) -> OdinConfig {
+    OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 20,
+        training,
+        ..OdinConfig::default()
+    }
+}
+
+/// A fresh pipeline with a manual clock installed, so every recorded
+/// duration and timestamp is a pure function of the frame stream.
+fn new_odin() -> Odin {
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    let odin =
+        Odin::new(Box::new(HistogramEncoder::new()), teacher, quick_cfg(TrainingMode::Inline), 42);
+    odin.telemetry().set_clock(Arc::new(ManualClock::new()));
+    odin.telemetry().clear_sinks();
+    odin
+}
+
+fn night_then_day(n_each: usize) -> (Vec<Frame>, Vec<Frame>) {
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    (
+        gen.subset_frames(&mut rng, Subset::Night, n_each),
+        gen.subset_frames(&mut rng, Subset::Day, n_each),
+    )
+}
+
+/// Unique scratch path per test (the suite may run in parallel).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("odin-tel-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Both expositions are byte-identical when the pipeline runs the same
+/// stream on one worker thread vs two: bucket counts come from fixed
+/// bounds, timestamps from the manual clock, and iteration order from
+/// sorted maps — none of it depends on scheduling.
+#[test]
+fn renders_are_identical_across_thread_counts() {
+    let (night, day) = night_then_day(50);
+
+    let render_with = |threads: usize| {
+        odin_tensor::par::set_num_threads(threads);
+        let mut odin = new_odin();
+        odin.process_stream(&night);
+        odin.process_stream(&day);
+        (odin.telemetry().render_prometheus(), odin.telemetry().render_json())
+    };
+
+    let (prom1, json1) = render_with(1);
+    let (prom2, json2) = render_with(2);
+    assert_eq!(prom1, prom2, "prometheus exposition depends on thread count");
+    assert_eq!(json1, json2, "json exposition depends on thread count");
+    assert!(prom1.contains("odin_frames_total 100"));
+}
+
+/// A checkpoint carries the full telemetry state: the restored pipeline,
+/// after serving the same remaining stream, renders byte-for-byte what
+/// the original rendered — counters, histogram buckets, and the drift
+/// timeline all survive the round trip.
+#[test]
+fn renders_survive_checkpoint_restore() {
+    let path = scratch("roundtrip").join("snap.odst");
+    let (night, day) = night_then_day(60);
+
+    let mut original = new_odin();
+    original.process_stream(&night);
+    original.checkpoint(&path).expect("checkpoint");
+    original.process_stream(&day);
+
+    let restored = Odin::restore(&path).expect("restore");
+    restored.telemetry().set_clock(Arc::new(ManualClock::new()));
+    restored.telemetry().clear_sinks();
+    let mut restored = restored;
+    restored.process_stream(&day);
+
+    assert_eq!(
+        original.telemetry().render_prometheus(),
+        restored.telemetry().render_prometheus(),
+        "prometheus exposition diverged across checkpoint/restore"
+    );
+    assert_eq!(original.telemetry().render_json(), restored.telemetry().render_json());
+    assert_eq!(original.telemetry().timeline(), restored.telemetry().timeline());
+}
+
+/// The drift timeline records the whole recovery arc in order: drift
+/// detected, training job queued, and a model installed — each tagged
+/// with the cluster and stream position.
+#[test]
+fn timeline_records_recovery_arc() {
+    let (night, day) = night_then_day(60);
+    let mut odin = new_odin();
+    odin.process_stream(&night);
+    odin.process_stream(&day);
+
+    let timeline = odin.telemetry().timeline();
+    let pos = |stage: TimelineStage| timeline.iter().position(|t| t.stage == stage);
+    let detected = pos(TimelineStage::DriftDetected).expect("no drift detected");
+    let queued = pos(TimelineStage::TrainJobQueued).expect("no job queued");
+    let installed = timeline
+        .iter()
+        .position(|t| {
+            matches!(t.stage, TimelineStage::LiteInstalled | TimelineStage::SpecializedInstalled)
+        })
+        .expect("no model installed");
+    assert!(detected < queued, "job queued before drift was detected");
+    assert!(queued <= installed, "model installed before its job was queued");
+    assert!(timeline[installed].frame >= timeline[detected].frame);
+
+    let stats = odin.stats();
+    assert_eq!(stats.store_errors, 0);
+    assert_eq!(stats.last_store_error, None);
+    assert_eq!(odin.telemetry().snapshot().counters.len(), 12);
+}
+
+/// Store failures are machine-visible: when the snapshot directory is
+/// destroyed mid-stream, background snapshot writes fail, the failure is
+/// counted in `PipelineStats::store_errors`, described in
+/// `last_store_error`, and emitted as an error-level event — while the
+/// serving path keeps going.
+#[test]
+fn store_write_failures_are_counted_and_reported() {
+    let dir = scratch("broken-store");
+    let (night, _) = night_then_day(60);
+
+    let mut odin = new_odin();
+    let ring = Arc::new(RingSink::new(32));
+    odin.telemetry().add_sink(ring.clone());
+    odin.enable_store(&dir, CheckpointPolicy::EveryNFrames(10)).expect("enable store");
+
+    odin.process_stream(&night[..20]);
+    odin.flush_store();
+    assert_eq!(odin.stats().store_errors, 0, "store failed on a healthy directory");
+
+    // Replace the store directory with a regular file: the WAL survives
+    // through its already-open handle, but every atomic snapshot write
+    // now fails with ENOTDIR when it creates its temp file.
+    std::fs::remove_dir_all(&dir).expect("remove store dir");
+    std::fs::write(&dir, b"not a directory").expect("plant blocking file");
+
+    odin.process_stream(&night[20..]);
+    odin.flush_store();
+
+    let stats = odin.stats();
+    assert!(stats.store_errors > 0, "snapshot writes to a dead dir were not counted");
+    let last = stats.last_store_error.expect("no last_store_error recorded");
+    assert!(last.contains("snapshot write"), "unexpected error text: {last}");
+    assert!(
+        ring.events().iter().any(|e| e.level == Level::Error && e.target == "store"),
+        "no error-level store event reached the sink"
+    );
+    // Serving never stopped: every frame was still processed.
+    assert!(odin.telemetry().render_prometheus().contains("odin_frames_total 60"));
+    std::fs::remove_file(&dir).ok();
+}
