@@ -1,0 +1,94 @@
+//! Benchmark regression gate: fails (exit 1) when a fresh experiment
+//! run regresses a numeric column of a committed baseline table by more
+//! than an allowed percentage.
+//!
+//! ```text
+//! bench_gate --baseline results/table4.json \
+//!            --candidate /tmp/ci/table4.json \
+//!            --column 2 --max-drop-pct 15
+//! ```
+//!
+//! Rows are matched by their first cell (the model / config label), so
+//! baseline and candidate may list rows in different orders. Drops are
+//! relative: a 625→550 FPS fall is a 12% drop. Improvements never fail.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use odin_bench::gate::{gate, parse_rows};
+
+struct GateArgs {
+    baseline: PathBuf,
+    candidate: PathBuf,
+    column: usize,
+    max_drop_pct: f64,
+}
+
+fn parse_args() -> GateArgs {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut column = 2usize;
+    let mut max_drop_pct = 15.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value())),
+            "--candidate" => candidate = Some(PathBuf::from(value())),
+            "--column" => column = value().parse().expect("--column expects a usize"),
+            "--max-drop-pct" => {
+                max_drop_pct = value().parse().expect("--max-drop-pct expects a float")
+            }
+            other => panic!(
+                "unknown flag {other}; supported: --baseline --candidate --column --max-drop-pct"
+            ),
+        }
+    }
+    GateArgs {
+        baseline: baseline.expect("--baseline is required"),
+        candidate: candidate.expect("--candidate is required"),
+        column,
+        max_drop_pct,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let read = |path: &PathBuf| -> Vec<Vec<String>> {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        parse_rows(&json).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+    };
+    let base_rows = read(&args.baseline);
+    let cand_rows = read(&args.candidate);
+
+    let rows = match gate(&base_rows, &cand_rows, args.column, args.max_drop_pct) {
+        Ok(rows) => rows,
+        Err(e) => {
+            println!("bench gate error: {e}");
+            exit(1);
+        }
+    };
+
+    println!(
+        "bench gate: column {} of {} vs {} (budget {:.0}% drop)",
+        args.column,
+        args.candidate.display(),
+        args.baseline.display(),
+        args.max_drop_pct
+    );
+    let mut failed = false;
+    for r in &rows {
+        let verdict = if r.failed { "FAIL" } else { "ok" };
+        println!(
+            "  {:<20} baseline {:>10.1}  candidate {:>10.1}  drop {:>7.1}%  {verdict}",
+            r.label, r.baseline, r.candidate, r.drop_pct
+        );
+        failed |= r.failed;
+    }
+    if failed {
+        println!("bench gate: REGRESSION beyond {:.0}% budget", args.max_drop_pct);
+        exit(1);
+    }
+    println!("bench gate: ok ({} rows within budget)", rows.len());
+}

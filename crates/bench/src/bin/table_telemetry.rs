@@ -77,14 +77,16 @@ fn main() {
     let mut t = Table::new(
         "table_telemetry",
         "Per-Stage Latency Breakdown (telemetry subsystem)",
-        &["Stage", "count", "mean ms", "p95 ms", "total ms"],
+        &["Stage", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "total ms"],
     );
     for h in &snap.histograms {
         t.row(vec![
             h.name.clone(),
             h.count.to_string(),
             format!("{:.4}", h.mean_ms()),
-            format!("{:.4}", h.quantile_ms(0.95)),
+            format!("{:.4}", h.quantile_interp_ms(0.50)),
+            format!("{:.4}", h.quantile_interp_ms(0.95)),
+            format!("{:.4}", h.quantile_interp_ms(0.99)),
             format!("{:.2}", h.sum_ms()),
         ]);
     }
@@ -114,6 +116,25 @@ fn main() {
         match std::fs::write(&path, odin.telemetry().render_json()) {
             Ok(()) => println!("metrics dump: {}", path.display()),
             Err(e) => println!("warning: could not write metrics dump: {e}"),
+        }
+        let trace = args.out_dir.join("table_telemetry_trace.json");
+        match odin.dump_flight_record(&trace) {
+            Ok(()) => println!("chrome trace: {}", trace.display()),
+            Err(e) => println!("warning: could not write chrome trace: {e}"),
+        }
+    }
+
+    // Optional exposition window for scrape smoke tests: with
+    // ODIN_SERVE_MS=<n> the run stays alive for n ms serving /metrics,
+    // /trace, and /healthz on an ephemeral loopback port. The bound
+    // address is printed in a stable, greppable form for the caller.
+    if let Some(ms) = std::env::var("ODIN_SERVE_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
+        if ms > 0 {
+            let server = odin.telemetry().serve(("127.0.0.1", 0)).expect("bind metrics server");
+            println!("serving telemetry at http://{} for {ms} ms", server.addr());
+            use std::io::Write;
+            std::io::stdout().flush().expect("flush stdout");
+            std::thread::sleep(std::time::Duration::from_millis(ms));
         }
     }
     let _ = std::fs::remove_dir_all(&store_dir);

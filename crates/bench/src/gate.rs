@@ -1,0 +1,222 @@
+//! Benchmark regression gating.
+//!
+//! Compares a freshly measured experiment table against a committed
+//! baseline (`results/<id>.json`) and flags rows whose numeric column
+//! dropped by more than an allowed percentage. The table JSON is the
+//! string-only format written by [`crate::report::Table::to_json`], so
+//! the reader is a small hand-rolled parser rather than a serde
+//! pipeline — the bench crate stays free of a JSON dependency.
+
+/// Extracts the `"rows"` array from a table JSON document.
+///
+/// Only the subset of JSON that [`crate::report::Table::to_json`] emits
+/// is understood: an object containing a `"rows"` key whose value is an
+/// array of arrays of strings. Whitespace layout is ignored.
+pub fn parse_rows(json: &str) -> Result<Vec<Vec<String>>, String> {
+    let key = json.find("\"rows\"").ok_or("no \"rows\" key in table JSON")?;
+    let bytes = json.as_bytes();
+    let mut i = key + "\"rows\"".len();
+    // Skip to the opening bracket of the rows array.
+    while i < bytes.len() && bytes[i] != b'[' {
+        i += 1;
+    }
+    if i == bytes.len() {
+        return Err("\"rows\" key has no array value".to_string());
+    }
+    i += 1; // past '['
+
+    let chars: Vec<char> = json[i..].chars().collect();
+    let mut pos = 0usize;
+    let mut rows = Vec::new();
+    loop {
+        skip_ws(&chars, &mut pos);
+        match chars.get(pos) {
+            Some(']') => return Ok(rows),
+            Some('[') => {
+                pos += 1;
+                rows.push(parse_string_row(&chars, &mut pos)?);
+            }
+            Some(',') => pos += 1,
+            Some(c) => return Err(format!("unexpected {c:?} in rows array")),
+            None => return Err("unterminated rows array".to_string()),
+        }
+    }
+}
+
+/// Parses one `["cell", ...]` row; `pos` is just past the opening `[`.
+fn parse_string_row(chars: &[char], pos: &mut usize) -> Result<Vec<String>, String> {
+    let mut row = Vec::new();
+    loop {
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(']') => {
+                *pos += 1;
+                return Ok(row);
+            }
+            Some(',') => *pos += 1,
+            Some('"') => {
+                *pos += 1;
+                row.push(parse_string(chars, pos)?);
+            }
+            Some(c) => return Err(format!("unexpected {c:?} in row")),
+            None => return Err("unterminated row".to_string()),
+        }
+    }
+}
+
+/// Parses a JSON string body; `pos` is just past the opening quote.
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = chars.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String =
+                            chars.get(*pos..*pos + 4).ok_or("short \\u")?.iter().collect();
+                        *pos += 4;
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("unknown escape \\{other}")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while matches!(chars.get(*pos), Some(' ' | '\n' | '\r' | '\t')) {
+        *pos += 1;
+    }
+}
+
+/// One row's baseline-vs-candidate comparison.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Row label (first cell of the baseline row).
+    pub label: String,
+    /// Baseline value of the gated column.
+    pub baseline: f64,
+    /// Freshly measured value of the gated column.
+    pub candidate: f64,
+    /// Drop relative to baseline in percent (negative = improvement).
+    pub drop_pct: f64,
+    /// Whether the drop exceeds the allowed threshold.
+    pub failed: bool,
+}
+
+/// Compares `column` of every baseline row against the candidate row
+/// with the same label (first cell). A row fails if its value dropped by
+/// more than `max_drop_pct` percent, or if the candidate is missing the
+/// row or carries a non-numeric cell.
+pub fn gate(
+    baseline: &[Vec<String>],
+    candidate: &[Vec<String>],
+    column: usize,
+    max_drop_pct: f64,
+) -> Result<Vec<GateRow>, String> {
+    let mut out = Vec::new();
+    for base_row in baseline {
+        let label = base_row.first().ok_or("empty baseline row")?.clone();
+        let cand_row = candidate
+            .iter()
+            .find(|r| r.first() == Some(&label))
+            .ok_or_else(|| format!("candidate is missing row {label:?}"))?;
+        let base = cell_f64(base_row, column, &label)?;
+        let cand = cell_f64(cand_row, column, &label)?;
+        if base <= 0.0 {
+            return Err(format!("baseline value for {label:?} is not positive: {base}"));
+        }
+        let drop_pct = (base - cand) / base * 100.0;
+        out.push(GateRow {
+            label,
+            baseline: base,
+            candidate: cand,
+            drop_pct,
+            failed: drop_pct > max_drop_pct,
+        });
+    }
+    Ok(out)
+}
+
+fn cell_f64(row: &[String], column: usize, label: &str) -> Result<f64, String> {
+    let cell = row.get(column).ok_or_else(|| format!("row {label:?} has no column {column}"))?;
+    cell.parse::<f64>().map_err(|e| format!("row {label:?} column {column} ({cell:?}): {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Table;
+
+    fn table_json(rows: &[&[&str]]) -> String {
+        let mut t = Table::new("t", "gate test", &["Model", "FPS"]);
+        for r in rows {
+            t.row(r.iter().map(|s| s.to_string()).collect());
+        }
+        t.to_json()
+    }
+
+    #[test]
+    fn parse_roundtrips_table_json() {
+        let json = table_json(&[&["YOLO", "625"], &["LITE", "2927"]]);
+        let rows = parse_rows(&json).expect("parse");
+        assert_eq!(rows, vec![vec!["YOLO", "625"], vec!["LITE", "2927"]]);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_empty() {
+        let mut t = Table::new("t", "x", &["a"]);
+        t.row(vec!["quote \" slash \\ nl \n".to_string()]);
+        let rows = parse_rows(&t.to_json()).expect("parse");
+        assert_eq!(rows[0][0], "quote \" slash \\ nl \n");
+
+        let empty = Table::new("t", "x", &["a"]);
+        assert!(parse_rows(&empty.to_json()).expect("parse").is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_rows("{}").is_err());
+        assert!(parse_rows("{\"rows\": [[\"unterminated]}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_flags_drops() {
+        let base = vec![
+            vec!["A".to_string(), "100".to_string()],
+            vec!["B".to_string(), "200".to_string()],
+        ];
+        let cand =
+            vec![vec!["A".to_string(), "90".to_string()], vec!["B".to_string(), "240".to_string()]];
+        let rows = gate(&base, &cand, 1, 15.0).expect("gate");
+        assert!(!rows[0].failed, "10% drop is within a 15% budget");
+        assert!(!rows[1].failed, "improvements never fail");
+        assert!(rows[1].drop_pct < 0.0);
+
+        let rows = gate(&base, &cand, 1, 5.0).expect("gate");
+        assert!(rows[0].failed, "10% drop exceeds a 5% budget");
+    }
+
+    #[test]
+    fn gate_errors_on_missing_rows_and_bad_cells() {
+        let base = vec![vec!["A".to_string(), "100".to_string()]];
+        assert!(gate(&base, &[], 1, 15.0).is_err());
+        let cand = vec![vec!["A".to_string(), "fast".to_string()]];
+        assert!(gate(&base, &cand, 1, 15.0).is_err());
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod gate;
 pub mod report;
 pub mod workloads;
 

@@ -74,6 +74,6 @@ pub use query::{count_accuracy, CountQuery};
 pub use registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 pub use selector::{select, Selection, SelectionPolicy};
 pub use specializer::{Specializer, SpecializerConfig};
-pub use store::{CheckpointPolicy, SNAPSHOT_FILE, WAL_FILE};
+pub use store::{CheckpointPolicy, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE};
 pub use telemetry::Telemetry;
 pub use training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};

@@ -21,7 +21,7 @@ use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
 use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
 use odin_store::checkpoint::write_atomic;
 use odin_store::{read_wal, Checkpoint, CheckpointBuilder, Decoder, Encoder, Persist, StoreError};
-use odin_telemetry::{Level, TimelineStage};
+use odin_telemetry::{Level, SpanCtx, SpanGuard, TimelineStage, NO_PARENT};
 
 use crate::encoder::LatentEncoder;
 use crate::metrics::PipelineStats;
@@ -33,7 +33,7 @@ use crate::store::{
     persist_encoder, persist_frames, persist_registry_models, persist_retained_jobs,
     persist_telemetry, restore_detector, restore_encoder, restore_frames, restore_registry_models,
     restore_retained_jobs, restore_telemetry, section, CheckpointPolicy, PipelineStore,
-    RetainedJob, WalEvent, SNAPSHOT_FILE, WAL_FILE,
+    RetainedJob, WalEvent, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
 use crate::telemetry::Telemetry;
 use crate::training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
@@ -157,6 +157,11 @@ pub struct Odin {
     /// so a checkpoint can carry them across a restart (the job seed
     /// makes the re-trained model bit-identical).
     inflight: BTreeMap<usize, RetainedJob>,
+    /// Open recovery arcs: per promoted cluster, the trace context of
+    /// its `drift_detected` marker. Training spans parent onto it, so
+    /// one trace links detection → training → install; persisted in
+    /// checkpoints so restored pipelines keep the linkage.
+    recovery: BTreeMap<usize, SpanCtx>,
     pool: Option<TrainingPool>,
     /// Live persistence runtime ([`Odin::enable_store`]): WAL appender,
     /// background snapshot writer, and the snapshot policy.
@@ -186,7 +191,7 @@ impl Odin {
                 workers,
                 specializer,
                 Arc::clone(&teacher),
-                telemetry.time_source(),
+                telemetry.clone(),
             )),
         };
         Odin {
@@ -199,6 +204,7 @@ impl Odin {
             pending: BTreeMap::new(),
             training_pending: BTreeSet::new(),
             inflight: BTreeMap::new(),
+            recovery: BTreeMap::new(),
             pool,
             store: None,
             stats: PipelineStats::default(),
@@ -283,13 +289,19 @@ impl Odin {
     /// by [`Odin::process`] and [`Odin::bootstrap_clusters`] so the two
     /// can never diverge; the encoder is stateless with respect to the
     /// stream, so projecting ahead of ingest is exact.
-    fn ingest_with_latent(&mut self, frame: &Frame, latent: Vec<f32>) -> IngestOutcome {
+    fn ingest_with_latent(
+        &mut self,
+        frame: &Frame,
+        latent: Vec<f32>,
+        ctx: SpanCtx,
+    ) -> IngestOutcome {
         // Land any background-trained models before observing, so this
         // frame already sees them.
         self.install_completed();
-        let t0 = self.telemetry.now_ms();
-        let obs = self.manager.observe(&latent);
-        self.telemetry.stage_ingest.observe_ms(self.telemetry.now_ms() - t0);
+        let obs = {
+            let _g = self.telemetry.stage_span("ingest", &self.telemetry.stage_ingest, ctx);
+            self.manager.observe(&latent)
+        };
         match obs.assignment {
             Assignment::Temporary => {
                 if self.temp_frames.len() < self.cfg.buffer_cap {
@@ -314,13 +326,27 @@ impl Odin {
                 event.cluster_id,
                 event.at,
             );
+            // Each drift episode opens its own trace: later spans —
+            // train_job_queued, the (possibly worker-side) train span,
+            // and the install marker — all parent back onto this
+            // drift_detected marker, even across threads or a
+            // checkpoint restore.
+            let trace = self.telemetry.new_trace();
+            let marker = self.telemetry.instant(
+                "drift_detected",
+                SpanCtx { trace, parent: NO_PARENT },
+                event.cluster_id as i64,
+                event.at as i64,
+            );
+            let rctx = SpanCtx { trace, parent: marker };
+            self.recovery.insert(event.cluster_id, rctx);
             // Log the promotion (with the full new-cluster state) before
             // any consequence of it, mirroring the live apply order.
             if self.store.is_some() {
                 let payload =
                     self.manager.cluster(event.cluster_id).map(|c| encode_drift(event, c));
                 if let Some(p) = payload {
-                    self.wal_append(&p);
+                    self.wal_append(&p, rctx);
                 }
             }
             let seed_frames = std::mem::take(&mut self.temp_frames);
@@ -335,13 +361,18 @@ impl Odin {
                 );
                 if self.store.is_some() {
                     let p = encode_evict(evicted);
-                    self.wal_append(&p);
+                    self.wal_append(&p, ctx);
                 }
                 self.registry.write().remove(evicted);
                 self.pending.remove(&evicted);
                 self.training_pending.remove(&evicted);
                 self.inflight.remove(&evicted);
+                self.recovery.remove(&evicted);
             }
+            // Preserve the spans and events leading up to the drift:
+            // when a store is attached, dump the flight recorder next
+            // to the WAL.
+            self.telemetry.flight_autodump();
         }
         IngestOutcome {
             latent,
@@ -354,11 +385,17 @@ impl Odin {
     /// Processes one frame end-to-end.
     pub fn process(&mut self, frame: &Frame) -> FrameResult {
         if self.cfg.baseline_only {
+            let root = self.telemetry.frame_span(self.telemetry.frames.get());
             self.telemetry.frames.inc();
             self.telemetry.served_teacher.inc();
-            let t0 = self.telemetry.now_ms();
-            let detections = self.teacher.detect(&frame.image);
-            self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t0);
+            let detections = {
+                let _g = self.telemetry.stage_span(
+                    "detect",
+                    &self.telemetry.stage_detect,
+                    root.child_ctx(),
+                );
+                self.teacher.detect(&frame.image)
+            };
             return FrameResult {
                 detections,
                 assignment: Assignment::Temporary,
@@ -368,19 +405,29 @@ impl Odin {
                 selection: Selection::empty(),
             };
         }
-        let t0 = self.telemetry.now_ms();
-        let latent = self.encoder.project(&frame.image);
-        self.telemetry.stage_encode.observe_ms(self.telemetry.now_ms() - t0);
-        self.process_with_latent(frame, latent)
+        let root = self.telemetry.frame_span(self.telemetry.frames.get());
+        let latent = {
+            let _g =
+                self.telemetry.stage_span("encode", &self.telemetry.stage_encode, root.child_ctx());
+            self.encoder.project(&frame.image)
+        };
+        self.process_traced(frame, latent, root)
     }
 
     /// [`Odin::process`] for a pre-computed latent (the batched path).
     fn process_with_latent(&mut self, frame: &Frame, latent: Vec<f32>) -> FrameResult {
+        let root = self.telemetry.frame_span(self.telemetry.frames.get());
+        self.process_traced(frame, latent, root)
+    }
+
+    /// The serving stages under an already-open per-frame root span.
+    fn process_traced(&mut self, frame: &Frame, latent: Vec<f32>, root: SpanGuard) -> FrameResult {
         self.telemetry.frames.inc();
+        let ctx = root.child_ctx();
         // ❶+❷ DETECTOR ingest and SPECIALIZER scheduling.
-        let outcome = self.ingest_with_latent(frame, latent);
+        let outcome = self.ingest_with_latent(frame, latent, ctx);
         // ❸ SELECTOR: pick models and run inference.
-        let (detections, served_by, selection) = self.infer(&outcome.latent, frame);
+        let (detections, served_by, selection) = self.infer(&outcome.latent, frame, ctx);
         self.update_gauges();
 
         // While a cluster's model is still being collected for, queued,
@@ -395,6 +442,11 @@ impl Odin {
             }
         }
 
+        // Close the frame's root span *before* a snapshot can run, so a
+        // checkpoint written at this boundary already contains the
+        // frame's complete trace — the basis of byte-identical
+        // Chrome-trace exports across checkpoint/restore.
+        root.close();
         self.maybe_snapshot(outcome.drift.is_some());
 
         FrameResult {
@@ -432,20 +484,42 @@ impl Odin {
             cluster_id,
             self.manager.seen(),
         );
+        // Continue the cluster's drift episode (or open a fresh trace
+        // if no episode marker exists, e.g. after restoring a
+        // pre-tracing checkpoint).
+        let rctx = match self.recovery.get(&cluster_id) {
+            Some(c) => *c,
+            None => SpanCtx { trace: self.telemetry.new_trace(), parent: NO_PARENT },
+        };
+        let queued = self.telemetry.instant(
+            "train_job_queued",
+            rctx,
+            cluster_id as i64,
+            self.manager.seen() as i64,
+        );
+        let job_ctx = SpanCtx { trace: rctx.trace, parent: queued };
         match &self.pool {
             None => {
-                let t0 = self.telemetry.now_ms();
+                let mut span = self.telemetry.span("train", job_ctx);
+                span.set_cluster(cluster_id);
                 let detector = match kind {
                     ModelKind::Specialized => self.specializer.build_specialized(seed, &frames),
                     ModelKind::Lite => self.specializer.build_lite(seed, &self.teacher, &frames),
                 };
-                let wall_ms = self.telemetry.now_ms() - t0;
-                self.install(TrainedModel { cluster_id, detector, kind, wall_ms });
+                let ctx = span.child_ctx();
+                let wall_ms = span.close();
+                self.install(TrainedModel { cluster_id, detector, kind, wall_ms, ctx });
             }
             Some(pool) => {
-                pool.submit(TrainJob { cluster_id, seed, kind, frames: frames.clone() });
+                pool.submit(TrainJob {
+                    cluster_id,
+                    seed,
+                    kind,
+                    frames: frames.clone(),
+                    ctx: job_ctx,
+                });
                 self.training_pending.insert(cluster_id);
-                self.inflight.insert(cluster_id, RetainedJob { seed, kind, frames });
+                self.inflight.insert(cluster_id, RetainedJob { seed, kind, frames, ctx: job_ctx });
             }
         }
     }
@@ -455,6 +529,7 @@ impl Odin {
     fn install(&mut self, model: TrainedModel) {
         self.training_pending.remove(&model.cluster_id);
         self.inflight.remove(&model.cluster_id);
+        self.recovery.remove(&model.cluster_id);
         self.stats.train_wall_ms += model.wall_ms;
         self.telemetry.stage_train.observe_ms(model.wall_ms);
         if self.manager.cluster(model.cluster_id).is_none() {
@@ -462,7 +537,7 @@ impl Odin {
         }
         if self.store.is_some() {
             let p = encode_install(model.cluster_id, model.kind, &model.detector);
-            self.wal_append(&p);
+            self.wal_append(&p, model.ctx);
         }
         let (counter, stage) = match model.kind {
             ModelKind::Lite => (&self.telemetry.models_lite, TimelineStage::LiteInstalled),
@@ -472,6 +547,16 @@ impl Odin {
         };
         counter.inc();
         self.telemetry.record_timeline(stage, model.cluster_id, self.manager.seen());
+        // Close the recovery arc: the install marker parents onto the
+        // train span (possibly recorded on a worker thread), completing
+        // drift_detected → train_job_queued → train → install in one
+        // trace.
+        self.telemetry.instant(
+            "install",
+            model.ctx,
+            model.cluster_id as i64,
+            self.manager.seen() as i64,
+        );
         self.registry
             .write()
             .insert(model.cluster_id, ClusterModel { detector: model.detector, kind: model.kind });
@@ -502,15 +587,21 @@ impl Odin {
 
     /// Ensemble inference over the selected models; falls back to the
     /// teacher when no model is applicable.
-    fn infer(&self, z: &[f32], frame: &Frame) -> (Vec<Detection>, ServedBy, Selection) {
+    fn infer(
+        &self,
+        z: &[f32],
+        frame: &Frame,
+        ctx: SpanCtx,
+    ) -> (Vec<Detection>, ServedBy, Selection) {
         let registry = self.registry.read();
-        let t0 = self.telemetry.now_ms();
-        let selection = select_existing(self.cfg.policy, &self.manager, &registry, z);
-        let t1 = self.telemetry.now_ms();
-        self.telemetry.stage_select.observe_ms(t1 - t0);
+        let selection = {
+            let _g = self.telemetry.stage_span("select", &self.telemetry.stage_select, ctx);
+            select_existing(self.cfg.policy, &self.manager, &registry, z)
+        };
+        let det_span = self.telemetry.stage_span("detect", &self.telemetry.stage_detect, ctx);
         if selection.is_empty() {
             let dets = self.teacher.detect(&frame.image);
-            self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t1);
+            drop(det_span);
             self.telemetry.served_teacher.inc();
             return (dets, ServedBy::Teacher, selection);
         }
@@ -532,7 +623,7 @@ impl Odin {
             _ => self.telemetry.served_ensemble.inc(),
         }
         let dets = nms(pool, DEFAULT_NMS_IOU);
-        self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t1);
+        drop(det_span);
         (dets, served, selection)
     }
 
@@ -561,7 +652,8 @@ impl Odin {
             return self.teacher.detect(&frame.image);
         }
         let z = self.encoder.project(&frame.image);
-        self.infer(&z, frame).0
+        let root = self.telemetry.root_span("infer_only");
+        self.infer(&z, frame, root.child_ctx()).0
     }
 
     /// Processes a batch of frames, encoding them in one
@@ -575,9 +667,10 @@ impl Odin {
             let images: Vec<_> = frames.iter().map(|f| &f.image).collect();
             self.telemetry.frames.add(frames.len() as u64);
             self.telemetry.served_teacher.add(frames.len() as u64);
-            let t0 = self.telemetry.now_ms();
-            let batched = self.teacher.detect_batch(&images);
-            self.telemetry.stage_detect.observe_ms(self.telemetry.now_ms() - t0);
+            let batched = {
+                let _g = self.telemetry.stage_root_span("detect", &self.telemetry.stage_detect);
+                self.teacher.detect_batch(&images)
+            };
             return batched
                 .into_iter()
                 .map(|detections| FrameResult {
@@ -591,9 +684,10 @@ impl Odin {
                 .collect();
         }
         let images: Vec<_> = frames.iter().map(|f| &f.image).collect();
-        let t0 = self.telemetry.now_ms();
-        let latents = self.encoder.project_batch(&images);
-        self.telemetry.stage_encode.observe_ms(self.telemetry.now_ms() - t0);
+        let latents = {
+            let _g = self.telemetry.stage_root_span("encode", &self.telemetry.stage_encode);
+            self.encoder.project_batch(&images)
+        };
         frames.iter().zip(latents).map(|(f, z)| self.process_with_latent(f, z)).collect()
     }
 
@@ -622,15 +716,20 @@ impl Odin {
         let mut promoted = Vec::new();
         for chunk in frames.chunks(ENCODE_CHUNK.max(1)) {
             let images: Vec<_> = chunk.iter().map(|f| &f.image).collect();
-            let t0 = self.telemetry.now_ms();
-            let latents = self.encoder.project_batch(&images);
-            self.telemetry.stage_encode.observe_ms(self.telemetry.now_ms() - t0);
+            let latents = {
+                let _g = self.telemetry.stage_root_span("encode", &self.telemetry.stage_encode);
+                self.encoder.project_batch(&images)
+            };
             for (f, z) in chunk.iter().zip(latents) {
-                let outcome = self.ingest_with_latent(f, z);
+                let mut root = self.telemetry.root_span("bootstrap_frame");
+                root.set_frame(self.manager.seen());
+                let ctx = root.child_ctx();
+                let outcome = self.ingest_with_latent(f, z, ctx);
                 let drifted = outcome.drift.is_some();
                 if let Some(event) = outcome.drift {
                     promoted.push(event.cluster_id);
                 }
+                root.close();
                 self.maybe_snapshot(drifted);
             }
         }
@@ -650,7 +749,7 @@ impl Odin {
     /// checksummed `odin-store` checkpoint container. `last_wal_seq`
     /// records which WAL records the snapshot already covers.
     fn snapshot_bytes(&self, last_wal_seq: u64) -> Result<Vec<u8>, StoreError> {
-        let t0 = self.telemetry.now_ms();
+        let span = self.telemetry.root_span("snapshot_build");
         let mut builder = CheckpointBuilder::new();
 
         let mut enc = Encoder::new();
@@ -691,17 +790,32 @@ impl Odin {
             persist_frames(frames, &mut enc);
         }
         persist_retained_jobs(&self.inflight, &mut enc);
+        enc.put_usize(self.recovery.len());
+        for (id, rctx) in &self.recovery {
+            enc.put_usize(*id);
+            enc.put_u64(rctx.trace);
+            enc.put_u64(rctx.parent);
+        }
         builder.section(section::FRAMES, enc.into_bytes());
 
         builder.section(section::STATS, self.stats.to_store_bytes());
 
-        // Observe the build before serializing the telemetry section, so
-        // the persisted histograms include this very build — that makes
-        // a restored pipeline's telemetry bit-identical to the writer's.
-        // (The timing excludes only the telemetry serialization itself,
-        // which is negligible next to model/frame serialization.)
-        self.telemetry.stage_snapshot_build.observe_ms(self.telemetry.now_ms() - t0);
-        builder.section(section::TELEMETRY, persist_telemetry(&self.telemetry.snapshot()));
+        // Close the build span (and observe it) before serializing the
+        // telemetry section, so the persisted state — histograms,
+        // flight recorder, and tracer id allocators — includes this
+        // very build. That makes a restored pipeline's telemetry
+        // bit-identical to the writer's. (The timing excludes only the
+        // telemetry serialization itself, which is negligible next to
+        // model/frame serialization.)
+        self.telemetry.stage_snapshot_build.observe_ms(span.close());
+        builder.section(
+            section::TELEMETRY,
+            persist_telemetry(
+                &self.telemetry.snapshot(),
+                &self.telemetry.flight_record(),
+                self.telemetry.registry().tracer().state(),
+            ),
+        );
 
         Ok(builder.to_bytes())
     }
@@ -782,10 +896,23 @@ impl Odin {
         let cp = Checkpoint::read(&dir.join(SNAPSHOT_FILE))?;
         let (mut odin, last_seq) = Self::from_checkpoint(&cp)?;
         let wal = read_wal(&dir.join(WAL_FILE))?;
+        let mut replayed = 0usize;
         for rec in wal.records.iter().filter(|r| r.seq > last_seq) {
             let event = decode_wal_event(&rec.payload)?;
             odin.apply_wal_event(event);
+            replayed += 1;
         }
+        // Mark the warm restart on the timeline and refresh the gauges,
+        // so a scrape right after restore already reflects the replayed
+        // state. (Plain `Odin::restore` stays marker-free: it must stay
+        // byte-identical to the writer, which never restored.)
+        odin.telemetry.record_timeline(TimelineStage::RestoreCompleted, 0, odin.manager.seen());
+        odin.telemetry.event(
+            Level::Info,
+            "store",
+            format!("warm restart complete: replayed {replayed} WAL records"),
+        );
+        odin.update_gauges();
         Ok(odin)
     }
 
@@ -821,6 +948,14 @@ impl Odin {
             pending.insert(id, restore_frames(&mut dec)?);
         }
         let inflight = restore_retained_jobs(&mut dec)?;
+        let n_recovery = dec.take_usize("recovery len")?;
+        let mut recovery = BTreeMap::new();
+        for _ in 0..n_recovery {
+            let id = dec.take_usize("recovery id")?;
+            let trace = dec.take_u64("recovery trace")?;
+            let parent = dec.take_u64("recovery parent")?;
+            recovery.insert(id, SpanCtx { trace, parent });
+        }
         dec.finish("frames")?;
 
         let stats = PipelineStats::from_store_bytes(cp.require(section::STATS)?, "stats")?;
@@ -831,6 +966,7 @@ impl Odin {
         odin.stats = stats;
         odin.temp_frames = temp_frames;
         odin.pending = pending;
+        odin.recovery = recovery;
         {
             let mut registry = odin.registry.write();
             for (id, kind, detector) in models {
@@ -840,7 +976,10 @@ impl Odin {
         // Telemetry is optional for forward compatibility with
         // pre-telemetry checkpoints: absent section → fresh metrics.
         if let Some(bytes) = cp.section(section::TELEMETRY) {
-            odin.telemetry.load(&restore_telemetry(bytes)?);
+            let (snap, flight, (next_span, next_trace)) = restore_telemetry(bytes)?;
+            odin.telemetry.load(&snap);
+            odin.telemetry.registry().recorder().load(&flight);
+            odin.telemetry.registry().tracer().load_state(next_span, next_trace);
         }
         odin.resubmit_inflight(inflight);
         Ok((odin, last_wal_seq))
@@ -860,12 +999,14 @@ impl Odin {
                         seed: job.seed,
                         kind: job.kind,
                         frames: job.frames.clone(),
+                        ctx: job.ctx,
                     });
                     self.training_pending.insert(cluster_id);
                     self.inflight.insert(cluster_id, job);
                 }
                 None => {
-                    let t0 = self.telemetry.now_ms();
+                    let mut span = self.telemetry.span("train", job.ctx);
+                    span.set_cluster(cluster_id);
                     let detector = match job.kind {
                         ModelKind::Specialized => {
                             self.specializer.build_specialized(job.seed, &job.frames)
@@ -874,8 +1015,15 @@ impl Odin {
                             self.specializer.build_lite(job.seed, &self.teacher, &job.frames)
                         }
                     };
-                    let wall_ms = self.telemetry.now_ms() - t0;
-                    self.install(TrainedModel { cluster_id, detector, kind: job.kind, wall_ms });
+                    let ctx = span.child_ctx();
+                    let wall_ms = span.close();
+                    self.install(TrainedModel {
+                        cluster_id,
+                        detector,
+                        kind: job.kind,
+                        wall_ms,
+                        ctx,
+                    });
                 }
             }
         }
@@ -895,6 +1043,7 @@ impl Odin {
                 self.pending.remove(&cluster_id);
                 self.training_pending.remove(&cluster_id);
                 self.inflight.remove(&cluster_id);
+                self.recovery.remove(&cluster_id);
             }
             WalEvent::Install { cluster_id, kind, detector } => {
                 if self.manager.cluster(cluster_id).is_some() {
@@ -902,6 +1051,7 @@ impl Odin {
                     self.pending.remove(&cluster_id);
                     self.training_pending.remove(&cluster_id);
                     self.inflight.remove(&cluster_id);
+                    self.recovery.remove(&cluster_id);
                 }
             }
         }
@@ -915,7 +1065,17 @@ impl Odin {
     /// Recover later with [`Odin::restore_from_dir`].
     pub fn enable_store(&mut self, dir: &Path, policy: CheckpointPolicy) -> Result<(), StoreError> {
         self.store = Some(PipelineStore::open(dir, policy, self.telemetry.clone())?);
+        // With a store attached, the flight recorder auto-dumps next to
+        // the WAL on drift events and store errors.
+        self.telemetry.set_flight_dump_path(Some(dir.join(FLIGHT_FILE)));
         Ok(())
+    }
+
+    /// Writes the flight recorder's current contents — the most recent
+    /// spans and events — as Chrome-trace JSON to `path`. Open the file
+    /// in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    pub fn dump_flight_record(&self, path: &Path) -> std::io::Result<()> {
+        self.telemetry.dump_flight(path)
     }
 
     /// Blocks until every queued background snapshot write has landed
@@ -936,11 +1096,12 @@ impl Odin {
         self.store.as_ref().map(|s| s.writer.failures()).unwrap_or(0)
     }
 
-    fn wal_append(&mut self, payload: &[u8]) {
+    fn wal_append(&mut self, payload: &[u8], ctx: SpanCtx) {
         let Some(store) = self.store.as_mut() else { return };
-        let t0 = self.telemetry.now_ms();
-        let res = store.wal.append(payload).and_then(|_| store.wal.sync());
-        self.telemetry.stage_wal_append.observe_ms(self.telemetry.now_ms() - t0);
+        let res = {
+            let _g = self.telemetry.stage_span("wal_append", &self.telemetry.stage_wal_append, ctx);
+            store.wal.append(payload).and_then(|_| store.wal.sync())
+        };
         match res {
             Ok(()) => {
                 self.stats.wal_events_logged += 1;

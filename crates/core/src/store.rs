@@ -35,7 +35,10 @@ use odin_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use odin_telemetry::{HistogramSnapshot, TelemetrySnapshot, TimelineEvent, TimelineStage};
+use odin_telemetry::{
+    FlightRecord, HistogramSnapshot, Level, RecordedEvent, SpanCtx, SpanRecord, TelemetrySnapshot,
+    TimelineEvent, TimelineStage,
+};
 
 use crate::encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 use crate::metrics::PipelineStats;
@@ -50,6 +53,9 @@ use crate::training::TrainingMode;
 pub const SNAPSHOT_FILE: &str = "snapshot.odst";
 /// WAL file name inside a store directory.
 pub const WAL_FILE: &str = "events.wal";
+/// Flight-record auto-dump file name (Chrome-trace JSON) inside a store
+/// directory, written on drift events and store errors.
+pub const FLIGHT_FILE: &str = "flight.json";
 
 /// Checkpoint section names.
 pub(crate) mod section {
@@ -84,6 +90,10 @@ pub(crate) struct RetainedJob {
     pub seed: u64,
     pub kind: ModelKind,
     pub frames: Vec<Frame>,
+    /// Trace context the job was (or will be re-)submitted under, so a
+    /// restored pipeline's training spans stay linked to the original
+    /// drift episode.
+    pub ctx: SpanCtx,
 }
 
 // ---------------------------------------------------------------------
@@ -423,11 +433,17 @@ impl Persist for PipelineStats {
 // Telemetry snapshot codec
 // ---------------------------------------------------------------------
 
-/// Encodes a full telemetry snapshot (counters, gauges, histograms with
-/// their bucket bounds, drift timeline). Bounds are persisted alongside
-/// the counts so a restored registry reproduces the exact bucketing —
-/// the precondition for bit-identical exposition after a restore.
-pub(crate) fn persist_telemetry(snap: &TelemetrySnapshot) -> Vec<u8> {
+/// Encodes the full telemetry state: the metric snapshot (counters,
+/// gauges, histograms with their bucket bounds, drift timeline), the
+/// flight recorder's contents, and the tracer's id allocators. Bounds
+/// are persisted alongside the counts so a restored registry reproduces
+/// the exact bucketing, and the recorder + tracer state make the
+/// Chrome-trace export byte-identical after a restore.
+pub(crate) fn persist_telemetry(
+    snap: &TelemetrySnapshot,
+    flight: &FlightRecord,
+    tracer_state: (u64, u64),
+) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_usize(snap.counters.len());
     for (name, v) in &snap.counters {
@@ -460,11 +476,36 @@ pub(crate) fn persist_telemetry(snap: &TelemetrySnapshot) -> Vec<u8> {
         enc.put_usize(t.frame);
         enc.put_f64(t.at_ms);
     }
+    enc.put_usize(flight.spans.len());
+    for s in &flight.spans {
+        enc.put_u64(s.trace);
+        enc.put_u64(s.id);
+        enc.put_u64(s.parent);
+        enc.put_str(&s.name);
+        enc.put_f64(s.start_ms);
+        enc.put_f64(s.end_ms);
+        enc.put_u64(s.cluster as u64);
+        enc.put_u64(s.frame as u64);
+    }
+    enc.put_usize(flight.events.len());
+    for e in &flight.events {
+        enc.put_f64(e.at_ms);
+        enc.put_u8(e.level.tag());
+        enc.put_str(&e.target);
+        enc.put_str(&e.message);
+    }
+    enc.put_u64(flight.dropped_spans);
+    enc.put_u64(flight.dropped_events);
+    enc.put_u64(tracer_state.0);
+    enc.put_u64(tracer_state.1);
     enc.into_bytes()
 }
 
-/// Decodes a telemetry snapshot written by [`persist_telemetry`].
-pub(crate) fn restore_telemetry(bytes: &[u8]) -> Result<TelemetrySnapshot, StoreError> {
+/// Decodes the telemetry state written by [`persist_telemetry`]:
+/// `(snapshot, flight_record, (next_span_id, next_trace_id))`.
+pub(crate) fn restore_telemetry(
+    bytes: &[u8],
+) -> Result<(TelemetrySnapshot, FlightRecord, (u64, u64)), StoreError> {
     let mut dec = Decoder::new(bytes);
     let n = dec.take_usize("telemetry counters len")?;
     let mut counters = Vec::with_capacity(n.min(1 << 10));
@@ -512,8 +553,44 @@ pub(crate) fn restore_telemetry(bytes: &[u8]) -> Result<TelemetrySnapshot, Store
             at_ms: dec.take_f64("timeline at_ms")?,
         });
     }
+    let n = dec.take_usize("flight spans len")?;
+    let mut spans = Vec::with_capacity(n.min(1 << 14));
+    for _ in 0..n {
+        spans.push(SpanRecord {
+            trace: dec.take_u64("span trace")?,
+            id: dec.take_u64("span id")?,
+            parent: dec.take_u64("span parent")?,
+            name: dec.take_str("span name")?.into(),
+            start_ms: dec.take_f64("span start_ms")?,
+            end_ms: dec.take_f64("span end_ms")?,
+            cluster: dec.take_u64("span cluster")? as i64,
+            frame: dec.take_u64("span frame")? as i64,
+        });
+    }
+    let n = dec.take_usize("flight events len")?;
+    let mut events = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let at_ms = dec.take_f64("flight event at_ms")?;
+        let tag = dec.take_u8("flight event level")?;
+        let level =
+            Level::from_tag(tag).ok_or(StoreError::Malformed { context: "flight event level" })?;
+        events.push(RecordedEvent {
+            at_ms,
+            level,
+            target: dec.take_str("flight event target")?.into(),
+            message: dec.take_str("flight event message")?,
+        });
+    }
+    let dropped_spans = dec.take_u64("flight dropped spans")?;
+    let dropped_events = dec.take_u64("flight dropped events")?;
+    let next_span = dec.take_u64("tracer next span")?;
+    let next_trace = dec.take_u64("tracer next trace")?;
     dec.finish("telemetry trailing bytes")?;
-    Ok(TelemetrySnapshot { counters, gauges, histograms, timeline })
+    Ok((
+        TelemetrySnapshot { counters, gauges, histograms, timeline },
+        FlightRecord { spans, events, dropped_spans, dropped_events },
+        (next_span, next_trace),
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -607,6 +684,8 @@ pub(crate) fn persist_retained_jobs(jobs: &BTreeMap<usize, RetainedJob>, enc: &m
         enc.put_u64(job.seed);
         persist_model_kind(job.kind, enc);
         persist_frames(&job.frames, enc);
+        enc.put_u64(job.ctx.trace);
+        enc.put_u64(job.ctx.parent);
     }
 }
 
@@ -620,7 +699,9 @@ pub(crate) fn restore_retained_jobs(
         let seed = dec.take_u64("inflight seed")?;
         let kind = restore_model_kind(dec)?;
         let frames = restore_frames(dec)?;
-        out.insert(id, RetainedJob { seed, kind, frames });
+        let trace = dec.take_u64("inflight ctx trace")?;
+        let parent = dec.take_u64("inflight ctx parent")?;
+        out.insert(id, RetainedJob { seed, kind, frames, ctx: SpanCtx { trace, parent } });
     }
     Ok(out)
 }

@@ -16,12 +16,23 @@
 //! `snapshot_build` (checkpoint serialization), `snapshot_write`
 //! (background atomic file write), and `wal_append` (drift-event WAL
 //! append + fsync).
+//!
+//! Each stage timer is also a *span*: the same RAII guard that feeds
+//! the histogram records a [`odin_telemetry::SpanRecord`] into the
+//! always-on flight recorder, linked by parent id into a per-frame or
+//! per-recovery trace. [`Telemetry::render_chrome_trace`] exports the
+//! recorder as Chrome-trace JSON (loadable in Perfetto), and
+//! [`Telemetry::serve`] exposes `/metrics`, `/trace`, and `/healthz`
+//! over a zero-dependency HTTP server.
 
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use odin_telemetry::render::{render_json, render_prometheus};
 use odin_telemetry::{
-    log_bounds, Clock, Counter, EventSink, Gauge, Histogram, Level, Registry, StderrSink,
+    chrome_trace, log_bounds, serve, Clock, Counter, EventSink, FlightRecord, Gauge, Histogram,
+    HttpHandlers, Level, MetricsServer, Registry, SpanCtx, SpanGuard, StderrSink,
     TelemetrySnapshot, TimelineEvent, TimelineStage,
 };
 
@@ -44,6 +55,9 @@ fn train_bounds() -> Vec<f64> {
 pub struct Telemetry {
     registry: Arc<Registry>,
     last_error: Arc<Mutex<Option<String>>>,
+    /// Where the flight recorder auto-dumps (Chrome-trace JSON) on
+    /// drift events and store errors; set when a store is attached.
+    dump_path: Arc<Mutex<Option<PathBuf>>>,
 
     // Counters.
     pub(crate) frames: Counter,
@@ -105,7 +119,7 @@ impl Telemetry {
             store_errors: registry.counter("odin_store_errors_total"),
             clusters: registry.gauge("odin_clusters"),
             models: registry.gauge("odin_models"),
-            queue_depth: registry.gauge("odin_train_queue_depth"),
+            queue_depth: registry.gauge("odin_training_queue_depth"),
             in_flight: registry.gauge("odin_train_in_flight"),
             stage_encode: registry.histogram("odin_stage_encode_ms", &stage),
             stage_ingest: registry.histogram("odin_stage_ingest_ms", &stage),
@@ -117,6 +131,7 @@ impl Telemetry {
             stage_wal_append: registry.histogram("odin_stage_wal_append_ms", &stage),
             registry,
             last_error: Arc::new(Mutex::new(None)),
+            dump_path: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -125,17 +140,58 @@ impl Telemetry {
         &self.registry
     }
 
-    /// Current time in ms from the registry clock.
-    pub(crate) fn now_ms(&self) -> f64 {
-        self.registry.now_ms()
+    /// Opens a root span in a brand-new trace.
+    pub(crate) fn root_span(&self, name: &'static str) -> SpanGuard {
+        self.registry.tracer().root(name)
     }
 
-    /// A closure over the registry clock, for components that measure
-    /// durations off-thread (the training pool). Reads the clock at call
-    /// time, so a later [`Telemetry::set_clock`] takes effect here too.
-    pub(crate) fn time_source(&self) -> Arc<dyn Fn() -> f64 + Send + Sync> {
-        let registry = Arc::clone(&self.registry);
-        Arc::new(move || registry.now_ms())
+    /// Opens a span under `ctx` (for cross-thread continuation, e.g.
+    /// the training pool's worker-side `train` span).
+    pub(crate) fn span(&self, name: &'static str, ctx: SpanCtx) -> SpanGuard {
+        self.registry.tracer().span(name, ctx)
+    }
+
+    /// Records an instant marker span and returns its id so later spans
+    /// can parent onto it.
+    pub(crate) fn instant(
+        &self,
+        name: &'static str,
+        ctx: SpanCtx,
+        cluster: i64,
+        frame: i64,
+    ) -> u64 {
+        self.registry.tracer().instant(name, ctx, cluster, frame)
+    }
+
+    /// Allocates a fresh trace id (one per recovery arc).
+    pub(crate) fn new_trace(&self) -> u64 {
+        self.registry.tracer().new_trace()
+    }
+
+    /// The per-frame root span, tagged with the stream frame index.
+    pub(crate) fn frame_span(&self, frame_idx: u64) -> SpanGuard {
+        let mut g = self.root_span("frame");
+        g.set_frame(frame_idx as usize);
+        g
+    }
+
+    /// RAII stage timer: opens a span under `ctx`; when the guard drops
+    /// the span closes and its duration lands in `hist`. One guard feeds
+    /// both the latency histogram and the flight recorder, so the two
+    /// views can never disagree.
+    pub(crate) fn stage_span(
+        &self,
+        name: &'static str,
+        hist: &Histogram,
+        ctx: SpanCtx,
+    ) -> StageSpan {
+        StageSpan { span: Some(self.span(name, ctx)), hist: hist.clone() }
+    }
+
+    /// Like [`Telemetry::stage_span`] but as the root of its own trace
+    /// (batch stages that don't belong to a single frame).
+    pub(crate) fn stage_root_span(&self, name: &'static str, hist: &Histogram) -> StageSpan {
+        StageSpan { span: Some(self.root_span(name)), hist: hist.clone() }
     }
 
     /// Replaces the time source. Installing an
@@ -182,6 +238,9 @@ impl Telemetry {
         let message = format!("{what}: {detail}");
         *self.last_error.lock().unwrap() = Some(message.clone());
         self.registry.event(Level::Error, "store", message);
+        // Preserve the evidence: dump the flight recorder so the spans
+        // and events leading up to the failure survive a crash.
+        self.flight_autodump();
     }
 
     /// The most recent store failure, if any.
@@ -208,6 +267,137 @@ impl Telemetry {
     pub fn render_json(&self) -> String {
         render_json(&self.snapshot())
     }
+
+    /// A copy of the flight recorder's current contents: the most
+    /// recent spans and events plus drop counters.
+    pub fn flight_record(&self) -> FlightRecord {
+        self.registry.flight_record()
+    }
+
+    /// Chrome-trace (Perfetto) JSON export of the flight recorder.
+    /// With a manual clock this is a pure function of the stream.
+    pub fn render_chrome_trace(&self) -> String {
+        chrome_trace(&self.flight_record())
+    }
+
+    /// Writes the Chrome-trace export to `path`.
+    pub fn dump_flight(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.render_chrome_trace())
+    }
+
+    /// Sets (or clears) the auto-dump destination. The pipeline points
+    /// this at `<store_dir>/flight.json` when a store is attached.
+    pub(crate) fn set_flight_dump_path(&self, path: Option<PathBuf>) {
+        *self.dump_path.lock().unwrap() = path;
+    }
+
+    /// The current auto-dump destination, if any.
+    pub fn flight_dump_path(&self) -> Option<PathBuf> {
+        self.dump_path.lock().unwrap().clone()
+    }
+
+    /// Dumps the flight record to the configured path, if one is set.
+    /// A failed dump emits a warn event and nothing else — in
+    /// particular it must NOT count as a store error, or a broken store
+    /// directory would recurse through [`Telemetry::record_store_error`]
+    /// forever.
+    pub(crate) fn flight_autodump(&self) {
+        let path = self.flight_dump_path();
+        if let Some(path) = path {
+            if let Err(e) = self.dump_flight(&path) {
+                self.registry.event(
+                    Level::Warn,
+                    "telemetry",
+                    format!("flight-record dump to {} failed: {e}", path.display()),
+                );
+            }
+        }
+    }
+
+    /// Liveness summary as a small JSON object: `status` is `"ok"`
+    /// until the first store error, then `"degraded"`.
+    pub fn render_healthz(&self) -> String {
+        let status = if self.store_errors.get() == 0 { "ok" } else { "degraded" };
+        let last = match self.last_store_error() {
+            Some(msg) => format!("\"{}\"", healthz_escape(&msg)),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"status\":\"{}\",\"frames\":{},\"drift_events\":{},",
+                "\"clusters\":{},\"models\":{},\"training_queue_depth\":{},",
+                "\"train_in_flight\":{},\"store_errors\":{},\"last_store_error\":{}}}"
+            ),
+            status,
+            self.frames.get(),
+            self.drift_events.get(),
+            self.clusters.get(),
+            self.models.get(),
+            self.queue_depth.get(),
+            self.in_flight.get(),
+            self.store_errors.get(),
+            last,
+        )
+    }
+
+    /// Starts the blocking exposition server on `addr` (use port 0 for
+    /// an ephemeral port; the bound address is on the returned handle):
+    /// `/metrics` (Prometheus text), `/trace` (Chrome-trace JSON),
+    /// `/healthz` (liveness JSON). The server reads live state — each
+    /// scrape re-renders from the shared registry.
+    pub fn serve<A: std::net::ToSocketAddrs>(&self, addr: A) -> io::Result<MetricsServer> {
+        let metrics = self.clone();
+        let trace = self.clone();
+        let healthz = self.clone();
+        serve(
+            addr,
+            HttpHandlers {
+                metrics: Arc::new(move || metrics.render_prometheus()),
+                trace: Arc::new(move || trace.render_chrome_trace()),
+                healthz: Arc::new(move || healthz.render_healthz()),
+            },
+        )
+    }
+}
+
+/// Minimal JSON string escape for the healthz `last_store_error` field
+/// (error messages are ASCII-ish; control chars are dropped to space).
+fn healthz_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// RAII guard tying a span to a stage histogram: dropping it closes the
+/// span and observes the span's duration into the histogram.
+pub(crate) struct StageSpan {
+    span: Option<SpanGuard>,
+    hist: Histogram,
+}
+
+impl StageSpan {
+    /// Tags the underlying span with a cluster id.
+    #[allow(dead_code)]
+    pub(crate) fn set_cluster(&mut self, cluster: usize) {
+        if let Some(s) = self.span.as_mut() {
+            s.set_cluster(cluster);
+        }
+    }
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        if let Some(span) = self.span.take() {
+            self.hist.observe_ms(span.close());
+        }
+    }
 }
 
 impl Default for Telemetry {
@@ -230,6 +420,38 @@ mod tests {
         other.record_store_error("wal append", "disk full");
         assert_eq!(tel.store_errors.get(), 1);
         assert_eq!(tel.last_store_error().as_deref(), Some("wal append: disk full"));
+    }
+
+    #[test]
+    fn healthz_flips_to_degraded_on_store_error() {
+        let tel = Telemetry::new();
+        tel.clear_sinks();
+        assert!(tel.render_healthz().contains("\"status\":\"ok\""));
+        assert!(tel.render_healthz().contains("\"last_store_error\":null"));
+        tel.record_store_error("wal append", "disk \"full\"");
+        let h = tel.render_healthz();
+        assert!(h.contains("\"status\":\"degraded\""));
+        assert!(h.contains("\\\"full\\\""));
+    }
+
+    #[test]
+    fn stage_span_feeds_histogram_and_flight_recorder() {
+        let tel = Telemetry::new();
+        tel.clear_sinks();
+        let clock = Arc::new(odin_telemetry::ManualClock::new());
+        tel.set_clock(clock.clone());
+        let root = tel.frame_span(9);
+        {
+            let _g = tel.stage_span("ingest", &tel.stage_ingest, root.child_ctx());
+            clock.advance_ms(1.0);
+        }
+        drop(root);
+        assert_eq!(tel.stage_ingest.snapshot("x").count, 1);
+        let rec = tel.flight_record();
+        assert_eq!(rec.spans.len(), 2);
+        assert_eq!(rec.spans[0].name, "ingest");
+        assert_eq!(rec.spans[0].parent, rec.spans[1].id);
+        assert_eq!(rec.spans[1].frame, 9);
     }
 
     #[test]

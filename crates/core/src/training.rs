@@ -27,9 +27,11 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use odin_data::Frame;
 use odin_detect::Detector;
+use odin_telemetry::SpanCtx;
 
 use crate::registry::ModelKind;
 use crate::specializer::Specializer;
+use crate::telemetry::Telemetry;
 
 /// How SPECIALIZER schedules training work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,11 +50,6 @@ pub enum TrainingMode {
     },
 }
 
-/// Shared monotonic time source (milliseconds) used to measure training
-/// wall time. The pipeline passes its telemetry clock, so installing a
-/// manual clock makes `TrainedModel::wall_ms` deterministic too.
-pub type TimeSource = Arc<dyn Fn() -> f64 + Send + Sync>;
-
 /// One unit of SPECIALIZER work: build a model of `kind` for
 /// `cluster_id` from `frames`, seeding all randomness from `seed`.
 #[derive(Debug)]
@@ -66,6 +63,11 @@ pub struct TrainJob {
     pub kind: ModelKind,
     /// The cluster's accumulated training frames.
     pub frames: Vec<Frame>,
+    /// Trace context the job was submitted under: the worker-side
+    /// `train` span parents onto the submitter's `train_job_queued`
+    /// marker, so one trace links drift detection to the trained model
+    /// across the thread hop.
+    pub ctx: SpanCtx,
 }
 
 /// A model built by a worker, ready for registry installation.
@@ -78,6 +80,9 @@ pub struct TrainedModel {
     pub kind: ModelKind,
     /// Wall-clock the training run took, in milliseconds.
     pub wall_ms: f64,
+    /// Trace context for the install: same trace as the submitting
+    /// recovery arc, parented on the worker's `train` span.
+    pub ctx: SpanCtx,
 }
 
 /// A pool of SPECIALIZER worker threads fed over channels.
@@ -101,13 +106,17 @@ pub struct TrainingPool {
 
 impl TrainingPool {
     /// Spawns `workers` (at least 1) threads that build models with
-    /// `specializer`, distilling from `teacher` for Lite jobs. Training
-    /// wall time is measured with `clock`.
+    /// `specializer`, distilling from `teacher` for Lite jobs. Each
+    /// worker continues the job's trace under `telemetry`: it opens a
+    /// `train` span from [`TrainJob::ctx`], measures wall time against
+    /// the telemetry clock, and threads a child context into the
+    /// [`TrainedModel`] for the install marker back on the serving
+    /// thread.
     pub fn new(
         workers: usize,
         specializer: Specializer,
         teacher: Arc<Detector>,
-        clock: TimeSource,
+        telemetry: Telemetry,
     ) -> Self {
         let (job_tx, job_rx) = unbounded::<TrainJob>();
         let (res_tx, res_rx) = unbounded::<TrainedModel>();
@@ -121,11 +130,12 @@ impl TrainingPool {
                 let teacher = Arc::clone(&teacher);
                 let started = Arc::clone(&started);
                 let finished = Arc::clone(&finished);
-                let clock = Arc::clone(&clock);
+                let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         started.fetch_add(1, Ordering::SeqCst);
-                        let t0 = clock();
+                        let mut span = telemetry.span("train", job.ctx);
+                        span.set_cluster(job.cluster_id);
                         let detector = match job.kind {
                             ModelKind::Specialized => {
                                 specializer.build_specialized(job.seed, &job.frames)
@@ -134,12 +144,14 @@ impl TrainingPool {
                                 specializer.build_lite(job.seed, &teacher, &job.frames)
                             }
                         };
-                        let wall_ms = clock() - t0;
+                        let ctx = span.child_ctx();
+                        let wall_ms = span.close();
                         let done = TrainedModel {
                             cluster_id: job.cluster_id,
                             detector,
                             kind: job.kind,
                             wall_ms,
+                            ctx,
                         };
                         finished.fetch_add(1, Ordering::SeqCst);
                         if tx.send(done).is_err() {
@@ -251,17 +263,28 @@ mod tests {
         (teacher, frames)
     }
 
-    fn wall() -> TimeSource {
-        let origin = std::time::Instant::now();
-        Arc::new(move || origin.elapsed().as_secs_f64() * 1e3)
+    fn tel() -> Telemetry {
+        let t = Telemetry::new();
+        t.clear_sinks();
+        t
+    }
+
+    fn ctx() -> SpanCtx {
+        SpanCtx { trace: 1, parent: odin_telemetry::NO_PARENT }
     }
 
     #[test]
     fn pool_trains_and_returns_models() {
         let (teacher, frames) = fixture();
-        let mut pool = TrainingPool::new(2, quick_specializer(), teacher, wall());
+        let mut pool = TrainingPool::new(2, quick_specializer(), teacher, tel());
         for (i, kind) in [ModelKind::Specialized, ModelKind::Lite].into_iter().enumerate() {
-            pool.submit(TrainJob { cluster_id: i, seed: i as u64, kind, frames: frames.clone() });
+            pool.submit(TrainJob {
+                cluster_id: i,
+                seed: i as u64,
+                kind,
+                frames: frames.clone(),
+                ctx: ctx(),
+            });
         }
         let done = pool.drain_barrier();
         assert_eq!(done.len(), 2);
@@ -277,17 +300,51 @@ mod tests {
         let (teacher, frames) = fixture();
         let sp = quick_specializer();
         let inline = sp.build_specialized(7, &frames);
-        let mut pool = TrainingPool::new(1, sp, teacher, wall());
-        pool.submit(TrainJob { cluster_id: 0, seed: 7, kind: ModelKind::Specialized, frames });
+        let mut pool = TrainingPool::new(1, sp, teacher, tel());
+        pool.submit(TrainJob {
+            cluster_id: 0,
+            seed: 7,
+            kind: ModelKind::Specialized,
+            frames,
+            ctx: ctx(),
+        });
         let done = pool.drain_barrier();
         assert_eq!(done[0].detector.export_params(), inline.export_params());
     }
 
     #[test]
+    fn worker_span_continues_the_submitted_trace() {
+        let (teacher, frames) = fixture();
+        let telemetry = tel();
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, telemetry.clone());
+        let submitted = SpanCtx { trace: 42, parent: 7 };
+        pool.submit(TrainJob {
+            cluster_id: 5,
+            seed: 1,
+            kind: ModelKind::Lite,
+            frames,
+            ctx: submitted,
+        });
+        let done = pool.drain_barrier();
+        assert_eq!(done.len(), 1);
+        // The model's install context continues the submitter's trace...
+        assert_eq!(done[0].ctx.trace, 42);
+        // ...parented on the worker-side train span, which itself
+        // parents onto the submitted context.
+        let rec = telemetry.flight_record();
+        let train =
+            rec.spans.iter().find(|s| s.name == "train").expect("worker recorded a train span");
+        assert_eq!(train.trace, 42);
+        assert_eq!(train.parent, 7);
+        assert_eq!(train.cluster, 5);
+        assert_eq!(done[0].ctx.parent, train.id);
+    }
+
+    #[test]
     fn counters_settle_after_barrier() {
         let (teacher, frames) = fixture();
-        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, wall());
-        pool.submit(TrainJob { cluster_id: 3, seed: 1, kind: ModelKind::Lite, frames });
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, tel());
+        pool.submit(TrainJob { cluster_id: 3, seed: 1, kind: ModelKind::Lite, frames, ctx: ctx() });
         assert_eq!(pool.pending(), 1);
         let _ = pool.drain_barrier();
         assert_eq!(pool.pending(), 0);
@@ -298,7 +355,7 @@ mod tests {
     #[test]
     fn drain_without_jobs_is_empty() {
         let (teacher, _) = fixture();
-        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, wall());
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, tel());
         assert!(pool.drain().is_empty());
         assert!(pool.drain_barrier().is_empty());
     }

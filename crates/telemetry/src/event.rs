@@ -33,6 +33,27 @@ impl Level {
             Level::Error => "error",
         }
     }
+
+    /// Compact integer tag for persistence.
+    pub fn tag(self) -> u8 {
+        match self {
+            Level::Debug => 0,
+            Level::Info => 1,
+            Level::Warn => 2,
+            Level::Error => 3,
+        }
+    }
+
+    /// Inverse of [`Level::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            3 => Level::Error,
+            _ => return None,
+        })
+    }
 }
 
 /// One structured log record.
@@ -84,19 +105,28 @@ impl EventSink for StderrSink {
     }
 }
 
-/// Keeps the last `cap` events in memory, dropping the oldest first.
+/// Keeps the last `cap` events at or above a minimum level in memory,
+/// dropping the oldest first.
 #[derive(Debug)]
 pub struct RingSink {
     cap: usize,
+    min: Level,
     buf: Mutex<VecDeque<Event>>,
 }
 
 impl RingSink {
-    /// Creates a ring buffer holding at most `cap` events (`cap` is
-    /// clamped to at least 1).
+    /// Creates a ring buffer holding at most `cap` events of any level
+    /// (`cap` is clamped to at least 1).
     pub fn new(cap: usize) -> Self {
+        RingSink::with_min(cap, Level::Debug)
+    }
+
+    /// Like [`RingSink::new`], but events below `min` are discarded
+    /// instead of buffered — they neither occupy capacity nor evict
+    /// older, more severe events.
+    pub fn with_min(cap: usize, min: Level) -> Self {
         let cap = cap.max(1);
-        RingSink { cap, buf: Mutex::new(VecDeque::with_capacity(cap)) }
+        RingSink { cap, min, buf: Mutex::new(VecDeque::with_capacity(cap)) }
     }
 
     /// The buffered events, oldest first.
@@ -117,6 +147,9 @@ impl RingSink {
 
 impl EventSink for RingSink {
     fn emit(&self, event: &Event) {
+        if event.level < self.min {
+            return;
+        }
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.cap {
             buf.pop_front();
@@ -160,5 +193,55 @@ mod tests {
         sink.emit(&ev(Level::Info, "kept"));
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.events()[0].message, "kept");
+    }
+
+    #[test]
+    fn ring_sink_wraparound_retains_exactly_the_tail() {
+        let cap = 7;
+        let sink = RingSink::new(cap);
+        // Push far more than capacity, crossing the wrap boundary many
+        // times, and check the buffer is exactly the most recent `cap`
+        // in emission order after every single emit.
+        for i in 0..100 {
+            sink.emit(&ev(Level::Info, &format!("m{i}")));
+            let events = sink.events();
+            let expect_len = cap.min(i + 1);
+            assert_eq!(events.len(), expect_len);
+            for (j, e) in events.iter().enumerate() {
+                let expected = i + 1 - expect_len + j;
+                assert_eq!(e.message, format!("m{expected}"), "after emit {i}");
+            }
+        }
+        assert_eq!(sink.len(), cap);
+    }
+
+    #[test]
+    fn ring_sink_filters_below_min_level() {
+        let sink = RingSink::with_min(4, Level::Warn);
+        sink.emit(&ev(Level::Debug, "d"));
+        sink.emit(&ev(Level::Info, "i"));
+        sink.emit(&ev(Level::Warn, "w"));
+        sink.emit(&ev(Level::Error, "e"));
+        let kept: Vec<_> = sink.events().iter().map(|e| e.message.clone()).collect();
+        assert_eq!(kept, ["w", "e"]);
+
+        // Filtered events must not evict retained ones: fill to cap
+        // with errors, then spam debug — the errors survive.
+        let sink = RingSink::with_min(2, Level::Warn);
+        sink.emit(&ev(Level::Error, "e1"));
+        sink.emit(&ev(Level::Error, "e2"));
+        for _ in 0..50 {
+            sink.emit(&ev(Level::Debug, "noise"));
+        }
+        let kept: Vec<_> = sink.events().iter().map(|e| e.message.clone()).collect();
+        assert_eq!(kept, ["e1", "e2"]);
+    }
+
+    #[test]
+    fn level_tags_roundtrip() {
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::from_tag(level.tag()), Some(level));
+        }
+        assert_eq!(Level::from_tag(200), None);
     }
 }

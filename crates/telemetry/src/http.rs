@@ -1,0 +1,213 @@
+//! A zero-dependency blocking HTTP exposition server.
+//!
+//! Serves three read-only endpoints from caller-supplied render
+//! closures:
+//!
+//! * `/metrics` — Prometheus text exposition,
+//! * `/trace` — Chrome-trace JSON of the flight recorder,
+//! * `/healthz` — liveness JSON derived from pipeline stats.
+//!
+//! The server is deliberately minimal: `std::net::TcpListener`, one
+//! connection at a time, `Connection: close` on every response. That is
+//! exactly enough for a scrape loop or a one-off `curl`, and keeps the
+//! crate free of dependencies. Bind to port 0 for an ephemeral port
+//! (CI does this) and read it back via [`MetricsServer::addr`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A render closure for one endpoint: called per request, returns the
+/// full response body.
+pub type Handler = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The three endpoint renderers a server is built from.
+#[derive(Clone)]
+pub struct HttpHandlers {
+    /// Body for `GET /metrics` (Prometheus text format).
+    pub metrics: Handler,
+    /// Body for `GET /trace` (Chrome-trace JSON).
+    pub trace: Handler,
+    /// Body for `GET /healthz` (liveness JSON).
+    pub healthz: Handler,
+}
+
+/// A running exposition server. Dropping it shuts the listener down and
+/// joins the serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept() call with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `handlers` on a background thread until the
+/// returned [`MetricsServer`] is shut down or dropped.
+pub fn serve<A: ToSocketAddrs>(addr: A, handlers: HttpHandlers) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle =
+        std::thread::Builder::new().name("odin-metrics-http".to_string()).spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A misbehaving client must not wedge the server.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                    let _ = handle_connection(stream, &handlers);
+                }
+            }
+        })?;
+    Ok(MetricsServer { addr, stop, handle: Some(handle) })
+}
+
+fn handle_connection(stream: TcpStream, handlers: &HttpHandlers) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the remaining request headers so the client sees a clean
+    // close (we never read a body: all endpoints are GET).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", (handlers.metrics)())
+            }
+            "/trace" => ("200 OK", "application/json; charset=utf-8", (handlers.trace)()),
+            "/healthz" => ("200 OK", "application/json; charset=utf-8", (handlers.healthz)()),
+            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+
+    let mut stream = reader.into_inner();
+    stream.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Performs one blocking `GET` against a [`serve`]d endpoint and
+/// returns `(status_line, body)`. Intended for tests and smoke checks;
+/// real scrapes should use an HTTP client.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: odin\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = match response.find("\r\n\r\n") {
+        Some(i) => response[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handlers() -> HttpHandlers {
+        HttpHandlers {
+            metrics: Arc::new(|| "odin_frames_total 42\n".to_string()),
+            trace: Arc::new(|| "{\"traceEvents\":[]}".to_string()),
+            healthz: Arc::new(|| "{\"status\":\"ok\"}".to_string()),
+        }
+    }
+
+    #[test]
+    fn serves_all_three_endpoints() {
+        let server = serve("127.0.0.1:0", handlers()).expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics").expect("metrics");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "odin_frames_total 42\n");
+
+        let (status, body) = get(addr, "/trace").expect("trace");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("traceEvents"));
+
+        let (status, body) = get(addr, "/healthz").expect("healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "{\"status\":\"ok\"}");
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_server_survives() {
+        let server = serve("127.0.0.1:0", handlers()).expect("bind");
+        let (status, _) = get(server.addr(), "/nope").expect("request");
+        assert!(status.contains("404"), "{status}");
+        // Still serving after the 404.
+        let (status, _) = get(server.addr(), "/healthz").expect("healthz");
+        assert!(status.contains("200"), "{status}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut server = serve("127.0.0.1:0", handlers()).expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port can be rebound after shutdown.
+        let server2 = serve(addr, handlers()).expect("rebind");
+        let (status, _) = get(server2.addr(), "/metrics").expect("metrics");
+        assert!(status.contains("200"), "{status}");
+    }
+}

@@ -21,7 +21,16 @@
 //! * [`render`] — Prometheus text exposition and a hand-rolled JSON
 //!   dump of a [`registry::TelemetrySnapshot`],
 //! * [`clock`] — the time source: [`clock::WallClock`] in production,
-//!   [`clock::ManualClock`] for bit-identical tests.
+//!   [`clock::ManualClock`] for bit-identical tests,
+//! * [`span`] — hierarchical causal tracing: [`span::SpanGuard`]s with
+//!   parent ids and per-frame / per-recovery trace ids, propagated
+//!   across thread boundaries via the `Copy`able [`span::SpanCtx`],
+//! * [`recorder`] — the always-on, fixed-capacity flight recorder
+//!   (ring buffers of recent spans and events),
+//! * [`export`] — Chrome-trace (Perfetto) JSON export of a
+//!   [`recorder::FlightRecord`],
+//! * [`http`] — a zero-dependency blocking exposition server
+//!   ([`http::serve`]) with `/metrics`, `/trace`, and `/healthz`.
 //!
 //! The crate has no dependencies (not even on the rest of the
 //! workspace) so any ODIN crate can embed it without cycles.
@@ -30,13 +39,21 @@
 
 pub mod clock;
 pub mod event;
+pub mod export;
+pub mod http;
+pub mod recorder;
 pub mod registry;
 pub mod render;
+pub mod span;
 pub mod timeline;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use event::{Event, EventSink, Level, RingSink, StderrSink};
+pub use export::chrome_trace;
+pub use http::{serve, Handler, HttpHandlers, MetricsServer};
+pub use recorder::{FlightRecord, FlightRecorder, RecordedEvent};
 pub use registry::{
     log_bounds, Counter, Gauge, Histogram, HistogramSnapshot, Registry, TelemetrySnapshot,
 };
+pub use span::{SpanCtx, SpanGuard, SpanRecord, Tracer, NO_PARENT};
 pub use timeline::{TimelineEvent, TimelineStage};

@@ -16,6 +16,8 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use crate::clock::{Clock, WallClock};
 use crate::event::{Event, EventSink, Level};
+use crate::recorder::{FlightRecord, FlightRecorder, RecordedEvent};
+use crate::span::{ClockCell, Tracer};
 use crate::timeline::{TimelineEvent, TimelineStage};
 
 /// A monotonic counter handle. Cloning shares the underlying value.
@@ -201,6 +203,40 @@ impl HistogramSnapshot {
         }
         self.bounds[self.bounds.len() - 1]
     }
+
+    /// Interpolated quantile estimate (ms) for `q` in `[0, 1]`: assumes
+    /// samples are uniformly distributed within their bucket and
+    /// linearly interpolates between the bucket's bounds (the classic
+    /// Prometheus `histogram_quantile` estimator). Much tighter than
+    /// [`HistogramSnapshot::quantile_ms`], which only ever returns a
+    /// bucket upper bound.
+    ///
+    /// The first bucket interpolates from 0; samples in the overflow
+    /// bucket are clamped to the last finite bound (their true
+    /// magnitude is unknown). Returns 0 when empty.
+    pub fn quantile_interp_ms(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let before = seen as f64;
+            seen += c;
+            if (seen as f64) >= rank && c > 0 {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no finite upper bound to
+                    // interpolate toward.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = ((rank - before) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
 }
 
 /// A frozen, fully ordered copy of everything the registry knows:
@@ -225,12 +261,14 @@ pub struct TelemetrySnapshot {
 /// restore overwrites values through the shared `Arc`s rather than
 /// replacing them.
 pub struct Registry {
-    clock: RwLock<Arc<dyn Clock>>,
+    clock: ClockCell,
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     sinks: RwLock<Vec<Arc<dyn EventSink>>>,
     timeline: Mutex<Vec<TimelineEvent>>,
+    recorder: Arc<FlightRecorder>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Registry {
@@ -245,15 +283,21 @@ impl std::fmt::Debug for Registry {
 }
 
 impl Registry {
-    /// Creates an empty registry with a [`WallClock`] and no sinks.
+    /// Creates an empty registry with a [`WallClock`], no sinks, and an
+    /// always-on flight recorder at default capacity.
     pub fn new() -> Self {
+        let clock: ClockCell = Arc::new(RwLock::new(Arc::new(WallClock::new()) as Arc<dyn Clock>));
+        let recorder = Arc::new(FlightRecorder::default());
+        let tracer = Tracer::new(clock.clone(), recorder.clone());
         Registry {
-            clock: RwLock::new(Arc::new(WallClock::new())),
+            clock,
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             sinks: RwLock::new(Vec::new()),
             timeline: Mutex::new(Vec::new()),
+            recorder,
+            tracer,
         }
     }
 
@@ -263,9 +307,27 @@ impl Registry {
     }
 
     /// Replaces the time source (e.g. with a
-    /// [`crate::clock::ManualClock`] in determinism tests).
+    /// [`crate::clock::ManualClock`] in determinism tests). The tracer
+    /// and every live span guard share the same clock cell, so they
+    /// retarget too.
     pub fn set_clock(&self, clock: Arc<dyn Clock>) {
         *self.clock.write().unwrap() = clock;
+    }
+
+    /// The span tracer backed by this registry's clock and flight
+    /// recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The always-on flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// A frozen copy of the flight recorder's spans and events.
+    pub fn flight_record(&self) -> FlightRecord {
+        self.recorder.snapshot()
     }
 
     /// Returns the counter registered under `name`, creating it at 0 if
@@ -302,9 +364,16 @@ impl Registry {
         self.sinks.write().unwrap().clear();
     }
 
-    /// Emits a structured event to every sink.
+    /// Emits a structured event to every sink and stamps a copy into
+    /// the flight recorder.
     pub fn event(&self, level: Level, target: &'static str, message: impl Into<String>) {
         let event = Event { level, target, message: message.into() };
+        self.recorder.record_event(RecordedEvent {
+            at_ms: self.now_ms(),
+            level,
+            target: std::borrow::Cow::Borrowed(target),
+            message: event.message.clone(),
+        });
         for sink in self.sinks.read().unwrap().iter() {
             sink.emit(&event);
         }
@@ -452,6 +521,41 @@ mod tests {
         assert_eq!(s.quantile_ms(0.5), 1.0);
         assert_eq!(s.quantile_ms(0.95), 100.0);
         assert_eq!(s.quantile_ms(1.0), 100.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_lands_inside_the_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h.observe_ms(0.5);
+        }
+        for _ in 0..10 {
+            h.observe_ms(50.0);
+        }
+        let s = h.snapshot("lat");
+        // p50: rank 50 of 90 samples in [0, 1] → 50/90 of the way.
+        let p50 = s.quantile_interp_ms(0.5);
+        assert!((p50 - 50.0 / 90.0).abs() < 1e-12, "p50 = {p50}");
+        // p95: rank 95, 5 of the 10 samples in (10, 100] → midpoint.
+        let p95 = s.quantile_interp_ms(0.95);
+        assert!((p95 - 55.0).abs() < 1e-12, "p95 = {p95}");
+        // p100 is the far edge of the last occupied bucket.
+        assert_eq!(s.quantile_interp_ms(1.0), 100.0);
+        // Always at or below the bucketed upper-bound estimate.
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert!(s.quantile_interp_ms(q) <= s.quantile_ms(q) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolated_quantile_handles_edge_cases() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0]);
+        assert_eq!(h.snapshot("lat").quantile_interp_ms(0.5), 0.0);
+        // A single overflow sample clamps to the last finite bound.
+        h.observe_ms(500.0);
+        assert_eq!(h.snapshot("lat").quantile_interp_ms(0.5), 10.0);
     }
 
     #[test]

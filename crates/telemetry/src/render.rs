@@ -48,7 +48,7 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -64,7 +64,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     // JSON has no NaN/Inf; telemetry never produces them, but guard
     // anyway so the dump always parses.
     if v.is_finite() {

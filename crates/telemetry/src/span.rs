@@ -1,0 +1,307 @@
+//! Hierarchical spans: causal tracing for the drift pipeline.
+//!
+//! A *trace* is one causal story — a single frame moving through the
+//! serving stages, or one recovery arc from drift detection through the
+//! background training job to the registry install. A *span* is one
+//! timed step inside a trace, linked to its parent by id, so the tree
+//! survives thread hops: the [`SpanCtx`] travels with the training job
+//! into the worker thread and the spans recorded there still point at
+//! the drift-detection span that caused them.
+//!
+//! Determinism contract: span ids and trace ids come from sequential
+//! counters, timestamps from the registry's swappable
+//! [`Clock`](crate::clock::Clock). With a
+//! [`ManualClock`](crate::clock::ManualClock) and a single-threaded
+//! span emission order, the recorded spans — and hence the Chrome-trace
+//! export — are a pure function of the stream.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::clock::Clock;
+use crate::recorder::FlightRecorder;
+
+/// The shared, swappable clock cell: one cell is read by the registry,
+/// the tracer, and every live [`SpanGuard`], so `set_clock` retargets
+/// all of them at once.
+pub(crate) type ClockCell = Arc<RwLock<Arc<dyn Clock>>>;
+
+/// Span id `0` — "no parent": marks a root span of its trace.
+pub const NO_PARENT: u64 = 0;
+
+/// The causal coordinates a new span is created under: which trace it
+/// belongs to and which span caused it.
+///
+/// `SpanCtx` is `Copy` and crosses thread boundaries freely — the
+/// training pool carries one inside each job so the worker-side `train`
+/// span parents onto the submitting thread's `train_job_queued` span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanCtx {
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// Id of the causing span, or [`NO_PARENT`] for a trace root.
+    pub parent: u64,
+}
+
+/// One finished (or in-flight) span as stored by the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Trace id.
+    pub trace: u64,
+    /// This span's id (unique within the tracer's lifetime, never 0).
+    pub id: u64,
+    /// Parent span id, or [`NO_PARENT`].
+    pub parent: u64,
+    /// Stage or operation name (`"encode"`, `"train"`, ...). `Borrowed`
+    /// at runtime; `Owned` only after a checkpoint restore.
+    pub name: Cow<'static, str>,
+    /// Clock time at open, ms.
+    pub start_ms: f64,
+    /// Clock time at close, ms (`== start_ms` for instant spans).
+    pub end_ms: f64,
+    /// Cluster id the span is about, or `-1` when not applicable.
+    pub cluster: i64,
+    /// Stream frame index the span is about, or `-1` when not
+    /// applicable.
+    pub frame: i64,
+}
+
+impl SpanRecord {
+    /// Span duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Allocates span/trace ids and opens spans that record into the flight
+/// recorder when closed.
+///
+/// Owned by the [`Registry`](crate::registry::Registry); get one via
+/// `Registry::tracer()`.
+pub struct Tracer {
+    clock: ClockCell,
+    recorder: Arc<FlightRecorder>,
+    next_span: AtomicU64,
+    next_trace: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (next_span, next_trace) = self.state();
+        f.debug_struct("Tracer")
+            .field("next_span", &next_span)
+            .field("next_trace", &next_trace)
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub(crate) fn new(clock: ClockCell, recorder: Arc<FlightRecorder>) -> Self {
+        Tracer { clock, recorder, next_span: AtomicU64::new(1), next_trace: AtomicU64::new(1) }
+    }
+
+    fn now_ms(&self) -> f64 {
+        self.clock.read().unwrap().now_ms()
+    }
+
+    /// Allocates a fresh trace id.
+    pub fn new_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Opens a span under `ctx`. The span records itself into the
+    /// flight recorder when the returned guard is closed or dropped.
+    pub fn span(&self, name: &'static str, ctx: SpanCtx) -> SpanGuard {
+        let id = self.next_span.fetch_add(1, Ordering::SeqCst);
+        let start_ms = self.now_ms();
+        SpanGuard {
+            clock: self.clock.clone(),
+            recorder: self.recorder.clone(),
+            rec: Some(SpanRecord {
+                trace: ctx.trace,
+                id,
+                parent: ctx.parent,
+                name: Cow::Borrowed(name),
+                start_ms,
+                end_ms: start_ms,
+                cluster: -1,
+                frame: -1,
+            }),
+        }
+    }
+
+    /// Opens a root span in a brand-new trace.
+    pub fn root(&self, name: &'static str) -> SpanGuard {
+        let trace = self.new_trace();
+        self.span(name, SpanCtx { trace, parent: NO_PARENT })
+    }
+
+    /// Records a zero-duration marker span under `ctx` and returns its
+    /// id, so later spans can parent onto the marker.
+    ///
+    /// `cluster`/`frame` use `-1` for "not applicable".
+    pub fn instant(&self, name: &'static str, ctx: SpanCtx, cluster: i64, frame: i64) -> u64 {
+        let id = self.next_span.fetch_add(1, Ordering::SeqCst);
+        let at = self.now_ms();
+        self.recorder.record_span(SpanRecord {
+            trace: ctx.trace,
+            id,
+            parent: ctx.parent,
+            name: Cow::Borrowed(name),
+            start_ms: at,
+            end_ms: at,
+            cluster,
+            frame,
+        });
+        id
+    }
+
+    /// `(next_span_id, next_trace_id)` — persisted in checkpoints so a
+    /// restored pipeline keeps allocating ids where the original left
+    /// off (the basis of byte-identical traces across restore).
+    pub fn state(&self) -> (u64, u64) {
+        (self.next_span.load(Ordering::SeqCst), self.next_trace.load(Ordering::SeqCst))
+    }
+
+    /// Restores the id allocators (inverse of [`Tracer::state`]).
+    pub fn load_state(&self, next_span: u64, next_trace: u64) {
+        self.next_span.store(next_span.max(1), Ordering::SeqCst);
+        self.next_trace.store(next_trace.max(1), Ordering::SeqCst);
+    }
+}
+
+/// An open span. Owns clones of the clock cell and recorder, so it can
+/// outlive any borrow of the registry; closing (or dropping) stamps the
+/// end time and pushes the record into the flight recorder.
+pub struct SpanGuard {
+    clock: ClockCell,
+    recorder: Arc<FlightRecorder>,
+    rec: Option<SpanRecord>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard").field("rec", &self.rec).finish()
+    }
+}
+
+impl SpanGuard {
+    /// This span's id.
+    pub fn id(&self) -> u64 {
+        self.rec.as_ref().map_or(0, |r| r.id)
+    }
+
+    /// The trace this span belongs to.
+    pub fn trace(&self) -> u64 {
+        self.rec.as_ref().map_or(0, |r| r.trace)
+    }
+
+    /// The context a child span of this one should be opened under.
+    pub fn child_ctx(&self) -> SpanCtx {
+        SpanCtx { trace: self.trace(), parent: self.id() }
+    }
+
+    /// Tags the span with a cluster id.
+    pub fn set_cluster(&mut self, cluster: usize) {
+        if let Some(r) = self.rec.as_mut() {
+            r.cluster = cluster as i64;
+        }
+    }
+
+    /// Tags the span with a stream frame index.
+    pub fn set_frame(&mut self, frame: usize) {
+        if let Some(r) = self.rec.as_mut() {
+            r.frame = frame as i64;
+        }
+    }
+
+    /// Closes the span now and returns its duration in ms.
+    pub fn close(mut self) -> f64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> f64 {
+        match self.rec.take() {
+            Some(mut r) => {
+                r.end_ms = self.clock.read().unwrap().now_ms();
+                let d = r.duration_ms();
+                self.recorder.record_span(r);
+                d
+            }
+            None => 0.0,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::registry::Registry;
+
+    #[test]
+    fn spans_form_a_parent_child_chain() {
+        let reg = Registry::new();
+        let clock = Arc::new(ManualClock::new());
+        reg.set_clock(clock.clone());
+        let tracer = reg.tracer();
+
+        let mut root = tracer.root("frame");
+        root.set_frame(7);
+        clock.advance_ms(1.0);
+        let child = tracer.span("encode", root.child_ctx());
+        clock.advance_ms(2.0);
+        let marker = tracer.instant("drift_detected", child.child_ctx(), 3, 7);
+        assert_eq!(child.close(), 2.0);
+        drop(root);
+
+        let rec = reg.flight_record();
+        assert_eq!(rec.spans.len(), 3);
+        // Recorded in close order: marker (instant), child, root.
+        let (m, c, r) = (&rec.spans[0], &rec.spans[1], &rec.spans[2]);
+        assert_eq!(m.id, marker);
+        assert_eq!(m.name, "drift_detected");
+        assert_eq!(m.duration_ms(), 0.0);
+        assert_eq!(m.cluster, 3);
+        assert_eq!(c.name, "encode");
+        assert_eq!(m.parent, c.id);
+        assert_eq!(c.parent, r.id);
+        assert_eq!(r.parent, NO_PARENT);
+        assert_eq!(c.trace, r.trace);
+        assert_eq!(m.trace, r.trace);
+        assert_eq!(r.frame, 7);
+        assert_eq!(r.duration_ms(), 3.0);
+    }
+
+    #[test]
+    fn tracer_state_roundtrips_through_load() {
+        let reg = Registry::new();
+        let t = reg.tracer();
+        let _ = t.root("a");
+        let _ = t.root("b");
+        let (ns, nt) = t.state();
+        assert_eq!((ns, nt), (3, 3));
+
+        let reg2 = Registry::new();
+        reg2.tracer().load_state(ns, nt);
+        let g = reg2.tracer().root("c");
+        assert_eq!(g.id(), 3);
+        assert_eq!(g.trace(), 3);
+    }
+
+    #[test]
+    fn new_traces_get_distinct_ids() {
+        let reg = Registry::new();
+        let a = reg.tracer().root("a");
+        let b = reg.tracer().root("b");
+        assert_ne!(a.trace(), b.trace());
+        assert_ne!(a.id(), b.id());
+    }
+}

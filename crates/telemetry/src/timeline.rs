@@ -21,6 +21,8 @@ pub enum TimelineStage {
     SpecializedInstalled,
     /// The cluster (and its models) were evicted from the working set.
     ClusterEvicted,
+    /// The pipeline warm-restarted from a checkpoint (+ WAL replay).
+    RestoreCompleted,
 }
 
 impl TimelineStage {
@@ -32,6 +34,7 @@ impl TimelineStage {
             TimelineStage::LiteInstalled => "lite_installed",
             TimelineStage::SpecializedInstalled => "specialized_installed",
             TimelineStage::ClusterEvicted => "cluster_evicted",
+            TimelineStage::RestoreCompleted => "restore_completed",
         }
     }
 
@@ -43,6 +46,7 @@ impl TimelineStage {
             TimelineStage::LiteInstalled => 2,
             TimelineStage::SpecializedInstalled => 3,
             TimelineStage::ClusterEvicted => 4,
+            TimelineStage::RestoreCompleted => 5,
         }
     }
 
@@ -54,6 +58,7 @@ impl TimelineStage {
             2 => TimelineStage::LiteInstalled,
             3 => TimelineStage::SpecializedInstalled,
             4 => TimelineStage::ClusterEvicted,
+            5 => TimelineStage::RestoreCompleted,
             _ => return None,
         })
     }
@@ -84,6 +89,7 @@ mod tests {
             TimelineStage::LiteInstalled,
             TimelineStage::SpecializedInstalled,
             TimelineStage::ClusterEvicted,
+            TimelineStage::RestoreCompleted,
         ] {
             assert_eq!(TimelineStage::from_tag(stage.tag()), Some(stage));
         }
@@ -98,6 +104,7 @@ mod tests {
             TimelineStage::LiteInstalled.as_str(),
             TimelineStage::SpecializedInstalled.as_str(),
             TimelineStage::ClusterEvicted.as_str(),
+            TimelineStage::RestoreCompleted.as_str(),
         ];
         let mut dedup = names.to_vec();
         dedup.sort_unstable();

@@ -42,10 +42,46 @@ ODIN_THREADS=2 cargo test -q -p odin-core --test checkpoint -- \
     truncated_checkpoint_falls_back_to_cold_bootstrap bit_flip_is_detected
 ODIN_THREADS=2 cargo run --release -p odin-core --example warm_restart >/dev/null
 
-# Telemetry smoke: the stage-latency table must run end-to-end (store
-# enabled, drift recovered, metrics dumped) without a single store error.
-echo "==> telemetry smoke (table_telemetry --scale 0.05)"
-cargo run --release -p odin-bench --bin table_telemetry -- --scale 0.05 \
-    --out /tmp/odin-ci-telemetry | grep "store errors: 0"
+# Telemetry + exposition smoke: the stage-latency table must run
+# end-to-end (store enabled, drift recovered, metrics and Chrome trace
+# dumped) without a single store error, while serving /metrics,
+# /healthz, and /trace on a loopback ephemeral port that we scrape with
+# curl and validate with jq.
+echo "==> telemetry + exposition smoke (table_telemetry --scale 0.05)"
+SMOKE_DIR=/tmp/odin-ci-telemetry
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+ODIN_SERVE_MS=15000 cargo run --release -p odin-bench --bin table_telemetry -- \
+    --scale 0.05 --out "$SMOKE_DIR" >"$SMOKE_DIR/run.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 150); do
+    ADDR=$(sed -n 's|^serving telemetry at http://\([0-9.:]*\) .*|\1|p' "$SMOKE_DIR/run.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+    echo "error: telemetry server never came up" >&2
+    cat "$SMOKE_DIR/run.log" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q '^odin_frames_total'
+curl -fsS "http://$ADDR/healthz" | jq -e '.status == "ok"' >/dev/null
+curl -fsS "http://$ADDR/trace" | jq -e '.traceEvents | length > 0' >/dev/null
+wait "$SERVE_PID"
+grep -q "store errors: 0" "$SMOKE_DIR/run.log"
+jq -e '.traceEvents | length > 0' "$SMOKE_DIR/table_telemetry_trace.json" >/dev/null
+
+# Benchmark regression gate: re-measure table 4 and require throughput
+# within 15% of the committed baseline (results/table4.json). The fresh
+# run is recorded as results/BENCH_table4.json for inspection.
+echo "==> bench gate (table4 throughput vs results/table4.json)"
+cargo run --release -p odin-bench --bin table4_throughput_memory -- \
+    --out /tmp/odin-ci-bench >/dev/null
+cp /tmp/odin-ci-bench/table4.json results/BENCH_table4.json
+cargo run --release -p odin-bench --bin bench_gate -- \
+    --baseline results/table4.json --candidate results/BENCH_table4.json \
+    --column 2 --max-drop-pct 15
 
 echo "CI OK"

@@ -1,0 +1,229 @@
+//! Causal-tracing contracts: one trace links a recovery arc across the
+//! training-pool thread boundary (drift detected → job queued → worker
+//! train → registry install), the Chrome-trace export is byte-identical
+//! at any `ODIN_THREADS` and across checkpoint/restore (given a manual
+//! clock), warm restarts are marked on the timeline, and the flight
+//! recorder auto-dumps next to the store on drift.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::training::TrainingMode;
+use odin_core::{CheckpointPolicy, FLIGHT_FILE};
+use odin_data::{Frame, SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use odin_telemetry::{ManualClock, TimelineStage, NO_PARENT};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_cfg(training: TrainingMode) -> OdinConfig {
+    OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 20,
+        training,
+        ..OdinConfig::default()
+    }
+}
+
+/// A fresh pipeline with a manual clock installed, so every span
+/// timestamp is a pure function of the frame stream.
+fn new_odin(training: TrainingMode) -> Odin {
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    let odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, quick_cfg(training), 42);
+    odin.telemetry().set_clock(Arc::new(ManualClock::new()));
+    odin.telemetry().clear_sinks();
+    odin
+}
+
+fn night_then_day(n_each: usize) -> (Vec<Frame>, Vec<Frame>) {
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    (
+        gen.subset_frames(&mut rng, Subset::Night, n_each),
+        gen.subset_frames(&mut rng, Subset::Day, n_each),
+    )
+}
+
+/// Unique scratch path per test (the suite may run in parallel).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("odin-trace-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// With background training, one trace tells the whole recovery story
+/// even though the `train` span is recorded on a worker thread: the
+/// `drift_detected` marker parents the `train_job_queued` marker, the
+/// job carries that context across the thread hop so the worker's
+/// `train` span parents onto it, and the `install` marker parents onto
+/// the worker's span.
+#[test]
+fn background_training_keeps_one_trace_across_threads() {
+    let (night, day) = night_then_day(60);
+    let mut odin = new_odin(TrainingMode::Background { workers: 2 });
+    odin.process_stream(&night);
+    odin.process_stream(&day);
+    odin.finish_training();
+
+    let rec = odin.telemetry().flight_record();
+    let spans = &rec.spans;
+    let drift = spans
+        .iter()
+        .find(|s| s.name == "drift_detected")
+        .expect("no drift_detected marker recorded");
+    assert_eq!(drift.parent, NO_PARENT, "drift marker should root its recovery trace");
+    assert!(drift.cluster >= 0, "drift marker should carry its cluster");
+
+    let queued = spans
+        .iter()
+        .find(|s| s.name == "train_job_queued" && s.parent == drift.id)
+        .expect("no train_job_queued marker parented on the drift marker");
+    let train = spans
+        .iter()
+        .find(|s| s.name == "train" && s.parent == queued.id)
+        .expect("no worker train span parented on the queued marker");
+    let install = spans
+        .iter()
+        .find(|s| s.name == "install" && s.parent == train.id)
+        .expect("no install marker parented on the worker train span");
+
+    for (what, s) in [("queued", queued), ("train", train), ("install", install)] {
+        assert_eq!(s.trace, drift.trace, "{what} span left the recovery trace");
+    }
+    assert_eq!(train.cluster, drift.cluster, "train span tagged with the wrong cluster");
+    assert!(train.duration_ms() >= 0.0);
+    assert!(
+        install.frame >= drift.frame,
+        "model installed at frame {} before drift at frame {}",
+        install.frame,
+        drift.frame
+    );
+}
+
+/// The Chrome-trace export is byte-identical when the same stream runs
+/// on one worker thread vs two: span/trace ids come from sequential
+/// counters, timestamps from the manual clock, and emission order from
+/// the (single-threaded) serving loop.
+#[test]
+fn chrome_trace_is_identical_across_thread_counts() {
+    let (night, day) = night_then_day(50);
+
+    let render_with = |threads: usize| {
+        odin_tensor::par::set_num_threads(threads);
+        let mut odin = new_odin(TrainingMode::Inline);
+        odin.process_stream(&night);
+        odin.process_stream(&day);
+        odin.telemetry().render_chrome_trace()
+    };
+
+    let trace1 = render_with(1);
+    let trace2 = render_with(2);
+    assert_eq!(trace1, trace2, "chrome trace depends on thread count");
+    assert!(trace1.contains("\"traceEvents\":["));
+    assert!(trace1.contains("\"name\":\"drift_detected\""), "no drift marker in the export");
+}
+
+/// A checkpoint carries the flight recorder and the tracer's id
+/// allocators, so a restored pipeline serving the same remaining stream
+/// exports byte-for-byte the same Chrome trace — and a plain restore
+/// stays unmarked (no `RestoreCompleted` on the timeline).
+#[test]
+fn chrome_trace_survives_checkpoint_restore() {
+    let path = scratch("trace-roundtrip").join("snap.odst");
+    let (night, day) = night_then_day(60);
+
+    let mut original = new_odin(TrainingMode::Inline);
+    original.process_stream(&night);
+    original.checkpoint(&path).expect("checkpoint");
+    original.process_stream(&day);
+
+    let restored = Odin::restore(&path).expect("restore");
+    restored.telemetry().set_clock(Arc::new(ManualClock::new()));
+    restored.telemetry().clear_sinks();
+    let mut restored = restored;
+    restored.process_stream(&day);
+
+    assert_eq!(
+        original.telemetry().render_chrome_trace(),
+        restored.telemetry().render_chrome_trace(),
+        "chrome trace diverged across checkpoint/restore"
+    );
+    assert!(
+        !restored.telemetry().timeline().iter().any(|t| t.stage == TimelineStage::RestoreCompleted),
+        "plain Odin::restore must not mark the timeline (byte-identity contract)"
+    );
+}
+
+/// A warm restart from the store directory is observable: the timeline
+/// gains a `RestoreCompleted` marker and the flight recorder an
+/// info-level store event describing the WAL replay.
+#[test]
+fn warm_restart_is_marked_on_the_timeline() {
+    let dir = scratch("warm-restart");
+    let (night, _) = night_then_day(40);
+
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.enable_store(&dir, CheckpointPolicy::EveryNFrames(10)).expect("enable store");
+    odin.process_stream(&night);
+    odin.flush_store();
+    drop(odin);
+
+    let restored = Odin::restore_from_dir(&dir).expect("warm restart");
+    let timeline = restored.telemetry().timeline();
+    assert!(
+        timeline.iter().any(|t| t.stage == TimelineStage::RestoreCompleted),
+        "no RestoreCompleted marker after restore_from_dir"
+    );
+    let rec = restored.telemetry().flight_record();
+    assert!(
+        rec.events.iter().any(|e| e.target == "store" && e.message.contains("warm restart")),
+        "no store event describing the warm restart"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drift events auto-dump the flight recorder next to the store, and an
+/// on-demand dump writes exactly what the in-memory export renders.
+#[test]
+fn flight_record_dumps_on_drift_and_on_demand() {
+    let dir = scratch("autodump");
+    let (night, day) = night_then_day(60);
+
+    let mut odin = new_odin(TrainingMode::Inline);
+    odin.enable_store(&dir, CheckpointPolicy::EveryNFrames(30)).expect("enable store");
+    odin.process_stream(&night);
+    odin.process_stream(&day);
+    odin.flush_store();
+
+    let auto = std::fs::read_to_string(dir.join(FLIGHT_FILE))
+        .expect("drift did not auto-dump the flight record");
+    assert!(auto.starts_with("{\"displayTimeUnit\":\"ms\""), "auto-dump is not a chrome trace");
+    assert!(auto.contains("\"name\":\"drift_detected\""), "auto-dump misses the drift marker");
+
+    let on_demand = dir.join("manual-dump.json");
+    odin.dump_flight_record(&on_demand).expect("on-demand dump");
+    assert_eq!(
+        std::fs::read_to_string(&on_demand).expect("read dump"),
+        odin.telemetry().render_chrome_trace(),
+        "on-demand dump diverges from the in-memory export"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
