@@ -1,0 +1,154 @@
+//! Multi-stream serving table (systems extension): aggregate throughput
+//! and tail latency of the sharded [`OdinServer`] as concurrent camera
+//! streams scale.
+//!
+//! Each stream is an *open-loop* camera: a feeder submits its frames at
+//! a fixed rate (`CAMERA_FPS`) regardless of how fast the server
+//! answers — the serving model of a real deployment, where cameras do
+//! not slow down because inference is busy. Aggregate FPS is completed
+//! frames over the serving wall clock; p99 frame latency comes from the
+//! server's own `odin_server_frame_ms` histograms (submit → reply),
+//! merged across shards.
+//!
+//! The sweep crosses stream counts (1 / 4 / 16) with tensor worker
+//! counts (1 / 2 / 4, via `odin_tensor::par::set_num_threads` — the
+//! in-process equivalent of `ODIN_THREADS`). While the offered load is
+//! under serving capacity, aggregate FPS scales linearly with the
+//! stream count (4 streams ≈ 4× one stream); past capacity it
+//! saturates and admission control sheds the excess (`rejected`
+//! column) instead of letting queues grow without bound.
+
+use std::time::{Duration, Instant};
+
+use odin_bench::report::{Args, Table};
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::OdinConfig;
+use odin_core::server::{OdinServer, ServerConfig, SubmitError};
+use odin_data::{Frame, SceneGen, Subset};
+use odin_detect::Detector;
+use odin_telemetry::HistogramSnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixed per-camera submit rate (frames per second).
+const CAMERA_FPS: f64 = 50.0;
+
+struct RowResult {
+    completed: usize,
+    rejected: usize,
+    wall_s: f64,
+    p99_ms: f64,
+}
+
+/// Merges the per-shard `odin_server_frame_ms` histograms (identical
+/// bounds by construction) into one and reads its p99.
+fn merged_p99_ms(server: &OdinServer) -> f64 {
+    let mut merged: Option<HistogramSnapshot> = None;
+    for stream in 0..server.streams() {
+        let snap = server.with_shard(stream, |o| o.telemetry().snapshot());
+        for h in snap.histograms {
+            if h.name != "odin_server_frame_ms" {
+                continue;
+            }
+            match &mut merged {
+                None => merged = Some(h),
+                Some(m) => {
+                    for (b, v) in m.buckets.iter_mut().zip(&h.buckets) {
+                        *b += v;
+                    }
+                    m.count += h.count;
+                    m.sum_ns += h.sum_ns;
+                }
+            }
+        }
+    }
+    merged.map(|m| m.quantile_interp_ms(0.99)).unwrap_or(0.0)
+}
+
+fn run_combo(streams: usize, threads: usize, frames: &[Frame], seed: u64) -> RowResult {
+    odin_tensor::par::set_num_threads(threads);
+    let cfg = ServerConfig {
+        streams,
+        workers: streams.min(4),
+        // Generous cap: in the unsaturated rows nothing queues; in the
+        // saturated ones we still want to *measure* the backlog rather
+        // than reject most of it.
+        queue_cap: 2048,
+        batch_max: 16,
+        // The serving-throughput table measures steady-state inference:
+        // clusters may form, but specialization is deferred forever so
+        // a training run never steals bench time from serving.
+        odin: OdinConfig { min_train_frames: usize::MAX, ..OdinConfig::default() },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let teacher = Detector::heavy(48, &mut rng);
+    let server = OdinServer::build(cfg, |_| Box::new(HistogramEncoder::new()), teacher, seed);
+    for i in 0..server.streams() {
+        server.with_shard(i, |o| o.telemetry().clear_sinks());
+    }
+    // Warm each shard (first-touch allocations, scratch buffers).
+    for stream in 0..streams {
+        server.process(stream, frames[0].clone()).expect("warmup");
+    }
+
+    let period = Duration::from_secs_f64(1.0 / CAMERA_FPS);
+    let mut receivers = Vec::with_capacity(streams * frames.len());
+    let mut rejected = 0usize;
+    let t0 = Instant::now();
+    for (tick, frame) in frames.iter().enumerate() {
+        // Open loop: every camera fires on the shared tick clock.
+        let due = period * tick as u32;
+        if let Some(sleep) = due.checked_sub(t0.elapsed()) {
+            std::thread::sleep(sleep);
+        }
+        for stream in 0..streams {
+            match server.submit(stream, frame.clone()) {
+                Ok(rx) => receivers.push(rx),
+                Err(SubmitError::Backpressure { .. }) => rejected += 1,
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+    }
+    let completed = receivers.len();
+    for rx in receivers {
+        rx.recv().expect("admitted frame answered");
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    RowResult { completed, rejected, wall_s, p99_ms: merged_p99_ms(&server) }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_frames = args.scaled(150, 40);
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    // One steady daytime concept: the table measures serving, not drift.
+    let frames = gen.subset_frames(&mut rng, Subset::Day, n_frames);
+
+    let mut t = Table::new(
+        "table_multistream",
+        "Multi-Stream Sharded Serving: Aggregate Throughput and Tail Latency",
+        &["Config", "Streams", "Aggregate FPS", "p99 ms", "Offered FPS", "Completed", "Rejected"],
+    );
+    for &threads in &[1usize, 2, 4] {
+        for &streams in &[1usize, 4, 16] {
+            let offered = CAMERA_FPS * streams as f64;
+            println!(
+                "{streams} stream(s) x {n_frames} frames at {CAMERA_FPS} FPS each, \
+                 {threads} tensor thread(s)..."
+            );
+            let r = run_combo(streams, threads, &frames, args.seed);
+            let fps = r.completed as f64 / r.wall_s;
+            t.row(vec![
+                format!("{streams}s/{threads}t"),
+                streams.to_string(),
+                format!("{fps:.0}"),
+                format!("{:.2}", r.p99_ms),
+                format!("{offered:.0}"),
+                r.completed.to_string(),
+                r.rejected.to_string(),
+            ]);
+        }
+    }
+    t.finish(&args);
+}

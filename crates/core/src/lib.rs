@@ -23,7 +23,11 @@
 //!   structured event log ([`pipeline::Odin::telemetry`]),
 //! * [`store`] — crash-safe persistence glue: full-pipeline checkpoints
 //!   ([`pipeline::Odin::checkpoint`] / [`pipeline::Odin::restore`]) and
-//!   the drift-event WAL ([`pipeline::Odin::enable_store`]).
+//!   the drift-event WAL ([`pipeline::Odin::enable_store`]),
+//! * [`server`] — multi-stream sharded serving: per-stream [`Odin`]
+//!   shards (isolated drift state) behind one ingest front end with a
+//!   shared model registry, shared training pool, admission control,
+//!   and per-stream-labeled exposition ([`server::OdinServer`]).
 //!
 //! ## Quick example
 //!
@@ -61,6 +65,7 @@ pub mod pipeline;
 pub mod query;
 pub mod registry;
 pub mod selector;
+pub mod server;
 pub mod specializer;
 pub mod store;
 pub mod telemetry;
@@ -69,11 +74,16 @@ pub mod training;
 pub use encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 pub use filter::BinaryFilter;
 pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};
-pub use pipeline::{FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy};
+pub use pipeline::{
+    FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy, NS_STRIDE,
+};
 pub use query::{count_accuracy, CountQuery};
 pub use registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
 pub use selector::{select, Selection, SelectionPolicy};
+pub use server::{decode_ingest_frame, encode_ingest_frame, OdinServer, ServerConfig, SubmitError};
 pub use specializer::{Specializer, SpecializerConfig};
-pub use store::{CheckpointPolicy, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE};
+pub use store::{
+    CheckpointPolicy, FLIGHT_FILE, SHARED_SNAPSHOT_FILE, SNAPSHOT_FILE, STREAMS_DIR, WAL_FILE,
+};
 pub use telemetry::Telemetry;
-pub use training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
+pub use training::{TrainHandle, TrainJob, TrainRouter, TrainedModel, TrainingMode, TrainingPool};

@@ -36,12 +36,22 @@ use crate::store::{
     RetainedJob, WalEvent, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
 use crate::telemetry::Telemetry;
-use crate::training::{TrainJob, TrainedModel, TrainingMode, TrainingPool};
+use crate::training::{TrainHandle, TrainJob, TrainRouter, TrainedModel, TrainingMode};
 
 /// Frames encoded per [`LatentEncoder::project_batch`] call by the
 /// stream/bootstrap paths. Bounds im2col scratch while amortizing
 /// per-call overhead over many frames.
 const ENCODE_CHUNK: usize = 64;
+
+/// Width of one stream's cluster-id namespace inside a shared
+/// [`ModelRegistry`]: shard `s` owns global ids
+/// `[s * NS_STRIDE, (s + 1) * NS_STRIDE)`. Local (per-shard) cluster
+/// ids stay small — DETECTOR promotes a handful of clusters per camera
+/// — so a 2^32 stride can never collide between streams. Standalone
+/// pipelines keep namespace base 0, which makes local and global ids
+/// coincide (and keeps the on-disk checkpoint format unchanged:
+/// snapshots always persist local ids).
+pub const NS_STRIDE: usize = 1 << 32;
 
 /// How oracle labels become available to SPECIALIZER (§7 discusses this
 /// constraint).
@@ -162,7 +172,7 @@ pub struct Odin {
     /// one trace links detection → training → install; persisted in
     /// checkpoints so restored pipelines keep the linkage.
     recovery: BTreeMap<usize, SpanCtx>,
-    pool: Option<TrainingPool>,
+    pool: Option<TrainHandle>,
     /// Live persistence runtime ([`Odin::enable_store`]): WAL appender,
     /// background snapshot writer, and the snapshot policy.
     store: Option<PipelineStore>,
@@ -171,6 +181,15 @@ pub struct Odin {
     cfg: OdinConfig,
     seed: u64,
     model_seq: u64,
+    /// Base of this pipeline's cluster-id namespace inside the (possibly
+    /// shared) registry: global id = `ns_base + local id`. `0` for a
+    /// standalone pipeline; `stream * NS_STRIDE` for a server shard
+    /// (see [`Odin::attach_shared`]). All public APIs speak local ids.
+    ns_base: usize,
+    /// When false, snapshots omit the ENCODER and TEACHER sections
+    /// (identical across a server's shards) — the server persists them
+    /// once in `shared.odst` and restore resolves them from there.
+    snapshot_self_contained: bool,
 }
 
 impl Odin {
@@ -182,17 +201,27 @@ impl Odin {
         cfg: OdinConfig,
         seed: u64,
     ) -> Self {
-        let teacher = Arc::new(teacher);
+        Self::with_teacher(encoder, Arc::new(teacher), cfg, seed)
+    }
+
+    /// [`Odin::new`] with an already-shared teacher handle. A
+    /// multi-stream server builds every shard from one teacher `Arc`,
+    /// so N shards hold one copy of the heavyweight weights.
+    pub fn with_teacher(
+        encoder: Box<dyn LatentEncoder>,
+        teacher: Arc<Detector>,
+        cfg: OdinConfig,
+        seed: u64,
+    ) -> Self {
         let specializer = Specializer::new(cfg.specializer);
         let telemetry = Telemetry::new();
         let pool = match cfg.training {
             TrainingMode::Inline => None,
-            TrainingMode::Background { workers } => Some(TrainingPool::new(
-                workers,
-                specializer,
-                Arc::clone(&teacher),
-                telemetry.clone(),
-            )),
+            TrainingMode::Background { workers } => {
+                let router =
+                    TrainRouter::new(workers, specializer, Arc::clone(&teacher), telemetry.clone());
+                Some(TrainHandle::new(router, 0))
+            }
         };
         Odin {
             encoder,
@@ -212,7 +241,25 @@ impl Odin {
             cfg,
             seed,
             model_seq: 0,
+            ns_base: 0,
+            snapshot_self_contained: true,
         }
+    }
+
+    /// Global registry id of one of this pipeline's local cluster ids.
+    fn gid(&self, local: usize) -> usize {
+        self.ns_base + local
+    }
+
+    /// This pipeline's half-open global-id range inside the registry.
+    fn ns_range(&self) -> (usize, usize) {
+        (self.ns_base, self.ns_base + NS_STRIDE)
+    }
+
+    /// Base of this pipeline's cluster-id namespace in the registry
+    /// (`0` standalone, `stream * NS_STRIDE` as a server shard).
+    pub fn ns_base(&self) -> usize {
+        self.ns_base
     }
 
     /// The drift detector's cluster manager (read access for reporting).
@@ -227,19 +274,23 @@ impl Odin {
         Arc::clone(&self.registry)
     }
 
-    /// Number of registered models.
+    /// Number of models this pipeline registered (its own namespace
+    /// only when the registry is shared).
     pub fn model_count(&self) -> usize {
-        self.registry.read().len()
+        let (lo, hi) = self.ns_range();
+        self.registry.read().count_in(lo, hi)
     }
 
-    /// Registered cluster ids, ascending.
+    /// This pipeline's registered cluster ids (local), ascending.
     pub fn model_ids(&self) -> Vec<usize> {
-        self.registry.read().ids()
+        let (lo, hi) = self.ns_range();
+        self.registry.read().ids_in(lo, hi).into_iter().map(|id| id - self.ns_base).collect()
     }
 
-    /// The kind of model serving a cluster, if one is registered.
+    /// The kind of model serving a (local) cluster, if one is
+    /// registered.
     pub fn model_kind(&self, cluster_id: usize) -> Option<ModelKind> {
-        self.registry.read().kind(cluster_id)
+        self.registry.read().kind(self.gid(cluster_id))
     }
 
     /// Model-deployment footprint in bytes — the quantity Figure 1 /
@@ -251,11 +302,12 @@ impl Odin {
     /// intentionally excluded from the ODIN side of the comparison,
     /// which measures what must be deployed per camera.
     pub fn memory_bytes(&self) -> usize {
+        let (lo, hi) = self.ns_range();
         let registry = self.registry.read();
-        if self.cfg.baseline_only || registry.is_empty() {
+        if self.cfg.baseline_only || registry.count_in(lo, hi) == 0 {
             self.teacher.param_bytes()
         } else {
-            registry.total_bytes()
+            registry.total_bytes_in(lo, hi)
         }
     }
 
@@ -363,7 +415,7 @@ impl Odin {
                     let p = encode_evict(evicted);
                     self.wal_append(&p, ctx);
                 }
-                self.registry.write().remove(evicted);
+                self.registry.write().remove(self.gid(evicted));
                 self.pending.remove(&evicted);
                 self.training_pending.remove(&evicted);
                 self.inflight.remove(&evicted);
@@ -508,10 +560,11 @@ impl Odin {
                 };
                 let ctx = span.child_ctx();
                 let wall_ms = span.close();
-                self.install(TrainedModel { cluster_id, detector, kind, wall_ms, ctx });
+                self.install(TrainedModel { stream: 0, cluster_id, detector, kind, wall_ms, ctx });
             }
             Some(pool) => {
                 pool.submit(TrainJob {
+                    stream: 0, // the handle stamps its own stream index
                     cluster_id,
                     seed,
                     kind,
@@ -557,29 +610,35 @@ impl Odin {
             model.cluster_id as i64,
             self.manager.seen() as i64,
         );
-        self.registry
-            .write()
-            .insert(model.cluster_id, ClusterModel { detector: model.detector, kind: model.kind });
+        self.registry.write().insert(
+            self.gid(model.cluster_id),
+            ClusterModel { detector: model.detector, kind: model.kind },
+        );
         self.stats.models_installed += 1;
     }
 
     /// Lands every background-trained model that has finished, without
-    /// blocking. Called at frame boundaries.
+    /// blocking. Called at frame boundaries. On a shared pool this
+    /// drains only this shard's models.
     fn install_completed(&mut self) {
-        let Some(pool) = self.pool.as_mut() else { return };
-        let done = pool.drain();
+        let done = match &self.pool {
+            Some(pool) => pool.drain(),
+            None => return,
+        };
         for m in done {
             self.install(m);
         }
     }
 
     /// Blocks until every queued and in-flight background training job
-    /// has finished, then installs the results. No-op under
-    /// [`TrainingMode::Inline`]. After this returns, the registry state
-    /// matches what inline training would have produced.
+    /// this pipeline submitted has finished, then installs the results.
+    /// No-op under [`TrainingMode::Inline`]. After this returns, the
+    /// registry state matches what inline training would have produced.
     pub fn finish_training(&mut self) {
-        let Some(pool) = self.pool.as_mut() else { return };
-        let done = pool.drain_barrier();
+        let done = match &self.pool {
+            Some(pool) => pool.drain_barrier(),
+            None => return,
+        };
         for m in done {
             self.install(m);
         }
@@ -596,7 +655,7 @@ impl Odin {
         let registry = self.registry.read();
         let selection = {
             let _g = self.telemetry.stage_span("select", &self.telemetry.stage_select, ctx);
-            select_existing(self.cfg.policy, &self.manager, &registry, z)
+            select_existing(self.cfg.policy, &self.manager, &registry, self.ns_base, z)
         };
         let det_span = self.telemetry.stage_span("detect", &self.telemetry.stage_detect, ctx);
         if selection.is_empty() {
@@ -608,7 +667,7 @@ impl Odin {
         let k = selection.models.len() as f32;
         let mut pool: Vec<Detection> = Vec::new();
         for &(id, w) in &selection.models {
-            let model = registry.get(id).expect("selection filtered to existing models");
+            let model = registry.get(self.gid(id)).expect("selection filtered to existing models");
             for mut d in model.detector.detect(&frame.image) {
                 // Rescale so a single selected model keeps its raw scores
                 // and ensemble members compete by weight.
@@ -630,8 +689,9 @@ impl Odin {
     /// Refreshes the instantaneous gauges (cluster count, model count,
     /// training queue). Called once per processed frame.
     fn update_gauges(&self) {
+        let (lo, hi) = self.ns_range();
         self.telemetry.clusters.set(self.manager.clusters().len() as i64);
-        self.telemetry.models.set(self.registry.read().len() as i64);
+        self.telemetry.models.set(self.registry.read().count_in(lo, hi) as i64);
         if let Some(pool) = &self.pool {
             self.telemetry.queue_depth.set(pool.queue_depth() as i64);
             self.telemetry.in_flight.set(pool.in_flight() as i64);
@@ -705,7 +765,7 @@ impl Odin {
     /// experiments that train specialized models offline, as §6.2's
     /// cluster bootstrap does).
     pub fn register_model(&mut self, cluster_id: usize, detector: Detector, kind: ModelKind) {
-        self.registry.write().insert(cluster_id, ClusterModel { detector, kind });
+        self.registry.write().insert(self.gid(cluster_id), ClusterModel { detector, kind });
     }
 
     /// Bootstraps DETECTOR's clusters from a training stream without
@@ -760,23 +820,34 @@ impl Odin {
 
         builder.section(section::CONFIG, self.cfg.to_store_bytes());
 
-        let mut enc = Encoder::new();
-        persist_encoder(&self.encoder.snapshot(), &mut enc)?;
-        builder.section(section::ENCODER, enc.into_bytes());
+        // ENCODER and TEACHER are identical across a server's shards;
+        // when this pipeline snapshots as a shard, they are persisted
+        // once in the server's `shared.odst` instead (see
+        // `shared_sections_bytes`) and resolved from there at restore.
+        if self.snapshot_self_contained {
+            let mut enc = Encoder::new();
+            persist_encoder(&self.encoder.snapshot(), &mut enc)?;
+            builder.section(section::ENCODER, enc.into_bytes());
 
-        let mut enc = Encoder::new();
-        persist_detector(&self.teacher, &mut enc);
-        builder.section(section::TEACHER, enc.into_bytes());
+            let mut enc = Encoder::new();
+            persist_detector(&self.teacher, &mut enc);
+            builder.section(section::TEACHER, enc.into_bytes());
+        }
 
         builder.section(section::MANAGER, self.manager.to_store_bytes());
 
         let mut enc = Encoder::new();
         {
+            // Persist LOCAL ids: a shard's checkpoint is byte-compatible
+            // with a standalone pipeline's, and restore re-applies
+            // whatever namespace the restoring process attaches.
+            let (lo, hi) = self.ns_range();
             let registry = self.registry.read();
-            let mut models = Vec::with_capacity(registry.len());
-            for id in registry.ids() {
-                let m = registry.get(id).expect("id came from ids()");
-                models.push((id, m.kind, &m.detector));
+            let ids = registry.ids_in(lo, hi);
+            let mut models = Vec::with_capacity(ids.len());
+            for id in ids {
+                let m = registry.get(id).expect("id came from ids_in()");
+                models.push((id - self.ns_base, m.kind, &m.detector));
             }
             persist_registry_models(&models, &mut enc);
         }
@@ -893,8 +964,19 @@ impl Odin {
     /// The returned instance has no store attached; call
     /// [`Odin::enable_store`] on it to resume logging.
     pub fn restore_from_dir(dir: &Path) -> Result<Self, StoreError> {
+        Self::restore_from_dir_with(dir, None)
+    }
+
+    /// [`Odin::restore_from_dir`] for a shard snapshot that omitted its
+    /// ENCODER/TEACHER sections: absent sections resolve from `shared`
+    /// (the server's `shared.odst`). With `shared = None` this is
+    /// exactly `restore_from_dir`.
+    pub fn restore_from_dir_with(
+        dir: &Path,
+        shared: Option<&Checkpoint>,
+    ) -> Result<Self, StoreError> {
         let cp = Checkpoint::read(&dir.join(SNAPSHOT_FILE))?;
-        let (mut odin, last_seq) = Self::from_checkpoint(&cp)?;
+        let (mut odin, last_seq) = Self::from_checkpoint_with(&cp, shared)?;
         let wal = read_wal(&dir.join(WAL_FILE))?;
         let mut replayed = 0usize;
         for rec in wal.records.iter().filter(|r| r.seq > last_seq) {
@@ -917,6 +999,28 @@ impl Odin {
     }
 
     fn from_checkpoint(cp: &Checkpoint) -> Result<(Self, u64), StoreError> {
+        Self::from_checkpoint_with(cp, None)
+    }
+
+    /// A checkpoint section, falling back to the shared-section
+    /// checkpoint when the shard snapshot omitted it (shared-section
+    /// dedup). Without a fallback, absence is the usual hard error.
+    fn section_or_shared<'a>(
+        cp: &'a Checkpoint,
+        shared: Option<&'a Checkpoint>,
+        name: &'static str,
+    ) -> Result<&'a [u8], StoreError> {
+        match (cp.section(name), shared) {
+            (Some(bytes), _) => Ok(bytes),
+            (None, Some(s)) => s.require(name),
+            (None, None) => cp.require(name),
+        }
+    }
+
+    fn from_checkpoint_with(
+        cp: &Checkpoint,
+        shared: Option<&Checkpoint>,
+    ) -> Result<(Self, u64), StoreError> {
         let mut dec = Decoder::new(cp.require(section::META)?);
         let seed = dec.take_u64("meta.seed")?;
         let model_seq = dec.take_u64("meta.model_seq")?;
@@ -925,11 +1029,11 @@ impl Odin {
 
         let cfg = OdinConfig::from_store_bytes(cp.require(section::CONFIG)?, "config")?;
 
-        let mut dec = Decoder::new(cp.require(section::ENCODER)?);
+        let mut dec = Decoder::new(Self::section_or_shared(cp, shared, section::ENCODER)?);
         let encoder = restore_encoder(&mut dec)?;
         dec.finish("encoder")?;
 
-        let mut dec = Decoder::new(cp.require(section::TEACHER)?);
+        let mut dec = Decoder::new(Self::section_or_shared(cp, shared, section::TEACHER)?);
         let teacher = restore_detector(&mut dec)?;
         dec.finish("teacher")?;
 
@@ -995,6 +1099,7 @@ impl Odin {
             match &self.pool {
                 Some(pool) => {
                     pool.submit(TrainJob {
+                        stream: 0, // the handle stamps its own stream index
                         cluster_id,
                         seed: job.seed,
                         kind: job.kind,
@@ -1018,6 +1123,7 @@ impl Odin {
                     let ctx = span.child_ctx();
                     let wall_ms = span.close();
                     self.install(TrainedModel {
+                        stream: 0,
                         cluster_id,
                         detector,
                         kind: job.kind,
@@ -1039,7 +1145,7 @@ impl Odin {
             }
             WalEvent::Evict { cluster_id } => {
                 self.manager.apply_eviction(cluster_id);
-                self.registry.write().remove(cluster_id);
+                self.registry.write().remove(self.gid(cluster_id));
                 self.pending.remove(&cluster_id);
                 self.training_pending.remove(&cluster_id);
                 self.inflight.remove(&cluster_id);
@@ -1047,7 +1153,9 @@ impl Odin {
             }
             WalEvent::Install { cluster_id, kind, detector } => {
                 if self.manager.cluster(cluster_id).is_some() {
-                    self.registry.write().insert(cluster_id, ClusterModel { detector, kind });
+                    self.registry
+                        .write()
+                        .insert(self.gid(cluster_id), ClusterModel { detector, kind });
                     self.pending.remove(&cluster_id);
                     self.training_pending.remove(&cluster_id);
                     self.inflight.remove(&cluster_id);
@@ -1069,6 +1177,78 @@ impl Odin {
         // the WAL on drift events and store errors.
         self.telemetry.set_flight_dump_path(Some(dir.join(FLIGHT_FILE)));
         Ok(())
+    }
+
+    // -- Sharded serving ----------------------------------------------
+
+    /// Turns this standalone pipeline into shard `stream` of a
+    /// multi-stream server: its models move into `registry` (the
+    /// process-wide [`SharedRegistry`]) under the namespace
+    /// `stream * NS_STRIDE`, its training jobs flow through `router`
+    /// (the process-wide pool) when one is given, and its trace/span id
+    /// allocators jump to a per-stream base so Perfetto exports group
+    /// per stream and stay deterministic per shard.
+    ///
+    /// Any models still training on the pipeline's private pool are
+    /// finished and installed first, so the handoff loses nothing. The
+    /// trace-id base is applied with `max` semantics: a fresh shard
+    /// jumps to its base, while a restored shard whose persisted
+    /// allocators are already past it (they were namespaced before the
+    /// checkpoint) continues exactly where it left off.
+    pub fn attach_shared(
+        &mut self,
+        stream: usize,
+        registry: &SharedRegistry,
+        router: Option<Arc<TrainRouter>>,
+    ) {
+        self.finish_training();
+        let ns_base = stream * NS_STRIDE;
+        if !Arc::ptr_eq(&self.registry, registry) {
+            let mut private = self.registry.write();
+            let mut shared = registry.write();
+            for id in private.ids() {
+                let m = private.remove(id).expect("id came from ids()");
+                shared.insert(ns_base + (id - self.ns_base), m);
+            }
+            drop(private);
+            drop(shared);
+            self.registry = Arc::clone(registry);
+        }
+        self.ns_base = ns_base;
+        self.pool = router.map(|r| TrainHandle::new(r, stream));
+        let tracer = self.telemetry.registry().tracer();
+        let (next_span, next_trace) = tracer.state();
+        let base = (stream as u64) << 40;
+        tracer.load_state(next_span.max(base + 1), next_trace.max(base + 1));
+        self.update_gauges();
+    }
+
+    /// Marks whether snapshots embed the ENCODER/TEACHER sections
+    /// (default) or omit them for shared-section dedup (server shards;
+    /// restore then needs [`Odin::restore_from_dir_with`]).
+    pub fn set_snapshot_self_contained(&mut self, self_contained: bool) {
+        self.snapshot_self_contained = self_contained;
+    }
+
+    /// The shared-section checkpoint body (ENCODER + TEACHER only) a
+    /// multi-stream server writes once as `shared.odst`. Every shard's
+    /// sections are identical by construction (one teacher `Arc`, one
+    /// encoder factory), so any shard can produce it.
+    pub fn shared_sections_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let mut builder = CheckpointBuilder::new();
+        let mut enc = Encoder::new();
+        persist_encoder(&self.encoder.snapshot(), &mut enc)?;
+        builder.section(section::ENCODER, enc.into_bytes());
+        let mut enc = Encoder::new();
+        persist_detector(&self.teacher, &mut enc);
+        builder.section(section::TEACHER, enc.into_bytes());
+        Ok(builder.to_bytes())
+    }
+
+    /// Shared handle to the teacher (a server builds its training
+    /// router around the same weights every shard serves from).
+    pub(crate) fn teacher_handle(&self) -> Arc<Detector> {
+        Arc::clone(&self.teacher)
     }
 
     /// Writes the flight recorder's current contents — the most recent
@@ -1152,10 +1332,11 @@ fn select_existing(
     policy: SelectionPolicy,
     manager: &ClusterManager,
     registry: &ModelRegistry,
+    ns_base: usize,
     z: &[f32],
 ) -> Selection {
     let mut s = select(policy, manager, z);
-    s.models.retain(|(id, _)| registry.kind(*id).is_some());
+    s.models.retain(|(id, _)| registry.kind(ns_base + *id).is_some());
     if s.models.is_empty() {
         // Nothing the policy picked is servable: the teacher takes the
         // frame, so no fallback ensemble actually ran — don't report

@@ -90,10 +90,30 @@ impl ModelRegistry {
         self.models.keys().copied().collect()
     }
 
+    /// Registered ids inside the half-open id range `[lo, hi)`,
+    /// ascending. A multi-stream server namespaces each stream's
+    /// clusters into a disjoint id range of one shared registry; this
+    /// is how a shard enumerates only its own models.
+    pub fn ids_in(&self, lo: usize, hi: usize) -> Vec<usize> {
+        self.models.range(lo..hi).map(|(id, _)| *id).collect()
+    }
+
+    /// Number of registered models inside `[lo, hi)`.
+    pub fn count_in(&self, lo: usize, hi: usize) -> usize {
+        self.models.range(lo..hi).count()
+    }
+
     /// Combined memory footprint of all registered models in bytes —
     /// ODIN's "memory footprint" in Figure 1 / Table 7.
     pub fn total_bytes(&self) -> usize {
         self.models.values().map(|m| m.detector.param_bytes()).sum()
+    }
+
+    /// Combined memory footprint of the models inside `[lo, hi)`, in
+    /// bytes — one stream's deployment footprint within a shared
+    /// registry.
+    pub fn total_bytes_in(&self, lo: usize, hi: usize) -> usize {
+        self.models.range(lo..hi).map(|(_, m)| m.detector.param_bytes()).sum()
     }
 }
 
@@ -149,5 +169,22 @@ mod tests {
             r.insert(id, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
         }
         assert_eq!(r.ids(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn range_helpers_scope_to_one_namespace() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = ModelRegistry::new();
+        let base = 1usize << 32;
+        let d = small(&mut rng);
+        let per = d.param_bytes();
+        r.insert(1, ClusterModel { detector: d, kind: ModelKind::Lite });
+        r.insert(base, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        r.insert(base + 2, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        assert_eq!(r.ids_in(0, base), vec![1]);
+        assert_eq!(r.ids_in(base, 2 * base), vec![base, base + 2]);
+        assert_eq!(r.count_in(base, 2 * base), 2);
+        assert_eq!(r.total_bytes_in(0, base), per);
+        assert_eq!(r.total_bytes(), 3 * per);
     }
 }

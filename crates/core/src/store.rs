@@ -56,6 +56,14 @@ pub const WAL_FILE: &str = "events.wal";
 /// Flight-record auto-dump file name (Chrome-trace JSON) inside a store
 /// directory, written on drift events and store errors.
 pub const FLIGHT_FILE: &str = "flight.json";
+/// Deduplicated shared-section checkpoint (encoder + teacher weights,
+/// identical across every stream) inside a multi-stream server's store
+/// directory. Per-shard snapshots under `streams/<id>/` omit these
+/// sections and resolve them from this file at restore time.
+pub const SHARED_SNAPSHOT_FILE: &str = "shared.odst";
+/// Subdirectory of a multi-stream store holding one store directory per
+/// stream (`streams/<id>/{snapshot.odst,events.wal,flight.json}`).
+pub const STREAMS_DIR: &str = "streams";
 
 /// Checkpoint section names.
 pub(crate) mod section {

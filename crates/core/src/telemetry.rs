@@ -355,6 +355,7 @@ impl Telemetry {
                 metrics: Arc::new(move || metrics.render_prometheus()),
                 trace: Arc::new(move || trace.render_chrome_trace()),
                 healthz: Arc::new(move || healthz.render_healthz()),
+                route: None,
             },
         )
     }

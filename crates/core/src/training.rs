@@ -54,6 +54,11 @@ pub enum TrainingMode {
 /// `cluster_id` from `frames`, seeding all randomness from `seed`.
 #[derive(Debug)]
 pub struct TrainJob {
+    /// The submitting stream's index when the pool is shared by a
+    /// multi-stream server (`0` for a single-stream pipeline). The
+    /// [`TrainRouter`] uses it to hand the finished model back to the
+    /// shard that asked for it.
+    pub stream: usize,
     /// The promoted cluster the model will serve.
     pub cluster_id: usize,
     /// RNG seed — carried in the job so Inline and Background modes
@@ -72,6 +77,9 @@ pub struct TrainJob {
 
 /// A model built by a worker, ready for registry installation.
 pub struct TrainedModel {
+    /// The stream whose shard submitted the job (copied from
+    /// [`TrainJob::stream`]).
+    pub stream: usize,
     /// The cluster the model was built for.
     pub cluster_id: usize,
     /// The trained detector.
@@ -147,6 +155,7 @@ impl TrainingPool {
                         let ctx = span.child_ctx();
                         let wall_ms = span.close();
                         let done = TrainedModel {
+                            stream: job.stream,
                             cluster_id: job.cluster_id,
                             detector,
                             kind: job.kind,
@@ -224,6 +233,23 @@ impl TrainingPool {
         }
         out
     }
+
+    /// Blocks until one more finished model is available and returns
+    /// it, or `None` when nothing is outstanding (or a worker died).
+    /// The [`TrainRouter`] uses this to wait for one stream's jobs
+    /// while banking other streams' results.
+    pub fn recv_blocking(&mut self) -> Option<TrainedModel> {
+        if self.collected >= self.submitted.load(Ordering::SeqCst) {
+            return None;
+        }
+        match self.results.recv() {
+            Ok(m) => {
+                self.collected += 1;
+                Some(m)
+            }
+            Err(_) => None,
+        }
+    }
 }
 
 impl Drop for TrainingPool {
@@ -235,6 +261,163 @@ impl Drop for TrainingPool {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// A multi-stream front over one shared [`TrainingPool`]: jobs from
+/// every shard flow into the same worker threads, and finished models
+/// are routed back to the shard (stream) that submitted them.
+///
+/// The router is the process-wide half of SPECIALIZER in the sharded
+/// serving layer: one set of training workers serves N streams, so a
+/// drift burst on one camera borrows the whole training capacity
+/// instead of a per-stream slice. Per-stream result queues keep shards
+/// isolated — a shard only ever sees its own models.
+pub struct TrainRouter {
+    inner: parking_lot::Mutex<RouterInner>,
+}
+
+struct RouterInner {
+    pool: TrainingPool,
+    /// Finished models banked for streams that have not drained yet.
+    ready: std::collections::BTreeMap<usize, Vec<TrainedModel>>,
+    /// Outstanding (submitted but not yet routed) jobs per stream.
+    outstanding: std::collections::BTreeMap<usize, usize>,
+}
+
+impl TrainRouter {
+    /// Builds a router over a fresh pool of `workers` threads. Worker
+    /// spans record into `telemetry` (the server's registry when
+    /// shared); each job's [`SpanCtx`] still carries the submitting
+    /// shard's trace id, so traces stay grouped per stream.
+    pub fn new(
+        workers: usize,
+        specializer: Specializer,
+        teacher: Arc<Detector>,
+        telemetry: Telemetry,
+    ) -> Arc<Self> {
+        Arc::new(TrainRouter {
+            inner: parking_lot::Mutex::new(RouterInner {
+                pool: TrainingPool::new(workers, specializer, teacher, telemetry),
+                ready: std::collections::BTreeMap::new(),
+                outstanding: std::collections::BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// Enqueues a job on the shared pool ([`TrainJob::stream`] decides
+    /// which shard gets the result back).
+    pub fn submit(&self, job: TrainJob) {
+        let mut inner = self.inner.lock();
+        *inner.outstanding.entry(job.stream).or_insert(0) += 1;
+        inner.pool.submit(job);
+    }
+
+    fn route(inner: &mut RouterInner, m: TrainedModel, stream: usize, out: &mut Vec<TrainedModel>) {
+        if let Some(n) = inner.outstanding.get_mut(&m.stream) {
+            *n = n.saturating_sub(1);
+        }
+        if m.stream == stream {
+            out.push(m);
+        } else {
+            inner.ready.entry(m.stream).or_default().push(m);
+        }
+    }
+
+    /// Collects `stream`'s finished models without blocking (banked
+    /// ones first, then whatever the pool has completed).
+    pub fn drain(&self, stream: usize) -> Vec<TrainedModel> {
+        let mut inner = self.inner.lock();
+        let mut out = inner.ready.remove(&stream).unwrap_or_default();
+        for m in inner.pool.drain() {
+            Self::route(&mut inner, m, stream, &mut out);
+        }
+        out
+    }
+
+    /// Blocks until every job `stream` submitted has finished, then
+    /// returns them. Other streams' models completed meanwhile are
+    /// banked for their own shards. Holds the router lock while
+    /// waiting, so concurrent drains of other streams stall until this
+    /// stream's jobs land — callers only block here at quiesce points
+    /// (`Odin::finish_training`), never on the per-frame path.
+    pub fn drain_barrier(&self, stream: usize) -> Vec<TrainedModel> {
+        let mut inner = self.inner.lock();
+        let mut out = inner.ready.remove(&stream).unwrap_or_default();
+        for m in inner.pool.drain() {
+            Self::route(&mut inner, m, stream, &mut out);
+        }
+        while inner.outstanding.get(&stream).copied().unwrap_or(0) > 0 {
+            match inner.pool.recv_blocking() {
+                Some(m) => Self::route(&mut inner, m, stream, &mut out),
+                None => break, // a worker died; don't hang forever
+            }
+        }
+        out
+    }
+
+    /// Jobs enqueued on the shared pool but not yet picked up (all
+    /// streams).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().pool.queue_depth()
+    }
+
+    /// Jobs currently training on a worker (all streams).
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().pool.in_flight()
+    }
+
+    /// Jobs submitted by `stream` whose models have not been handed
+    /// back yet.
+    pub fn outstanding_for(&self, stream: usize) -> usize {
+        self.inner.lock().outstanding.get(&stream).copied().unwrap_or(0)
+    }
+}
+
+/// One shard's handle onto a (possibly shared) [`TrainRouter`]: the
+/// pipeline submits with its own stream index and only ever drains its
+/// own results.
+#[derive(Clone)]
+pub struct TrainHandle {
+    router: Arc<TrainRouter>,
+    stream: usize,
+}
+
+impl TrainHandle {
+    /// Wraps `router` for the shard serving `stream`.
+    pub fn new(router: Arc<TrainRouter>, stream: usize) -> Self {
+        TrainHandle { router, stream }
+    }
+
+    /// Enqueues a job, stamping it with this shard's stream index.
+    pub fn submit(&self, mut job: TrainJob) {
+        job.stream = self.stream;
+        self.router.submit(job);
+    }
+
+    /// This shard's stream index.
+    pub fn stream(&self) -> usize {
+        self.stream
+    }
+
+    /// Non-blocking collection of this shard's finished models.
+    pub fn drain(&self) -> Vec<TrainedModel> {
+        self.router.drain(self.stream)
+    }
+
+    /// Blocks until every job this shard submitted has finished.
+    pub fn drain_barrier(&self) -> Vec<TrainedModel> {
+        self.router.drain_barrier(self.stream)
+    }
+
+    /// Shared-pool queue depth (all streams).
+    pub fn queue_depth(&self) -> usize {
+        self.router.queue_depth()
+    }
+
+    /// Shared-pool in-flight count (all streams).
+    pub fn in_flight(&self) -> usize {
+        self.router.in_flight()
     }
 }
 
@@ -279,6 +462,7 @@ mod tests {
         let mut pool = TrainingPool::new(2, quick_specializer(), teacher, tel());
         for (i, kind) in [ModelKind::Specialized, ModelKind::Lite].into_iter().enumerate() {
             pool.submit(TrainJob {
+                stream: 0,
                 cluster_id: i,
                 seed: i as u64,
                 kind,
@@ -302,6 +486,7 @@ mod tests {
         let inline = sp.build_specialized(7, &frames);
         let mut pool = TrainingPool::new(1, sp, teacher, tel());
         pool.submit(TrainJob {
+            stream: 0,
             cluster_id: 0,
             seed: 7,
             kind: ModelKind::Specialized,
@@ -319,6 +504,7 @@ mod tests {
         let mut pool = TrainingPool::new(1, quick_specializer(), teacher, telemetry.clone());
         let submitted = SpanCtx { trace: 42, parent: 7 };
         pool.submit(TrainJob {
+            stream: 0,
             cluster_id: 5,
             seed: 1,
             kind: ModelKind::Lite,
@@ -344,7 +530,14 @@ mod tests {
     fn counters_settle_after_barrier() {
         let (teacher, frames) = fixture();
         let mut pool = TrainingPool::new(1, quick_specializer(), teacher, tel());
-        pool.submit(TrainJob { cluster_id: 3, seed: 1, kind: ModelKind::Lite, frames, ctx: ctx() });
+        pool.submit(TrainJob {
+            stream: 0,
+            cluster_id: 3,
+            seed: 1,
+            kind: ModelKind::Lite,
+            frames,
+            ctx: ctx(),
+        });
         assert_eq!(pool.pending(), 1);
         let _ = pool.drain_barrier();
         assert_eq!(pool.pending(), 0);
@@ -358,5 +551,40 @@ mod tests {
         let mut pool = TrainingPool::new(1, quick_specializer(), teacher, tel());
         assert!(pool.drain().is_empty());
         assert!(pool.drain_barrier().is_empty());
+    }
+
+    #[test]
+    fn router_hands_each_stream_only_its_own_models() {
+        let (teacher, frames) = fixture();
+        let router = TrainRouter::new(2, quick_specializer(), teacher, tel());
+        let a = TrainHandle::new(Arc::clone(&router), 0);
+        let b = TrainHandle::new(Arc::clone(&router), 1);
+        for (handle, cluster) in [(&a, 0), (&b, 1), (&a, 2)] {
+            handle.submit(TrainJob {
+                stream: 99, // overridden by the handle
+                cluster_id: cluster,
+                seed: cluster as u64,
+                kind: ModelKind::Lite,
+                frames: frames.clone(),
+                ctx: ctx(),
+            });
+        }
+        // Stream 0's barrier returns exactly its two models and banks
+        // stream 1's if it finished meanwhile.
+        let got_a = a.drain_barrier();
+        let mut ids: Vec<_> = got_a.iter().map(|m| m.cluster_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2]);
+        assert!(got_a.iter().all(|m| m.stream == 0));
+        assert_eq!(router.outstanding_for(0), 0);
+
+        let got_b = b.drain_barrier();
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(got_b[0].cluster_id, 1);
+        assert_eq!(got_b[0].stream, 1);
+        assert_eq!(router.outstanding_for(1), 0);
+        // Nothing left for either stream.
+        assert!(a.drain().is_empty());
+        assert!(b.drain().is_empty());
     }
 }

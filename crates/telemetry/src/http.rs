@@ -1,30 +1,84 @@
-//! A zero-dependency blocking HTTP exposition server.
+//! A zero-dependency blocking HTTP server.
 //!
-//! Serves three read-only endpoints from caller-supplied render
-//! closures:
+//! Serves three built-in read-only endpoints from caller-supplied
+//! render closures:
 //!
 //! * `/metrics` — Prometheus text exposition,
 //! * `/trace` — Chrome-trace JSON of the flight recorder,
 //! * `/healthz` — liveness JSON derived from pipeline stats.
 //!
-//! The server is deliberately minimal: `std::net::TcpListener`, one
-//! connection at a time, `Connection: close` on every response. That is
-//! exactly enough for a scrape loop or a one-off `curl`, and keeps the
-//! crate free of dependencies. Bind to port 0 for an ephemeral port
-//! (CI does this) and read it back via [`MetricsServer::addr`].
+//! plus an optional catch-all [`RouteHandler`] for everything else —
+//! the multi-stream ingest front end (`POST /ingest/<stream>`) is built
+//! on it.
+//!
+//! The server is deliberately minimal: `std::net::TcpListener` and
+//! `Connection: close` on every response. Each accepted connection is
+//! handled on its own short-lived thread (bounded by
+//! [`MAX_CONNECTION_THREADS`]; excess connections are handled inline on
+//! the accept thread), so a slow `/metrics` scrape never blocks frame
+//! ingest. Bind to port 0 for an ephemeral port (CI does this) and read
+//! it back via [`MetricsServer::addr`].
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A render closure for one endpoint: called per request, returns the
-/// full response body.
+/// Cap on concurrently spawned per-connection handler threads. Beyond
+/// it, connections are served inline on the accept thread — the server
+/// degrades to the old serial behaviour instead of spawning unbounded
+/// threads under a connection flood.
+pub const MAX_CONNECTION_THREADS: usize = 8;
+
+/// A render closure for one built-in endpoint: called per request,
+/// returns the full response body.
 pub type Handler = Arc<dyn Fn() -> String + Send + Sync>;
 
-/// The three endpoint renderers a server is built from.
+/// One parsed HTTP request, as seen by a [`RouteHandler`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Request path with the query string stripped.
+    pub path: String,
+    /// Request body (`Content-Length`-delimited; empty for GET).
+    pub body: Vec<u8>,
+}
+
+/// A response a [`RouteHandler`] produces.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line after `HTTP/1.1 `, e.g. `"200 OK"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok_json(body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: "200 OK",
+            content_type: "application/json; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an arbitrary status line.
+    pub fn text(status: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+}
+
+/// A catch-all handler consulted for requests that do not match a
+/// built-in endpoint. Returning `None` falls through to 404/405.
+pub type RouteHandler = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+/// The endpoint renderers a server is built from.
 #[derive(Clone)]
 pub struct HttpHandlers {
     /// Body for `GET /metrics` (Prometheus text format).
@@ -33,6 +87,9 @@ pub struct HttpHandlers {
     pub trace: Handler,
     /// Body for `GET /healthz` (liveness JSON).
     pub healthz: Handler,
+    /// Catch-all for every other request (any method). `None` keeps the
+    /// classic three-endpoint exposition server.
+    pub route: Option<RouteHandler>,
 }
 
 /// A running exposition server. Dropping it shuts the listener down and
@@ -56,6 +113,8 @@ impl MetricsServer {
     }
 
     /// Stops the accept loop and joins the serving thread. Idempotent.
+    /// In-flight per-connection handler threads finish on their own
+    /// (every response is `Connection: close`, so they are short-lived).
     pub fn shutdown(&mut self) {
         if let Some(handle) = self.handle.take() {
             self.stop.store(true, Ordering::SeqCst);
@@ -73,22 +132,43 @@ impl Drop for MetricsServer {
 }
 
 /// Binds `addr` and serves `handlers` on a background thread until the
-/// returned [`MetricsServer`] is shut down or dropped.
+/// returned [`MetricsServer`] is shut down or dropped. Connections are
+/// dispatched to per-connection threads (at most
+/// [`MAX_CONNECTION_THREADS`] at once; the rest are served inline).
 pub fn serve<A: ToSocketAddrs>(addr: A, handlers: HttpHandlers) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
     let handle =
-        std::thread::Builder::new().name("odin-metrics-http".to_string()).spawn(move || {
+        std::thread::Builder::new().name("odin-http-accept".to_string()).spawn(move || {
+            let active = Arc::new(AtomicUsize::new(0));
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
-                if let Ok(stream) = stream {
-                    // A misbehaving client must not wedge the server.
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let Ok(stream) = stream else { continue };
+                // A misbehaving client must not wedge a handler.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                if active.load(Ordering::SeqCst) < MAX_CONNECTION_THREADS {
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let handlers = handlers.clone();
+                    let thread_active = Arc::clone(&active);
+                    let spawned = std::thread::Builder::new()
+                        .name("odin-http-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &handlers);
+                            thread_active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if let Err(_e) = spawned {
+                        // Thread spawn failed (resource exhaustion):
+                        // the connection was moved into the closure and
+                        // dropped with it; the client sees a reset and
+                        // retries. Undo the reservation.
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                } else {
                     let _ = handle_connection(stream, &handlers);
                 }
             }
@@ -100,43 +180,75 @@ fn handle_connection(stream: TcpStream, handlers: &HttpHandlers) -> std::io::Res
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
-    // Drain the remaining request headers so the client sees a clean
-    // close (we never read a body: all endpoints are GET).
+    // Drain the request headers (noting Content-Length for the body).
+    let mut content_length = 0usize;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
             break;
         }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
     }
 
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
+    let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or("").to_string();
 
-    let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n".to_string())
-    } else {
-        match path {
-            "/metrics" => {
-                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", (handlers.metrics)())
+    let response = match (method.as_str(), path.as_str()) {
+        ("GET", "/metrics") => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: (handlers.metrics)().into_bytes(),
+        },
+        ("GET", "/trace") => Response::ok_json((handlers.trace)().into_bytes()),
+        ("GET", "/healthz") => Response::ok_json((handlers.healthz)().into_bytes()),
+        _ => {
+            let request = Request { method, path, body };
+            match handlers.route.as_ref().and_then(|r| r(&request)) {
+                Some(resp) => resp,
+                None if request.method != "GET" => {
+                    Response::text("405 Method Not Allowed", "method not allowed\n")
+                }
+                None => Response::text("404 Not Found", "not found\n"),
             }
-            "/trace" => ("200 OK", "application/json; charset=utf-8", (handlers.trace)()),
-            "/healthz" => ("200 OK", "application/json; charset=utf-8", (handlers.healthz)()),
-            _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
 
+    // One buffer, one write: headers and body leave in a single TCP
+    // segment whenever they fit, so naive clients piping the body
+    // onward never see a split response.
+    let header = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
+    );
+    let mut out = Vec::with_capacity(header.len() + response.body.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&response.body);
     let mut stream = reader.into_inner();
-    stream.write_all(
-        format!(
-            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            body.len()
-        )
-        .as_bytes(),
-    )?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&out)?;
     stream.flush()
+}
+
+fn read_response(mut stream: TcpStream) -> std::io::Result<(String, String)> {
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response.lines().next().unwrap_or("").to_string();
+    let body = match response.find("\r\n\r\n") {
+        Some(i) => response[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
 }
 
 /// Performs one blocking `GET` against a [`serve`]d endpoint and
@@ -148,14 +260,23 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
     stream.write_all(
         format!("GET {path} HTTP/1.1\r\nHost: odin\r\nConnection: close\r\n\r\n").as_bytes(),
     )?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let status = response.lines().next().unwrap_or("").to_string();
-    let body = match response.find("\r\n\r\n") {
-        Some(i) => response[i + 4..].to_string(),
-        None => String::new(),
-    };
-    Ok((status, body))
+    read_response(stream)
+}
+
+/// Performs one blocking `POST` with `body` and returns
+/// `(status_line, body)`. The test/smoke companion of [`get`].
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: odin\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(body)?;
+    read_response(stream)
 }
 
 #[cfg(test)]
@@ -167,6 +288,7 @@ mod tests {
             metrics: Arc::new(|| "odin_frames_total 42\n".to_string()),
             trace: Arc::new(|| "{\"traceEvents\":[]}".to_string()),
             healthz: Arc::new(|| "{\"status\":\"ok\"}".to_string()),
+            route: None,
         }
     }
 
@@ -208,6 +330,64 @@ mod tests {
         // The port can be rebound after shutdown.
         let server2 = serve(addr, handlers()).expect("rebind");
         let (status, _) = get(server2.addr(), "/metrics").expect("metrics");
+        assert!(status.contains("200"), "{status}");
+    }
+
+    #[test]
+    fn route_handler_sees_post_bodies_and_falls_through() {
+        let mut h = handlers();
+        h.route = Some(Arc::new(|req: &Request| {
+            if req.method == "POST" && req.path == "/echo" {
+                Some(Response::ok_json(req.body.clone()))
+            } else {
+                None
+            }
+        }));
+        let server = serve("127.0.0.1:0", h).expect("bind");
+        let (status, body) = post(server.addr(), "/echo", b"{\"x\":1}").expect("post");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "{\"x\":1}");
+        // Unmatched POST falls through to 405, unmatched GET to 404.
+        let (status, _) = post(server.addr(), "/nope", b"").expect("post");
+        assert!(status.contains("405"), "{status}");
+        let (status, _) = get(server.addr(), "/nope").expect("get");
+        assert!(status.contains("404"), "{status}");
+        // Built-ins still served with a route installed.
+        let (status, _) = get(server.addr(), "/healthz").expect("healthz");
+        assert!(status.contains("200"), "{status}");
+    }
+
+    #[test]
+    fn slow_connection_does_not_block_others() {
+        use std::sync::mpsc;
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let mut h = handlers();
+        h.route = Some(Arc::new(move |req: &Request| {
+            if req.path == "/slow" {
+                // Park until the test releases us (bounded so a
+                // regression to serial handling fails instead of
+                // hanging forever).
+                let _ = release_rx.lock().unwrap().recv_timeout(Duration::from_secs(5));
+                Some(Response::text("200 OK", "slept\n"))
+            } else {
+                None
+            }
+        }));
+        let server = serve("127.0.0.1:0", h).expect("bind");
+        let addr = server.addr();
+        let slow = std::thread::spawn(move || get(addr, "/slow"));
+        // Give the slow request time to occupy its handler thread.
+        std::thread::sleep(Duration::from_millis(100));
+        let start = std::time::Instant::now();
+        let (status, _) = get(addr, "/healthz").expect("healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "/healthz blocked behind the slow connection"
+        );
+        release_tx.send(()).expect("slow handler alive");
+        let (status, _) = slow.join().expect("join").expect("slow response");
         assert!(status.contains("200"), "{status}");
     }
 }

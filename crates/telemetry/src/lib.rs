@@ -50,10 +50,14 @@ pub mod timeline;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use event::{Event, EventSink, Level, RingSink, StderrSink};
 pub use export::chrome_trace;
-pub use http::{serve, Handler, HttpHandlers, MetricsServer};
+pub use http::{
+    get, post, serve, Handler, HttpHandlers, MetricsServer, Request, Response, RouteHandler,
+    MAX_CONNECTION_THREADS,
+};
 pub use recorder::{FlightRecord, FlightRecorder, RecordedEvent};
 pub use registry::{
     log_bounds, Counter, Gauge, Histogram, HistogramSnapshot, Registry, TelemetrySnapshot,
 };
+pub use render::{render_json, render_prometheus, render_prometheus_grouped};
 pub use span::{SpanCtx, SpanGuard, SpanRecord, Tracer, NO_PARENT};
 pub use timeline::{TimelineEvent, TimelineStage};

@@ -48,6 +48,81 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
     out
 }
 
+/// Renders several labeled snapshots — one per stream shard of a
+/// multi-stream server — as a single merged Prometheus exposition.
+/// Each metric gets one `# TYPE` line, followed by one sample per
+/// shard carrying a `stream="<label>"` label (histogram buckets merge
+/// the `stream` label with `le`). Like [`render_prometheus`] this is a
+/// pure function of its inputs: shard order is the caller's, metric
+/// order is name-sorted, so output is deterministic.
+pub fn render_prometheus_grouped(shards: &[(String, TelemetrySnapshot)]) -> String {
+    use std::collections::BTreeMap;
+    let mut counters: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, Vec<(&str, i64)>> = BTreeMap::new();
+    let mut histograms: BTreeMap<&str, Vec<(&str, &crate::registry::HistogramSnapshot)>> =
+        BTreeMap::new();
+    for (stream, snap) in shards {
+        for (name, v) in &snap.counters {
+            counters.entry(name).or_default().push((stream, *v));
+        }
+        for (name, v) in &snap.gauges {
+            gauges.entry(name).or_default().push((stream, *v));
+        }
+        for h in &snap.histograms {
+            histograms.entry(&h.name).or_default().push((stream, h));
+        }
+    }
+    let mut out = String::new();
+    for (name, samples) in &counters {
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        for (stream, v) in samples {
+            out.push_str(&format!("{name}{{stream=\"{}\"}} {v}\n", json_escape(stream)));
+        }
+    }
+    for (name, samples) in &gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        for (stream, v) in samples {
+            out.push_str(&format!("{name}{{stream=\"{}\"}} {v}\n", json_escape(stream)));
+        }
+    }
+    for (name, samples) in &histograms {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        for (stream, h) in samples {
+            let stream = json_escape(stream);
+            let mut cum = 0u64;
+            for (i, &bound) in h.bounds.iter().enumerate() {
+                cum += h.buckets[i];
+                out.push_str(&format!(
+                    "{name}_bucket{{stream=\"{stream}\",le=\"{bound}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{stream=\"{stream}\",le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("{name}_sum{{stream=\"{stream}\"}} {}\n", h.sum_ms()));
+            out.push_str(&format!("{name}_count{{stream=\"{stream}\"}} {}\n", h.count));
+        }
+    }
+    for (stream, snap) in shards {
+        if !snap.timeline.is_empty() {
+            out.push_str(&format!(
+                "# odin drift timeline [stream {stream}]: stage cluster frame at_ms\n"
+            ));
+            for t in &snap.timeline {
+                out.push_str(&format!(
+                    "# timeline [stream {stream}] {} {} {} {}\n",
+                    t.stage.as_str(),
+                    t.cluster_id,
+                    t.frame,
+                    t.at_ms
+                ));
+            }
+        }
+    }
+    out
+}
+
 pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
@@ -176,6 +251,28 @@ mod tests {
         assert!(a.contains("\"odin_frames_total\":128"));
         assert!(a.contains("\"stage\":\"drift_detected\""));
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn grouped_render_labels_every_sample_once_per_stream() {
+        let a = sample_registry().snapshot();
+        let b = sample_registry().snapshot();
+        let text = render_prometheus_grouped(&[("0".to_string(), a), ("1".to_string(), b)]);
+        // One TYPE line per metric, not per shard.
+        assert_eq!(text.matches("# TYPE odin_frames_total counter").count(), 1);
+        assert!(text.contains("odin_frames_total{stream=\"0\"} 128"));
+        assert!(text.contains("odin_frames_total{stream=\"1\"} 128"));
+        assert!(text.contains("odin_clusters{stream=\"0\"} 3"));
+        assert!(text.contains("odin_stage_encode_ms_bucket{stream=\"1\",le=\"0.5\"} 1"));
+        assert!(text.contains("odin_stage_encode_ms_count{stream=\"0\"} 3"));
+        assert!(text.contains("# timeline [stream 1] drift_detected 1 64 0"));
+        // Deterministic.
+        let a2 = sample_registry().snapshot();
+        let b2 = sample_registry().snapshot();
+        assert_eq!(
+            text,
+            render_prometheus_grouped(&[("0".to_string(), a2), ("1".to_string(), b2)])
+        );
     }
 
     #[test]

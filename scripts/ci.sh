@@ -66,12 +66,78 @@ if [ -z "$ADDR" ]; then
     kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 fi
-curl -fsS "http://$ADDR/metrics" | grep -q '^odin_frames_total'
+# grep -c (not -q): -q exits at the first match, racing curl's
+# remaining writes (EPIPE -> curl exit 23 under pipefail); -c drains
+# the whole stream and still fails when there is no match.
+curl -fsS "http://$ADDR/metrics" | grep -c '^odin_frames_total' >/dev/null
 curl -fsS "http://$ADDR/healthz" | jq -e '.status == "ok"' >/dev/null
 curl -fsS "http://$ADDR/trace" | jq -e '.traceEvents | length > 0' >/dev/null
 wait "$SERVE_PID"
 grep -q "store errors: 0" "$SMOKE_DIR/run.log"
 jq -e '.traceEvents | length > 0' "$SMOKE_DIR/table_telemetry_trace.json" >/dev/null
+
+# Multi-stream serving smoke: bring up the 4-stream OdinServer example,
+# let its client threads feed all four streams concurrently through the
+# real HTTP ingest route, and scrape the merged exposition: /healthz
+# must be live with 4 streams, and /metrics must carry per-stream
+# labeled serving gauges/counters for every shard.
+echo "==> multi-stream serving smoke (multistream_server example)"
+MS_DIR=/tmp/odin-ci-multistream
+rm -rf "$MS_DIR"
+mkdir -p "$MS_DIR"
+ODIN_SERVE_MS=15000 cargo run --release -p odin-core --example multistream_server \
+    >"$MS_DIR/run.log" &
+MS_PID=$!
+MS_ADDR=""
+for _ in $(seq 1 150); do
+    MS_ADDR=$(sed -n 's|^serving multistream at http://\([0-9.:]*\) .*|\1|p' "$MS_DIR/run.log")
+    [ -n "$MS_ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$MS_ADDR" ]; then
+    echo "error: multistream server never came up" >&2
+    cat "$MS_DIR/run.log" >&2
+    kill "$MS_PID" 2>/dev/null || true
+    exit 1
+fi
+# Wait for the in-process HTTP clients to finish feeding the streams.
+for _ in $(seq 1 150); do
+    grep -q '^http ingest: ' "$MS_DIR/run.log" && break
+    sleep 0.2
+done
+grep -q '^http ingest: 40 frames accepted across 4 streams' "$MS_DIR/run.log"
+curl -fsS "http://$MS_ADDR/healthz" | jq -e '.status == "ok" and .streams == 4' >/dev/null
+MS_METRICS=$(curl -fsS "http://$MS_ADDR/metrics")
+for s in 0 1 2 3; do
+    echo "$MS_METRICS" | grep -q "^odin_server_queue_depth{stream=\"$s\"}"
+    echo "$MS_METRICS" | grep -q "^odin_server_admitted_total{stream=\"$s\"} 50$"
+    echo "$MS_METRICS" | grep -q "^odin_frames_total{stream=\"$s\"}"
+done
+curl -fsS "http://$MS_ADDR/trace" | jq -e '.traceEvents | length > 0' >/dev/null
+wait "$MS_PID"
+
+# Multi-stream scaling gate: re-measure the sharded-serving table at
+# reduced scale (open-loop rates make the FPS columns scale-invariant)
+# and require (a) aggregate FPS within 30% of the committed baseline
+# per row and (b) the headline scaling property — 4 concurrent streams
+# deliver at least 1.5x the aggregate FPS of 1 stream at 4 tensor
+# threads (the committed table shows 4x; 1.5x absorbs CI noise).
+echo "==> bench gate (table_multistream vs results/table_multistream.json)"
+cargo run --release -p odin-bench --bin table_multistream -- \
+    --scale 0.3 --out /tmp/odin-ci-bench >/dev/null
+cp /tmp/odin-ci-bench/table_multistream.json results/BENCH_table_multistream.json
+cargo run --release -p odin-bench --bin bench_gate -- \
+    --baseline results/table_multistream.json \
+    --candidate results/BENCH_table_multistream.json \
+    --column 2 --max-drop-pct 30
+jq -e '
+  (.rows[] | select(.[0] == "1s/4t") | .[2] | tonumber) as $one
+  | (.rows[] | select(.[0] == "4s/4t") | .[2] | tonumber) as $four
+  | ($four / $one) >= 1.5
+' results/BENCH_table_multistream.json >/dev/null || {
+    echo "error: 4-stream aggregate FPS did not scale >= 1.5x over 1 stream" >&2
+    exit 1
+}
 
 # Benchmark regression gate: re-measure table 4 and require throughput
 # within 15% of the committed baseline (results/table4.json). The fresh
