@@ -177,10 +177,7 @@ fn bench_shared_registry(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let mut reg = ModelRegistry::new();
     for id in 0..8 {
-        reg.insert(
-            id,
-            ClusterModel { detector: Detector::small(48, &mut rng), kind: ModelKind::Specialized },
-        );
+        reg.insert(id, ClusterModel::new(Detector::small(48, &mut rng), ModelKind::Specialized));
     }
     let shared = reg.into_shared();
     c.bench_function("registry/shared_read_lookup", |b| {

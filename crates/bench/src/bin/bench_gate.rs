@@ -11,6 +11,12 @@
 //! Rows are matched by their first cell (the model / config label), so
 //! baseline and candidate may list rows in different orders. Drops are
 //! relative: a 625→550 FPS fall is a 12% drop. Improvements never fail.
+//!
+//! `--rows a,b,c` restricts the gate to the named baseline rows — use it
+//! to skip rows whose gated column is non-numeric (e.g. latency-only
+//! rows that print "-" for GFLOP/s). A negative `--max-drop-pct` demands
+//! an improvement: `--max-drop-pct -100` fails any candidate below 2×
+//! its baseline.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -22,6 +28,7 @@ struct GateArgs {
     candidate: PathBuf,
     column: usize,
     max_drop_pct: f64,
+    rows: Option<Vec<String>>,
 }
 
 fn parse_args() -> GateArgs {
@@ -29,6 +36,7 @@ fn parse_args() -> GateArgs {
     let mut candidate = None;
     let mut column = 2usize;
     let mut max_drop_pct = 15.0f64;
+    let mut rows = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| panic!("flag {flag} expects a value"));
@@ -39,8 +47,10 @@ fn parse_args() -> GateArgs {
             "--max-drop-pct" => {
                 max_drop_pct = value().parse().expect("--max-drop-pct expects a float")
             }
+            "--rows" => rows = Some(value().split(',').map(|s| s.trim().to_string()).collect()),
             other => panic!(
-                "unknown flag {other}; supported: --baseline --candidate --column --max-drop-pct"
+                "unknown flag {other}; supported: --baseline --candidate --column \
+                 --max-drop-pct --rows"
             ),
         }
     }
@@ -49,6 +59,7 @@ fn parse_args() -> GateArgs {
         candidate: candidate.expect("--candidate is required"),
         column,
         max_drop_pct,
+        rows,
     }
 }
 
@@ -59,8 +70,18 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
         parse_rows(&json).unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
     };
-    let base_rows = read(&args.baseline);
+    let mut base_rows = read(&args.baseline);
     let cand_rows = read(&args.candidate);
+    if let Some(wanted) = &args.rows {
+        base_rows.retain(|r| r.first().is_some_and(|label| wanted.iter().any(|w| w == label)));
+        for w in wanted {
+            assert!(
+                base_rows.iter().any(|r| r.first() == Some(w)),
+                "--rows names '{w}' but {} has no such row",
+                args.baseline.display()
+            );
+        }
+    }
 
     let rows = match gate(&base_rows, &cand_rows, args.column, args.max_drop_pct) {
         Ok(rows) => rows,

@@ -4,9 +4,16 @@
 //! YOLO-LITE 140 FPS / 35 MB — the specialized models are ~6× faster and
 //! ~7× smaller. Absolute numbers here are CPU-scale; the ratios are the
 //! reproduced result.
+//!
+//! The INT8 rows profile the same specialized/lite weights served
+//! through the quantized path (`ServePrecision::Int8`): Size is the
+//! actually-served int8 representation (~4× smaller), and the run ends
+//! with the same mAP gate the pipeline applies at install time.
 
 use odin_bench::report::{f2, Args, Table};
-use odin_detect::{profile, Detector};
+use odin_core::QUANT_MAP_DELTA;
+use odin_data::{SceneGen, Subset};
+use odin_detect::{profile, profile_quantized, Detector, QDetector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,6 +30,11 @@ fn main() {
     let ps = profile(&mut specialized, frames, 16);
     let pl = profile(&mut lite, frames, 16);
 
+    let q_spec = QDetector::quantize(&specialized).expect("Small detector quantizes");
+    let q_lite = QDetector::quantize(&lite).expect("Small detector quantizes");
+    let qs = profile_quantized(&q_spec, frames, 16);
+    let ql = profile_quantized(&q_lite, frames, 16);
+
     let mut t = Table::new(
         "table4",
         "Impact of Model Specialization on Performance and Memory Footprint",
@@ -32,6 +44,8 @@ fn main() {
         ("YOLO", "YoloSim (deep)", &ph),
         ("YOLO-SPECIALIZED", "pruned YoloSim", &ps),
         ("YOLO-LITE", "pruned YoloSim", &pl),
+        ("YOLO-SPECIALIZED-INT8", "pruned YoloSim, int8", &qs),
+        ("YOLO-LITE-INT8", "pruned YoloSim, int8", &ql),
     ] {
         t.row(vec![
             name.to_string(),
@@ -56,4 +70,28 @@ fn main() {
         ps.fps / ph.fps,
         ph.bytes as f32 / ps.bytes as f32
     );
+
+    // The pipeline's install-time quantization gate, applied to a
+    // briefly oracle-trained specialized model over held-out frames of
+    // its cluster's scene: int8 mAP must stay within QUANT_MAP_DELTA of
+    // f32. (The throughput rows above use untrained weights — speed and
+    // size don't depend on training, but the gate needs a model that
+    // actually detects.)
+    let gen = SceneGen::new(48);
+    let train = gen.subset_frames(&mut rng, Subset::Day, 120);
+    let eval = gen.subset_frames(&mut rng, Subset::Day, 30);
+    let mut trained = Detector::small(48, &mut rng);
+    trained.train_oracle(&mut rng, &train, 700, 8);
+    let q_trained = QDetector::quantize(&trained).expect("Small detector quantizes");
+    let f_map = trained.evaluate_map(&eval);
+    let q_map = q_trained.evaluate_map(&eval);
+    let pass = q_map + QUANT_MAP_DELTA >= f_map;
+    println!(
+        "int8 mAP gate: f32 {:.3} vs int8 {:.3} (delta budget {:.2}) ... {}",
+        f_map,
+        q_map,
+        QUANT_MAP_DELTA,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    assert!(pass, "int8 serving path fails the install-time mAP gate");
 }

@@ -1,7 +1,9 @@
-//! Tensor-backend micro-benchmark: GFLOP/s of the matmul kernels and the
-//! im2col convolution forward/backward, plus end-to-end DA-GAN encoding
-//! throughput. Used to record before/after numbers for the deterministic
-//! parallel backend (see README "Performance").
+//! Tensor-backend micro-benchmark: GFLOP/s of the matmul kernels (AVX2
+//! default and forced-scalar), the im2col convolution forward/backward,
+//! the int8 serving kernels, and end-to-end DA-GAN encoding throughput.
+//! Used to record before/after numbers for the deterministic parallel
+//! backend (see README "Performance"). For int8 rows the "GFLOP/s"
+//! column reports integer giga-ops/s on the same 2·m·k·n count.
 
 use std::time::Instant;
 
@@ -10,6 +12,8 @@ use odin_data::Image;
 use odin_gan::{DaGan, DaGanConfig};
 use odin_tensor::layers::Conv2d;
 use odin_tensor::ops::{matmul, matmul_nt, matmul_tn};
+use odin_tensor::qtensor::{dot_i8, quantize_activations, QConv2d};
+use odin_tensor::simd;
 use odin_tensor::{Layer, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,6 +87,39 @@ fn main() {
         ]);
     }
 
+    // The same kernels with SIMD forced off: the baseline the AVX2
+    // micro-kernels are measured against (and the bit-identity partner
+    // exercised by `ODIN_NO_SIMD=1` test runs).
+    simd::set_simd_enabled(false);
+    for (name, secs) in [
+        (
+            "matmul_scalar",
+            time_per_call(|| {
+                black_box(matmul(black_box(&a), black_box(&b)));
+            }),
+        ),
+        (
+            "matmul_nt_scalar",
+            time_per_call(|| {
+                black_box(matmul_nt(black_box(&a), black_box(&bt)));
+            }),
+        ),
+        (
+            "matmul_tn_scalar",
+            time_per_call(|| {
+                black_box(matmul_tn(black_box(&at), black_box(&b)));
+            }),
+        ),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{m}x{k}x{n}"),
+            format!("{:.2}", flops / secs / 1e9),
+            format!("{:.3}", secs * 1e3),
+        ]);
+    }
+    simd::reset_simd();
+
     // Square matmul (distillation/dense-heavy shape).
     let s = 256usize;
     let sq_a = rand_tensor(&mut rng, &[s, s]);
@@ -121,6 +158,53 @@ fn main() {
         "conv2d_fwd_bwd".into(),
         format!("{bsz}x{cin}x{hw}x{hw} k3->{cout}"),
         format!("{:.2}", 3.0 * conv_flops / secs / 1e9),
+        format!("{:.3}", secs * 1e3),
+    ]);
+
+    // Int8 serving kernels: the quantized direct NHWC convolution at a
+    // Small-detector interior-layer geometry, the madd dot product, and
+    // the activation quantizer that feeds both.
+    let (qin, qout, qh) = (16usize, 32usize, 24usize);
+    let fan_in = qin * 9;
+    let qw: Vec<f32> = (0..qout * fan_in).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let qb: Vec<f32> = (0..qout).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+    let qconv = QConv2d::new(&qw, &qb, qin, qout, 3, 1, 1, Some(0.1));
+    let qx: Vec<i8> = (0..qh * qh * qin).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+    let (oh, ow) = qconv.out_hw(qh, qh);
+    let qconv_flops = (2 * oh * ow * qout * fan_in) as f64;
+    let mut qout_buf = Vec::new();
+    let secs = time_per_call(|| {
+        black_box(qconv.forward_nhwc(black_box(&qx), 0.01, qh, qh, &mut qout_buf));
+    });
+    t.row(vec![
+        "conv2d_int8".into(),
+        format!("{qh}x{qh}x{qin} k3->{qout}"),
+        format!("{:.2}", qconv_flops / secs / 1e9),
+        format!("{:.3}", secs * 1e3),
+    ]);
+
+    let dn = 65536usize;
+    let da: Vec<i8> = (0..dn).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+    let db: Vec<i8> = (0..dn).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+    let secs = time_per_call(|| {
+        black_box(dot_i8(black_box(&da), black_box(&db)));
+    });
+    t.row(vec![
+        "dot_i8".into(),
+        format!("{dn}"),
+        format!("{:.2}", (2 * dn) as f64 / secs / 1e9),
+        format!("{:.3}", secs * 1e3),
+    ]);
+
+    let acts: Vec<f32> = (0..1 << 16).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
+    let mut qbuf = Vec::new();
+    let secs = time_per_call(|| {
+        black_box(quantize_activations(black_box(&acts), &mut qbuf));
+    });
+    t.row(vec![
+        "quantize_i8".into(),
+        format!("{} f32", acts.len()),
+        "-".into(),
         format!("{:.3}", secs * 1e3),
     ]);
 

@@ -76,9 +76,10 @@ pub use filter::BinaryFilter;
 pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};
 pub use pipeline::{
     FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy, NS_STRIDE,
+    QUANT_GATE_FRAMES, QUANT_MAP_DELTA,
 };
 pub use query::{count_accuracy, CountQuery};
-pub use registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
+pub use registry::{ClusterModel, ModelKind, ModelRegistry, ServePrecision, SharedRegistry};
 pub use selector::{select, Selection, SelectionPolicy};
 pub use server::{decode_ingest_frame, encode_ingest_frame, OdinServer, ServerConfig, SubmitError};
 pub use specializer::{Specializer, SpecializerConfig};

@@ -25,7 +25,7 @@ use odin_telemetry::{Level, SpanCtx, SpanGuard, TimelineStage, NO_PARENT};
 
 use crate::encoder::LatentEncoder;
 use crate::metrics::PipelineStats;
-use crate::registry::{ClusterModel, ModelKind, ModelRegistry, SharedRegistry};
+use crate::registry::{ClusterModel, ModelKind, ModelRegistry, ServePrecision, SharedRegistry};
 use crate::selector::{select, Selection, SelectionPolicy};
 use crate::specializer::{Specializer, SpecializerConfig};
 use crate::store::{
@@ -52,6 +52,17 @@ const ENCODE_CHUNK: usize = 64;
 /// coincide (and keeps the on-disk checkpoint format unchanged:
 /// snapshots always persist local ids).
 pub const NS_STRIDE: usize = 1 << 32;
+
+/// Largest mAP drop an int8-quantized model may show against its f32
+/// original on the install-time gate set before the install falls back
+/// to f32 serving (counted in `odin_quant_fallback_total`).
+pub const QUANT_MAP_DELTA: f32 = 0.05;
+
+/// How many of the cluster's training frames the int8 install gate
+/// evaluates. Bounds the (teacher-free) mAP check's cost; the gate set
+/// is the head of the very frames the model just trained on, so it is
+/// available in both inline and background installs.
+pub const QUANT_GATE_FRAMES: usize = 32;
 
 /// How oracle labels become available to SPECIALIZER (§7 discusses this
 /// constraint).
@@ -90,6 +101,10 @@ pub struct OdinConfig {
     /// novel data points" before the model is generated, with SELECTOR
     /// covering the gap from nearby clusters.
     pub min_train_frames: usize,
+    /// Numeric precision cluster models are served at. Under `Int8`,
+    /// installs quantize once and gate the swap on an mAP-delta check
+    /// ([`QUANT_MAP_DELTA`]); a failed gate serves f32 instead.
+    pub precision: ServePrecision,
 }
 
 impl Default for OdinConfig {
@@ -103,6 +118,7 @@ impl Default for OdinConfig {
             baseline_only: false,
             buffer_cap: 512,
             min_train_frames: 120,
+            precision: ServePrecision::F32,
         }
     }
 }
@@ -560,7 +576,10 @@ impl Odin {
                 };
                 let ctx = span.child_ctx();
                 let wall_ms = span.close();
-                self.install(TrainedModel { stream: 0, cluster_id, detector, kind, wall_ms, ctx });
+                self.install_with_gate(
+                    TrainedModel { stream: 0, cluster_id, detector, kind, wall_ms, ctx },
+                    Some(&frames),
+                );
             }
             Some(pool) => {
                 pool.submit(TrainJob {
@@ -577,9 +596,19 @@ impl Odin {
         }
     }
 
-    /// Installs one trained model, unless its cluster was evicted while
-    /// the model was training.
+    /// Installs one background-trained model: the retained job's frames
+    /// (kept for checkpointing) double as the int8 gate set.
     fn install(&mut self, model: TrainedModel) {
+        let retained = self.inflight.remove(&model.cluster_id);
+        self.install_with_gate(model, retained.as_ref().map(|j| j.frames.as_slice()));
+    }
+
+    /// Installs one trained model, unless its cluster was evicted while
+    /// the model was training. Under [`ServePrecision::Int8`] the model
+    /// is quantized here — once, at install time — and the swap is
+    /// gated on an mAP-delta check over `gate` (the frames it trained
+    /// on); a failed gate falls back to f32 serving.
+    fn install_with_gate(&mut self, model: TrainedModel, gate: Option<&[Frame]>) {
         self.training_pending.remove(&model.cluster_id);
         self.inflight.remove(&model.cluster_id);
         self.recovery.remove(&model.cluster_id);
@@ -588,8 +617,13 @@ impl Odin {
         if self.manager.cluster(model.cluster_id).is_none() {
             return; // evicted mid-training; drop the orphan model
         }
+        let mut cm = ClusterModel::new(model.detector, model.kind);
+        if self.cfg.precision == ServePrecision::Int8 {
+            self.quantize_gated(&mut cm, model.cluster_id, gate);
+        }
         if self.store.is_some() {
-            let p = encode_install(model.cluster_id, model.kind, &model.detector);
+            let quantized = cm.precision() == ServePrecision::Int8;
+            let p = encode_install(model.cluster_id, model.kind, &cm.detector, quantized);
             self.wal_append(&p, model.ctx);
         }
         let (counter, stage) = match model.kind {
@@ -610,11 +644,40 @@ impl Odin {
             model.cluster_id as i64,
             self.manager.seen() as i64,
         );
-        self.registry.write().insert(
-            self.gid(model.cluster_id),
-            ClusterModel { detector: model.detector, kind: model.kind },
-        );
+        self.registry.write().insert(self.gid(model.cluster_id), cm);
         self.stats.models_installed += 1;
+    }
+
+    /// Attempts int8 quantization of a freshly trained model, gated on
+    /// an mAP-delta check over up to [`QUANT_GATE_FRAMES`] of `gate`.
+    /// On a failed gate the model reverts to f32 and the fallback is
+    /// counted in `odin_quant_fallback_total`. With no gate frames the
+    /// quantization is accepted ungated (quantization is deterministic
+    /// and the delta bound holds in expectation; warm-start paths use
+    /// this).
+    fn quantize_gated(&mut self, cm: &mut ClusterModel, cluster_id: usize, gate: Option<&[Frame]>) {
+        if cm.quantize() != ServePrecision::Int8 {
+            return; // architecture not quantizable; keep serving f32
+        }
+        let frames = match gate {
+            Some(f) if !f.is_empty() => f,
+            _ => return,
+        };
+        let eval = &frames[..frames.len().min(QUANT_GATE_FRAMES)];
+        let q_map = cm.quant.as_ref().expect("quantized above").evaluate_map(eval);
+        let f_map = cm.detector.evaluate_map(eval);
+        if q_map + QUANT_MAP_DELTA < f_map {
+            cm.quant = None;
+            self.telemetry.quant_fallback.inc();
+            self.telemetry.event(
+                Level::Warn,
+                "quant",
+                format!(
+                    "cluster {cluster_id}: int8 mAP {q_map:.3} more than \
+                     {QUANT_MAP_DELTA} below f32 mAP {f_map:.3}; serving f32"
+                ),
+            );
+        }
     }
 
     /// Lands every background-trained model that has finished, without
@@ -668,7 +731,7 @@ impl Odin {
         let mut pool: Vec<Detection> = Vec::new();
         for &(id, w) in &selection.models {
             let model = registry.get(self.gid(id)).expect("selection filtered to existing models");
-            for mut d in model.detector.detect(&frame.image) {
+            for mut d in model.detect(&frame.image) {
                 // Rescale so a single selected model keeps its raw scores
                 // and ensemble members compete by weight.
                 d.score = (d.score * w * k).min(1.0);
@@ -692,6 +755,10 @@ impl Odin {
         let (lo, hi) = self.ns_range();
         self.telemetry.clusters.set(self.manager.clusters().len() as i64);
         self.telemetry.models.set(self.registry.read().count_in(lo, hi) as i64);
+        self.telemetry.serve_precision.set(match self.cfg.precision {
+            ServePrecision::F32 => 0,
+            ServePrecision::Int8 => 1,
+        });
         if let Some(pool) = &self.pool {
             self.telemetry.queue_depth.set(pool.queue_depth() as i64);
             self.telemetry.in_flight.set(pool.in_flight() as i64);
@@ -765,7 +832,11 @@ impl Odin {
     /// experiments that train specialized models offline, as §6.2's
     /// cluster bootstrap does).
     pub fn register_model(&mut self, cluster_id: usize, detector: Detector, kind: ModelKind) {
-        self.registry.write().insert(self.gid(cluster_id), ClusterModel { detector, kind });
+        let mut cm = ClusterModel::new(detector, kind);
+        if self.cfg.precision == ServePrecision::Int8 {
+            cm.quantize(); // warm start: no labelled gate set, accept ungated
+        }
+        self.registry.write().insert(self.gid(cluster_id), cm);
     }
 
     /// Bootstraps DETECTOR's clusters from a training stream without
@@ -847,7 +918,8 @@ impl Odin {
             let mut models = Vec::with_capacity(ids.len());
             for id in ids {
                 let m = registry.get(id).expect("id came from ids_in()");
-                models.push((id - self.ns_base, m.kind, &m.detector));
+                let quantized = m.precision() == ServePrecision::Int8;
+                models.push((id - self.ns_base, m.kind, &m.detector, quantized));
             }
             persist_registry_models(&models, &mut enc);
         }
@@ -1073,8 +1145,15 @@ impl Odin {
         odin.recovery = recovery;
         {
             let mut registry = odin.registry.write();
-            for (id, kind, detector) in models {
-                registry.insert(id, ClusterModel { detector, kind });
+            for (id, kind, detector, quantized) in models {
+                let mut cm = ClusterModel::new(detector, kind);
+                if quantized {
+                    // Quantization is deterministic: re-quantizing the
+                    // restored f32 weights reproduces the serving model
+                    // the writer had, bit for bit.
+                    cm.quantize();
+                }
+                registry.insert(id, cm);
             }
         }
         // Telemetry is optional for forward compatibility with
@@ -1151,11 +1230,13 @@ impl Odin {
                 self.inflight.remove(&cluster_id);
                 self.recovery.remove(&cluster_id);
             }
-            WalEvent::Install { cluster_id, kind, detector } => {
+            WalEvent::Install { cluster_id, kind, detector, quantized } => {
                 if self.manager.cluster(cluster_id).is_some() {
-                    self.registry
-                        .write()
-                        .insert(self.gid(cluster_id), ClusterModel { detector, kind });
+                    let mut cm = ClusterModel::new(detector, kind);
+                    if quantized {
+                        cm.quantize();
+                    }
+                    self.registry.write().insert(self.gid(cluster_id), cm);
                     self.pending.remove(&cluster_id);
                     self.training_pending.remove(&cluster_id);
                     self.inflight.remove(&cluster_id);
@@ -1479,6 +1560,86 @@ mod tests {
         odin.register_model(0, small, ModelKind::Specialized);
         assert_eq!(odin.memory_bytes(), small_bytes);
         assert!(teacher_bytes > small_bytes);
+    }
+
+    #[test]
+    fn int8_precision_shrinks_memory_and_marks_models() {
+        let cfg = OdinConfig { precision: ServePrecision::Int8, ..quick_cfg() };
+        let mut odin = new_odin(cfg);
+        let mut rng = StdRng::seed_from_u64(12);
+        let small = Detector::small(48, &mut rng);
+        let f32_bytes = small.param_bytes();
+        odin.register_model(0, small, ModelKind::Specialized);
+        // Served representation is int8: ~4x below the f32 weights.
+        assert!(
+            odin.memory_bytes() * 3 < f32_bytes,
+            "int8 memory {} not well below f32 {}",
+            odin.memory_bytes(),
+            f32_bytes
+        );
+        let reg = odin.registry();
+        let reg = reg.read();
+        assert_eq!(reg.get(0).expect("registered").precision(), ServePrecision::Int8);
+    }
+
+    #[test]
+    fn int8_stream_installs_gated_quantized_models() {
+        let cfg = OdinConfig { precision: ServePrecision::Int8, ..quick_cfg() };
+        let mut odin = new_odin(cfg);
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(2);
+        let night = gen.subset_frames(&mut rng, Subset::Night, 60);
+        let results = odin.process_stream(&night);
+        assert!(odin.model_count() > 0, "no model installed under Int8");
+        let last = results.last().expect("non-empty stream");
+        assert_ne!(last.served_by, ServedBy::Teacher, "model not serving after recovery");
+        // Every installed model either passed the gate (int8) or fell
+        // back (f32 + counted); with no fallbacks all must be int8.
+        let fallbacks = odin.telemetry().snapshot().counters.iter().fold(0u64, |acc, (n, v)| {
+            if n == "odin_quant_fallback_total" {
+                acc + v
+            } else {
+                acc
+            }
+        });
+        let reg = odin.registry();
+        let reg = reg.read();
+        let int8 = reg
+            .ids()
+            .into_iter()
+            .filter(|&id| reg.get(id).expect("listed").precision() == ServePrecision::Int8);
+        assert_eq!(
+            int8.count() as u64 + fallbacks,
+            reg.len() as u64,
+            "every install must be int8 or a counted fallback"
+        );
+    }
+
+    #[test]
+    fn int8_models_survive_checkpoint_roundtrip() {
+        let cfg = OdinConfig { precision: ServePrecision::Int8, ..quick_cfg() };
+        let mut odin = new_odin(cfg);
+        let gen = SceneGen::new(48);
+        let mut rng = StdRng::seed_from_u64(13);
+        odin.process_stream(&gen.subset_frames(&mut rng, Subset::Night, 60));
+        assert!(odin.model_count() > 0);
+        let path = std::env::temp_dir().join(format!("odin-int8-cp-{}.odst", std::process::id()));
+        odin.checkpoint(&path).unwrap();
+        let back = Odin::restore(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.cfg.precision, ServePrecision::Int8);
+        let a = odin.registry();
+        let a = a.read();
+        let b = back.registry();
+        let b = b.read();
+        assert_eq!(a.ids(), b.ids());
+        for id in a.ids() {
+            let ma = a.get(id).expect("listed");
+            let mb = b.get(id).expect("restored");
+            assert_eq!(ma.precision(), mb.precision(), "precision lost across restore");
+            assert_eq!(ma.serve_bytes(), mb.serve_bytes());
+        }
+        assert_eq!(odin.memory_bytes(), back.memory_bytes());
     }
 
     #[test]

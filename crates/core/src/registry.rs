@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use odin_detect::Detector;
+use odin_data::Image;
+use odin_detect::{Detection, Detector, QDetector};
 use parking_lot::RwLock;
 
 /// A registry shared between the serving path (readers) and the
@@ -21,12 +22,73 @@ pub enum ModelKind {
     Specialized,
 }
 
+/// Numeric precision a cluster model is served at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServePrecision {
+    /// Full-precision f32 weights (the trained representation).
+    #[default]
+    F32,
+    /// Per-channel symmetric int8 weights, quantized once at install
+    /// time and gated on an mAP-delta check (see
+    /// [`crate::pipeline::QUANT_MAP_DELTA`]).
+    Int8,
+}
+
 /// A cluster's model plus its provenance.
 pub struct ClusterModel {
-    /// The detector serving this cluster.
+    /// The detector serving this cluster (always kept: the trained
+    /// representation, and the fallback when quantization is rejected).
     pub detector: Detector,
     /// Lite or Specialized.
     pub kind: ModelKind,
+    /// The int8 serving engine, present when this model is served
+    /// quantized. `None` means f32 serving (precision F32, the heavy
+    /// architecture, or an install whose quantization failed the gate).
+    pub quant: Option<QDetector>,
+}
+
+impl ClusterModel {
+    /// An f32-served model.
+    pub fn new(detector: Detector, kind: ModelKind) -> Self {
+        ClusterModel { detector, kind, quant: None }
+    }
+
+    /// Attaches the int8 serving engine (quantizing the detector), if
+    /// the architecture supports it. Returns the precision actually in
+    /// effect afterwards. Quantization is deterministic, so calling this
+    /// after a checkpoint restore reproduces the serving model exactly.
+    pub fn quantize(&mut self) -> ServePrecision {
+        self.quant = QDetector::quantize(&self.detector);
+        self.precision()
+    }
+
+    /// The precision this model currently serves at.
+    pub fn precision(&self) -> ServePrecision {
+        if self.quant.is_some() {
+            ServePrecision::Int8
+        } else {
+            ServePrecision::F32
+        }
+    }
+
+    /// Runs detection at the serving precision.
+    pub fn detect(&self, image: &Image) -> Vec<Detection> {
+        match &self.quant {
+            Some(q) => q.detect(image),
+            None => self.detector.detect(image),
+        }
+    }
+
+    /// Bytes of the representation actually served — int8 weights +
+    /// scales when quantized, f32 weights otherwise. This is what the
+    /// deployment-footprint comparisons (Figure 1 / Tables 4 and 7)
+    /// report.
+    pub fn serve_bytes(&self) -> usize {
+        match &self.quant {
+            Some(q) => q.param_bytes(),
+            None => self.detector.param_bytes(),
+        }
+    }
 }
 
 /// Maps cluster ids to their models. Deterministic iteration order
@@ -104,16 +166,17 @@ impl ModelRegistry {
     }
 
     /// Combined memory footprint of all registered models in bytes —
-    /// ODIN's "memory footprint" in Figure 1 / Table 7.
+    /// ODIN's "memory footprint" in Figure 1 / Table 7. Counts the
+    /// *served* representation: int8 bytes for quantized models.
     pub fn total_bytes(&self) -> usize {
-        self.models.values().map(|m| m.detector.param_bytes()).sum()
+        self.models.values().map(ClusterModel::serve_bytes).sum()
     }
 
     /// Combined memory footprint of the models inside `[lo, hi)`, in
     /// bytes — one stream's deployment footprint within a shared
     /// registry.
     pub fn total_bytes_in(&self, lo: usize, hi: usize) -> usize {
-        self.models.range(lo..hi).map(|(_, m)| m.detector.param_bytes()).sum()
+        self.models.range(lo..hi).map(|(_, m)| m.serve_bytes()).sum()
     }
 }
 
@@ -132,7 +195,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut r = ModelRegistry::new();
         assert!(r.is_empty());
-        r.insert(3, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        r.insert(3, ClusterModel::new(small(&mut rng), ModelKind::Lite));
         assert_eq!(r.len(), 1);
         assert_eq!(r.kind(3), Some(ModelKind::Lite));
         assert!(r.get_mut(3).is_some());
@@ -144,8 +207,8 @@ mod tests {
     fn replacement_upgrades_lite_to_specialized() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut r = ModelRegistry::new();
-        r.insert(0, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
-        r.insert(0, ClusterModel { detector: small(&mut rng), kind: ModelKind::Specialized });
+        r.insert(0, ClusterModel::new(small(&mut rng), ModelKind::Lite));
+        r.insert(0, ClusterModel::new(small(&mut rng), ModelKind::Specialized));
         assert_eq!(r.len(), 1);
         assert_eq!(r.kind(0), Some(ModelKind::Specialized));
     }
@@ -156,8 +219,8 @@ mod tests {
         let mut r = ModelRegistry::new();
         let d = small(&mut rng);
         let per = d.param_bytes();
-        r.insert(0, ClusterModel { detector: d, kind: ModelKind::Lite });
-        r.insert(1, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        r.insert(0, ClusterModel::new(d, ModelKind::Lite));
+        r.insert(1, ClusterModel::new(small(&mut rng), ModelKind::Lite));
         assert_eq!(r.total_bytes(), 2 * per);
     }
 
@@ -166,7 +229,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut r = ModelRegistry::new();
         for id in [5, 1, 3] {
-            r.insert(id, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+            r.insert(id, ClusterModel::new(small(&mut rng), ModelKind::Lite));
         }
         assert_eq!(r.ids(), vec![1, 3, 5]);
     }
@@ -178,13 +241,51 @@ mod tests {
         let base = 1usize << 32;
         let d = small(&mut rng);
         let per = d.param_bytes();
-        r.insert(1, ClusterModel { detector: d, kind: ModelKind::Lite });
-        r.insert(base, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
-        r.insert(base + 2, ClusterModel { detector: small(&mut rng), kind: ModelKind::Lite });
+        r.insert(1, ClusterModel::new(d, ModelKind::Lite));
+        r.insert(base, ClusterModel::new(small(&mut rng), ModelKind::Lite));
+        r.insert(base + 2, ClusterModel::new(small(&mut rng), ModelKind::Lite));
         assert_eq!(r.ids_in(0, base), vec![1]);
         assert_eq!(r.ids_in(base, 2 * base), vec![base, base + 2]);
         assert_eq!(r.count_in(base, 2 * base), 2);
         assert_eq!(r.total_bytes_in(0, base), per);
         assert_eq!(r.total_bytes(), 3 * per);
+    }
+
+    #[test]
+    fn quantize_switches_precision_and_shrinks_serve_bytes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = ClusterModel::new(small(&mut rng), ModelKind::Specialized);
+        assert_eq!(m.precision(), ServePrecision::F32);
+        let f32_bytes = m.serve_bytes();
+        assert_eq!(m.quantize(), ServePrecision::Int8);
+        assert_eq!(m.precision(), ServePrecision::Int8);
+        assert!(
+            m.serve_bytes() * 3 < f32_bytes,
+            "int8 serve_bytes {} not well below f32 {}",
+            m.serve_bytes(),
+            f32_bytes
+        );
+    }
+
+    #[test]
+    fn heavy_model_stays_f32_after_quantize() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = ClusterModel::new(Detector::heavy(48, &mut rng), ModelKind::Specialized);
+        assert_eq!(m.quantize(), ServePrecision::F32);
+        assert!(m.quant.is_none());
+    }
+
+    #[test]
+    fn total_bytes_reports_served_representation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut r = ModelRegistry::new();
+        let d = small(&mut rng);
+        let f32_bytes = d.param_bytes();
+        let mut m = ClusterModel::new(d, ModelKind::Lite);
+        m.quantize();
+        let q_bytes = m.serve_bytes();
+        r.insert(0, m);
+        assert_eq!(r.total_bytes(), q_bytes);
+        assert!(r.total_bytes() * 3 < f32_bytes);
     }
 }

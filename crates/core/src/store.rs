@@ -43,7 +43,7 @@ use odin_telemetry::{
 use crate::encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 use crate::metrics::PipelineStats;
 use crate::pipeline::{OdinConfig, OracleLabels};
-use crate::registry::ModelKind;
+use crate::registry::{ModelKind, ServePrecision};
 use crate::selector::SelectionPolicy;
 use crate::specializer::SpecializerConfig;
 use crate::telemetry::Telemetry;
@@ -367,6 +367,10 @@ impl Persist for OdinConfig {
         enc.put_bool(self.baseline_only);
         enc.put_usize(self.buffer_cap);
         enc.put_usize(self.min_train_frames);
+        enc.put_u8(match self.precision {
+            ServePrecision::F32 => 0,
+            ServePrecision::Int8 => 1,
+        });
     }
 
     fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
@@ -403,6 +407,11 @@ impl Persist for OdinConfig {
             baseline_only: dec.take_bool("OdinConfig.baseline_only")?,
             buffer_cap: dec.take_usize("OdinConfig.buffer_cap")?,
             min_train_frames: dec.take_usize("OdinConfig.min_train_frames")?,
+            precision: match dec.take_u8("OdinConfig.precision")? {
+                0 => ServePrecision::F32,
+                1 => ServePrecision::Int8,
+                _ => return Err(StoreError::Malformed { context: "ServePrecision tag" }),
+            },
         })
     }
 }
@@ -611,7 +620,7 @@ pub(crate) fn restore_telemetry(
 pub(crate) enum WalEvent {
     Drift { event: DriftEvent, cluster: Cluster },
     Evict { cluster_id: usize },
-    Install { cluster_id: usize, kind: ModelKind, detector: Detector },
+    Install { cluster_id: usize, kind: ModelKind, detector: Detector, quantized: bool },
 }
 
 pub(crate) fn encode_drift(event: DriftEvent, cluster: &Cluster) -> Vec<u8> {
@@ -629,12 +638,21 @@ pub(crate) fn encode_evict(cluster_id: usize) -> Vec<u8> {
     enc.into_bytes()
 }
 
-pub(crate) fn encode_install(cluster_id: usize, kind: ModelKind, detector: &Detector) -> Vec<u8> {
+pub(crate) fn encode_install(
+    cluster_id: usize,
+    kind: ModelKind,
+    detector: &Detector,
+    quantized: bool,
+) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_u8(3);
     enc.put_usize(cluster_id);
     persist_model_kind(kind, &mut enc);
     persist_detector(detector, &mut enc);
+    // The f32 weights plus this flag fully determine the served model:
+    // quantization is deterministic, so replay re-quantizes instead of
+    // logging int8 bytes.
+    enc.put_bool(quantized);
     enc.into_bytes()
 }
 
@@ -650,6 +668,7 @@ pub(crate) fn decode_wal_event(payload: &[u8]) -> Result<WalEvent, StoreError> {
             cluster_id: dec.take_usize("WalEvent.cluster_id")?,
             kind: restore_model_kind(&mut dec)?,
             detector: restore_detector(&mut dec)?,
+            quantized: dec.take_bool("WalEvent.quantized")?,
         },
         _ => return Err(StoreError::Malformed { context: "WalEvent tag" }),
     };
@@ -662,25 +681,32 @@ pub(crate) fn decode_wal_event(payload: &[u8]) -> Result<WalEvent, StoreError> {
 // pipeline assembles them under its own locks)
 // ---------------------------------------------------------------------
 
-pub(crate) fn persist_registry_models(models: &[(usize, ModelKind, &Detector)], enc: &mut Encoder) {
+pub(crate) fn persist_registry_models(
+    models: &[(usize, ModelKind, &Detector, bool)],
+    enc: &mut Encoder,
+) {
     enc.put_usize(models.len());
-    for (id, kind, det) in models {
+    for (id, kind, det, quantized) in models {
         enc.put_usize(*id);
         persist_model_kind(*kind, enc);
         persist_detector(det, enc);
+        // Whether the model is served int8; restore re-quantizes the
+        // f32 weights deterministically instead of storing int8 bytes.
+        enc.put_bool(*quantized);
     }
 }
 
 pub(crate) fn restore_registry_models(
     dec: &mut Decoder<'_>,
-) -> Result<Vec<(usize, ModelKind, Detector)>, StoreError> {
+) -> Result<Vec<(usize, ModelKind, Detector, bool)>, StoreError> {
     let n = dec.take_usize("registry len")?;
     let mut out = Vec::with_capacity(n.min(1 << 12));
     for _ in 0..n {
         let id = dec.take_usize("registry id")?;
         let kind = restore_model_kind(dec)?;
         let det = restore_detector(dec)?;
-        out.push((id, kind, det));
+        let quantized = dec.take_bool("registry quantized")?;
+        out.push((id, kind, det, quantized));
     }
     Ok(out)
 }
@@ -930,11 +956,12 @@ mod tests {
         }
         let det = Detector::small(48, &mut rng);
         let params = det.export_params();
-        match decode_wal_event(&encode_install(2, ModelKind::Specialized, &det)).unwrap() {
-            WalEvent::Install { cluster_id, kind, detector } => {
+        match decode_wal_event(&encode_install(2, ModelKind::Specialized, &det, true)).unwrap() {
+            WalEvent::Install { cluster_id, kind, detector, quantized } => {
                 assert_eq!(cluster_id, 2);
                 assert_eq!(kind, ModelKind::Specialized);
                 assert_eq!(detector.export_params(), params);
+                assert!(quantized);
             }
             _ => panic!("expected install event"),
         }

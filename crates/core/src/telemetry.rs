@@ -72,12 +72,15 @@ pub struct Telemetry {
     pub(crate) snapshots: Counter,
     pub(crate) wal_appends: Counter,
     pub(crate) store_errors: Counter,
+    pub(crate) quant_fallback: Counter,
 
     // Gauges.
     pub(crate) clusters: Gauge,
     pub(crate) models: Gauge,
     pub(crate) queue_depth: Gauge,
     pub(crate) in_flight: Gauge,
+    /// Configured serving precision: 0 = f32, 1 = int8.
+    pub(crate) serve_precision: Gauge,
 
     // Stage latency histograms.
     pub(crate) stage_encode: Histogram,
@@ -117,10 +120,12 @@ impl Telemetry {
             snapshots: registry.counter("odin_snapshots_total"),
             wal_appends: registry.counter("odin_wal_appends_total"),
             store_errors: registry.counter("odin_store_errors_total"),
+            quant_fallback: registry.counter("odin_quant_fallback_total"),
             clusters: registry.gauge("odin_clusters"),
             models: registry.gauge("odin_models"),
             queue_depth: registry.gauge("odin_training_queue_depth"),
             in_flight: registry.gauge("odin_train_in_flight"),
+            serve_precision: registry.gauge("odin_serve_precision"),
             stage_encode: registry.histogram("odin_stage_encode_ms", &stage),
             stage_ingest: registry.histogram("odin_stage_ingest_ms", &stage),
             stage_select: registry.histogram("odin_stage_select_ms", &stage),

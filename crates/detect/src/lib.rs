@@ -16,9 +16,11 @@ pub mod map;
 pub mod model;
 pub mod nms;
 pub mod profile;
+pub mod qmodel;
 
 pub use head::{build_targets, decode, detector_loss, Detection, LossWeights, HEAD_CHANNELS};
 pub use map::{mean_average_precision, MAP_IOU};
 pub use model::{Detector, DetectorArch, DEFAULT_CONF, DEFAULT_NMS_IOU};
 pub use nms::nms;
-pub use profile::{profile, Profile};
+pub use profile::{profile, profile_quantized, Profile};
+pub use qmodel::QDetector;

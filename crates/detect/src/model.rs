@@ -49,6 +49,19 @@ impl fmt::Display for DetectorArch {
 pub const DEFAULT_CONF: f32 = 0.35;
 /// Default NMS IoU threshold.
 pub const DEFAULT_NMS_IOU: f32 = 0.45;
+/// Negative slope of the backbone activations (`LeakyRelu::default()`).
+pub(crate) const LEAKY_SLOPE: f32 = 0.2;
+
+/// The Small backbone's conv stack: `(in_c, out_c, kernel, stride, pad,
+/// fused leaky-ReLU)` per layer. [`Detector::small`] builds the f32 net
+/// from this table and `QDetector::quantize` uses it to slice the flat
+/// [`Detector::export_params`] buffer, so the two can never drift apart.
+pub(crate) const SMALL_CONVS: [(usize, usize, usize, usize, usize, bool); 4] = [
+    (3, 16, 3, 2, 1, true),
+    (16, 32, 3, 2, 1, true),
+    (32, 40, 3, 2, 1, true),
+    (40, HEAD_CHANNELS, 1, 1, 0, false),
+];
 
 /// A grid object detector.
 pub struct Detector {
@@ -105,14 +118,15 @@ impl Detector {
     /// (and batch norm, which these models never had to begin with).
     pub fn small(size: usize, rng: &mut StdRng) -> Self {
         assert_eq!(size % 8, 0, "frame size must be divisible by 8");
-        let net = Sequential::new()
-            .push(Conv2d::k3(3, 16, 2, rng))
-            .push(LeakyRelu::default())
-            .push(Conv2d::k3(16, 32, 2, rng))
-            .push(LeakyRelu::default())
-            .push(Conv2d::k3(32, 40, 2, rng))
-            .push(LeakyRelu::default())
-            .push(Conv2d::new(40, HEAD_CHANNELS, 1, 1, 0, rng));
+        // Activations are fused into the convs (no BN between conv and
+        // activation here, unlike the heavy backbone): same RNG draws,
+        // same parameter layout, bit-identical outputs — just one output
+        // sweep per conv instead of three on the serving hot path.
+        let mut net = Sequential::new();
+        for &(in_c, out_c, kernel, stride, pad, leaky) in SMALL_CONVS.iter() {
+            let conv = Conv2d::new(in_c, out_c, kernel, stride, pad, rng);
+            net = net.push(if leaky { conv.fuse_leaky_relu(LEAKY_SLOPE) } else { conv });
+        }
         Detector {
             net,
             arch: DetectorArch::Small,

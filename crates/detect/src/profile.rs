@@ -5,6 +5,7 @@ use std::time::Instant;
 use odin_data::Image;
 
 use crate::model::Detector;
+use crate::qmodel::QDetector;
 
 /// Measured performance profile of a detector.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,29 @@ pub fn profile(detector: &mut Detector, n_frames: usize, batch: usize) -> Profil
     let frames: Vec<Image> = (0..batch).map(|_| Image::new(3, s, s)).collect();
     let refs: Vec<&Image> = frames.iter().collect();
     // Warm-up pass (first-touch allocations).
+    let _ = detector.detect_batch(&refs);
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < n_frames {
+        let _ = detector.detect_batch(&refs);
+        done += batch;
+    }
+    let secs = start.elapsed().as_secs_f32().max(1e-9);
+    Profile {
+        fps: done as f32 / secs,
+        bytes: detector.param_bytes(),
+        params: detector.num_params(),
+    }
+}
+
+/// [`profile`] for an int8-quantized detector: same measurement
+/// protocol, with `bytes` reporting the actually-served int8
+/// representation.
+pub fn profile_quantized(detector: &QDetector, n_frames: usize, batch: usize) -> Profile {
+    assert!(n_frames > 0 && batch > 0, "need at least one frame and batch");
+    let s = detector.input_size();
+    let frames: Vec<Image> = (0..batch).map(|_| Image::new(3, s, s)).collect();
+    let refs: Vec<&Image> = frames.iter().collect();
     let _ = detector.detect_batch(&refs);
     let start = Instant::now();
     let mut done = 0usize;

@@ -13,6 +13,12 @@ use crate::tensor::Tensor;
 /// Input `[B, in_c, H, W]`, output `[B, out_c, H', W']`.
 /// Weights are stored flattened `[out_c, in_c * k * k]` for the im2col
 /// matmul.
+///
+/// An activation can be fused into the convolution's output pass (see
+/// [`Conv2d::fuse_relu`] / [`Conv2d::fuse_leaky_relu`]): bias add,
+/// activation, and the positions→NCHW repack then happen in one sweep
+/// instead of three, with values bit-identical to running the separate
+/// activation layer afterwards.
 pub struct Conv2d {
     in_c: usize,
     out_c: usize,
@@ -23,6 +29,9 @@ pub struct Conv2d {
     b: Tensor,
     dw: Tensor,
     db: Tensor,
+    /// Negative-side slope of a fused activation: `Some(0.0)` = ReLU,
+    /// `Some(a)` = LeakyReLU with slope `a`, `None` = linear output.
+    fused_act: Option<f32>,
     cache: Option<ConvCache>,
 }
 
@@ -30,6 +39,12 @@ struct ConvCache {
     cols: Tensor,
     geom: ConvGeom,
     batch: usize,
+    /// Sign of the fused activation's output (`out > 0`), recorded
+    /// during the training forward pass so backward can apply the
+    /// activation gradient before the convolution gradients. For
+    /// slope ≥ 0, `out > 0 ⇔ pre-activation > 0`, the same mask the
+    /// standalone activation layers compute from their input.
+    act_mask: Option<Vec<bool>>,
 }
 
 impl Conv2d {
@@ -54,6 +69,7 @@ impl Conv2d {
             b: Tensor::zeros(&[out_c]),
             dw: Tensor::zeros(&[out_c, fan_in]),
             db: Tensor::zeros(&[out_c]),
+            fused_act: None,
             cache: None,
         }
     }
@@ -61,6 +77,23 @@ impl Conv2d {
     /// Convenience constructor: 3×3 kernel, given stride, padding 1.
     pub fn k3(in_c: usize, out_c: usize, stride: usize, rng: &mut StdRng) -> Self {
         Self::new(in_c, out_c, 3, stride, 1, rng)
+    }
+
+    /// Fuses a ReLU into the output pass (replaces a following
+    /// `Relu` layer; bit-identical values).
+    pub fn fuse_relu(mut self) -> Self {
+        self.fused_act = Some(0.0);
+        self
+    }
+
+    /// Fuses a LeakyReLU with negative slope `alpha` into the output
+    /// pass (replaces a following `LeakyRelu` layer; bit-identical
+    /// values). `alpha` must be non-negative — the backward mask is
+    /// recovered from the output sign.
+    pub fn fuse_leaky_relu(mut self, alpha: f32) -> Self {
+        assert!(alpha >= 0.0, "fused activation slope must be non-negative");
+        self.fused_act = Some(alpha);
+        self
     }
 
     /// Output channels.
@@ -89,6 +122,9 @@ impl Conv2d {
 }
 
 /// Converts a `[B*OH*OW, C]` row-per-position matrix into `[B, C, OH, OW]`.
+/// The forward path fuses this repack into [`Conv2d::apply`]; kept as the
+/// reference implementation for the roundtrip test.
+#[cfg(test)]
 fn positions_to_nchw(m: &Tensor, batch: usize, c: usize, oh: usize, ow: usize) -> Tensor {
     debug_assert_eq!(m.shape(), &[batch * oh * ow, c]);
     let md = m.data();
@@ -124,20 +160,46 @@ fn nchw_to_positions(t: &Tensor) -> Tensor {
 }
 
 impl Conv2d {
-    /// The im2col matmul + bias shared by the training and inference
-    /// forward paths.
+    /// The im2col matmul shared by the training and inference forward
+    /// paths. Bias add, the fused activation (if any), and the
+    /// positions→NCHW repack happen in one output sweep.
     fn apply(&self, cols: &Tensor, geom: &ConvGeom, batch: usize) -> Tensor {
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        let mut pos = matmul_nt(cols, &self.w); // [B*OH*OW, out_c]
+        let pos = matmul_nt(cols, &self.w); // [B*OH*OW, out_c]
+        let md = pos.data();
         let bias = self.b.data();
-        {
-            let pd = pos.data_mut();
-            let oc = self.out_c;
-            for (i, v) in pd.iter_mut().enumerate() {
-                *v += bias[i % oc];
+        let oc = self.out_c;
+        let plane = oh * ow;
+        let mut out = scratch::take_raw(batch * oc * plane);
+        out.resize(batch * oc * plane, 0.0);
+        for bi in 0..batch {
+            let img = &mut out[bi * oc * plane..(bi + 1) * oc * plane];
+            for p in 0..plane {
+                let src = &md[(bi * plane + p) * oc..(bi * plane + p + 1) * oc];
+                match self.fused_act {
+                    None => {
+                        for (ch, &v) in src.iter().enumerate() {
+                            img[ch * plane + p] = v + bias[ch];
+                        }
+                    }
+                    // ReLU as max keeps +0.0 for negative inputs, exactly
+                    // like the standalone Relu layer (slope * v would
+                    // yield -0.0).
+                    Some(a) if a > 0.0 => {
+                        for (ch, &v) in src.iter().enumerate() {
+                            let s = v + bias[ch];
+                            img[ch * plane + p] = if s > 0.0 { s } else { a * s };
+                        }
+                    }
+                    Some(_) => {
+                        for (ch, &v) in src.iter().enumerate() {
+                            img[ch * plane + p] = (v + bias[ch]).max(0.0);
+                        }
+                    }
+                }
             }
         }
-        positions_to_nchw(&pos, batch, self.out_c, oh, ow)
+        Tensor::from_vec(out, &[batch, oc, oh, ow])
     }
 }
 
@@ -157,7 +219,8 @@ impl Layer for Conv2d {
         let cols = Tensor::from_vec(cols_buf, &[batch * geom.out_h() * geom.out_w(), patch]);
         let out = self.apply(&cols, &geom, batch);
         if train {
-            self.cache = Some(ConvCache { cols, geom, batch });
+            let act_mask = self.fused_act.map(|_| out.data().iter().map(|&v| v > 0.0).collect());
+            self.cache = Some(ConvCache { cols, geom, batch, act_mask });
         }
         out
     }
@@ -172,6 +235,21 @@ impl Layer for Conv2d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache =
             self.cache.as_ref().expect("Conv2d::backward called without a training forward pass");
+        // Apply the fused activation's gradient first — elementwise,
+        // exactly what the standalone Relu/LeakyRelu backward computes.
+        let masked;
+        let grad_out = if let (Some(a), Some(mask)) = (self.fused_act, cache.act_mask.as_ref()) {
+            let mut g = scratch::copy_of(grad_out.data());
+            for (gv, &m) in g.iter_mut().zip(mask.iter()) {
+                if !m {
+                    *gv = if a == 0.0 { 0.0 } else { a * *gv };
+                }
+            }
+            masked = Tensor::from_vec(g, grad_out.shape());
+            &masked
+        } else {
+            grad_out
+        };
         let g_pos = nchw_to_positions(grad_out); // [B*OH*OW, out_c]
                                                  // dW += Gᵀ · cols
         let dw = matmul_tn(&g_pos, &cache.cols);

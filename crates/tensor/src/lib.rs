@@ -61,7 +61,9 @@ pub mod loss;
 pub mod ops;
 pub mod optim;
 pub mod par;
+pub mod qtensor;
 pub mod scratch;
+pub mod simd;
 mod tensor;
 
 pub use layer::{Layer, Sequential};

@@ -15,6 +15,7 @@
 
 use crate::par;
 use crate::scratch;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Micro-kernel tile edge: output is computed in 4×4 register tiles.
@@ -44,9 +45,21 @@ fn run_row_blocks(
     }
 }
 
+/// NN chunk kernel: dispatches to the AVX2 micro-kernel when enabled,
+/// else the scalar 4×4 tiles. Both produce bit-identical results.
+fn matmul_chunk(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::simd_enabled() {
+        // Safety: simd_enabled() is true only when AVX2 was detected.
+        unsafe { simd::avx2::matmul_chunk(ad, bd, chunk, r0, k, n) };
+        return;
+    }
+    matmul_chunk_scalar(ad, bd, chunk, r0, k, n);
+}
+
 /// 4×4-blocked kernel for `out[r0..][..] = a[r0..] × b` where
 /// `a` is `[m, k]` row-major and `b` is `[k, n]` row-major.
-fn matmul_chunk(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
+fn matmul_chunk_scalar(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
     let rows = chunk.len() / n;
     let mut i = 0;
     while i < rows {
@@ -110,9 +123,28 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// NT chunk kernel: dispatches to the AVX2 panel-packed micro-kernel
+/// when enabled, else the scalar 4×4 tiles. Bit-identical either way.
+fn matmul_nt_chunk(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::simd_enabled() {
+        // Safety: simd_enabled() is true only when AVX2 was detected.
+        unsafe { simd::avx2::matmul_nt_chunk(ad, bd, chunk, r0, k, n) };
+        return;
+    }
+    matmul_nt_chunk_scalar(ad, bd, chunk, r0, k, n);
+}
+
 /// Dot-product kernel for `out[r0..][..] = a[r0..] × bᵀ` where
 /// `a` is `[m, k]` and `b` is `[n, k]`, both row-major.
-fn matmul_nt_chunk(ad: &[f32], bd: &[f32], chunk: &mut [f32], r0: usize, k: usize, n: usize) {
+fn matmul_nt_chunk_scalar(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    r0: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = chunk.len() / n;
     let mut i = 0;
     while i < rows {
@@ -180,9 +212,29 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// TN chunk kernel: dispatches to the AVX2 rank-1-update micro-kernel
+/// when enabled, else the scalar loop. Bit-identical either way.
+fn matmul_tn_chunk(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    r0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::simd_enabled() {
+        // Safety: simd_enabled() is true only when AVX2 was detected.
+        unsafe { simd::avx2::matmul_tn_chunk(ad, bd, chunk, r0, k, m, n) };
+        return;
+    }
+    matmul_tn_chunk_scalar(ad, bd, chunk, r0, k, m, n);
+}
+
 /// Column-strided kernel for `out[r0..][..] = aᵀ[r0..] × b` where
 /// `a` is `[k, m]` and `b` is `[k, n]`, both row-major.
-fn matmul_tn_chunk(
+fn matmul_tn_chunk_scalar(
     ad: &[f32],
     bd: &[f32],
     chunk: &mut [f32],
@@ -287,16 +339,22 @@ fn im2col_rows(data: &[f32], g: &ConvGeom, r0: usize, chunk: &mut [f32]) {
                     di += g.kernel;
                     continue;
                 }
+                // In-bounds kx range: 0 <= x0 + kx < in_w. Zero-fill the
+                // out-of-bounds edges, memcpy the contiguous middle —
+                // this is the vectorized form of a per-element bounds
+                // check and writes identical values.
                 let row_base = iy as usize * g.in_w;
-                for kx in 0..g.kernel {
-                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                    dst[di] = if ix >= 0 && ix < g.in_w as isize {
-                        chan[row_base + ix as usize]
-                    } else {
-                        0.0
-                    };
-                    di += 1;
+                let x0 = (ox * g.stride) as isize - g.pad as isize;
+                let kx_lo = (-x0).clamp(0, g.kernel as isize) as usize;
+                let kx_hi =
+                    (g.in_w as isize - x0).clamp(kx_lo as isize, g.kernel as isize) as usize;
+                dst[di..di + kx_lo].fill(0.0);
+                if kx_hi > kx_lo {
+                    let src = row_base + (x0 + kx_lo as isize) as usize;
+                    dst[di + kx_lo..di + kx_hi].copy_from_slice(&chan[src..src + (kx_hi - kx_lo)]);
                 }
+                dst[di + kx_hi..di + g.kernel].fill(0.0);
+                di += g.kernel;
             }
         }
     }

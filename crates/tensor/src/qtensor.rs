@@ -1,0 +1,605 @@
+//! Int8 quantized inference primitives.
+//!
+//! Quantization scheme (the standard symmetric-linear edge recipe):
+//!
+//! * **Weights** are quantized per output channel: each channel's scale
+//!   is `max_abs / 127`, values are rounded to nearest (ties to even —
+//!   the IEEE default, so the scalar `round_ties_even` and the AVX2
+//!   `roundps` produce identical bytes) and clamped to `[-127, 127]`.
+//!   Symmetric (no zero point) keeps the integer kernel a plain dot
+//!   product.
+//! * **Activations** are quantized per tensor with a dynamic scale
+//!   computed from the tensor's own max-abs at inference time
+//!   ([`quantize_activations`]), so no calibration set is needed.
+//! * **Accumulation** is exact `i32` (largest product is `127² =
+//!   16129`, so a reduction would need ~130 000 terms to overflow —
+//!   far beyond any layer here). Because integer addition is
+//!   associative, the SIMD and scalar integer kernels are *identical*,
+//!   not merely close.
+//! * **Requantization** back to f32 multiplies the accumulator by
+//!   `x_scale * w_scale[channel]` and adds the (f32) bias; an optional
+//!   leaky-ReLU slope is fused into the same pass.
+//!
+//! [`QConv2d`] deliberately does **not** use im2col: activations are
+//! kept in NHWC (channels-last) layout, where a `k×k` patch row is
+//! `k * C` *contiguous* bytes, so direct convolution is a handful of
+//! long int8 dot products per output position and the im2col
+//! gather/copy pass — over half the f32 serving cost — disappears
+//! entirely.
+
+use crate::simd;
+
+/// Quantizes one f32 value with round-to-nearest-even and the
+/// symmetric clamp. Ties-to-even matches the AVX2 `roundps` default, so
+/// the scalar and SIMD quantizers emit identical bytes.
+#[inline]
+fn q8(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8
+}
+
+/// Max absolute value of a slice (0.0 for an empty one). Dispatches to
+/// AVX2; `max` over `abs` is order-independent, so the paths agree
+/// exactly.
+pub fn max_abs(src: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd::simd_enabled() {
+        // Safety: simd_enabled() is true only when AVX2 was detected.
+        return unsafe { max_abs_avx2(src) };
+    }
+    src.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn max_abs_avx2(src: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let sp = src.as_ptr();
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc = _mm256_max_ps(acc, _mm256_and_ps(_mm256_loadu_ps(sp.add(i)), abs_mask));
+        i += 8;
+    }
+    let lo = _mm256_castps256_ps128(acc);
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let m = _mm_max_ps(lo, hi);
+    let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    let m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    let mut out = _mm_cvtss_f32(m);
+    for k in i..n {
+        out = out.max(src.get_unchecked(k).abs());
+    }
+    out
+}
+
+/// Quantizes `src` into `dst` (same length) with the given inverse
+/// scale: `dst[i] = clamp(round(src[i] * inv_scale))`. The AVX2 path
+/// (`roundps` + saturating packs) produces exactly the bytes the scalar
+/// path does.
+pub fn quantize_into(src: &[f32], inv_scale: f32, dst: &mut [i8]) {
+    assert_eq!(src.len(), dst.len(), "quantize_into length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::simd_enabled() {
+        // Safety: simd_enabled() is true only when AVX2 was detected.
+        unsafe { quantize_into_avx2(src, inv_scale, dst) };
+        return;
+    }
+    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+        *d = q8(v, inv_scale);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_into_avx2(src: &[f32], inv_scale: f32, dst: &mut [i8]) {
+    use std::arch::x86_64::*;
+    const NEAREST: i32 = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr();
+    let invv = _mm256_set1_ps(inv_scale);
+    let lov = _mm256_set1_ps(-127.0);
+    let hiv = _mm256_set1_ps(127.0);
+    macro_rules! quant8 {
+        ($off:expr) => {{
+            let t = _mm256_mul_ps(_mm256_loadu_ps(sp.add($off)), invv);
+            let t = _mm256_round_ps::<NEAREST>(t);
+            let t = _mm256_min_ps(_mm256_max_ps(t, lov), hiv);
+            _mm256_cvtps_epi32(t)
+        }};
+    }
+    let mut i = 0;
+    while i + 32 <= n {
+        let q0 = quant8!(i);
+        let q1 = quant8!(i + 8);
+        let q2 = quant8!(i + 16);
+        let q3 = quant8!(i + 24);
+        // packs interleaves 128-bit lanes; the permute restores source
+        // order (dword j of the packed result holds elements 4j..4j+3).
+        let p01 = _mm256_packs_epi32(q0, q1);
+        let p23 = _mm256_packs_epi32(q2, q3);
+        let b = _mm256_packs_epi16(p01, p23);
+        let idx = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let b = _mm256_permutevar8x32_epi32(b, idx);
+        _mm256_storeu_si256(dp.add(i).cast(), b);
+        i += 32;
+    }
+    for k in i..n {
+        *dst.get_unchecked_mut(k) = q8(*src.get_unchecked(k), inv_scale);
+    }
+}
+
+/// Per-tensor symmetric quantization of activations into `dst`
+/// (resized to match). Returns the scale such that
+/// `src[i] ≈ dst[i] as f32 * scale`; an all-zero tensor gets scale 1.
+pub fn quantize_activations(src: &[f32], dst: &mut Vec<i8>) -> f32 {
+    let max = max_abs(src);
+    let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+    dst.clear();
+    dst.resize(src.len(), 0);
+    quantize_into(src, 1.0 / scale, dst);
+    scale
+}
+
+/// Int8 dot product with an i32 accumulator. Dispatches to the AVX2
+/// `madd` kernel when enabled; the scalar reduction computes the exact
+/// same integer, so the paths are interchangeable.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd::simd_enabled() {
+        // Safety: simd_enabled() is true only when AVX2 was detected,
+        // and the pointers cover exactly `len` elements.
+        return unsafe { simd::avx2::dot_i8(a.as_ptr(), b.as_ptr(), a.len()) };
+    }
+    a.iter().zip(b.iter()).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum()
+}
+
+/// Quantizes an `[rows, cols]` f32 weight matrix per row (= per output
+/// channel). Returns the i8 matrix and one scale per row.
+fn quantize_rows(w: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(w.len(), rows * cols, "weight matrix shape mismatch");
+    let mut q = Vec::with_capacity(rows * cols);
+    let mut scales = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let inv = 1.0 / scale;
+        q.extend(row.iter().map(|&v| q8(v, inv)));
+        scales.push(scale);
+    }
+    (q, scales)
+}
+
+/// An int8 fully-connected layer: per-row quantized weights, f32 bias.
+pub struct QDense {
+    in_f: usize,
+    out_f: usize,
+    w: Vec<i8>,
+    w_scale: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl QDense {
+    /// Quantizes an f32 dense layer given its `[out_f, in_f]` row-major
+    /// weights and `out_f` biases.
+    pub fn new(w: &[f32], bias: &[f32], in_f: usize, out_f: usize) -> Self {
+        assert_eq!(bias.len(), out_f, "bias length mismatch");
+        let (w, w_scale) = quantize_rows(w, out_f, in_f);
+        QDense { in_f, out_f, w, w_scale, bias: bias.to_vec() }
+    }
+
+    /// Forward for a batch of rows: quantizes `x` (`[rows, in_f]`),
+    /// runs the int8 matmul, requantizes into `out` (`[rows, out_f]`).
+    pub fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(x.len() % self.in_f, 0, "input is not a multiple of in_f");
+        let rows = x.len() / self.in_f;
+        let mut xq = Vec::new();
+        let x_scale = quantize_activations(x, &mut xq);
+        out.clear();
+        out.reserve(rows * self.out_f);
+        for r in 0..rows {
+            let xr = &xq[r * self.in_f..(r + 1) * self.in_f];
+            for o in 0..self.out_f {
+                let wr = &self.w[o * self.in_f..(o + 1) * self.in_f];
+                let acc = dot_i8(xr, wr);
+                out.push(acc as f32 * (x_scale * self.w_scale[o]) + self.bias[o]);
+            }
+        }
+    }
+
+    /// Bytes of the served representation: i8 weights + f32 scales +
+    /// f32 biases.
+    pub fn param_bytes(&self) -> usize {
+        self.w.len() + 4 * (self.w_scale.len() + self.bias.len())
+    }
+}
+
+/// An int8 2-D convolution over NHWC activations: direct (no im2col),
+/// square kernel, uniform stride, zero padding, optional fused
+/// leaky-ReLU.
+///
+/// Per output position the kernel window is gathered once into a
+/// contiguous zero-padded patch buffer (`k` short memcpys of int8 —
+/// this is all that remains of im2col), and every output channel is
+/// then one unbroken int8 dot over the padded length, so the AVX2
+/// `madd` pipeline never sees a ragged tail or an edge case.
+pub struct QConv2d {
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Patch length `in_c * k * k`.
+    l: usize,
+    /// `l` rounded up to a multiple of 16 (one `madd` step); weight
+    /// rows and the patch buffer are zero-padded to this length.
+    l_pad: usize,
+    /// `[out_c][l_pad]`, patch order `[ky][kx][ic]` (channels-last).
+    w: Vec<i8>,
+    w_scale: Vec<f32>,
+    bias: Vec<f32>,
+    /// Fused activation negative slope (`Some(0.0)` = ReLU, `None` =
+    /// linear), matching `Conv2d`'s fused activation.
+    act: Option<f32>,
+}
+
+impl QConv2d {
+    /// Quantizes an f32 convolution given its `[out_c, in_c * k * k]`
+    /// row-major weights in im2col patch order (`[ic][ky][kx]`, the
+    /// `Conv2d` storage layout) and `out_c` biases. Weights are
+    /// reordered to channels-last `[ky][kx][ic]` for the NHWC kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        w: &[f32],
+        bias: &[f32],
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        act: Option<f32>,
+    ) -> Self {
+        let fan_in = in_c * kernel * kernel;
+        assert_eq!(w.len(), out_c * fan_in, "conv weight shape mismatch");
+        assert_eq!(bias.len(), out_c, "bias length mismatch");
+        if let Some(a) = act {
+            assert!(a >= 0.0, "fused activation slope must be non-negative");
+        }
+        // [ic][ky][kx] → [ky][kx][ic], per output channel.
+        let mut nhwc = vec![0.0f32; w.len()];
+        for o in 0..out_c {
+            for ic in 0..in_c {
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        let src = o * fan_in + (ic * kernel + ky) * kernel + kx;
+                        let dst = o * fan_in + (ky * kernel + kx) * in_c + ic;
+                        nhwc[dst] = w[src];
+                    }
+                }
+            }
+        }
+        let l = fan_in;
+        let l_pad = l.div_ceil(16) * 16;
+        let mut wq = vec![0i8; out_c * l_pad];
+        let mut w_scale = Vec::with_capacity(out_c);
+        for o in 0..out_c {
+            let row = &nhwc[o * l..(o + 1) * l];
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            let inv = 1.0 / scale;
+            for (i, &v) in row.iter().enumerate() {
+                wq[o * l_pad + i] = q8(v, inv);
+            }
+            w_scale.push(scale);
+        }
+        QConv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            l,
+            l_pad,
+            w: wq,
+            w_scale,
+            bias: bias.to_vec(),
+            act,
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Spatial output size for an `h`×`w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Copies the kernel window at `(oy, ox)` into `patch`
+    /// (`l_pad` long, tail already zero): `k` contiguous NHWC row runs,
+    /// with out-of-bounds (zero-padding) regions cleared. Zero terms
+    /// contribute nothing to the integer dot, so this is exact.
+    #[inline(always)]
+    fn gather_patch(&self, x: &[i8], h: usize, w: usize, oy: usize, ox: usize, patch: &mut [i8]) {
+        let (k, c) = (self.kernel, self.in_c);
+        let y0 = (oy * self.stride) as isize - self.pad as isize;
+        let x0 = (ox * self.stride) as isize - self.pad as isize;
+        let ky_lo = (-y0).clamp(0, k as isize) as usize;
+        let ky_hi = (h as isize - y0).clamp(ky_lo as isize, k as isize) as usize;
+        let kx_lo = (-x0).clamp(0, k as isize) as usize;
+        let kx_hi = (w as isize - x0).clamp(kx_lo as isize, k as isize) as usize;
+        let interior = ky_lo == 0 && ky_hi == k && kx_lo == 0 && kx_hi == k;
+        if !interior {
+            patch[..self.l].fill(0);
+        }
+        let run = (kx_hi - kx_lo) * c;
+        for ky in ky_lo..ky_hi {
+            let iy = (y0 + ky as isize) as usize;
+            let src = ((iy * w) as isize + x0 + kx_lo as isize) as usize * c;
+            let doff = (ky * k + kx_lo) * c;
+            patch[doff..doff + run].copy_from_slice(&x[src..src + run]);
+        }
+    }
+
+    /// Requantize + bias + fused activation for one accumulator.
+    #[inline(always)]
+    fn finish(&self, acc: i32, m: f32, bias: f32) -> f32 {
+        let s = acc as f32 * m + bias;
+        match self.act {
+            None => s,
+            Some(a) if a > 0.0 => {
+                if s > 0.0 {
+                    s
+                } else {
+                    a * s
+                }
+            }
+            Some(_) => s.max(0.0),
+        }
+    }
+
+    /// Scalar conv body — the portable fallback, and the reference the
+    /// AVX2 body must match exactly (it does: integer accumulation is
+    /// order-independent and the requantization arithmetic is
+    /// identical).
+    #[allow(clippy::too_many_arguments)]
+    fn forward_body_scalar(
+        &self,
+        x: &[i8],
+        h: usize,
+        w: usize,
+        m: &[f32],
+        out: &mut [f32],
+        oh: usize,
+        ow: usize,
+        patch: &mut [i8],
+    ) {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                self.gather_patch(x, h, w, oy, ox, patch);
+                let dst = &mut out[(oy * ow + ox) * self.out_c..(oy * ow + ox + 1) * self.out_c];
+                for (o, d) in dst.iter_mut().enumerate() {
+                    let wrow = &self.w[o * self.l_pad..o * self.l_pad + self.l];
+                    let acc: i32 = patch[..self.l]
+                        .iter()
+                        .zip(wrow.iter())
+                        .map(|(&a, &b)| i32::from(a) * i32::from(b))
+                        .sum();
+                    *d = self.finish(acc, m[o], self.bias[o]);
+                }
+            }
+        }
+    }
+
+    /// AVX2 conv body: one compilation unit so the gather, the `madd`
+    /// dot, and requantization all inline together.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn forward_body_avx2(
+        &self,
+        x: &[i8],
+        h: usize,
+        w: usize,
+        m: &[f32],
+        out: &mut [f32],
+        oh: usize,
+        ow: usize,
+        patch: &mut [i8],
+    ) {
+        use std::arch::x86_64::*;
+        let oc4 = self.out_c / 4 * 4;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                self.gather_patch(x, h, w, oy, ox, patch);
+                let pp = patch.as_ptr();
+                let dst = &mut out[(oy * ow + ox) * self.out_c..(oy * ow + ox + 1) * self.out_c];
+                // Four output channels per pass share each patch load.
+                let mut o = 0;
+                while o < oc4 {
+                    let w0 = self.w.as_ptr().add(o * self.l_pad);
+                    let w1 = w0.add(self.l_pad);
+                    let w2 = w1.add(self.l_pad);
+                    let w3 = w2.add(self.l_pad);
+                    let mut a0 = _mm256_setzero_si256();
+                    let mut a1 = _mm256_setzero_si256();
+                    let mut a2 = _mm256_setzero_si256();
+                    let mut a3 = _mm256_setzero_si256();
+                    let mut i = 0;
+                    while i < self.l_pad {
+                        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(pp.add(i).cast()));
+                        let b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w0.add(i).cast()));
+                        a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(av, b0));
+                        let b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w1.add(i).cast()));
+                        a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(av, b1));
+                        let b2 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w2.add(i).cast()));
+                        a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(av, b2));
+                        let b3 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w3.add(i).cast()));
+                        a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(av, b3));
+                        i += 16;
+                    }
+                    // Horizontal-sum all four accumulators at once:
+                    // after two hadd rounds dword j of each lane is one
+                    // channel's partial sum; adding the lanes finishes.
+                    let s01 = _mm256_hadd_epi32(a0, a1);
+                    let s23 = _mm256_hadd_epi32(a2, a3);
+                    let s = _mm256_hadd_epi32(s01, s23);
+                    let acc4 =
+                        _mm_add_epi32(_mm256_castsi256_si128(s), _mm256_extracti128_si256(s, 1));
+                    let mut accs = [0i32; 4];
+                    _mm_storeu_si128(accs.as_mut_ptr().cast(), acc4);
+                    for j in 0..4 {
+                        dst[o + j] = self.finish(accs[j], m[o + j], self.bias[o + j]);
+                    }
+                    o += 4;
+                }
+                // Remaining channels (out_c not a multiple of 4).
+                for o in oc4..self.out_c {
+                    let wp = self.w.as_ptr().add(o * self.l_pad);
+                    let mut acc = _mm256_setzero_si256();
+                    let mut i = 0;
+                    while i < self.l_pad {
+                        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(pp.add(i).cast()));
+                        let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(wp.add(i).cast()));
+                        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+                        i += 16;
+                    }
+                    let lo = _mm256_castsi256_si128(acc);
+                    let hi = _mm256_extracti128_si256(acc, 1);
+                    let s = _mm_add_epi32(lo, hi);
+                    let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+                    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 1));
+                    dst[o] = self.finish(_mm_cvtsi128_si32(s), m[o], self.bias[o]);
+                }
+            }
+        }
+    }
+
+    /// Direct NHWC convolution of one image: `x` is `[h][w][in_c]` i8
+    /// with per-tensor scale `x_scale`; writes `[oh][ow][out_c]` f32
+    /// into `out` (resized), with bias and the fused activation
+    /// applied. The SIMD and scalar bodies produce identical results.
+    pub fn forward_nhwc(
+        &self,
+        x: &[i8],
+        x_scale: f32,
+        h: usize,
+        w: usize,
+        out: &mut Vec<f32>,
+    ) -> (usize, usize) {
+        assert_eq!(x.len(), h * w * self.in_c, "input shape mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        out.clear();
+        out.resize(oh * ow * self.out_c, 0.0);
+        // Per-channel requantization multipliers for this input scale.
+        let m: Vec<f32> = self.w_scale.iter().map(|&s| s * x_scale).collect();
+        let mut patch = vec![0i8; self.l_pad];
+        #[cfg(target_arch = "x86_64")]
+        if simd::simd_enabled() {
+            // Safety: simd_enabled() is true only when AVX2 was detected.
+            unsafe { self.forward_body_avx2(x, h, w, &m, out, oh, ow, &mut patch) };
+            return (oh, ow);
+        }
+        self.forward_body_scalar(x, h, w, &m, out, oh, ow, &mut patch);
+        (oh, ow)
+    }
+
+    /// Bytes of the served representation: i8 weights (unpadded) +
+    /// f32 scales + f32 biases.
+    pub fn param_bytes(&self) -> usize {
+        self.out_c * self.l + 4 * (self.w_scale.len() + self.bias.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let src: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let mut q = Vec::new();
+        let scale = quantize_activations(&src, &mut q);
+        let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (&v, &qi) in src.iter().zip(q.iter()) {
+            let back = f32::from(qi) * scale;
+            assert!((v - back).abs() <= scale * 0.5 + 1e-6, "error beyond half a step");
+            let _ = max_abs;
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero_with_unit_scale() {
+        let mut q = Vec::new();
+        let scale = quantize_activations(&[0.0; 8], &mut q);
+        assert_eq!(scale, 1.0);
+        assert!(q.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_reduction() {
+        let a: Vec<i8> = (0..100).map(|i| ((i * 37) % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..100).map(|i| ((i * 91) % 255 - 127) as i8).collect();
+        let expect: i32 = a.iter().zip(b.iter()).map(|(&x, &y)| i32::from(x) * i32::from(y)).sum();
+        assert_eq!(dot_i8(&a, &b), expect);
+    }
+
+    #[test]
+    fn qdense_approximates_f32_matmul() {
+        let (inf, outf) = (16, 4);
+        let w: Vec<f32> = (0..inf * outf).map(|i| ((i as f32) * 0.13).sin() * 0.5).collect();
+        let bias = vec![0.1, -0.2, 0.3, 0.0];
+        let x: Vec<f32> = (0..inf * 2).map(|i| ((i as f32) * 0.7).cos()).collect();
+        let qd = QDense::new(&w, &bias, inf, outf);
+        let mut got = Vec::new();
+        qd.forward(&x, &mut got);
+        for r in 0..2 {
+            for o in 0..outf {
+                let mut acc = bias[o];
+                for i in 0..inf {
+                    acc += x[r * inf + i] * w[o * inf + i];
+                }
+                let g = got[r * outf + o];
+                assert!((g - acc).abs() < 0.05, "row {r} out {o}: {g} vs {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn qconv_1x1_identity_passes_through_with_quant_noise() {
+        // 1x1 kernel, identity weight on 1 channel: y ≈ x.
+        let qc = QConv2d::new(&[1.0], &[0.0], 1, 1, 1, 1, 0, None);
+        let x_f: Vec<f32> = vec![0.5, -1.0, 0.25, 1.0];
+        let mut xq = Vec::new();
+        let s = quantize_activations(&x_f, &mut xq);
+        let mut out = Vec::new();
+        let (oh, ow) = qc.forward_nhwc(&xq, s, 2, 2, &mut out);
+        assert_eq!((oh, ow), (2, 2));
+        for (a, b) in out.iter().zip(x_f.iter()) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qconv_serving_bytes_shrink_4x() {
+        let fan = 3 * 3 * 16;
+        let w = vec![0.5f32; 32 * fan];
+        let b = vec![0.0f32; 32];
+        let qc = QConv2d::new(&w, &b, 16, 32, 3, 2, 1, Some(0.2));
+        let f32_bytes = (32 * fan + 32) * 4;
+        assert!(qc.param_bytes() * 3 < f32_bytes, "int8 model not ~4x smaller");
+    }
+}

@@ -1,0 +1,187 @@
+//! The SIMD dispatch contract: the AVX2 micro-kernels are bit-identical
+//! to the scalar kernels on every shape (including ragged tails narrower
+//! than one vector register), the fused conv+ReLU pass matches the
+//! unfused conv followed by a standalone activation, and the int8
+//! quantizer is exact to half a quantization step with byte-identical
+//! SIMD and scalar paths.
+//!
+//! These tests flip the process-global SIMD knob, so each one serializes
+//! on a shared mutex and restores the default dispatch through an RAII
+//! guard. On CPUs without AVX2 both "paths" are scalar and the identity
+//! assertions hold trivially.
+
+use odin_tensor::layers::Conv2d;
+use odin_tensor::ops::{matmul, matmul_nt, matmul_tn};
+use odin_tensor::qtensor::{dot_i8, quantize_activations, QConv2d};
+use odin_tensor::simd;
+use odin_tensor::{Layer, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Holds the SIMD knob lock and restores default dispatch on drop.
+struct SimdGuard<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+impl SimdGuard<'_> {
+    fn acquire() -> Self {
+        let lock = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        SimdGuard { _lock: lock }
+    }
+}
+
+impl Drop for SimdGuard<'_> {
+    fn drop(&mut self) {
+        simd::reset_simd();
+    }
+}
+
+fn rand_tensor(rng: &mut StdRng, shape: &[usize]) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec((0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect(), shape)
+}
+
+/// Runs `f` with SIMD forced off then on and asserts the two tensors are
+/// bit-identical.
+fn assert_simd_invariant(f: impl Fn() -> Tensor) {
+    simd::set_simd_enabled(false);
+    let scalar = f();
+    simd::set_simd_enabled(true);
+    let vector = f();
+    assert_eq!(scalar.shape(), vector.shape());
+    assert_eq!(scalar.data(), vector.data(), "SIMD result differs from scalar");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The matmul family is bit-identical across dispatch paths on
+    /// arbitrary shapes. `n` ranges across the 8-wide panel boundary so
+    /// ragged column tails (n % 8 != 0) and sub-panel widths (n < 8)
+    /// are both exercised.
+    #[test]
+    fn matmul_family_is_simd_invariant(
+        m in 1usize..24,
+        k in 1usize..40,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let _g = SimdGuard::acquire();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_tensor(&mut rng, &[m, k]);
+        let b = rand_tensor(&mut rng, &[k, n]);
+        let b_t = rand_tensor(&mut rng, &[n, k]);
+        let a_t = rand_tensor(&mut rng, &[k, m]);
+        assert_simd_invariant(|| matmul(&a, &b));
+        assert_simd_invariant(|| matmul_nt(&a, &b_t));
+        assert_simd_invariant(|| matmul_tn(&a_t, &b));
+    }
+
+    /// The fused conv+activation sweep equals the unfused convolution
+    /// followed by a standalone elementwise activation — bit for bit,
+    /// on both dispatch paths (ReLU-as-max keeps +0.0 for negatives,
+    /// matching the fused kernel's blend).
+    #[test]
+    fn fused_conv_relu_matches_unfused(
+        batch in 1usize..3,
+        in_c in 1usize..3,
+        out_c in 1usize..6,
+        hw in 3usize..9,
+        steep in (0usize..2).prop_map(|i| i == 1),
+        seed in 0u64..1000,
+    ) {
+        let _g = SimdGuard::acquire();
+        let slope = if steep { 0.1f32 } else { 0.0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = rand_tensor(&mut rng, &[batch, in_c, hw, hw]);
+        for simd_on in [false, true] {
+            simd::set_simd_enabled(simd_on);
+            let plain = Conv2d::k3(in_c, out_c, 1, &mut StdRng::seed_from_u64(seed ^ 0xF));
+            let fused = Conv2d::k3(in_c, out_c, 1, &mut StdRng::seed_from_u64(seed ^ 0xF))
+                .fuse_leaky_relu(slope);
+            let y = plain.infer(&x);
+            let want: Vec<f32> =
+                y.data().iter().map(|&v| if v > 0.0 { v } else { slope * v }).collect();
+            let got = fused.infer(&x);
+            prop_assert_eq!(
+                got.data(),
+                &want[..],
+                "fused activation diverges (simd={})", simd_on
+            );
+        }
+    }
+
+    /// Quantize→dequantize round-trip error is bounded by half a
+    /// quantization step for every element, and the quantized bytes are
+    /// identical on both dispatch paths (ties-to-even rounding on each).
+    #[test]
+    fn quantize_roundtrip_and_paths_agree(
+        n in 1usize..200,
+        scale_mag in 0.01f32..8.0,
+        seed in 0u64..1000,
+    ) {
+        let _g = SimdGuard::acquire();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src: Vec<f32> = (0..n).map(|_| rng.gen_range(-scale_mag..scale_mag)).collect();
+
+        simd::set_simd_enabled(false);
+        let mut q_scalar = Vec::new();
+        let s_scalar = quantize_activations(&src, &mut q_scalar);
+        simd::set_simd_enabled(true);
+        let mut q_vector = Vec::new();
+        let s_vector = quantize_activations(&src, &mut q_vector);
+
+        prop_assert_eq!(s_scalar.to_bits(), s_vector.to_bits(), "scales diverge");
+        prop_assert_eq!(&q_scalar, &q_vector, "quantized bytes diverge");
+        for (&v, &qi) in src.iter().zip(q_scalar.iter()) {
+            let back = f32::from(qi) * s_scalar;
+            prop_assert!(
+                (v - back).abs() <= s_scalar * 0.5 + 1e-6,
+                "round-trip error beyond half a step: {} -> {}", v, back
+            );
+        }
+    }
+
+    /// The int8 dot product and the direct NHWC quantized convolution
+    /// produce identical results on both dispatch paths — integer
+    /// accumulation has no rounding, so this is exact equality of the
+    /// i32 sums and of the f32 requantized outputs.
+    #[test]
+    fn int8_kernels_are_simd_invariant(
+        len in 1usize..100,
+        in_c in 1usize..4,
+        out_c in 1usize..6,
+        hw in 3usize..8,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let _g = SimdGuard::acquire();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<i8> = (0..len).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let b: Vec<i8> = (0..len).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        simd::set_simd_enabled(false);
+        let dot_scalar = dot_i8(&a, &b);
+        simd::set_simd_enabled(true);
+        prop_assert_eq!(dot_scalar, dot_i8(&a, &b), "int8 dot diverges");
+
+        let fan_in = in_c * 9;
+        let w: Vec<f32> = (0..out_c * fan_in).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let bias: Vec<f32> = (0..out_c).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        let conv = QConv2d::new(&w, &bias, in_c, out_c, 3, stride, 1, Some(0.1));
+        let x: Vec<i8> = (0..hw * hw * in_c).map(|_| rng.gen_range(-127i32..=127) as i8).collect();
+        let run = |on: bool| {
+            simd::set_simd_enabled(on);
+            let mut out = Vec::new();
+            conv.forward_nhwc(&x, 0.02, hw, hw, &mut out);
+            out
+        };
+        let scalar = run(false);
+        let vector = run(true);
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&scalar), bits(&vector), "quantized conv diverges");
+    }
+}

@@ -31,6 +31,12 @@ cargo test -q
 echo "==> ODIN_THREADS=2 cargo test -q"
 ODIN_THREADS=2 cargo test -q
 
+# ...and bit-identical across SIMD dispatch: run the kernel-owning
+# crates once more with the AVX2 path disabled, so the scalar fallbacks
+# (the semantics reference) stay green on their own.
+echo "==> ODIN_NO_SIMD=1 cargo test -q -p odin-tensor -p odin-detect"
+ODIN_NO_SIMD=1 cargo test -q -p odin-tensor -p odin-detect
+
 # Crash-recovery smoke: write a checkpoint with a 2-thread tensor
 # backend, truncate / bit-flip it, and require that (a) the corruption
 # is reported through the CRC/version checks and (b) a cold bootstrap
@@ -107,11 +113,15 @@ for _ in $(seq 1 150); do
 done
 grep -q '^http ingest: 40 frames accepted across 4 streams' "$MS_DIR/run.log"
 curl -fsS "http://$MS_ADDR/healthz" | jq -e '.status == "ok" and .streams == 4' >/dev/null
+# grep -c (not -q) for the same SIGPIPE reason as above: -q bails at
+# the first match and the echo side of the pipe dies with 141 once the
+# exposition outgrows the pipe buffer.
 MS_METRICS=$(curl -fsS "http://$MS_ADDR/metrics")
 for s in 0 1 2 3; do
-    echo "$MS_METRICS" | grep -q "^odin_server_queue_depth{stream=\"$s\"}"
-    echo "$MS_METRICS" | grep -q "^odin_server_admitted_total{stream=\"$s\"} 50$"
-    echo "$MS_METRICS" | grep -q "^odin_frames_total{stream=\"$s\"}"
+    echo "$MS_METRICS" | grep -c "^odin_server_queue_depth{stream=\"$s\"}" >/dev/null
+    echo "$MS_METRICS" | grep -c "^odin_server_admitted_total{stream=\"$s\"} 50$" >/dev/null
+    echo "$MS_METRICS" | grep -c "^odin_frames_total{stream=\"$s\"}" >/dev/null
+    echo "$MS_METRICS" | grep -c "^odin_serve_precision{stream=\"$s\"}" >/dev/null
 done
 curl -fsS "http://$MS_ADDR/trace" | jq -e '.traceEvents | length > 0' >/dev/null
 wait "$MS_PID"
@@ -141,13 +151,42 @@ jq -e '
 
 # Benchmark regression gate: re-measure table 4 and require throughput
 # within 15% of the committed baseline (results/table4.json). The fresh
-# run is recorded as results/BENCH_table4.json for inspection.
+# run is recorded as results/BENCH_table4.json for inspection. The run
+# itself asserts (and prints) the install-time int8 mAP gate; the grep
+# makes the PASS line a CI artifact.
 echo "==> bench gate (table4 throughput vs results/table4.json)"
 cargo run --release -p odin-bench --bin table4_throughput_memory -- \
-    --out /tmp/odin-ci-bench >/dev/null
+    --out /tmp/odin-ci-bench >/tmp/odin-ci-bench/table4.log
+grep 'int8 mAP gate' /tmp/odin-ci-bench/table4.log
+grep -q 'int8 mAP gate.*PASS' /tmp/odin-ci-bench/table4.log
 cp /tmp/odin-ci-bench/table4.json results/BENCH_table4.json
 cargo run --release -p odin-bench --bin bench_gate -- \
     --baseline results/table4.json --candidate results/BENCH_table4.json \
     --column 2 --max-drop-pct 15
+
+# ServePrecision headline gate: the int8 serving path must deliver at
+# least 2x the frozen pre-SIMD scalar-f32 throughput for the
+# specialized/lite detectors. results/table4_pre_simd.json is never
+# overwritten by CI, and the negative drop budget inverts the gate into
+# a required improvement (drop <= -100% == candidate >= 2x baseline).
+echo "==> bench gate (int8 >= 2x pre-SIMD f32, results/table4_pre_simd.json)"
+cargo run --release -p odin-bench --bin bench_gate -- \
+    --baseline results/table4_pre_simd.json --candidate results/BENCH_table4.json \
+    --column 2 --max-drop-pct -100 \
+    --rows YOLO-SPECIALIZED-INT8,YOLO-LITE-INT8
+
+# Kernel-level regression gate: re-measure the tensor micro-benchmarks
+# and require GFLOP/s within 40% of the committed baseline
+# (results/tensor_gflops.json) for the numeric rows — the wide budget
+# absorbs thermal noise on small CI boxes; --rows skips the
+# latency-only rows whose GFLOP/s cell is "-".
+echo "==> bench gate (tensor_gflops vs results/tensor_gflops.json)"
+cargo run --release -p odin-bench --bin tensor_gflops -- \
+    --out /tmp/odin-ci-bench >/dev/null
+cp /tmp/odin-ci-bench/tensor_gflops.json results/BENCH_tensor_gflops.json
+cargo run --release -p odin-bench --bin bench_gate -- \
+    --baseline results/tensor_gflops.json --candidate results/BENCH_tensor_gflops.json \
+    --column 2 --max-drop-pct 40 \
+    --rows matmul,matmul_nt,matmul_tn,matmul_scalar,matmul_nt_scalar,matmul_tn_scalar,conv2d_fwd,conv2d_fwd_bwd,conv2d_int8,dot_i8
 
 echo "CI OK"
