@@ -1,0 +1,139 @@
+//! Event-log throughput (systems extension): append rate, on-disk
+//! density, and scan rate of the `odin-log` columnar segment format.
+//!
+//! Three measurements over a synthetic record stream shaped like real
+//! pipeline output (mostly `frame` records, a sprinkle of recovery
+//! events, smoothly increasing timestamps):
+//!
+//! * **append** — records/s through the background writer, hot-path
+//!   side (`LogWriter::append` + final flush), at several segment
+//!   sizes.
+//! * **density** — bytes/record after columnar encoding (delta-varint
+//!   ids and timestamps, dictionary-coded enums).
+//! * **scan** — records/s for a full decode, and the pruned cost of a
+//!   narrow time-range query that zone maps collapse to one segment.
+
+use std::time::Instant;
+
+use odin_bench::report::{Args, Table};
+use odin_log::{
+    scan_log, EventLogConfig, LogMetrics, LogRecord, LogWriter, Predicate, RecordKind, ServedLabel,
+};
+
+/// A record stream shaped like pipeline output: `frame` rows with
+/// drifting confidence/latency, one recovery arc every 512 frames.
+fn synth(n: usize) -> Vec<LogRecord> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let rec = if i % 512 == 511 {
+            LogRecord {
+                seq: i + 1,
+                kind: RecordKind::DriftDetected,
+                ts_us: i * 33_000,
+                frame: i,
+                stream: 0,
+                cluster: (i / 512) as i64,
+                served: ServedLabel::None,
+                dets: 0,
+                conf_mean: 0.0,
+                conf_max: 0.0,
+                latency_us: 0,
+                trace: i / 512 + 1,
+            }
+        } else {
+            LogRecord {
+                seq: i + 1,
+                kind: RecordKind::Frame,
+                ts_us: i * 33_000,
+                frame: i,
+                stream: 0,
+                cluster: (i % 3) as i64,
+                served: if i % 7 == 0 { ServedLabel::Teacher } else { ServedLabel::Ensemble },
+                dets: (i % 5) as u32,
+                conf_mean: 0.55 + (i % 10) as f32 * 0.02,
+                conf_max: 0.9,
+                latency_us: 2_000 + (i % 100) * 7,
+                trace: i + 1000,
+            }
+        };
+        out.push(rec);
+    }
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.scaled(200_000, 20_000);
+    let records = synth(n);
+    let dir = std::env::temp_dir().join(format!("odin-log-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let mut t = Table::new(
+        "log_throughput",
+        "Event-Log Append/Scan Throughput (odin-log)",
+        &["seg records", "append Mrec/s", "bytes/record", "full scan Mrec/s", "pruned query ms"],
+    );
+
+    for seg in [128usize, 512, 2048] {
+        let path = dir.join(format!("bench-{seg}.odlg"));
+        let cfg = EventLogConfig { enabled: true, queue_cap: n + 1, segment_records: seg };
+        let t0 = Instant::now();
+        let writer = LogWriter::open(&path, cfg, LogMetrics::detached()).expect("open");
+        for r in &records {
+            assert!(writer.append(*r), "queue sized to never drop");
+        }
+        writer.flush();
+        let append_s = t0.elapsed().as_secs_f64();
+        assert_eq!(writer.failures(), 0, "writer hit I/O failures");
+        drop(writer);
+
+        let len = std::fs::metadata(&path).expect("log written").len();
+        let t1 = Instant::now();
+        let full = scan_log(&path, &Predicate::default()).expect("full scan");
+        let scan_s = t1.elapsed().as_secs_f64();
+        assert_eq!(full.records.len(), n);
+
+        // A 1-segment time slice out of the middle of the stream.
+        let mid = (n as u64 / 2) * 33_000;
+        let pred = Predicate {
+            ts_min_us: Some(mid),
+            ts_max_us: Some(mid + (seg as u64 - 1) * 33_000 / 2),
+            ..Default::default()
+        };
+        let t2 = Instant::now();
+        let narrow = scan_log(&path, &pred).expect("pruned scan");
+        let pruned_ms = t2.elapsed().as_secs_f64() * 1e3;
+        assert!(narrow.stats.segments_pruned > 0, "zone maps failed to prune");
+
+        t.row(vec![
+            seg.to_string(),
+            format!("{:.2}", n as f64 / append_s / 1e6),
+            format!("{:.1}", len as f64 / n as f64),
+            format!("{:.2}", n as f64 / scan_s / 1e6),
+            format!("{:.3}", pruned_ms),
+        ]);
+    }
+    t.finish(&args);
+    println!(
+        "\n{n} records/run; pruned query touches {} of {} segments at seg=2048",
+        scan_log(
+            &dir.join("bench-2048.odlg"),
+            &Predicate {
+                ts_min_us: Some((n as u64 / 2) * 33_000),
+                ts_max_us: Some((n as u64 / 2) * 33_000 + 1),
+                ..Default::default()
+            }
+        )
+        .map(|r| r.stats.segments_scanned)
+        .unwrap_or(0),
+        full_segments(&dir, n),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn full_segments(dir: &std::path::Path, _n: usize) -> usize {
+    scan_log(&dir.join("bench-2048.odlg"), &Predicate::default())
+        .map(|r| r.stats.segments_total)
+        .unwrap_or(0)
+}

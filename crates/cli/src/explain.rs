@@ -1,0 +1,115 @@
+//! `odin explain` — reconstructs drift-recovery arcs from the log.
+//!
+//! Drift, queue, and install records emitted for the same recovery
+//! share a causal trace id (the drift frame's trace). Grouping the
+//! non-frame records by `(stream, trace)` therefore recovers the full
+//! detect → queue → install arc, including wall-clock gaps between the
+//! stages, without any extra bookkeeping in the pipeline.
+
+use odin_log::{LogRecord, Predicate, RecordKind};
+
+use crate::fmt::human_us;
+use crate::scan;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let a = scan::parse(args, "explain")?;
+    // Pull every non-frame record matching the user's filters; kind is
+    // fixed by the arc reconstruction itself.
+    if a.pred.kind.is_some() {
+        return Err("explain: --kind conflicts with arc reconstruction".into());
+    }
+    let all = collect_events(&a.source, &a.pred)?;
+
+    // Group by (stream, trace): trace ids are namespaced per stream,
+    // but keep the pair as the key so a standalone log mixing streams
+    // still groups correctly.
+    let mut arcs: Vec<((u32, u64), Vec<LogRecord>)> = Vec::new();
+    let mut evictions: Vec<LogRecord> = Vec::new();
+    for r in all {
+        if r.kind == RecordKind::ClusterEvicted {
+            evictions.push(r);
+            continue;
+        }
+        let key = (r.stream, r.trace);
+        match arcs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(r),
+            None => arcs.push((key, vec![r])),
+        }
+    }
+    arcs.sort_by_key(|(_, v)| v.first().map(|r| r.ts_us).unwrap_or(0));
+
+    if arcs.is_empty() && evictions.is_empty() {
+        println!("no drift activity in the selected range");
+        return Ok(());
+    }
+
+    for ((stream, trace), records) in &arcs {
+        print_arc(*stream, *trace, records);
+    }
+    for e in &evictions {
+        println!(
+            "stream {} cluster {}: evicted at frame {} ({}) — trace {:#x}",
+            e.stream,
+            e.cluster,
+            e.frame,
+            human_us(e.ts_us),
+            e.trace,
+        );
+    }
+    Ok(())
+}
+
+fn collect_events(source: &scan::Source, user_pred: &Predicate) -> Result<Vec<LogRecord>, String> {
+    // One scan per non-frame kind keeps the kind zone-map mask in play
+    // (a plain "not frame" scan would decode every frame segment).
+    let mut out = Vec::new();
+    for kind in [
+        RecordKind::DriftDetected,
+        RecordKind::TrainQueued,
+        RecordKind::ModelInstalled,
+        RecordKind::ClusterEvicted,
+    ] {
+        let pred = Predicate { kind: Some(kind), ..*user_pred };
+        out.extend(source.scan(&pred)?.records);
+    }
+    out.sort_by_key(|r| (r.ts_us, r.stream, r.seq));
+    Ok(out)
+}
+
+fn print_arc(stream: u32, trace: u64, records: &[LogRecord]) {
+    let find = |k: RecordKind| records.iter().find(|r| r.kind == k);
+    let detect = find(RecordKind::DriftDetected);
+    let queued = find(RecordKind::TrainQueued);
+    let installed = find(RecordKind::ModelInstalled);
+    let cluster = records
+        .iter()
+        .find(|r| r.cluster >= 0)
+        .map(|r| r.cluster.to_string())
+        .unwrap_or_else(|| "?".into());
+    let t0 = detect.or(queued).or(installed).map(|r| r.ts_us).unwrap_or(0);
+
+    println!("stream {stream} cluster {cluster} — trace {trace:#x}");
+    let stage = |label: &str, r: Option<&LogRecord>| match r {
+        Some(r) => {
+            let delta = r.ts_us.saturating_sub(t0);
+            let extra = if r.kind == RecordKind::ModelInstalled && r.latency_us > 0 {
+                format!(", train {}", human_us(r.latency_us))
+            } else {
+                String::new()
+            };
+            println!(
+                "  {label:<16} frame {:<8} at {:<10} (+{}{extra})",
+                r.frame,
+                human_us(r.ts_us),
+                human_us(delta),
+            );
+        }
+        None => println!("  {label:<16} —"),
+    };
+    stage("drift detected", detect);
+    stage("train queued", queued);
+    stage("model installed", installed);
+    if installed.is_none() {
+        println!("  (recovery in flight or log truncated before install)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared parsing and rendering helpers for the CLI.
+
+use odin_log::LogRecord;
+
+/// Parses a time argument into microseconds. Accepts `120us`, `250ms`,
+/// `1.5s`, or a bare integer (treated as microseconds).
+pub fn parse_time_us(s: &str) -> Result<u64, String> {
+    let bad = |s: &str| format!("bad time `{s}` (expected e.g. 250ms, 1.5s, 1200us)");
+    if let Some(v) = s.strip_suffix("us") {
+        return v.parse::<u64>().map_err(|_| bad(s));
+    }
+    if let Some(v) = s.strip_suffix("ms") {
+        let ms: f64 = v.parse().map_err(|_| bad(s))?;
+        return Ok((ms * 1_000.0).round() as u64);
+    }
+    if let Some(v) = s.strip_suffix('s') {
+        let secs: f64 = v.parse().map_err(|_| bad(s))?;
+        return Ok((secs * 1_000_000.0).round() as u64);
+    }
+    s.parse::<u64>().map_err(|_| bad(s))
+}
+
+/// Parses a trace id, decimal or `0x`-prefixed hex.
+pub fn parse_trace(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("bad trace id `{s}`"))
+}
+
+/// Renders microseconds as a human-scaled duration (`832us`, `14.2ms`,
+/// `3.150s`).
+pub fn human_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Header row for the record table, matched by [`row`].
+pub const TABLE_HEADER: &str =
+    "SEQ      KIND             TIME        FRAME    STREAM  CLUSTER  SERVED    DETS  CONF(mean/max)  LATENCY   TRACE";
+
+/// One aligned table row per record.
+pub fn row(r: &LogRecord) -> String {
+    let cluster = if r.cluster < 0 { "-".to_string() } else { r.cluster.to_string() };
+    format!(
+        "{:<8} {:<16} {:<11} {:<8} {:<7} {:<8} {:<9} {:<5} {:<15} {:<9} {:#x}",
+        r.seq,
+        r.kind.name(),
+        human_us(r.ts_us),
+        r.frame,
+        r.stream,
+        cluster,
+        r.served.name(),
+        r.dets,
+        format!("{:.2}/{:.2}", r.conf_mean, r.conf_max),
+        human_us(r.latency_us),
+        r.trace,
+    )
+}
+
+/// One record as a JSON object (stable key order, no external deps).
+pub fn json(r: &LogRecord) -> String {
+    format!(
+        concat!(
+            "{{\"seq\":{},\"kind\":\"{}\",\"ts_us\":{},\"frame\":{},",
+            "\"stream\":{},\"cluster\":{},\"served\":\"{}\",\"dets\":{},",
+            "\"conf_mean\":{:.4},\"conf_max\":{:.4},\"latency_us\":{},",
+            "\"trace\":{}}}"
+        ),
+        r.seq,
+        r.kind.name(),
+        r.ts_us,
+        r.frame,
+        r.stream,
+        r.cluster,
+        r.served.name(),
+        r.dets,
+        r.conf_mean,
+        r.conf_max,
+        r.latency_us,
+        r.trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_parsing_accepts_all_suffixes() {
+        assert_eq!(parse_time_us("1200us").unwrap(), 1200);
+        assert_eq!(parse_time_us("250ms").unwrap(), 250_000);
+        assert_eq!(parse_time_us("1.5s").unwrap(), 1_500_000);
+        assert_eq!(parse_time_us("42").unwrap(), 42);
+        assert!(parse_time_us("soon").is_err());
+    }
+
+    #[test]
+    fn trace_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_trace("0x10000000001").unwrap(), (1u64 << 40) + 1);
+        assert_eq!(parse_trace("7").unwrap(), 7);
+        assert!(parse_trace("0xzz").is_err());
+    }
+
+    #[test]
+    fn human_durations_scale() {
+        assert_eq!(human_us(832), "832us");
+        assert_eq!(human_us(14_200), "14.2ms");
+        assert_eq!(human_us(3_150_000), "3.150s");
+    }
+}

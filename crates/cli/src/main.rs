@@ -1,0 +1,80 @@
+//! `odin` — operator CLI for a running or persisted ODIN deployment.
+//!
+//! Three subcommands:
+//!
+//! * `odin status --addr HOST:PORT` — liveness + key metrics from a
+//!   serving front end's `/healthz` and `/metrics` endpoints.
+//! * `odin scan` — predicate queries over an event log file
+//!   (`--log events.odlg`) or a whole store directory (`--store DIR`,
+//!   which merges every shard under `streams/<id>/`). Zone maps prune
+//!   segments that cannot match; `--stats` shows how many were skipped.
+//! * `odin explain` — reconstructs drift-recovery arcs (drift detected
+//!   → train queued → model installed) by joining log records on their
+//!   causal trace id.
+//!
+//! The CLI is dependency-free: argument parsing is hand-rolled and the
+//! HTTP client is the one-shot helper from `odin-telemetry`.
+
+mod explain;
+mod fmt;
+mod scan;
+mod status;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+odin — ODIN ops CLI
+
+USAGE:
+    odin status --addr HOST:PORT [--raw]
+    odin scan   (--log FILE | --store DIR) [FILTERS] [--json] [--stats]
+                [--limit N]
+    odin explain (--log FILE | --store DIR) [--trace ID] [--cluster N]
+                [--stream N]
+
+SCAN FILTERS:
+    --stream N        only records from stream N
+    --since TIME      records at or after TIME (e.g. 250ms, 1.5s, 1200us,
+                      or a bare integer in microseconds)
+    --until TIME      records at or before TIME
+    --frame-min N     frame index lower bound
+    --frame-max N     frame index upper bound
+    --cluster N       only records about cluster N
+    --kind KIND       frame | drift | queued | install | evict
+    --served WHO      teacher | ensemble | fallback | none
+    --trace ID        exact causal trace id (decimal or 0x hex)
+
+Run against a store directory written with `OdinConfig.event_log`
+enabled (see DESIGN.md, \"Event log & ops CLI\").";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "status" => status::run(rest),
+        "scan" => scan::run(rest),
+        "explain" => explain::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("odin: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value following a `--flag` out of `args`, or errors if the
+/// flag is present without one.
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+}

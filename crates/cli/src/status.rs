@@ -1,0 +1,67 @@
+//! `odin status` — liveness and key metrics from a serving front end.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use crate::take_value;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut raw = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr")?),
+            "--raw" => raw = true,
+            other => return Err(format!("status: unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("status needs --addr HOST:PORT")?;
+    let sock: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolved to nothing"))?;
+
+    let (hs, health) =
+        odin_telemetry::http::get(sock, "/healthz").map_err(|e| format!("GET /healthz: {e}"))?;
+    if !hs.contains("200") {
+        return Err(format!("/healthz returned {hs}"));
+    }
+    println!("healthz: {health}");
+
+    let (ms, metrics) =
+        odin_telemetry::http::get(sock, "/metrics").map_err(|e| format!("GET /metrics: {e}"))?;
+    if !ms.contains("200") {
+        return Err(format!("/metrics returned {ms}"));
+    }
+    if raw {
+        print!("{metrics}");
+        return Ok(());
+    }
+    // A curated slice of the exposition: enough to judge serving and
+    // recovery health at a glance without scraping.
+    const INTERESTING: &[&str] = &[
+        "odin_frames_total",
+        "odin_drift_events_total",
+        "odin_models_installed_lite_total",
+        "odin_models_installed_specialized_total",
+        "odin_training_queue_depth",
+        "odin_server_admitted_total",
+        "odin_server_rejected_total",
+        "odin_event_log_appended_total",
+        "odin_event_log_dropped_total",
+        "odin_event_log_queue_depth",
+        "odin_store_errors_total",
+    ];
+    for line in metrics.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let name = line.split(['{', ' ']).next().unwrap_or("");
+        if INTERESTING.contains(&name) {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}

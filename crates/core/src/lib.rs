@@ -74,6 +74,7 @@ pub mod training;
 pub use encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 pub use filter::BinaryFilter;
 pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};
+pub use odin_log::EventLogConfig;
 pub use pipeline::{
     FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy, NS_STRIDE,
     QUANT_GATE_FRAMES, QUANT_MAP_DELTA,
@@ -84,7 +85,8 @@ pub use selector::{select, Selection, SelectionPolicy};
 pub use server::{decode_ingest_frame, encode_ingest_frame, OdinServer, ServerConfig, SubmitError};
 pub use specializer::{Specializer, SpecializerConfig};
 pub use store::{
-    CheckpointPolicy, FLIGHT_FILE, SHARED_SNAPSHOT_FILE, SNAPSHOT_FILE, STREAMS_DIR, WAL_FILE,
+    CheckpointPolicy, EVENT_LOG_FILE, FLIGHT_FILE, SHARED_SNAPSHOT_FILE, SNAPSHOT_FILE,
+    STREAMS_DIR, WAL_FILE,
 };
 pub use telemetry::Telemetry;
 pub use training::{TrainHandle, TrainJob, TrainRouter, TrainedModel, TrainingMode, TrainingPool};

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use odin_data::{Frame, GtBox};
 use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
 use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
+use odin_log::{EventLogConfig, LogMetrics, LogRecord, LogWriter, RecordKind, ServedLabel};
 use odin_store::checkpoint::write_atomic;
 use odin_store::{read_wal, Checkpoint, CheckpointBuilder, Decoder, Encoder, Persist, StoreError};
 use odin_telemetry::{Level, SpanCtx, SpanGuard, TimelineStage, NO_PARENT};
@@ -33,7 +34,7 @@ use crate::store::{
     persist_encoder, persist_frames, persist_registry_models, persist_retained_jobs,
     persist_telemetry, restore_detector, restore_encoder, restore_frames, restore_registry_models,
     restore_retained_jobs, restore_telemetry, section, CheckpointPolicy, PipelineStore,
-    RetainedJob, WalEvent, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE,
+    RetainedJob, WalEvent, EVENT_LOG_FILE, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
 use crate::telemetry::Telemetry;
 use crate::training::{TrainHandle, TrainJob, TrainRouter, TrainedModel, TrainingMode};
@@ -105,6 +106,11 @@ pub struct OdinConfig {
     /// installs quantize once and gate the swap on an mAP-delta check
     /// ([`QUANT_MAP_DELTA`]); a failed gate serves f32 instead.
     pub precision: ServePrecision,
+    /// Durable event log ([`odin_log`]): when enabled and a store is
+    /// attached, per-frame detection records and drift/recovery events
+    /// stream to `<store>/events.odlg` through a bounded channel with
+    /// counted-drop backpressure (the hot path never blocks on it).
+    pub event_log: EventLogConfig,
 }
 
 impl Default for OdinConfig {
@@ -119,6 +125,7 @@ impl Default for OdinConfig {
             buffer_cap: 512,
             min_train_frames: 120,
             precision: ServePrecision::F32,
+            event_log: EventLogConfig::default(),
         }
     }
 }
@@ -206,6 +213,14 @@ pub struct Odin {
     /// (identical across a server's shards) — the server persists them
     /// once in `shared.odst` and restore resolves them from there.
     snapshot_self_contained: bool,
+    /// Durable event-log writer, opened by [`Odin::enable_store`] when
+    /// [`OdinConfig::event_log`] is enabled.
+    event_log: Option<LogWriter>,
+    /// Last event-log sequence number assigned. Owned by the emitter
+    /// (this pipeline thread), not the writer, so record contents are
+    /// a pure function of the stream; persisted in checkpoint META and
+    /// reconciled with the log file's intact tail on `enable_store`.
+    log_seq: u64,
 }
 
 impl Odin {
@@ -259,6 +274,8 @@ impl Odin {
             model_seq: 0,
             ns_base: 0,
             snapshot_self_contained: true,
+            event_log: None,
+            log_seq: 0,
         }
     }
 
@@ -351,6 +368,21 @@ impl Odin {
         &self.telemetry
     }
 
+    /// Appends one row to the durable event log, if one is open. The
+    /// sequence number, timestamp (from the installed clock), and
+    /// stream id are stamped here, on the pipeline thread, so record
+    /// contents are a pure function of the stream — the background
+    /// writer only decides *when* bytes reach the disk. A full queue
+    /// drops the record and counts it; it never blocks serving.
+    fn log_event(&mut self, mut rec: LogRecord) {
+        let Some(log) = &self.event_log else { return };
+        self.log_seq += 1;
+        rec.seq = self.log_seq;
+        rec.ts_us = (self.telemetry.registry().now_ms() * 1000.0).round() as u64;
+        rec.stream = (self.ns_base / NS_STRIDE) as u32;
+        log.append(rec);
+    }
+
     /// Stage ❶+❷ ingest: observe the frame (whose latent projection was
     /// already computed — singly or by the batched encode path), buffer
     /// it for SPECIALIZER, and react to promotions and evictions. Shared
@@ -417,6 +449,16 @@ impl Odin {
                     self.wal_append(&p, rctx);
                 }
             }
+            // The drift record opens the episode in the event log under
+            // the recovery trace, before any of its consequences
+            // (train_queued, install, eviction) are logged.
+            self.log_event(LogRecord {
+                kind: RecordKind::DriftDetected,
+                frame: event.at as u64,
+                cluster: event.cluster_id as i64,
+                trace: rctx.trace,
+                ..LogRecord::empty()
+            });
             let seed_frames = std::mem::take(&mut self.temp_frames);
             self.pending.insert(event.cluster_id, seed_frames);
             self.try_train(event.cluster_id);
@@ -436,6 +478,13 @@ impl Odin {
                 self.training_pending.remove(&evicted);
                 self.inflight.remove(&evicted);
                 self.recovery.remove(&evicted);
+                self.log_event(LogRecord {
+                    kind: RecordKind::ClusterEvicted,
+                    frame: self.manager.seen() as u64,
+                    cluster: evicted as i64,
+                    trace: ctx.trace,
+                    ..LogRecord::empty()
+                });
             }
             // Preserve the spans and events leading up to the drift:
             // when a store is attached, dump the flight recorder next
@@ -514,7 +563,25 @@ impl Odin {
         // checkpoint written at this boundary already contains the
         // frame's complete trace — the basis of byte-identical
         // Chrome-trace exports across checkpoint/restore.
-        root.close();
+        let frame_wall_ms = root.close();
+        if self.event_log.is_some() {
+            let (conf_mean, conf_max) = conf_summary(&detections);
+            self.log_event(LogRecord {
+                kind: RecordKind::Frame,
+                frame: self.manager.seen().saturating_sub(1) as u64,
+                cluster: match outcome.assignment {
+                    Assignment::Cluster(id) => id as i64,
+                    Assignment::Temporary => -1,
+                },
+                served: served_label(served_by),
+                dets: detections.len() as u32,
+                conf_mean,
+                conf_max,
+                latency_us: (frame_wall_ms * 1000.0).round() as u64,
+                trace: ctx.trace,
+                ..LogRecord::empty()
+            });
+        }
         self.maybe_snapshot(outcome.drift.is_some());
 
         FrameResult {
@@ -566,6 +633,13 @@ impl Odin {
             self.manager.seen() as i64,
         );
         let job_ctx = SpanCtx { trace: rctx.trace, parent: queued };
+        self.log_event(LogRecord {
+            kind: RecordKind::TrainQueued,
+            frame: self.manager.seen() as u64,
+            cluster: cluster_id as i64,
+            trace: rctx.trace,
+            ..LogRecord::empty()
+        });
         match &self.pool {
             None => {
                 let mut span = self.telemetry.span("train", job_ctx);
@@ -644,6 +718,16 @@ impl Odin {
             model.cluster_id as i64,
             self.manager.seen() as i64,
         );
+        // Close the episode in the event log too: same trace as the
+        // drift/queued records, train wall time as the latency field.
+        self.log_event(LogRecord {
+            kind: RecordKind::ModelInstalled,
+            frame: self.manager.seen() as u64,
+            cluster: model.cluster_id as i64,
+            latency_us: (model.wall_ms * 1000.0).round() as u64,
+            trace: model.ctx.trace,
+            ..LogRecord::empty()
+        });
         self.registry.write().insert(self.gid(model.cluster_id), cm);
         self.stats.models_installed += 1;
     }
@@ -887,6 +971,7 @@ impl Odin {
         enc.put_u64(self.seed);
         enc.put_u64(self.model_seq);
         enc.put_u64(last_wal_seq);
+        enc.put_u64(self.log_seq);
         builder.section(section::META, enc.into_bytes());
 
         builder.section(section::CONFIG, self.cfg.to_store_bytes());
@@ -1097,6 +1182,8 @@ impl Odin {
         let seed = dec.take_u64("meta.seed")?;
         let model_seq = dec.take_u64("meta.model_seq")?;
         let last_wal_seq = dec.take_u64("meta.last_wal_seq")?;
+        // Event-log position; absent in pre-event-log checkpoints.
+        let log_seq = if dec.remaining() > 0 { dec.take_u64("meta.log_seq")? } else { 0 };
         dec.finish("meta")?;
 
         let cfg = OdinConfig::from_store_bytes(cp.require(section::CONFIG)?, "config")?;
@@ -1139,6 +1226,7 @@ impl Odin {
         let mut odin = Odin::new(encoder, teacher, cfg, seed);
         odin.manager = manager;
         odin.model_seq = model_seq;
+        odin.log_seq = log_seq;
         odin.stats = stats;
         odin.temp_frames = temp_frames;
         odin.pending = pending;
@@ -1257,6 +1345,20 @@ impl Odin {
         // With a store attached, the flight recorder auto-dumps next to
         // the WAL on drift events and store errors.
         self.telemetry.set_flight_dump_path(Some(dir.join(FLIGHT_FILE)));
+        if self.cfg.event_log.enabled {
+            let metrics = LogMetrics {
+                appended: self.telemetry.event_log_appended.clone(),
+                dropped: self.telemetry.event_log_dropped.clone(),
+                queue_depth: self.telemetry.event_log_queue_depth.clone(),
+                flush_ms: self.telemetry.event_log_flush.clone(),
+            };
+            let writer = LogWriter::open(&dir.join(EVENT_LOG_FILE), self.cfg.event_log, metrics)?;
+            // Never reuse a sequence number: resume past both the
+            // checkpointed position and the log file's intact tail
+            // (after a crash the two can disagree in either direction).
+            self.log_seq = self.log_seq.max(writer.recovered_last_seq());
+            self.event_log = Some(writer);
+        }
         Ok(())
     }
 
@@ -1349,6 +1451,9 @@ impl Odin {
             }
             store.writer.flush();
         }
+        if let Some(log) = &self.event_log {
+            log.flush();
+        }
     }
 
     /// Number of background snapshot writes that failed (0 when healthy
@@ -1432,6 +1537,29 @@ fn select_existing(
         }
     }
     s
+}
+
+/// Serving outcome as recorded in the event log.
+fn served_label(s: ServedBy) -> ServedLabel {
+    match s {
+        ServedBy::Teacher => ServedLabel::Teacher,
+        ServedBy::Ensemble => ServedLabel::Ensemble,
+        ServedBy::FallbackEnsemble => ServedLabel::Fallback,
+    }
+}
+
+/// Mean and max detection confidence of a frame ((0, 0) when empty).
+fn conf_summary(dets: &[Detection]) -> (f32, f32) {
+    if dets.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sum = 0.0f32;
+    let mut max = 0.0f32;
+    for d in dets {
+        sum += d.score;
+        max = max.max(d.score);
+    }
+    (sum / dets.len() as f32, max)
 }
 
 /// Ground-truth boxes of a frame slice, shaped for mAP evaluation.

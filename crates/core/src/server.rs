@@ -262,10 +262,16 @@ impl ServerInner {
     fn render_healthz(&self) -> String {
         let depths: Vec<String> =
             self.shards.iter().map(|s| s.depth.load(Ordering::SeqCst).to_string()).collect();
+        let log_depths: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| s.handles.lock().telemetry.event_log_queue_depth.get().to_string())
+            .collect();
         format!(
-            "{{\"status\":\"ok\",\"streams\":{},\"queue_depths\":[{}]}}",
+            "{{\"status\":\"ok\",\"streams\":{},\"queue_depths\":[{}],\"event_log_queue_depths\":[{}]}}",
             self.shards.len(),
-            depths.join(",")
+            depths.join(","),
+            log_depths.join(",")
         )
     }
 

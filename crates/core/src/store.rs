@@ -29,6 +29,7 @@ use odin_data::{Condition, Frame, GtBox, Image, Location, ObjectClass, TimeOfDay
 use odin_detect::{Detector, DetectorArch};
 use odin_drift::{Cluster, DriftEvent, ManagerConfig};
 use odin_gan::{DaGan, DaGanConfig};
+use odin_log::EventLogConfig;
 use odin_store::checkpoint::write_atomic;
 use odin_store::{Decoder, Encoder, Persist, StoreError, WalWriter};
 use odin_tensor::Tensor;
@@ -64,6 +65,9 @@ pub const SHARED_SNAPSHOT_FILE: &str = "shared.odst";
 /// Subdirectory of a multi-stream store holding one store directory per
 /// stream (`streams/<id>/{snapshot.odst,events.wal,flight.json}`).
 pub const STREAMS_DIR: &str = "streams";
+/// Columnar event-log file name inside a store directory (written when
+/// [`OdinConfig::event_log`] is enabled; see [`odin_log`]).
+pub const EVENT_LOG_FILE: &str = odin_log::EVENT_LOG_FILE;
 
 /// Checkpoint section names.
 pub(crate) mod section {
@@ -371,6 +375,9 @@ impl Persist for OdinConfig {
             ServePrecision::F32 => 0,
             ServePrecision::Int8 => 1,
         });
+        enc.put_bool(self.event_log.enabled);
+        enc.put_usize(self.event_log.queue_cap);
+        enc.put_usize(self.event_log.segment_records);
     }
 
     fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
@@ -411,6 +418,17 @@ impl Persist for OdinConfig {
                 0 => ServePrecision::F32,
                 1 => ServePrecision::Int8,
                 _ => return Err(StoreError::Malformed { context: "ServePrecision tag" }),
+            },
+            // Added after the precision field; absent in checkpoints
+            // written by older builds, which read back as disabled.
+            event_log: if dec.remaining() > 0 {
+                EventLogConfig {
+                    enabled: dec.take_bool("OdinConfig.event_log.enabled")?,
+                    queue_cap: dec.take_usize("OdinConfig.event_log.queue_cap")?,
+                    segment_records: dec.take_usize("OdinConfig.event_log.segment_records")?,
+                }
+            } else {
+                EventLogConfig::default()
             },
         })
     }

@@ -73,6 +73,10 @@ pub struct Telemetry {
     pub(crate) wal_appends: Counter,
     pub(crate) store_errors: Counter,
     pub(crate) quant_fallback: Counter,
+    /// Records accepted into the event-log queue.
+    pub(crate) event_log_appended: Counter,
+    /// Records dropped because the event-log queue was full.
+    pub(crate) event_log_dropped: Counter,
 
     // Gauges.
     pub(crate) clusters: Gauge,
@@ -81,6 +85,8 @@ pub struct Telemetry {
     pub(crate) in_flight: Gauge,
     /// Configured serving precision: 0 = f32, 1 = int8.
     pub(crate) serve_precision: Gauge,
+    /// Instantaneous event-log queue depth (emitter minus writer).
+    pub(crate) event_log_queue_depth: Gauge,
 
     // Stage latency histograms.
     pub(crate) stage_encode: Histogram,
@@ -91,6 +97,9 @@ pub struct Telemetry {
     pub(crate) stage_snapshot_build: Histogram,
     pub(crate) stage_snapshot_write: Histogram,
     pub(crate) stage_wal_append: Histogram,
+    /// Wall time per sealed event-log segment write (background
+    /// thread; live only when the event log is enabled).
+    pub(crate) event_log_flush: Histogram,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -121,11 +130,14 @@ impl Telemetry {
             wal_appends: registry.counter("odin_wal_appends_total"),
             store_errors: registry.counter("odin_store_errors_total"),
             quant_fallback: registry.counter("odin_quant_fallback_total"),
+            event_log_appended: registry.counter("odin_event_log_appended_total"),
+            event_log_dropped: registry.counter("odin_event_log_dropped_total"),
             clusters: registry.gauge("odin_clusters"),
             models: registry.gauge("odin_models"),
             queue_depth: registry.gauge("odin_training_queue_depth"),
             in_flight: registry.gauge("odin_train_in_flight"),
             serve_precision: registry.gauge("odin_serve_precision"),
+            event_log_queue_depth: registry.gauge("odin_event_log_queue_depth"),
             stage_encode: registry.histogram("odin_stage_encode_ms", &stage),
             stage_ingest: registry.histogram("odin_stage_ingest_ms", &stage),
             stage_select: registry.histogram("odin_stage_select_ms", &stage),
@@ -134,6 +146,7 @@ impl Telemetry {
             stage_snapshot_build: registry.histogram("odin_stage_snapshot_build_ms", &stage),
             stage_snapshot_write: registry.histogram("odin_stage_snapshot_write_ms", &stage),
             stage_wal_append: registry.histogram("odin_stage_wal_append_ms", &stage),
+            event_log_flush: registry.histogram("odin_event_log_flush_ms", &stage),
             registry,
             last_error: Arc::new(Mutex::new(None)),
             dump_path: Arc::new(Mutex::new(None)),
@@ -331,7 +344,8 @@ impl Telemetry {
             concat!(
                 "{{\"status\":\"{}\",\"frames\":{},\"drift_events\":{},",
                 "\"clusters\":{},\"models\":{},\"training_queue_depth\":{},",
-                "\"train_in_flight\":{},\"store_errors\":{},\"last_store_error\":{}}}"
+                "\"train_in_flight\":{},\"event_log_queue_depth\":{},",
+                "\"store_errors\":{},\"last_store_error\":{}}}"
             ),
             status,
             self.frames.get(),
@@ -340,6 +354,7 @@ impl Telemetry {
             self.models.get(),
             self.queue_depth.get(),
             self.in_flight.get(),
+            self.event_log_queue_depth.get(),
             self.store_errors.get(),
             last,
         )
@@ -467,7 +482,12 @@ mod tests {
         let prom = tel.render_prometheus();
         assert!(prom.contains("odin_frames_total 0"));
         assert!(prom.contains("# TYPE odin_stage_encode_ms histogram"));
+        assert!(prom.contains("odin_event_log_appended_total 0"));
+        assert!(prom.contains("odin_event_log_dropped_total 0"));
+        assert!(prom.contains("odin_event_log_queue_depth 0"));
+        assert!(prom.contains("# TYPE odin_event_log_flush_ms histogram"));
         let json = tel.render_json();
         assert!(json.contains("\"odin_store_errors_total\":0"));
+        assert!(tel.render_healthz().contains("\"event_log_queue_depth\":0"));
     }
 }

@@ -1,0 +1,44 @@
+//! # odin-log
+//!
+//! A durable, queryable event log for the ODIN pipeline: per-frame
+//! detection records and drift/recovery events, streamed through a
+//! batched background writer into a compact append-only **columnar
+//! segment** file.
+//!
+//! The flight recorder (odin-telemetry) answers *"what just happened
+//! in the last few thousand spans"*; this crate answers *"what
+//! happened on stream 3 last Tuesday"* — the retrospective-inspection
+//! side of drift diagnosis.
+//!
+//! * [`record`] — the row type ([`LogRecord`]) and its enums
+//!   ([`RecordKind`], [`ServedLabel`]), plus [`EventLogConfig`],
+//! * [`segment`] — the on-disk format: fixed-size segments with
+//!   per-column encoding (zigzag-delta varints for timestamps / ids,
+//!   dictionary-coded enums), a per-segment min/max **zone map**, and
+//!   a CRC-framed envelope reusing odin-store's checksum primitives;
+//!   a torn tail is truncated on open exactly like the WAL,
+//! * [`writer`] — [`LogWriter`]: a bounded-channel background writer
+//!   with counted-drop backpressure, so the serving hot path never
+//!   blocks on the log,
+//! * [`query`] — [`Predicate`] scans ([`scan_log`], [`scan_store`])
+//!   that prune whole segments via the zone maps before decoding a
+//!   single column.
+//!
+//! Determinism contract: record *contents* are produced by the
+//! pipeline thread (sequence numbers, frame ids, timestamps from the
+//! installed `Clock`), so with a `ManualClock` and inline training the
+//! log file is byte-identical across runs and across `ODIN_THREADS`
+//! settings. The background writer only changes *when* bytes reach the
+//! disk, never *which* bytes.
+
+#![warn(missing_docs)]
+
+pub mod query;
+pub mod record;
+pub mod segment;
+pub mod writer;
+
+pub use query::{scan_log, scan_store, Predicate, ScanResult, ScanStats};
+pub use record::{EventLogConfig, LogRecord, RecordKind, ServedLabel, EVENT_LOG_FILE};
+pub use segment::{read_log, LogFile, SegmentInfo, ZoneMap};
+pub use writer::{LogMetrics, LogWriter};

@@ -1,0 +1,223 @@
+//! Row type and enums for the event log, plus the pipeline-facing
+//! [`EventLogConfig`].
+
+/// File name of the event log inside a store directory (next to the
+/// snapshot and the WAL).
+pub const EVENT_LOG_FILE: &str = "events.odlg";
+
+/// What a [`LogRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// One served frame: detection count, confidence summary, latency.
+    Frame = 0,
+    /// The DETECTOR promoted a temporary cluster / flagged drift.
+    DriftDetected = 1,
+    /// A specializer training job was queued for the drifted cluster.
+    TrainQueued = 2,
+    /// A trained model passed the install gate and entered the registry.
+    ModelInstalled = 3,
+    /// A cluster (and its models) was evicted from the registry.
+    ClusterEvicted = 4,
+}
+
+impl RecordKind {
+    /// All kinds, in tag order.
+    pub const ALL: [RecordKind; 5] = [
+        RecordKind::Frame,
+        RecordKind::DriftDetected,
+        RecordKind::TrainQueued,
+        RecordKind::ModelInstalled,
+        RecordKind::ClusterEvicted,
+    ];
+
+    /// Stable numeric tag (also the on-disk dictionary value).
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`RecordKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
+    /// Stable lowercase name used by the CLI and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::Frame => "frame",
+            RecordKind::DriftDetected => "drift_detected",
+            RecordKind::TrainQueued => "train_queued",
+            RecordKind::ModelInstalled => "model_installed",
+            RecordKind::ClusterEvicted => "cluster_evicted",
+        }
+    }
+
+    /// Parse a CLI spelling (`drift_detected`, `drift`, `install`, ...).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "frame" => Some(RecordKind::Frame),
+            "drift" | "drift_detected" => Some(RecordKind::DriftDetected),
+            "queued" | "train_queued" => Some(RecordKind::TrainQueued),
+            "install" | "model_installed" => Some(RecordKind::ModelInstalled),
+            "evict" | "cluster_evicted" => Some(RecordKind::ClusterEvicted),
+            _ => None,
+        }
+    }
+}
+
+/// Which model family served a frame (the log's own copy of the core
+/// `ServedBy` enum, so this crate stays below `odin-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ServedLabel {
+    /// Not a frame record / not served.
+    None = 0,
+    /// The heavyweight teacher model.
+    Teacher = 1,
+    /// A specialized (or lite) ensemble member for the frame's cluster.
+    Ensemble = 2,
+    /// Fallback ensemble while specialization is pending.
+    Fallback = 3,
+}
+
+impl ServedLabel {
+    /// All labels, in tag order.
+    pub const ALL: [ServedLabel; 4] =
+        [ServedLabel::None, ServedLabel::Teacher, ServedLabel::Ensemble, ServedLabel::Fallback];
+
+    /// Stable numeric tag (also the on-disk dictionary value).
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`ServedLabel::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
+    /// Stable lowercase name used by the CLI and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServedLabel::None => "-",
+            ServedLabel::Teacher => "teacher",
+            ServedLabel::Ensemble => "ensemble",
+            ServedLabel::Fallback => "fallback",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" | "-" => Some(ServedLabel::None),
+            "teacher" => Some(ServedLabel::Teacher),
+            "ensemble" => Some(ServedLabel::Ensemble),
+            "fallback" => Some(ServedLabel::Fallback),
+            _ => None,
+        }
+    }
+}
+
+/// One event-log row. `Frame` records carry the serving fields
+/// (`served`, `dets`, `conf_*`, `latency_us`); drift/recovery records
+/// carry `cluster` and the recovery-arc `trace` id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogRecord {
+    /// Monotonic per-pipeline sequence number (assigned by the
+    /// emitter, not the writer — so it is deterministic and survives
+    /// checkpoint/restore).
+    pub seq: u64,
+    /// What this row describes.
+    pub kind: RecordKind,
+    /// Event time in microseconds from the pipeline's installed clock.
+    pub ts_us: u64,
+    /// Frame index at emission time.
+    pub frame: u64,
+    /// Stream id (shard index under a multi-stream server; 0 for a
+    /// standalone pipeline).
+    pub stream: u32,
+    /// Cluster id the event refers to, or -1 when not applicable.
+    pub cluster: i64,
+    /// Who served the frame (`None` for non-frame records).
+    pub served: ServedLabel,
+    /// Detection count for frame records.
+    pub dets: u32,
+    /// Mean detection confidence for frame records (0 when no dets).
+    pub conf_mean: f32,
+    /// Max detection confidence for frame records (0 when no dets).
+    pub conf_max: f32,
+    /// Frame serving latency (or train wall time for installs), µs.
+    pub latency_us: u64,
+    /// Causal trace id: the frame trace for frame records, the
+    /// recovery-arc trace for drift/queue/install records.
+    pub trace: u64,
+}
+
+impl LogRecord {
+    /// A zeroed frame-kind record, useful as a builder base in tests.
+    pub fn empty() -> Self {
+        LogRecord {
+            seq: 0,
+            kind: RecordKind::Frame,
+            ts_us: 0,
+            frame: 0,
+            stream: 0,
+            cluster: -1,
+            served: ServedLabel::None,
+            dets: 0,
+            conf_mean: 0.0,
+            conf_max: 0.0,
+            latency_us: 0,
+            trace: 0,
+        }
+    }
+}
+
+/// Event-log knobs carried inside `OdinConfig`. `Copy` so the core
+/// config stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLogConfig {
+    /// Master switch; when false no writer is opened and emission is a
+    /// no-op.
+    pub enabled: bool,
+    /// Bounded-channel capacity between the pipeline thread and the
+    /// background writer. When full, records are *dropped and counted*
+    /// — the hot path never blocks.
+    pub queue_cap: usize,
+    /// Records per sealed segment. Smaller segments prune better;
+    /// larger segments compress better.
+    pub segment_records: usize,
+}
+
+impl Default for EventLogConfig {
+    fn default() -> Self {
+        EventLogConfig { enabled: false, queue_cap: 4096, segment_records: 512 }
+    }
+}
+
+impl EventLogConfig {
+    /// Enabled with default sizing.
+    pub fn enabled() -> Self {
+        EventLogConfig { enabled: true, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tags_roundtrip() {
+        for k in RecordKind::ALL {
+            assert_eq!(RecordKind::from_tag(k.tag()), Some(k));
+            assert_eq!(RecordKind::parse(k.name()), Some(k));
+        }
+        for s in ServedLabel::ALL {
+            assert_eq!(ServedLabel::from_tag(s.tag()), Some(s));
+            assert_eq!(ServedLabel::parse(s.name()), Some(s));
+        }
+        assert_eq!(RecordKind::from_tag(9), None);
+        assert_eq!(ServedLabel::from_tag(9), None);
+        assert_eq!(RecordKind::parse("drift"), Some(RecordKind::DriftDetected));
+        assert_eq!(ServedLabel::parse("nope"), None);
+    }
+}

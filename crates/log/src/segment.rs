@@ -1,0 +1,708 @@
+//! On-disk columnar segment format.
+//!
+//! ```text
+//! file   := magic "ODLG" | version u32 | segment*
+//! segment:= marker 0xD6 | body_len u32 | crc u32 (over body) | body
+//! body   := count | zone map | column*          (odin-store codec)
+//! zone   := min/max of seq, ts_us, frame, cluster, trace,
+//!           min/max stream, kind bitmask, served bitmask
+//! column := length-prefixed bytes, per-column encoding:
+//!           seq/ts_us/frame/trace  zigzag-delta varint
+//!           stream                 varint offset from min_stream
+//!           kind/served            dictionary (u8 tags; indices
+//!                                  elided when the dict is unary)
+//!           cluster                zigzag varint
+//!           dets/latency_us        varint
+//!           conf_mean/conf_max     fixed f32 bits (LE)
+//! ```
+//!
+//! Everything after the 8-byte header is length-framed and
+//! CRC-checked, so a torn tail (crash mid-append) is detected by the
+//! reader and truncated by the writer on reopen — the same contract as
+//! `odin_store::wal`.
+
+use std::fs;
+use std::path::Path;
+
+use odin_store::{crc32, Decoder, Encoder, StoreError};
+
+use crate::record::{LogRecord, RecordKind, ServedLabel};
+
+/// File magic: "ODLG" (ODin LoG).
+pub const MAGIC: [u8; 4] = *b"ODLG";
+/// Format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+/// Byte that starts every segment frame.
+pub const SEGMENT_MARKER: u8 = 0xD6;
+/// File header length (magic + version).
+pub const HEADER_LEN: u64 = 8;
+/// Segment frame overhead before the body (marker + len + crc).
+pub const FRAME_OVERHEAD: usize = 9;
+
+/// The 8-byte file header.
+pub fn header_bytes() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h
+}
+
+// ---------------------------------------------------------------------------
+// varint / zigzag primitives
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Cursor over a raw column buffer.
+pub(crate) struct VarReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> VarReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        VarReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn varint(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self.buf.get(self.pos).ok_or(StoreError::Truncated { context })?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(StoreError::Malformed { context });
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        let b = *self.buf.get(self.pos).ok_or(StoreError::Truncated { context })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn f32(&mut self, context: &'static str) -> Result<f32, StoreError> {
+        let end = self.pos + 4;
+        let raw = self.buf.get(self.pos..end).ok_or(StoreError::Truncated { context })?;
+        self.pos = end;
+        Ok(f32::from_bits(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]])))
+    }
+}
+
+/// Encode `vals` as first-absolute + zigzag deltas (ids and
+/// timestamps cluster tightly, so deltas are 1–2 bytes).
+fn put_delta_column(buf: &mut Vec<u8>, vals: impl Iterator<Item = u64>) {
+    let mut prev: u64 = 0;
+    for (i, v) in vals.enumerate() {
+        if i == 0 {
+            put_varint(buf, v);
+        } else {
+            put_varint(buf, zigzag(v.wrapping_sub(prev) as i64));
+        }
+        prev = v;
+    }
+}
+
+fn read_delta_column(
+    buf: &[u8],
+    count: usize,
+    context: &'static str,
+) -> Result<Vec<u64>, StoreError> {
+    let mut r = VarReader::new(buf);
+    let mut out = Vec::with_capacity(count);
+    let mut prev: u64 = 0;
+    for i in 0..count {
+        let v = if i == 0 {
+            r.varint(context)?
+        } else {
+            prev.wrapping_add(unzigzag(r.varint(context)?) as u64)
+        };
+        out.push(v);
+        prev = v;
+    }
+    Ok(out)
+}
+
+/// Dictionary-encode small enum tags: `dict_len | dict... | indices`.
+/// A unary dictionary elides the index bytes entirely.
+fn put_dict_column(buf: &mut Vec<u8>, tags: &[u8]) {
+    let mut dict: Vec<u8> = Vec::new();
+    for &t in tags {
+        if !dict.contains(&t) {
+            dict.push(t);
+        }
+    }
+    buf.push(dict.len() as u8);
+    buf.extend_from_slice(&dict);
+    if dict.len() > 1 {
+        for &t in tags {
+            let idx = dict.iter().position(|&d| d == t).unwrap() as u8;
+            buf.push(idx);
+        }
+    }
+}
+
+fn read_dict_column(
+    buf: &[u8],
+    count: usize,
+    context: &'static str,
+) -> Result<Vec<u8>, StoreError> {
+    let mut r = VarReader::new(buf);
+    let dict_len = r.u8(context)? as usize;
+    if dict_len == 0 && count > 0 {
+        return Err(StoreError::Malformed { context });
+    }
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(r.u8(context)?);
+    }
+    let mut out = Vec::with_capacity(count);
+    if dict_len <= 1 {
+        out.resize(count, dict.first().copied().unwrap_or(0));
+    } else {
+        for _ in 0..count {
+            let idx = r.u8(context)? as usize;
+            let tag = *dict.get(idx).ok_or(StoreError::Malformed { context })?;
+            out.push(tag);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// zone map
+// ---------------------------------------------------------------------------
+
+/// Per-segment min/max summary used to skip whole segments during a
+/// predicate scan without decoding any column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Records in the segment.
+    pub count: usize,
+    /// Minimum sequence number.
+    pub min_seq: u64,
+    /// Maximum sequence number.
+    pub max_seq: u64,
+    /// Minimum event timestamp (µs).
+    pub min_ts_us: u64,
+    /// Maximum event timestamp (µs).
+    pub max_ts_us: u64,
+    /// Minimum frame index.
+    pub min_frame: u64,
+    /// Maximum frame index.
+    pub max_frame: u64,
+    /// Minimum cluster id (-1 = "none" records present).
+    pub min_cluster: i64,
+    /// Maximum cluster id.
+    pub max_cluster: i64,
+    /// Minimum trace id.
+    pub min_trace: u64,
+    /// Maximum trace id.
+    pub max_trace: u64,
+    /// Minimum stream id.
+    pub min_stream: u32,
+    /// Maximum stream id.
+    pub max_stream: u32,
+    /// Bitmask of [`RecordKind`] tags present.
+    pub kind_mask: u32,
+    /// Bitmask of [`ServedLabel`] tags present.
+    pub served_mask: u32,
+}
+
+impl ZoneMap {
+    fn of(records: &[LogRecord]) -> ZoneMap {
+        debug_assert!(!records.is_empty());
+        let mut z = ZoneMap {
+            count: records.len(),
+            min_seq: u64::MAX,
+            max_seq: 0,
+            min_ts_us: u64::MAX,
+            max_ts_us: 0,
+            min_frame: u64::MAX,
+            max_frame: 0,
+            min_cluster: i64::MAX,
+            max_cluster: i64::MIN,
+            min_trace: u64::MAX,
+            max_trace: 0,
+            min_stream: u32::MAX,
+            max_stream: 0,
+            kind_mask: 0,
+            served_mask: 0,
+        };
+        for r in records {
+            z.min_seq = z.min_seq.min(r.seq);
+            z.max_seq = z.max_seq.max(r.seq);
+            z.min_ts_us = z.min_ts_us.min(r.ts_us);
+            z.max_ts_us = z.max_ts_us.max(r.ts_us);
+            z.min_frame = z.min_frame.min(r.frame);
+            z.max_frame = z.max_frame.max(r.frame);
+            z.min_cluster = z.min_cluster.min(r.cluster);
+            z.max_cluster = z.max_cluster.max(r.cluster);
+            z.min_trace = z.min_trace.min(r.trace);
+            z.max_trace = z.max_trace.max(r.trace);
+            z.min_stream = z.min_stream.min(r.stream);
+            z.max_stream = z.max_stream.max(r.stream);
+            z.kind_mask |= 1 << r.kind.tag();
+            z.served_mask |= 1 << r.served.tag();
+        }
+        z
+    }
+
+    /// True if any record of `kind` is present.
+    pub fn has_kind(&self, kind: RecordKind) -> bool {
+        self.kind_mask & (1 << kind.tag()) != 0
+    }
+
+    /// True if any record with `served` is present.
+    pub fn has_served(&self, served: ServedLabel) -> bool {
+        self.served_mask & (1 << served.tag()) != 0
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.count);
+        enc.put_u64(self.min_seq);
+        enc.put_u64(self.max_seq);
+        enc.put_u64(self.min_ts_us);
+        enc.put_u64(self.max_ts_us);
+        enc.put_u64(self.min_frame);
+        enc.put_u64(self.max_frame);
+        enc.put_u64(zigzag(self.min_cluster));
+        enc.put_u64(zigzag(self.max_cluster));
+        enc.put_u64(self.min_trace);
+        enc.put_u64(self.max_trace);
+        enc.put_u32(self.min_stream);
+        enc.put_u32(self.max_stream);
+        enc.put_u32(self.kind_mask);
+        enc.put_u32(self.served_mask);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<ZoneMap, StoreError> {
+        Ok(ZoneMap {
+            count: dec.take_usize("zone.count")?,
+            min_seq: dec.take_u64("zone.min_seq")?,
+            max_seq: dec.take_u64("zone.max_seq")?,
+            min_ts_us: dec.take_u64("zone.min_ts")?,
+            max_ts_us: dec.take_u64("zone.max_ts")?,
+            min_frame: dec.take_u64("zone.min_frame")?,
+            max_frame: dec.take_u64("zone.max_frame")?,
+            min_cluster: unzigzag(dec.take_u64("zone.min_cluster")?),
+            max_cluster: unzigzag(dec.take_u64("zone.max_cluster")?),
+            min_trace: dec.take_u64("zone.min_trace")?,
+            max_trace: dec.take_u64("zone.max_trace")?,
+            min_stream: dec.take_u32("zone.min_stream")?,
+            max_stream: dec.take_u32("zone.max_stream")?,
+            kind_mask: dec.take_u32("zone.kind_mask")?,
+            served_mask: dec.take_u32("zone.served_mask")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// segment encode / decode
+// ---------------------------------------------------------------------------
+
+/// Encode a full segment frame (marker + len + crc + columnar body)
+/// for a non-empty batch of records.
+pub fn encode_segment(records: &[LogRecord]) -> Vec<u8> {
+    assert!(!records.is_empty(), "segments are never empty");
+    let zone = ZoneMap::of(records);
+    let mut enc = Encoder::with_capacity(records.len() * 16 + 128);
+    zone.encode(&mut enc);
+
+    let mut col: Vec<u8> = Vec::with_capacity(records.len() * 2);
+
+    put_delta_column(&mut col, records.iter().map(|r| r.seq));
+    enc.put_bytes(&col);
+    col.clear();
+
+    put_delta_column(&mut col, records.iter().map(|r| r.ts_us));
+    enc.put_bytes(&col);
+    col.clear();
+
+    put_delta_column(&mut col, records.iter().map(|r| r.frame));
+    enc.put_bytes(&col);
+    col.clear();
+
+    for r in records {
+        put_varint(&mut col, u64::from(r.stream - zone.min_stream));
+    }
+    enc.put_bytes(&col);
+    col.clear();
+
+    let kinds: Vec<u8> = records.iter().map(|r| r.kind.tag()).collect();
+    put_dict_column(&mut col, &kinds);
+    enc.put_bytes(&col);
+    col.clear();
+
+    let serveds: Vec<u8> = records.iter().map(|r| r.served.tag()).collect();
+    put_dict_column(&mut col, &serveds);
+    enc.put_bytes(&col);
+    col.clear();
+
+    for r in records {
+        put_varint(&mut col, zigzag(r.cluster));
+    }
+    enc.put_bytes(&col);
+    col.clear();
+
+    for r in records {
+        put_varint(&mut col, u64::from(r.dets));
+    }
+    enc.put_bytes(&col);
+    col.clear();
+
+    for r in records {
+        col.extend_from_slice(&r.conf_mean.to_bits().to_le_bytes());
+    }
+    enc.put_bytes(&col);
+    col.clear();
+
+    for r in records {
+        col.extend_from_slice(&r.conf_max.to_bits().to_le_bytes());
+    }
+    enc.put_bytes(&col);
+    col.clear();
+
+    for r in records {
+        put_varint(&mut col, r.latency_us);
+    }
+    enc.put_bytes(&col);
+    col.clear();
+
+    put_delta_column(&mut col, records.iter().map(|r| r.trace));
+    enc.put_bytes(&col);
+
+    let body = enc.into_bytes();
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + body.len());
+    frame.push(SEGMENT_MARKER);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Decode a CRC-verified segment body back into its zone map and rows.
+pub fn decode_segment_body(body: &[u8]) -> Result<(ZoneMap, Vec<LogRecord>), StoreError> {
+    let mut dec = Decoder::new(body);
+    let zone = ZoneMap::decode(&mut dec)?;
+    let n = zone.count;
+
+    let seqs = read_delta_column(dec.take_bytes("col.seq")?, n, "col.seq")?;
+    let tss = read_delta_column(dec.take_bytes("col.ts")?, n, "col.ts")?;
+    let frames = read_delta_column(dec.take_bytes("col.frame")?, n, "col.frame")?;
+
+    let stream_buf = dec.take_bytes("col.stream")?;
+    let mut r = VarReader::new(stream_buf);
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        streams.push(zone.min_stream + r.varint("col.stream")? as u32);
+    }
+
+    let kinds = read_dict_column(dec.take_bytes("col.kind")?, n, "col.kind")?;
+    let serveds = read_dict_column(dec.take_bytes("col.served")?, n, "col.served")?;
+
+    let cluster_buf = dec.take_bytes("col.cluster")?;
+    let mut r = VarReader::new(cluster_buf);
+    let mut clusters = Vec::with_capacity(n);
+    for _ in 0..n {
+        clusters.push(unzigzag(r.varint("col.cluster")?));
+    }
+
+    let dets_buf = dec.take_bytes("col.dets")?;
+    let mut r = VarReader::new(dets_buf);
+    let mut dets = Vec::with_capacity(n);
+    for _ in 0..n {
+        dets.push(r.varint("col.dets")? as u32);
+    }
+
+    let mean_buf = dec.take_bytes("col.conf_mean")?;
+    let mut r = VarReader::new(mean_buf);
+    let mut means = Vec::with_capacity(n);
+    for _ in 0..n {
+        means.push(r.f32("col.conf_mean")?);
+    }
+
+    let max_buf = dec.take_bytes("col.conf_max")?;
+    let mut r = VarReader::new(max_buf);
+    let mut maxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        maxs.push(r.f32("col.conf_max")?);
+    }
+
+    let lat_buf = dec.take_bytes("col.latency")?;
+    let mut r = VarReader::new(lat_buf);
+    let mut lats = Vec::with_capacity(n);
+    for _ in 0..n {
+        lats.push(r.varint("col.latency")?);
+    }
+
+    let traces = read_delta_column(dec.take_bytes("col.trace")?, n, "col.trace")?;
+    dec.finish("segment body")?;
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(LogRecord {
+            seq: seqs[i],
+            kind: RecordKind::from_tag(kinds[i])
+                .ok_or(StoreError::Malformed { context: "record kind tag" })?,
+            ts_us: tss[i],
+            frame: frames[i],
+            stream: streams[i],
+            cluster: clusters[i],
+            served: ServedLabel::from_tag(serveds[i])
+                .ok_or(StoreError::Malformed { context: "served label tag" })?,
+            dets: dets[i],
+            conf_mean: means[i],
+            conf_max: maxs[i],
+            latency_us: lats[i],
+            trace: traces[i],
+        });
+    }
+    Ok((zone, out))
+}
+
+// ---------------------------------------------------------------------------
+// file scan
+// ---------------------------------------------------------------------------
+
+/// One intact segment located inside a log file.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentInfo {
+    /// Zone map parsed from the segment body.
+    pub zone: ZoneMap,
+    /// Byte offset of the segment marker in the file.
+    pub offset: u64,
+    /// Total frame length (marker through end of body).
+    pub len: usize,
+}
+
+/// A parsed log file: intact segments plus the torn-tail verdict.
+#[derive(Debug)]
+pub struct LogFile {
+    bytes: Vec<u8>,
+    /// Intact segments in file order.
+    pub segments: Vec<SegmentInfo>,
+    /// Length of the intact prefix; bytes past this are a torn tail.
+    pub good_len: u64,
+    /// True when trailing bytes failed framing or CRC checks.
+    pub torn: bool,
+}
+
+impl LogFile {
+    /// Decode all rows of segment `i` (columns are decoded lazily, per
+    /// segment, so zone-pruned scans never touch them).
+    pub fn records(&self, i: usize) -> Result<Vec<LogRecord>, StoreError> {
+        let seg = &self.segments[i];
+        let start = seg.offset as usize + FRAME_OVERHEAD;
+        let body = &self.bytes[start..seg.offset as usize + seg.len];
+        decode_segment_body(body).map(|(_, recs)| recs)
+    }
+
+    /// Sequence number of the last intact record, or 0 for an empty log.
+    pub fn last_seq(&self) -> u64 {
+        self.segments.last().map(|s| s.zone.max_seq).unwrap_or(0)
+    }
+
+    /// Total intact records across all segments.
+    pub fn record_count(&self) -> usize {
+        self.segments.iter().map(|s| s.zone.count).sum()
+    }
+}
+
+/// Scan raw file bytes into segments, stopping at the first torn or
+/// corrupt frame. Only the zone-map prefix of each body is decoded.
+pub fn scan_bytes(bytes: Vec<u8>) -> Result<LogFile, StoreError> {
+    if bytes.is_empty() {
+        // Brand-new file: treat as an empty, intact log.
+        return Ok(LogFile { bytes, segments: Vec::new(), good_len: 0, torn: false });
+    }
+    if bytes.len() < HEADER_LEN as usize || bytes[..4] != MAGIC {
+        let mut found = [0u8; 4];
+        let n = bytes.len().min(4);
+        found[..n].copy_from_slice(&bytes[..n]);
+        return Err(StoreError::BadMagic { found });
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
+    }
+
+    let mut segments = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut torn = false;
+    while pos < bytes.len() {
+        // Frame header: marker + body_len + crc.
+        if pos + FRAME_OVERHEAD > bytes.len() || bytes[pos] != SEGMENT_MARKER {
+            torn = true;
+            break;
+        }
+        let body_len =
+            u32::from_le_bytes([bytes[pos + 1], bytes[pos + 2], bytes[pos + 3], bytes[pos + 4]])
+                as usize;
+        let crc =
+            u32::from_le_bytes([bytes[pos + 5], bytes[pos + 6], bytes[pos + 7], bytes[pos + 8]]);
+        let body_start = pos + FRAME_OVERHEAD;
+        let body_end = body_start + body_len;
+        if body_end > bytes.len() {
+            torn = true;
+            break;
+        }
+        let body = &bytes[body_start..body_end];
+        if crc32(body) != crc {
+            torn = true;
+            break;
+        }
+        let mut dec = Decoder::new(body);
+        let zone = ZoneMap::decode(&mut dec)?;
+        segments.push(SegmentInfo { zone, offset: pos as u64, len: FRAME_OVERHEAD + body_len });
+        pos = body_end;
+    }
+    let good_len = segments.last().map(|s| s.offset + s.len as u64).unwrap_or(HEADER_LEN);
+    Ok(LogFile { bytes, segments, good_len, torn })
+}
+
+/// Read and scan a log file from disk.
+pub fn read_log(path: &Path) -> Result<LogFile, StoreError> {
+    let bytes = fs::read(path).map_err(StoreError::Io)?;
+    scan_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, stream: u32) -> Vec<LogRecord> {
+        (0..n)
+            .map(|i| LogRecord {
+                seq: 100 + i as u64,
+                kind: RecordKind::ALL[i % RecordKind::ALL.len()],
+                ts_us: 1_000_000 + (i as u64) * 33_000,
+                frame: i as u64,
+                stream,
+                cluster: (i as i64 % 5) - 1,
+                served: ServedLabel::ALL[i % ServedLabel::ALL.len()],
+                dets: (i % 7) as u32,
+                conf_mean: 0.25 + i as f32 * 0.01,
+                conf_max: 0.5 + i as f32 * 0.01,
+                latency_us: 1000 + (i as u64 % 13) * 77,
+                trace: 7_000 + (i as u64 / 3),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = VarReader::new(&buf);
+            assert_eq!(r.varint("t").unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -12345] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn segment_roundtrips_bit_exact() {
+        let recs = sample(257, 3);
+        let frame = encode_segment(&recs);
+        assert_eq!(frame[0], SEGMENT_MARKER);
+        let body = &frame[FRAME_OVERHEAD..];
+        let (zone, back) = decode_segment_body(body).unwrap();
+        assert_eq!(back, recs);
+        assert_eq!(zone.count, 257);
+        assert_eq!(zone.min_seq, 100);
+        assert_eq!(zone.max_seq, 356);
+        assert_eq!(zone.min_cluster, -1);
+        assert_eq!(zone.min_stream, 3);
+        assert_eq!(zone.max_stream, 3);
+        assert!(zone.has_kind(RecordKind::DriftDetected));
+        assert!(zone.has_served(ServedLabel::Teacher));
+    }
+
+    #[test]
+    fn unary_dictionary_elides_indices() {
+        let uniform: Vec<LogRecord> = sample(64, 0)
+            .into_iter()
+            .map(|mut r| {
+                r.kind = RecordKind::Frame;
+                r.served = ServedLabel::Teacher;
+                r
+            })
+            .collect();
+        let varied = sample(64, 0);
+        let uf = encode_segment(&uniform);
+        let vf = encode_segment(&varied);
+        // Two dictionary columns × 64 elided index bytes, minus the
+        // extra dict entries — the uniform frame must be clearly
+        // smaller on those columns alone.
+        assert!(uf.len() + 100 < vf.len(), "uniform {} vs varied {}", uf.len(), vf.len());
+        let (_, back) = decode_segment_body(&uf[FRAME_OVERHEAD..]).unwrap();
+        assert_eq!(back, uniform);
+    }
+
+    #[test]
+    fn scan_detects_and_stops_at_corruption() {
+        let mut file = header_bytes().to_vec();
+        file.extend_from_slice(&encode_segment(&sample(10, 0)));
+        let good = encode_segment(&sample(10, 0));
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xff; // flip a body byte -> CRC fail
+        file.extend_from_slice(&bad);
+
+        let log = scan_bytes(file).unwrap();
+        assert_eq!(log.segments.len(), 1);
+        assert!(log.torn);
+        assert_eq!(log.good_len, HEADER_LEN + good.len() as u64);
+    }
+
+    #[test]
+    fn scan_rejects_foreign_files() {
+        assert!(matches!(
+            scan_bytes(b"not an odlg file".to_vec()),
+            Err(StoreError::BadMagic { .. })
+        ));
+        let mut future = header_bytes().to_vec();
+        future[4] = 99;
+        assert!(matches!(scan_bytes(future), Err(StoreError::UnsupportedVersion { .. })));
+    }
+
+    #[test]
+    fn torn_tail_mid_frame_is_flagged() {
+        let mut file = header_bytes().to_vec();
+        let seg = encode_segment(&sample(20, 1));
+        file.extend_from_slice(&seg);
+        file.extend_from_slice(&seg[..seg.len() / 2]); // torn second segment
+        let log = scan_bytes(file).unwrap();
+        assert_eq!(log.segments.len(), 1);
+        assert!(log.torn);
+        assert_eq!(log.good_len, HEADER_LEN + seg.len() as u64);
+        assert_eq!(log.records(0).unwrap(), sample(20, 1));
+        assert_eq!(log.last_seq(), 119);
+    }
+}

@@ -1,0 +1,374 @@
+//! Batched background writer with counted-drop backpressure.
+//!
+//! The pipeline thread calls [`LogWriter::append`], which is a single
+//! bounded-channel `try_send`: when the writer thread falls behind and
+//! the queue fills, the record is **dropped and counted** — the
+//! serving hot path never blocks on the log. The writer thread buffers
+//! records and seals a columnar segment every
+//! [`EventLogConfig::segment_records`] records, on an explicit
+//! [`LogWriter::flush`] (which also fsyncs and acks), and on shutdown.
+//!
+//! On open, the existing file is scanned with the same torn-tail rules
+//! as the WAL: an interrupted append leaves a trailing partial frame,
+//! which is truncated away before new segments are appended.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use odin_store::StoreError;
+use odin_telemetry::{log_bounds, Counter, Gauge, Histogram, Registry};
+
+use crate::record::{EventLogConfig, LogRecord};
+use crate::segment::{self, encode_segment};
+
+/// Telemetry handles the writer updates. Pass handles registered in
+/// the pipeline's registry to surface them on `/metrics`, or
+/// [`LogMetrics::detached`] for standalone use (benches, tests).
+#[derive(Debug, Clone)]
+pub struct LogMetrics {
+    /// Records accepted into the queue (`odin_event_log_appended_total`).
+    pub appended: Counter,
+    /// Records dropped because the queue was full
+    /// (`odin_event_log_dropped_total`).
+    pub dropped: Counter,
+    /// Instantaneous queue depth (`odin_event_log_queue_depth`).
+    pub queue_depth: Gauge,
+    /// Wall time per sealed-segment disk write
+    /// (`odin_event_log_flush_ms`).
+    pub flush_ms: Histogram,
+}
+
+impl LogMetrics {
+    /// Handles registered in a private registry — observable through
+    /// the returned struct but not exported anywhere.
+    pub fn detached() -> Self {
+        let reg = Registry::new();
+        LogMetrics {
+            appended: reg.counter("odin_event_log_appended_total"),
+            dropped: reg.counter("odin_event_log_dropped_total"),
+            queue_depth: reg.gauge("odin_event_log_queue_depth"),
+            flush_ms: reg.histogram("odin_event_log_flush_ms", &log_bounds(0.005, 5000.0, 14)),
+        }
+    }
+}
+
+enum Msg {
+    Append(LogRecord),
+    Flush(mpsc::Sender<()>),
+}
+
+/// Handle to the event log: owns the background thread, the bounded
+/// channel, and the recovery verdict from open time.
+pub struct LogWriter {
+    tx: Option<SyncSender<Msg>>,
+    handle: Option<JoinHandle<()>>,
+    metrics: LogMetrics,
+    failures: Arc<AtomicU64>,
+    recovered_last_seq: u64,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for LogWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogWriter")
+            .field("path", &self.path)
+            .field("recovered_last_seq", &self.recovered_last_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogWriter {
+    /// Open (or create) the log at `path`, truncating any torn tail,
+    /// and start the background writer thread.
+    pub fn open(path: &Path, cfg: EventLogConfig, metrics: LogMetrics) -> Result<Self, StoreError> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(StoreError::Io)?;
+        }
+        // Scan whatever is already there; a fresh file gets a header.
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let scanned = segment::scan_bytes(existing)?;
+        let recovered_last_seq = scanned.last_seq();
+
+        // O_APPEND: every segment write lands at EOF, even right
+        // after the torn-tail truncation below.
+        let file =
+            OpenOptions::new().create(true).append(true).open(path).map_err(StoreError::Io)?;
+        if scanned.good_len == 0 {
+            file.set_len(0).map_err(StoreError::Io)?;
+            let mut f = &file;
+            f.write_all(&segment::header_bytes()).map_err(StoreError::Io)?;
+        } else {
+            // Drop the torn tail (no-op when the file is intact).
+            file.set_len(scanned.good_len).map_err(StoreError::Io)?;
+        }
+        file.sync_data().map_err(StoreError::Io)?;
+
+        let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_cap.max(1));
+        let failures = Arc::new(AtomicU64::new(0));
+        let seg_cap = cfg.segment_records.max(1);
+        let thread_metrics = metrics.clone();
+        let thread_failures = Arc::clone(&failures);
+        let handle = std::thread::Builder::new()
+            .name("odin-event-log".into())
+            .spawn(move || writer_loop(file, rx, seg_cap, thread_metrics, thread_failures))
+            .map_err(StoreError::Io)?;
+
+        Ok(LogWriter {
+            tx: Some(tx),
+            handle: Some(handle),
+            metrics,
+            failures,
+            recovered_last_seq,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Non-blocking append. Returns `true` if the record was accepted,
+    /// `false` if the bounded queue was full (the drop is counted).
+    pub fn append(&self, rec: LogRecord) -> bool {
+        let Some(tx) = &self.tx else { return false };
+        match tx.try_send(Msg::Append(rec)) {
+            Ok(()) => {
+                self.metrics.appended.inc();
+                self.metrics.queue_depth.add(1);
+                true
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.metrics.dropped.inc();
+                false
+            }
+        }
+    }
+
+    /// Block until every queued record is sealed into a segment and
+    /// the file is fsynced.
+    pub fn flush(&self) {
+        let Some(tx) = &self.tx else { return };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        // A full queue here means the writer is actively draining;
+        // a blocking send is acceptable on this cold path.
+        if tx.send(Msg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Highest sequence number found in the intact prefix at open time
+    /// (0 for a fresh log). The pipeline resumes its emitter sequence
+    /// from `max(checkpointed, recovered)`.
+    pub fn recovered_last_seq(&self) -> u64 {
+        self.recovered_last_seq
+    }
+
+    /// Disk-write failures observed by the background thread.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LogWriter {
+    fn drop(&mut self) {
+        // Close the channel; the thread seals the remaining buffer,
+        // fsyncs, and exits.
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut file: File,
+    rx: Receiver<Msg>,
+    seg_cap: usize,
+    metrics: LogMetrics,
+    failures: Arc<AtomicU64>,
+) {
+    let mut buf: Vec<LogRecord> = Vec::with_capacity(seg_cap);
+    let seal = |buf: &mut Vec<LogRecord>, file: &mut File| {
+        if buf.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let frame = encode_segment(buf);
+        buf.clear();
+        let ok = file.write_all(&frame).is_ok() && file.flush().is_ok();
+        if !ok {
+            failures.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics.flush_ms.observe_ms(started.elapsed().as_secs_f64() * 1e3);
+    };
+    loop {
+        match rx.recv() {
+            Ok(Msg::Append(rec)) => {
+                metrics.queue_depth.add(-1);
+                buf.push(rec);
+                if buf.len() >= seg_cap {
+                    seal(&mut buf, &mut file);
+                }
+            }
+            Ok(Msg::Flush(ack)) => {
+                // Drain everything already queued before acking, so a
+                // flush observes all appends that happened before it.
+                loop {
+                    match rx.try_recv() {
+                        Ok(Msg::Append(rec)) => {
+                            metrics.queue_depth.add(-1);
+                            buf.push(rec);
+                            if buf.len() >= seg_cap {
+                                seal(&mut buf, &mut file);
+                            }
+                        }
+                        Ok(Msg::Flush(extra)) => {
+                            let _ = extra.send(());
+                        }
+                        Err(_) => break,
+                    }
+                }
+                seal(&mut buf, &mut file);
+                if file.sync_data().is_err() {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = ack.send(());
+            }
+            Err(_) => {
+                seal(&mut buf, &mut file);
+                let _ = file.sync_data();
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::read_log;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "odin-log-{tag}-{}-{:?}.odlg",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn rec(seq: u64) -> LogRecord {
+        LogRecord { seq, ts_us: seq * 1000, frame: seq, ..LogRecord::empty() }
+    }
+
+    #[test]
+    fn writer_seals_segments_and_resumes_after_torn_tail() {
+        let path = temp_path("torn");
+        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 8 };
+        {
+            let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+            for s in 1..=20u64 {
+                assert!(w.append(rec(s)));
+            }
+            w.flush();
+        }
+        let intact = read_log(&path).unwrap();
+        // 20 records at 8/segment = 2 full + 1 flush-sealed partial.
+        assert_eq!(intact.segments.len(), 3);
+        assert_eq!(intact.record_count(), 20);
+        assert_eq!(intact.last_seq(), 20);
+        assert!(!intact.torn);
+
+        // Simulate a crash mid-append: half a segment frame trails.
+        let garbage = encode_segment(&[rec(999)]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&garbage[..garbage.len() - 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_log(&path).unwrap().torn);
+
+        // Reopen: tail truncated, sequence recovered, appends resume.
+        let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+        assert_eq!(w.recovered_last_seq(), 20);
+        assert!(w.append(rec(21)));
+        w.flush();
+        drop(w);
+        let healed = read_log(&path).unwrap();
+        assert!(!healed.torn);
+        assert_eq!(healed.record_count(), 21);
+        assert_eq!(healed.last_seq(), 21);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts_instead_of_blocking() {
+        let path = temp_path("drops");
+        let cfg = EventLogConfig { enabled: true, queue_cap: 2, segment_records: 1024 };
+        let metrics = LogMetrics::detached();
+        let w = LogWriter::open(&path, cfg, metrics.clone()).unwrap();
+        // Hold the writer thread hostage with a flood while it is
+        // between recv calls; with cap 2 some try_sends must fail.
+        let mut accepted = 0u64;
+        for s in 0..10_000u64 {
+            if w.append(rec(s + 1)) {
+                accepted += 1;
+            }
+        }
+        w.flush();
+        assert_eq!(metrics.appended.get(), accepted);
+        assert_eq!(metrics.dropped.get(), 10_000 - accepted);
+        assert_eq!(metrics.queue_depth.get(), 0);
+        drop(w);
+        let log = read_log(&path).unwrap();
+        assert_eq!(log.record_count() as u64, accepted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_without_flush_still_persists_buffered_records() {
+        let path = temp_path("dropseal");
+        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 1000 };
+        {
+            let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+            for s in 1..=5u64 {
+                assert!(w.append(rec(s)));
+            }
+        } // Drop: shutdown seal.
+        let log = read_log(&path).unwrap();
+        assert_eq!(log.record_count(), 5);
+        assert!(!log.torn);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopening_an_intact_log_preserves_every_byte() {
+        let path = temp_path("reopen");
+        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 4 };
+        {
+            let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+            for s in 1..=4u64 {
+                w.append(rec(s));
+            }
+            w.flush();
+        }
+        let before = std::fs::read(&path).unwrap();
+        {
+            let _w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+        }
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(before, after);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,217 @@
+//! Query-layer edge cases over real files: zone-map pruning across
+//! many segments, empty results, predicates straddling a segment
+//! boundary, torn-tail recovery, and multi-shard store scans.
+
+use std::path::PathBuf;
+
+use odin_log::{
+    read_log, scan_log, scan_store, EventLogConfig, LogMetrics, LogRecord, LogWriter, Predicate,
+    RecordKind, ServedLabel, EVENT_LOG_FILE,
+};
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("odin-log-it-{tag}-{}-{:?}", std::process::id(), std::thread::current().id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// 4 segments x 8 records on `stream`: seq s+1.., ts 1ms apart, a
+/// drift record every 8th row, teacher/ensemble alternating.
+fn write_log(dir: &std::path::Path, stream: u32, seq0: u64, ts0_us: u64) -> PathBuf {
+    let path = dir.join(EVENT_LOG_FILE);
+    let cfg = EventLogConfig { enabled: true, queue_cap: 256, segment_records: 8 };
+    let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+    for i in 0..32u64 {
+        let drift = i % 8 == 7;
+        let rec = LogRecord {
+            seq: seq0 + i + 1,
+            kind: if drift { RecordKind::DriftDetected } else { RecordKind::Frame },
+            ts_us: ts0_us + i * 1000,
+            frame: i,
+            stream,
+            cluster: if drift { (i / 8) as i64 } else { -1 },
+            served: if drift {
+                ServedLabel::None
+            } else if i % 2 == 0 {
+                ServedLabel::Teacher
+            } else {
+                ServedLabel::Ensemble
+            },
+            dets: (i % 3) as u32,
+            conf_mean: 0.5,
+            conf_max: 0.9,
+            latency_us: 100 + i,
+            trace: 1 + i / 8,
+        };
+        assert!(w.append(rec));
+    }
+    w.flush();
+    path
+}
+
+#[test]
+fn time_range_prunes_segments_it_cannot_match() {
+    let dir = scratch("prune-time");
+    let path = write_log(&dir, 0, 0, 1_000_000);
+    let log = read_log(&path).unwrap();
+    assert_eq!(log.segments.len(), 4, "fixture must span >= 3 segments");
+
+    // Rows 8..=15 live in segment 1 only: ts 1_008_000..=1_015_000.
+    let pred =
+        Predicate { ts_min_us: Some(1_008_000), ts_max_us: Some(1_015_000), ..Default::default() };
+    let res = scan_log(&path, &pred).unwrap();
+    assert_eq!(res.stats.segments_total, 4);
+    assert_eq!(res.stats.segments_scanned, 1);
+    assert_eq!(res.stats.segments_pruned, 3);
+    assert_eq!(res.records.len(), 8);
+    assert!(res.records.iter().all(|r| (8..16).contains(&r.frame)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kind_and_served_masks_prune_without_decoding() {
+    let dir = scratch("prune-mask");
+    let path = write_log(&dir, 0, 0, 0);
+
+    // Install records never occur: every segment pruned by kind mask.
+    let res = scan_log(
+        &path,
+        &Predicate { kind: Some(RecordKind::ModelInstalled), ..Default::default() },
+    )
+    .unwrap();
+    assert!(res.records.is_empty());
+    assert_eq!(res.stats.segments_pruned, 4);
+    assert_eq!(res.stats.segments_scanned, 0);
+
+    // Fallback never served: pruned by served mask.
+    let res =
+        scan_log(&path, &Predicate { served: Some(ServedLabel::Fallback), ..Default::default() })
+            .unwrap();
+    assert!(res.records.is_empty());
+    assert_eq!(res.stats.segments_scanned, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn predicate_straddling_a_segment_boundary_hits_both_sides() {
+    let dir = scratch("straddle");
+    let path = write_log(&dir, 0, 0, 0);
+    // Frames 6..=9 straddle the segment 0 / segment 1 boundary (8).
+    let pred = Predicate { frame_min: Some(6), frame_max: Some(9), ..Default::default() };
+    let res = scan_log(&path, &pred).unwrap();
+    assert_eq!(res.stats.segments_scanned, 2);
+    assert_eq!(res.stats.segments_pruned, 2);
+    assert_eq!(res.records.iter().map(|r| r.frame).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    // The boundary drift record (frame 7) survives with its fields.
+    let drift = &res.records[1];
+    assert_eq!(drift.kind, RecordKind::DriftDetected);
+    assert_eq!(drift.cluster, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_results_and_empty_logs_are_not_errors() {
+    let dir = scratch("empty");
+    let path = write_log(&dir, 0, 0, 0);
+    let res = scan_log(&path, &Predicate { cluster: Some(999), ..Default::default() }).unwrap();
+    assert!(res.records.is_empty());
+    assert_eq!(res.stats.records_matched, 0);
+
+    // A freshly opened, never-written log scans clean too.
+    let fresh = dir.join("fresh.odlg");
+    {
+        let _w = LogWriter::open(
+            &fresh,
+            EventLogConfig { enabled: true, ..Default::default() },
+            LogMetrics::detached(),
+        )
+        .unwrap();
+    }
+    let res = scan_log(&fresh, &Predicate::default()).unwrap();
+    assert!(res.records.is_empty());
+    assert_eq!(res.stats.segments_total, 0);
+    assert!(!res.stats.torn_tail);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_after_simulated_crash_scans_intact_prefix() {
+    let dir = scratch("torn-scan");
+    let path = write_log(&dir, 0, 0, 0);
+    // Crash mid-flush: append half a segment frame.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let tail = bytes[bytes.len() - 40..].to_vec();
+    bytes.extend_from_slice(&tail[..20]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let res = scan_log(&path, &Predicate::default()).unwrap();
+    assert!(res.stats.torn_tail);
+    assert_eq!(res.records.len(), 32, "intact prefix fully readable");
+
+    // Reopen heals the file and resumes the sequence.
+    let w = LogWriter::open(
+        &path,
+        EventLogConfig { enabled: true, ..Default::default() },
+        LogMetrics::detached(),
+    )
+    .unwrap();
+    assert_eq!(w.recovered_last_seq(), 32);
+    drop(w);
+    assert!(!scan_log(&path, &Predicate::default()).unwrap().stats.torn_tail);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_scan_merges_shards_and_filters_by_stream() {
+    let dir = scratch("store-merge");
+    // Sharded layout: streams/0 and streams/2, interleaved in time,
+    // plus a standalone single-pipeline log at the store root.
+    write_log(&dir.join("streams").join("0"), 0, 0, 0);
+    write_log(&dir.join("streams").join("2"), 2, 100, 500);
+    write_log(&dir, 7, 700, 250);
+
+    let all = scan_store(&dir, &Predicate::default()).unwrap();
+    assert_eq!(all.stats.files, 3);
+    assert_eq!(all.records.len(), 96);
+    // Global (ts, stream, seq) order across shards.
+    let mut sorted = all.records.clone();
+    sorted.sort_by_key(|r| (r.ts_us, r.stream, r.seq));
+    assert_eq!(all.records, sorted);
+
+    let s2 = scan_store(&dir, &Predicate { stream: Some(2), ..Default::default() }).unwrap();
+    assert_eq!(s2.records.len(), 32);
+    assert!(s2.records.iter().all(|r| r.stream == 2 && r.seq > 100));
+    // Whole foreign shards pruned via the stream zone map.
+    assert_eq!(s2.stats.segments_scanned, 4);
+    assert_eq!(s2.stats.segments_pruned, 8);
+
+    // Time x stream x served conjunction.
+    let narrowed = scan_store(
+        &dir,
+        &Predicate {
+            stream: Some(2),
+            ts_min_us: Some(500),
+            ts_max_us: Some(8_500),
+            served: Some(ServedLabel::Teacher),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(!narrowed.records.is_empty());
+    assert!(narrowed
+        .records
+        .iter()
+        .all(|r| r.stream == 2 && r.ts_us <= 8_500 && r.served == ServedLabel::Teacher));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_store_on_a_dir_without_logs_is_empty() {
+    let dir = scratch("no-logs");
+    let res = scan_store(&dir, &Predicate::default()).unwrap();
+    assert!(res.records.is_empty());
+    assert_eq!(res.stats.files, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

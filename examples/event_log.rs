@@ -1,0 +1,125 @@
+//! Event log end-to-end: stream two concepts through a pipeline with
+//! the log enabled, then query the log back — the same files the
+//! `odin` CLI reads.
+//!
+//! ```text
+//! cargo run --release --example event_log
+//! ODIN_STORE_DIR=/tmp/store cargo run --release --example event_log
+//! ```
+//!
+//! A manual clock is installed and advanced 1 ms per frame, so the
+//! written `events.odlg` is a pure function of the frame stream —
+//! running this example twice (at any `ODIN_THREADS`) produces
+//! byte-identical files, which the CI smoke checks with `cmp`.
+
+use std::sync::Arc;
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::{CheckpointPolicy, EventLogConfig, EVENT_LOG_FILE};
+use odin_data::{SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use odin_log::{scan_log, Predicate, RecordKind};
+use odin_telemetry::ManualClock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let store_dir = match std::env::var_os("ODIN_STORE_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("odin-event-log-{}", std::process::id())),
+    };
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    let cfg = OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 20,
+        // Small segments so even this short run exercises zone-map
+        // pruning across several of them.
+        event_log: EventLogConfig { enabled: true, queue_cap: 4096, segment_records: 32 },
+        ..OdinConfig::default()
+    };
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 42);
+    let clock = Arc::new(ManualClock::new());
+    odin.telemetry().set_clock(clock.clone());
+    odin.enable_store(&store_dir, CheckpointPolicy::Manual).expect("enable store");
+
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    let night = gen.subset_frames(&mut rng, Subset::Night, 60);
+    let day = gen.subset_frames(&mut rng, Subset::Day, 60);
+    println!("streaming {} frames with the event log at {}", 120, store_dir.display());
+    for f in night.iter().chain(&day) {
+        odin.process(f);
+        clock.advance_ms(1.0);
+    }
+    odin.flush_store();
+
+    let log_path = store_dir.join(EVENT_LOG_FILE);
+    let all = scan_log(&log_path, &Predicate::default()).expect("scan");
+    println!(
+        "log contains {} records in {} segments ({} bytes)",
+        all.records.len(),
+        all.stats.segments_total,
+        std::fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0),
+    );
+
+    // The recovery arcs, exactly as `odin explain` joins them.
+    for kind in [RecordKind::DriftDetected, RecordKind::TrainQueued, RecordKind::ModelInstalled] {
+        let res = scan_log(&log_path, &Predicate { kind: Some(kind), ..Default::default() })
+            .expect("scan kind");
+        for r in &res.records {
+            match kind {
+                RecordKind::DriftDetected => println!(
+                    "drift detected: cluster {} at frame {} (trace {:#x})",
+                    r.cluster, r.frame, r.trace
+                ),
+                RecordKind::TrainQueued => println!(
+                    "train queued: cluster {} at frame {} (trace {:#x})",
+                    r.cluster, r.frame, r.trace
+                ),
+                _ => println!(
+                    "model installed: cluster {} at frame {} (train {:.1} ms, trace {:#x})",
+                    r.cluster,
+                    r.frame,
+                    r.latency_us as f64 / 1e3,
+                    r.trace
+                ),
+            }
+        }
+    }
+
+    // A zone-map-pruned point query: the second concept only.
+    let day_only =
+        scan_log(&log_path, &Predicate { ts_min_us: Some(60_000), ..Default::default() })
+            .expect("scan range");
+    println!(
+        "time-range query matched {} records, pruned {} of {} segments",
+        day_only.records.len(),
+        day_only.stats.segments_pruned,
+        day_only.stats.segments_total,
+    );
+    assert!(day_only.stats.segments_pruned > 0, "expected zone-map pruning");
+
+    if std::env::var_os("ODIN_STORE_DIR").is_none() {
+        std::fs::remove_dir_all(&store_dir).ok();
+    }
+    println!("event log demo complete");
+}

@@ -126,6 +126,59 @@ done
 curl -fsS "http://$MS_ADDR/trace" | jq -e '.traceEvents | length > 0' >/dev/null
 wait "$MS_PID"
 
+# Event-log + ops-CLI smoke: run a drift stream with the log enabled at
+# two tensor thread counts and require byte-identical events.odlg (the
+# log inherits replay determinism), then drive the `odin` CLI over the
+# written store: `scan` must find the drift records with predicate
+# filters and report zone-map pruning, `explain` must reconstruct the
+# detect -> queued -> installed arc, and `status` must answer against a
+# live exposition endpoint. A small log_throughput run keeps the bench
+# bin itself green.
+echo "==> event log + odin CLI smoke (event_log example, both thread counts)"
+EL_DIR=/tmp/odin-ci-eventlog
+rm -rf "$EL_DIR"
+mkdir -p "$EL_DIR"
+ODIN_THREADS=1 ODIN_STORE_DIR="$EL_DIR/t1" \
+    cargo run --release -p odin-core --example event_log >"$EL_DIR/t1.log"
+ODIN_THREADS=2 ODIN_STORE_DIR="$EL_DIR/t2" \
+    cargo run --release -p odin-core --example event_log >"$EL_DIR/t2.log"
+grep -q '^drift detected: ' "$EL_DIR/t1.log"
+grep -q '^model installed: ' "$EL_DIR/t1.log"
+cmp "$EL_DIR/t1/events.odlg" "$EL_DIR/t2/events.odlg"
+ODIN_BIN=target/release/odin
+"$ODIN_BIN" scan --log "$EL_DIR/t1/events.odlg" --kind drift --stats \
+    >"$EL_DIR/scan.log" 2>"$EL_DIR/scan.stats"
+grep -q 'drift_detected' "$EL_DIR/scan.log"
+grep -q 'pruned by zone maps' "$EL_DIR/scan.stats"
+"$ODIN_BIN" scan --log "$EL_DIR/t1/events.odlg" --since 60ms --served teacher --json \
+    | jq -e '(length > 0) and all(.[]; .served == "teacher" and .ts_us >= 60000)' >/dev/null
+"$ODIN_BIN" explain --log "$EL_DIR/t1/events.odlg" >"$EL_DIR/explain.log"
+grep -q 'drift detected' "$EL_DIR/explain.log"
+grep -q 'train queued' "$EL_DIR/explain.log"
+grep -q 'model installed' "$EL_DIR/explain.log"
+# `odin status` against the telemetry exposition window.
+ODIN_SERVE_MS=15000 cargo run --release -p odin-bench --bin table_telemetry -- \
+    --scale 0.05 --out "$EL_DIR" >"$EL_DIR/serve.log" &
+EL_PID=$!
+EL_ADDR=""
+for _ in $(seq 1 150); do
+    EL_ADDR=$(sed -n 's|^serving telemetry at http://\([0-9.:]*\) .*|\1|p' "$EL_DIR/serve.log")
+    [ -n "$EL_ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$EL_ADDR" ]; then
+    echo "error: exposition endpoint for odin status never came up" >&2
+    cat "$EL_DIR/serve.log" >&2
+    kill "$EL_PID" 2>/dev/null || true
+    exit 1
+fi
+"$ODIN_BIN" status --addr "$EL_ADDR" >"$EL_DIR/status.log"
+grep -q '"status":"ok"' "$EL_DIR/status.log"
+grep -q '^odin_frames_total' "$EL_DIR/status.log"
+wait "$EL_PID"
+cargo run --release -p odin-bench --bin log_throughput -- \
+    --scale 0.1 --out /tmp/odin-ci-bench >/dev/null
+
 # Multi-stream scaling gate: re-measure the sharded-serving table at
 # reduced scale (open-loop rates make the FPS columns scale-invariant)
 # and require (a) aggregate FPS within 30% of the committed baseline

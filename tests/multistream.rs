@@ -280,6 +280,48 @@ fn four_stream_checkpoint_restores_every_shard_bit_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Per-shard store files never clobber each other: with a store (and
+/// the event log) attached, every shard keeps its WAL, event log, and
+/// flight-recorder auto-dump under its own `streams/<id>/` directory,
+/// and nothing lands at the store root where a second shard could
+/// overwrite it.
+#[test]
+fn store_files_are_namespaced_per_shard() {
+    use odin_core::{EventLogConfig, EVENT_LOG_FILE, FLIGHT_FILE, WAL_FILE};
+
+    let dir = scratch("namespaced");
+    let mut cfg = server_cfg(2, TrainingMode::Inline);
+    cfg.odin.event_log = EventLogConfig::enabled();
+    let frames = vec![stream_frames(Subset::Night, 7, 60), stream_frames(Subset::Day, 8, 60)];
+    let server = new_server(cfg);
+    server.enable_store(&dir, odin_core::CheckpointPolicy::Manual).expect("enable_store");
+    serve_interleaved(&server, &frames);
+    server.drain();
+    for i in 0..2 {
+        server.with_shard(i, |o| o.flush_store());
+    }
+
+    for stream in 0..2 {
+        let sdir = dir.join("streams").join(stream.to_string());
+        for file in [WAL_FILE, EVENT_LOG_FILE, FLIGHT_FILE] {
+            assert!(
+                sdir.join(file).exists(),
+                "stream {stream} is missing {file} in its namespace directory"
+            );
+        }
+    }
+    // Nothing shard-specific at the root: a clobber would show up here.
+    for file in [WAL_FILE, EVENT_LOG_FILE, FLIGHT_FILE] {
+        assert!(!dir.join(file).exists(), "{file} leaked to the store root");
+    }
+    // The two shards really wrote distinct logs (different drift
+    // schedules => different contents), not one file twice.
+    let log0 = std::fs::read(dir.join("streams/0").join(EVENT_LOG_FILE)).unwrap();
+    let log1 = std::fs::read(dir.join("streams/1").join(EVENT_LOG_FILE)).unwrap();
+    assert_ne!(log0, log1, "shards shared one event log");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `restore_shard` rolls ONE stream back to the checkpoint while the
 /// other keeps its post-checkpoint state — targeted recovery after a
 /// bad model lands on one camera.
