@@ -83,7 +83,7 @@ fn main() {
         for r in &records {
             assert!(writer.append(*r), "queue sized to never drop");
         }
-        writer.flush();
+        writer.flush().expect("event-log flush");
         let append_s = t0.elapsed().as_secs_f64();
         assert_eq!(writer.failures(), 0, "writer hit I/O failures");
         drop(writer);

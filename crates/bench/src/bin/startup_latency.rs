@@ -18,7 +18,8 @@ use odin_bench::report::{Args, Table};
 use odin_core::encoder::HistogramEncoder;
 use odin_core::pipeline::{Odin, OdinConfig};
 use odin_core::specializer::SpecializerConfig;
-use odin_data::{SceneGen, Subset};
+use odin_core::AtticConfig;
+use odin_data::{RecurringSchedule, SceneGen, Subset};
 use odin_detect::{Detector, DetectorArch};
 use odin_drift::ManagerConfig;
 use rand::rngs::StdRng;
@@ -104,6 +105,43 @@ fn main() {
         restored.model_count().to_string(),
         format!("{:.1}", restored.memory_bytes() as f64 / 1024.0),
         format!("{speedup:.0}x faster than cold"),
+    ]);
+
+    // Recurring drift under a 1-cluster cap with the attic on: the
+    // checkpoint now carries archived models too, and the restored
+    // pipeline resumes with the same attic occupancy — the recovery
+    // shortcut survives a restart.
+    let snapshot = args.out_dir.join("cache").join(format!("startup_attic_{}.odst", args.seed));
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let teacher = Detector::heavy(48, &mut rng);
+    let cfg = OdinConfig {
+        manager: ManagerConfig { max_clusters: Some(1), ..quick_cfg().manager },
+        min_train_frames: 16,
+        attic: AtticConfig::enabled(),
+        ..quick_cfg()
+    };
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, args.seed);
+    let gen = SceneGen::new(48);
+    let mut stream_rng = StdRng::seed_from_u64(args.seed ^ 0x0D1A);
+    let rec_total = 3 * n_frames;
+    let stream = RecurringSchedule::alternating(rec_total, n_frames, &[Subset::Night, Subset::Day])
+        .generate(&gen, &mut stream_rng);
+    odin.process_stream(&stream);
+
+    let t0 = Instant::now();
+    odin.checkpoint(&snapshot).expect("checkpoint");
+    let restored = Odin::restore(&snapshot).expect("restore");
+    let attic_restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (archived, attic_bytes) = odin.attic_stats();
+    assert!(archived > 0, "recurring bootstrap never archived a model");
+    assert_eq!(restored.attic_stats(), odin.attic_stats(), "restore changed the attic");
+
+    table.row(vec![
+        "warm restore (attic)".to_string(),
+        format!("{attic_restore_ms:.1}"),
+        restored.model_count().to_string(),
+        format!("{:.1}", restored.memory_bytes() as f64 / 1024.0),
+        format!("{archived} archived models ({:.1} KiB) survive", attic_bytes as f64 / 1024.0),
     ]);
     table.print();
     table.save(&args.out_dir).expect("write results");

@@ -66,7 +66,9 @@ fn collect_events(source: &scan::Source, user_pred: &Predicate) -> Result<Vec<Lo
     for kind in [
         RecordKind::DriftDetected,
         RecordKind::TrainQueued,
+        RecordKind::AtticHit,
         RecordKind::ModelInstalled,
+        RecordKind::TrainOrphaned,
         RecordKind::ClusterEvicted,
     ] {
         let pred = Predicate { kind: Some(kind), ..*user_pred };
@@ -80,7 +82,9 @@ fn print_arc(stream: u32, trace: u64, records: &[LogRecord]) {
     let find = |k: RecordKind| records.iter().find(|r| r.kind == k);
     let detect = find(RecordKind::DriftDetected);
     let queued = find(RecordKind::TrainQueued);
+    let attic = find(RecordKind::AtticHit);
     let installed = find(RecordKind::ModelInstalled);
+    let orphaned = find(RecordKind::TrainOrphaned);
     let cluster = records
         .iter()
         .find(|r| r.cluster >= 0)
@@ -108,8 +112,17 @@ fn print_arc(stream: u32, trace: u64, records: &[LogRecord]) {
     };
     stage("drift detected", detect);
     stage("train queued", queued);
+    if attic.is_some() {
+        stage("attic reinstall", attic);
+    }
     stage("model installed", installed);
-    if installed.is_none() {
+    if let Some(o) = orphaned {
+        println!(
+            "  train orphaned   frame {:<8} at {:<10} (cluster evicted mid-training)",
+            o.frame,
+            human_us(o.ts_us),
+        );
+    } else if installed.is_none() {
         println!("  (recovery in flight or log truncated before install)");
     }
 }

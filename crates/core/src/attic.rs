@@ -1,0 +1,372 @@
+//! The model attic: an LSH-indexed archive of evicted clusters' models.
+//!
+//! Most real-world drift is *recurring* — the same night/rain/fog
+//! regimes come back. When the cluster cap evicts a cluster, the
+//! pipeline archives its [`ClusterSignature`] (centroid + Δ-band + KL
+//! histogram) and served model here instead of discarding them. When a
+//! later drift event promotes a cluster whose centroid LSH-matches an
+//! archived signature within [`AtticConfig::match_threshold`], the
+//! cached model is **reinstalled** through the normal install gate —
+//! recovery latency drops from SPECIALIZER train time to a registry
+//! insert.
+//!
+//! The attic is capped by [`AtticConfig::byte_budget`] with
+//! least-recently-archived eviction, and is fully persisted (checkpoint
+//! section + WAL archive events) so a restored pipeline recognizes
+//! regimes from before the restart. The LSH index is rebuilt
+//! deterministically from the entries on every mutation — signatures
+//! are never removed from an `LshIndex` in place, so rebuild-on-change
+//! keeps lookups exact and checkpoint encodings canonical.
+
+use odin_detect::Detector;
+use odin_drift::{ClusterSignature, LshIndex};
+use odin_store::{Decoder, Encoder, Persist, StoreError};
+
+use crate::registry::ModelKind;
+use crate::store::{persist_detector, persist_model_kind, restore_detector, restore_model_kind};
+
+/// Fixed seed for the attic's LSH hyperplanes — a constant so every
+/// pipeline (and every restore) builds the identical index.
+const ATTIC_LSH_SEED: u64 = 0xA77C;
+/// Hash tables in the attic LSH index.
+const ATTIC_LSH_TABLES: usize = 4;
+/// Hyperplanes per table.
+const ATTIC_LSH_BITS: usize = 8;
+
+/// Attic knobs carried inside `OdinConfig`. `Copy` so the core config
+/// stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtticConfig {
+    /// Master switch; when false evicted models are dropped (the
+    /// pre-attic behaviour) and drift never probes the archive.
+    pub enabled: bool,
+    /// Approximate cap on archived bytes (signatures + model weights).
+    /// When exceeded, least-recently-archived entries are dropped. At
+    /// least one entry is always retained.
+    pub byte_budget: usize,
+    /// Maximum centroid distance for a signature match. Tighter means
+    /// fewer false reinstalls; looser means more retrains avoided.
+    pub match_threshold: f32,
+}
+
+impl Default for AtticConfig {
+    fn default() -> Self {
+        AtticConfig { enabled: false, byte_budget: 64 << 20, match_threshold: 2.0 }
+    }
+}
+
+impl AtticConfig {
+    /// Enabled with default sizing.
+    pub fn enabled() -> Self {
+        AtticConfig { enabled: true, ..Default::default() }
+    }
+}
+
+/// One archived model: the evicted cluster's signature, its detector
+/// (f32 weights — int8 serving is re-derived at reinstall), and enough
+/// provenance to re-enter the registry.
+pub(crate) struct AtticEntry {
+    /// The evicted cluster's id (provenance only; a reinstall targets
+    /// the *new* cluster's id).
+    pub cluster_id: usize,
+    /// Centroid + Δ-band + KL histogram at eviction time.
+    pub signature: ClusterSignature,
+    /// Lite or Specialized.
+    pub kind: ModelKind,
+    /// The archived f32 detector.
+    pub detector: Detector,
+    /// Whether the model was being served int8 when archived.
+    pub quantized: bool,
+    /// Archive-order stamp used by the byte-budget LRU.
+    pub stamp: u64,
+}
+
+impl AtticEntry {
+    fn approx_bytes(&self) -> usize {
+        self.signature.approx_bytes() + self.detector.param_bytes() + 64
+    }
+}
+
+/// The archive itself: entries plus a deterministic LSH index over
+/// their signature centroids.
+pub(crate) struct ModelAttic {
+    cfg: AtticConfig,
+    entries: Vec<AtticEntry>,
+    /// Monotonic archive counter (stamps entries for LRU; persisted so
+    /// eviction order survives a restore).
+    next_stamp: u64,
+    /// Rebuilt from `entries` on every mutation; `None` while empty
+    /// (the latent dimensionality is unknown until the first archive).
+    index: Option<LshIndex>,
+}
+
+impl ModelAttic {
+    /// An empty attic.
+    pub fn new(cfg: AtticConfig) -> Self {
+        ModelAttic { cfg, entries: Vec::new(), next_stamp: 0, index: None }
+    }
+
+    /// Number of archived models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate archived bytes (signatures + f32 weights).
+    pub fn bytes(&self) -> usize {
+        self.entries.iter().map(AtticEntry::approx_bytes).sum()
+    }
+
+    fn rebuild_index(&mut self) {
+        if self.entries.is_empty() {
+            self.index = None;
+            return;
+        }
+        let dim = self.entries[0].signature.centroid().len();
+        let mut index = LshIndex::new(dim, ATTIC_LSH_TABLES, ATTIC_LSH_BITS, ATTIC_LSH_SEED);
+        for e in &self.entries {
+            index.insert(e.signature.centroid().to_vec());
+        }
+        self.index = Some(index);
+    }
+
+    /// Archives one evicted model, then enforces the byte budget by
+    /// dropping least-recently-archived entries (never the one just
+    /// added). Returns how many entries the budget evicted.
+    pub fn archive(
+        &mut self,
+        cluster_id: usize,
+        signature: ClusterSignature,
+        kind: ModelKind,
+        detector: Detector,
+        quantized: bool,
+    ) -> usize {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.entries.push(AtticEntry { cluster_id, signature, kind, detector, quantized, stamp });
+        let mut evicted = 0;
+        while self.bytes() > self.cfg.byte_budget && self.entries.len() > 1 {
+            let (oldest, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("non-empty attic");
+            self.entries.remove(oldest);
+            evicted += 1;
+        }
+        self.rebuild_index();
+        evicted
+    }
+
+    /// LSH-matches a promoted cluster's centroid against the archived
+    /// signatures: the nearest entry within
+    /// [`AtticConfig::match_threshold`], as `(entry_index, distance)`.
+    pub fn lookup(&self, centroid: &[f32]) -> Option<(usize, f32)> {
+        let index = self.index.as_ref()?;
+        if centroid.len() != self.entries[0].signature.centroid().len() {
+            return None;
+        }
+        let (id, dist) = index.nearest(centroid)?;
+        (dist <= self.cfg.match_threshold).then_some((id, dist))
+    }
+
+    /// Removes and returns the matched entry (a reinstall consumes it;
+    /// the cluster re-archives on its next eviction).
+    pub fn take(&mut self, idx: usize) -> AtticEntry {
+        let entry = self.entries.remove(idx);
+        self.rebuild_index();
+        entry
+    }
+
+    /// [`ModelAttic::take`] keyed by the archived (source) cluster id —
+    /// the WAL-replay form: `AtticTake` records name the entry by its
+    /// provenance id, which is unique because cluster ids are never
+    /// reused. Returns `None` when no such entry exists (e.g. it was
+    /// LRU-evicted between archive and take; the caller retrains).
+    pub fn take_by_source(&mut self, source_id: usize) -> Option<AtticEntry> {
+        let idx = self.entries.iter().position(|e| e.cluster_id == source_id)?;
+        Some(self.take(idx))
+    }
+
+    /// Borrow of all entries (tests and doc tooling).
+    #[cfg(test)]
+    pub fn entries(&self) -> &[AtticEntry] {
+        &self.entries
+    }
+}
+
+impl Persist for ModelAttic {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_bool(self.cfg.enabled);
+        enc.put_usize(self.cfg.byte_budget);
+        enc.put_f32(self.cfg.match_threshold);
+        enc.put_u64(self.next_stamp);
+        enc.put_usize(self.entries.len());
+        for e in &self.entries {
+            enc.put_usize(e.cluster_id);
+            e.signature.persist(enc);
+            persist_model_kind(e.kind, enc);
+            persist_detector(&e.detector, enc);
+            enc.put_bool(e.quantized);
+            enc.put_u64(e.stamp);
+        }
+        // The LSH index is not persisted: it is a pure function of the
+        // entries and the fixed seed, so restore rebuilds it.
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let cfg = AtticConfig {
+            enabled: dec.take_bool("ModelAttic.enabled")?,
+            byte_budget: dec.take_usize("ModelAttic.byte_budget")?,
+            match_threshold: dec.take_f32("ModelAttic.match_threshold")?,
+        };
+        let next_stamp = dec.take_u64("ModelAttic.next_stamp")?;
+        let n = dec.take_usize("ModelAttic.entries len")?;
+        let mut entries = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let cluster_id = dec.take_usize("AtticEntry.cluster_id")?;
+            let signature = ClusterSignature::restore(dec)?;
+            let kind = restore_model_kind(dec)?;
+            let detector = restore_detector(dec)?;
+            let quantized = dec.take_bool("AtticEntry.quantized")?;
+            let stamp = dec.take_u64("AtticEntry.stamp")?;
+            entries.push(AtticEntry { cluster_id, signature, kind, detector, quantized, stamp });
+        }
+        if entries.iter().any(|e| e.stamp >= next_stamp) {
+            return Err(StoreError::Malformed { context: "ModelAttic stamp invariant" });
+        }
+        let dim = entries.first().map(|e| e.signature.centroid().len());
+        if let Some(dim) = dim {
+            if entries.iter().any(|e| e.signature.centroid().len() != dim) {
+                return Err(StoreError::Malformed { context: "ModelAttic centroid dims" });
+            }
+        }
+        let mut attic = ModelAttic { cfg, entries, next_stamp, index: None };
+        attic.rebuild_index();
+        Ok(attic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odin_drift::Cluster;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shell(center: &[f32], r: f32, n: usize, salt: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                center
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| c + r * ((i * 7 + j * 13 + salt) as f32).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn sig(center: &[f32], salt: usize) -> ClusterSignature {
+        let c = Cluster::from_points(salt, shell(center, 0.5, 30, salt), 0.75, 16);
+        ClusterSignature::from_cluster(&c)
+    }
+
+    fn det(seed: u64) -> Detector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Detector::small(48, &mut rng)
+    }
+
+    fn cfg() -> AtticConfig {
+        AtticConfig { enabled: true, byte_budget: 1 << 30, match_threshold: 2.0 }
+    }
+
+    #[test]
+    fn archive_then_lookup_hits_within_threshold() {
+        let mut attic = ModelAttic::new(cfg());
+        attic.archive(3, sig(&[0.0; 8], 0), ModelKind::Specialized, det(1), false);
+        attic.archive(5, sig(&[20.0; 8], 1), ModelKind::Lite, det(2), true);
+        assert_eq!(attic.len(), 2);
+
+        // A centroid near the first archived regime matches it.
+        let near = attic.lookup(attic.entries()[0].signature.centroid()).unwrap();
+        assert_eq!(attic.entries()[near.0].cluster_id, 3);
+        assert_eq!(near.1, 0.0);
+
+        // A centroid far from everything misses.
+        assert!(attic.lookup(&[100.0; 8]).is_none());
+
+        let taken = attic.take(near.0);
+        assert_eq!(taken.cluster_id, 3);
+        assert_eq!(attic.len(), 1);
+        assert_eq!(attic.entries()[0].cluster_id, 5);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_archived() {
+        let per_entry = {
+            let mut probe = ModelAttic::new(cfg());
+            probe.archive(0, sig(&[0.0; 8], 0), ModelKind::Lite, det(0), false);
+            probe.bytes()
+        };
+        let mut attic = ModelAttic::new(AtticConfig { byte_budget: per_entry * 2, ..cfg() });
+        assert_eq!(attic.archive(0, sig(&[0.0; 8], 0), ModelKind::Lite, det(0), false), 0);
+        assert_eq!(attic.archive(1, sig(&[10.0; 8], 1), ModelKind::Lite, det(1), false), 0);
+        // Third entry overflows the budget: the oldest (cluster 0) goes.
+        assert_eq!(attic.archive(2, sig(&[-10.0; 8], 2), ModelKind::Lite, det(2), false), 1);
+        assert_eq!(attic.len(), 2);
+        let ids: Vec<usize> = attic.entries().iter().map(|e| e.cluster_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(attic.bytes() <= per_entry * 2);
+    }
+
+    #[test]
+    fn tiny_budget_always_keeps_the_newest_entry() {
+        let mut attic = ModelAttic::new(AtticConfig { byte_budget: 1, ..cfg() });
+        attic.archive(0, sig(&[0.0; 8], 0), ModelKind::Lite, det(0), false);
+        assert_eq!(attic.archive(1, sig(&[10.0; 8], 1), ModelKind::Lite, det(1), false), 1);
+        assert_eq!(attic.len(), 1);
+        assert_eq!(attic.entries()[0].cluster_id, 1);
+    }
+
+    #[test]
+    fn persist_roundtrip_is_bit_exact_and_lookup_identical() {
+        let mut attic = ModelAttic::new(cfg());
+        attic.archive(3, sig(&[0.0; 8], 0), ModelKind::Specialized, det(1), true);
+        attic.archive(5, sig(&[20.0; 8], 1), ModelKind::Lite, det(2), false);
+        let bytes = attic.to_store_bytes();
+        let back = ModelAttic::from_store_bytes(&bytes, "attic").unwrap();
+        assert_eq!(back.to_store_bytes(), bytes);
+        assert_eq!(back.len(), attic.len());
+        assert_eq!(back.bytes(), attic.bytes());
+        let q = vec![0.1; 8];
+        assert_eq!(back.lookup(&q), attic.lookup(&q));
+        assert_eq!(back.lookup(&[100.0; 8]), attic.lookup(&[100.0; 8]));
+    }
+
+    #[test]
+    fn restore_rejects_stamp_violation() {
+        let mut attic = ModelAttic::new(cfg());
+        attic.archive(0, sig(&[0.0; 8], 0), ModelKind::Lite, det(0), false);
+        let mut bytes = attic.to_store_bytes();
+        // next_stamp lives right after the 13 config bytes (bool +
+        // usize + f32); zero it so the entry's stamp violates the
+        // invariant.
+        bytes[13..21].copy_from_slice(&0u64.to_le_bytes());
+        assert!(ModelAttic::from_store_bytes(&bytes, "attic").is_err());
+    }
+
+    #[test]
+    fn lookup_on_empty_or_mismatched_dim_is_none() {
+        let empty = ModelAttic::new(cfg());
+        assert!(empty.lookup(&[0.0; 8]).is_none());
+        assert!(empty.is_empty());
+        let mut attic = ModelAttic::new(cfg());
+        attic.archive(0, sig(&[0.0; 8], 0), ModelKind::Lite, det(0), false);
+        assert!(attic.lookup(&[0.0; 4]).is_none(), "dim mismatch must miss, not panic");
+    }
+}

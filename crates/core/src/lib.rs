@@ -21,6 +21,9 @@
 //! * [`telemetry`] — the observability facade: deterministic counters,
 //!   gauges, per-stage latency histograms, the drift timeline, and the
 //!   structured event log ([`pipeline::Odin::telemetry`]),
+//! * [`attic`] — the recurring-drift model attic: evicted clusters'
+//!   signatures + models, LSH-matched on later drift so a returning
+//!   regime reinstalls its cached model instead of retraining,
 //! * [`store`] — crash-safe persistence glue: full-pipeline checkpoints
 //!   ([`pipeline::Odin::checkpoint`] / [`pipeline::Odin::restore`]) and
 //!   the drift-event WAL ([`pipeline::Odin::enable_store`]),
@@ -58,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attic;
 pub mod encoder;
 pub mod filter;
 pub mod metrics;
@@ -71,6 +75,7 @@ pub mod store;
 pub mod telemetry;
 pub mod training;
 
+pub use attic::AtticConfig;
 pub use encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 pub use filter::BinaryFilter;
 pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};

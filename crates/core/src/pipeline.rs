@@ -18,23 +18,24 @@ use std::sync::Arc;
 
 use odin_data::{Frame, GtBox};
 use odin_detect::{nms, Detection, Detector, DEFAULT_NMS_IOU};
-use odin_drift::{Assignment, ClusterManager, DriftEvent, ManagerConfig};
+use odin_drift::{Assignment, ClusterManager, ClusterSignature, DriftEvent, ManagerConfig};
 use odin_log::{EventLogConfig, LogMetrics, LogRecord, LogWriter, RecordKind, ServedLabel};
 use odin_store::checkpoint::write_atomic;
 use odin_store::{read_wal, Checkpoint, CheckpointBuilder, Decoder, Encoder, Persist, StoreError};
 use odin_telemetry::{Level, SpanCtx, SpanGuard, TimelineStage, NO_PARENT};
 
+use crate::attic::{AtticConfig, ModelAttic};
 use crate::encoder::LatentEncoder;
 use crate::metrics::PipelineStats;
 use crate::registry::{ClusterModel, ModelKind, ModelRegistry, ServePrecision, SharedRegistry};
 use crate::selector::{select, Selection, SelectionPolicy};
 use crate::specializer::{Specializer, SpecializerConfig};
 use crate::store::{
-    decode_wal_event, encode_drift, encode_evict, encode_install, persist_detector,
-    persist_encoder, persist_frames, persist_registry_models, persist_retained_jobs,
-    persist_telemetry, restore_detector, restore_encoder, restore_frames, restore_registry_models,
-    restore_retained_jobs, restore_telemetry, section, CheckpointPolicy, PipelineStore,
-    RetainedJob, WalEvent, EVENT_LOG_FILE, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE,
+    decode_wal_event, encode_archive, encode_attic_take, encode_drift, encode_evict,
+    encode_install, persist_detector, persist_encoder, persist_frames, persist_registry_models,
+    persist_retained_jobs, persist_telemetry, restore_detector, restore_encoder, restore_frames,
+    restore_registry_models, restore_retained_jobs, restore_telemetry, section, CheckpointPolicy,
+    PipelineStore, RetainedJob, WalEvent, EVENT_LOG_FILE, FLIGHT_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
 use crate::telemetry::Telemetry;
 use crate::training::{TrainHandle, TrainJob, TrainRouter, TrainedModel, TrainingMode};
@@ -111,6 +112,11 @@ pub struct OdinConfig {
     /// stream to `<store>/events.odlg` through a bounded channel with
     /// counted-drop backpressure (the hot path never blocks on it).
     pub event_log: EventLogConfig,
+    /// Model attic ([`crate::attic`]): when enabled, cap-evicted
+    /// clusters' signatures + models are archived, and a later drift
+    /// whose cluster matches an archived signature reinstalls the
+    /// cached model instead of retraining.
+    pub attic: AtticConfig,
 }
 
 impl Default for OdinConfig {
@@ -126,6 +132,7 @@ impl Default for OdinConfig {
             min_train_frames: 120,
             precision: ServePrecision::F32,
             event_log: EventLogConfig::default(),
+            attic: AtticConfig::default(),
         }
     }
 }
@@ -196,6 +203,9 @@ pub struct Odin {
     /// checkpoints so restored pipelines keep the linkage.
     recovery: BTreeMap<usize, SpanCtx>,
     pool: Option<TrainHandle>,
+    /// Archived models of cap-evicted clusters ([`crate::attic`]),
+    /// probed on drift for a recurring-regime reinstall.
+    attic: ModelAttic,
     /// Live persistence runtime ([`Odin::enable_store`]): WAL appender,
     /// background snapshot writer, and the snapshot policy.
     store: Option<PipelineStore>,
@@ -266,6 +276,7 @@ impl Odin {
             inflight: BTreeMap::new(),
             recovery: BTreeMap::new(),
             pool,
+            attic: ModelAttic::new(cfg.attic),
             store: None,
             stats: PipelineStats::default(),
             telemetry,
@@ -368,6 +379,12 @@ impl Odin {
         &self.telemetry
     }
 
+    /// Attic occupancy: `(archived models, approximate bytes)`. Stays
+    /// `(0, 0)` while [`AtticConfig::enabled`] is false.
+    pub fn attic_stats(&self) -> (usize, usize) {
+        (self.attic.len(), self.attic.bytes())
+    }
+
     /// Appends one row to the durable event log, if one is open. The
     /// sequence number, timestamp (from the installed clock), and
     /// stream id are stamped here, on the pipeline thread, so record
@@ -461,7 +478,11 @@ impl Odin {
             });
             let seed_frames = std::mem::take(&mut self.temp_frames);
             self.pending.insert(event.cluster_id, seed_frames);
-            self.try_train(event.cluster_id);
+            // Handle the cap eviction this promotion forced *before*
+            // scheduling recovery for the new cluster: the evicted
+            // model lands in the attic first, so a regime displaced by
+            // its own return is still reinstallable (and the WAL's
+            // Archive → Install order matches the live probe order).
             if let Some(evicted) = obs.evicted {
                 self.telemetry.evictions.inc();
                 self.telemetry.record_timeline(
@@ -469,11 +490,52 @@ impl Odin {
                     evicted,
                     self.manager.seen(),
                 );
+                let model = self.registry.write().remove(self.gid(evicted));
+                let dropped = self.manager.take_evicted();
+                if self.cfg.attic.enabled {
+                    if let (Some(model), Some(cluster)) = (model, dropped.as_ref()) {
+                        // Archive before the eviction becomes durable:
+                        // a crash between the two WAL appends replays
+                        // into "archived, not yet evicted" — the model
+                        // is never lost.
+                        let signature = ClusterSignature::from_cluster(cluster);
+                        let quantized = model.precision() == ServePrecision::Int8;
+                        if self.store.is_some() {
+                            let p = encode_archive(
+                                evicted,
+                                &signature,
+                                model.kind,
+                                &model.detector,
+                                quantized,
+                            );
+                            self.wal_append(&p, ctx);
+                        }
+                        let lru = self.attic.archive(
+                            evicted,
+                            signature,
+                            model.kind,
+                            model.detector,
+                            quantized,
+                        );
+                        self.telemetry.attic_archived.inc();
+                        self.telemetry.attic_evicted.add(lru as u64);
+                    }
+                }
                 if self.store.is_some() {
                     let p = encode_evict(evicted);
                     self.wal_append(&p, ctx);
                 }
-                self.registry.write().remove(self.gid(evicted));
+                // A queued-but-not-started background job for the
+                // evicted cluster would only burn a worker on a model
+                // nobody can serve; tombstone it so the pool discards
+                // it at dequeue (counted in
+                // `odin_train_cancelled_total`). A job already running
+                // finishes and is dropped by the orphan path instead.
+                if self.training_pending.contains(&evicted) {
+                    if let Some(pool) = &self.pool {
+                        pool.cancel(evicted);
+                    }
+                }
                 self.pending.remove(&evicted);
                 self.training_pending.remove(&evicted);
                 self.inflight.remove(&evicted);
@@ -485,6 +547,9 @@ impl Odin {
                     trace: ctx.trace,
                     ..LogRecord::empty()
                 });
+            }
+            if !self.try_reinstall_from_attic(event.cluster_id, rctx) {
+                self.try_train(event.cluster_id);
             }
             // Preserve the spans and events leading up to the drift:
             // when a store is attached, dump the flight recorder next
@@ -670,6 +735,69 @@ impl Odin {
         }
     }
 
+    /// On drift, probes the attic for an archived model whose signature
+    /// matches the promoted cluster's centroid. On a hit the cached
+    /// model is reinstalled through the normal install gate (re-deriving
+    /// int8 serving under [`ServePrecision::Int8`]) instead of queueing
+    /// a train job — recovery latency collapses from a SPECIALIZER run
+    /// to a registry insert. Returns true when it reinstalled.
+    fn try_reinstall_from_attic(&mut self, cluster_id: usize, rctx: SpanCtx) -> bool {
+        if !self.cfg.attic.enabled || self.attic.is_empty() {
+            return false;
+        }
+        let hit = self.manager.cluster(cluster_id).and_then(|c| self.attic.lookup(c.centroid()));
+        let Some((idx, dist)) = hit else {
+            self.telemetry.attic_misses.inc();
+            return false;
+        };
+        let entry = self.attic.take(idx);
+        self.telemetry.attic_hits.inc();
+        if self.store.is_some() {
+            // The take precedes the Install record in the WAL so replay
+            // consumes the same entry the live probe did.
+            let p = encode_attic_take(entry.cluster_id);
+            self.wal_append(&p, rctx);
+        }
+        // The attic-hit marker stands where train_job_queued + train
+        // would: same trace, so the arc reads
+        // drift_detected → attic_hit → install.
+        let marker = self.telemetry.instant(
+            "attic_hit",
+            rctx,
+            cluster_id as i64,
+            self.manager.seen() as i64,
+        );
+        self.log_event(LogRecord {
+            kind: RecordKind::AtticHit,
+            frame: self.manager.seen() as u64,
+            cluster: cluster_id as i64,
+            trace: rctx.trace,
+            ..LogRecord::empty()
+        });
+        self.telemetry.event(
+            Level::Info,
+            "attic",
+            format!(
+                "cluster {cluster_id}: reinstalling archived model of evicted cluster {} \
+                 (centroid distance {dist:.3})",
+                entry.cluster_id
+            ),
+        );
+        let gate = self.pending.remove(&cluster_id).unwrap_or_default();
+        self.install_with_gate(
+            TrainedModel {
+                stream: 0,
+                cluster_id,
+                detector: entry.detector,
+                kind: entry.kind,
+                wall_ms: 0.0,
+                ctx: SpanCtx { trace: rctx.trace, parent: marker },
+            },
+            if gate.is_empty() { None } else { Some(&gate) },
+        );
+        true
+    }
+
     /// Installs one background-trained model: the retained job's frames
     /// (kept for checkpointing) double as the int8 gate set.
     fn install(&mut self, model: TrainedModel) {
@@ -689,7 +817,26 @@ impl Odin {
         self.stats.train_wall_ms += model.wall_ms;
         self.telemetry.stage_train.observe_ms(model.wall_ms);
         if self.manager.cluster(model.cluster_id).is_none() {
-            return; // evicted mid-training; drop the orphan model
+            // Evicted mid-training: there is no cluster left to serve.
+            // Close the recovery arc with a terminal marker on the same
+            // trace instead of vanishing silently, and count the wasted
+            // training run.
+            self.telemetry.train_orphaned.inc();
+            self.telemetry.instant(
+                "train_orphaned",
+                model.ctx,
+                model.cluster_id as i64,
+                self.manager.seen() as i64,
+            );
+            self.log_event(LogRecord {
+                kind: RecordKind::TrainOrphaned,
+                frame: self.manager.seen() as u64,
+                cluster: model.cluster_id as i64,
+                latency_us: (model.wall_ms * 1000.0).round() as u64,
+                trace: model.ctx.trace,
+                ..LogRecord::empty()
+            });
+            return;
         }
         let mut cm = ClusterModel::new(model.detector, model.kind);
         if self.cfg.precision == ServePrecision::Int8 {
@@ -1028,6 +1175,8 @@ impl Odin {
 
         builder.section(section::STATS, self.stats.to_store_bytes());
 
+        builder.section(section::ATTIC, self.attic.to_store_bytes());
+
         // Close the build span (and observe it) before serializing the
         // telemetry section, so the persisted state — histograms,
         // flight recorder, and tracer id allocators — includes this
@@ -1223,6 +1372,13 @@ impl Odin {
 
         let stats = PipelineStats::from_store_bytes(cp.require(section::STATS)?, "stats")?;
 
+        // The attic section is optional for forward compatibility with
+        // pre-attic checkpoints: absent section → empty attic.
+        let attic = match cp.section(section::ATTIC) {
+            Some(bytes) => Some(ModelAttic::from_store_bytes(bytes, "attic")?),
+            None => None,
+        };
+
         let mut odin = Odin::new(encoder, teacher, cfg, seed);
         odin.manager = manager;
         odin.model_seq = model_seq;
@@ -1231,6 +1387,9 @@ impl Odin {
         odin.temp_frames = temp_frames;
         odin.pending = pending;
         odin.recovery = recovery;
+        if let Some(attic) = attic {
+            odin.attic = attic;
+        }
         {
             let mut registry = odin.registry.write();
             for (id, kind, detector, quantized) in models {
@@ -1330,6 +1489,14 @@ impl Odin {
                     self.inflight.remove(&cluster_id);
                     self.recovery.remove(&cluster_id);
                 }
+            }
+            WalEvent::Archive { cluster_id, signature, kind, detector, quantized } => {
+                // Replay convention: converge state, never re-count
+                // telemetry (the live counters are in the snapshot).
+                self.attic.archive(cluster_id, signature, kind, detector, quantized);
+            }
+            WalEvent::AtticTake { source_id } => {
+                self.attic.take_by_source(source_id);
             }
         }
     }
@@ -1452,7 +1619,9 @@ impl Odin {
             store.writer.flush();
         }
         if let Some(log) = &self.event_log {
-            log.flush();
+            if let Err(e) = log.flush() {
+                self.telemetry.record_store_error("event-log flush failed", e);
+            }
         }
     }
 

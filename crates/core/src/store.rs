@@ -27,7 +27,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Sender};
 use odin_data::{Condition, Frame, GtBox, Image, Location, ObjectClass, TimeOfDay, Weather};
 use odin_detect::{Detector, DetectorArch};
-use odin_drift::{Cluster, DriftEvent, ManagerConfig};
+use odin_drift::{Cluster, ClusterSignature, DriftEvent, ManagerConfig};
 use odin_gan::{DaGan, DaGanConfig};
 use odin_log::EventLogConfig;
 use odin_store::checkpoint::write_atomic;
@@ -41,6 +41,7 @@ use odin_telemetry::{
     TimelineEvent, TimelineStage,
 };
 
+use crate::attic::AtticConfig;
 use crate::encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 use crate::metrics::PipelineStats;
 use crate::pipeline::{OdinConfig, OracleLabels};
@@ -79,6 +80,7 @@ pub(crate) mod section {
     pub const REGISTRY: &str = "registry";
     pub const FRAMES: &str = "frames";
     pub const STATS: &str = "stats";
+    pub const ATTIC: &str = "attic";
     pub const TELEMETRY: &str = "telemetry";
 }
 
@@ -233,14 +235,14 @@ pub(crate) fn restore_detector(dec: &mut Decoder<'_>) -> Result<Detector, StoreE
     Ok(d)
 }
 
-fn persist_model_kind(kind: ModelKind, enc: &mut Encoder) {
+pub(crate) fn persist_model_kind(kind: ModelKind, enc: &mut Encoder) {
     enc.put_u8(match kind {
         ModelKind::Lite => 0,
         ModelKind::Specialized => 1,
     });
 }
 
-fn restore_model_kind(dec: &mut Decoder<'_>) -> Result<ModelKind, StoreError> {
+pub(crate) fn restore_model_kind(dec: &mut Decoder<'_>) -> Result<ModelKind, StoreError> {
     match dec.take_u8("ModelKind")? {
         0 => Ok(ModelKind::Lite),
         1 => Ok(ModelKind::Specialized),
@@ -378,6 +380,9 @@ impl Persist for OdinConfig {
         enc.put_bool(self.event_log.enabled);
         enc.put_usize(self.event_log.queue_cap);
         enc.put_usize(self.event_log.segment_records);
+        enc.put_bool(self.attic.enabled);
+        enc.put_usize(self.attic.byte_budget);
+        enc.put_f32(self.attic.match_threshold);
     }
 
     fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
@@ -429,6 +434,17 @@ impl Persist for OdinConfig {
                 }
             } else {
                 EventLogConfig::default()
+            },
+            // Added after the event-log fields; absent in checkpoints
+            // written by older builds, which read back as disabled.
+            attic: if dec.remaining() > 0 {
+                AtticConfig {
+                    enabled: dec.take_bool("OdinConfig.attic.enabled")?,
+                    byte_budget: dec.take_usize("OdinConfig.attic.byte_budget")?,
+                    match_threshold: dec.take_f32("OdinConfig.attic.match_threshold")?,
+                }
+            } else {
+                AtticConfig::default()
             },
         })
     }
@@ -636,9 +652,35 @@ pub(crate) fn restore_telemetry(
 /// full promoted-cluster state and `Install` the full model weights, so
 /// replay needs no context beyond the snapshot it starts from.
 pub(crate) enum WalEvent {
-    Drift { event: DriftEvent, cluster: Cluster },
-    Evict { cluster_id: usize },
-    Install { cluster_id: usize, kind: ModelKind, detector: Detector, quantized: bool },
+    Drift {
+        event: DriftEvent,
+        cluster: Cluster,
+    },
+    Evict {
+        cluster_id: usize,
+    },
+    Install {
+        cluster_id: usize,
+        kind: ModelKind,
+        detector: Detector,
+        quantized: bool,
+    },
+    /// An evicted cluster's signature + model entered the attic. Logged
+    /// *before* the matching `Evict` so a crash between the two replays
+    /// into a state where the model is archived, never lost.
+    Archive {
+        cluster_id: usize,
+        signature: ClusterSignature,
+        kind: ModelKind,
+        detector: Detector,
+        quantized: bool,
+    },
+    /// A drift hit consumed the attic entry archived from cluster
+    /// `source_id` (a reinstall). Logged before the matching `Install`
+    /// so replay removes exactly the entry the live probe took.
+    AtticTake {
+        source_id: usize,
+    },
 }
 
 pub(crate) fn encode_drift(event: DriftEvent, cluster: &Cluster) -> Vec<u8> {
@@ -674,6 +716,30 @@ pub(crate) fn encode_install(
     enc.into_bytes()
 }
 
+pub(crate) fn encode_archive(
+    cluster_id: usize,
+    signature: &ClusterSignature,
+    kind: ModelKind,
+    detector: &Detector,
+    quantized: bool,
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(4);
+    enc.put_usize(cluster_id);
+    signature.persist(&mut enc);
+    persist_model_kind(kind, &mut enc);
+    persist_detector(detector, &mut enc);
+    enc.put_bool(quantized);
+    enc.into_bytes()
+}
+
+pub(crate) fn encode_attic_take(source_id: usize) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(5);
+    enc.put_usize(source_id);
+    enc.into_bytes()
+}
+
 pub(crate) fn decode_wal_event(payload: &[u8]) -> Result<WalEvent, StoreError> {
     let mut dec = Decoder::new(payload);
     let event = match dec.take_u8("WalEvent tag")? {
@@ -688,6 +754,14 @@ pub(crate) fn decode_wal_event(payload: &[u8]) -> Result<WalEvent, StoreError> {
             detector: restore_detector(&mut dec)?,
             quantized: dec.take_bool("WalEvent.quantized")?,
         },
+        4 => WalEvent::Archive {
+            cluster_id: dec.take_usize("WalEvent.cluster_id")?,
+            signature: ClusterSignature::restore(&mut dec)?,
+            kind: restore_model_kind(&mut dec)?,
+            detector: restore_detector(&mut dec)?,
+            quantized: dec.take_bool("WalEvent.quantized")?,
+        },
+        5 => WalEvent::AtticTake { source_id: dec.take_usize("WalEvent.source_id")? },
         _ => return Err(StoreError::Malformed { context: "WalEvent tag" }),
     };
     dec.finish("WalEvent trailing bytes")?;
@@ -982,6 +1056,19 @@ mod tests {
                 assert!(quantized);
             }
             _ => panic!("expected install event"),
+        }
+        let sig = ClusterSignature::from_cluster(&cluster);
+        let payload = encode_archive(6, &sig, ModelKind::Lite, &det, false);
+        match decode_wal_event(&payload).unwrap() {
+            WalEvent::Archive { cluster_id, signature, kind, detector, quantized } => {
+                assert_eq!(cluster_id, 6);
+                assert_eq!(signature.centroid(), sig.centroid());
+                assert_eq!(signature.to_store_bytes(), sig.to_store_bytes());
+                assert_eq!(kind, ModelKind::Lite);
+                assert_eq!(detector.export_params(), params);
+                assert!(!quantized);
+            }
+            _ => panic!("expected archive event"),
         }
         assert!(decode_wal_event(&[42]).is_err(), "unknown tag must be malformed");
     }

@@ -73,6 +73,21 @@ pub struct Telemetry {
     pub(crate) wal_appends: Counter,
     pub(crate) store_errors: Counter,
     pub(crate) quant_fallback: Counter,
+    /// Drift events whose cluster matched an archived attic signature
+    /// (the cached model was reinstalled instead of retrained).
+    pub(crate) attic_hits: Counter,
+    /// Drift events that probed a non-empty attic and found no match.
+    pub(crate) attic_misses: Counter,
+    /// Evicted-cluster models archived into the attic.
+    pub(crate) attic_archived: Counter,
+    /// Attic entries dropped by the byte-budget LRU.
+    pub(crate) attic_evicted: Counter,
+    /// Trained models dropped because their cluster was evicted while
+    /// the job ran.
+    pub(crate) train_orphaned: Counter,
+    /// Queued training jobs cancelled before starting because their
+    /// cluster was evicted.
+    pub(crate) train_cancelled: Counter,
     /// Records accepted into the event-log queue.
     pub(crate) event_log_appended: Counter,
     /// Records dropped because the event-log queue was full.
@@ -130,6 +145,12 @@ impl Telemetry {
             wal_appends: registry.counter("odin_wal_appends_total"),
             store_errors: registry.counter("odin_store_errors_total"),
             quant_fallback: registry.counter("odin_quant_fallback_total"),
+            attic_hits: registry.counter("odin_attic_hits_total"),
+            attic_misses: registry.counter("odin_attic_misses_total"),
+            attic_archived: registry.counter("odin_attic_archived_total"),
+            attic_evicted: registry.counter("odin_attic_evicted_total"),
+            train_orphaned: registry.counter("odin_train_orphaned_total"),
+            train_cancelled: registry.counter("odin_train_cancelled_total"),
             event_log_appended: registry.counter("odin_event_log_appended_total"),
             event_log_dropped: registry.counter("odin_event_log_dropped_total"),
             clusters: registry.gauge("odin_clusters"),
@@ -482,6 +503,12 @@ mod tests {
         let prom = tel.render_prometheus();
         assert!(prom.contains("odin_frames_total 0"));
         assert!(prom.contains("# TYPE odin_stage_encode_ms histogram"));
+        assert!(prom.contains("odin_attic_hits_total 0"));
+        assert!(prom.contains("odin_attic_misses_total 0"));
+        assert!(prom.contains("odin_attic_archived_total 0"));
+        assert!(prom.contains("odin_attic_evicted_total 0"));
+        assert!(prom.contains("odin_train_orphaned_total 0"));
+        assert!(prom.contains("odin_train_cancelled_total 0"));
         assert!(prom.contains("odin_event_log_appended_total 0"));
         assert!(prom.contains("odin_event_log_dropped_total 0"));
         assert!(prom.contains("odin_event_log_queue_depth 0"));

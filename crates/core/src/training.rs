@@ -20,6 +20,7 @@
 //! bit-identical to the ones inline training would have built — only
 //! *when* they become servable differs.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -93,6 +94,19 @@ pub struct TrainedModel {
     pub ctx: SpanCtx,
 }
 
+/// What came back from a worker for one submitted job: a trained model,
+/// or notice that the job was discarded at dequeue because its cluster
+/// was evicted first ([`TrainingPool::cancel`]). Cancellations still
+/// flow through the results channel so the submitted/collected
+/// accounting (and the drain barrier) stays exact.
+pub(crate) enum TrainOutcome {
+    /// The job trained to completion.
+    Done(TrainedModel),
+    /// The job was tombstoned before a worker picked it up; only the
+    /// submitting stream is needed, to settle its outstanding count.
+    Cancelled { stream: usize },
+}
+
 /// A pool of SPECIALIZER worker threads fed over channels.
 ///
 /// Jobs flow worker-ward through an unbounded MPMC channel; finished
@@ -103,11 +117,16 @@ pub struct TrainingPool {
     /// `None` only transiently during drop (taking it closes the
     /// channel so workers exit their recv loop).
     jobs: Option<Sender<TrainJob>>,
-    results: Receiver<TrainedModel>,
+    results: Receiver<TrainOutcome>,
     workers: Vec<JoinHandle<()>>,
     submitted: Arc<AtomicUsize>,
     started: Arc<AtomicUsize>,
     finished: Arc<AtomicUsize>,
+    /// Jobs tombstoned by [`TrainingPool::cancel`]: workers discard a
+    /// dequeued job whose `(stream, cluster_id)` is in the set. Cluster
+    /// ids are never reused, so a tombstone that arrives after its job
+    /// already started is inert forever.
+    cancelled: Arc<parking_lot::Mutex<BTreeSet<(usize, usize)>>>,
     /// Results the owner has pulled out of `results` (main-thread only).
     collected: usize,
 }
@@ -127,10 +146,11 @@ impl TrainingPool {
         telemetry: Telemetry,
     ) -> Self {
         let (job_tx, job_rx) = unbounded::<TrainJob>();
-        let (res_tx, res_rx) = unbounded::<TrainedModel>();
+        let (res_tx, res_rx) = unbounded::<TrainOutcome>();
         let submitted = Arc::new(AtomicUsize::new(0));
         let started = Arc::new(AtomicUsize::new(0));
         let finished = Arc::new(AtomicUsize::new(0));
+        let cancelled = Arc::new(parking_lot::Mutex::new(BTreeSet::new()));
         let handles = (0..workers.max(1))
             .map(|_| {
                 let rx = job_rx.clone();
@@ -138,10 +158,23 @@ impl TrainingPool {
                 let teacher = Arc::clone(&teacher);
                 let started = Arc::clone(&started);
                 let finished = Arc::clone(&finished);
+                let cancelled = Arc::clone(&cancelled);
                 let telemetry = telemetry.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         started.fetch_add(1, Ordering::SeqCst);
+                        if cancelled.lock().remove(&(job.stream, job.cluster_id)) {
+                            // Evicted before training started: the
+                            // cluster this model would serve is gone.
+                            // Discard the job without burning a
+                            // training run.
+                            telemetry.train_cancelled.inc();
+                            finished.fetch_add(1, Ordering::SeqCst);
+                            if tx.send(TrainOutcome::Cancelled { stream: job.stream }).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         let mut span = telemetry.span("train", job.ctx);
                         span.set_cluster(job.cluster_id);
                         let detector = match job.kind {
@@ -163,7 +196,7 @@ impl TrainingPool {
                             ctx,
                         };
                         finished.fetch_add(1, Ordering::SeqCst);
-                        if tx.send(done).is_err() {
+                        if tx.send(TrainOutcome::Done(done)).is_err() {
                             break; // pool dropped; nobody wants results
                         }
                     }
@@ -177,8 +210,19 @@ impl TrainingPool {
             submitted,
             started,
             finished,
+            cancelled,
             collected: 0,
         }
+    }
+
+    /// Tombstones `(stream, cluster_id)`'s queued job: a worker that
+    /// dequeues it discards it instead of training (counted in
+    /// `odin_train_cancelled_total` by the discarding worker). Best
+    /// effort — a job already running trains to completion and is
+    /// dropped by the install-time orphan path instead. Cluster ids are
+    /// never reused, so a tombstone that lands too late stays inert.
+    pub fn cancel(&self, stream: usize, cluster_id: usize) {
+        self.cancelled.lock().insert((stream, cluster_id));
     }
 
     /// Enqueues a job; returns immediately.
@@ -206,12 +250,25 @@ impl TrainingPool {
         self.submitted.load(Ordering::SeqCst).saturating_sub(self.collected)
     }
 
-    /// Collects every finished model without blocking.
+    /// Collects every finished model without blocking. Cancelled jobs
+    /// are settled (counted as collected) but yield no model.
     pub fn drain(&mut self) -> Vec<TrainedModel> {
+        self.drain_outcomes()
+            .into_iter()
+            .filter_map(|o| match o {
+                TrainOutcome::Done(m) => Some(m),
+                TrainOutcome::Cancelled { .. } => None,
+            })
+            .collect()
+    }
+
+    /// [`TrainingPool::drain`] keeping cancellation outcomes — the
+    /// [`TrainRouter`] needs them to settle per-stream accounting.
+    pub(crate) fn drain_outcomes(&mut self) -> Vec<TrainOutcome> {
         let mut out = Vec::new();
-        while let Ok(m) = self.results.try_recv() {
+        while let Ok(o) = self.results.try_recv() {
             self.collected += 1;
-            out.push(m);
+            out.push(o);
         }
         out
     }
@@ -224,9 +281,11 @@ impl TrainingPool {
         let mut out = Vec::new();
         while self.collected < self.submitted.load(Ordering::SeqCst) {
             match self.results.recv() {
-                Ok(m) => {
+                Ok(o) => {
                     self.collected += 1;
-                    out.push(m);
+                    if let TrainOutcome::Done(m) = o {
+                        out.push(m);
+                    }
                 }
                 Err(_) => break, // a worker died; don't hang forever
             }
@@ -234,18 +293,18 @@ impl TrainingPool {
         out
     }
 
-    /// Blocks until one more finished model is available and returns
-    /// it, or `None` when nothing is outstanding (or a worker died).
-    /// The [`TrainRouter`] uses this to wait for one stream's jobs
-    /// while banking other streams' results.
-    pub fn recv_blocking(&mut self) -> Option<TrainedModel> {
+    /// Blocks until one more job settles (trained or cancelled) and
+    /// returns its outcome, or `None` when nothing is outstanding (or a
+    /// worker died). The [`TrainRouter`] uses this to wait for one
+    /// stream's jobs while banking other streams' results.
+    pub(crate) fn recv_blocking(&mut self) -> Option<TrainOutcome> {
         if self.collected >= self.submitted.load(Ordering::SeqCst) {
             return None;
         }
         match self.results.recv() {
-            Ok(m) => {
+            Ok(o) => {
                 self.collected += 1;
-                Some(m)
+                Some(o)
             }
             Err(_) => None,
         }
@@ -313,10 +372,15 @@ impl TrainRouter {
         inner.pool.submit(job);
     }
 
-    fn route(inner: &mut RouterInner, m: TrainedModel, stream: usize, out: &mut Vec<TrainedModel>) {
-        if let Some(n) = inner.outstanding.get_mut(&m.stream) {
+    fn route(inner: &mut RouterInner, o: TrainOutcome, stream: usize, out: &mut Vec<TrainedModel>) {
+        let from = match &o {
+            TrainOutcome::Done(m) => m.stream,
+            TrainOutcome::Cancelled { stream } => *stream,
+        };
+        if let Some(n) = inner.outstanding.get_mut(&from) {
             *n = n.saturating_sub(1);
         }
+        let TrainOutcome::Done(m) = o else { return };
         if m.stream == stream {
             out.push(m);
         } else {
@@ -324,13 +388,19 @@ impl TrainRouter {
         }
     }
 
+    /// Cancels `stream`'s queued-but-not-started training job for
+    /// `cluster_id` (best effort — see [`TrainingPool::cancel`]).
+    pub fn cancel(&self, stream: usize, cluster_id: usize) {
+        self.inner.lock().pool.cancel(stream, cluster_id);
+    }
+
     /// Collects `stream`'s finished models without blocking (banked
     /// ones first, then whatever the pool has completed).
     pub fn drain(&self, stream: usize) -> Vec<TrainedModel> {
         let mut inner = self.inner.lock();
         let mut out = inner.ready.remove(&stream).unwrap_or_default();
-        for m in inner.pool.drain() {
-            Self::route(&mut inner, m, stream, &mut out);
+        for o in inner.pool.drain_outcomes() {
+            Self::route(&mut inner, o, stream, &mut out);
         }
         out
     }
@@ -344,12 +414,12 @@ impl TrainRouter {
     pub fn drain_barrier(&self, stream: usize) -> Vec<TrainedModel> {
         let mut inner = self.inner.lock();
         let mut out = inner.ready.remove(&stream).unwrap_or_default();
-        for m in inner.pool.drain() {
-            Self::route(&mut inner, m, stream, &mut out);
+        for o in inner.pool.drain_outcomes() {
+            Self::route(&mut inner, o, stream, &mut out);
         }
         while inner.outstanding.get(&stream).copied().unwrap_or(0) > 0 {
             match inner.pool.recv_blocking() {
-                Some(m) => Self::route(&mut inner, m, stream, &mut out),
+                Some(o) => Self::route(&mut inner, o, stream, &mut out),
                 None => break, // a worker died; don't hang forever
             }
         }
@@ -393,6 +463,12 @@ impl TrainHandle {
     pub fn submit(&self, mut job: TrainJob) {
         job.stream = self.stream;
         self.router.submit(job);
+    }
+
+    /// Cancels this shard's queued-but-not-started job for
+    /// `cluster_id` (best effort — see [`TrainingPool::cancel`]).
+    pub fn cancel(&self, cluster_id: usize) {
+        self.router.cancel(self.stream, cluster_id);
     }
 
     /// This shard's stream index.
@@ -543,6 +619,49 @@ mod tests {
         assert_eq!(pool.pending(), 0);
         assert_eq!(pool.queue_depth(), 0);
         assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn cancelled_job_is_discarded_and_counted() {
+        let (teacher, frames) = fixture();
+        let telemetry = tel();
+        let mut pool = TrainingPool::new(1, quick_specializer(), teacher, telemetry.clone());
+        // Tombstone first, then submit: the worker is guaranteed to see
+        // the cancellation at dequeue (cluster ids are never reused, so
+        // an early tombstone is exactly as valid as a late one).
+        pool.cancel(0, 9);
+        pool.submit(TrainJob {
+            stream: 0,
+            cluster_id: 9,
+            seed: 1,
+            kind: ModelKind::Lite,
+            frames,
+            ctx: ctx(),
+        });
+        let done = pool.drain_barrier();
+        assert!(done.is_empty(), "cancelled job must not produce a model");
+        assert_eq!(pool.pending(), 0, "cancellation settles the submitted/collected accounting");
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(telemetry.train_cancelled.get(), 1);
+    }
+
+    #[test]
+    fn router_settles_outstanding_for_cancelled_jobs() {
+        let (teacher, frames) = fixture();
+        let router = TrainRouter::new(1, quick_specializer(), teacher, tel());
+        let handle = TrainHandle::new(Arc::clone(&router), 0);
+        handle.cancel(4);
+        handle.submit(TrainJob {
+            stream: 0,
+            cluster_id: 4,
+            seed: 1,
+            kind: ModelKind::Lite,
+            frames,
+            ctx: ctx(),
+        });
+        assert!(handle.drain_barrier().is_empty());
+        assert_eq!(router.outstanding_for(0), 0, "cancelled job settles its stream's accounting");
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub use bdd::{Frame, GtBox, ObjectClass, ObjectSpec, SceneGen, DEFAULT_FRAME_SIZ
 pub use condition::{Condition, Location, Subset, TimeOfDay, Weather};
 pub use digits::LabeledImage;
 pub use image::Image;
-pub use stream::{DriftSchedule, Phase};
+pub use stream::{DriftSchedule, Phase, RecurringSchedule, Window};
 pub use video::ClipGen;

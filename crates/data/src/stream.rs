@@ -86,6 +86,116 @@ impl DriftSchedule {
     }
 }
 
+/// One bounded occupancy window: `subset` is the sole active regime on
+/// frames `from..to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// First frame (inclusive) of the window.
+    pub from: usize,
+    /// End frame (exclusive) of the window.
+    pub to: usize,
+    /// The regime occupying the window.
+    pub subset: Subset,
+}
+
+/// A recurring-drift workload: regimes that *leave and return*.
+///
+/// [`DriftSchedule`]'s pool only ever grows, which models the paper's
+/// §6.5 sequence but can never show a regime coming back. Recurring
+/// drift (day/night cycles, weather fronts) is the case the model attic
+/// exists for: the returning regime's cluster signature matches an
+/// archived one and the cached model is reinstalled instead of
+/// retrained. The windows must tile `0..total` exactly, so every frame
+/// belongs to exactly one regime and switch points are unambiguous.
+#[derive(Debug, Clone)]
+pub struct RecurringSchedule {
+    total: usize,
+    windows: Vec<Window>,
+}
+
+impl RecurringSchedule {
+    /// Creates a schedule from explicit windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is empty, any window is empty (`from >= to`),
+    /// or the windows do not tile `0..total` exactly (first starts at 0,
+    /// each starts where the previous ends, last ends at `total`).
+    pub fn new(total: usize, windows: Vec<Window>) -> Self {
+        assert!(!windows.is_empty(), "schedule needs at least one window");
+        assert!(windows.iter().all(|w| w.from < w.to), "windows must be non-empty (from < to)");
+        assert_eq!(windows[0].from, 0, "first window must start at frame 0");
+        assert!(
+            windows.windows(2).all(|w| w[0].to == w[1].from),
+            "windows must tile the stream with no gap or overlap"
+        );
+        assert_eq!(windows.last().unwrap().to, total, "last window must end at total");
+        RecurringSchedule { total, windows }
+    }
+
+    /// Equal-length windows cycling through `subsets`: block `k` covers
+    /// `[k*period, (k+1)*period)` and is occupied by
+    /// `subsets[k % subsets.len()]`. A trailing partial block is kept,
+    /// so every frame up to `total` is covered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is 0, `subsets` is empty, or `total < period`.
+    pub fn alternating(total: usize, period: usize, subsets: &[Subset]) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(!subsets.is_empty(), "need at least one subset");
+        assert!(total >= period, "total must cover at least one period");
+        let mut windows = Vec::new();
+        let mut from = 0;
+        let mut k = 0;
+        while from < total {
+            let to = (from + period).min(total);
+            windows.push(Window { from, to, subset: subsets[k % subsets.len()] });
+            from = to;
+            k += 1;
+        }
+        Self::new(total, windows)
+    }
+
+    /// Total stream length.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Stream positions at which the occupying regime changes (the start
+    /// of every window after the first whose subset differs from its
+    /// predecessor's).
+    pub fn switch_points(&self) -> Vec<usize> {
+        self.windows.windows(2).filter(|w| w[0].subset != w[1].subset).map(|w| w[1].from).collect()
+    }
+
+    /// The regime occupying stream index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= total` (every in-range frame is covered by
+    /// construction).
+    pub fn active_at(&self, i: usize) -> Subset {
+        self.windows
+            .iter()
+            .find(|w| w.from <= i && i < w.to)
+            .unwrap_or_else(|| panic!("frame {i} outside schedule of {} frames", self.total))
+            .subset
+    }
+
+    /// Materializes the whole stream of frames, mirroring
+    /// [`DriftSchedule`]'s sampling: regime → condition → frame, all
+    /// from the one `rng`.
+    pub fn generate(&self, gen: &SceneGen, rng: &mut StdRng) -> Vec<Frame> {
+        (0..self.total)
+            .map(|i| {
+                let cond = self.active_at(i).sample_condition(rng);
+                gen.frame(rng, cond)
+            })
+            .collect()
+    }
+}
+
 /// Lazy frame iterator over a [`DriftSchedule`].
 pub struct StreamIter<'a> {
     schedule: &'a DriftSchedule,
@@ -170,6 +280,74 @@ mod tests {
         assert_eq!(it.size_hint(), (10, Some(10)));
         let _ = it.next();
         assert_eq!(it.size_hint(), (9, Some(9)));
+    }
+
+    #[test]
+    fn recurring_alternating_tiles_the_stream() {
+        let s = RecurringSchedule::alternating(100, 25, &[Subset::Night, Subset::Day]);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.active_at(0), Subset::Night);
+        assert_eq!(s.active_at(24), Subset::Night);
+        assert_eq!(s.active_at(25), Subset::Day);
+        assert_eq!(s.active_at(50), Subset::Night, "first regime returns");
+        assert_eq!(s.active_at(99), Subset::Day);
+        assert_eq!(s.switch_points(), vec![25, 50, 75]);
+    }
+
+    #[test]
+    fn recurring_keeps_trailing_partial_window() {
+        let s = RecurringSchedule::alternating(70, 30, &[Subset::Night, Subset::Day]);
+        assert_eq!(s.switch_points(), vec![30, 60]);
+        assert_eq!(s.active_at(69), Subset::Night);
+    }
+
+    #[test]
+    fn recurring_frames_match_their_window() {
+        let s = RecurringSchedule::alternating(60, 20, &[Subset::Night, Subset::Day]);
+        let gen = SceneGen::new(32);
+        let mut rng = StdRng::seed_from_u64(3);
+        let frames = s.generate(&gen, &mut rng);
+        assert_eq!(frames.len(), 60);
+        for f in &frames[..20] {
+            assert!(Subset::Night.contains(&f.cond));
+        }
+        for f in &frames[20..40] {
+            assert!(Subset::Day.contains(&f.cond));
+        }
+        for f in &frames[40..] {
+            assert!(Subset::Night.contains(&f.cond), "night regime should have returned");
+        }
+    }
+
+    #[test]
+    fn recurring_ignores_repeated_subset_at_switch_points() {
+        let s = RecurringSchedule::new(
+            30,
+            vec![
+                Window { from: 0, to: 10, subset: Subset::Night },
+                Window { from: 10, to: 20, subset: Subset::Night },
+                Window { from: 20, to: 30, subset: Subset::Day },
+            ],
+        );
+        assert_eq!(s.switch_points(), vec![20], "same-regime boundary is not a switch");
+    }
+
+    #[test]
+    #[should_panic(expected = "no gap or overlap")]
+    fn recurring_rejects_gapped_windows() {
+        let _ = RecurringSchedule::new(
+            30,
+            vec![
+                Window { from: 0, to: 10, subset: Subset::Night },
+                Window { from: 15, to: 30, subset: Subset::Day },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "last window must end at total")]
+    fn recurring_rejects_short_coverage() {
+        let _ = RecurringSchedule::new(30, vec![Window { from: 0, to: 20, subset: Subset::Night }]);
     }
 
     #[test]

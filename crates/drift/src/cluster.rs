@@ -79,6 +79,12 @@ impl Cluster {
         &self.band
     }
 
+    /// The capped reservoir of member latents (the points band refits
+    /// run over; at most `cap` of the `size()` points ever assigned).
+    pub fn reservoir(&self) -> &[Vec<f32>] {
+        &self.points
+    }
+
     /// Distance from a latent to the centroid.
     pub fn distance_to(&self, z: &[f32]) -> f32 {
         euclidean(z, &self.centroid)

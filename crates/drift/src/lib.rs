@@ -27,8 +27,10 @@ pub mod eval;
 pub mod kl;
 pub mod lsh;
 pub mod manager;
+pub mod signature;
 
 pub use band::{DeltaBand, DEFAULT_DELTA};
 pub use cluster::{euclidean, Cluster, TempCluster};
 pub use lsh::LshIndex;
 pub use manager::{Assignment, ClusterManager, DriftEvent, ManagerConfig, Observation};
+pub use signature::ClusterSignature;

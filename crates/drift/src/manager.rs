@@ -99,13 +99,25 @@ pub struct ClusterManager {
     next_id: usize,
     seen: usize,
     events: Vec<DriftEvent>,
+    /// The cluster dropped by the most recent cap eviction, parked so
+    /// the caller can archive it (see [`ClusterManager::take_evicted`]).
+    /// Transient — not persisted.
+    last_evicted: Option<Cluster>,
 }
 
 impl ClusterManager {
     /// Creates a manager with no permanent clusters.
     pub fn new(cfg: ManagerConfig) -> Self {
         let temp = TempCluster::new(cfg.hist_hi, cfg.bins);
-        ClusterManager { cfg, clusters: Vec::new(), temp, next_id: 0, seen: 0, events: Vec::new() }
+        ClusterManager {
+            cfg,
+            clusters: Vec::new(),
+            temp,
+            next_id: 0,
+            seen: 0,
+            events: Vec::new(),
+            last_evicted: None,
+        }
     }
 
     /// The configuration in use.
@@ -215,7 +227,17 @@ impl ClusterManager {
             .min_by_key(|(_, c)| c.size())
             .expect("at least one evictable cluster when over cap");
         let dropped = self.clusters.remove(idx);
-        Some(dropped.id())
+        let id = dropped.id();
+        self.last_evicted = Some(dropped);
+        Some(id)
+    }
+
+    /// Takes the cluster dropped by the most recent cap eviction (the
+    /// one whose id [`Observation::evicted`] reported). Callers that
+    /// archive evicted clusters grab the full state here; otherwise it
+    /// is simply replaced on the next eviction.
+    pub fn take_evicted(&mut self) -> Option<Cluster> {
+        self.last_evicted.take()
     }
 
     /// Re-applies a promotion recorded in the drift-event WAL: installs
@@ -342,7 +364,7 @@ impl Persist for ClusterManager {
         if clusters.iter().any(|c| c.id() >= next_id) {
             return Err(StoreError::Malformed { context: "ClusterManager id invariant" });
         }
-        Ok(ClusterManager { cfg, clusters, temp, next_id, seen, events })
+        Ok(ClusterManager { cfg, clusters, temp, next_id, seen, events, last_evicted: None })
     }
 }
 

@@ -1,0 +1,152 @@
+//! Compact, persistable fingerprints of permanent clusters.
+//!
+//! A [`ClusterSignature`] captures what made a cluster *recognizable* —
+//! its centroid, fitted Δ-band, and the KL distance histogram over its
+//! reservoir — without the reservoir points themselves. The model attic
+//! archives one per evicted cluster so a recurring drift regime (the
+//! same night/rain/fog concept coming back) can be matched by centroid
+//! distance and its specialized model reinstalled instead of retrained.
+
+use odin_store::{Decoder, Encoder, Persist, StoreError};
+
+use crate::band::DeltaBand;
+use crate::cluster::{euclidean, Cluster};
+use crate::kl::DistanceHistogram;
+
+/// Histogram resolution used when fingerprinting a cluster's reservoir.
+const SIGNATURE_BINS: usize = 32;
+
+/// The recognizable shape of a (possibly evicted) permanent cluster:
+/// centroid, Δ-band, and the distance distribution of its reservoir.
+#[derive(Debug, Clone)]
+pub struct ClusterSignature {
+    centroid: Vec<f32>,
+    band: DeltaBand,
+    hist: DistanceHistogram,
+}
+
+impl ClusterSignature {
+    /// Fingerprints a cluster: copies its centroid and Δ-band and bins
+    /// the reservoir's centroid distances into a fresh histogram whose
+    /// range is derived from the band (so two captures of the same
+    /// cluster state are bit-identical).
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        let centroid = cluster.centroid().to_vec();
+        let band = *cluster.band();
+        // Range from the band, not the data: [0, 2×upper] covers every
+        // in-band member and keeps the bucketing a pure function of the
+        // cluster state.
+        let hi = (band.upper * 2.0).max(1e-3);
+        let mut hist = DistanceHistogram::new(0.0, hi, SIGNATURE_BINS);
+        for p in cluster.reservoir() {
+            hist.add(euclidean(p, &centroid));
+        }
+        ClusterSignature { centroid, band, hist }
+    }
+
+    /// The archived centroid.
+    pub fn centroid(&self) -> &[f32] {
+        &self.centroid
+    }
+
+    /// The archived Δ-band.
+    pub fn band(&self) -> &DeltaBand {
+        &self.band
+    }
+
+    /// The archived reservoir distance histogram.
+    pub fn hist(&self) -> &DistanceHistogram {
+        &self.hist
+    }
+
+    /// Euclidean distance from a query centroid to this signature's
+    /// centroid — the attic's match metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn centroid_distance(&self, query: &[f32]) -> f32 {
+        euclidean(&self.centroid, query)
+    }
+
+    /// Approximate heap footprint in bytes (for attic byte budgeting).
+    pub fn approx_bytes(&self) -> usize {
+        self.centroid.len() * 4 + 3 * 4 + self.hist.bins() * 4 + 8 + 8
+    }
+}
+
+impl Persist for ClusterSignature {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_f32s(&self.centroid);
+        self.band.persist(enc);
+        self.hist.persist(enc);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let centroid = dec.take_f32s("ClusterSignature.centroid")?;
+        let band = DeltaBand::restore(dec)?;
+        let hist = DistanceHistogram::restore(dec)?;
+        if centroid.is_empty() {
+            return Err(StoreError::Malformed { context: "ClusterSignature.centroid empty" });
+        }
+        Ok(ClusterSignature { centroid, band, hist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell(center: &[f32], r: f32, n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                center
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &c)| c + r * ((i * 7 + j * 13) as f32).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn signature_captures_cluster_shape() {
+        let c = Cluster::from_points(3, shell(&[2.0; 6], 0.8, 40), 0.75, 16);
+        let sig = ClusterSignature::from_cluster(&c);
+        assert_eq!(sig.centroid(), c.centroid());
+        assert_eq!(sig.band(), c.band());
+        assert_eq!(sig.hist().total(), c.reservoir().len() as u64);
+        assert_eq!(sig.centroid_distance(c.centroid()), 0.0);
+        assert!(sig.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn signature_persist_roundtrip_is_bit_exact() {
+        let c = Cluster::from_points(7, shell(&[-1.0; 8], 1.2, 50), 0.75, 32);
+        let sig = ClusterSignature::from_cluster(&c);
+        let bytes = sig.to_store_bytes();
+        let back = ClusterSignature::from_store_bytes(&bytes, "signature").unwrap();
+        assert_eq!(back.centroid(), sig.centroid());
+        assert_eq!(back.band(), sig.band());
+        assert_eq!(back.to_store_bytes(), bytes);
+    }
+
+    #[test]
+    fn same_cluster_state_fingerprints_identically() {
+        let c = Cluster::from_points(0, shell(&[4.0; 4], 0.5, 30), 0.75, 64);
+        let a = ClusterSignature::from_cluster(&c);
+        let b = ClusterSignature::from_cluster(&c);
+        assert_eq!(a.to_store_bytes(), b.to_store_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_empty_centroid() {
+        let c = Cluster::from_points(0, shell(&[0.0; 4], 0.5, 20), 0.75, 8);
+        let sig = ClusterSignature::from_cluster(&c);
+        let mut enc = Encoder::new();
+        enc.put_f32s(&[]);
+        sig.band().persist(&mut enc);
+        sig.hist().persist(&mut enc);
+        assert!(ClusterSignature::from_store_bytes(&enc.into_bytes(), "signature").is_err());
+    }
+}

@@ -19,16 +19,24 @@ pub enum RecordKind {
     ModelInstalled = 3,
     /// A cluster (and its models) was evicted from the registry.
     ClusterEvicted = 4,
+    /// Drift matched an archived signature; the attic's cached model
+    /// was reinstalled instead of queueing a training job.
+    AtticHit = 5,
+    /// A training job finished for a cluster that was evicted while it
+    /// ran; the model was dropped (terminal record of the arc).
+    TrainOrphaned = 6,
 }
 
 impl RecordKind {
     /// All kinds, in tag order.
-    pub const ALL: [RecordKind; 5] = [
+    pub const ALL: [RecordKind; 7] = [
         RecordKind::Frame,
         RecordKind::DriftDetected,
         RecordKind::TrainQueued,
         RecordKind::ModelInstalled,
         RecordKind::ClusterEvicted,
+        RecordKind::AtticHit,
+        RecordKind::TrainOrphaned,
     ];
 
     /// Stable numeric tag (also the on-disk dictionary value).
@@ -49,6 +57,8 @@ impl RecordKind {
             RecordKind::TrainQueued => "train_queued",
             RecordKind::ModelInstalled => "model_installed",
             RecordKind::ClusterEvicted => "cluster_evicted",
+            RecordKind::AtticHit => "attic_hit",
+            RecordKind::TrainOrphaned => "train_orphaned",
         }
     }
 
@@ -60,6 +70,8 @@ impl RecordKind {
             "queued" | "train_queued" => Some(RecordKind::TrainQueued),
             "install" | "model_installed" => Some(RecordKind::ModelInstalled),
             "evict" | "cluster_evicted" => Some(RecordKind::ClusterEvicted),
+            "attic" | "attic_hit" => Some(RecordKind::AtticHit),
+            "orphaned" | "train_orphaned" => Some(RecordKind::TrainOrphaned),
             _ => None,
         }
     }

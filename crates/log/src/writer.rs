@@ -61,6 +61,20 @@ impl LogMetrics {
 enum Msg {
     Append(LogRecord),
     Flush(mpsc::Sender<()>),
+    /// Test-only: makes the writer thread exit without closing the
+    /// channel, simulating a panic/death with the handle still live.
+    #[cfg(test)]
+    Die,
+}
+
+/// The error surfaced when the background writer thread is gone (it
+/// panicked or exited early): flushing can neither enqueue the barrier
+/// nor receive its ack.
+fn dead_writer_error() -> StoreError {
+    StoreError::Io(std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "event-log writer thread died",
+    ))
 }
 
 /// Handle to the event log: owns the background thread, the bounded
@@ -151,14 +165,28 @@ impl LogWriter {
     }
 
     /// Block until every queued record is sealed into a segment and
-    /// the file is fsynced.
-    pub fn flush(&self) {
-        let Some(tx) = &self.tx else { return };
+    /// the file is fsynced. Errors when the writer thread is dead
+    /// (panicked or exited early): the barrier cannot be enqueued, or
+    /// its ack channel drops without a reply — previously both cases
+    /// lost the ack silently and records could sit unflushed.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let Some(tx) = &self.tx else { return Err(dead_writer_error()) };
         let (ack_tx, ack_rx) = mpsc::channel();
         // A full queue here means the writer is actively draining;
         // a blocking send is acceptable on this cold path.
-        if tx.send(Msg::Flush(ack_tx)).is_ok() {
-            let _ = ack_rx.recv();
+        tx.send(Msg::Flush(ack_tx)).map_err(|_| dead_writer_error())?;
+        ack_rx.recv().map_err(|_| dead_writer_error())
+    }
+
+    /// Test-only: stops the writer thread while leaving the channel
+    /// open, so the handle looks alive but nobody will ever ack.
+    #[cfg(test)]
+    fn kill_writer(&mut self) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Msg::Die);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
         }
     }
 
@@ -236,6 +264,8 @@ fn writer_loop(
                         Ok(Msg::Flush(extra)) => {
                             let _ = extra.send(());
                         }
+                        #[cfg(test)]
+                        Ok(Msg::Die) => return,
                         Err(_) => break,
                     }
                 }
@@ -245,6 +275,8 @@ fn writer_loop(
                 }
                 let _ = ack.send(());
             }
+            #[cfg(test)]
+            Ok(Msg::Die) => return,
             Err(_) => {
                 seal(&mut buf, &mut file);
                 let _ = file.sync_data();
@@ -283,7 +315,7 @@ mod tests {
             for s in 1..=20u64 {
                 assert!(w.append(rec(s)));
             }
-            w.flush();
+            w.flush().unwrap();
         }
         let intact = read_log(&path).unwrap();
         // 20 records at 8/segment = 2 full + 1 flush-sealed partial.
@@ -303,7 +335,7 @@ mod tests {
         let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
         assert_eq!(w.recovered_last_seq(), 20);
         assert!(w.append(rec(21)));
-        w.flush();
+        w.flush().unwrap();
         drop(w);
         let healed = read_log(&path).unwrap();
         assert!(!healed.torn);
@@ -326,7 +358,7 @@ mod tests {
                 accepted += 1;
             }
         }
-        w.flush();
+        w.flush().unwrap();
         assert_eq!(metrics.appended.get(), accepted);
         assert_eq!(metrics.dropped.get(), 10_000 - accepted);
         assert_eq!(metrics.queue_depth.get(), 0);
@@ -361,7 +393,7 @@ mod tests {
             for s in 1..=4u64 {
                 w.append(rec(s));
             }
-            w.flush();
+            w.flush().unwrap();
         }
         let before = std::fs::read(&path).unwrap();
         {
@@ -369,6 +401,19 @@ mod tests {
         }
         let after = std::fs::read(&path).unwrap();
         assert_eq!(before, after);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_surfaces_dead_writer_thread() {
+        let path = temp_path("dead");
+        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 8 };
+        let mut w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+        assert!(w.append(rec(1)));
+        w.flush().unwrap();
+        w.kill_writer();
+        let err = w.flush().expect_err("flush after writer death must error, not hang");
+        assert!(matches!(err, StoreError::Io(_)), "expected Io error, got {err:?}");
         let _ = std::fs::remove_file(&path);
     }
 }

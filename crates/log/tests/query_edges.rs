@@ -47,7 +47,7 @@ fn write_log(dir: &std::path::Path, stream: u32, seq0: u64, ts0_us: u64) -> Path
         };
         assert!(w.append(rec));
     }
-    w.flush();
+    w.flush().unwrap();
     path
 }
 

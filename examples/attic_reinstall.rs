@@ -1,0 +1,129 @@
+//! Model attic end-to-end: a recurring night/day stream under a
+//! 1-cluster cap, so every regime switch evicts the other regime's
+//! model. With the attic enabled the eviction archives the model, and
+//! the regime's *return* reinstalls it from the archive instead of
+//! retraining — the `attic_hit` records queried back here are the same
+//! ones `odin scan --kind attic_hit` and `odin explain` read.
+//!
+//! ```text
+//! cargo run --release --example attic_reinstall
+//! ODIN_STORE_DIR=/tmp/store cargo run --release --example attic_reinstall
+//! ```
+//!
+//! A manual clock is installed and advanced 1 ms per frame, so the
+//! written `events.odlg` is a pure function of the frame stream —
+//! running this example twice (at any `ODIN_THREADS`) produces
+//! byte-identical files, which the CI smoke checks with `cmp`.
+
+use std::sync::Arc;
+
+use odin_core::encoder::HistogramEncoder;
+use odin_core::pipeline::{Odin, OdinConfig};
+use odin_core::specializer::SpecializerConfig;
+use odin_core::{AtticConfig, CheckpointPolicy, EventLogConfig, EVENT_LOG_FILE};
+use odin_data::{RecurringSchedule, SceneGen, Subset};
+use odin_detect::{Detector, DetectorArch};
+use odin_drift::ManagerConfig;
+use odin_log::{scan_log, Predicate, RecordKind};
+use odin_telemetry::ManualClock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let store_dir = match std::env::var_os("ODIN_STORE_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("odin-attic-reinstall-{}", std::process::id())),
+    };
+    std::fs::remove_dir_all(&store_dir).ok();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let teacher = Detector::heavy(48, &mut rng);
+    let cfg = OdinConfig {
+        manager: ManagerConfig {
+            min_points: 12,
+            stable_window: 4,
+            kl_eps: 5e-3,
+            hist_hi: 8.0,
+            // One live cluster: each promotion evicts the other regime.
+            max_clusters: Some(1),
+            ..ManagerConfig::default()
+        },
+        specializer: SpecializerConfig {
+            arch: DetectorArch::Small,
+            frame_size: 48,
+            train_iters: 30,
+            distill_iters: 20,
+            batch_size: 4,
+        },
+        min_train_frames: 16,
+        event_log: EventLogConfig { enabled: true, queue_cap: 4096, segment_records: 32 },
+        attic: AtticConfig::enabled(),
+        ..OdinConfig::default()
+    };
+    let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 42);
+    let clock = Arc::new(ManualClock::new());
+    odin.telemetry().set_clock(clock.clone());
+    odin.enable_store(&store_dir, CheckpointPolicy::Manual).expect("enable store");
+
+    // Six 60-frame windows: night, day, night, day, night, day. The
+    // third window onward returns to a regime whose model was evicted
+    // one window earlier — attic-hit territory.
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    let stream = RecurringSchedule::alternating(360, 60, &[Subset::Night, Subset::Day])
+        .generate(&gen, &mut rng);
+    println!("streaming {} recurring-drift frames at {}", stream.len(), store_dir.display());
+    for f in &stream {
+        odin.process(f);
+        clock.advance_ms(1.0);
+    }
+    odin.flush_store();
+
+    let (archived, attic_bytes) = odin.attic_stats();
+    println!("attic holds {archived} archived models ({attic_bytes} bytes)");
+
+    let log_path = store_dir.join(EVENT_LOG_FILE);
+    for kind in [RecordKind::DriftDetected, RecordKind::AtticHit, RecordKind::ModelInstalled] {
+        let res = scan_log(&log_path, &Predicate { kind: Some(kind), ..Default::default() })
+            .expect("scan kind");
+        for r in &res.records {
+            match kind {
+                RecordKind::DriftDetected => println!(
+                    "drift detected: cluster {} at frame {} (trace {:#x})",
+                    r.cluster, r.frame, r.trace
+                ),
+                RecordKind::AtticHit => println!(
+                    "attic hit: cluster {} reinstalled at frame {} (trace {:#x})",
+                    r.cluster, r.frame, r.trace
+                ),
+                _ => println!(
+                    "model installed: cluster {} at frame {} (trace {:#x})",
+                    r.cluster, r.frame, r.trace
+                ),
+            }
+        }
+    }
+
+    let hits =
+        scan_log(&log_path, &Predicate { kind: Some(RecordKind::AtticHit), ..Default::default() })
+            .expect("scan hits")
+            .records;
+    assert!(!hits.is_empty(), "recurring stream produced no attic hits");
+    // Every hit belongs to a full detect -> reinstall -> install arc on
+    // one trace id, exactly as `odin explain` joins it.
+    for h in &hits {
+        let arc = scan_log(&log_path, &Predicate::default())
+            .expect("scan all")
+            .records
+            .into_iter()
+            .filter(|r| r.trace == h.trace)
+            .collect::<Vec<_>>();
+        assert!(arc.iter().any(|r| r.kind == RecordKind::DriftDetected));
+        assert!(arc.iter().any(|r| r.kind == RecordKind::ModelInstalled));
+    }
+
+    if std::env::var_os("ODIN_STORE_DIR").is_none() {
+        std::fs::remove_dir_all(&store_dir).ok();
+    }
+    println!("attic reinstall demo complete: {} hits", hits.len());
+}

@@ -19,8 +19,10 @@ fi
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release --workspace --examples"
-cargo build --release --workspace --examples
+echo "==> cargo build --release --workspace --bins --examples"
+# --bins matters: the smokes below invoke target/release/odin by path,
+# which a bare --examples build never produces on a cold target dir.
+cargo build --release --workspace --bins --examples
 
 echo "==> cargo test -q"
 cargo test -q
@@ -179,6 +181,26 @@ wait "$EL_PID"
 cargo run --release -p odin-bench --bin log_throughput -- \
     --scale 0.1 --out /tmp/odin-ci-bench >/dev/null
 
+# Model-attic smoke: a recurring night/day stream under a 1-cluster cap
+# must archive evicted models and reinstall them on regime return, at
+# both tensor thread counts with byte-identical event logs. The `odin`
+# CLI must surface the new arc: `scan --kind attic_hit` finds the
+# reinstall records, `explain` shows the attic stage inside the arc.
+echo "==> model attic smoke (attic_reinstall example, both thread counts)"
+AT_DIR=/tmp/odin-ci-attic
+rm -rf "$AT_DIR"
+mkdir -p "$AT_DIR"
+ODIN_THREADS=1 ODIN_STORE_DIR="$AT_DIR/t1" \
+    cargo run --release -p odin-core --example attic_reinstall >"$AT_DIR/t1.log"
+ODIN_THREADS=2 ODIN_STORE_DIR="$AT_DIR/t2" \
+    cargo run --release -p odin-core --example attic_reinstall >"$AT_DIR/t2.log"
+grep -q '^attic hit: ' "$AT_DIR/t1.log"
+cmp "$AT_DIR/t1/events.odlg" "$AT_DIR/t2/events.odlg"
+"$ODIN_BIN" scan --log "$AT_DIR/t1/events.odlg" --kind attic_hit >"$AT_DIR/scan.log"
+grep -q 'attic_hit' "$AT_DIR/scan.log"
+"$ODIN_BIN" explain --log "$AT_DIR/t1/events.odlg" >"$AT_DIR/explain.log"
+grep -q 'attic reinstall' "$AT_DIR/explain.log"
+
 # Multi-stream scaling gate: re-measure the sharded-serving table at
 # reduced scale (open-loop rates make the FPS columns scale-invariant)
 # and require (a) aggregate FPS within 30% of the committed baseline
@@ -227,6 +249,25 @@ cargo run --release -p odin-bench --bin bench_gate -- \
     --baseline results/table4_pre_simd.json --candidate results/BENCH_table4.json \
     --column 2 --max-drop-pct -100 \
     --rows YOLO-SPECIALIZED-INT8,YOLO-LITE-INT8
+
+# Attic headline gate: on the recurring-drift schedule, the median
+# recovery with the attic on (signature match + reinstall) must be at
+# least 10x faster than a full retrain. bench_gate compares same-labeled
+# rows across two files, so the fresh run's retrain row is relabeled as
+# the attic row to serve as the baseline: the negative drop budget
+# (-900% == candidate >= 10x baseline) then gates the rec/s ratio
+# between the two rows of the same run — self-calibrating across boxes.
+echo "==> bench gate (table8 recurring: attic reinstall >= 10x retrain)"
+cargo run --release -p odin-bench --bin table8_recovery_latency -- \
+    --scale 0.3 --out /tmp/odin-ci-bench >/tmp/odin-ci-bench/table8.log
+grep -q 'attic shape check' /tmp/odin-ci-bench/table8.log
+cp /tmp/odin-ci-bench/table8_recurring.json results/BENCH_table8_recurring.json
+jq '.rows = [ .rows[] | select(.[0] == "Recurring-retrain") | .[0] = "Recurring-attic" ]' \
+    results/BENCH_table8_recurring.json >/tmp/odin-ci-bench/table8_retrain_as_baseline.json
+cargo run --release -p odin-bench --bin bench_gate -- \
+    --baseline /tmp/odin-ci-bench/table8_retrain_as_baseline.json \
+    --candidate results/BENCH_table8_recurring.json \
+    --column 4 --max-drop-pct -900 --rows Recurring-attic
 
 # Kernel-level regression gate: re-measure the tensor micro-benchmarks
 # and require GFLOP/s within 40% of the committed baseline

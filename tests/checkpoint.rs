@@ -11,8 +11,8 @@ use odin_core::encoder::HistogramEncoder;
 use odin_core::pipeline::{Odin, OdinConfig};
 use odin_core::specializer::SpecializerConfig;
 use odin_core::training::TrainingMode;
-use odin_core::{CheckpointPolicy, SNAPSHOT_FILE};
-use odin_data::{Frame, SceneGen, Subset};
+use odin_core::{AtticConfig, CheckpointPolicy, SNAPSHOT_FILE, WAL_FILE};
+use odin_data::{Frame, RecurringSchedule, SceneGen, Subset};
 use odin_detect::{Detection, Detector, DetectorArch};
 use odin_drift::ManagerConfig;
 use rand::rngs::StdRng;
@@ -254,6 +254,138 @@ fn every_n_frames_policy_snapshots_on_cadence() {
     assert!(odin.stats().snapshots_written >= 2, "cadence snapshots missing");
     assert!(dir.join(SNAPSHOT_FILE).exists());
     assert!(Odin::restore_from_dir(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recurring night/day frames under a 1-cluster cap: every regime
+/// switch evicts the other regime's model into the attic, and returns
+/// reinstall from it.
+fn recurring_frames(total: usize, period: usize) -> Vec<Frame> {
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    RecurringSchedule::alternating(total, period, &[Subset::Night, Subset::Day])
+        .generate(&gen, &mut rng)
+}
+
+fn attic_cfg() -> OdinConfig {
+    let base = quick_cfg(TrainingMode::Inline);
+    OdinConfig {
+        manager: ManagerConfig { max_clusters: Some(1), ..base.manager },
+        min_train_frames: 16,
+        attic: AtticConfig::enabled(),
+        ..base
+    }
+}
+
+/// The attic survives both persistence paths: the checkpoint's ATTIC
+/// section restores the archive bit-identically, and a WAL-only replay
+/// (snapshot taken before anything was learned) converges the archive
+/// through its Archive / Evict / AtticTake records alone.
+#[test]
+fn attic_survives_checkpoint_and_wal_replay() {
+    let dir = scratch("attic-replay");
+    let stream = recurring_frames(360, 60);
+
+    let mut live = Odin::new(
+        Box::new(HistogramEncoder::new()),
+        Detector::heavy(48, &mut StdRng::seed_from_u64(0)),
+        attic_cfg(),
+        42,
+    );
+    live.enable_store(&dir, CheckpointPolicy::Manual).expect("enable store");
+    live.checkpoint(&dir.join(SNAPSHOT_FILE)).expect("empty snapshot");
+    live.process_stream(&stream);
+    live.flush_store();
+    let (archived, _) = live.attic_stats();
+    assert!(archived > 0, "fixture never archived a model");
+    let prom = live.telemetry().render_prometheus();
+    assert!(!prom.contains("odin_attic_hits_total 0"), "fixture never hit the attic");
+
+    // WAL-only replay: state (attic included) converges from the log.
+    let replayed = Odin::restore_from_dir(&dir).expect("restore from dir");
+    assert_eq!(replayed.attic_stats(), live.attic_stats(), "WAL replay diverged the attic");
+    assert_eq!(replayed.manager().clusters().len(), live.manager().clusters().len());
+    assert_eq!(registry_params(&replayed), registry_params(&live));
+
+    // Checkpoint roundtrip: the ATTIC section carries the archive, and
+    // the TELEMETRY section carries its counters.
+    let snap = dir.join("attic-snap.odst");
+    live.checkpoint(&snap).expect("checkpoint");
+    let restored = Odin::restore(&snap).expect("restore");
+    assert_eq!(restored.attic_stats(), live.attic_stats(), "checkpoint dropped the attic");
+    let attic_counters = |o: &Odin| {
+        o.telemetry()
+            .snapshot()
+            .counters
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("odin_attic"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        attic_counters(&restored),
+        attic_counters(&live),
+        "attic counters diverged across checkpoint/restore"
+    );
+
+    // All three must serve fresh frames bit-identically.
+    let probe = recurring_frames(10, 5);
+    let mut live = live;
+    let mut replayed = replayed;
+    let mut restored = restored;
+    for f in &probe {
+        let want = fingerprint(&live.infer_only(f));
+        assert_eq!(want, fingerprint(&replayed.infer_only(f)), "WAL replay serves differently");
+        assert_eq!(want, fingerprint(&restored.infer_only(f)), "restore serves differently");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash *between* the Archive append and the Evict append must
+/// replay into "archived, never lost": the WAL order puts Archive
+/// first, so the truncated log restores a system where the model is in
+/// the attic and the cluster has not yet been evicted — nothing is
+/// dropped on the floor.
+#[test]
+fn crash_between_archive_and_evict_keeps_the_model() {
+    let dir = scratch("attic-crash");
+    let stream = recurring_frames(360, 60);
+
+    let mut live = Odin::new(
+        Box::new(HistogramEncoder::new()),
+        Detector::heavy(48, &mut StdRng::seed_from_u64(0)),
+        attic_cfg(),
+        42,
+    );
+    live.enable_store(&dir, CheckpointPolicy::Manual).expect("enable store");
+    live.checkpoint(&dir.join(SNAPSHOT_FILE)).expect("empty snapshot");
+    live.process_stream(&stream);
+    live.flush_store();
+    drop(live);
+
+    // Chop the WAL immediately after the last Archive record (tag 4):
+    // the crash happened before the matching Evict (tag 2) was appended.
+    let wal_path = dir.join(WAL_FILE);
+    let all = odin_store::read_wal(&wal_path).expect("read wal").records;
+    let cut = all.iter().rposition(|r| r.payload[0] == 4).expect("no archive record") + 1;
+    assert_eq!(all[cut].payload[0], 2, "archive must be directly followed by evict");
+    std::fs::remove_file(&wal_path).expect("drop wal");
+    let mut w = odin_store::WalWriter::open(&wal_path).expect("rewrite wal");
+    for r in &all[..cut] {
+        w.append(&r.payload).expect("append prefix");
+    }
+    w.sync().expect("sync");
+    drop(w);
+
+    let mut recovered = Odin::restore_from_dir(&dir).expect("restore across crash");
+    let (archived, _) = recovered.attic_stats();
+    assert!(archived > 0, "archived model lost across the crash");
+    // The eviction never became durable, so the cluster (and its
+    // registered model) are still live alongside the archived copy.
+    assert!(recovered.model_count() > 0, "registry lost the not-yet-evicted model");
+    // The recovered system keeps serving.
+    for f in &recurring_frames(10, 5) {
+        recovered.infer_only(f);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

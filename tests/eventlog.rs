@@ -14,8 +14,10 @@ use odin_core::pipeline::{Odin, OdinConfig};
 use odin_core::server::{OdinServer, ServerConfig};
 use odin_core::specializer::SpecializerConfig;
 use odin_core::training::TrainingMode;
-use odin_core::{CheckpointPolicy, EventLogConfig, ServedBy, EVENT_LOG_FILE, STREAMS_DIR};
-use odin_data::{Frame, SceneGen, Subset};
+use odin_core::{
+    AtticConfig, CheckpointPolicy, EventLogConfig, ServedBy, EVENT_LOG_FILE, STREAMS_DIR,
+};
+use odin_data::{Frame, RecurringSchedule, SceneGen, Subset};
 use odin_detect::{Detector, DetectorArch};
 use odin_drift::ManagerConfig;
 use odin_log::{scan_log, scan_store, LogRecord, Predicate, RecordKind, ServedLabel};
@@ -285,6 +287,70 @@ fn metrics_and_healthz_surface_the_event_log() {
     assert!(health.contains("\"event_log_queue_depths\":[0,0]"), "{health}");
     let shard_health = server.with_shard(0, |o| o.telemetry().render_healthz());
     assert!(shard_health.contains("\"event_log_queue_depth\":0"), "{shard_health}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An attic reinstall logs a distinct recovery arc: on one trace id,
+/// detect → attic hit → install, in causal order, with *no* train-queue
+/// record (nothing was queued — the cached model was reinstalled), all
+/// about the same cluster.
+#[test]
+fn attic_hit_joins_the_recovery_arc() {
+    let dir = scratch("attic-arc");
+    let base = quick_cfg();
+    let cfg = OdinConfig {
+        manager: ManagerConfig { max_clusters: Some(1), ..base.manager },
+        min_train_frames: 16,
+        attic: AtticConfig::enabled(),
+        ..base
+    };
+    let mut odin = {
+        let mut rng = StdRng::seed_from_u64(0);
+        let teacher = Detector::heavy(48, &mut rng);
+        Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 42)
+    };
+    odin.telemetry().clear_sinks();
+    odin.enable_store(&dir, CheckpointPolicy::Manual).expect("enable_store");
+
+    // Night, day, night, ...: from the third window on, each switch
+    // returns to a regime whose model sits in the attic.
+    let gen = SceneGen::new(48);
+    let mut rng = StdRng::seed_from_u64(2);
+    let stream = RecurringSchedule::alternating(360, 60, &[Subset::Night, Subset::Day])
+        .generate(&gen, &mut rng);
+    odin.process_stream(&stream);
+    odin.flush_store();
+
+    let res = scan_log(&dir.join(EVENT_LOG_FILE), &Predicate::default()).expect("scan");
+    let hits: Vec<&LogRecord> =
+        res.records.iter().filter(|r| r.kind == RecordKind::AtticHit).collect();
+    assert!(!hits.is_empty(), "recurring stream produced no attic hits");
+    for hit in hits {
+        let arc: Vec<&LogRecord> = res
+            .records
+            .iter()
+            .filter(|r| r.trace == hit.trace && r.kind != RecordKind::Frame)
+            .collect();
+        let pos = |k: RecordKind| arc.iter().position(|r| r.kind == k);
+        let detect = pos(RecordKind::DriftDetected).expect("attic arc lost its drift record");
+        let reinstall = pos(RecordKind::AtticHit).unwrap();
+        let installed = pos(RecordKind::ModelInstalled).expect("attic arc never installed");
+        assert!(detect < reinstall && reinstall < installed, "attic arc out of causal order");
+        assert!(pos(RecordKind::TrainQueued).is_none(), "attic hit still queued a train job");
+        assert_eq!(arc[detect].cluster, arc[installed].cluster, "attic arc spans two clusters");
+        assert_eq!(
+            arc[installed].latency_us, 0,
+            "reinstall must report zero train latency (nothing was trained)"
+        );
+    }
+    // The kind filter reaches the same records through the zone maps.
+    let filtered = scan_log(
+        &dir.join(EVENT_LOG_FILE),
+        &Predicate { kind: Some(RecordKind::AtticHit), ..Predicate::default() },
+    )
+    .expect("scan attic_hit");
+    assert!(!filtered.records.is_empty());
+    assert!(filtered.records.iter().all(|r| r.kind == RecordKind::AtticHit));
     std::fs::remove_dir_all(&dir).ok();
 }
 
