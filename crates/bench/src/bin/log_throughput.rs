@@ -12,12 +12,17 @@
 //!   ids and timestamps, dictionary-coded enums).
 //! * **scan** — records/s for a full decode, and the pruned cost of a
 //!   narrow time-range query that zone maps collapse to one segment.
+//! * **tail follow** — records/s observed by a cursor-paged reader
+//!   (`read_after`) chasing a live writer on the same file: the
+//!   end-to-end rate of `odin tail -f` (append + segment seal + sealed
+//!   read), including the latency of waiting out the unsealed tail.
 
 use std::time::Instant;
 
 use odin_bench::report::{Args, Table};
 use odin_log::{
-    scan_log, EventLogConfig, LogMetrics, LogRecord, LogWriter, Predicate, RecordKind, ServedLabel,
+    read_after, scan_log, Cursor, EventLogConfig, LogMetrics, LogRecord, LogWriter, Predicate,
+    RecordKind, ServedLabel,
 };
 
 /// A record stream shaped like pipeline output: `frame` rows with
@@ -72,12 +77,24 @@ fn main() {
     let mut t = Table::new(
         "log_throughput",
         "Event-Log Append/Scan Throughput (odin-log)",
-        &["seg records", "append Mrec/s", "bytes/record", "full scan Mrec/s", "pruned query ms"],
+        &[
+            "seg records",
+            "append Mrec/s",
+            "bytes/record",
+            "full scan Mrec/s",
+            "pruned query ms",
+            "tail follow Mrec/s",
+        ],
     );
 
     for seg in [128usize, 512, 2048] {
         let path = dir.join(format!("bench-{seg}.odlg"));
-        let cfg = EventLogConfig { enabled: true, queue_cap: n + 1, segment_records: seg };
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: n + 1,
+            segment_records: seg,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let writer = LogWriter::open(&path, cfg, LogMetrics::detached()).expect("open");
         for r in &records {
@@ -106,12 +123,50 @@ fn main() {
         let pruned_ms = t2.elapsed().as_secs_f64() * 1e3;
         assert!(narrow.stats.segments_pruned > 0, "zone maps failed to prune");
 
+        // Tail-follow: a fresh writer streams the same records while
+        // this thread chases the sealed tail with cursor-paged reads.
+        // The reader only ever sees whole sealed segments, so the loop
+        // terminates once the writer's final flush seals the tail.
+        let tail_path = dir.join(format!("tail-{seg}.odlg"));
+        let tail_cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: n + 1,
+            segment_records: seg,
+            ..Default::default()
+        };
+        let t3 = Instant::now();
+        let tail_writer =
+            LogWriter::open(&tail_path, tail_cfg, LogMetrics::detached()).expect("open");
+        let seen = std::thread::scope(|s| {
+            let appender = s.spawn(|| {
+                for r in &records {
+                    assert!(tail_writer.append(*r), "queue sized to never drop");
+                }
+                tail_writer.flush().expect("event-log flush");
+            });
+            let mut cursor = Cursor::default();
+            let mut seen = 0usize;
+            while seen < n {
+                let batch = read_after(&tail_path, cursor, 8192).expect("tail read");
+                cursor = batch.next;
+                if batch.records.is_empty() {
+                    std::thread::yield_now();
+                }
+                seen += batch.records.len();
+            }
+            appender.join().expect("appender thread");
+            seen
+        });
+        let tail_s = t3.elapsed().as_secs_f64();
+        assert_eq!(seen, n, "tail dropped or duplicated records");
+
         t.row(vec![
             seg.to_string(),
             format!("{:.2}", n as f64 / append_s / 1e6),
             format!("{:.1}", len as f64 / n as f64),
             format!("{:.2}", n as f64 / scan_s / 1e6),
             format!("{:.3}", pruned_ms),
+            format!("{:.2}", n as f64 / tail_s / 1e6),
         ]);
     }
     t.finish(&args);

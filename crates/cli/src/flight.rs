@@ -1,0 +1,38 @@
+//! `odin flight` — fetch the live flight recorder's Chrome-trace dump
+//! (`GET /flight`) and write it to a file for Perfetto / chrome://tracing.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::path::PathBuf;
+
+use crate::take_value;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut out = PathBuf::from("trace.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value(args, &mut i, "--addr")?),
+            "--out" => out = PathBuf::from(take_value(args, &mut i, "--out")?),
+            other => return Err(format!("flight: unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("flight needs --addr HOST:PORT")?;
+    let sock: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolved to nothing"))?;
+    let (status, body) =
+        odin_telemetry::http::get(sock, "/flight").map_err(|e| format!("GET /flight: {e}"))?;
+    if !status.contains("200") {
+        return Err(format!("/flight returned {status}"));
+    }
+    if !body.contains("\"traceEvents\"") {
+        return Err(format!("/flight did not return a Chrome trace: {body}"));
+    }
+    std::fs::write(&out, &body).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("flight trace: {} ({} bytes)", out.display(), body.len());
+    Ok(())
+}

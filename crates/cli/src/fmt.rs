@@ -1,6 +1,6 @@
 //! Shared parsing and rendering helpers for the CLI.
 
-use odin_log::LogRecord;
+use odin_log::{LogRecord, RecordKind, ServedLabel};
 
 /// Parses a time argument into microseconds. Accepts `120us`, `250ms`,
 /// `1.5s`, or a bare integer (treated as microseconds).
@@ -66,26 +66,99 @@ pub fn row(r: &LogRecord) -> String {
 
 /// One record as a JSON object (stable key order, no external deps).
 pub fn json(r: &LogRecord) -> String {
-    format!(
-        concat!(
-            "{{\"seq\":{},\"kind\":\"{}\",\"ts_us\":{},\"frame\":{},",
-            "\"stream\":{},\"cluster\":{},\"served\":\"{}\",\"dets\":{},",
-            "\"conf_mean\":{:.4},\"conf_max\":{:.4},\"latency_us\":{},",
-            "\"trace\":{}}}"
-        ),
-        r.seq,
-        r.kind.name(),
-        r.ts_us,
-        r.frame,
-        r.stream,
-        r.cluster,
-        r.served.name(),
-        r.dets,
-        r.conf_mean,
-        r.conf_max,
-        r.latency_us,
-        r.trace,
-    )
+    r.to_json()
+}
+
+/// The raw text of `"key":value` inside a flat JSON object (no nested
+/// objects; our wire shapes never put `,` or `}` inside strings).
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Inverse of [`LogRecord::to_json`] for one object (the `/events`
+/// wire shape — flat, fixed keys).
+pub fn record_from_json(obj: &str) -> Option<LogRecord> {
+    Some(LogRecord {
+        seq: field(obj, "seq")?.parse().ok()?,
+        kind: RecordKind::parse(field(obj, "kind")?.trim_matches('"'))?,
+        ts_us: field(obj, "ts_us")?.parse().ok()?,
+        frame: field(obj, "frame")?.parse().ok()?,
+        stream: field(obj, "stream")?.parse().ok()?,
+        cluster: field(obj, "cluster")?.parse().ok()?,
+        served: ServedLabel::parse(field(obj, "served")?.trim_matches('"'))?,
+        dets: field(obj, "dets")?.parse().ok()?,
+        conf_mean: field(obj, "conf_mean")?.parse().ok()?,
+        conf_max: field(obj, "conf_max")?.parse().ok()?,
+        latency_us: field(obj, "latency_us")?.parse().ok()?,
+        trace: field(obj, "trace")?.parse().ok()?,
+    })
+}
+
+/// Splits a `GET /events` response body into `(next cursor, records)`.
+pub fn parse_events_body(body: &str) -> Result<(String, Vec<LogRecord>), String> {
+    // The cursor is a quoted string that may itself contain commas
+    // (one `seq:offset` per stream), so scan to the closing quote
+    // rather than using the flat-value `field` helper.
+    let cursor = body
+        .find("\"cursor\":\"")
+        .map(|i| i + "\"cursor\":\"".len())
+        .and_then(|start| {
+            let rest = &body[start..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        })
+        .ok_or_else(|| format!("no cursor in /events response: {body}"))?;
+    let start = body.find("\"records\":[").map(|i| i + "\"records\":[".len());
+    let end = body.rfind(']');
+    let (Some(start), Some(end)) = (start, end) else {
+        return Err(format!("no records array in /events response: {body}"));
+    };
+    let inner = &body[start..end];
+    let mut records = Vec::new();
+    for obj in inner.split("},{") {
+        let obj = obj.trim_start_matches('{').trim_end_matches('}');
+        if obj.is_empty() {
+            continue;
+        }
+        records
+            .push(record_from_json(obj).ok_or_else(|| format!("malformed record object: {obj}"))?);
+    }
+    Ok((cursor, records))
+}
+
+/// The `[a,b,c]` array value of `"key":[...]` as numbers.
+pub fn json_u64_array(obj: &str, key: &str) -> Option<Vec<u64>> {
+    let pat = format!("\"{key}\":[");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let inner = &rest[..rest.find(']')?];
+    if inner.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|v| v.trim().parse().ok()).collect()
+}
+
+/// Why a `/healthz` body warrants a nonzero exit, if anything: the
+/// server reports itself degraded, or some stream's admission queue
+/// sits at its cap (ingest is actively shedding load).
+pub fn healthz_alarm(health: &str) -> Option<String> {
+    if let Some(status) = field(health, "status").map(|v| v.trim_matches('"')) {
+        if status != "ok" {
+            return Some(format!("status is \"{status}\""));
+        }
+    }
+    if let (Some(cap), Some(depths)) = (
+        field(health, "queue_cap").and_then(|v| v.parse::<u64>().ok()),
+        json_u64_array(health, "queue_depths"),
+    ) {
+        if let Some((stream, depth)) = depths.iter().enumerate().find(|(_, d)| **d >= cap) {
+            return Some(format!("stream {stream} queue depth {depth} at cap {cap}"));
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -113,5 +186,54 @@ mod tests {
         assert_eq!(human_us(832), "832us");
         assert_eq!(human_us(14_200), "14.2ms");
         assert_eq!(human_us(3_150_000), "3.150s");
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let rec = LogRecord {
+            seq: 9,
+            kind: RecordKind::DriftDetected,
+            ts_us: 123_456,
+            frame: 42,
+            stream: 3,
+            cluster: -1,
+            served: ServedLabel::Teacher,
+            dets: 2,
+            conf_mean: 0.5,
+            conf_max: 0.75,
+            latency_us: 810,
+            trace: 0xbeef,
+        };
+        let parsed = record_from_json(&rec.to_json()).expect("parse back");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn events_body_parses_cursor_and_records() {
+        let a = LogRecord { seq: 1, ..LogRecord::empty() };
+        let b = LogRecord { seq: 2, stream: 1, ..LogRecord::empty() };
+        let body = format!(
+            "{{\"cursor\":\"2:40,0:8\",\"count\":2,\"records\":[{},{}]}}",
+            a.to_json(),
+            b.to_json()
+        );
+        let (cursor, records) = parse_events_body(&body).expect("parse");
+        assert_eq!(cursor, "2:40,0:8");
+        assert_eq!(records, vec![a, b]);
+        let (cursor, records) =
+            parse_events_body("{\"cursor\":\"0:8\",\"count\":0,\"records\":[]}").expect("empty");
+        assert_eq!(cursor, "0:8");
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn healthz_alarms_fire_on_degraded_and_full_queues() {
+        assert_eq!(healthz_alarm("{\"status\":\"ok\",\"streams\":2}"), None);
+        assert!(healthz_alarm("{\"status\":\"degraded\",\"streams\":2}")
+            .is_some_and(|r| r.contains("degraded")));
+        let full = "{\"status\":\"ok\",\"streams\":2,\"queue_cap\":8,\"queue_depths\":[0,8]}";
+        assert!(healthz_alarm(full).is_some_and(|r| r.contains("stream 1")));
+        let fine = "{\"status\":\"ok\",\"streams\":2,\"queue_cap\":8,\"queue_depths\":[7,0]}";
+        assert_eq!(healthz_alarm(fine), None);
     }
 }

@@ -1,9 +1,16 @@
 //! `odin` — operator CLI for a running or persisted ODIN deployment.
 //!
-//! Three subcommands:
+//! Subcommands:
 //!
 //! * `odin status --addr HOST:PORT` — liveness + key metrics from a
-//!   serving front end's `/healthz` and `/metrics` endpoints.
+//!   serving front end's `/healthz` and `/metrics` endpoints; exits
+//!   nonzero when the deployment is degraded or shedding load.
+//! * `odin tail` — cursor-paged tail of the event log, live against a
+//!   server (`--addr`, long-poll `GET /events`) or directly against
+//!   `events.odlg` files (`--log` / `--store`); `-f` follows.
+//! * `odin top` — one-screen live refresh of per-stream FPS, queue
+//!   depths, serving precision, and drift/attic counters.
+//! * `odin flight` — fetch the live flight recorder's Chrome trace.
 //! * `odin scan` — predicate queries over an event log file
 //!   (`--log events.odlg`) or a whole store directory (`--store DIR`,
 //!   which merges every shard under `streams/<id>/`). Zone maps prune
@@ -16,9 +23,12 @@
 //! HTTP client is the one-shot helper from `odin-telemetry`.
 
 mod explain;
+mod flight;
 mod fmt;
 mod scan;
 mod status;
+mod tail;
+mod top;
 
 use std::process::ExitCode;
 
@@ -27,10 +37,23 @@ odin — ODIN ops CLI
 
 USAGE:
     odin status --addr HOST:PORT [--raw]
+    odin tail   (--addr HOST:PORT | --log FILE | --store DIR)
+                [-f|--follow] [--kind KIND] [--cursor C] [--json]
+                [--limit N] [--for DUR]
+    odin top    --addr HOST:PORT [--once] [--interval DUR]
+    odin flight --addr HOST:PORT [--out FILE]
     odin scan   (--log FILE | --store DIR) [FILTERS] [--json] [--stats]
                 [--limit N]
     odin explain (--log FILE | --store DIR) [--trace ID] [--cluster N]
                 [--stream N]
+
+`status` and `top` exit nonzero when /healthz reports a degraded
+status or any stream's admission queue sits at its cap.
+
+`tail` drains everything after the start cursor and prints the final
+cursor on stderr (resume with --cursor); with -f it long-polls the
+server (or polls the files) for new sealed records, bounded by
+--for DUR (e.g. 2s) if given.
 
 SCAN FILTERS:
     --stream N        only records from stream N
@@ -40,12 +63,13 @@ SCAN FILTERS:
     --frame-min N     frame index lower bound
     --frame-max N     frame index upper bound
     --cluster N       only records about cluster N
-    --kind KIND       frame | drift | queued | install | evict
+    --kind KIND       frame | drift | queued | install | evict | attic
     --served WHO      teacher | ensemble | fallback | none
     --trace ID        exact causal trace id (decimal or 0x hex)
 
 Run against a store directory written with `OdinConfig.event_log`
-enabled (see DESIGN.md, \"Event log & ops CLI\").";
+enabled (see DESIGN.md, \"Event log & ops CLI\" and
+\"Live observability plane\").";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +79,9 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "status" => status::run(rest),
+        "tail" => tail::run(rest),
+        "top" => top::run(rest),
+        "flight" => flight::run(rest),
         "scan" => scan::run(rest),
         "explain" => explain::run(rest),
         "help" | "--help" | "-h" => {

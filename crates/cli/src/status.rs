@@ -1,7 +1,10 @@
 //! `odin status` — liveness and key metrics from a serving front end.
+//! Exits nonzero when `/healthz` reports a degraded status or a stream
+//! whose admission queue sits at its cap.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
+use crate::fmt::healthz_alarm;
 use crate::take_value;
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -37,7 +40,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     if raw {
         print!("{metrics}");
-        return Ok(());
+        return match healthz_alarm(&health) {
+            Some(reason) => Err(format!("unhealthy: {reason}")),
+            None => Ok(()),
+        };
     }
     // A curated slice of the exposition: enough to judge serving and
     // recovery health at a glance without scraping.
@@ -63,5 +69,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
             println!("{line}");
         }
     }
-    Ok(())
+    match healthz_alarm(&health) {
+        Some(reason) => Err(format!("unhealthy: {reason}")),
+        None => Ok(()),
+    }
 }

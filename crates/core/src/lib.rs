@@ -79,7 +79,7 @@ pub use attic::AtticConfig;
 pub use encoder::{DaGanEncoder, EncoderSnapshot, HistogramEncoder, LatentEncoder};
 pub use filter::BinaryFilter;
 pub use metrics::{mean_map, PipelineStats, StreamEvaluator, WindowPoint};
-pub use odin_log::EventLogConfig;
+pub use odin_log::{EventLogConfig, RetentionConfig};
 pub use pipeline::{
     FrameResult, IngestOutcome, Odin, OdinConfig, OracleLabels, ServedBy, NS_STRIDE,
     QUANT_GATE_FRAMES, QUANT_MAP_DELTA,

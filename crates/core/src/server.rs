@@ -31,15 +31,16 @@
 //! sections back so every shard restores bit-identically.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use odin_data::Frame;
 use odin_detect::Detector;
+use odin_log::{read_after, Cursor, LogRecord, RecordKind, EVENT_LOG_FILE};
 use odin_store::checkpoint::write_atomic;
 use odin_store::{Checkpoint, Decoder, Encoder, StoreError};
 use odin_telemetry::{
@@ -197,6 +198,10 @@ struct ServerInner {
     router: Option<Arc<TrainRouter>>,
     queue_cap: usize,
     stopped: AtomicBool,
+    /// Root store directory once [`OdinServer::enable_store`] /
+    /// [`OdinServer::restore_from_dir`] has run; the `GET /events`
+    /// route tails `<store>/streams/<id>/events.odlg` under it.
+    store_dir: Mutex<Option<PathBuf>>,
 }
 
 impl ServerInner {
@@ -268,14 +273,35 @@ impl ServerInner {
             .map(|s| s.handles.lock().telemetry.event_log_queue_depth.get().to_string())
             .collect();
         format!(
-            "{{\"status\":\"ok\",\"streams\":{},\"queue_depths\":[{}],\"event_log_queue_depths\":[{}]}}",
+            "{{\"status\":\"ok\",\"streams\":{},\"queue_cap\":{},\"queue_depths\":[{}],\"event_log_queue_depths\":[{}]}}",
             self.shards.len(),
+            self.queue_cap,
             depths.join(","),
             log_depths.join(",")
         )
     }
 
+    fn render_events(&self, req: &Request) -> Response {
+        let Some(dir) = self.store_dir.lock().clone() else {
+            return Response::text(
+                "404 Not Found",
+                "no store attached; /events serves the persistent event log\n",
+            );
+        };
+        let paths: Vec<PathBuf> = (0..self.shards.len())
+            .map(|i| dir.join(STREAMS_DIR).join(i.to_string()).join(EVENT_LOG_FILE))
+            .collect();
+        events_response(&paths, req)
+    }
+
     fn route(&self, req: &Request) -> Option<Response> {
+        if req.method == "GET" {
+            return match req.path.as_str() {
+                "/events" => Some(self.render_events(req)),
+                "/flight" => Some(Response::ok_json(self.render_trace())),
+                _ => None,
+            };
+        }
         if req.method != "POST" {
             return None;
         }
@@ -308,6 +334,94 @@ impl ServerInner {
             }
         })
     }
+}
+
+/// Longest a `GET /events` request may long-poll. Kept well under the
+/// HTTP client/server read timeouts (5 s) so a quiet log returns an
+/// empty batch instead of a dropped connection.
+pub(crate) const EVENTS_MAX_WAIT_MS: u64 = 2_000;
+
+/// Poll interval while a long-poll waits for new sealed records.
+const EVENTS_POLL_MS: u64 = 25;
+
+/// Shared `GET /events` implementation for the sharded server and the
+/// single-pipeline [`Telemetry::serve`] route: one event-log path per
+/// stream, one [`Cursor`] per path in the comma-joined `cursor` query
+/// parameter. Reads only sealed segments ([`read_after`]), merges by
+/// `(ts_us, stream, seq)`, and long-polls up to `wait_ms` when the
+/// request would otherwise return nothing. A `kind` filter drops
+/// non-matching records *after* the cursors advance, so a filtered
+/// tail still makes progress through frame traffic.
+pub(crate) fn events_response(paths: &[PathBuf], req: &Request) -> Response {
+    let n = paths.len();
+    let limit = req
+        .query_param("limit")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(256)
+        .clamp(1, 4096);
+    let wait_ms = req
+        .query_param("wait_ms")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0)
+        .min(EVENTS_MAX_WAIT_MS);
+    let kind = match req.query_param("kind") {
+        None | Some("") => None,
+        Some(s) => match RecordKind::parse(s) {
+            Some(k) => Some(k),
+            None => {
+                return Response::text("400 Bad Request", format!("unknown kind: {s}\n"));
+            }
+        },
+    };
+    let mut cursors: Vec<Cursor> = match req.query_param("cursor") {
+        None | Some("") => vec![Cursor::default(); n],
+        Some(s) => {
+            let parsed: Option<Vec<Cursor>> = s.split(',').map(Cursor::parse).collect();
+            match parsed {
+                Some(v) if v.len() == n => v,
+                _ => {
+                    return Response::text(
+                        "400 Bad Request",
+                        format!("bad cursor: expected {n} comma-separated seq:offset entries\n"),
+                    );
+                }
+            }
+        }
+    };
+    let deadline = Instant::now() + Duration::from_millis(wait_ms);
+    let mut out: Vec<LogRecord> = Vec::new();
+    loop {
+        for (i, path) in paths.iter().enumerate() {
+            match read_after(path, cursors[i], limit) {
+                Ok(batch) => {
+                    cursors[i] = batch.next;
+                    out.extend(
+                        batch.records.into_iter().filter(|r| kind.is_none_or(|k| r.kind == k)),
+                    );
+                }
+                Err(e) => {
+                    return Response::text(
+                        "500 Internal Server Error",
+                        format!("event log read failed: {e}\n"),
+                    );
+                }
+            }
+        }
+        if !out.is_empty() || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(EVENTS_POLL_MS));
+    }
+    // Each stream's records arrive in seq order; the merge is stable
+    // across streams by record time.
+    out.sort_by_key(|r| (r.ts_us, r.stream, r.seq));
+    let next: String = cursors.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+    let records: Vec<String> = out.iter().map(|r| r.to_json()).collect();
+    Response::ok_json(format!(
+        "{{\"cursor\":\"{next}\",\"count\":{},\"records\":[{}]}}",
+        out.len(),
+        records.join(",")
+    ))
 }
 
 fn worker_loop(rx: Receiver<Msg>, shards: Vec<Arc<ShardState>>, batch_max: usize) {
@@ -458,6 +572,7 @@ impl OdinServer {
             router,
             queue_cap: cfg.queue_cap.max(1),
             stopped: AtomicBool::new(false),
+            store_dir: Mutex::new(None),
         });
         OdinServer { inner, workers, http: None, cfg }
     }
@@ -520,8 +635,12 @@ impl OdinServer {
     /// returns the bound address. Endpoints: `POST /ingest/<stream>`
     /// (body: [`encode_ingest_frame`]; 200 with a result summary, 429
     /// under backpressure), `GET /metrics` (all shards merged, every
-    /// sample labeled `stream="<id>"`), `GET /trace` (merged
-    /// Chrome-trace), `GET /healthz` (liveness + queue depths).
+    /// sample labeled `stream="<id>"`), `GET /trace` and `GET /flight`
+    /// (merged Chrome-trace of the live flight recorders), `GET
+    /// /healthz` (liveness + queue depths + cap), and `GET
+    /// /events?cursor=&kind=&limit=&wait_ms=` (cursor-paged long-poll
+    /// tail of the per-stream event logs; requires
+    /// [`OdinServer::enable_store`]).
     pub fn serve<A: std::net::ToSocketAddrs>(
         &mut self,
         addr: A,
@@ -568,6 +687,7 @@ impl OdinServer {
             let sdir = dir.join(STREAMS_DIR).join(i.to_string());
             shard.odin.lock().enable_store(&sdir, policy)?;
         }
+        *self.inner.store_dir.lock() = Some(dir.to_path_buf());
         Ok(())
     }
 
@@ -607,7 +727,9 @@ impl OdinServer {
         let registry = ModelRegistry::new().into_shared();
         let teacher = pipelines[0].teacher_handle();
         let router = Self::build_router(cfg.odin.training, &teacher, cfg.odin);
-        Ok(Self::assemble(cfg, pipelines, registry, router))
+        let server = Self::assemble(cfg, pipelines, registry, router);
+        *server.inner.store_dir.lock() = Some(dir.to_path_buf());
+        Ok(server)
     }
 
     /// Restores ONE shard in place from a server checkpoint directory,

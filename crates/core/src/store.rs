@@ -29,7 +29,7 @@ use odin_data::{Condition, Frame, GtBox, Image, Location, ObjectClass, TimeOfDay
 use odin_detect::{Detector, DetectorArch};
 use odin_drift::{Cluster, ClusterSignature, DriftEvent, ManagerConfig};
 use odin_gan::{DaGan, DaGanConfig};
-use odin_log::EventLogConfig;
+use odin_log::{EventLogConfig, RetentionConfig};
 use odin_store::checkpoint::write_atomic;
 use odin_store::{Decoder, Encoder, Persist, StoreError, WalWriter};
 use odin_tensor::Tensor;
@@ -383,6 +383,8 @@ impl Persist for OdinConfig {
         enc.put_bool(self.attic.enabled);
         enc.put_usize(self.attic.byte_budget);
         enc.put_f32(self.attic.match_threshold);
+        enc.put_u64(self.event_log.retention.max_bytes);
+        enc.put_u64(self.event_log.retention.max_age_us);
     }
 
     fn restore(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
@@ -410,42 +412,57 @@ impl Persist for OdinConfig {
             1 => TrainingMode::Background { workers: dec.take_usize("TrainingMode.workers")? },
             _ => return Err(StoreError::Malformed { context: "TrainingMode tag" }),
         };
+        let baseline_only = dec.take_bool("OdinConfig.baseline_only")?;
+        let buffer_cap = dec.take_usize("OdinConfig.buffer_cap")?;
+        let min_train_frames = dec.take_usize("OdinConfig.min_train_frames")?;
+        let precision = match dec.take_u8("OdinConfig.precision")? {
+            0 => ServePrecision::F32,
+            1 => ServePrecision::Int8,
+            _ => return Err(StoreError::Malformed { context: "ServePrecision tag" }),
+        };
+        // Added after the precision field; absent in checkpoints
+        // written by older builds, which read back as disabled.
+        let mut event_log = if dec.remaining() > 0 {
+            EventLogConfig {
+                enabled: dec.take_bool("OdinConfig.event_log.enabled")?,
+                queue_cap: dec.take_usize("OdinConfig.event_log.queue_cap")?,
+                segment_records: dec.take_usize("OdinConfig.event_log.segment_records")?,
+                ..EventLogConfig::default()
+            }
+        } else {
+            EventLogConfig::default()
+        };
+        // Added after the event-log fields; absent in checkpoints
+        // written by older builds, which read back as disabled.
+        let attic = if dec.remaining() > 0 {
+            AtticConfig {
+                enabled: dec.take_bool("OdinConfig.attic.enabled")?,
+                byte_budget: dec.take_usize("OdinConfig.attic.byte_budget")?,
+                match_threshold: dec.take_f32("OdinConfig.attic.match_threshold")?,
+            }
+        } else {
+            AtticConfig::default()
+        };
+        // Added after the attic fields; absent in checkpoints written
+        // by older builds, which read back as unlimited retention.
+        if dec.remaining() > 0 {
+            event_log.retention = RetentionConfig {
+                max_bytes: dec.take_u64("OdinConfig.event_log.retention.max_bytes")?,
+                max_age_us: dec.take_u64("OdinConfig.event_log.retention.max_age_us")?,
+            };
+        }
         Ok(OdinConfig {
             manager,
             policy,
             specializer,
             oracle,
             training,
-            baseline_only: dec.take_bool("OdinConfig.baseline_only")?,
-            buffer_cap: dec.take_usize("OdinConfig.buffer_cap")?,
-            min_train_frames: dec.take_usize("OdinConfig.min_train_frames")?,
-            precision: match dec.take_u8("OdinConfig.precision")? {
-                0 => ServePrecision::F32,
-                1 => ServePrecision::Int8,
-                _ => return Err(StoreError::Malformed { context: "ServePrecision tag" }),
-            },
-            // Added after the precision field; absent in checkpoints
-            // written by older builds, which read back as disabled.
-            event_log: if dec.remaining() > 0 {
-                EventLogConfig {
-                    enabled: dec.take_bool("OdinConfig.event_log.enabled")?,
-                    queue_cap: dec.take_usize("OdinConfig.event_log.queue_cap")?,
-                    segment_records: dec.take_usize("OdinConfig.event_log.segment_records")?,
-                }
-            } else {
-                EventLogConfig::default()
-            },
-            // Added after the event-log fields; absent in checkpoints
-            // written by older builds, which read back as disabled.
-            attic: if dec.remaining() > 0 {
-                AtticConfig {
-                    enabled: dec.take_bool("OdinConfig.attic.enabled")?,
-                    byte_budget: dec.take_usize("OdinConfig.attic.byte_budget")?,
-                    match_threshold: dec.take_f32("OdinConfig.attic.match_threshold")?,
-                }
-            } else {
-                AtticConfig::default()
-            },
+            baseline_only,
+            buffer_cap,
+            min_train_frames,
+            precision,
+            event_log,
+            attic,
         })
     }
 }

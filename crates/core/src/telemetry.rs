@@ -29,11 +29,12 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use odin_log::EVENT_LOG_FILE;
 use odin_telemetry::render::{render_json, render_prometheus};
 use odin_telemetry::{
-    chrome_trace, log_bounds, serve, Clock, Counter, EventSink, FlightRecord, Gauge, Histogram,
-    HttpHandlers, Level, MetricsServer, Registry, SpanCtx, SpanGuard, StderrSink,
-    TelemetrySnapshot, TimelineEvent, TimelineStage,
+    chrome_trace, log_bounds, serve, unpoison, Clock, Counter, EventSink, FlightRecord, Gauge,
+    Histogram, HttpHandlers, Level, MetricsServer, Registry, Request, Response, SpanCtx, SpanGuard,
+    StderrSink, TelemetrySnapshot, TimelineEvent, TimelineStage,
 };
 
 /// Bucket bounds (ms) shared by the fast per-frame stages. Log-spaced
@@ -275,7 +276,7 @@ impl Telemetry {
     ) {
         self.store_errors.inc();
         let message = format!("{what}: {detail}");
-        *self.last_error.lock().unwrap() = Some(message.clone());
+        *unpoison(self.last_error.lock()) = Some(message.clone());
         self.registry.event(Level::Error, "store", message);
         // Preserve the evidence: dump the flight recorder so the spans
         // and events leading up to the failure survive a crash.
@@ -284,7 +285,7 @@ impl Telemetry {
 
     /// The most recent store failure, if any.
     pub fn last_store_error(&self) -> Option<String> {
-        self.last_error.lock().unwrap().clone()
+        unpoison(self.last_error.lock()).clone()
     }
 
     /// A frozen, ordered copy of all metrics and the timeline.
@@ -327,12 +328,18 @@ impl Telemetry {
     /// Sets (or clears) the auto-dump destination. The pipeline points
     /// this at `<store_dir>/flight.json` when a store is attached.
     pub(crate) fn set_flight_dump_path(&self, path: Option<PathBuf>) {
-        *self.dump_path.lock().unwrap() = path;
+        *unpoison(self.dump_path.lock()) = path;
     }
 
     /// The current auto-dump destination, if any.
     pub fn flight_dump_path(&self) -> Option<PathBuf> {
-        self.dump_path.lock().unwrap().clone()
+        unpoison(self.dump_path.lock()).clone()
+    }
+
+    /// The pipeline's event-log path, derived from the store directory
+    /// the flight dump points into. `None` until a store is attached.
+    pub fn event_log_path(&self) -> Option<PathBuf> {
+        self.flight_dump_path().and_then(|p| p.parent().map(|d| d.join(EVENT_LOG_FILE)))
     }
 
     /// Dumps the flight record to the configured path, if one is set.
@@ -383,20 +390,39 @@ impl Telemetry {
 
     /// Starts the blocking exposition server on `addr` (use port 0 for
     /// an ephemeral port; the bound address is on the returned handle):
-    /// `/metrics` (Prometheus text), `/trace` (Chrome-trace JSON),
-    /// `/healthz` (liveness JSON). The server reads live state — each
-    /// scrape re-renders from the shared registry.
+    /// `/metrics` (Prometheus text), `/trace` and `/flight`
+    /// (Chrome-trace JSON of the flight recorder), `/healthz`
+    /// (liveness JSON), and `/events` (cursor-paged long-poll tail of
+    /// the event log — 404 until a store is attached). The server
+    /// reads live state — each scrape re-renders from the shared
+    /// registry.
     pub fn serve<A: std::net::ToSocketAddrs>(&self, addr: A) -> io::Result<MetricsServer> {
         let metrics = self.clone();
         let trace = self.clone();
         let healthz = self.clone();
+        let routed = self.clone();
         serve(
             addr,
             HttpHandlers {
                 metrics: Arc::new(move || metrics.render_prometheus()),
                 trace: Arc::new(move || trace.render_chrome_trace()),
                 healthz: Arc::new(move || healthz.render_healthz()),
-                route: None,
+                route: Some(Arc::new(move |req: &Request| {
+                    if req.method != "GET" {
+                        return None;
+                    }
+                    match req.path.as_str() {
+                        "/flight" => Some(Response::ok_json(routed.render_chrome_trace())),
+                        "/events" => Some(match routed.event_log_path() {
+                            Some(path) => crate::server::events_response(&[path], req),
+                            None => Response::text(
+                                "404 Not Found",
+                                "no store attached; /events serves the persistent event log\n",
+                            ),
+                        }),
+                        _ => None,
+                    }
+                })),
             },
         )
     }

@@ -22,7 +22,13 @@
 //!   blocks on the log,
 //! * [`query`] — [`Predicate`] scans ([`scan_log`], [`scan_store`])
 //!   that prune whole segments via the zone maps before decoding a
-//!   single column.
+//!   single column,
+//! * [`tail`] — the live side: durable [`Cursor`]s with
+//!   [`read_after`] for safely tailing a file the writer is still
+//!   appending to (sealed segments only, torn tail invisible), and
+//!   [`RetentionConfig`]-driven compaction ([`apply_retention`]) that
+//!   drops whole sealed segments from the front under a byte/age
+//!   budget.
 //!
 //! Determinism contract: record *contents* are produced by the
 //! pipeline thread (sequence numbers, frame ids, timestamps from the
@@ -36,9 +42,13 @@
 pub mod query;
 pub mod record;
 pub mod segment;
+pub mod tail;
 pub mod writer;
 
 pub use query::{scan_log, scan_store, Predicate, ScanResult, ScanStats};
-pub use record::{EventLogConfig, LogRecord, RecordKind, ServedLabel, EVENT_LOG_FILE};
+pub use record::{
+    EventLogConfig, LogRecord, RecordKind, RetentionConfig, ServedLabel, EVENT_LOG_FILE,
+};
 pub use segment::{read_log, LogFile, SegmentInfo, ZoneMap};
+pub use tail::{apply_retention, collect_after, read_after, Cursor, TailBatch};
 pub use writer::{LogMetrics, LogWriter};

@@ -165,6 +165,32 @@ pub struct LogRecord {
 }
 
 impl LogRecord {
+    /// One record as a JSON object with a stable key order (no
+    /// external deps). This is the wire shape of the CLI's `--json`
+    /// output and the server's `GET /events` response records.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seq\":{},\"kind\":\"{}\",\"ts_us\":{},\"frame\":{},",
+                "\"stream\":{},\"cluster\":{},\"served\":\"{}\",\"dets\":{},",
+                "\"conf_mean\":{:.4},\"conf_max\":{:.4},\"latency_us\":{},",
+                "\"trace\":{}}}"
+            ),
+            self.seq,
+            self.kind.name(),
+            self.ts_us,
+            self.frame,
+            self.stream,
+            self.cluster,
+            self.served.name(),
+            self.dets,
+            self.conf_mean,
+            self.conf_max,
+            self.latency_us,
+            self.trace,
+        )
+    }
+
     /// A zeroed frame-kind record, useful as a builder base in tests.
     pub fn empty() -> Self {
         LogRecord {
@@ -184,6 +210,36 @@ impl LogRecord {
     }
 }
 
+/// Retention/compaction policy for the on-disk log. Whole sealed
+/// segments are dropped from the *front* of the file when a budget is
+/// exceeded; the newest segment is always retained so the recovered
+/// sequence tail survives. Zero on either axis means "unlimited".
+///
+/// Both budgets are evaluated against data already in the file (bytes
+/// written, record timestamps), never against wall-clock time — so
+/// compaction decisions are deterministic and the byte-identical log
+/// contract across `ODIN_THREADS` settings is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionConfig {
+    /// Target upper bound for the log file size in bytes (header +
+    /// sealed segments). 0 = unlimited. The bound can be overshot by
+    /// at most one segment, since only whole segments are dropped and
+    /// the newest segment is never dropped.
+    pub max_bytes: u64,
+    /// Maximum record age in microseconds, measured against the newest
+    /// retained record's `ts_us` (not wall clock). A segment is
+    /// dropped when *all* of its records are older than the window.
+    /// 0 = unlimited.
+    pub max_age_us: u64,
+}
+
+impl RetentionConfig {
+    /// True when neither budget is set (compaction never runs).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_bytes == 0 && self.max_age_us == 0
+    }
+}
+
 /// Event-log knobs carried inside `OdinConfig`. `Copy` so the core
 /// config stays `Copy`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,11 +254,19 @@ pub struct EventLogConfig {
     /// Records per sealed segment. Smaller segments prune better;
     /// larger segments compress better.
     pub segment_records: usize,
+    /// On-disk retention budget, enforced by the background writer at
+    /// open time and after each sealed segment.
+    pub retention: RetentionConfig,
 }
 
 impl Default for EventLogConfig {
     fn default() -> Self {
-        EventLogConfig { enabled: false, queue_cap: 4096, segment_records: 512 }
+        EventLogConfig {
+            enabled: false,
+            queue_cap: 4096,
+            segment_records: 512,
+            retention: RetentionConfig::default(),
+        }
     }
 }
 

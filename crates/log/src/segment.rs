@@ -513,6 +513,13 @@ pub struct LogFile {
 }
 
 impl LogFile {
+    /// Raw file bytes backing the scan (intact prefix + any torn
+    /// tail). Used by retention compaction to copy whole sealed
+    /// segments verbatim without re-encoding them.
+    pub(crate) fn raw_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
     /// Decode all rows of segment `i` (columns are decoded lazily, per
     /// segment, so zone-pruned scans never touch them).
     pub fn records(&self, i: usize) -> Result<Vec<LogRecord>, StoreError> {

@@ -24,8 +24,9 @@ use std::time::Instant;
 use odin_store::StoreError;
 use odin_telemetry::{log_bounds, Counter, Gauge, Histogram, Registry};
 
-use crate::record::{EventLogConfig, LogRecord};
+use crate::record::{EventLogConfig, LogRecord, RetentionConfig};
 use crate::segment::{self, encode_segment};
+use crate::tail::apply_retention;
 
 /// Telemetry handles the writer updates. Pass handles registered in
 /// the pipeline's registry to surface them on `/metrics`, or
@@ -127,14 +128,35 @@ impl LogWriter {
         }
         file.sync_data().map_err(StoreError::Io)?;
 
+        // Enforce the retention budget on whatever survived recovery,
+        // before the writer thread starts appending. A rewrite renames
+        // the file out from under our O_APPEND handle, so reopen.
+        let file = if apply_retention(path, cfg.retention)? {
+            OpenOptions::new().append(true).open(path).map_err(StoreError::Io)?
+        } else {
+            file
+        };
+
         let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_cap.max(1));
         let failures = Arc::new(AtomicU64::new(0));
         let seg_cap = cfg.segment_records.max(1);
         let thread_metrics = metrics.clone();
         let thread_failures = Arc::clone(&failures);
+        let thread_path = path.to_path_buf();
+        let retention = cfg.retention;
         let handle = std::thread::Builder::new()
             .name("odin-event-log".into())
-            .spawn(move || writer_loop(file, rx, seg_cap, thread_metrics, thread_failures))
+            .spawn(move || {
+                writer_loop(
+                    file,
+                    rx,
+                    seg_cap,
+                    retention,
+                    thread_path,
+                    thread_metrics,
+                    thread_failures,
+                )
+            })
             .map_err(StoreError::Io)?;
 
         Ok(LogWriter {
@@ -223,6 +245,8 @@ fn writer_loop(
     mut file: File,
     rx: Receiver<Msg>,
     seg_cap: usize,
+    retention: RetentionConfig,
+    path: PathBuf,
     metrics: LogMetrics,
     failures: Arc<AtomicU64>,
 ) {
@@ -237,6 +261,23 @@ fn writer_loop(
         let ok = file.write_all(&frame).is_ok() && file.flush().is_ok();
         if !ok {
             failures.fetch_add(1, Ordering::Relaxed);
+        }
+        // Retention runs on this thread only, between appends, so the
+        // atomic rewrite never races the O_APPEND handle — which must
+        // be reopened afterwards (the rename left it on a dead inode).
+        if !retention.is_unlimited() && should_compact(file, &retention) {
+            match apply_retention(&path, retention) {
+                Ok(true) => match OpenOptions::new().append(true).open(&path) {
+                    Ok(f) => *file = f,
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Ok(false) => {}
+                Err(_) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         metrics.flush_ms.observe_ms(started.elapsed().as_secs_f64() * 1e3);
     };
@@ -286,6 +327,16 @@ fn writer_loop(
     }
 }
 
+/// Cheap pre-check before the full retention scan: a pure byte budget
+/// is gated on file length alone; an age budget needs the zone maps,
+/// so it always proceeds to the scan.
+fn should_compact(file: &File, retention: &RetentionConfig) -> bool {
+    if retention.max_age_us > 0 {
+        return true;
+    }
+    file.metadata().map(|m| m.len() > retention.max_bytes).unwrap_or(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +360,12 @@ mod tests {
     #[test]
     fn writer_seals_segments_and_resumes_after_torn_tail() {
         let path = temp_path("torn");
-        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 8 };
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: 64,
+            segment_records: 8,
+            ..Default::default()
+        };
         {
             let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
             for s in 1..=20u64 {
@@ -347,7 +403,12 @@ mod tests {
     #[test]
     fn full_queue_drops_and_counts_instead_of_blocking() {
         let path = temp_path("drops");
-        let cfg = EventLogConfig { enabled: true, queue_cap: 2, segment_records: 1024 };
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: 2,
+            segment_records: 1024,
+            ..Default::default()
+        };
         let metrics = LogMetrics::detached();
         let w = LogWriter::open(&path, cfg, metrics.clone()).unwrap();
         // Hold the writer thread hostage with a flood while it is
@@ -371,7 +432,12 @@ mod tests {
     #[test]
     fn drop_without_flush_still_persists_buffered_records() {
         let path = temp_path("dropseal");
-        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 1000 };
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: 64,
+            segment_records: 1000,
+            ..Default::default()
+        };
         {
             let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
             for s in 1..=5u64 {
@@ -387,7 +453,12 @@ mod tests {
     #[test]
     fn reopening_an_intact_log_preserves_every_byte() {
         let path = temp_path("reopen");
-        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 4 };
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: 64,
+            segment_records: 4,
+            ..Default::default()
+        };
         {
             let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
             for s in 1..=4u64 {
@@ -405,9 +476,78 @@ mod tests {
     }
 
     #[test]
+    fn writer_enforces_byte_budget_after_seals() {
+        let path = temp_path("retain");
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: 256,
+            segment_records: 8,
+            retention: RetentionConfig { max_bytes: 400, max_age_us: 0 },
+        };
+        {
+            let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
+            for s in 1..=200u64 {
+                assert!(w.append(rec(s)));
+                if s % 8 == 0 {
+                    w.flush().unwrap();
+                }
+            }
+            w.flush().unwrap();
+            assert_eq!(w.failures(), 0);
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert!(len <= 400, "file is {len} bytes, budget 400");
+        let log = read_log(&path).unwrap();
+        assert!(!log.torn);
+        // The newest records survive and appends after compaction
+        // landed in the reopened file, not a dead inode.
+        assert_eq!(log.last_seq(), 200);
+        assert!(log.segments[0].zone.min_seq > 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_applies_retention_to_an_oversized_log() {
+        let path = temp_path("retain-open");
+        let unlimited = EventLogConfig {
+            enabled: true,
+            queue_cap: 256,
+            segment_records: 8,
+            ..Default::default()
+        };
+        {
+            let w = LogWriter::open(&path, unlimited, LogMetrics::detached()).unwrap();
+            for s in 1..=64u64 {
+                assert!(w.append(rec(s)));
+            }
+            w.flush().unwrap();
+        }
+        assert!(std::fs::metadata(&path).unwrap().len() > 300);
+        let bounded = EventLogConfig {
+            retention: RetentionConfig { max_bytes: 300, max_age_us: 0 },
+            ..unlimited
+        };
+        let w = LogWriter::open(&path, bounded, LogMetrics::detached()).unwrap();
+        // Recovery saw the full tail before compaction trimmed it.
+        assert_eq!(w.recovered_last_seq(), 64);
+        assert!(w.append(rec(65)));
+        w.flush().unwrap();
+        drop(w);
+        let log = read_log(&path).unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() <= 300 + 100);
+        assert_eq!(log.last_seq(), 65);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn flush_surfaces_dead_writer_thread() {
         let path = temp_path("dead");
-        let cfg = EventLogConfig { enabled: true, queue_cap: 64, segment_records: 8 };
+        let cfg = EventLogConfig {
+            enabled: true,
+            queue_cap: 64,
+            segment_records: 8,
+            ..Default::default()
+        };
         let mut w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
         assert!(w.append(rec(1)));
         w.flush().unwrap();

@@ -21,7 +21,8 @@ fn scratch(tag: &str) -> PathBuf {
 /// drift record every 8th row, teacher/ensemble alternating.
 fn write_log(dir: &std::path::Path, stream: u32, seq0: u64, ts0_us: u64) -> PathBuf {
     let path = dir.join(EVENT_LOG_FILE);
-    let cfg = EventLogConfig { enabled: true, queue_cap: 256, segment_records: 8 };
+    let cfg =
+        EventLogConfig { enabled: true, queue_cap: 256, segment_records: 8, ..Default::default() };
     let w = LogWriter::open(&path, cfg, LogMetrics::detached()).unwrap();
     for i in 0..32u64 {
         let drift = i % 8 == 7;

@@ -9,6 +9,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use crate::unpoison;
+
 /// Severity of an [`Event`], ordered `Debug < Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
@@ -131,12 +133,12 @@ impl RingSink {
 
     /// The buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        unpoison(self.buf.lock()).iter().cloned().collect()
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        unpoison(self.buf.lock()).len()
     }
 
     /// True when no events are buffered.
@@ -150,7 +152,7 @@ impl EventSink for RingSink {
         if event.level < self.min {
             return;
         }
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = unpoison(self.buf.lock());
         if buf.len() == self.cap {
             buf.pop_front();
         }

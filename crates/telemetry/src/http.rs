@@ -43,8 +43,23 @@ pub struct Request {
     pub method: String,
     /// Request path with the query string stripped.
     pub path: String,
+    /// Raw query string (everything after `?`; empty when absent).
+    pub query: String,
     /// Request body (`Content-Length`-delimited; empty for GET).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Value of query parameter `name` from `k=v` pairs joined by `&`,
+    /// or `None` when absent. Values are returned verbatim — no
+    /// percent-decoding; the tokens this server exchanges (cursors,
+    /// kind names, counts) never need it.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
+    }
 }
 
 /// A response a [`RouteHandler`] produces.
@@ -200,8 +215,11 @@ fn handle_connection(stream: TcpStream, handlers: &HttpHandlers) -> std::io::Res
 
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or("").to_string();
+    let raw_path = parts.next().unwrap_or("");
+    let (path, query) = match raw_path.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (raw_path.to_string(), String::new()),
+    };
 
     let response = match (method.as_str(), path.as_str()) {
         ("GET", "/metrics") => Response {
@@ -212,7 +230,7 @@ fn handle_connection(stream: TcpStream, handlers: &HttpHandlers) -> std::io::Res
         ("GET", "/trace") => Response::ok_json((handlers.trace)().into_bytes()),
         ("GET", "/healthz") => Response::ok_json((handlers.healthz)().into_bytes()),
         _ => {
-            let request = Request { method, path, body };
+            let request = Request { method, path, query, body };
             match handlers.route.as_ref().and_then(|r| r(&request)) {
                 Some(resp) => resp,
                 None if request.method != "GET" => {
@@ -355,6 +373,29 @@ mod tests {
         // Built-ins still served with a route installed.
         let (status, _) = get(server.addr(), "/healthz").expect("healthz");
         assert!(status.contains("200"), "{status}");
+    }
+
+    #[test]
+    fn query_strings_reach_the_route_handler() {
+        let mut h = handlers();
+        h.route = Some(Arc::new(|req: &Request| {
+            if req.path == "/q" {
+                let cursor = req.query_param("cursor").unwrap_or("-");
+                let kind = req.query_param("kind").unwrap_or("-");
+                let flag = req.query_param("flag").map(|_| "y").unwrap_or("n");
+                Some(Response::text("200 OK", format!("{cursor}|{kind}|{flag}")))
+            } else {
+                None
+            }
+        }));
+        let server = serve("127.0.0.1:0", h).expect("bind");
+        let (status, body) =
+            get(server.addr(), "/q?cursor=7:128,0:8&kind=drift&flag").expect("get");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "7:128,0:8|drift|y");
+        // No query string: params absent, path still matches.
+        let (_, body) = get(server.addr(), "/q").expect("get");
+        assert_eq!(body, "-|-|n");
     }
 
     #[test]

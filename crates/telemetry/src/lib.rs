@@ -37,6 +37,21 @@
 
 #![warn(missing_docs)]
 
+use std::sync::LockResult;
+
+/// Recover the guard from a possibly poisoned lock.
+///
+/// Telemetry state behind these locks (metric maps, ring buffers, the
+/// clock) is updated with short, infallible critical sections, so a
+/// poisoned lock means an *emitter* thread panicked mid-update — the
+/// protected data is still structurally sound. Observability must stay
+/// up precisely when something else is crashing, so readers and
+/// renderers (`/metrics`, flight-recorder dumps) take the guard instead
+/// of cascading the panic.
+pub fn unpoison<G>(result: LockResult<G>) -> G {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 pub mod clock;
 pub mod event;
 pub mod export;

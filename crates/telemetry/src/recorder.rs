@@ -20,6 +20,7 @@ use std::sync::Mutex;
 
 use crate::event::Level;
 use crate::span::SpanRecord;
+use crate::unpoison;
 
 /// Default span ring capacity.
 pub const DEFAULT_SPAN_CAP: usize = 4096;
@@ -83,7 +84,7 @@ impl FlightRecorder {
 
     /// Appends one span, evicting the oldest at capacity.
     pub fn record_span(&self, rec: SpanRecord) {
-        let mut spans = self.spans.lock().unwrap();
+        let mut spans = unpoison(self.spans.lock());
         if spans.len() == self.span_cap {
             spans.pop_front();
             self.dropped_spans.fetch_add(1, Ordering::Relaxed);
@@ -93,7 +94,7 @@ impl FlightRecorder {
 
     /// Appends one event, evicting the oldest at capacity.
     pub fn record_event(&self, ev: RecordedEvent) {
-        let mut events = self.events.lock().unwrap();
+        let mut events = unpoison(self.events.lock());
         if events.len() == self.event_cap {
             events.pop_front();
             self.dropped_events.fetch_add(1, Ordering::Relaxed);
@@ -103,14 +104,14 @@ impl FlightRecorder {
 
     /// Number of retained spans.
     pub fn span_count(&self) -> usize {
-        self.spans.lock().unwrap().len()
+        unpoison(self.spans.lock()).len()
     }
 
     /// A frozen copy of everything currently retained.
     pub fn snapshot(&self) -> FlightRecord {
         FlightRecord {
-            spans: self.spans.lock().unwrap().iter().cloned().collect(),
-            events: self.events.lock().unwrap().iter().cloned().collect(),
+            spans: unpoison(self.spans.lock()).iter().cloned().collect(),
+            events: unpoison(self.events.lock()).iter().cloned().collect(),
             dropped_spans: self.dropped_spans.load(Ordering::Relaxed),
             dropped_events: self.dropped_events.load(Ordering::Relaxed),
         }
@@ -120,9 +121,9 @@ impl FlightRecorder {
     /// Entries beyond capacity are dropped oldest-first.
     pub fn load(&self, rec: &FlightRecord) {
         let skip_s = rec.spans.len().saturating_sub(self.span_cap);
-        *self.spans.lock().unwrap() = rec.spans.iter().skip(skip_s).cloned().collect();
+        *unpoison(self.spans.lock()) = rec.spans.iter().skip(skip_s).cloned().collect();
         let skip_e = rec.events.len().saturating_sub(self.event_cap);
-        *self.events.lock().unwrap() = rec.events.iter().skip(skip_e).cloned().collect();
+        *unpoison(self.events.lock()) = rec.events.iter().skip(skip_e).cloned().collect();
         self.dropped_spans.store(rec.dropped_spans + skip_s as u64, Ordering::Relaxed);
         self.dropped_events.store(rec.dropped_events + skip_e as u64, Ordering::Relaxed);
     }

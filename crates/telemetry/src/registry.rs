@@ -19,6 +19,7 @@ use crate::event::{Event, EventSink, Level};
 use crate::recorder::{FlightRecord, FlightRecorder, RecordedEvent};
 use crate::span::{ClockCell, Tracer};
 use crate::timeline::{TimelineEvent, TimelineStage};
+use crate::unpoison;
 
 /// A monotonic counter handle. Cloning shares the underlying value.
 #[derive(Debug, Clone, Default)]
@@ -108,7 +109,7 @@ impl Histogram {
         if !ms.is_finite() || ms < 0.0 {
             return;
         }
-        let mut st = self.0.lock().unwrap();
+        let mut st = unpoison(self.0.lock());
         let idx = st.bounds.partition_point(|&b| b < ms);
         st.buckets[idx] += 1;
         st.count += 1;
@@ -117,12 +118,12 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.0.lock().unwrap().count
+        unpoison(self.0.lock()).count
     }
 
     /// A point-in-time copy of the histogram state.
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
-        let st = self.0.lock().unwrap();
+        let st = unpoison(self.0.lock());
         HistogramSnapshot {
             name: name.to_string(),
             bounds: st.bounds.clone(),
@@ -133,7 +134,7 @@ impl Histogram {
     }
 
     fn load(&self, snap: &HistogramSnapshot) {
-        let mut st = self.0.lock().unwrap();
+        let mut st = unpoison(self.0.lock());
         st.bounds = snap.bounds.clone();
         st.buckets = snap.buckets.clone();
         st.count = snap.count;
@@ -215,7 +216,12 @@ impl HistogramSnapshot {
     /// bucket are clamped to the last finite bound (their true
     /// magnitude is unknown). Returns 0 when empty.
     pub fn quantile_interp_ms(&self, q: f64) -> f64 {
-        if self.count == 0 || self.bounds.is_empty() {
+        // A histogram with no samples has no quantiles: report 0 from
+        // the guard rather than a bucket edge. The all-zero-buckets
+        // check covers snapshots whose `count` disagrees with the
+        // bucket sums (a hand-built or corrupted snapshot), which
+        // previously fell through the loop to the last finite bound.
+        if self.count == 0 || self.bounds.is_empty() || self.buckets.iter().all(|&c| c == 0) {
             return 0.0;
         }
         let rank = q.clamp(0.0, 1.0) * self.count as f64;
@@ -235,7 +241,11 @@ impl HistogramSnapshot {
                 return lo + frac * (hi - lo);
             }
         }
-        self.bounds[self.bounds.len() - 1]
+        // Reachable only when `rank` exceeds every counted sample
+        // (count > bucket sums): clamp to the last occupied bucket's
+        // edge, mirroring the in-loop overflow handling.
+        let last = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        self.bounds[last.min(self.bounds.len() - 1)]
     }
 }
 
@@ -274,10 +284,10 @@ pub struct Registry {
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
-            .field("counters", &self.counters.lock().unwrap().len())
-            .field("gauges", &self.gauges.lock().unwrap().len())
-            .field("histograms", &self.histograms.lock().unwrap().len())
-            .field("timeline", &self.timeline.lock().unwrap().len())
+            .field("counters", &unpoison(self.counters.lock()).len())
+            .field("gauges", &unpoison(self.gauges.lock()).len())
+            .field("histograms", &unpoison(self.histograms.lock()).len())
+            .field("timeline", &unpoison(self.timeline.lock()).len())
             .finish()
     }
 }
@@ -303,7 +313,7 @@ impl Registry {
 
     /// Current time in ms from the installed clock.
     pub fn now_ms(&self) -> f64 {
-        self.clock.read().unwrap().now_ms()
+        unpoison(self.clock.read()).now_ms()
     }
 
     /// Replaces the time source (e.g. with a
@@ -311,7 +321,7 @@ impl Registry {
     /// and every live span guard share the same clock cell, so they
     /// retarget too.
     pub fn set_clock(&self, clock: Arc<dyn Clock>) {
-        *self.clock.write().unwrap() = clock;
+        *unpoison(self.clock.write()) = clock;
     }
 
     /// The span tracer backed by this registry's clock and flight
@@ -333,13 +343,13 @@ impl Registry {
     /// Returns the counter registered under `name`, creating it at 0 if
     /// absent.
     pub fn counter(&self, name: &str) -> Counter {
-        self.counters.lock().unwrap().entry(name.to_string()).or_default().clone()
+        unpoison(self.counters.lock()).entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the gauge registered under `name`, creating it at 0 if
     /// absent.
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.gauges.lock().unwrap().entry(name.to_string()).or_default().clone()
+        unpoison(self.gauges.lock()).entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the histogram registered under `name`, creating it with
@@ -356,12 +366,12 @@ impl Registry {
 
     /// Adds an event sink; events fan out to every registered sink.
     pub fn add_sink(&self, sink: Arc<dyn EventSink>) {
-        self.sinks.write().unwrap().push(sink);
+        unpoison(self.sinks.write()).push(sink);
     }
 
     /// Removes all event sinks.
     pub fn clear_sinks(&self) {
-        self.sinks.write().unwrap().clear();
+        unpoison(self.sinks.write()).clear();
     }
 
     /// Emits a structured event to every sink and stamps a copy into
@@ -374,7 +384,7 @@ impl Registry {
             target: std::borrow::Cow::Borrowed(target),
             message: event.message.clone(),
         });
-        for sink in self.sinks.read().unwrap().iter() {
+        for sink in unpoison(self.sinks.read()).iter() {
             sink.emit(&event);
         }
     }
@@ -383,23 +393,23 @@ impl Registry {
     /// clock.
     pub fn record_timeline(&self, stage: TimelineStage, cluster_id: usize, frame: usize) {
         let at_ms = self.now_ms();
-        self.timeline.lock().unwrap().push(TimelineEvent { stage, cluster_id, frame, at_ms });
+        unpoison(self.timeline.lock()).push(TimelineEvent { stage, cluster_id, frame, at_ms });
     }
 
     /// The recorded drift timeline, oldest first.
     pub fn timeline(&self) -> Vec<TimelineEvent> {
-        self.timeline.lock().unwrap().clone()
+        unpoison(self.timeline.lock()).clone()
     }
 
     /// A frozen, ordered copy of all metrics and the timeline.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let counters =
-            self.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+            unpoison(self.counters.lock()).iter().map(|(k, v)| (k.clone(), v.get())).collect();
         let gauges =
-            self.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect();
+            unpoison(self.gauges.lock()).iter().map(|(k, v)| (k.clone(), v.get())).collect();
         let histograms =
-            self.histograms.lock().unwrap().iter().map(|(k, v)| v.snapshot(k)).collect();
-        let timeline = self.timeline.lock().unwrap().clone();
+            unpoison(self.histograms.lock()).iter().map(|(k, v)| v.snapshot(k)).collect();
+        let timeline = unpoison(self.timeline.lock()).clone();
         TelemetrySnapshot { counters, gauges, histograms, timeline }
     }
 
@@ -409,7 +419,7 @@ impl Registry {
     /// to zero (they did not exist when the snapshot was taken).
     pub fn load(&self, snap: &TelemetrySnapshot) {
         {
-            let mut counters = self.counters.lock().unwrap();
+            let mut counters = unpoison(self.counters.lock());
             for c in counters.values() {
                 c.set(0);
             }
@@ -418,7 +428,7 @@ impl Registry {
             }
         }
         {
-            let mut gauges = self.gauges.lock().unwrap();
+            let mut gauges = unpoison(self.gauges.lock());
             for g in gauges.values() {
                 g.set(0);
             }
@@ -427,9 +437,9 @@ impl Registry {
             }
         }
         {
-            let mut histograms = self.histograms.lock().unwrap();
+            let mut histograms = unpoison(self.histograms.lock());
             for h in histograms.values() {
-                let mut st = h.0.lock().unwrap();
+                let mut st = unpoison(h.0.lock());
                 st.buckets.iter_mut().for_each(|b| *b = 0);
                 st.count = 0;
                 st.sum_ns = 0;
@@ -441,7 +451,7 @@ impl Registry {
                     .load(hs);
             }
         }
-        *self.timeline.lock().unwrap() = snap.timeline.clone();
+        *unpoison(self.timeline.lock()) = snap.timeline.clone();
     }
 }
 
@@ -556,6 +566,38 @@ mod tests {
         // A single overflow sample clamps to the last finite bound.
         h.observe_ms(500.0);
         assert_eq!(h.snapshot("lat").quantile_interp_ms(0.5), 10.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_empty_and_single_sample_are_consistent() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 10.0, 100.0]);
+        // Empty: every quantile is 0, never a bucket edge.
+        let empty = h.snapshot("lat");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile_interp_ms(q), 0.0, "empty q={q}");
+        }
+        // A snapshot whose count disagrees with its (all-zero) buckets
+        // must not leak a bucket edge through the loop fallthrough.
+        let inconsistent = HistogramSnapshot {
+            name: "lat".to_string(),
+            bounds: vec![1.0, 10.0, 100.0],
+            buckets: vec![0, 0, 0, 0],
+            count: 3,
+            sum_ns: 0,
+        };
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(inconsistent.quantile_interp_ms(q), 0.0, "inconsistent q={q}");
+        }
+        // One sample in (1, 10]: every quantile interpolates inside
+        // that bucket — never outside it, never 0.
+        h.observe_ms(5.0);
+        let one = h.snapshot("lat");
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            let v = one.quantile_interp_ms(q);
+            assert!((1.0..=10.0).contains(&v), "single-sample q={q} gave {v}");
+        }
+        assert_eq!(one.quantile_interp_ms(1.0), 10.0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::clock::Clock;
 use crate::recorder::FlightRecorder;
+use crate::unpoison;
 
 /// The shared, swappable clock cell: one cell is read by the registry,
 /// the tracer, and every live [`SpanGuard`], so `set_clock` retargets
@@ -102,7 +103,7 @@ impl Tracer {
     }
 
     fn now_ms(&self) -> f64 {
-        self.clock.read().unwrap().now_ms()
+        unpoison(self.clock.read()).now_ms()
     }
 
     /// Allocates a fresh trace id.
@@ -224,7 +225,7 @@ impl SpanGuard {
     fn finish(&mut self) -> f64 {
         match self.rec.take() {
             Some(mut r) => {
-                r.end_ms = self.clock.read().unwrap().now_ms();
+                r.end_ms = unpoison(self.clock.read()).now_ms();
                 let d = r.duration_ms();
                 self.recorder.record_span(r);
                 d

@@ -56,7 +56,12 @@ fn main() {
             batch_size: 4,
         },
         min_train_frames: 16,
-        event_log: EventLogConfig { enabled: true, queue_cap: 4096, segment_records: 32 },
+        event_log: EventLogConfig {
+            enabled: true,
+            queue_cap: 4096,
+            segment_records: 32,
+            ..Default::default()
+        },
         attic: AtticConfig::enabled(),
         ..OdinConfig::default()
     };

@@ -53,7 +53,12 @@ fn main() {
         min_train_frames: 20,
         // Small segments so even this short run exercises zone-map
         // pruning across several of them.
-        event_log: EventLogConfig { enabled: true, queue_cap: 4096, segment_records: 32 },
+        event_log: EventLogConfig {
+            enabled: true,
+            queue_cap: 4096,
+            segment_records: 32,
+            ..Default::default()
+        },
         ..OdinConfig::default()
     };
     let mut odin = Odin::new(Box::new(HistogramEncoder::new()), teacher, cfg, 42);

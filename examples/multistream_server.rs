@@ -20,6 +20,7 @@ use odin_core::encoder::HistogramEncoder;
 use odin_core::pipeline::OdinConfig;
 use odin_core::server::{OdinServer, ServerConfig};
 use odin_core::specializer::SpecializerConfig;
+use odin_core::{CheckpointPolicy, EventLogConfig};
 use odin_data::{SceneGen, Subset};
 use odin_detect::{Detector, DetectorArch};
 use odin_drift::ManagerConfig;
@@ -48,6 +49,12 @@ fn main() {
                 batch_size: 4,
             },
             min_train_frames: 20,
+            event_log: EventLogConfig {
+                enabled: true,
+                queue_cap: 4096,
+                segment_records: 16,
+                ..Default::default()
+            },
             ..OdinConfig::default()
         },
     };
@@ -55,6 +62,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let teacher = Detector::heavy(48, &mut rng);
     let mut server = OdinServer::build(cfg, |_| Box::new(HistogramEncoder::new()), teacher, 42);
+
+    // With ODIN_STORE_DIR set, every shard persists its WAL + event log
+    // under <dir>/streams/<id>/ — `odin tail --addr` (via GET /events)
+    // and `odin tail --store <dir>` both read the same files.
+    let store_dir = std::env::var("ODIN_STORE_DIR").ok().map(std::path::PathBuf::from);
+    if let Some(dir) = &store_dir {
+        server.enable_store(dir, CheckpointPolicy::Manual).expect("enable store");
+    }
 
     // Four cameras see different condition schedules; each shard learns
     // only from its own stream.
@@ -79,6 +94,14 @@ fn main() {
         let (models, clusters) =
             server.with_shard(stream, |o| (o.model_count(), o.manager().clusters().len()));
         println!("stream {stream}: {clusters} cluster(s), {models} specialized model(s)");
+    }
+
+    // Seal the partial event-log segments so a tail (sealed-segment
+    // reads only) sees the full detect -> install arc before serving.
+    if store_dir.is_some() {
+        for stream in 0..server.streams() {
+            server.with_shard(stream, |o| o.flush_store());
+        }
     }
 
     // Optional exposition window for scrape smoke tests (same contract
@@ -113,6 +136,14 @@ fn main() {
             let accepted: usize = clients.into_iter().map(|c| c.join().unwrap_or(0)).sum();
             println!("http ingest: {accepted} frames accepted across {} streams", per_stream.len());
             std::io::stdout().flush().expect("flush stdout");
+            // Make the ingest-era records visible to tails running
+            // against the serve window.
+            if store_dir.is_some() {
+                server.drain();
+                for stream in 0..server.streams() {
+                    server.with_shard(stream, |o| o.flush_store());
+                }
+            }
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
     }

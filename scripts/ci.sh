@@ -84,16 +84,22 @@ wait "$SERVE_PID"
 grep -q "store errors: 0" "$SMOKE_DIR/run.log"
 jq -e '.traceEvents | length > 0' "$SMOKE_DIR/table_telemetry_trace.json" >/dev/null
 
-# Multi-stream serving smoke: bring up the 4-stream OdinServer example,
-# let its client threads feed all four streams concurrently through the
-# real HTTP ingest route, and scrape the merged exposition: /healthz
-# must be live with 4 streams, and /metrics must carry per-stream
-# labeled serving gauges/counters for every shard.
+# Multi-stream serving smoke: bring up the 4-stream OdinServer example
+# with the per-shard event log enabled, let its client threads feed all
+# four streams concurrently through the real HTTP ingest route, and
+# scrape the merged exposition: /healthz must be live with 4 streams,
+# and /metrics must carry per-stream labeled serving gauges/counters
+# for every shard. The live-observability verbs then run against the
+# same window: `odin tail` must stream the detect -> install arc with
+# per-stream monotonic seqs, `tail -f` must follow, `top --once` must
+# render and exit zero, and `flight` must pull a non-empty Chrome trace.
 echo "==> multi-stream serving smoke (multistream_server example)"
+ODIN_BIN=target/release/odin
 MS_DIR=/tmp/odin-ci-multistream
 rm -rf "$MS_DIR"
 mkdir -p "$MS_DIR"
-ODIN_SERVE_MS=15000 cargo run --release -p odin-core --example multistream_server \
+ODIN_SERVE_MS=15000 ODIN_STORE_DIR="$MS_DIR/store" \
+    cargo run --release -p odin-core --example multistream_server \
     >"$MS_DIR/run.log" &
 MS_PID=$!
 MS_ADDR=""
@@ -126,6 +132,24 @@ for s in 0 1 2 3; do
     echo "$MS_METRICS" | grep -c "^odin_serve_precision{stream=\"$s\"}" >/dev/null
 done
 curl -fsS "http://$MS_ADDR/trace" | jq -e '.traceEvents | length > 0' >/dev/null
+# `odin tail` over GET /events: the one-shot drain must carry the full
+# recovery arc (drift detected and model installed on every stream) and
+# per-stream seqs must be strictly monotonic — no dropped or torn
+# records across the cursor pages.
+"$ODIN_BIN" tail --addr "$MS_ADDR" --json --limit 4096 >"$MS_DIR/tail.json"
+jq -s -e '[.[].kind] | (contains(["drift_detected"]) and contains(["model_installed"]))' \
+    "$MS_DIR/tail.json" >/dev/null
+jq -s -e 'group_by(.stream) | length == 4 and all(.[];
+    ([.[].seq] as $s | $s == ($s|sort) and ($s|length == ($s|unique|length))))' \
+    "$MS_DIR/tail.json" >/dev/null
+# Follow mode long-polls the same route; a bounded window must replay
+# the backlog and exit cleanly.
+"$ODIN_BIN" tail -f --for 1500ms --addr "$MS_ADDR" --json >"$MS_DIR/tail_follow.json"
+jq -s -e 'length > 0' "$MS_DIR/tail_follow.json" >/dev/null
+"$ODIN_BIN" top --addr "$MS_ADDR" --once >"$MS_DIR/top.log"
+grep -q 'status: ok' "$MS_DIR/top.log"
+"$ODIN_BIN" flight --addr "$MS_ADDR" --out "$MS_DIR/flight.json" >/dev/null
+jq -e '.traceEvents | length > 0' "$MS_DIR/flight.json" >/dev/null
 wait "$MS_PID"
 
 # Event-log + ops-CLI smoke: run a drift stream with the log enabled at
@@ -147,7 +171,6 @@ ODIN_THREADS=2 ODIN_STORE_DIR="$EL_DIR/t2" \
 grep -q '^drift detected: ' "$EL_DIR/t1.log"
 grep -q '^model installed: ' "$EL_DIR/t1.log"
 cmp "$EL_DIR/t1/events.odlg" "$EL_DIR/t2/events.odlg"
-ODIN_BIN=target/release/odin
 "$ODIN_BIN" scan --log "$EL_DIR/t1/events.odlg" --kind drift --stats \
     >"$EL_DIR/scan.log" 2>"$EL_DIR/scan.stats"
 grep -q 'drift_detected' "$EL_DIR/scan.log"
@@ -198,6 +221,10 @@ grep -q '^attic hit: ' "$AT_DIR/t1.log"
 cmp "$AT_DIR/t1/events.odlg" "$AT_DIR/t2/events.odlg"
 "$ODIN_BIN" scan --log "$AT_DIR/t1/events.odlg" --kind attic_hit >"$AT_DIR/scan.log"
 grep -q 'attic_hit' "$AT_DIR/scan.log"
+# File-mode tail over the same log: the kind filter must page through
+# to the reinstall records even when whole pages are filtered out.
+"$ODIN_BIN" tail --log "$AT_DIR/t1/events.odlg" --kind attic --json >"$AT_DIR/tail.json"
+jq -s -e '(length > 0) and all(.[]; .kind == "attic_hit")' "$AT_DIR/tail.json" >/dev/null
 "$ODIN_BIN" explain --log "$AT_DIR/t1/events.odlg" >"$AT_DIR/explain.log"
 grep -q 'attic reinstall' "$AT_DIR/explain.log"
 

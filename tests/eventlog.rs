@@ -44,7 +44,12 @@ fn quick_cfg() -> OdinConfig {
         min_train_frames: 20,
         training: TrainingMode::Inline,
         // Small segments so a ~100-frame run spans several of them.
-        event_log: EventLogConfig { enabled: true, queue_cap: 4096, segment_records: 16 },
+        event_log: EventLogConfig {
+            enabled: true,
+            queue_cap: 4096,
+            segment_records: 16,
+            ..Default::default()
+        },
         ..OdinConfig::default()
     }
 }
